@@ -1,0 +1,67 @@
+"""E12 — Corollary 5.4: fragmentable ⇔ zero Euler characteristic.
+
+Regenerates the equivalence as an exhaustive sweep for k = 1, 2 (every
+function either fragments with a verified witness or has e != 0) plus
+template-size statistics: holes, ∨-gates and ¬-gates of the produced
+¬-∨-templates, separating the matching-based (negation-free) cases.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import banner
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import fragment, is_fragmentable
+from repro.matching.perfect_matching import colored_matching
+
+
+def sweep(nvars: int):
+    fragmented = rejected = 0
+    for table in range(1 << (1 << nvars)):
+        phi = BooleanFunction(nvars, table)
+        if phi.euler_characteristic() == 0:
+            assert fragment(phi).verify()
+            fragmented += 1
+        else:
+            assert not is_fragmentable(phi)
+            rejected += 1
+    return fragmented, rejected
+
+
+def test_cor54_exhaustive(benchmark):
+    print(banner("E12 / Cor 5.4", "fragmentable ⇔ e = 0 (exhaustive)"))
+    for nvars in (2, 3):
+        fragmented, rejected = sweep(nvars)
+        print(f"nvars={nvars}: fragmented {fragmented}, "
+              f"non-fragmentable {rejected}, total {fragmented + rejected}")
+    fragmented, rejected = benchmark(sweep, 2)
+    assert fragmented == 6 and rejected == 10  # C(4,2)=6 zero-Euler on 2 vars
+
+
+def test_cor54_template_statistics():
+    print(banner("E12 / Cor 5.4", "template sizes on random zero-Euler "
+                                  "functions (4 variables)"))
+    rng = random.Random(54)
+    rows = []
+    while len(rows) < 40:
+        phi = BooleanFunction.random(4, rng)
+        if phi.euler_characteristic() != 0:
+            continue
+        fragmentation = fragment(phi)
+        gates = fragmentation.template.count_gates()
+        has_matching = colored_matching(phi) is not None
+        rows.append((phi.sat_count(), gates, has_matching))
+    with_pm = [r for r in rows if r[2]]
+    without_pm = [r for r in rows if not r[2]]
+    print(f"{len(with_pm)} functions with colored PM, "
+          f"{len(without_pm)} without")
+    for label, subset in (("with PM", with_pm), ("without PM", without_pm)):
+        if not subset:
+            continue
+        mean_holes = sum(r[1]["hole"] for r in subset) / len(subset)
+        mean_nots = sum(r[1]["not"] for r in subset) / len(subset)
+        print(f"  {label:<12} mean holes {mean_holes:5.1f}, "
+              f"mean ¬-gates {mean_nots:5.1f}")
+    assert rows

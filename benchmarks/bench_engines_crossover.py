@@ -1,0 +1,66 @@
+"""E15 — the three engines: exact agreement and the tractability gap.
+
+Regenerates the dichotomy's practical shape on q_9: the brute-force oracle
+is exponential in |D| while both polynomial engines (extensional lifted
+inference; intensional d-D compilation) scale past it, agreeing exactly
+(Fractions) wherever the oracle can still run.  The printed series shows
+the crossover; the benchmark rounds time each engine on a fixed instance.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from conftest import banner
+
+from repro.db.generator import complete_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.extensional import probability as extensional_probability
+from repro.pqe.intensional import probability as intensional_probability
+from repro.queries.hqueries import q9
+
+
+def test_engines_agree_and_crossover():
+    print(banner("E15 / engines", "exact agreement + scaling of the three "
+                                  "engines on q_9"))
+    print(f"{'n':>2} {'|D|':>5} {'brute force':>13} {'extensional':>13} "
+          f"{'intensional':>13} {'agree':>6}")
+    for n in (1, 2, 3, 4, 6):
+        tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+        timings = {}
+        values = {}
+        if len(tid) <= 18:
+            t0 = time.perf_counter()
+            values["bf"] = probability_by_world_enumeration(q9(), tid)
+            timings["bf"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        values["ext"] = extensional_probability(q9(), tid)
+        timings["ext"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        values["int"] = intensional_probability(q9(), tid)
+        timings["int"] = time.perf_counter() - t0
+        agree = len(set(values.values())) == 1
+        bf_cell = (
+            f"{timings['bf'] * 1e3:10.1f}ms" if "bf" in timings else
+            f"{'2^' + str(len(tid)) + ' skip':>13}"
+        )
+        print(f"{n:>2} {len(tid):>5} {bf_cell:>13} "
+              f"{timings['ext'] * 1e3:10.1f}ms "
+              f"{timings['int'] * 1e3:10.1f}ms {str(agree):>6}")
+        assert agree
+
+
+def test_bench_extensional(benchmark):
+    tid = complete_tid(3, 5, 5, prob=Fraction(1, 2))
+    benchmark(extensional_probability, q9(), tid)
+
+
+def test_bench_intensional(benchmark):
+    tid = complete_tid(3, 5, 5, prob=Fraction(1, 2))
+    benchmark(intensional_probability, q9(), tid)
+
+
+def test_bench_brute_force(benchmark):
+    tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+    benchmark(probability_by_world_enumeration, q9(), tid)

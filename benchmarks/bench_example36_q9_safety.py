@@ -1,0 +1,50 @@
+"""E7 — Examples 3.3 / 3.6: the query q_9 and its safety.
+
+Regenerates the worked example: q_9's Boolean function, its safety verdict
+through both criteria (Möbius value of the CNF lattice; Euler
+characteristic), and its exact probability on growing complete instances
+via the extensional engine (timed).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import banner
+
+from repro.core.euler import euler_characteristic
+from repro.db.generator import complete_tid
+from repro.lattice.cnf_lattice import mobius_cnf_value
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.extensional import is_safe, probability
+from repro.queries.hqueries import phi_9, q9
+
+
+def test_example36_safety_criteria(benchmark):
+    print(banner("E7 / Example 3.6", "q_9 safety: Möbius vs Euler"))
+    phi = phi_9()
+
+    def both_criteria():
+        return mobius_cnf_value(phi), euler_characteristic(phi)
+
+    mobius, euler = benchmark(both_criteria)
+    print(f"mu_CNF(0-hat,1-hat) = {mobius};  e(phi_9) = {euler}")
+    print(f"=> q_9 safe (PTIME): {is_safe(q9())}")
+    assert mobius == euler == 0
+    assert is_safe(q9())
+
+
+def test_q9_extensional_probability(benchmark):
+    print(banner("E7 / Example 3.6", "Pr(q_9) on complete instances"))
+    small = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+    exact = probability(q9(), small)
+    oracle = probability_by_world_enumeration(q9(), small)
+    print(f"n=2: Pr = {exact} (= {float(exact):.6f}), brute force agrees: "
+          f"{exact == oracle}")
+    assert exact == oracle
+    for n in (4, 6, 8):
+        tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+        value = probability(q9(), tid)
+        print(f"n={n}: |D|={len(tid):4d}  Pr = {float(value):.9f}")
+    big = complete_tid(3, 8, 8, prob=Fraction(1, 2))
+    benchmark(probability, q9(), big)

@@ -1,0 +1,75 @@
+"""E1 — Figure 1: the region picture of the H-queries.
+
+Regenerates Figure 1 numerically: for k = 1..3, every Boolean function on
+``V = {0..k}`` is classified into the four regions (degenerate / zero-Euler
+/ provably #P-hard / conjectured hard), with the monotone (UCQ) row split
+into safe and unsafe.  Also checks footnote 6's closed-form count of
+zero-Euler functions against the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.euler import count_zero_euler_functions
+from repro.pqe.dichotomy import Region, classify_function
+
+
+def sweep(k: int) -> dict:
+    counts = {region: 0 for region in Region}
+    monotone_safe = monotone_unsafe = 0
+    zero_euler_total = 0
+    for table in range(1 << (1 << (k + 1))):
+        phi = BooleanFunction(k + 1, table)
+        result = classify_function(phi)
+        counts[result.region] += 1
+        if result.euler == 0:
+            zero_euler_total += 1
+        if result.is_ucq:
+            if result.safe:
+                monotone_safe += 1
+            else:
+                monotone_unsafe += 1
+    return {
+        "counts": counts,
+        "monotone_safe": monotone_safe,
+        "monotone_unsafe": monotone_unsafe,
+        "zero_euler_total": zero_euler_total,
+    }
+
+
+def print_table(k: int, data: dict) -> None:
+    print(f"\nk = {k}  ({1 << (1 << (k + 1))} H-queries)")
+    print(f"{'region':<42}{'count':>12}")
+    for region, count in data["counts"].items():
+        print(f"{region.value:<42}{count:>12}")
+    print(
+        f"{'monotone (UCQ) safe / unsafe':<42}"
+        f"{data['monotone_safe']:>6} /{data['monotone_unsafe']:>4}"
+    )
+    formula = count_zero_euler_functions(k)
+    print(
+        f"{'zero-Euler total (sweep vs footnote 6)':<42}"
+        f"{data['zero_euler_total']:>6} vs {formula}"
+    )
+    assert data["zero_euler_total"] == formula
+
+
+def test_figure1_regions_k1_k2(benchmark):
+    print(banner("E1 / Figure 1", "region counts of the H-queries"))
+    for k in (1, 2):
+        print_table(k, sweep(k))
+    from repro.viz.figure1 import render_figure1
+
+    print()
+    print(render_figure1(2))
+    result = benchmark(sweep, 2)
+    assert sum(result["counts"].values()) == 1 << 8
+
+
+def test_figure1_regions_k3():
+    # k = 3 is the paper's running arity: 65536 functions, printed once
+    # (not timed: the sweep is the artefact, not the primitive).
+    print(banner("E1 / Figure 1", "region counts for k = 3"))
+    print_table(3, sweep(3))

@@ -1,0 +1,50 @@
+"""E2 — Figure 2: the Hasse diagram of the CNF lattice of phi_9.
+
+Regenerates the lattice, prints it with the Möbius annotations the figure
+carries, and asserts every value (1 at the top; -1 on the four atoms; +1 on
+the three middle elements; 0 at the bottom — which is exactly why q_9 is
+safe).  The benchmark times the lattice + Möbius computation.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.lattice.cnf_lattice import cnf_lattice, dnf_lattice
+from repro.queries.hqueries import phi_9
+from repro.viz.hasse import render_hasse
+
+EXPECTED = {
+    (): 1,
+    (0, 3): -1,
+    (1, 3): -1,
+    (2, 3): -1,
+    (0, 1, 2): -1,
+    (0, 1, 3): 1,
+    (0, 2, 3): 1,
+    (1, 2, 3): 1,
+    (0, 1, 2, 3): 0,
+}
+
+
+def build_and_annotate():
+    lattice = cnf_lattice(phi_9())
+    return lattice, lattice.mobius_column()
+
+
+def test_figure2_hasse(benchmark):
+    print(banner("E2 / Figure 2", "CNF lattice of phi_9 with Möbius values"))
+    lattice, column = benchmark(build_and_annotate)
+    print(render_hasse(lattice))
+    got = {tuple(sorted(e)): value for e, value in column.items()}
+    assert got == EXPECTED
+    assert lattice.mobius_bottom_top() == 0
+
+
+def test_figure2_dnf_side():
+    # Lemma 3.8's (-1)^k companion on the DNF lattice.
+    print(banner("E2 / Figure 2 (DNF)", "DNF-lattice Möbius value of phi_9"))
+    lattice = dnf_lattice(phi_9())
+    value = lattice.mobius_bottom_top()
+    print(f"mu_DNF(0-hat, 1-hat) = {value}   (Lemma 3.8: e = (-1)^3 * mu_DNF)")
+    assert value == 0

@@ -1,0 +1,57 @@
+"""E4 — Figure 4: single steps of the ± transformation along a path
+(a chainswap).
+
+Figure 4 shows a 5-node path whose endpoint color travels to the other end
+through four ± moves.  We reproduce it literally: a path nu_0 .. nu_4 with
+nu_0 colored, everything else uncolored, chainswapped so that only nu_4
+ends up colored — printing the coloring after every move — and then time
+chainswaps on longer paths.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.transformation import apply_steps, chainswap_steps
+from repro.core.valuations import hypercube_path
+
+
+def figure4_path():
+    # A simple 5-node path in G_V for V = {0..4}: flip variables one at a
+    # time (both endpoints even size, interior length 3: a chainswap).
+    return hypercube_path(0b00000, 0b01111)
+
+
+def run_chainswap():
+    path = figure4_path()
+    phi = BooleanFunction.from_satisfying(5, [path[0]])
+    steps = chainswap_steps(phi, path)
+    return phi, steps
+
+
+def test_figure4_chainswap(benchmark):
+    print(banner("E4 / Figure 4", "a chainswap as four ± moves"))
+    phi, steps = benchmark(run_chainswap)
+    path = figure4_path()
+    print("path:", " - ".join(f"{m:05b}" for m in path))
+    current = phi
+    print(f"start : colored = {sorted(current.satisfying_masks())}")
+    for step in steps:
+        current = apply_steps(current, [step])
+        print(f"{str(step):<16}: colored = {sorted(current.satisfying_masks())}")
+    assert len(steps) == 4  # two additions, two removals
+    assert set(current.satisfying_masks()) == {path[-1]}
+
+
+def test_chainswap_scaling(benchmark):
+    # Chainswaps across the longest even-to-even path of a 10-variable
+    # hypercube (both endpoints even size, so the interior is odd).
+    path = hypercube_path(0, (1 << 10) - 1)
+    phi = BooleanFunction.from_satisfying(10, [path[0]])
+
+    def swap():
+        return chainswap_steps(phi, path)
+
+    steps = benchmark(swap)
+    assert set(apply_steps(phi, steps).satisfying_masks()) == {path[-1]}

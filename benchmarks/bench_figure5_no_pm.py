@@ -1,0 +1,48 @@
+"""E5 — Figure 5: the function phi_noPM (k = 4, non-monotone).
+
+The figure's role: witness that Conjecture 1 must be restricted to
+monotone functions, and that the +/- transformation genuinely needs both
+move directions.  The exact node colors are not recoverable from the text
+(see DESIGN.md §3), so we search for a function with every property the
+paper states — ``e = 0``; colored node {3,4} isolated among colored nodes;
+uncolored node {0,3,4} isolated among uncolored ones; no perfect matching
+on either side — print it, and verify all of them.
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.core.zoo import find_phi_no_pm, is_phi_no_pm_witness
+from repro.matching.graph import ColoredGraph
+from repro.matching.perfect_matching import has_perfect_matching
+from repro.pqe.intensional import compile_lineage
+from repro.queries.hqueries import HQuery
+from repro.db.generator import complete_tid
+from repro.viz.colored_graph import render_colored_graph, render_matching_facts
+
+
+def test_figure5_witness(benchmark):
+    print(banner("E5 / Figure 5", "phi_noPM: e=0 but no perfect matching"))
+    phi = benchmark(find_phi_no_pm)
+    print(render_colored_graph(phi))
+    print(render_matching_facts(phi))
+    assert is_phi_no_pm_witness(phi)
+    colored = ColoredGraph(phi)
+    assert not has_perfect_matching(colored.colored_subgraph())
+    assert not has_perfect_matching(colored.uncolored_subgraph())
+    assert not phi.is_monotone()
+
+
+def test_figure5_still_compiles_to_dd():
+    # The point of Section 5: even without any perfect matching, e = 0
+    # makes Q_phi compilable into a d-D (using both + and - moves).
+    print(banner("E5 / Figure 5 (follow-up)",
+                 "phi_noPM compiles to a d-D despite the missing matchings"))
+    phi = find_phi_no_pm()
+    tid = complete_tid(4, 1, 1)
+    compiled = compile_lineage(HQuery(4, phi), tid.instance)
+    gates = compiled.circuit.stats()
+    print(f"circuit gates: {gates}")
+    print(f"uses negation gates: {gates['NOT'] > 0}, NNF: {compiled.is_nnf}")
+    assert gates["TOTAL"] > 0

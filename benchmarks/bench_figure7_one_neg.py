@@ -1,0 +1,43 @@
+"""E6 — Figure 7: the monotone function phi_oneneg (k = 5).
+
+The figure's role: the "or" in Conjecture 1 is necessary — there is a
+monotone zero-Euler function whose *colored* subgraph has no perfect
+matching (the top valuation would need to be matched with both 01234 and
+01345) while the *uncolored* one has one.  As for Figure 5 the exact colors
+are searched from the stated properties (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.core import valuations as v
+from repro.core.zoo import find_phi_one_neg, is_phi_one_neg_witness
+from repro.matching.conjecture import check_function
+from repro.viz.colored_graph import render_colored_graph, render_matching_facts
+
+
+def test_figure7_witness(benchmark):
+    print(banner("E6 / Figure 7", "phi_oneneg: the 'or' is necessary"))
+    phi = benchmark(find_phi_one_neg)
+    print(render_colored_graph(phi))
+    print(render_matching_facts(phi))
+    print("minimal models:",
+          sorted(tuple(sorted(m)) for m in phi.minimal_models()))
+    assert is_phi_one_neg_witness(phi)
+    verdict = check_function(phi)
+    assert not verdict.colored_has_pm
+    assert verdict.uncolored_has_pm
+
+
+def test_figure7_blocked_top_structure():
+    print(banner("E6 / Figure 7 (structure)",
+                 "both 01234 and 01345 can only match the top valuation"))
+    phi = find_phi_one_neg()
+    top = (1 << 6) - 1
+    for label, node in (("01234", v.set_to_mask({0, 1, 2, 3, 4})),
+                        ("01345", v.set_to_mask({0, 1, 3, 4, 5}))):
+        neighbors = [n for n in v.neighbors(node, 6) if phi(n)]
+        print(f"colored neighbors of {label}: "
+              f"{[f'{n:06b}' for n in neighbors]}")
+        assert neighbors == [top]

@@ -1,0 +1,60 @@
+"""E10 — Proposition 3.7: degenerate H-queries have OBDDs in PTIME.
+
+Regenerates the claim's observable shape: for a degenerate phi, the
+single-OBDD lineage of Q_phi on complete instances grows linearly in the
+variable order's length (constant width per level, Appendix B.1), and its
+probability agrees with the brute-force oracle on small instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import banner
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.degenerate import degenerate_lineage_obdd
+from repro.queries.hqueries import HQuery
+
+
+def degenerate_phi():
+    # h_0 ∧ ¬h_1 combined freely with h_3: ignores variable 2.
+    v0 = BooleanFunction.variable(0, 4)
+    v1 = BooleanFunction.variable(1, 4)
+    v3 = BooleanFunction.variable(3, 4)
+    return (v0 & ~v1) | v3
+
+
+def test_prop37_obdd_scaling(benchmark):
+    print(banner("E10 / Prop 3.7", "OBDD size scaling for a degenerate query"))
+    phi = degenerate_phi()
+    assert phi.is_degenerate() and not phi.depends_on(2)
+    print(f"{'n':>3} {'order len':>10} {'obdd nodes':>11} {'max width':>10}")
+    rows = []
+    for n in (1, 2, 3, 4, 6, 8):
+        tid = complete_tid(3, n, n)
+        manager, root = degenerate_lineage_obdd(phi, tid.instance)
+        width = max(manager.width_profile(root).values() or [0])
+        rows.append((len(manager.order), manager.size(root), width))
+        print(f"{n:>3} {rows[-1][0]:>10} {rows[-1][1]:>11} {width:>10}")
+    # Constant-width claim: the max width must not grow with n.
+    widths = [w for _, _, w in rows]
+    assert max(widths) == widths[-1] or max(widths) <= max(widths[:2]) + 2
+    # Linear-size claim with a generous constant.
+    for order_len, size, _ in rows:
+        assert size <= 16 * order_len + 20
+    tid = complete_tid(3, 6, 6)
+    benchmark(degenerate_lineage_obdd, phi, tid.instance)
+
+
+def test_prop37_exactness():
+    print(banner("E10 / Prop 3.7", "OBDD probability vs brute force"))
+    phi = degenerate_phi()
+    tid = complete_tid(3, 1, 2, prob=Fraction(1, 3))
+    manager, root = degenerate_lineage_obdd(phi, tid.instance)
+    obdd_value = manager.probability(root, tid.probability_map())
+    oracle = probability_by_world_enumeration(HQuery(3, phi), tid)
+    print(f"|D| = {len(tid)}: OBDD Pr = {obdd_value}, brute force = {oracle}")
+    assert obdd_value == oracle

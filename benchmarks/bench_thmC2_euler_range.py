@@ -1,0 +1,72 @@
+"""E14 — Theorem C.2 / Proposition 6.4: the monotone Euler range.
+
+Regenerates the hardness-range table: for each k, the extremes of the
+Euler characteristic over monotone functions (slice closed form, verified
+exhaustively for small k), the Björner–Kalai maximizer, and the count of
+H-queries that Proposition 6.4 proves #P-hard vs those left to Open
+problem 1 (like phi_maxEuler, whose value 2^k escapes the range).
+"""
+
+from __future__ import annotations
+
+from conftest import banner
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.euler import (
+    bjorner_kalai_maximizer,
+    max_monotone_euler,
+    monotone_euler_extremes,
+)
+from repro.core.zoo import phi_max_euler
+from repro.enumeration.monotone import enumerate_monotone_functions
+from repro.pqe.dichotomy import Region, classify_function
+
+
+def test_thmC2_range_table(benchmark):
+    print(banner("E14 / Thm C.2", "monotone Euler extremes per k"))
+    print(f"{'k':>2} {'min e':>7} {'max e':>7} {'max |e|':>8} "
+          f"{'e(phi_maxEuler)':>16} {'in range':>9}")
+    for k in (1, 2, 3, 4, 5, 6):
+        low, high = monotone_euler_extremes(k)
+        maximum = max_monotone_euler(k)
+        unreachable = 1 << k
+        print(f"{k:>2} {low:>7} {high:>7} {maximum:>8} {unreachable:>16} "
+              f"{str(low <= unreachable <= high):>9}")
+        assert unreachable > high  # phi_maxEuler always escapes
+    benchmark(monotone_euler_extremes, 8)
+
+
+def test_thmC2_exhaustive_validation():
+    print(banner("E14 / Thm C.2", "closed form vs exhaustive enumeration"))
+    for k in (1, 2, 3, 4):
+        values = [
+            phi.euler_characteristic()
+            for phi in enumerate_monotone_functions(k + 1)
+        ]
+        exhaustive = (min(values), max(values))
+        closed = monotone_euler_extremes(k)
+        print(f"k={k}: exhaustive {exhaustive}, slice closed form {closed}")
+        assert exhaustive == closed
+        maximizer = bjorner_kalai_maximizer(k)
+        assert abs(maximizer.euler_characteristic()) == max(
+            abs(v) for v in values
+        )
+
+
+def test_prop64_hardness_coverage():
+    print(banner("E14 / Prop 6.4", "hard vs conjectured-hard among "
+                                   "nonzero-Euler functions (k = 2)"))
+    hard = conjectured = 0
+    for table in range(256):
+        phi = BooleanFunction(3, table)
+        region = classify_function(phi).region
+        if region is Region.HARD:
+            hard += 1
+        elif region is Region.CONJECTURED_HARD:
+            conjectured += 1
+    print(f"#P-hard by Prop 6.4 / Cor 3.9: {hard}; "
+          f"left to Open problem 1: {conjectured}")
+    assert hard > 0 and conjectured > 0
+    assert classify_function(phi_max_euler(2)).region is (
+        Region.CONJECTURED_HARD
+    )

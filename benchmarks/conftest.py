@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one artefact of the paper (a figure, a worked
+example, or an in-text experimental claim — see DESIGN.md §4 and
+EXPERIMENTS.md) and prints the reproduced rows/series with ``-s``; the
+pytest-benchmark fixture times the core computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def banner(experiment: str, description: str) -> str:
+    line = "=" * 72
+    return f"\n{line}\n{experiment}: {description}\n{line}"
+
+
+@pytest.fixture(autouse=True)
+def _spacer(capsys):
+    # Keep bench output readable under -s.
+    yield

@@ -1,0 +1,68 @@
+"""Characteristic polynomials: watching Möbius become Euler.
+
+Appendix B.2 of the paper proves Lemma 3.8 by writing the probability
+``Pr(phi, pi_t)`` (every variable at probability ``t``) as a polynomial in
+three ways — directly, through the CNF lattice, and through the DNF
+lattice — and comparing leading coefficients.  This script makes the proof
+tangible: it prints all three polynomials for q_9's function phi_9 (they
+coincide, with a vanishing top coefficient — the polynomial shadow of
+safety) and for an unsafe sibling (top coefficient = the non-zero Möbius
+value), then recovers the polynomial a fourth way by exact Lagrange
+interpolation of PQE values.
+
+Run:  python examples/characteristic_polynomials.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import BooleanFunction, phi_9
+from repro.lattice import (
+    cnf_polynomial,
+    dnf_polynomial,
+    interpolated_polynomial,
+    mobius_cnf_value,
+    probability_polynomial,
+)
+
+
+def show(name: str, phi: BooleanFunction) -> None:
+    k = phi.nvars - 1
+    base = probability_polynomial(phi)
+    cnf = cnf_polynomial(phi)
+    dnf = dnf_polynomial(phi)
+    interp = interpolated_polynomial(phi)
+    print(f"{name}:")
+    print(f"  P(t)          = {base}")
+    print(f"  from CNF      = {cnf}")
+    print(f"  from DNF      = {dnf}")
+    print(f"  interpolated  = {interp}")
+    assert base == cnf == dnf == interp
+    top = base.coefficient(k + 1)
+    print(f"  t^{k + 1} coefficient = {top}"
+          f"  (= (-1)^{k + 1} * mu_CNF(0,1) = "
+          f"{(-1) ** (k + 1) * mobius_cnf_value(phi)})")
+    print(f"  e(phi) = {phi.euler_characteristic()}  "
+          f"=> {'SAFE (PTIME)' if phi.euler_characteristic() == 0 else '#P-HARD'}")
+    print()
+
+
+def main() -> None:
+    # The safe running example.
+    show("phi_9 (safe)", phi_9())
+
+    # An unsafe sibling: drop one CNF clause of phi_9.
+    unsafe = BooleanFunction.from_cnf(4, [{2, 3}, {0, 3}, {1, 3}])
+    show("phi_9 minus one clause (unsafe)", unsafe)
+
+    # Evaluate the safe polynomial at a few operating points.
+    polynomial = probability_polynomial(phi_9())
+    print("Pr(q_9-pattern) at uniform tuple probability t:")
+    for numerator in (1, 2, 3):
+        t = Fraction(numerator, 4)
+        print(f"  t = {t}: {polynomial(t)} = {float(polynomial(t)):.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: evaluate Dalvi–Suciu's query q_9 three ways.
+
+The running example of the paper (Examples 3.3/3.6): q_9 is the simplest
+safe UCQ whose extensional evaluation needs the Möbius inversion formula,
+and the paper's headline result compiles its lineage into a deterministic
+decomposable circuit instead.  This script:
+
+1. builds q_9 and checks its safety through both criteria
+   (``mu_CNF(0̂,1̂) = 0`` and ``e(phi) = 0``);
+2. builds a small tuple-independent database;
+3. computes Pr(q_9) with the brute-force oracle, the extensional engine
+   and the intensional (d-D) engine — all three agree exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import HQuery, TupleIndependentDatabase, phi_9
+from repro.core.euler import euler_characteristic
+from repro.lattice.cnf_lattice import mobius_cnf_value
+from repro.pqe import (
+    compile_lineage,
+    extensional_probability,
+    intensional_probability,
+    is_safe,
+    probability_by_world_enumeration,
+)
+
+
+def build_database() -> TupleIndependentDatabase:
+    """A small TID over the schema of the h_{3,i} queries: two drugs (x
+    side), two proteins (y side), uncertain interaction layers S1..S3 and
+    uncertain endpoint annotations R, T."""
+    tid = TupleIndependentDatabase()
+    tid.add("R", ("aspirin",), Fraction(9, 10))
+    tid.add("R", ("ibuprofen",), Fraction(1, 2))
+    tid.add("T", ("cox1",), Fraction(3, 4))
+    tid.add("T", ("cox2",), Fraction(1, 4))
+    for s, p in (("S1", Fraction(1, 2)), ("S2", Fraction(2, 3)),
+                 ("S3", Fraction(1, 3))):
+        tid.add(s, ("aspirin", "cox1"), p)
+        tid.add(s, ("ibuprofen", "cox2"), p)
+    return tid
+
+
+def main() -> None:
+    query = HQuery(3, phi_9())
+    print(f"query: {query}")
+    print(f"is a UCQ (monotone phi): {query.is_ucq()}")
+
+    # Safety, both ways (Proposition 3.5 and Corollary 3.9).
+    print(f"mu_CNF(0̂,1̂) = {mobius_cnf_value(query.phi)}")
+    print(f"e(phi_9)      = {euler_characteristic(query.phi)}")
+    print(f"safe (PTIME): {is_safe(query)}")
+
+    tid = build_database()
+    print(f"\ndatabase: {tid.instance} ({len(tid)} uncertain tuples)")
+
+    brute = probability_by_world_enumeration(query, tid)
+    extensional = extensional_probability(query, tid)
+    intensional = intensional_probability(query, tid)
+    print(f"\nPr(q_9)  brute force : {brute} = {float(brute):.6f}")
+    print(f"Pr(q_9)  extensional : {extensional} = {float(extensional):.6f}")
+    print(f"Pr(q_9)  intensional : {intensional} = {float(intensional):.6f}")
+    assert brute == extensional == intensional
+
+    compiled = compile_lineage(query, tid.instance)
+    stats = compiled.circuit.stats()
+    print(f"\ncompiled d-D lineage: {stats['TOTAL']} gates "
+          f"({stats['AND']} ∧, {stats['OR']} ∨, {stats['NOT']} ¬), "
+          f"NNF: {compiled.is_nnf}")
+    print("the three engines agree exactly — inclusion–exclusion was "
+          "simulated by\ndecomposability + determinism (+ negation), "
+          "as Theorem 5.2 promises.")
+
+
+if __name__ == "__main__":
+    main()

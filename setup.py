@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` through pyproject.toml
+alone) fail with ``invalid command 'bdist_wheel'``.  This file enables the
+legacy editable path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

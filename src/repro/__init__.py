@@ -1,0 +1,63 @@
+"""repro — a reproduction of Monet (PODS 2020), "Solving a Special Case of
+the Intensional vs Extensional Conjecture in Probabilistic Databases".
+
+The package implements the full stack the paper builds on:
+
+* tuple-independent databases and the H-query family (``repro.db``,
+  ``repro.queries``);
+* the extensional (lifted inference / Möbius inversion) engine and the
+  intensional (knowledge compilation into d-D circuits) engine, plus a
+  brute-force oracle (``repro.pqe``);
+* the combinatorial core: Boolean functions, Euler characteristics, the ±
+  transformation, fragmentability, canonical forms (``repro.core``);
+* the substrates: posets/Möbius functions, Boolean circuits, OBDDs,
+  hypercube matchings, function enumeration (``repro.lattice``,
+  ``repro.circuits``, ``repro.obdd``, ``repro.matching``,
+  ``repro.enumeration``).
+
+Quick start::
+
+    from fractions import Fraction
+    from repro import HQuery, phi_9, complete_tid
+    from repro.pqe import (
+        extensional_probability, intensional_probability,
+        probability_by_world_enumeration,
+    )
+
+    query = HQuery(3, phi_9())          # Dalvi–Suciu's safe query q_9
+    tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+    assert (extensional_probability(query, tid)
+            == intensional_probability(query, tid)
+            == probability_by_world_enumeration(query, tid))
+"""
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import Fragmentation, fragment, is_fragmentable
+from repro.core.transformation import Step, reduce_to_bottom, transform
+from repro.db.generator import complete_tid, path_tid, random_tid
+from repro.db.relation import Instance, TupleId
+from repro.db.tid import TupleIndependentDatabase
+from repro.queries.hqueries import HQuery, h_query, phi_9, q9
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BooleanFunction",
+    "Fragmentation",
+    "HQuery",
+    "Instance",
+    "Step",
+    "TupleId",
+    "TupleIndependentDatabase",
+    "__version__",
+    "complete_tid",
+    "fragment",
+    "h_query",
+    "is_fragmentable",
+    "path_tid",
+    "phi_9",
+    "q9",
+    "random_tid",
+    "reduce_to_bottom",
+    "transform",
+]

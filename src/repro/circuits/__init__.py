@@ -1,0 +1,77 @@
+"""Boolean circuits: d-D carriers, structural validation, probability and
+the knowledge-compilation reuse tasks (Section 2 of the paper)."""
+
+from repro.circuits.circuit import Circuit, Gate, GateKind
+from repro.circuits.operations import (
+    circuit_to_boolean_function,
+    constant_circuit,
+    copy_into,
+    negate,
+    to_nnf,
+)
+from repro.circuits.probability import (
+    conditioned_probability,
+    gate_probabilities,
+    model_count,
+    most_probable_model,
+    probability,
+    sample_model,
+)
+from repro.circuits.serialization import circuit_from_dict, circuit_to_dict
+from repro.circuits.vtree import (
+    VtreeLeaf,
+    VtreeNode,
+    respects_vtree,
+    right_linear_vtree,
+    vtree_of_read_once,
+)
+from repro.circuits.smoothing import (
+    count_models_smoothed,
+    enumerate_models,
+    is_smooth,
+    smooth,
+)
+from repro.circuits.validation import (
+    CircuitPropertyError,
+    assert_d_d,
+    check_determinism_by_enumeration,
+    check_determinism_by_sampling,
+    find_nondecomposable_gate,
+    is_decomposable,
+    is_dldd_shaped,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitPropertyError",
+    "Gate",
+    "GateKind",
+    "assert_d_d",
+    "check_determinism_by_enumeration",
+    "check_determinism_by_sampling",
+    "circuit_to_boolean_function",
+    "conditioned_probability",
+    "constant_circuit",
+    "copy_into",
+    "count_models_smoothed",
+    "enumerate_models",
+    "find_nondecomposable_gate",
+    "gate_probabilities",
+    "is_decomposable",
+    "is_dldd_shaped",
+    "is_smooth",
+    "model_count",
+    "most_probable_model",
+    "negate",
+    "probability",
+    "sample_model",
+    "smooth",
+    "to_nnf",
+    "vtree_of_read_once",
+    "right_linear_vtree",
+    "respects_vtree",
+    "circuit_to_dict",
+    "circuit_from_dict",
+    "VtreeNode",
+    "VtreeLeaf",
+]

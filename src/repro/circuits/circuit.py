@@ -1,0 +1,259 @@
+"""Boolean circuits with ∧, ∨, ¬, variable and constant gates.
+
+These are the carrier objects of the intensional approach (Section 2 of the
+paper): lineages are compiled into circuits whose ∧-gates are *decomposable*
+(inputs over disjoint variable sets) and whose ∨-gates are *deterministic*
+(inputs capture disjoint Boolean functions) — the class d-D.  The circuit
+class itself is agnostic: decomposability and determinism are checked by
+:mod:`repro.circuits.validation`, and probability computation for validated
+d-Ds lives in :mod:`repro.circuits.probability`.
+
+A circuit is a DAG of :class:`Gate` objects addressed by integer ids inside
+a :class:`Circuit` arena, with one designated output gate.  Variables are
+arbitrary hashable labels (in this package: tuple identifiers of a database).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+
+
+class GateKind(enum.Enum):
+    """The five kinds of gates a circuit may contain."""
+
+    VAR = "var"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    CONST = "const"
+
+
+class Gate:
+    """One gate of a circuit: a kind, input gate ids, and a payload.
+
+    The payload is the variable label for ``VAR`` gates and the Boolean value
+    for ``CONST`` gates; it is ``None`` otherwise.
+    """
+
+    __slots__ = ("kind", "inputs", "payload")
+
+    def __init__(
+        self, kind: GateKind, inputs: tuple[int, ...], payload: object = None
+    ):
+        self.kind = kind
+        self.inputs = inputs
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        if self.kind is GateKind.VAR:
+            return f"Gate(VAR {self.payload!r})"
+        if self.kind is GateKind.CONST:
+            return f"Gate(CONST {self.payload!r})"
+        return f"Gate({self.kind.name} <- {self.inputs})"
+
+
+class Circuit:
+    """A Boolean circuit: an arena of gates plus a designated output.
+
+    Gates are created through the ``add_*`` methods, which return gate ids.
+    Structural sharing is encouraged: the builder methods hash-cons variable
+    and constant gates, and callers may reuse any gate id as input to many
+    gates.  The circuit is append-only; ids are dense and topologically
+    ordered (inputs always have smaller ids), which the evaluators exploit.
+    """
+
+    def __init__(self) -> None:
+        self._gates: list[Gate] = []
+        self._var_ids: dict[Hashable, int] = {}
+        self._const_ids: dict[bool, int] = {}
+        self._output: int | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_var(self, label: Hashable) -> int:
+        """Add (or fetch) the variable gate for ``label``."""
+        if label in self._var_ids:
+            return self._var_ids[label]
+        gate_id = self._append(Gate(GateKind.VAR, (), label))
+        self._var_ids[label] = gate_id
+        return gate_id
+
+    def add_const(self, value: bool) -> int:
+        """Add (or fetch) a constant gate."""
+        value = bool(value)
+        if value in self._const_ids:
+            return self._const_ids[value]
+        gate_id = self._append(Gate(GateKind.CONST, (), value))
+        self._const_ids[value] = gate_id
+        return gate_id
+
+    def add_not(self, input_id: int) -> int:
+        """Add a ¬-gate over an existing gate."""
+        self._check_ids([input_id])
+        return self._append(Gate(GateKind.NOT, (input_id,)))
+
+    def add_and(self, input_ids: Iterable[int]) -> int:
+        """Add an ∧-gate; an empty input list denotes the constant True."""
+        ids = tuple(input_ids)
+        self._check_ids(ids)
+        if not ids:
+            return self.add_const(True)
+        if len(ids) == 1:
+            return ids[0]
+        return self._append(Gate(GateKind.AND, ids))
+
+    def add_or(self, input_ids: Iterable[int]) -> int:
+        """Add an ∨-gate; an empty input list denotes the constant False."""
+        ids = tuple(input_ids)
+        self._check_ids(ids)
+        if not ids:
+            return self.add_const(False)
+        if len(ids) == 1:
+            return ids[0]
+        return self._append(Gate(GateKind.OR, ids))
+
+    def set_output(self, gate_id: int) -> None:
+        """Designate the output gate."""
+        self._check_ids([gate_id])
+        self._output = gate_id
+
+    def _append(self, gate: Gate) -> int:
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    def _check_ids(self, ids: Iterable[int]) -> None:
+        for gate_id in ids:
+            if not 0 <= gate_id < len(self._gates):
+                raise ValueError(f"unknown gate id {gate_id}")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def output(self) -> int:
+        """The id of the output gate.
+
+        :raises ValueError: if no output has been designated.
+        """
+        if self._output is None:
+            raise ValueError("circuit has no designated output gate")
+        return self._output
+
+    def gate(self, gate_id: int) -> Gate:
+        """The gate with the given id."""
+        return self._gates[gate_id]
+
+    def __len__(self) -> int:
+        """Number of gates (the paper's notion of circuit size up to wires)."""
+        return len(self._gates)
+
+    def num_wires(self) -> int:
+        """Total number of wires (gate inputs)."""
+        return sum(len(g.inputs) for g in self._gates)
+
+    def gates(self) -> Iterator[tuple[int, Gate]]:
+        """Iterate over ``(id, gate)`` pairs in topological order."""
+        return iter(enumerate(self._gates))
+
+    def variables(self) -> frozenset[Hashable]:
+        """All variable labels appearing in the circuit."""
+        return frozenset(self._var_ids)
+
+    def var_id(self, label: Hashable) -> int:
+        """The gate id of a variable label."""
+        return self._var_ids[label]
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        """Evaluate the output under a total assignment of the variables.
+
+        Missing variables default to False (absent tuples), matching the
+        valuation-as-subset convention of the paper.
+        """
+        values = self.evaluate_all(assignment)
+        return values[self.output]
+
+    def evaluate_all(self, assignment: Mapping[Hashable, bool]) -> list[bool]:
+        """Evaluate every gate bottom-up; returns a list indexed by gate id."""
+        values: list[bool] = [False] * len(self._gates)
+        for gate_id, gate in enumerate(self._gates):
+            if gate.kind is GateKind.VAR:
+                values[gate_id] = bool(assignment.get(gate.payload, False))
+            elif gate.kind is GateKind.CONST:
+                values[gate_id] = bool(gate.payload)
+            elif gate.kind is GateKind.NOT:
+                values[gate_id] = not values[gate.inputs[0]]
+            elif gate.kind is GateKind.AND:
+                values[gate_id] = all(values[i] for i in gate.inputs)
+            else:
+                values[gate_id] = any(values[i] for i in gate.inputs)
+        return values
+
+    def gate_variable_sets(self) -> list[frozenset[Hashable]]:
+        """``Vars(g)`` for every gate: the variable labels with a directed
+        path to the gate (used by the decomposability check)."""
+        sets: list[frozenset[Hashable]] = [frozenset()] * len(self._gates)
+        for gate_id, gate in enumerate(self._gates):
+            if gate.kind is GateKind.VAR:
+                sets[gate_id] = frozenset([gate.payload])
+            elif gate.kind is GateKind.CONST:
+                sets[gate_id] = frozenset()
+            else:
+                combined: set[Hashable] = set()
+                for input_id in gate.inputs:
+                    combined |= sets[input_id]
+                sets[gate_id] = frozenset(combined)
+        return sets
+
+    def models_by_enumeration(self) -> Iterator[frozenset[Hashable]]:
+        """All satisfying assignments, as the sets of variables set to True.
+
+        Exponential in the number of variables — only for validation on
+        small instances.
+        """
+        labels = sorted(self._var_ids, key=repr)
+        for bits in itertools.product([False, True], repeat=len(labels)):
+            assignment = dict(zip(labels, bits))
+            if self.evaluate(assignment):
+                yield frozenset(l for l, b in assignment.items() if b)
+
+    def reachable_from_output(self) -> set[int]:
+        """Gate ids reachable from the output (the live part of the arena)."""
+        seen: set[int] = set()
+        stack = [self.output]
+        while stack:
+            gate_id = stack.pop()
+            if gate_id in seen:
+                continue
+            seen.add(gate_id)
+            stack.extend(self._gates[gate_id].inputs)
+        return seen
+
+    def is_nnf(self) -> bool:
+        """Whether the circuit is in negation normal form: every ¬-gate's
+        input is a variable gate (Section 2)."""
+        return all(
+            self._gates[g.inputs[0]].kind is GateKind.VAR
+            for g in self._gates
+            if g.kind is GateKind.NOT
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Gate-count statistics by kind, plus wires (for the benches)."""
+        counts = {kind.name: 0 for kind in GateKind}
+        for gate in self._gates:
+            counts[gate.kind.name] += 1
+        counts["TOTAL"] = len(self._gates)
+        counts["WIRES"] = self.num_wires()
+        return counts
+
+    def __repr__(self) -> str:
+        return f"Circuit({len(self._gates)} gates, {len(self._var_ids)} vars)"

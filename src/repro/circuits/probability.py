@@ -1,0 +1,247 @@
+"""Probability computation and reuse tasks on d-D circuits.
+
+The defining feature of d-Ds (Section 2): probability is computed in one
+bottom-up linear pass, evaluating ∧ with ×, ∨ with +, and ¬ with ``1 - x``.
+This is only *correct* when the circuit is decomposable and deterministic;
+callers are expected to validate with :mod:`repro.circuits.validation` (the
+tests always do).
+
+Beyond plain probability, this module implements the reuse tasks the paper's
+introduction cites as motivation for the intensional approach: re-evaluation
+after probability updates comes for free; most-probable-explanation (MPE)
+works by swapping + for max on deterministic ∨-gates; and exact sampling of
+satisfying worlds walks the circuit top-down.  All algorithms are generic in
+the numeric type — ``fractions.Fraction`` gives exact results, ``float``
+gives fast ones.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Mapping
+from fractions import Fraction
+
+from repro.circuits.circuit import Circuit, GateKind
+
+Number = Fraction | float
+
+
+def gate_probabilities(
+    circuit: Circuit, prob: Mapping[Hashable, Number]
+) -> list[Number]:
+    """One bottom-up pass computing ``Pr(gate)`` for every gate.
+
+    ``prob`` maps each variable label to its marginal probability; missing
+    labels default to probability 0 (a deterministic absent tuple).
+    """
+    one = _one_like(prob)
+    values: list[Number] = [0] * len(circuit)
+    for gate_id, gate in circuit.gates():
+        if gate.kind is GateKind.VAR:
+            values[gate_id] = prob.get(gate.payload, 0)
+        elif gate.kind is GateKind.CONST:
+            values[gate_id] = one if gate.payload else one - one
+        elif gate.kind is GateKind.NOT:
+            values[gate_id] = one - values[gate.inputs[0]]
+        elif gate.kind is GateKind.AND:
+            product = one
+            for input_id in gate.inputs:
+                product = product * values[input_id]
+            values[gate_id] = product
+        else:  # OR — deterministic, so probabilities add.
+            total = one - one
+            for input_id in gate.inputs:
+                total = total + values[input_id]
+            values[gate_id] = total
+    return values
+
+
+def probability(circuit: Circuit, prob: Mapping[Hashable, Number]) -> Number:
+    """``Pr(circuit)`` under independent variables — linear time on a d-D."""
+    return gate_probabilities(circuit, prob)[circuit.output]
+
+
+def model_count(circuit: Circuit) -> int:
+    """Exact model count of a d-D over its own variables.
+
+    Uses the standard reduction to probability: with every variable at
+    probability 1/2, ``#models = Pr * 2^{#vars}``.
+    """
+    half = Fraction(1, 2)
+    prob = {label: half for label in circuit.variables()}
+    value = probability(circuit, prob)
+    count = value * (2 ** len(circuit.variables()))
+    if count.denominator != 1:
+        raise ValueError(
+            "non-integer model count: the circuit is not a valid d-D"
+        )
+    return int(count)
+
+
+def most_probable_model(
+    circuit: Circuit, prob: Mapping[Hashable, Fraction]
+) -> tuple[Fraction, dict[Hashable, bool]]:
+    """MPE on a d-D: the most probable satisfying world and its probability.
+
+    Bottom-up max-product: ∨ takes the max over its (disjoint) inputs, ∧
+    multiplies (decomposability makes branch optima independent), ¬ over a
+    variable selects its absence.  Because our circuits are not smoothed,
+    each gate value is normalized to range over *all* circuit variables: a
+    branch of an ∨-gate that does not mention a variable contributes that
+    variable's best free factor ``max(p, 1-p)``.  A top-down trace then
+    reassembles the argmax world.
+
+    :raises ValueError: if the circuit is unsatisfiable.
+    """
+    labels = sorted(circuit.variables(), key=repr)
+    free_factor = {
+        label: max(Fraction(prob.get(label, 0)), 1 - Fraction(prob.get(label, 0)))
+        for label in labels
+    }
+    var_sets = circuit.gate_variable_sets()
+
+    def missing_factor(gate_id: int, input_id: int) -> Fraction:
+        """Best free contribution of variables seen by the gate but not by
+        one of its inputs."""
+        product = Fraction(1)
+        for label in var_sets[gate_id] - var_sets[input_id]:
+            product *= free_factor[label]
+        return product
+
+    # best[g] = max over models of gate g, scored over Vars(g) only.
+    best: list[Fraction | None] = [None] * len(circuit)
+    for gate_id, gate in circuit.gates():
+        if gate.kind is GateKind.VAR:
+            best[gate_id] = Fraction(prob.get(gate.payload, 0))
+        elif gate.kind is GateKind.CONST:
+            best[gate_id] = Fraction(1) if gate.payload else None
+        elif gate.kind is GateKind.NOT:
+            inner = circuit.gate(gate.inputs[0])
+            if inner.kind is not GateKind.VAR:
+                raise ValueError(
+                    "MPE requires NNF circuits (¬ only over variables); "
+                    "normalize with repro.circuits.operations first"
+                )
+            best[gate_id] = Fraction(1) - Fraction(prob.get(inner.payload, 0))
+        elif gate.kind is GateKind.AND:
+            product = Fraction(1)
+            feasible = True
+            for input_id in gate.inputs:
+                if best[input_id] is None:
+                    feasible = False
+                    break
+                product *= best[input_id]
+            best[gate_id] = product if feasible else None
+        else:  # OR — normalize branches over the gate's variable set.
+            candidates = [
+                best[i] * missing_factor(gate_id, i)
+                for i in gate.inputs
+                if best[i] is not None
+            ]
+            best[gate_id] = max(candidates) if candidates else None
+    if best[circuit.output] is None:
+        raise ValueError("circuit is unsatisfiable; no most probable model")
+
+    # Top-down argmax reconstruction.
+    world: dict[Hashable, bool] = {}
+    stack = [circuit.output]
+    while stack:
+        gate_id = stack.pop()
+        gate = circuit.gate(gate_id)
+        if gate.kind is GateKind.VAR:
+            world[gate.payload] = True
+        elif gate.kind is GateKind.NOT:
+            inner = circuit.gate(gate.inputs[0])
+            world[inner.payload] = False
+        elif gate.kind is GateKind.AND:
+            stack.extend(gate.inputs)
+        elif gate.kind is GateKind.OR:
+            winner = max(
+                (i for i in gate.inputs if best[i] is not None),
+                key=lambda i: best[i] * missing_factor(gate_id, i),
+            )
+            stack.append(winner)
+    # Variables never constrained along the chosen trace take their
+    # individually best value.
+    for label in labels:
+        if label not in world:
+            world[label] = Fraction(prob.get(label, 0)) >= Fraction(1, 2)
+    mpe_probability = Fraction(1)
+    for label in labels:
+        p = Fraction(prob.get(label, 0))
+        mpe_probability *= p if world[label] else (1 - p)
+    return mpe_probability, world
+
+
+def sample_model(
+    circuit: Circuit,
+    prob: Mapping[Hashable, Fraction],
+    rng: random.Random,
+) -> dict[Hashable, bool]:
+    """Draw a world from the distribution *conditioned on the circuit being
+    satisfied* (one of the reuse tasks of the introduction, cf. [34]).
+
+    Top-down: at a deterministic ∨, pick an input with probability
+    proportional to its gate probability; at a decomposable ∧, recurse into
+    every input; variables not constrained by the chosen trace are sampled
+    from their priors.
+
+    :raises ValueError: if the circuit has probability zero.
+    """
+    values = gate_probabilities(circuit, prob)
+    if values[circuit.output] == 0:
+        raise ValueError("cannot sample: the circuit has probability zero")
+    world: dict[Hashable, bool] = {}
+    stack = [circuit.output]
+    while stack:
+        gate_id = stack.pop()
+        gate = circuit.gate(gate_id)
+        if gate.kind is GateKind.VAR:
+            world[gate.payload] = True
+        elif gate.kind is GateKind.NOT:
+            inner = circuit.gate(gate.inputs[0])
+            if inner.kind is not GateKind.VAR:
+                raise ValueError("sampling requires NNF circuits")
+            world[inner.payload] = False
+        elif gate.kind is GateKind.AND:
+            stack.extend(gate.inputs)
+        elif gate.kind is GateKind.OR:
+            total = values[gate_id]
+            draw = rng.random() * float(total)
+            cumulative = 0.0
+            chosen = gate.inputs[-1]
+            for input_id in gate.inputs:
+                cumulative += float(values[input_id])
+                if draw < cumulative:
+                    chosen = input_id
+                    break
+            stack.append(chosen)
+    for label in circuit.variables():
+        if label not in world:
+            world[label] = rng.random() < float(prob.get(label, 0))
+    return world
+
+
+def conditioned_probability(
+    circuit: Circuit,
+    prob: Mapping[Hashable, Fraction],
+    evidence: Mapping[Hashable, bool],
+) -> Fraction:
+    """``Pr(circuit | evidence)`` for evidence fixing some variables.
+
+    On a d-D this is just a re-evaluation with the evidence variables pinned
+    to probability 0/1, divided by nothing (tuple independence): conditioning
+    a TID on tuple presence/absence yields another TID.
+    """
+    pinned = dict(prob)
+    for label, value in evidence.items():
+        pinned[label] = Fraction(1) if value else Fraction(0)
+    return probability(circuit, pinned)
+
+
+def _one_like(prob: Mapping[Hashable, Number]) -> Number:
+    for value in prob.values():
+        if isinstance(value, Fraction):
+            return Fraction(1)
+        return 1.0
+    return Fraction(1)

@@ -1,0 +1,108 @@
+"""Serialization of circuits to and from plain JSON-compatible dicts.
+
+Compiled lineages are the artefact a downstream system wants to *keep*
+(the whole point of knowledge compilation is amortizing the compilation
+across many probability computations), so they must survive a round trip
+through storage.  The format is deliberately dumb: a gate list in
+topological order, with variables rendered through a caller-supplied codec
+(the default handles :class:`repro.db.relation.TupleId` and strings).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Hashable
+
+from repro.circuits.circuit import Circuit, GateKind
+from repro.db.relation import TupleId
+
+FORMAT_VERSION = 1
+
+
+def _default_encode(label: Hashable) -> object:
+    if isinstance(label, TupleId):
+        return {"relation": label.relation, "values": list(label.values)}
+    if isinstance(label, (str, int)):
+        return label
+    raise TypeError(
+        f"cannot encode variable label {label!r}; pass a custom encoder"
+    )
+
+
+def _default_decode(payload: object) -> Hashable:
+    if isinstance(payload, dict) and "relation" in payload:
+        return TupleId(payload["relation"], tuple(payload["values"]))
+    if isinstance(payload, (str, int)):
+        return payload
+    raise TypeError(f"cannot decode variable payload {payload!r}")
+
+
+def circuit_to_dict(
+    circuit: Circuit,
+    encode_label: Callable[[Hashable], object] = _default_encode,
+) -> dict:
+    """Serialize a circuit (live part only) into a JSON-compatible dict."""
+    live = circuit.reachable_from_output()
+    order = sorted(live)
+    index_of = {gate_id: i for i, gate_id in enumerate(order)}
+    gates = []
+    for gate_id in order:
+        gate = circuit.gate(gate_id)
+        if gate.kind is GateKind.VAR:
+            gates.append({"kind": "var", "label": encode_label(gate.payload)})
+        elif gate.kind is GateKind.CONST:
+            gates.append({"kind": "const", "value": bool(gate.payload)})
+        else:
+            gates.append(
+                {
+                    "kind": gate.kind.value,
+                    "inputs": [index_of[i] for i in gate.inputs],
+                }
+            )
+    return {
+        "format": FORMAT_VERSION,
+        "gates": gates,
+        "output": index_of[circuit.output],
+    }
+
+
+def circuit_from_dict(
+    payload: dict,
+    decode_label: Callable[[object], Hashable] = _default_decode,
+) -> Circuit:
+    """Rebuild a circuit from :func:`circuit_to_dict` output.
+
+    :raises ValueError: on version or structure mismatches.
+    """
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported circuit format {payload.get('format')!r}"
+        )
+    circuit = Circuit()
+    ids: list[int] = []
+    for gate in payload["gates"]:
+        kind = gate["kind"]
+        if kind == "var":
+            ids.append(circuit.add_var(decode_label(gate["label"])))
+        elif kind == "const":
+            ids.append(circuit.add_const(bool(gate["value"])))
+        elif kind == "not":
+            ids.append(circuit.add_not(ids[gate["inputs"][0]]))
+        elif kind == "and":
+            ids.append(circuit.add_and([ids[i] for i in gate["inputs"]]))
+        elif kind == "or":
+            ids.append(circuit.add_or([ids[i] for i in gate["inputs"]]))
+        else:
+            raise ValueError(f"unknown gate kind {kind!r}")
+    circuit.set_output(ids[payload["output"]])
+    return circuit
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(circuit_to_dict(circuit), separators=(",", ":"))
+
+
+def loads(text: str) -> Circuit:
+    """Deserialize from a JSON string."""
+    return circuit_from_dict(json.loads(text))

@@ -1,0 +1,175 @@
+"""Smoothing and model enumeration for d-D circuits.
+
+Two standard knowledge-compilation services complementing
+:mod:`repro.circuits.probability`:
+
+* **Smoothing** — rewriting a d-D so that, at every ∨-gate, all inputs
+  mention exactly the same variable set (padding missing variables with
+  tautological ``(v ∨ ¬v)`` gates).  Plain probability does not need it
+  (marginalization is implicit), but weighted *model* counts per gate and
+  the enumeration below become uniform with it, and many published d-DNNF
+  algorithms assume it.
+
+* **Model enumeration** — streaming the satisfying assignments of a
+  smoothed d-D: deterministic ∨-gates partition the model set, and
+  decomposable ∧-gates make it a product; each model is emitted once (the
+  intro's "enumerate satisfying states" reuse task, cf. [2]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from repro.circuits.circuit import Circuit, GateKind
+
+
+def is_smooth(circuit: Circuit) -> bool:
+    """Whether every ∨-gate's inputs share one variable set."""
+    var_sets = circuit.gate_variable_sets()
+    for _, gate in circuit.gates():
+        if gate.kind is not GateKind.OR:
+            continue
+        sets = {var_sets[i] for i in gate.inputs}
+        if len(sets) > 1:
+            return False
+    return True
+
+
+def smooth(circuit: Circuit) -> Circuit:
+    """A smoothed copy of a d-D: each ∨-input is conjoined with
+    ``(v ∨ ¬v)`` gates for the variables its siblings see but it does not.
+
+    Preserves the function (the pads are tautologies), decomposability
+    (pad variables are disjoint from the branch and from each other) and
+    determinism (branch functions are unchanged as functions).  The copy is
+    rebuilt in one topological pass, padding each ∨-gate as it is emitted,
+    so gate ids stay topologically ordered for the bottom-up evaluators.
+    """
+    result = Circuit()
+    new_id_of: dict[int, int] = {}
+    vars_of: dict[int, frozenset[Hashable]] = {}
+
+    def record(new_id: int, labels: frozenset[Hashable]) -> int:
+        vars_of[new_id] = labels
+        return new_id
+
+    def padded(child: int, missing: frozenset[Hashable]) -> int:
+        if not missing:
+            return child
+        pads = []
+        for label in sorted(missing, key=repr):
+            var = record(result.add_var(label), frozenset([label]))
+            negated = record(result.add_not(var), frozenset([label]))
+            pads.append(
+                record(result.add_or([var, negated]), frozenset([label]))
+            )
+        conjunction = result.add_and([child, *pads])
+        return record(conjunction, vars_of[child] | missing)
+
+    for gate_id, gate in circuit.gates():
+        if gate.kind is GateKind.VAR:
+            new_id = record(
+                result.add_var(gate.payload), frozenset([gate.payload])
+            )
+        elif gate.kind is GateKind.CONST:
+            new_id = record(result.add_const(bool(gate.payload)), frozenset())
+        elif gate.kind is GateKind.NOT:
+            child = new_id_of[gate.inputs[0]]
+            new_id = record(result.add_not(child), vars_of[child])
+        elif gate.kind is GateKind.AND:
+            children = [new_id_of[i] for i in gate.inputs]
+            union: frozenset[Hashable] = frozenset()
+            for child in children:
+                union |= vars_of[child]
+            new_id = record(result.add_and(children), union)
+        else:  # OR: pad every branch up to the union.
+            children = [new_id_of[i] for i in gate.inputs]
+            union = frozenset()
+            for child in children:
+                union |= vars_of[child]
+            balanced = [
+                padded(child, union - vars_of[child]) for child in children
+            ]
+            new_id = record(result.add_or(balanced), union)
+        new_id_of[gate_id] = new_id
+    result.set_output(new_id_of[circuit.output])
+    return result
+
+
+def enumerate_models(circuit: Circuit) -> Iterator[frozenset[Hashable]]:
+    """Stream the models of a (smoothed) d-D over ``circuit.variables()``.
+
+    Each model is the set of variables assigned True; models are emitted
+    exactly once thanks to determinism (disjoint ∨-branches) and
+    decomposability (∧-branches combine independently).  The input must be
+    smooth — use :func:`smooth` first — so every gate's models range over a
+    known variable set; variables invisible to the whole circuit are
+    expanded at the top level.
+
+    :raises ValueError: if the circuit is not smooth.
+    """
+    if not is_smooth(circuit):
+        raise ValueError("enumerate_models requires a smoothed circuit")
+    var_sets = circuit.gate_variable_sets()
+    all_labels = circuit.variables()
+
+    def walk(gate_id: int) -> Iterator[frozenset[Hashable]]:
+        gate = circuit.gate(gate_id)
+        if gate.kind is GateKind.VAR:
+            yield frozenset([gate.payload])
+        elif gate.kind is GateKind.CONST:
+            if gate.payload:
+                yield frozenset()
+        elif gate.kind is GateKind.NOT:
+            inner = circuit.gate(gate.inputs[0])
+            if inner.kind is GateKind.VAR:
+                yield frozenset()
+            else:
+                # General negation: enumerate by complementation over the
+                # gate's variable set (exponential only in that set).
+                labels = sorted(var_sets[gate_id], key=repr)
+                inner_models = set(walk(gate.inputs[0]))
+                import itertools
+
+                for bits in itertools.product(
+                    [False, True], repeat=len(labels)
+                ):
+                    model = frozenset(
+                        l for l, b in zip(labels, bits) if b
+                    )
+                    if model not in inner_models:
+                        yield model
+        elif gate.kind is GateKind.AND:
+            yield from _product_models(gate.inputs, walk)
+        else:
+            for input_id in gate.inputs:
+                yield from walk(input_id)
+
+    free = all_labels - var_sets[circuit.output]
+    import itertools
+
+    for core in walk(circuit.output):
+        if not free:
+            yield core
+            continue
+        labels = sorted(free, key=repr)
+        for bits in itertools.product([False, True], repeat=len(labels)):
+            yield core | frozenset(l for l, b in zip(labels, bits) if b)
+
+
+def _product_models(inputs, walk) -> Iterator[frozenset]:
+    if not inputs:
+        yield frozenset()
+        return
+    head, tail = inputs[0], inputs[1:]
+    for left in walk(head):
+        for right in _product_models(tail, walk):
+            yield left | right
+
+
+def count_models_smoothed(circuit: Circuit) -> int:
+    """Model count via the smoothed enumeration — a slow, independent
+    cross-check of :func:`repro.circuits.probability.model_count` used by
+    tests."""
+    smoothed = smooth(circuit)
+    return sum(1 for _ in enumerate_models(smoothed))

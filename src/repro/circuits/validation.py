@@ -1,0 +1,168 @@
+"""Structural validation of circuits: decomposability and determinism.
+
+Section 2 of the paper: an ∧-gate is *decomposable* when its inputs mention
+pairwise-disjoint variable sets, and an ∨-gate is *deterministic* when its
+inputs capture pairwise-disjoint Boolean functions.  A circuit is a d-D when
+every ∧-gate is decomposable and every ∨-gate is deterministic.
+
+Decomposability is purely syntactic and checked exactly here.  Determinism
+is a semantic property (coNP-hard in general); this module offers
+
+* :func:`check_determinism_by_enumeration` — exact, exponential in the number
+  of variables, for tests on small lineages; and
+* :func:`check_determinism_by_sampling` — randomized refutation for larger
+  circuits (any two inputs of an ∨-gate simultaneously true under a sampled
+  assignment disproves determinism).
+
+The compilation pipelines of :mod:`repro.pqe.intensional` produce circuits
+that are deterministic *by construction* (the paper's Propositions 4.4/5.8);
+the tests re-verify this with the checkers below.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Hashable
+
+from repro.circuits.circuit import Circuit, GateKind
+
+
+class CircuitPropertyError(AssertionError):
+    """Raised when a circuit fails a claimed structural property."""
+
+
+def is_decomposable(circuit: Circuit) -> bool:
+    """Whether every ∧-gate has inputs over pairwise-disjoint variable sets."""
+    return find_nondecomposable_gate(circuit) is None
+
+
+def find_nondecomposable_gate(circuit: Circuit) -> int | None:
+    """Return the id of some non-decomposable ∧-gate, or None."""
+    var_sets = circuit.gate_variable_sets()
+    for gate_id, gate in circuit.gates():
+        if gate.kind is not GateKind.AND:
+            continue
+        seen: set[Hashable] = set()
+        for input_id in gate.inputs:
+            input_vars = var_sets[input_id]
+            if seen & input_vars:
+                return gate_id
+            seen |= input_vars
+    return None
+
+
+def check_determinism_by_enumeration(circuit: Circuit) -> bool:
+    """Exact determinism check by enumerating all variable assignments.
+
+    For every assignment and every ∨-gate, at most one input may evaluate to
+    True.  Exponential in ``|variables|``; reserved for validation on small
+    instances.
+    """
+    labels = sorted(circuit.variables(), key=repr)
+    or_gates = [
+        (gate_id, gate)
+        for gate_id, gate in circuit.gates()
+        if gate.kind is GateKind.OR
+    ]
+    for bits in itertools.product([False, True], repeat=len(labels)):
+        assignment = dict(zip(labels, bits))
+        values = circuit.evaluate_all(assignment)
+        for _, gate in or_gates:
+            if sum(1 for i in gate.inputs if values[i]) > 1:
+                return False
+    return True
+
+
+def check_determinism_by_sampling(
+    circuit: Circuit, rng: random.Random, samples: int = 200
+) -> bool:
+    """Randomized determinism refuter: sample assignments and report False
+    as soon as two inputs of one ∨-gate are simultaneously true.  A True
+    result is evidence, not proof."""
+    labels = sorted(circuit.variables(), key=repr)
+    or_gates = [
+        gate for _, gate in circuit.gates() if gate.kind is GateKind.OR
+    ]
+    for _ in range(samples):
+        assignment = {label: rng.random() < 0.5 for label in labels}
+        values = circuit.evaluate_all(assignment)
+        for gate in or_gates:
+            if sum(1 for i in gate.inputs if values[i]) > 1:
+                return False
+    return True
+
+
+def assert_d_d(circuit: Circuit, exhaustive_limit: int = 14) -> None:
+    """Assert the circuit is a d-D: decomposable, and deterministic
+    (exactly if it has at most ``exhaustive_limit`` variables, by sampling
+    otherwise).
+
+    :raises CircuitPropertyError: if a violation is found.
+    """
+    bad_gate = find_nondecomposable_gate(circuit)
+    if bad_gate is not None:
+        raise CircuitPropertyError(
+            f"∧-gate {bad_gate} is not decomposable: "
+            f"{circuit.gate(bad_gate)!r}"
+        )
+    if len(circuit.variables()) <= exhaustive_limit:
+        if not check_determinism_by_enumeration(circuit):
+            raise CircuitPropertyError("some ∨-gate is not deterministic")
+    else:
+        rng = random.Random(0xD5EED)
+        if not check_determinism_by_sampling(circuit, rng):
+            raise CircuitPropertyError(
+                "some ∨-gate is not deterministic (found by sampling)"
+            )
+
+
+def is_dldd_shaped(circuit: Circuit) -> bool:
+    """Whether every ∨-gate has the restricted *decision* shape of DLDDs
+    ([6], discussed under Proposition 3.7): two inputs of the form
+    ``(v ∧ g) ∨ (¬v ∧ g')`` for a common variable ``v``.
+
+    Used by tests to confirm that the paper's d-D constructions genuinely
+    leave the DLDD fragment (where the exponential lower bounds of [6] live)
+    at the template gates, while OBDD-derived subcircuits stay inside it.
+    """
+    for _, gate in circuit.gates():
+        if gate.kind is not GateKind.OR:
+            continue
+        if not _is_decision_or(circuit, gate.inputs):
+            return False
+    return True
+
+
+def _is_decision_or(circuit: Circuit, inputs: tuple[int, ...]) -> bool:
+    if len(inputs) != 2:
+        return False
+    # Collect, per branch, every literal-shaped operand of its top ∧-gate;
+    # the gate is a decision iff some variable appears as a positive
+    # literal in one branch and a negative literal in the other (operands
+    # that are themselves variables may play either the literal or the
+    # sub-circuit role, so we must consider all candidates).
+    branch_literals: list[set[tuple[Hashable, bool]]] = []
+    for input_id in inputs:
+        gate = circuit.gate(input_id)
+        if gate.kind is not GateKind.AND or len(gate.inputs) != 2:
+            return False
+        literals: set[tuple[Hashable, bool]] = set()
+        for operand in gate.inputs:
+            operand_gate = circuit.gate(operand)
+            if operand_gate.kind is GateKind.VAR:
+                literals.add((operand_gate.payload, True))
+            elif (
+                operand_gate.kind is GateKind.NOT
+                and circuit.gate(operand_gate.inputs[0]).kind is GateKind.VAR
+            ):
+                literals.add(
+                    (circuit.gate(operand_gate.inputs[0]).payload, False)
+                )
+        if not literals:
+            return False
+        branch_literals.append(literals)
+    first, second = branch_literals
+    return any(
+        (variable, not polarity) in second for variable, polarity in first
+    )

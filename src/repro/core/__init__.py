@@ -1,0 +1,75 @@
+"""Core combinatorics: Boolean functions, the Euler characteristic, the
+± transformation, fragmentability, canonical forms and the named functions
+of the paper."""
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.formula import FormulaSyntaxError, parse, to_formula
+from repro.core.euler import (
+    achievable_monotone_euler_values,
+    bjorner_kalai_maximizer,
+    count_zero_euler_functions,
+    euler_characteristic,
+    max_monotone_euler,
+    monotone_euler_extremes,
+    monotone_function_with_euler,
+    upper_slice,
+)
+from repro.core.fragmentation import (
+    Fragmentation,
+    NegOrTemplate,
+    fragment,
+    fragment_via_matching,
+    is_fragmentable,
+    pair_function,
+)
+from repro.core.transformation import (
+    Step,
+    apply_step,
+    apply_steps,
+    are_equivalent,
+    canonicalize,
+    chainkill_steps,
+    chainswap_steps,
+    fetch_pair,
+    invert_steps,
+    is_canonical_form,
+    minimize_to_even,
+    reduce_to_bottom,
+    transform,
+    verify_steps,
+)
+
+__all__ = [
+    "BooleanFunction",
+    "Fragmentation",
+    "NegOrTemplate",
+    "Step",
+    "achievable_monotone_euler_values",
+    "apply_step",
+    "apply_steps",
+    "are_equivalent",
+    "bjorner_kalai_maximizer",
+    "canonicalize",
+    "chainkill_steps",
+    "chainswap_steps",
+    "count_zero_euler_functions",
+    "euler_characteristic",
+    "FormulaSyntaxError",
+    "parse",
+    "to_formula",
+    "fetch_pair",
+    "fragment",
+    "fragment_via_matching",
+    "invert_steps",
+    "is_canonical_form",
+    "is_fragmentable",
+    "max_monotone_euler",
+    "minimize_to_even",
+    "monotone_euler_extremes",
+    "monotone_function_with_euler",
+    "pair_function",
+    "reduce_to_bottom",
+    "transform",
+    "upper_slice",
+    "verify_steps",
+]

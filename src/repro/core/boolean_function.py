@@ -1,0 +1,470 @@
+"""Boolean functions on the fixed variable set ``V = {0, ..., k}``.
+
+This module implements the paper's central combinatorial object: a Boolean
+function ``phi : 2^V -> {False, True}`` (Section 2).  A function is stored as
+an immutable *truth table bitmask*: an ``int`` with ``2^nvars`` meaningful
+bits, where bit ``m`` is set iff the valuation encoded by mask ``m``
+satisfies the function.  This makes every core operation (conjunction,
+disjunction, negation, cofactors, dependence tests, Euler characteristic)
+a handful of machine-word bit operations even for ``k`` around 16.
+
+The public entry point is :class:`BooleanFunction`.  Key notions from the
+paper implemented here:
+
+* ``DEP(phi)`` and (non)degeneracy (Definition 2.1);
+* the Euler characteristic ``e(phi) = sum_{nu |= phi} (-1)^|nu|``
+  (Definition 2.2);
+* monotonicity, the unique minimized DNF ``phi_DNF`` (prime implicants /
+  minimal models) and the unique minimized CNF ``phi_CNF`` (prime
+  implicates, computed as minimal transversals of the prime implicants) for
+  monotone functions (Section 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+from repro.core import valuations as _val
+
+
+class BooleanFunction:
+    """An immutable Boolean function on variables ``{0, ..., nvars - 1}``.
+
+    Instances are hashable and compared by (nvars, truth table).  All
+    operators return new instances; the two operands of a binary operator
+    must be declared on the same number of variables.
+
+    >>> x0, x1 = BooleanFunction.variable(0, 2), BooleanFunction.variable(1, 2)
+    >>> f = x0 | x1
+    >>> f.sat_count()
+    3
+    >>> f.euler_characteristic()
+    -1
+    """
+
+    __slots__ = ("_nvars", "_table")
+
+    def __init__(self, nvars: int, table: int):
+        if nvars < 0:
+            raise ValueError(f"nvars must be non-negative, got {nvars}")
+        size = 1 << nvars
+        full = (1 << size) - 1
+        if table < 0 or table > full:
+            raise ValueError(
+                f"truth table {table:#x} out of range for {nvars} variables"
+            )
+        self._nvars = nvars
+        self._table = table
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bottom(cls, nvars: int) -> "BooleanFunction":
+        """The function ``⊥`` mapping every valuation to False."""
+        return cls(nvars, 0)
+
+    @classmethod
+    def top(cls, nvars: int) -> "BooleanFunction":
+        """The function ``⊤`` mapping every valuation to True."""
+        return cls(nvars, (1 << (1 << nvars)) - 1)
+
+    @classmethod
+    def variable(cls, var: int, nvars: int) -> "BooleanFunction":
+        """The projection function of variable ``var``."""
+        if not 0 <= var < nvars:
+            raise ValueError(f"variable {var} out of range for {nvars} variables")
+        table = 0
+        for mask in range(1 << nvars):
+            if mask >> var & 1:
+                table |= 1 << mask
+        return cls(nvars, table)
+
+    @classmethod
+    def from_satisfying(
+        cls, nvars: int, satisfying: Iterable[int | Iterable[int]]
+    ) -> "BooleanFunction":
+        """Build a function from its set of satisfying valuations.
+
+        Valuations may be given as int masks or as iterables of variables.
+
+        >>> f = BooleanFunction.from_satisfying(2, [{0}, {0, 1}])
+        >>> sorted(map(sorted, f.satisfying_sets()))
+        [[0], [0, 1]]
+        """
+        table = 0
+        limit = 1 << nvars
+        for valuation in satisfying:
+            mask = _val.as_mask(valuation)
+            if mask >= limit:
+                raise ValueError(
+                    f"valuation {mask:#x} mentions variables outside {{0..{nvars - 1}}}"
+                )
+            table |= 1 << mask
+        return cls(nvars, table)
+
+    @classmethod
+    def from_callable(
+        cls, nvars: int, predicate: Callable[[frozenset[int]], bool]
+    ) -> "BooleanFunction":
+        """Tabulate ``predicate`` over all valuations (given as frozensets)."""
+        table = 0
+        for mask in range(1 << nvars):
+            if predicate(_val.mask_to_set(mask)):
+                table |= 1 << mask
+        return cls(nvars, table)
+
+    @classmethod
+    def from_dnf(
+        cls, nvars: int, clauses: Iterable[Iterable[int]]
+    ) -> "BooleanFunction":
+        """Monotone DNF: each clause is a set of variables, the function is
+        the disjunction of their conjunctions.
+
+        >>> f = BooleanFunction.from_dnf(3, [{0, 1}, {2}])
+        >>> f.is_monotone()
+        True
+        """
+        result = cls.bottom(nvars)
+        for clause in clauses:
+            term = cls.top(nvars)
+            for var in clause:
+                term &= cls.variable(var, nvars)
+            result |= term
+        return result
+
+    @classmethod
+    def from_cnf(
+        cls, nvars: int, clauses: Iterable[Iterable[int]]
+    ) -> "BooleanFunction":
+        """Monotone CNF: each clause is a set of variables, the function is
+        the conjunction of their disjunctions.
+
+        >>> phi = BooleanFunction.from_cnf(4, [{2, 3}, {0, 3}, {1, 3}, {0, 1, 2}])
+        >>> phi.euler_characteristic()
+        0
+        """
+        result = cls.top(nvars)
+        for clause in clauses:
+            disjunct = cls.bottom(nvars)
+            for var in clause:
+                disjunct |= cls.variable(var, nvars)
+            result &= disjunct
+        return result
+
+    @classmethod
+    def exactly(cls, nvars: int, valuation: int | Iterable[int]) -> "BooleanFunction":
+        """The function ``phi_nu`` satisfied only by the given valuation
+        (used throughout Appendix B.1)."""
+        return cls.from_satisfying(nvars, [valuation])
+
+    @classmethod
+    def random(
+        cls, nvars: int, rng: random.Random, density: float = 0.5
+    ) -> "BooleanFunction":
+        """A random function where each valuation independently satisfies
+        with probability ``density`` (for tests and property checks)."""
+        table = 0
+        for mask in range(1 << nvars):
+            if rng.random() < density:
+                table |= 1 << mask
+        return cls(nvars, table)
+
+    @classmethod
+    def random_monotone(cls, nvars: int, rng: random.Random) -> "BooleanFunction":
+        """A random monotone function, built as the up-closure of a random
+        set of generator valuations."""
+        generators = [
+            mask for mask in range(1 << nvars) if rng.random() < 0.5 / (nvars + 1)
+        ]
+        if rng.random() < 0.5:
+            generators.append(rng.randrange(1 << nvars))
+        return cls.from_satisfying(nvars, generators).up_closure()
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nvars(self) -> int:
+        """Number of variables of the ambient set ``V``."""
+        return self._nvars
+
+    @property
+    def table(self) -> int:
+        """The raw truth-table bitmask."""
+        return self._table
+
+    def __call__(self, valuation: int | Iterable[int]) -> bool:
+        """Evaluate the function on a valuation (``nu |= phi``)."""
+        mask = _val.as_mask(valuation)
+        if mask >= 1 << self._nvars:
+            raise ValueError(
+                f"valuation {mask:#x} mentions variables outside the domain"
+            )
+        return bool(self._table >> mask & 1)
+
+    def satisfying_masks(self) -> Iterator[int]:
+        """Iterate over satisfying valuations as int masks, ascending."""
+        table = self._table
+        while table:
+            low = table & -table
+            yield low.bit_length() - 1
+            table ^= low
+
+    def satisfying_sets(self) -> Iterator[frozenset[int]]:
+        """Iterate over ``SAT(phi)`` as frozensets of variables."""
+        for mask in self.satisfying_masks():
+            yield _val.mask_to_set(mask)
+
+    def sat_count(self) -> int:
+        """``#phi``: the number of satisfying valuations."""
+        return self._table.bit_count()
+
+    def is_bottom(self) -> bool:
+        """Whether the function is ``⊥``."""
+        return self._table == 0
+
+    def is_top(self) -> bool:
+        """Whether the function is ``⊤``."""
+        return self._table == (1 << (1 << self._nvars)) - 1
+
+    # ------------------------------------------------------------------
+    # Logical operations
+    # ------------------------------------------------------------------
+
+    def _check_same_domain(self, other: "BooleanFunction") -> None:
+        if not isinstance(other, BooleanFunction):
+            raise TypeError(f"expected BooleanFunction, got {type(other).__name__}")
+        if other._nvars != self._nvars:
+            raise ValueError(
+                f"mismatched variable sets: {self._nvars} vs {other._nvars}"
+            )
+
+    def __and__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_same_domain(other)
+        return BooleanFunction(self._nvars, self._table & other._table)
+
+    def __or__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_same_domain(other)
+        return BooleanFunction(self._nvars, self._table | other._table)
+
+    def __xor__(self, other: "BooleanFunction") -> "BooleanFunction":
+        self._check_same_domain(other)
+        return BooleanFunction(self._nvars, self._table ^ other._table)
+
+    def __invert__(self) -> "BooleanFunction":
+        full = (1 << (1 << self._nvars)) - 1
+        return BooleanFunction(self._nvars, self._table ^ full)
+
+    def implies(self, other: "BooleanFunction") -> bool:
+        """Whether ``phi <= phi'`` pointwise (every model of self models other)."""
+        self._check_same_domain(other)
+        return self._table & ~other._table == 0
+
+    def is_disjoint(self, other: "BooleanFunction") -> bool:
+        """Whether ``phi ∧ phi' = ⊥`` (disjointness, used for determinism)."""
+        self._check_same_domain(other)
+        return self._table & other._table == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        return self._nvars == other._nvars and self._table == other._table
+
+    def __hash__(self) -> int:
+        return hash((self._nvars, self._table))
+
+    # ------------------------------------------------------------------
+    # Structural notions from the paper
+    # ------------------------------------------------------------------
+
+    def depends_on(self, var: int) -> bool:
+        """Definition 2.1: whether some valuation flips the value when the
+        membership of ``var`` is flipped."""
+        if not 0 <= var < self._nvars:
+            raise ValueError(f"variable {var} out of range")
+        positive, negative = self.cofactors(var)
+        return positive != negative
+
+    def dependency_set(self) -> frozenset[int]:
+        """``DEP(phi)``: the set of variables the function depends on."""
+        return frozenset(v for v in range(self._nvars) if self.depends_on(v))
+
+    def is_degenerate(self) -> bool:
+        """Whether ``DEP(phi)`` is a proper subset of ``V`` (Definition 2.1)."""
+        return len(self.dependency_set()) < self._nvars
+
+    def is_nondegenerate(self) -> bool:
+        """Whether the function depends on every variable of ``V``."""
+        return not self.is_degenerate()
+
+    def cofactors(self, var: int) -> tuple["BooleanFunction", "BooleanFunction"]:
+        """Shannon cofactors ``(phi[var := True], phi[var := False])``, each
+        returned as a function on the *same* variable set (the cofactor no
+        longer depends on ``var``)."""
+        if not 0 <= var < self._nvars:
+            raise ValueError(f"variable {var} out of range")
+        positive_table = 0
+        negative_table = 0
+        bit = 1 << var
+        for mask in range(1 << self._nvars):
+            if mask & bit:
+                continue
+            neg_val = self._table >> mask & 1
+            pos_val = self._table >> (mask | bit) & 1
+            if pos_val:
+                positive_table |= (1 << mask) | (1 << (mask | bit))
+            if neg_val:
+                negative_table |= (1 << mask) | (1 << (mask | bit))
+        return (
+            BooleanFunction(self._nvars, positive_table),
+            BooleanFunction(self._nvars, negative_table),
+        )
+
+    def restrict(self, assignment: dict[int, bool]) -> "BooleanFunction":
+        """Fix some variables to constants; the result stays on ``nvars``
+        variables but no longer depends on the fixed ones."""
+        current = self
+        for var, value in assignment.items():
+            positive, negative = current.cofactors(var)
+            current = positive if value else negative
+        return current
+
+    def is_monotone(self) -> bool:
+        """Whether ``nu ⊆ nu'`` implies ``phi(nu) <= phi(nu')``.
+
+        Checked edge-wise on the hypercube: adding any single variable to a
+        satisfying valuation must keep it satisfying.
+        """
+        for var in range(self._nvars):
+            positive, negative = self.cofactors(var)
+            if not negative.implies(positive):
+                return False
+        return True
+
+    def euler_characteristic(self) -> int:
+        """Definition 2.2: ``e(phi) = sum over nu |= phi of (-1)^|nu|``.
+
+        Computed as ``#even-models - #odd-models`` with two popcounts against
+        a precomputed parity table.
+        """
+        even_mask = _val.even_parity_table(self._nvars)
+        even_models = (self._table & even_mask).bit_count()
+        odd_models = (self._table & ~even_mask).bit_count()
+        return even_models - odd_models
+
+    # ------------------------------------------------------------------
+    # Monotone normal forms (Section 2)
+    # ------------------------------------------------------------------
+
+    def up_closure(self) -> "BooleanFunction":
+        """Smallest monotone function above this one (close ``SAT`` upward)."""
+        table = self._table
+        for var in range(self._nvars):
+            bit = 1 << var
+            shifted = 0
+            for mask in range(1 << self._nvars):
+                if table >> mask & 1:
+                    shifted |= 1 << (mask | bit)
+            table |= shifted
+        return BooleanFunction(self._nvars, table)
+
+    def minimal_models(self) -> list[frozenset[int]]:
+        """Inclusion-minimal satisfying valuations.
+
+        For a monotone function these are exactly the clauses of the unique
+        minimized DNF ``phi_DNF`` (its prime implicants).
+        """
+        models = list(self.satisfying_masks())
+        minimal: list[int] = []
+        for mask in sorted(models, key=_val.popcount):
+            if not any(sub & mask == sub for sub in minimal):
+                minimal.append(mask)
+        return [_val.mask_to_set(mask) for mask in minimal]
+
+    def minimized_dnf(self) -> list[frozenset[int]]:
+        """The unique minimized (positive) DNF of a monotone function, as a
+        list of clauses, each a frozenset of variables.
+
+        :raises ValueError: if the function is not monotone.
+        """
+        if not self.is_monotone():
+            raise ValueError("minimized DNF is only defined for monotone functions")
+        return self.minimal_models()
+
+    def minimized_cnf(self) -> list[frozenset[int]]:
+        """The unique minimized (positive) CNF of a monotone function.
+
+        The prime implicates of a monotone function are the inclusion-minimal
+        transversals (hitting sets) of its prime implicants; with at most
+        ``2^nvars`` candidate clauses we compute them by direct enumeration.
+
+        :raises ValueError: if the function is not monotone.
+        """
+        if not self.is_monotone():
+            raise ValueError("minimized CNF is only defined for monotone functions")
+        if self.is_top():
+            return []
+        if self.is_bottom():
+            return [frozenset()]
+        implicant_masks = [_val.set_to_mask(c) for c in self.minimal_models()]
+        transversals: list[int] = []
+        candidates = sorted(range(1 << self._nvars), key=_val.popcount)
+        for candidate in candidates:
+            if all(candidate & imp for imp in implicant_masks):
+                if not any(t & candidate == t for t in transversals):
+                    transversals.append(candidate)
+        return [_val.mask_to_set(t) for t in transversals]
+
+    # ------------------------------------------------------------------
+    # Variable renaming / symmetry
+    # ------------------------------------------------------------------
+
+    def permute(self, permutation: Sequence[int]) -> "BooleanFunction":
+        """Apply a permutation of the variables: variable ``i`` of the result
+        plays the role of variable ``permutation[i]`` of the original."""
+        if sorted(permutation) != list(range(self._nvars)):
+            raise ValueError(f"{permutation!r} is not a permutation of the variables")
+        table = 0
+        for mask in range(1 << self._nvars):
+            image = 0
+            for new_var, old_var in enumerate(permutation):
+                if mask >> old_var & 1:
+                    image |= 1 << new_var
+            if self._table >> mask & 1:
+                table |= 1 << image
+        return BooleanFunction(self._nvars, table)
+
+    def canonical_form_under_permutation(self) -> int:
+        """Smallest truth table among all variable permutations of the
+        function: a canonical representative of its isomorphism class.
+
+        Exponential in ``nvars`` (it tries all permutations); meant for the
+        small, fixed query arities of the paper.
+        """
+        best = None
+        for perm in itertools.permutations(range(self._nvars)):
+            candidate = self.permute(perm)._table
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        shown = [
+            "{" + ",".join(map(str, sorted(s))) + "}"
+            for s in itertools.islice(self.satisfying_sets(), 6)
+        ]
+        suffix = ", ..." if self.sat_count() > 6 else ""
+        return (
+            f"BooleanFunction(nvars={self._nvars}, "
+            f"sat=[{', '.join(shown)}{suffix}])"
+        )

@@ -1,0 +1,186 @@
+"""The Euler characteristic of a Boolean function and related facts.
+
+Definition 2.2 of the paper defines ``e(phi) = sum_{nu |= phi} (-1)^|nu|``.
+The paper's safety criterion for H+-queries (Corollary 3.9) is ``e(phi) = 0``,
+and its main theorem says every H-query with ``e(phi) = 0`` compiles to d-D
+circuits in polynomial time.  This module gathers the characteristic itself
+plus the algebraic identities the proofs lean on (Proposition 4.6), the exact
+count of zero-Euler functions (footnote 6), and the extremal values over
+monotone functions needed by Proposition 6.4 / Theorem C.2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.boolean_function import BooleanFunction
+
+
+def euler_characteristic(phi: BooleanFunction) -> int:
+    """``e(phi)``; convenience wrapper around the method."""
+    return phi.euler_characteristic()
+
+
+def euler_of_negation(phi: BooleanFunction) -> int:
+    """``e(¬phi) = -e(phi)`` (used in Proposition 4.6).
+
+    This holds because ``e(⊤) = sum_nu (-1)^|nu| = 0`` for nvars >= 1, so the
+    models of ``phi`` and ``¬phi`` have opposite signed counts.
+    """
+    return (~phi).euler_characteristic()
+
+
+def euler_of_disjoint_or(phi: BooleanFunction, psi: BooleanFunction) -> int:
+    """``e(phi ∨ psi) = e(phi) + e(psi)`` whenever ``phi`` and ``psi`` are
+    disjoint (Proposition 4.6, fact (3)).
+
+    :raises ValueError: if the two functions are not disjoint.
+    """
+    if not phi.is_disjoint(psi):
+        raise ValueError("euler_of_disjoint_or requires disjoint functions")
+    return (phi | psi).euler_characteristic()
+
+
+def count_zero_euler_functions(k: int) -> int:
+    """Footnote 6: the number of Boolean functions on ``V = {0..k}`` with
+    ``e(phi) = 0`` is ``sum_j binom(2^k, j)^2 = binom(2^{k+1}, 2^k)``.
+
+    A function chooses independently which even-size valuations and which
+    odd-size valuations to satisfy; there are ``2^k`` of each kind, and
+    ``e = 0`` iff the two chosen counts coincide (Vandermonde collapses the
+    sum of squared binomials to the central binomial coefficient).
+    """
+    if k < 1:
+        raise ValueError(f"the paper fixes k >= 1, got {k}")
+    half = 1 << k
+    return math.comb(2 * half, half)
+
+
+def count_zero_euler_functions_by_enumeration(k: int) -> int:
+    """Brute-force companion of :func:`count_zero_euler_functions` used by
+    tests and the Figure-1 bench: enumerate all ``2^{2^{k+1}}`` functions and
+    count the ones with zero Euler characteristic.  Only sensible for
+    ``k <= 3``."""
+    nvars = k + 1
+    if nvars > 4:
+        raise ValueError("exhaustive enumeration is limited to k <= 3")
+    count = 0
+    for table in range(1 << (1 << nvars)):
+        if BooleanFunction(nvars, table).euler_characteristic() == 0:
+            count += 1
+    return count
+
+
+def upper_slice(k: int, threshold: int) -> BooleanFunction:
+    """The monotone function satisfied by all valuations of size at least
+    ``threshold`` (the shape of the Björner–Kalai maximizers, Theorem C.2)."""
+    n = k + 1
+    return BooleanFunction.from_callable(n, lambda s: len(s) >= threshold)
+
+
+def slice_euler_value(k: int, threshold: int) -> int:
+    """``e`` of the upper slice ``{nu : |nu| >= threshold}`` in closed form.
+
+    The alternating partial sum ``sum_{s >= t} (-1)^s binom(n, s)`` telescopes
+    to ``(-1)^t binom(n - 1, t - 1)`` for ``t >= 1`` (and to 0 for ``t = 0``),
+    with ``n = k + 1`` variables.
+    """
+    n = k + 1
+    if threshold <= 0:
+        return 0
+    if threshold > n:
+        return 0
+    sign = -1 if threshold & 1 else 1
+    return sign * math.comb(n - 1, threshold - 1)
+
+
+def max_monotone_euler(k: int) -> int:
+    """Maximum of ``|e(phi)|`` over monotone ``phi`` on ``V = {0..k}``.
+
+    By Theorem C.2 (Björner–Kalai [7]) the maximizers are upper slices, so
+    the value is the largest ``|slice_euler_value|``; tests verify this
+    against exhaustive enumeration of all monotone functions for small k.
+    """
+    if k < 1:
+        raise ValueError(f"the paper fixes k >= 1, got {k}")
+    n = k + 1
+    return max(abs(slice_euler_value(k, t)) for t in range(n + 1))
+
+
+def bjorner_kalai_maximizer(k: int) -> BooleanFunction:
+    """A monotone function achieving the maximal ``|e|`` (Theorem C.2)."""
+    n = k + 1
+    best_threshold = max(
+        range(n + 1), key=lambda t: abs(slice_euler_value(k, t))
+    )
+    return upper_slice(k, best_threshold)
+
+
+def monotone_euler_extremes(k: int) -> tuple[int, int]:
+    """``(min, max)`` of the *signed* ``e(phi)`` over monotone ``phi``.
+
+    Computed over the upper slices, whose signed values are
+    ``(-1)^t binom(k, t - 1)``; note that the signed extremes need not be
+    symmetric.  Tests cross-check this against exhaustive enumeration of all
+    monotone functions for ``k <= 4`` (Dedekind-ideal enumeration).
+    """
+    if k < 1:
+        raise ValueError(f"the paper fixes k >= 1, got {k}")
+    n = k + 1
+    values = [slice_euler_value(k, t) for t in range(n + 1)]
+    return (min(values), max(values))
+
+
+def achievable_monotone_euler_values(k: int) -> range:
+    """Every integer in ``[min, max]`` of :func:`monotone_euler_extremes` is
+    the Euler characteristic of some monotone function (Lemma C.1: peel
+    maximal satisfying valuations off an extremal function one at a time;
+    each removal changes ``e`` by exactly one and preserves monotonicity, and
+    the walk passes 0 at ``⊥``).  Returned as an inclusive integer range.
+    """
+    low, high = monotone_euler_extremes(k)
+    return range(low, high + 1)
+
+
+def monotone_function_with_euler(k: int, target: int) -> BooleanFunction:
+    """Construct a monotone function on ``{0..k}`` whose Euler characteristic
+    is exactly ``target`` (the constructive content of Lemma C.1).
+
+    Starting from an extremal upper slice of the right sign, repeatedly
+    remove one *maximal* satisfying valuation (which keeps the function
+    monotone and moves ``e`` by exactly ±1) until the target is reached.
+
+    :raises ValueError: if ``target`` is outside the achievable range.
+    """
+    low, high = monotone_euler_extremes(k)
+    if not low <= target <= high:
+        raise ValueError(
+            f"e = {target} is not achievable by a monotone function for k = {k}"
+        )
+    n = k + 1
+    if target == 0:
+        return BooleanFunction.bottom(n)
+    start_threshold = min(
+        (t for t in range(n + 1)
+         if (slice_euler_value(k, t) >= target > 0)
+         or (slice_euler_value(k, t) <= target < 0)),
+        key=lambda t: abs(slice_euler_value(k, t)),
+    )
+    phi = upper_slice(k, start_threshold)
+    # Peel inclusion-minimal models one at a time (Lemma C.1; the paper's
+    # "maximal size" is phrased in the simplicial-complex convention, which
+    # is the complement of ours).  Removing a minimal model keeps the model
+    # set up-closed, i.e. the function monotone, and moves e by exactly +-1;
+    # the walk ends at e(⊥) = 0, so by the discrete intermediate value
+    # property it must pass through every integer between 0 and the starting
+    # value -- in particular through the target.
+    while phi.euler_characteristic() != target:
+        chosen = _smallest_model(phi)
+        phi = BooleanFunction(n, phi.table & ~(1 << chosen))
+    return phi
+
+
+def _smallest_model(phi: BooleanFunction) -> int:
+    """A satisfying valuation of minimal size (hence inclusion-minimal, so
+    its removal preserves monotonicity)."""
+    return min(phi.satisfying_masks(), key=lambda m: (m.bit_count(), m))

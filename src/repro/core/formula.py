@@ -1,0 +1,169 @@
+"""A tiny Boolean-expression front end for :class:`BooleanFunction`.
+
+The paper writes its functions as formulas over the variables ``0..k``
+(e.g. ``phi_9 = (2∨3) ∧ (0∨3) ∧ (1∨3) ∧ (0∨1∨2)``); this module parses
+that surface syntax so examples, tests and interactive use can construct
+functions the way the paper prints them.
+
+Grammar (standard precedence ``! > & > ^ > |``, parentheses free)::
+
+    expr   := xor ('|' xor)*
+    xor    := term ('^' term)*
+    term   := factor ('&' factor)*
+    factor := '!' factor | '(' expr ')' | VAR | '0' literal... | 'T' | 'F'
+
+Variables are decimal indices; ``T``/``F`` (or ``1``/``0`` when not a
+variable index — to avoid ambiguity the constants must be written as
+``T``/``F``) denote the constants.  The unicode connectives ``∨ ∧ ¬ ⊕``
+are accepted as aliases.
+"""
+
+from __future__ import annotations
+
+from repro.core.boolean_function import BooleanFunction
+
+_ALIASES = {
+    "∨": "|",
+    "∧": "&",
+    "¬": "!",
+    "⊕": "^",
+    "+": "|",
+    "*": "&",
+    "~": "!",
+}
+
+
+class FormulaSyntaxError(ValueError):
+    """Raised on malformed formula strings."""
+
+
+class _Parser:
+    def __init__(self, text: str, nvars: int):
+        normalized = "".join(_ALIASES.get(ch, ch) for ch in text)
+        self.tokens = self._tokenize(normalized)
+        self.position = 0
+        self.nvars = nvars
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens: list[str] = []
+        index = 0
+        while index < len(text):
+            ch = text[index]
+            if ch.isspace():
+                index += 1
+                continue
+            if ch in "|&^!()TF":
+                tokens.append(ch)
+                index += 1
+                continue
+            if ch.isdigit():
+                start = index
+                while index < len(text) and text[index].isdigit():
+                    index += 1
+                tokens.append(text[start:index])
+                continue
+            raise FormulaSyntaxError(f"unexpected character {ch!r}")
+        return tokens
+
+    def _peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise FormulaSyntaxError("unexpected end of formula")
+        self.position += 1
+        return token
+
+    def parse(self) -> BooleanFunction:
+        result = self._expr()
+        if self._peek() is not None:
+            raise FormulaSyntaxError(
+                f"trailing tokens from {self._peek()!r}"
+            )
+        return result
+
+    def _expr(self) -> BooleanFunction:
+        result = self._xor()
+        while self._peek() == "|":
+            self._take()
+            result = result | self._xor()
+        return result
+
+    def _xor(self) -> BooleanFunction:
+        result = self._term()
+        while self._peek() == "^":
+            self._take()
+            result = result ^ self._term()
+        return result
+
+    def _term(self) -> BooleanFunction:
+        result = self._factor()
+        while self._peek() == "&":
+            self._take()
+            result = result & self._factor()
+        return result
+
+    def _factor(self) -> BooleanFunction:
+        token = self._take()
+        if token == "!":
+            return ~self._factor()
+        if token == "(":
+            inner = self._expr()
+            if self._take() != ")":
+                raise FormulaSyntaxError("missing closing parenthesis")
+            return inner
+        if token == "T":
+            return BooleanFunction.top(self.nvars)
+        if token == "F":
+            return BooleanFunction.bottom(self.nvars)
+        if token.isdigit():
+            variable = int(token)
+            if variable >= self.nvars:
+                raise FormulaSyntaxError(
+                    f"variable {variable} out of range for nvars={self.nvars}"
+                )
+            return BooleanFunction.variable(variable, self.nvars)
+        raise FormulaSyntaxError(f"unexpected token {token!r}")
+
+
+def parse(text: str, nvars: int) -> BooleanFunction:
+    """Parse a formula over variables ``0..nvars-1``.
+
+    >>> phi = parse("(2|3) & (0|3) & (1|3) & (0|1|2)", 4)
+    >>> phi.euler_characteristic()
+    0
+    """
+    return _Parser(text, nvars).parse()
+
+
+def to_formula(phi: BooleanFunction) -> str:
+    """Render a function as a formula string.
+
+    Monotone functions print as their unique minimized DNF; general
+    functions as the (possibly long) exact-model DNF with negated
+    variables.  ``parse(to_formula(phi), phi.nvars) == phi`` always.
+    """
+    if phi.is_bottom():
+        return "F"
+    if phi.is_top():
+        return "T"
+    if phi.is_monotone():
+        clauses = [
+            " & ".join(str(v) for v in sorted(clause)) or "T"
+            for clause in phi.minimized_dnf()
+        ]
+        return " | ".join(f"({c})" for c in clauses)
+    terms = []
+    for model in phi.satisfying_masks():
+        literals = []
+        for variable in range(phi.nvars):
+            if model >> variable & 1:
+                literals.append(str(variable))
+            else:
+                literals.append(f"!{variable}")
+        terms.append("(" + " & ".join(literals) + ")")
+    return " | ".join(terms)

@@ -1,0 +1,300 @@
+"""Fragmentable Boolean functions and ¬-∨-templates (Section 4).
+
+Definition 4.1: a ¬-∨-template is a circuit whose internal nodes are ¬- or
+∨-gates and whose leaves are *holes*; substituting Boolean functions into
+the holes yields a "hybrid" circuit, called deterministic when every ∨-gate
+is (its children capture pairwise-disjoint functions).  Definition 4.2:
+``phi`` is *fragmentable* when some template filled with **degenerate**
+functions is deterministic and equivalent to ``phi``.
+
+Proposition 5.8 constructs such a template from any ≃-derivation
+``⊥ = phi_0 ~> ... ~> phi_n = phi``:
+
+* a ``+(nu, l)`` step appends ``T_i = T_{i-1} ∨ hole_i``;
+* a ``-(nu, l)`` step appends ``T_i = ¬(¬T_{i-1} ∨ hole_i)``;
+
+with leaf function ``psi_i`` satisfied exactly by ``{nu, nu^(l)}`` (which
+is degenerate: it does not depend on ``l``).  Combined with Proposition 5.9
+(``e = 0 ⇒ phi ≃ ⊥``) this proves Proposition 5.1 / Corollary 5.4:
+**fragmentable ⇔ zero Euler characteristic**, and :func:`fragment` below is
+the computable witness promised by Corollary 5.12.
+
+Section 7's d-DNNF refinement is also here: when the subgraph of
+``G_V[phi]`` induced by the satisfying valuations has a perfect matching
+(``phi ∼−* ⊥``), :func:`fragment_via_matching` produces a *negation-free*
+(pure ∨) template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core import valuations as _val
+from repro.core.boolean_function import BooleanFunction
+from repro.core.transformation import (
+    Step,
+    invert_steps,
+    reduce_to_bottom,
+)
+
+
+@dataclass(frozen=True)
+class Hole:
+    """A template leaf, holding the index of the function to substitute."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class OrNode:
+    """A template ∨-gate."""
+
+    children: tuple["TemplateNode", ...]
+
+
+@dataclass(frozen=True)
+class NotNode:
+    """A template ¬-gate."""
+
+    child: "TemplateNode"
+
+
+TemplateNode = Union[Hole, OrNode, NotNode]
+
+
+class NegOrTemplate:
+    """A ¬-∨-template (Definition 4.1) with ``num_holes`` holes.
+
+    A template consisting of a single hole is allowed (and is how the base
+    case ``⊥`` of Proposition 5.8 is represented).
+    """
+
+    def __init__(self, root: TemplateNode, num_holes: int):
+        self.root = root
+        self.num_holes = num_holes
+        seen = _collect_holes(root)
+        if seen != set(range(num_holes)):
+            raise ValueError(
+                f"template must use holes 0..{num_holes - 1} exactly; "
+                f"found {sorted(seen)}"
+            )
+
+    @classmethod
+    def single_hole(cls) -> "NegOrTemplate":
+        """The one-leaf template (also the root), per Definition 4.1."""
+        return cls(Hole(0), 1)
+
+    def substitute(self, leaves: list[BooleanFunction]) -> BooleanFunction:
+        """``T[phi_0, ..., phi_n]``: the Boolean function of the hybrid
+        circuit obtained by filling the holes."""
+        if len(leaves) != self.num_holes:
+            raise ValueError(
+                f"expected {self.num_holes} leaf functions, got {len(leaves)}"
+            )
+        return _substitute(self.root, leaves)
+
+    def is_deterministic_with(self, leaves: list[BooleanFunction]) -> bool:
+        """Whether every ∨-gate of ``T[leaves]`` is deterministic — the
+        condition of Definition 4.1 (checked semantically, gate by gate)."""
+        if len(leaves) != self.num_holes:
+            raise ValueError(
+                f"expected {self.num_holes} leaf functions, got {len(leaves)}"
+            )
+        try:
+            _check_deterministic(self.root, leaves)
+        except _NotDeterministic:
+            return False
+        return True
+
+    def count_gates(self) -> dict[str, int]:
+        """Numbers of ∨-gates, ¬-gates and holes (for the benches)."""
+        counts = {"or": 0, "not": 0, "hole": 0}
+        _count(self.root, counts)
+        return counts
+
+    def __repr__(self) -> str:
+        gates = self.count_gates()
+        return (
+            f"NegOrTemplate({self.num_holes} holes, "
+            f"{gates['or']} ∨, {gates['not']} ¬)"
+        )
+
+
+class _NotDeterministic(Exception):
+    pass
+
+
+def _collect_holes(node: TemplateNode) -> set[int]:
+    if isinstance(node, Hole):
+        return {node.index}
+    if isinstance(node, NotNode):
+        return _collect_holes(node.child)
+    result: set[int] = set()
+    for child in node.children:
+        result |= _collect_holes(child)
+    return result
+
+
+def _substitute(
+    node: TemplateNode, leaves: list[BooleanFunction]
+) -> BooleanFunction:
+    if isinstance(node, Hole):
+        return leaves[node.index]
+    if isinstance(node, NotNode):
+        return ~_substitute(node.child, leaves)
+    children = [_substitute(child, leaves) for child in node.children]
+    result = children[0]
+    for child in children[1:]:
+        result = result | child
+    return result
+
+
+def _check_deterministic(
+    node: TemplateNode, leaves: list[BooleanFunction]
+) -> BooleanFunction:
+    if isinstance(node, Hole):
+        return leaves[node.index]
+    if isinstance(node, NotNode):
+        return ~_check_deterministic(node.child, leaves)
+    children = [_check_deterministic(child, leaves) for child in node.children]
+    for i, first in enumerate(children):
+        for second in children[i + 1 :]:
+            if not first.is_disjoint(second):
+                raise _NotDeterministic
+    result = children[0]
+    for child in children[1:]:
+        result = result | child
+    return result
+
+
+def _count(node: TemplateNode, counts: dict[str, int]) -> None:
+    if isinstance(node, Hole):
+        counts["hole"] += 1
+    elif isinstance(node, NotNode):
+        counts["not"] += 1
+        _count(node.child, counts)
+    else:
+        counts["or"] += 1
+        for child in node.children:
+            _count(child, counts)
+
+
+@dataclass
+class Fragmentation:
+    """A witness that ``phi`` is fragmentable: a template plus degenerate
+    leaf functions such that the substitution is deterministic and equals
+    ``phi`` (Definition 4.2).  ``verify`` re-checks all three conditions."""
+
+    template: NegOrTemplate
+    leaves: list[BooleanFunction]
+    phi: BooleanFunction
+
+    def verify(self) -> bool:
+        """Degenerate leaves + deterministic ∨-gates + correct function."""
+        if any(leaf.is_nondegenerate() for leaf in self.leaves):
+            return False
+        if not self.template.is_deterministic_with(self.leaves):
+            return False
+        return self.template.substitute(self.leaves) == self.phi
+
+
+def pair_function(nvars: int, step: Step) -> BooleanFunction:
+    """The leaf ``psi_i`` of Proposition 5.8: satisfied exactly by the two
+    adjacent valuations of the step — degenerate because it does not depend
+    on the flipped variable."""
+    first, second = step.pair
+    return BooleanFunction.from_satisfying(nvars, [first, second])
+
+
+def fragmentation_from_steps(
+    phi: BooleanFunction, upward_steps: list[Step]
+) -> Fragmentation:
+    """Proposition 5.8: replay a ≃-derivation ``⊥ ~> ... ~> phi`` into a
+    template with degenerate leaves.
+
+    Hole 0 carries ``⊥`` itself (a degenerate function); hole ``i + 1``
+    carries the pair function of step ``i``.
+    """
+    template_root: TemplateNode = Hole(0)
+    leaves: list[BooleanFunction] = [BooleanFunction.bottom(phi.nvars)]
+    for step in upward_steps:
+        hole = Hole(len(leaves))
+        leaves.append(pair_function(phi.nvars, step))
+        if step.sign > 0:
+            template_root = OrNode((template_root, hole))
+        else:
+            template_root = NotNode(OrNode((NotNode(template_root), hole)))
+    fragmentation = Fragmentation(
+        NegOrTemplate(template_root, len(leaves)), leaves, phi
+    )
+    if not fragmentation.verify():
+        raise AssertionError(
+            "internal error: fragmentation failed verification"
+        )
+    return fragmentation
+
+
+def fragment(phi: BooleanFunction) -> Fragmentation:
+    """Corollary 5.12: compute a fragmentation witness for any ``phi`` with
+    ``e(phi) = 0``.
+
+    Short-circuits for degenerate functions (single-hole template, as noted
+    after Definition 4.2) and otherwise replays the inverse of
+    :func:`repro.core.transformation.reduce_to_bottom`.
+
+    :raises ValueError: if ``e(phi) != 0`` (by Proposition 4.6 no witness
+        exists).
+    """
+    if phi.euler_characteristic() != 0:
+        raise ValueError(
+            "only functions with zero Euler characteristic are fragmentable "
+            "(Corollary 5.4)"
+        )
+    if phi.is_degenerate():
+        return Fragmentation(NegOrTemplate.single_hole(), [phi], phi)
+    downward = reduce_to_bottom(phi)
+    return fragmentation_from_steps(phi, invert_steps(downward))
+
+
+def is_fragmentable(phi: BooleanFunction) -> bool:
+    """Corollary 5.4: fragmentable ⇔ zero Euler characteristic.  (The
+    forward implication is Proposition 4.6; the backward one is realized
+    constructively by :func:`fragment`.)"""
+    return phi.euler_characteristic() == 0
+
+
+def fragment_via_matching(
+    phi: BooleanFunction, matching: list[tuple[int, int]]
+) -> Fragmentation:
+    """Section 7 (``phi ∼−* ⊥``): when the satisfying valuations decompose
+    into adjacent pairs — a perfect matching of the colored subgraph of
+    ``G_V[phi]`` — the template is a pure disjunction with no ¬-gates, so
+    the compiled lineage is a d-DNNF.
+
+    :param matching: adjacent pairs of valuation masks covering ``SAT(phi)``
+        exactly once each.
+    :raises ValueError: if the pairs do not tile ``SAT(phi)``.
+    """
+    covered: set[int] = set()
+    leaves: list[BooleanFunction] = []
+    for first, second in matching:
+        if (first ^ second).bit_count() != 1:
+            raise ValueError(f"pair ({first:#b}, {second:#b}) is not adjacent")
+        if not (phi(first) and phi(second)):
+            raise ValueError("matching pairs must be satisfying valuations")
+        if first in covered or second in covered:
+            raise ValueError("matching pairs overlap")
+        covered.update((first, second))
+        leaves.append(BooleanFunction.from_satisfying(phi.nvars, [first, second]))
+    if covered != set(phi.satisfying_masks()):
+        raise ValueError("matching does not cover SAT(phi) exactly")
+    if not leaves:
+        return Fragmentation(NegOrTemplate.single_hole(), [phi], phi)
+    root: TemplateNode = Hole(0)
+    for index in range(1, len(leaves)):
+        root = OrNode((root, Hole(index)))
+    fragmentation = Fragmentation(NegOrTemplate(root, len(leaves)), leaves, phi)
+    if not fragmentation.verify():
+        raise AssertionError("internal error: matching fragmentation invalid")
+    return fragmentation

@@ -1,0 +1,567 @@
+"""The ± transformation between Boolean functions (Section 5 of the paper).
+
+Definition 5.5 allows two moves on a Boolean function ``phi`` over the fixed
+variable set ``V = {0..k}``:
+
+* ``+(nu, l)`` — *add* the two adjacent valuations ``nu`` and ``nu^(l)``
+  (both currently non-satisfying) to ``SAT(phi)``;
+* ``-(nu, l)`` — *remove* the two adjacent valuations ``nu`` and ``nu^(l)``
+  (both currently satisfying) from ``SAT(phi)``.
+
+The induced equivalence ``phi ≃ phi'`` is the reflexive-transitive-symmetric
+closure.  Every move preserves the Euler characteristic (the pair has one
+even-size and one odd-size member), and the paper proves the converse:
+``phi ≃ phi'`` iff ``e(phi) = e(phi')`` (Proposition 6.1); in particular
+``e(phi) = 0`` iff ``phi ≃ ⊥`` (Proposition 5.9).
+
+Everything here is *constructive*: the reductions return explicit
+:class:`Step` sequences, which :mod:`repro.core.fragmentation` replays into
+¬-∨-templates and :mod:`repro.pqe.intensional` compiles into d-D lineage
+circuits.  The building blocks mirror the paper's lemmas:
+
+* :func:`chainkill_steps` / :func:`chainswap_steps` — Lemma 5.10;
+* :func:`fetch_pair` — Lemma 5.11;
+* :func:`reduce_to_bottom` — Proposition 5.9;
+* :func:`minimize_to_even` — Lemma 6.5;
+* :func:`canonicalize` / :func:`is_canonical_form` — Lemma 6.7;
+* :func:`transform` — Proposition 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import valuations as _val
+from repro.core.boolean_function import BooleanFunction
+
+
+@dataclass(frozen=True)
+class Step:
+    """One move ``±(nu, l)`` of Definition 5.5.
+
+    ``sign`` is +1 for an addition and -1 for a removal; ``valuation`` is
+    the mask of ``nu`` and ``variable`` is ``l``.
+    """
+
+    sign: int
+    valuation: int
+    variable: int
+
+    def __post_init__(self) -> None:
+        if self.sign not in (-1, 1):
+            raise ValueError(f"sign must be ±1, got {self.sign}")
+        if self.variable < 0:
+            raise ValueError(
+                f"variable must be non-negative, got {self.variable}"
+            )
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The two valuations touched by the move, as masks."""
+        return (self.valuation, _val.flip(self.valuation, self.variable))
+
+    def inverse(self) -> "Step":
+        """The move undoing this one."""
+        return Step(-self.sign, self.valuation, self.variable)
+
+    def __str__(self) -> str:
+        symbol = "+" if self.sign > 0 else "-"
+        members = set(_val.mask_to_set(self.valuation))
+        return f"{symbol}({members or '∅'}, {self.variable})"
+
+
+def apply_step(phi: BooleanFunction, step: Step) -> BooleanFunction:
+    """Apply one move, validating its preconditions.
+
+    :raises ValueError: if the two valuations are not both non-satisfying
+        (for +) or both satisfying (for -).
+    """
+    first, second = step.pair
+    bits = (1 << first) | (1 << second)
+    if step.sign > 0:
+        if phi.table & bits:
+            raise ValueError(f"step {step} adds an already-satisfying valuation")
+        return BooleanFunction(phi.nvars, phi.table | bits)
+    if phi.table & bits != bits:
+        raise ValueError(f"step {step} removes a non-satisfying valuation")
+    return BooleanFunction(phi.nvars, phi.table & ~bits)
+
+
+def apply_steps(phi: BooleanFunction, steps: list[Step]) -> BooleanFunction:
+    """Apply a sequence of moves (validated one by one)."""
+    current = phi
+    for step in steps:
+        current = apply_step(current, step)
+    return current
+
+
+def invert_steps(steps: list[Step]) -> list[Step]:
+    """The sequence undoing ``steps`` (reverse order, inverted signs)."""
+    return [step.inverse() for step in reversed(steps)]
+
+
+def _step_between(first: int, second: int, add: bool) -> Step:
+    """The move touching the two *adjacent* valuations ``first, second``."""
+    diff = first ^ second
+    if diff.bit_count() != 1:
+        raise ValueError(
+            f"valuations {first:#b} and {second:#b} are not adjacent"
+        )
+    return Step(1 if add else -1, first, diff.bit_length() - 1)
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.10: chainkilling and chainswapping
+# ----------------------------------------------------------------------
+
+
+def chainkill_steps(phi: BooleanFunction, path: list[int]) -> list[Step]:
+    """Lemma 5.10 (chainkilling): given a simple hypercube path
+    ``nu = nu_0 - ... - nu_{n+1} = nu'`` with even interior length ``n``,
+    both endpoints satisfying and all interior valuations non-satisfying,
+    return moves that uncolor both endpoints (everything else unchanged).
+
+    Following the proof: color the interior in adjacent pairs, then uncolor
+    the whole path in adjacent pairs starting from ``nu``.
+
+    :raises ValueError: if the path violates the lemma's preconditions.
+    """
+    _check_chain_preconditions(phi, path, last_satisfying=True)
+    if (len(path) - 2) % 2 != 0:
+        raise ValueError("chainkilling requires an even number of interior nodes")
+    steps: list[Step] = []
+    for j in range(1, len(path) - 1, 2):
+        steps.append(_step_between(path[j], path[j + 1], add=True))
+    for j in range(0, len(path) - 1, 2):
+        steps.append(_step_between(path[j], path[j + 1], add=False))
+    return steps
+
+
+def chainswap_steps(phi: BooleanFunction, path: list[int]) -> list[Step]:
+    """Lemma 5.10 (chainswapping): given a simple path with odd interior
+    length ``n``, ``nu`` satisfying, ``nu'`` non-satisfying and the interior
+    non-satisfying, return moves that uncolor ``nu`` and color ``nu'``.
+
+    :raises ValueError: if the path violates the lemma's preconditions.
+    """
+    _check_chain_preconditions(phi, path, last_satisfying=False)
+    if (len(path) - 2) % 2 != 1:
+        raise ValueError("chainswapping requires an odd number of interior nodes")
+    steps: list[Step] = []
+    for j in range(1, len(path) - 1, 2):
+        steps.append(_step_between(path[j], path[j + 1], add=True))
+    for j in range(0, len(path) - 2, 2):
+        steps.append(_step_between(path[j], path[j + 1], add=False))
+    return steps
+
+
+def _check_chain_preconditions(
+    phi: BooleanFunction, path: list[int], last_satisfying: bool
+) -> None:
+    if len(path) < 2:
+        raise ValueError("chain paths need at least two valuations")
+    if not _val.is_simple_hypercube_path(path):
+        raise ValueError("not a simple hypercube path")
+    if not phi(path[0]):
+        raise ValueError("the first endpoint must satisfy phi")
+    if phi(path[-1]) != last_satisfying:
+        kind = "satisfying" if last_satisfying else "non-satisfying"
+        raise ValueError(f"the last endpoint must be {kind}")
+    for interior in path[1:-1]:
+        if phi(interior):
+            raise ValueError("interior valuations must be non-satisfying")
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.11: the fetching lemma
+# ----------------------------------------------------------------------
+
+
+def fetch_pair(phi: BooleanFunction) -> list[int]:
+    """Lemma 5.11: for ``#phi != |e(phi)|``, find satisfying valuations
+    ``nu, nu'`` of opposite parity joined by a simple path whose interior is
+    non-satisfying; return that path.
+
+    Follows the proof: take any two opposite-parity models, join them by the
+    canonical bit-flip path, and shrink to the sub-path between the last
+    model of the first parity and the first model of the second parity
+    after it.
+
+    :raises ValueError: if ``#phi = |e(phi)|`` (no opposite-parity models).
+    """
+    if phi.sat_count() == abs(phi.euler_characteristic()):
+        raise ValueError("fetching requires models of both parities")
+    even_model = odd_model = None
+    for mask in phi.satisfying_masks():
+        if _val.parity(mask) == 1 and even_model is None:
+            even_model = mask
+        elif _val.parity(mask) == -1 and odd_model is None:
+            odd_model = mask
+        if even_model is not None and odd_model is not None:
+            break
+    assert even_model is not None and odd_model is not None
+    path = _val.hypercube_path(even_model, odd_model)
+    start_parity = _val.parity(path[0])
+    i = max(
+        j
+        for j, mask in enumerate(path)
+        if _val.parity(mask) == start_parity and phi(mask)
+    )
+    i_prime = min(
+        j
+        for j, mask in enumerate(path)
+        if j > i and _val.parity(mask) != start_parity and phi(mask)
+    )
+    return path[i : i_prime + 1]
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.9: e(phi) = 0  ==>  phi ≃ ⊥
+# ----------------------------------------------------------------------
+
+
+def reduce_to_bottom(phi: BooleanFunction) -> list[Step]:
+    """Proposition 5.9, constructively: for ``e(phi) = 0``, a sequence of
+    moves transforming ``phi`` into ``⊥``.
+
+    Loop: while models remain, fetch an opposite-parity pair (always
+    possible since ``e = 0`` forces equal numbers of even and odd models)
+    and chainkill it.
+
+    :raises ValueError: if ``e(phi) != 0``.
+    """
+    if phi.euler_characteristic() != 0:
+        raise ValueError(
+            "reduce_to_bottom requires e(phi) = 0, "
+            f"got {phi.euler_characteristic()}"
+        )
+    steps: list[Step] = []
+    current = phi
+    while current.sat_count() > 0:
+        kill = chainkill_steps(current, fetch_pair(current))
+        steps.extend(kill)
+        current = apply_steps(current, kill)
+    return steps
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.5: minimize to even-size models
+# ----------------------------------------------------------------------
+
+
+def minimize_to_even(phi: BooleanFunction) -> list[Step]:
+    """Lemma 6.5: for ``e(phi) >= 0``, moves leading to a function whose
+    models all have even size.
+
+    As in the proof: while odd-size models remain, fetch an opposite-parity
+    pair and chainkill it (each kill removes one model of each parity, and
+    ``e >= 0`` keeps even models at least as numerous as odd ones, so the
+    fetching lemma stays applicable).
+
+    :raises ValueError: if ``e(phi) < 0``.
+    """
+    if phi.euler_characteristic() < 0:
+        raise ValueError("minimize_to_even requires e(phi) >= 0")
+    steps: list[Step] = []
+    current = phi
+    while any(_val.parity(m) == -1 for m in current.satisfying_masks()):
+        kill = chainkill_steps(current, fetch_pair(current))
+        steps.extend(kill)
+        current = apply_steps(current, kill)
+    return steps
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.7: canonical forms
+# ----------------------------------------------------------------------
+
+
+def is_canonical_form(phi: BooleanFunction) -> bool:
+    """Definition 6.6: all models of even size, and no *bad pair* — i.e. no
+    even-size non-model strictly smaller than some model (models occupy the
+    smallest possible even-size valuations)."""
+    if any(_val.parity(m) == -1 for m in phi.satisfying_masks()):
+        return False
+    return _bad_pair(phi) is None
+
+
+def _bad_pair(phi: BooleanFunction) -> tuple[int, int] | None:
+    """A bad pair ``(nu, nu')``: ``nu`` a model, ``nu'`` an even-size
+    non-model with ``|nu'| < |nu|`` — or None.  Picks ``nu`` among the
+    largest models and ``nu'`` among the smallest even non-models to make
+    the progress of :func:`canonicalize` monotone."""
+    models = sorted(
+        phi.satisfying_masks(), key=lambda m: (-_val.popcount(m), m)
+    )
+    if not models:
+        return None
+    non_models_even = sorted(
+        (
+            m
+            for m in range(1 << phi.nvars)
+            if _val.parity(m) == 1 and not phi(m)
+        ),
+        key=lambda m: (_val.popcount(m), m),
+    )
+    for nu in models:
+        for nu_prime in non_models_even:
+            if _val.popcount(nu_prime) < _val.popcount(nu):
+                return (nu, nu_prime)
+        break  # Largest model already fails: no smaller bad pair exists.
+    return None
+
+
+def _descending_path(nu: int, nu_prime: int) -> list[int]:
+    """The descending hypercube path from ``nu`` to ``nu_prime ⊆ nu``,
+    removing the extra variables one at a time (lowest bit first)."""
+    if nu_prime & ~nu:
+        raise ValueError("descending path requires nu' ⊆ nu")
+    path = [nu]
+    current = nu
+    extra = nu & ~nu_prime
+    while extra:
+        bit = extra & -extra
+        current &= ~bit
+        extra &= ~bit
+        path.append(current)
+    return path
+
+
+def _alternating_path(start: int, end: int) -> list[int]:
+    """A simple path between two same-size valuations alternating between
+    their common size ``s`` (even path positions) and ``s + 1`` (odd
+    positions), exchanging one element at a time.  Simple because the
+    symmetric difference with ``end`` strictly shrinks."""
+    if _val.popcount(start) != _val.popcount(end):
+        raise ValueError("alternating path requires same-size endpoints")
+    path = [start]
+    current = start
+    while current != end:
+        add_bit = (end & ~current) & -(end & ~current)
+        high = current | add_bit
+        path.append(high)
+        remove_bit = (current & ~end) & -(current & ~end)
+        current = high & ~remove_bit
+        path.append(current)
+    return path
+
+
+def _cascade_swap_steps(phi: BooleanFunction, path: list[int]) -> list[Step]:
+    """Move a color along an alternating path (the cascade used in the
+    proofs of Lemma 6.7 and Proposition 6.1, step 3).
+
+    ``path`` alternates sizes ``s`` (even positions) and ``s + 1`` (odd
+    positions); ``path[0]`` must be a model, ``path[-1]`` a non-model, and
+    every odd-position node a non-model.  Even-position nodes in between
+    *may* be models: writing ``i_0 = 0 < i_1 < ... < i_m`` for the model
+    positions, the cascade chainswaps ``path[i_m] -> path[-1]``, then
+    ``path[i_p] -> path[i_{p+1}]`` for ``p = m-1 .. 0``.  The net effect
+    uncolors ``path[0]``, colors ``path[-1]`` and leaves everything else
+    unchanged.
+    """
+    if not phi(path[0]) or phi(path[-1]):
+        raise ValueError("cascade requires a model start and non-model end")
+    model_positions = [
+        p for p in range(0, len(path), 2) if phi(path[p])
+    ]
+    boundaries = model_positions + [len(path) - 1]
+    steps: list[Step] = []
+    current = phi
+    for a, b in zip(reversed(boundaries[:-1]), reversed(boundaries[1:])):
+        swap = chainswap_steps(current, path[a : b + 1])
+        steps.extend(swap)
+        current = apply_steps(current, swap)
+    return steps
+
+
+def canonicalize(phi: BooleanFunction) -> list[Step]:
+    """Lemma 6.7: for a function whose models all have even size, moves
+    leading to its canonical form.
+
+    Per iteration, following the proof's two cases for a bad pair
+    ``(nu, nu')``:
+
+    * ``nu' ⊆ nu`` — walk the descending path from ``nu`` to ``nu'``, pick
+      the lowest model ``nu_i`` on it with no model strictly below, and
+      chainswap ``nu_i -> nu'`` (interior odd by parity, model-free by
+      choice).  The multiset of model sizes strictly decreases.
+    * ``nu' ⊄ nu`` — pick ``nu'' ⊆ nu`` with ``|nu''| = |nu'|``; if it is a
+      model, cascade it sideways (level ``s``/``s+1`` alternating path) to
+      the first non-model even node toward ``nu'``; either way finish with
+      the first case on ``(nu, nu'')``.
+
+    :raises ValueError: if some model has odd size.
+    """
+    if any(_val.parity(m) == -1 for m in phi.satisfying_masks()):
+        raise ValueError("canonicalize requires all models of even size")
+    steps: list[Step] = []
+    current = phi
+    while True:
+        pair = _bad_pair(current)
+        if pair is None:
+            return steps
+        nu, nu_prime = pair
+        if nu_prime & ~nu == 0:
+            block = _descending_swap_steps(current, nu, nu_prime)
+        else:
+            block = _general_bad_pair_steps(current, nu, nu_prime)
+        steps.extend(block)
+        current = apply_steps(current, block)
+
+
+def _descending_swap_steps(
+    phi: BooleanFunction, nu: int, nu_prime: int
+) -> list[Step]:
+    """Proof of Lemma 6.7, first case: swap the lowest obstruction-free
+    model on the descending path down onto ``nu_prime``."""
+    path = _descending_path(nu, nu_prime)
+    last_model = max(j for j in range(len(path) - 1) if phi(path[j]))
+    return chainswap_steps(phi, path[last_model:])
+
+
+def _general_bad_pair_steps(
+    phi: BooleanFunction, nu: int, nu_prime: int
+) -> list[Step]:
+    """Proof of Lemma 6.7, second case (``nu' ⊄ nu``)."""
+    # nu'' ⊆ nu of size |nu'|, maximizing overlap with nu'.
+    size = _val.popcount(nu_prime)
+    shared = nu & nu_prime
+    nu_second = shared
+    filler = nu & ~nu_prime
+    while _val.popcount(nu_second) > size:
+        bit = nu_second & -nu_second
+        nu_second &= ~bit
+    while _val.popcount(nu_second) < size:
+        bit = filler & -filler
+        nu_second |= bit
+        filler &= ~bit
+    steps: list[Step] = []
+    current = phi
+    if current(nu_second):
+        # Sideways cascade: push the color of nu'' toward nu' until the
+        # first even non-model on the alternating path.
+        path = _alternating_path(nu_second, nu_prime)
+        first_free = min(
+            p for p in range(2, len(path), 2) if not current(path[p])
+        )
+        cascade = _cascade_swap_steps(current, path[: first_free + 1])
+        steps.extend(cascade)
+        current = apply_steps(current, cascade)
+    steps.extend(_descending_swap_steps(current, nu, nu_second))
+    return steps
+
+
+# ----------------------------------------------------------------------
+# Proposition 6.1: e(phi) = e(phi')  ==>  phi ≃ phi'
+# ----------------------------------------------------------------------
+
+
+def transform(source: BooleanFunction, target: BooleanFunction) -> list[Step]:
+    """Proposition 6.1, constructively: for ``e(source) = e(target)``, a
+    sequence of moves transforming ``source`` into ``target``.
+
+    Mirrors Section 6.2: for ``e = 0`` both reduce to ⊥; for ``e > 0`` both
+    reduce to canonical forms (Lemmas 6.5 and 6.7), which are then aligned
+    at their top level by cascades through level ``M + 1`` (third step of
+    the proof); for ``e < 0`` the problem is conjugated by the hypercube
+    automorphism flipping variable 0 (which negates ``e`` and commutes with
+    the moves — our effective replacement for the proof's appeal to
+    ``e(¬phi) = -e(phi)``, since ¬ itself is not a ≃-move).
+
+    :raises ValueError: if the Euler characteristics differ or the variable
+        sets mismatch.
+    """
+    if source.nvars != target.nvars:
+        raise ValueError("transform requires functions on the same variables")
+    if source.euler_characteristic() != target.euler_characteristic():
+        raise ValueError("transform requires equal Euler characteristics")
+    euler = source.euler_characteristic()
+    if euler == 0:
+        forward = reduce_to_bottom(source)
+        backward = invert_steps(reduce_to_bottom(target))
+        return forward + backward
+    if euler < 0:
+        flip_var = 0
+        flipped = transform(
+            _parity_flip(source, flip_var), _parity_flip(target, flip_var)
+        )
+        return [
+            Step(s.sign, _val.flip(s.valuation, flip_var), s.variable)
+            for s in flipped
+        ]
+
+    forward = minimize_to_even(source)
+    source_even = apply_steps(source, forward)
+    canon_fwd = canonicalize(source_even)
+    source_canon = apply_steps(source_even, canon_fwd)
+    forward += canon_fwd
+
+    backward = minimize_to_even(target)
+    target_even = apply_steps(target, backward)
+    canon_bwd = canonicalize(target_even)
+    target_canon = apply_steps(target_even, canon_bwd)
+    backward += canon_bwd
+
+    align = _align_canonical(source_canon, target_canon)
+    return forward + align + invert_steps(backward)
+
+
+def _parity_flip(phi: BooleanFunction, var: int) -> BooleanFunction:
+    """The function ``nu -> phi(nu^(var))``: a hypercube automorphism that
+    exchanges parities, hence negates the Euler characteristic."""
+    table = 0
+    for mask in range(1 << phi.nvars):
+        if phi(_val.flip(mask, var)):
+            table |= 1 << mask
+    return BooleanFunction(phi.nvars, table)
+
+
+def _align_canonical(
+    source: BooleanFunction, target: BooleanFunction
+) -> list[Step]:
+    """Third step of the proof of Proposition 6.1: two canonical forms with
+    equal model counts agree on every level below their (common) maximal
+    model size ``M`` and may differ only at level ``M``; cascades through
+    level ``M + 1`` move the excess models across, two mismatches at a
+    time."""
+    if source.sat_count() != target.sat_count():
+        raise AssertionError("canonical forms must have equal model counts")
+    steps: list[Step] = []
+    current = source
+    while current != target:
+        nu = next(m for m in current.satisfying_masks() if not target(m))
+        nu_prime = next(
+            m for m in target.satisfying_masks() if not current(m)
+        )
+        if _val.popcount(nu) != _val.popcount(nu_prime):
+            raise AssertionError(
+                "canonical forms differ below the top level"
+            )
+        if _val.popcount(nu) >= current.nvars:
+            raise AssertionError("no headroom above the top level")
+        path = _alternating_path(nu, nu_prime)
+        cascade = _cascade_swap_steps(current, path)
+        steps.extend(cascade)
+        current = apply_steps(current, cascade)
+    return steps
+
+
+def are_equivalent(phi: BooleanFunction, psi: BooleanFunction) -> bool:
+    """``phi ≃ psi`` — by Proposition 6.1, equivalent to ``e(phi) = e(psi)``
+    (the nontrivial direction is exercised constructively by
+    :func:`transform` and the tests)."""
+    return (
+        phi.nvars == psi.nvars
+        and phi.euler_characteristic() == psi.euler_characteristic()
+    )
+
+
+def verify_steps(
+    source: BooleanFunction, steps: list[Step], target: BooleanFunction
+) -> bool:
+    """Whether replaying ``steps`` (with all preconditions enforced) maps
+    ``source`` to ``target`` — the checkable certificate of ``≃``."""
+    try:
+        return apply_steps(source, steps) == target
+    except ValueError:
+        return False

@@ -1,0 +1,158 @@
+"""Utilities for Boolean valuations over the variable set ``V = {0, ..., k}``.
+
+Throughout this package (and the paper), a *valuation* of a variable set
+``V`` is simply a subset of ``V``: the variables it contains are the ones set
+to ``True``.  Internally we encode a valuation as an ``int`` bitmask where
+bit ``i`` is set iff variable ``i`` belongs to the valuation.  This module
+collects the small, heavily reused helpers for manipulating such masks:
+conversions, popcounts, hypercube adjacency and simple paths in the
+hypercube graph ``G_V`` of Definition 5.6.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def set_to_mask(valuation: Iterable[int]) -> int:
+    """Encode a valuation given as an iterable of variable indices.
+
+    >>> set_to_mask({0, 2})
+    5
+    """
+    mask = 0
+    for var in valuation:
+        if var < 0:
+            raise ValueError(f"variable indices must be non-negative, got {var}")
+        mask |= 1 << var
+    return mask
+
+
+def mask_to_set(mask: int) -> frozenset[int]:
+    """Decode a bitmask into the frozenset of variables it contains.
+
+    >>> sorted(mask_to_set(5))
+    [0, 2]
+    """
+    if mask < 0:
+        raise ValueError(f"valuation masks must be non-negative, got {mask}")
+    return frozenset(i for i in range(mask.bit_length()) if mask >> i & 1)
+
+
+def as_mask(valuation: int | Iterable[int]) -> int:
+    """Coerce either an int mask or an iterable of variables into a mask."""
+    if isinstance(valuation, int):
+        if valuation < 0:
+            raise ValueError(f"valuation masks must be non-negative, got {valuation}")
+        return valuation
+    return set_to_mask(valuation)
+
+
+def popcount(mask: int) -> int:
+    """Number of variables in the valuation (``|nu|`` in the paper)."""
+    return mask.bit_count()
+
+
+def parity(mask: int) -> int:
+    """``(-1)^{|nu|}``: +1 for even-size valuations, -1 for odd-size ones."""
+    return -1 if mask.bit_count() & 1 else 1
+
+
+def flip(mask: int, var: int) -> int:
+    """The valuation ``nu^(l)`` of the paper: membership of ``var`` flipped."""
+    return mask ^ (1 << var)
+
+
+def all_valuations(nvars: int) -> Iterator[int]:
+    """Iterate over all ``2^nvars`` valuation masks of ``{0..nvars-1}``."""
+    return iter(range(1 << nvars))
+
+
+def valuations_of_size(nvars: int, size: int) -> Iterator[int]:
+    """Iterate over all valuations of ``{0..nvars-1}`` with exactly ``size``
+    variables, in lexicographic mask order (Gosper's hack)."""
+    if size < 0 or size > nvars:
+        return
+    if size == 0:
+        yield 0
+        return
+    mask = (1 << size) - 1
+    limit = 1 << nvars
+    while mask < limit:
+        yield mask
+        # Gosper's hack: next integer with the same popcount.
+        lowest = mask & -mask
+        ripple = mask + lowest
+        mask = ripple | ((mask ^ ripple) >> (lowest.bit_length() + 1))
+
+
+def neighbors(mask: int, nvars: int) -> Iterator[int]:
+    """All valuations adjacent to ``mask`` in the hypercube graph ``G_V``,
+    i.e. those differing in the membership of exactly one variable."""
+    for var in range(nvars):
+        yield mask ^ (1 << var)
+
+
+def hamming_distance(mask_a: int, mask_b: int) -> int:
+    """Number of variables on which the two valuations disagree."""
+    return (mask_a ^ mask_b).bit_count()
+
+
+def hypercube_path(mask_a: int, mask_b: int) -> list[int]:
+    """A simple path from ``mask_a`` to ``mask_b`` in the hypercube ``G_V``.
+
+    The path flips the differing variables one at a time in increasing
+    variable order, so it has length ``hamming_distance(a, b)`` and visits
+    ``hamming_distance(a, b) + 1`` pairwise-distinct valuations.  This is the
+    canonical path used by the fetching lemma (Lemma 5.11).
+    """
+    path = [mask_a]
+    current = mask_a
+    diff = mask_a ^ mask_b
+    var = 0
+    while diff:
+        if diff & 1:
+            current ^= 1 << var
+            path.append(current)
+        diff >>= 1
+        var += 1
+    return path
+
+
+def is_simple_hypercube_path(path: list[int]) -> bool:
+    """Check that ``path`` is a simple path of ``G_V``: consecutive masks at
+    Hamming distance one, and no repeated valuation."""
+    if not path:
+        return False
+    if len(set(path)) != len(path):
+        return False
+    return all(
+        hamming_distance(path[i], path[i + 1]) == 1 for i in range(len(path) - 1)
+    )
+
+
+def subsets_of(mask: int) -> Iterator[int]:
+    """Iterate over all subsets of the valuation ``mask`` (itself included),
+    using the standard sub-mask enumeration trick."""
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def even_parity_table(nvars: int) -> int:
+    """Truth-table bitmask (see :mod:`repro.core.boolean_function`) whose
+    positions are exactly the even-size valuations of ``{0..nvars-1}``.
+
+    Built by the standard doubling recurrence: extending the variable set by
+    one variable swaps the parity of the extended half.
+    """
+    table = 1  # nvars == 0: the empty valuation is even.
+    size = 1
+    for _ in range(nvars):
+        odd = ((1 << size) - 1) ^ table
+        table |= odd << size
+        size <<= 1
+    return table

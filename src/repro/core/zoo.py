@@ -1,0 +1,221 @@
+"""The paper's named Boolean functions, plus searchers for the figure
+witnesses whose exact colorings the text does not pin down.
+
+* :func:`phi_9` — Example 3.3: the function behind Dalvi–Suciu's query
+  ``q_9``, the simplest safe H+-query needing Möbius inversion.
+* :func:`phi_max_euler` — Section 6.1: all even-size valuations,
+  ``e = 2^k`` (a value unreachable by monotone functions).
+* :func:`find_phi_no_pm` — Figure 5's ``phi_noPM`` (k = 4, non-monotone):
+  ``e = 0`` yet *neither* induced subgraph has a perfect matching, with the
+  paper's stated witnesses: colored node ``{3,4}`` isolated among colored
+  nodes and uncolored node ``{0,3,4}`` isolated among uncolored ones.  The
+  text dump loses the figure's colors, so we search for a function with
+  exactly these properties (see DESIGN.md §3).
+* :func:`find_phi_one_neg` — Figure 7's ``phi_oneneg`` (k = 5, monotone):
+  ``e = 0``, the colored subgraph has no perfect matching *because the top
+  valuation would have to be matched with both 01234 and 01345*, while the
+  uncolored subgraph has one.  Again found by constraint search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core import valuations as _val
+from repro.core.boolean_function import BooleanFunction
+from repro.matching.graph import ColoredGraph
+from repro.matching.perfect_matching import has_perfect_matching
+
+
+def phi_9() -> BooleanFunction:
+    """Example 3.3: ``(2∨3) ∧ (0∨3) ∧ (1∨3) ∧ (0∨1∨2)`` on ``V={0,1,2,3}``."""
+    return BooleanFunction.from_cnf(4, [{2, 3}, {0, 3}, {1, 3}, {0, 1, 2}])
+
+
+def phi_max_euler(k: int) -> BooleanFunction:
+    """Section 6.1's ``phi_maxEuler``: satisfied exactly by the even-size
+    valuations; ``e = 2^k``, beyond any monotone function's range — the
+    witness that Proposition 6.4 does not cover all of H."""
+    return BooleanFunction(
+        k + 1, _val.even_parity_table(k + 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: phi_noPM (k = 4, non-monotone)
+# ----------------------------------------------------------------------
+
+
+def phi_no_pm_constraints() -> tuple[int, list[int], list[int]]:
+    """The fixed part of the Figure-5 search, from the paper's text:
+
+    * ``{3,4}`` is satisfying but all its neighbors are not (so it is
+      isolated in the colored subgraph);
+    * ``{0,3,4}`` is non-satisfying but all its *other* neighbors are
+      satisfying (so it is isolated in the uncolored subgraph).
+
+    Returns ``(nvars, forced_true_masks, forced_false_masks)``.
+    """
+    nvars = 5
+    pair_34 = _val.set_to_mask({3, 4})
+    node_034 = _val.set_to_mask({0, 3, 4})
+    forced_true = [pair_34]
+    forced_false = [node_034]
+    # Neighbors of {3,4} other than {0,3,4} must be false; {0,3,4} is
+    # already forced false.
+    for var in range(nvars):
+        neighbor = _val.flip(pair_34, var)
+        if neighbor != node_034 and neighbor not in forced_false:
+            forced_false.append(neighbor)
+    # Neighbors of {0,3,4} other than {3,4} must be true; {3,4} is already
+    # forced true.
+    for var in range(nvars):
+        neighbor = _val.flip(node_034, var)
+        if neighbor != pair_34 and neighbor not in forced_true:
+            forced_true.append(neighbor)
+    return nvars, forced_true, forced_false
+
+
+def is_phi_no_pm_witness(phi: BooleanFunction) -> bool:
+    """Whether ``phi`` has every property Figure 5 claims for
+    ``phi_noPM``."""
+    if phi.nvars != 5 or phi.euler_characteristic() != 0:
+        return False
+    colored_graph = ColoredGraph(phi)
+    pair_34 = _val.set_to_mask({3, 4})
+    node_034 = _val.set_to_mask({0, 3, 4})
+    if pair_34 not in colored_graph.isolated_colored_nodes():
+        return False
+    if node_034 not in colored_graph.isolated_uncolored_nodes():
+        return False
+    if has_perfect_matching(colored_graph.colored_subgraph()):
+        return False
+    if has_perfect_matching(colored_graph.uncolored_subgraph()):
+        return False
+    return True
+
+
+def find_phi_no_pm(seed: int = 0, attempts: int = 200_000) -> BooleanFunction:
+    """Search for a Figure-5 witness ``phi_noPM``.
+
+    The two isolation constraints pin 12 of the 32 valuations; the
+    remaining 20 are filled randomly subject to ``e = 0`` (balance the
+    even/odd model counts) until both induced subgraphs lack a perfect
+    matching.  With the forced isolated nodes, most balanced completions
+    qualify, so the search succeeds quickly.
+
+    :raises RuntimeError: if no witness is found within ``attempts``.
+    """
+    nvars, forced_true, forced_false = phi_no_pm_constraints()
+    rng = random.Random(seed)
+    fixed = set(forced_true) | set(forced_false)
+    free = [m for m in range(1 << nvars) if m not in fixed]
+    base_table = 0
+    for mask in forced_true:
+        base_table |= 1 << mask
+    base_euler = sum(_val.parity(m) for m in forced_true)
+    for _ in range(attempts):
+        chosen = [m for m in free if rng.random() < 0.5]
+        euler = base_euler + sum(_val.parity(m) for m in chosen)
+        if euler != 0:
+            continue
+        table = base_table
+        for mask in chosen:
+            table |= 1 << mask
+        phi = BooleanFunction(nvars, table)
+        if is_phi_no_pm_witness(phi):
+            return phi
+    raise RuntimeError("no phi_noPM witness found; increase attempts")
+
+
+# ----------------------------------------------------------------------
+# Figure 7: phi_oneneg (k = 5, monotone)
+# ----------------------------------------------------------------------
+
+
+def is_phi_one_neg_witness(phi: BooleanFunction) -> bool:
+    """Whether ``phi`` has every property Figure 7 claims for
+    ``phi_oneneg``: monotone, ``e = 0``, colored subgraph without a perfect
+    matching for the stated reason (both ``{0,1,2,3,4}`` and
+    ``{0,1,3,4,5}`` are colored with the top valuation as their only
+    colored neighbor), uncolored subgraph with one."""
+    if phi.nvars != 6 or phi.euler_characteristic() != 0:
+        return False
+    if not phi.is_monotone():
+        return False
+    top = (1 << 6) - 1
+    node_a = _val.set_to_mask({0, 1, 2, 3, 4})
+    node_b = _val.set_to_mask({0, 1, 3, 4, 5})
+    if not (phi(top) and phi(node_a) and phi(node_b)):
+        return False
+    for node in (node_a, node_b):
+        for var in range(6):
+            neighbor = _val.flip(node, var)
+            if neighbor != top and phi(neighbor):
+                return False
+    colored_graph = ColoredGraph(phi)
+    if has_perfect_matching(colored_graph.colored_subgraph()):
+        return False
+    if not has_perfect_matching(colored_graph.uncolored_subgraph()):
+        return False
+    return True
+
+
+def find_phi_one_neg(max_extra: int = 6) -> BooleanFunction:
+    """Search for a Figure-7 witness ``phi_oneneg``.
+
+    By the forced structure, ``SAT`` contains the up-closures of the
+    minimal models ``{0,1,2,3,4}`` and ``{0,1,3,4,5}`` and of some extra
+    antichain of valuations incomparable with both and not below their
+    size-4 shadows.  We sweep antichains of up to ``max_extra`` extra
+    generators in increasing total size, checking ``e = 0`` and the
+    matching facts exactly.  The first hit is returned (the paper says the
+    smallest such function has these two blocked size-5 models).
+
+    :raises RuntimeError: if no witness exists within the sweep budget.
+    """
+    nvars = 6
+    node_a = _val.set_to_mask({0, 1, 2, 3, 4})
+    node_b = _val.set_to_mask({0, 1, 3, 4, 5})
+    base = BooleanFunction.from_satisfying(
+        nvars, [node_a, node_b]
+    ).up_closure()
+    # Candidate extra generators: valuations that are not supersets of the
+    # forbidden shadows — i.e. adding them must not color any size-4 subset
+    # of node_a or node_b, so candidates must not be subsets of node_a or
+    # node_b, and their up-closure must avoid those size-4 subsets, which
+    # holds iff the candidate is not below any of them.
+    forbidden: set[int] = set()
+    for node in (node_a, node_b):
+        for var in range(6):
+            neighbor = _val.flip(node, var)
+            if neighbor != (1 << 6) - 1:
+                forbidden.add(neighbor)
+
+    def closure_ok(generators: tuple[int, ...]) -> BooleanFunction | None:
+        phi = BooleanFunction.from_satisfying(
+            nvars, [node_a, node_b, *generators]
+        ).up_closure()
+        if any(phi(bad) for bad in forbidden):
+            return None
+        return phi
+
+    candidates = [
+        m
+        for m in range(1 << nvars)
+        if m not in (node_a, node_b)
+        and not any(m & bad == m for bad in forbidden)  # not ⊆ a shadow
+    ]
+    # Sweep by number of extra generators, then lexicographically.
+    for extra in range(0, max_extra + 1):
+        for generators in itertools.combinations(candidates, extra):
+            phi = closure_ok(generators)
+            if phi is None:
+                continue
+            if phi.euler_characteristic() != 0:
+                continue
+            if is_phi_one_neg_witness(phi):
+                return phi
+    del base
+    raise RuntimeError("no phi_oneneg witness found within the sweep budget")

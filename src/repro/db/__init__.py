@@ -1,0 +1,22 @@
+"""Relational and tuple-independent database substrate."""
+
+from repro.db.io import dumps_tid, load_tid, loads_tid, save_tid
+from repro.db.generator import complete_tid, path_tid, random_tid, relation_names
+from repro.db.relation import Instance, Relation, TupleId
+from repro.db.tid import TupleIndependentDatabase, valuation_probability
+
+__all__ = [
+    "Instance",
+    "Relation",
+    "TupleId",
+    "TupleIndependentDatabase",
+    "complete_tid",
+    "dumps_tid",
+    "load_tid",
+    "loads_tid",
+    "path_tid",
+    "random_tid",
+    "relation_names",
+    "save_tid",
+    "valuation_probability",
+]

@@ -1,0 +1,116 @@
+"""Generators for databases over the ``h_{k,i}`` vocabulary.
+
+The H-queries live on the schema ``R(x), S_1(x,y), ..., S_k(x,y), T(y)``
+(Definition 3.1).  The benches and tests need families of TIDs of controlled
+size and shape over this schema; this module builds them: complete bipartite
+instances, random sub-instances, and adversarially sparse ones.  Domain
+elements are the strings ``a1..an`` (left/x side) and ``b1..bm`` (right/y
+side); using separate sides keeps the ``x``/``y`` roles of the queries
+legible in lineages.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.db.tid import TupleIndependentDatabase
+
+
+def relation_names(k: int) -> list[str]:
+    """The schema of the ``h_{k,i}`` queries: ``R, S1..Sk, T``."""
+    if k < 1:
+        raise ValueError(f"the paper fixes k >= 1, got {k}")
+    return ["R"] + [f"S{i}" for i in range(1, k + 1)] + ["T"]
+
+
+def complete_tid(
+    k: int,
+    n_left: int,
+    n_right: int | None = None,
+    prob: Fraction | str = Fraction(1, 2),
+) -> TupleIndependentDatabase:
+    """The complete instance: all ``R(a)``, ``T(b)`` and all ``Si(a, b)``
+    over ``a in {a1..a_nleft}``, ``b in {b1..b_nright}``, every tuple at the
+    same probability.
+
+    This is the canonical hard family (lineages of ``h_k`` on complete
+    bipartite graphs encode #P-hard counting), and the default scaling
+    family for the benches: ``|D| = n_left + n_right + k * n_left * n_right``.
+    """
+    n_right = n_left if n_right is None else n_right
+    tid = TupleIndependentDatabase()
+    p = Fraction(prob)
+    left = [f"a{i}" for i in range(1, n_left + 1)]
+    right = [f"b{j}" for j in range(1, n_right + 1)]
+    for a in left:
+        tid.add("R", (a,), p)
+    for b in right:
+        tid.add("T", (b,), p)
+    for i in range(1, k + 1):
+        for a in left:
+            for b in right:
+                tid.add(f"S{i}", (a, b), p)
+    # Declare every relation even if empty so queries can mention them.
+    for name in relation_names(k):
+        arity = 1 if name in ("R", "T") else 2
+        tid.instance.declare(name, arity)
+    return tid
+
+
+def random_tid(
+    k: int,
+    n_left: int,
+    n_right: int,
+    rng: random.Random,
+    tuple_density: float = 0.7,
+) -> TupleIndependentDatabase:
+    """A random sub-instance of the complete one: each potential tuple is
+    present with probability ``tuple_density`` and carries a random rational
+    probability with small denominator (so exact engine comparisons stay
+    cheap)."""
+    tid = TupleIndependentDatabase()
+    left = [f"a{i}" for i in range(1, n_left + 1)]
+    right = [f"b{j}" for j in range(1, n_right + 1)]
+
+    def random_prob() -> Fraction:
+        return Fraction(rng.randint(0, 8), 8)
+
+    for a in left:
+        if rng.random() < tuple_density:
+            tid.add("R", (a,), random_prob())
+    for b in right:
+        if rng.random() < tuple_density:
+            tid.add("T", (b,), random_prob())
+    for i in range(1, k + 1):
+        for a in left:
+            for b in right:
+                if rng.random() < tuple_density:
+                    tid.add(f"S{i}", (a, b), random_prob())
+    for name in relation_names(k):
+        arity = 1 if name in ("R", "T") else 2
+        tid.instance.declare(name, arity)
+    return tid
+
+
+def path_tid(
+    k: int, length: int, prob: Fraction | str = Fraction(1, 2)
+) -> TupleIndependentDatabase:
+    """A sparse "path" instance: ``Si(aj, bj)`` only on the diagonal.
+
+    With disjoint ``(a, b)`` pairs, each pair's sub-lineage is independent
+    of the others — the friendly extreme of the spectrum, useful to separate
+    data-size from interaction effects in the benches.
+    """
+    tid = TupleIndependentDatabase()
+    p = Fraction(prob)
+    for j in range(1, length + 1):
+        a, b = f"a{j}", f"b{j}"
+        tid.add("R", (a,), p)
+        tid.add("T", (b,), p)
+        for i in range(1, k + 1):
+            tid.add(f"S{i}", (a, b), p)
+    for name in relation_names(k):
+        arity = 1 if name in ("R", "T") else 2
+        tid.instance.declare(name, arity)
+    return tid

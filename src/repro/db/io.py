@@ -1,0 +1,81 @@
+"""Loading and saving tuple-independent databases as TSV text.
+
+A pragmatic interchange format so datasets can live next to the code:
+one fact per line, tab-separated —
+
+    relation <TAB> value1,value2,... <TAB> probability
+
+Probabilities are written exactly as ``numerator/denominator`` (or an
+integer); blank lines and ``#`` comments are ignored.  A header-free,
+diff-friendly format that round-trips exactly (Fractions in, Fractions
+out).  Relations that must exist but have no facts can be declared with a
+``!declare relation arity`` directive line.
+"""
+
+from __future__ import annotations
+
+import io
+from fractions import Fraction
+from pathlib import Path
+
+from repro.db.tid import TupleIndependentDatabase
+
+
+def dumps_tid(tid: TupleIndependentDatabase) -> str:
+    """Serialize a TID to the TSV text format (sorted, deterministic)."""
+    lines = ["# repro TID v1"]
+    for relation in tid.instance.relations():
+        if len(relation) == 0:
+            lines.append(f"!declare {relation.name} {relation.arity}")
+    for tuple_id in tid.instance.tuple_ids():
+        values = ",".join(str(v) for v in tuple_id.values)
+        probability = tid.probability_of(tuple_id)
+        lines.append(f"{tuple_id.relation}\t{values}\t{probability}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_tid(text: str) -> TupleIndependentDatabase:
+    """Parse the TSV text format back into a TID.
+
+    :raises ValueError: on malformed lines.
+    """
+    tid = TupleIndependentDatabase()
+    for line_number, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("!declare"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"line {line_number}: malformed declare: {line!r}"
+                )
+            tid.instance.declare(parts[1], int(parts[2]))
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValueError(
+                f"line {line_number}: expected 3 tab-separated fields, "
+                f"got {len(parts)}: {line!r}"
+            )
+        relation, values_text, probability_text = parts
+        values = tuple(values_text.split(","))
+        try:
+            probability = Fraction(probability_text)
+        except (ValueError, ZeroDivisionError) as error:
+            raise ValueError(
+                f"line {line_number}: bad probability "
+                f"{probability_text!r}"
+            ) from error
+        tid.add(relation, values, probability)
+    return tid
+
+
+def save_tid(tid: TupleIndependentDatabase, path: str | Path) -> None:
+    """Write a TID to a file."""
+    Path(path).write_text(dumps_tid(tid), encoding="utf-8")
+
+
+def load_tid(path: str | Path) -> TupleIndependentDatabase:
+    """Read a TID from a file."""
+    return loads_tid(Path(path).read_text(encoding="utf-8"))

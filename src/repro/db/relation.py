@@ -1,0 +1,145 @@
+"""Relational schema and instance primitives.
+
+The paper works over the fixed vocabulary of the ``h_{k,i}`` queries —
+unary ``R`` and ``T`` plus binary ``S_1, ..., S_k`` — but the substrate here
+is generic: named relations of fixed arity holding tuples of domain
+constants.  Every fact carries a stable :class:`TupleId`, which doubles as
+the lineage variable labeling tuples in circuits, OBDDs and Boolean
+functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class TupleId:
+    """The identity of one fact: relation name plus the constant tuple.
+
+    Instances are the *variables* of lineages; they are hashable, ordered
+    (for stable variable orders) and self-describing.
+    """
+
+    relation: str
+    values: tuple[Hashable, ...]
+
+    def __str__(self) -> str:
+        inner = ",".join(map(str, self.values))
+        return f"{self.relation}({inner})"
+
+
+class Relation:
+    """One named relation of a fixed arity with set semantics."""
+
+    def __init__(self, name: str, arity: int):
+        if arity < 1:
+            raise ValueError(f"arity must be positive, got {arity}")
+        self.name = name
+        self.arity = arity
+        self._tuples: set[tuple[Hashable, ...]] = set()
+
+    def add(self, values: tuple[Hashable, ...]) -> TupleId:
+        """Insert a fact; returns its :class:`TupleId` (idempotent)."""
+        if len(values) != self.arity:
+            raise ValueError(
+                f"{self.name} has arity {self.arity}, got tuple {values!r}"
+            )
+        self._tuples.add(tuple(values))
+        return TupleId(self.name, tuple(values))
+
+    def __contains__(self, values: tuple[Hashable, ...]) -> bool:
+        return tuple(values) in self._tuples
+
+    def __iter__(self) -> Iterator[tuple[Hashable, ...]]:
+        return iter(sorted(self._tuples, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+
+class Instance:
+    """A relational instance: a collection of named relations.
+
+    >>> db = Instance()
+    >>> _ = db.add("R", ("a",))
+    >>> db.relation("R").arity
+    1
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+
+    def relation(self, name: str) -> Relation:
+        """The relation with the given name.
+
+        :raises KeyError: if no fact of that relation was ever added and the
+            relation was not declared.
+        """
+        return self._relations[name]
+
+    def declare(self, name: str, arity: int) -> Relation:
+        """Declare a relation (idempotent; arity must match if it exists)."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            if existing.arity != arity:
+                raise ValueError(
+                    f"relation {name} redeclared with arity {arity}, "
+                    f"was {existing.arity}"
+                )
+            return existing
+        created = Relation(name, arity)
+        self._relations[name] = created
+        return created
+
+    def add(self, name: str, values: tuple[Hashable, ...]) -> TupleId:
+        """Insert a fact, declaring the relation on first use."""
+        relation = self.declare(name, len(values))
+        return relation.add(values)
+
+    def has(self, name: str, values: tuple[Hashable, ...]) -> bool:
+        """Whether the given fact is present."""
+        relation = self._relations.get(name)
+        return relation is not None and tuple(values) in relation
+
+    def relations(self) -> Iterator[Relation]:
+        """Iterate over the relations, sorted by name."""
+        for name in sorted(self._relations):
+            yield self._relations[name]
+
+    def tuple_ids(self) -> list[TupleId]:
+        """All facts of the instance as :class:`TupleId` values, sorted."""
+        ids = [
+            TupleId(relation.name, values)
+            for relation in self._relations.values()
+            for values in relation
+        ]
+        return sorted(ids)
+
+    def __len__(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    def active_domain(self) -> list[Hashable]:
+        """All constants appearing in some fact, sorted by repr."""
+        domain: set[Hashable] = set()
+        for relation in self._relations.values():
+            for values in relation:
+                domain.update(values)
+        return sorted(domain, key=repr)
+
+    def restrict_to(self, present: Iterable[TupleId]) -> "Instance":
+        """The sub-instance containing exactly the given facts (a possible
+        world ``D' ⊆ D``)."""
+        keep = set(present)
+        world = Instance()
+        for relation in self._relations.values():
+            world.declare(relation.name, relation.arity)
+            for values in relation:
+                if TupleId(relation.name, values) in keep:
+                    world.add(relation.name, values)
+        return world
+
+    def __repr__(self) -> str:
+        parts = [f"{r.name}:{len(r)}" for r in self.relations()]
+        return f"Instance({', '.join(parts)})"

@@ -1,0 +1,129 @@
+"""Tuple-independent databases (TIDs) and their possible-world semantics.
+
+Section 2 of the paper: a TID is a pair ``(D, pi)`` of a relational instance
+and a probability per tuple; it induces the product distribution over
+sub-instances ``D' ⊆ D`` where each tuple is kept independently with its
+probability.  Probabilities are stored as exact :class:`fractions.Fraction`
+values so that the three evaluation engines of :mod:`repro.pqe` can be
+compared with exact equality in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Hashable, Iterator, Mapping
+from fractions import Fraction
+
+from repro.db.relation import Instance, TupleId
+
+
+class TupleIndependentDatabase:
+    """A TID ``(D, pi)``: an instance plus per-tuple probabilities.
+
+    Tuples never assigned a probability default to probability 1
+    (deterministic facts), matching common practice.
+    """
+
+    def __init__(self, instance: Instance | None = None):
+        self.instance = instance if instance is not None else Instance()
+        self._prob: dict[TupleId, Fraction] = {}
+
+    def add(
+        self,
+        relation: str,
+        values: tuple[Hashable, ...],
+        prob: Fraction | int | str | float = 1,
+    ) -> TupleId:
+        """Insert a fact with its probability.
+
+        Probabilities are normalized to :class:`Fraction`; floats are
+        converted via ``Fraction(str(p))`` to keep decimal literals exact.
+
+        :raises ValueError: if the probability is outside ``[0, 1]``.
+        """
+        fraction = _as_fraction(prob)
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"probability {prob!r} outside [0, 1]")
+        tuple_id = self.instance.add(relation, values)
+        self._prob[tuple_id] = fraction
+        return tuple_id
+
+    def probability_of(self, tuple_id: TupleId) -> Fraction:
+        """``pi(t)`` (1 for facts never explicitly weighted)."""
+        return self._prob.get(tuple_id, Fraction(1))
+
+    def set_probability(
+        self, tuple_id: TupleId, prob: Fraction | int | str | float
+    ) -> None:
+        """Update one tuple's probability (the paper's motivating reuse
+        scenario: update ``pi`` and re-evaluate a compiled lineage)."""
+        fraction = _as_fraction(prob)
+        if not 0 <= fraction <= 1:
+            raise ValueError(f"probability {prob!r} outside [0, 1]")
+        if not self.instance.has(tuple_id.relation, tuple_id.values):
+            raise KeyError(f"unknown tuple {tuple_id}")
+        self._prob[tuple_id] = fraction
+
+    def probability_map(self) -> dict[TupleId, Fraction]:
+        """``pi`` as a dict over all facts of the instance."""
+        return {t: self.probability_of(t) for t in self.instance.tuple_ids()}
+
+    def world_probability(self, present: frozenset[TupleId]) -> Fraction:
+        """``Pr(D')`` of Section 2: the product over kept and dropped
+        tuples."""
+        probability = Fraction(1)
+        for tuple_id in self.instance.tuple_ids():
+            p = self.probability_of(tuple_id)
+            probability *= p if tuple_id in present else (1 - p)
+        return probability
+
+    def possible_worlds(
+        self,
+    ) -> Iterator[tuple[frozenset[TupleId], Fraction, Instance]]:
+        """Enumerate all ``2^|D|`` worlds with their probabilities.
+
+        Exponential — reserved for the brute-force oracle and tests.
+        """
+        tuple_ids = self.instance.tuple_ids()
+        for picks in itertools.product([False, True], repeat=len(tuple_ids)):
+            present = frozenset(
+                t for t, keep in zip(tuple_ids, picks) if keep
+            )
+            yield (
+                present,
+                self.world_probability(present),
+                self.instance.restrict_to(present),
+            )
+
+    def sample_world(self, rng: random.Random) -> frozenset[TupleId]:
+        """Draw one world from the TID distribution."""
+        return frozenset(
+            t
+            for t in self.instance.tuple_ids()
+            if rng.random() < float(self.probability_of(t))
+        )
+
+    def __len__(self) -> int:
+        return len(self.instance)
+
+    def __repr__(self) -> str:
+        return f"TupleIndependentDatabase({self.instance!r})"
+
+
+def _as_fraction(prob: Fraction | int | str | float) -> Fraction:
+    if isinstance(prob, float):
+        return Fraction(str(prob))
+    return Fraction(prob)
+
+
+def valuation_probability(
+    prob: Mapping[Hashable, Fraction], valuation: frozenset[Hashable]
+) -> Fraction:
+    """Definition B.2: the probability of one valuation under independent
+    variables — product of ``p`` over members and ``1 - p`` over the rest of
+    the mapping's domain."""
+    probability = Fraction(1)
+    for label, p in prob.items():
+        probability *= p if label in valuation else (1 - p)
+    return probability

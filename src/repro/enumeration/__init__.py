@@ -1,0 +1,30 @@
+"""Enumeration of Boolean functions: all functions, monotone functions
+(Dedekind ideals) and isomorphism classes under variable permutation."""
+
+from repro.enumeration.isomorphism import (
+    canonical_table,
+    count_classes,
+    enumerate_class_representatives,
+    isomorphism_classes,
+)
+from repro.enumeration.monotone import (
+    DEDEKIND_NUMBERS,
+    count_monotone,
+    enumerate_all_functions,
+    enumerate_monotone_functions,
+    enumerate_nondegenerate_monotone,
+    monotone_tables,
+)
+
+__all__ = [
+    "DEDEKIND_NUMBERS",
+    "canonical_table",
+    "count_classes",
+    "count_monotone",
+    "enumerate_all_functions",
+    "enumerate_class_representatives",
+    "enumerate_monotone_functions",
+    "enumerate_nondegenerate_monotone",
+    "isomorphism_classes",
+    "monotone_tables",
+]

@@ -1,0 +1,55 @@
+"""Isomorphism classes of Boolean functions under variable permutation.
+
+The paper counts the Conjecture-1 sweep in "non-isomorphic (under
+permutation of the variables) nondegenerate functions"; this module
+provides the canonicalization and class enumeration for the scaled-down
+sweeps of our benches.  Canonical representative: the smallest truth table
+over all variable permutations (exponential in the — small, fixed — number
+of variables).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.boolean_function import BooleanFunction
+
+
+def canonical_table(phi: BooleanFunction) -> int:
+    """The canonical (minimal) truth table of the permutation class."""
+    return phi.canonical_form_under_permutation()
+
+
+def isomorphism_classes(
+    functions: Iterable[BooleanFunction],
+) -> dict[int, BooleanFunction]:
+    """Group functions by permutation class; returns a map from canonical
+    table to one representative per class."""
+    classes: dict[int, BooleanFunction] = {}
+    for phi in functions:
+        key = canonical_table(phi)
+        if key not in classes:
+            classes[key] = phi
+    return classes
+
+
+def enumerate_class_representatives(
+    functions: Iterable[BooleanFunction],
+) -> Iterator[BooleanFunction]:
+    """One representative per isomorphism class, in discovery order.
+
+    Euler characteristic, degeneracy, monotonicity, fragmentability and the
+    perfect-matching facts are all permutation-invariant, so sweeping one
+    representative per class is enough for every check in this package.
+    """
+    seen: set[int] = set()
+    for phi in functions:
+        key = canonical_table(phi)
+        if key not in seen:
+            seen.add(key)
+            yield phi
+
+
+def count_classes(functions: Iterable[BooleanFunction]) -> int:
+    """Number of distinct permutation classes among ``functions``."""
+    return len(isomorphism_classes(functions))

@@ -1,0 +1,94 @@
+"""Enumeration of monotone Boolean functions (Dedekind ideals).
+
+The paper's Conjecture-1 experiment sweeps all monotone functions with
+``k <= 5``; Lemma 3.8 and the Figure-1 region counts need the same sweep
+for small ``k``.  We enumerate by the classical recursion: a monotone
+function on ``n`` variables is a pair ``(phi_without, phi_with)`` of
+monotone functions on ``n - 1`` variables — the cofactors of the last
+variable — constrained by ``phi_without <= phi_with``.  The counts are the
+Dedekind numbers ``M(n) = 2, 3, 6, 20, 168, 7581, 7828354, ...``; in pure
+Python the sweep is comfortable through ``n = 5`` (``k = 4``) and possible,
+if slow, for ``n = 6``.
+
+Functions are produced as truth-table ints (see
+:class:`repro.core.boolean_function.BooleanFunction`): the table of a pair
+is ``low | (high << 2^{n-1})`` and the constraint is the bitmask subset test
+``low & ~high == 0``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from functools import lru_cache
+
+from repro.core.boolean_function import BooleanFunction
+
+#: Dedekind numbers M(n) for n = 0..8 (number of monotone functions on n
+#: variables), used by tests as the ground truth for the enumeration.
+DEDEKIND_NUMBERS = [
+    2,
+    3,
+    6,
+    20,
+    168,
+    7581,
+    7828354,
+    2414682040998,
+    56130437228687557907788,
+]
+
+
+@lru_cache(maxsize=None)
+def monotone_tables(nvars: int) -> tuple[int, ...]:
+    """All truth tables of monotone functions on ``nvars`` variables,
+    sorted ascending.  Cached; sizes follow the Dedekind numbers.
+
+    :raises ValueError: for ``nvars > 6`` (the next Dedekind number is
+        astronomically large).
+    """
+    if nvars < 0:
+        raise ValueError("nvars must be non-negative")
+    if nvars > 6:
+        raise ValueError("enumeration beyond 6 variables is not feasible")
+    if nvars == 0:
+        return (0, 1)
+    smaller = monotone_tables(nvars - 1)
+    shift = 1 << (nvars - 1)
+    tables = [
+        low | (high << shift)
+        for high in smaller
+        for low in smaller
+        if low & ~high == 0
+    ]
+    return tuple(sorted(tables))
+
+
+def enumerate_monotone_functions(nvars: int) -> Iterator[BooleanFunction]:
+    """Iterate over all monotone functions on ``nvars`` variables."""
+    for table in monotone_tables(nvars):
+        yield BooleanFunction(nvars, table)
+
+
+def count_monotone(nvars: int) -> int:
+    """``M(nvars)`` by enumeration (tests compare with the table above)."""
+    return len(monotone_tables(nvars))
+
+
+def enumerate_nondegenerate_monotone(nvars: int) -> Iterator[BooleanFunction]:
+    """Monotone functions depending on *every* variable — the hypothesis of
+    Lemma 3.8 and Proposition 3.5."""
+    for phi in enumerate_monotone_functions(nvars):
+        if phi.is_nondegenerate():
+            yield phi
+
+
+def enumerate_all_functions(nvars: int) -> Iterator[BooleanFunction]:
+    """All ``2^{2^nvars}`` Boolean functions — exhaustive sweeps for the
+    Figure-1 region counts (``nvars <= 4`` only).
+
+    :raises ValueError: beyond 4 variables.
+    """
+    if nvars > 4:
+        raise ValueError("exhaustive function enumeration limited to 4 variables")
+    for table in range(1 << (1 << nvars)):
+        yield BooleanFunction(nvars, table)

@@ -1,0 +1,40 @@
+"""Finite posets, Möbius functions and the CNF/DNF lattices of monotone
+Boolean functions (Definition 3.4 / Lemma 3.8)."""
+
+from repro.lattice.cnf_lattice import (
+    ClauseLattice,
+    cnf_lattice,
+    dnf_lattice,
+    mobius_cnf_value,
+    mobius_dnf_value,
+    verify_lemma_38,
+)
+from repro.lattice.polynomials import (
+    Polynomial,
+    cnf_polynomial,
+    dnf_polynomial,
+    interpolated_polynomial,
+    lagrange_interpolation,
+    probability_polynomial,
+    verify_lemma_b5,
+)
+from repro.lattice.poset import FinitePoset, divisor_lattice, subset_lattice
+
+__all__ = [
+    "ClauseLattice",
+    "FinitePoset",
+    "Polynomial",
+    "cnf_lattice",
+    "cnf_polynomial",
+    "divisor_lattice",
+    "dnf_lattice",
+    "dnf_polynomial",
+    "interpolated_polynomial",
+    "lagrange_interpolation",
+    "mobius_cnf_value",
+    "mobius_dnf_value",
+    "probability_polynomial",
+    "subset_lattice",
+    "verify_lemma_38",
+    "verify_lemma_b5",
+]

@@ -1,0 +1,144 @@
+"""CNF and DNF lattices of monotone Boolean functions (Definition 3.4).
+
+Given a monotone ``phi`` with minimized CNF ``C_0 ∧ ... ∧ C_n`` (each clause
+seen as the set of variables it contains), the CNF lattice ``L^phi_CNF`` has
+elements ``d_s = union of C_i for i in s`` over all ``s ⊆ {0..n}``, ordered
+by *reversed* set inclusion.  Its greatest element ``1̂`` is the empty union
+``∅`` and its least element ``0̂`` is ``DEP(phi)``.  The dichotomy of Dalvi
+and Suciu (Proposition 3.5) decides the safety of the H+-query ``Q_phi`` by
+whether ``mu_CNF(0̂, 1̂) = 0``; Lemma 3.8 shows this value equals the Euler
+characteristic ``e(phi)``.
+
+The DNF lattice is defined identically starting from the minimized DNF
+(footnote 4); Lemma 3.8 relates the two via ``(-1)^k``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.boolean_function import BooleanFunction
+from repro.lattice.poset import FinitePoset
+
+
+class ClauseLattice:
+    """The lattice of clause-unions of a monotone Boolean function.
+
+    Parametrized by the clause list so that the same machinery serves both
+    the CNF lattice (``phi.minimized_cnf()``) and the DNF lattice
+    (``phi.minimized_dnf()``).
+    """
+
+    def __init__(self, clauses: list[frozenset[int]]):
+        if not clauses:
+            raise ValueError(
+                "clause lattice of a constant function is not defined "
+                "(the paper only builds it for nondegenerate functions)"
+            )
+        self._clauses = list(clauses)
+        elements: set[frozenset[int]] = set()
+        indices = range(len(clauses))
+        for size in range(len(clauses) + 1):
+            for subset in combinations(indices, size):
+                union: frozenset[int] = frozenset()
+                for i in subset:
+                    union |= clauses[i]
+                elements.add(union)
+        # Reversed set inclusion: d <= d' iff d ⊇ d'.
+        self._poset = FinitePoset(sorted(elements, key=_sort_key), _reverse_leq)
+
+    @property
+    def clauses(self) -> list[frozenset[int]]:
+        """The generating clauses (the minimized CNF or DNF of ``phi``)."""
+        return list(self._clauses)
+
+    @property
+    def poset(self) -> FinitePoset:
+        """The underlying finite poset (reversed inclusion order)."""
+        return self._poset
+
+    @property
+    def top(self) -> frozenset[int]:
+        """``1̂ = ∅`` (the union of no clauses)."""
+        return frozenset()
+
+    @property
+    def bottom(self) -> frozenset[int]:
+        """``0̂`` (the union of all clauses, i.e. ``DEP(phi)``)."""
+        result: frozenset[int] = frozenset()
+        for clause in self._clauses:
+            result |= clause
+        return result
+
+    def elements(self) -> list[frozenset[int]]:
+        """All lattice elements ``d_s``."""
+        return self._poset.elements
+
+    def mobius_bottom_top(self) -> int:
+        """``mu(0̂, 1̂)``: the value driving the Dalvi–Suciu dichotomy."""
+        return self._poset.mobius(self.bottom, self.top)
+
+    def mobius_column(self) -> dict[frozenset[int], int]:
+        """All values ``mu(d, 1̂)`` (the annotations of Figure 2)."""
+        return self._poset.mobius_column(self.top)
+
+    def hasse_edges(self) -> list[tuple[frozenset[int], frozenset[int]]]:
+        """Covering pairs of the Hasse diagram, lower element first."""
+        return self._poset.hasse_edges()
+
+
+def _reverse_leq(a: frozenset, b: frozenset) -> bool:
+    return b <= a
+
+
+def _sort_key(element: frozenset[int]) -> tuple[int, tuple[int, ...]]:
+    return (len(element), tuple(sorted(element)))
+
+
+def cnf_lattice(phi: BooleanFunction) -> ClauseLattice:
+    """``L^phi_CNF`` of Definition 3.4.
+
+    :raises ValueError: if ``phi`` is not monotone or is constant.
+    """
+    return ClauseLattice(phi.minimized_cnf())
+
+
+def dnf_lattice(phi: BooleanFunction) -> ClauseLattice:
+    """``L^phi_DNF`` (footnote 4): same construction from the minimized DNF.
+
+    :raises ValueError: if ``phi`` is not monotone or is constant.
+    """
+    return ClauseLattice(phi.minimized_dnf())
+
+
+def mobius_cnf_value(phi: BooleanFunction) -> int:
+    """``mu_CNF(0̂, 1̂)`` for a monotone nondegenerate ``phi``.
+
+    This is the quantity Proposition 3.5 tests against zero.  For degenerate
+    monotone functions the paper does not use the lattice (they are always
+    safe); callers should check degeneracy first.
+    """
+    return cnf_lattice(phi).mobius_bottom_top()
+
+
+def mobius_dnf_value(phi: BooleanFunction) -> int:
+    """``mu_DNF(0̂, 1̂)`` for a monotone nondegenerate ``phi``."""
+    return dnf_lattice(phi).mobius_bottom_top()
+
+
+def verify_lemma_38(phi: BooleanFunction) -> bool:
+    """Check Lemma 3.8 on one function: for nondegenerate monotone ``phi`` on
+    ``V = {0..k}``, ``e(phi) = mu_CNF(0̂,1̂) = (-1)^k mu_DNF(0̂,1̂)``.
+
+    :raises ValueError: if ``phi`` is not monotone or not nondegenerate.
+    """
+    if not phi.is_monotone():
+        raise ValueError("Lemma 3.8 concerns monotone functions")
+    if phi.is_degenerate():
+        raise ValueError("Lemma 3.8 concerns nondegenerate functions")
+    k = phi.nvars - 1
+    euler = phi.euler_characteristic()
+    mu_cnf = mobius_cnf_value(phi)
+    mu_dnf = mobius_dnf_value(phi)
+    sign = -1 if k & 1 else 1
+    return euler == mu_cnf == sign * mu_dnf

@@ -1,0 +1,230 @@
+"""The characteristic polynomials of Appendix B.2 (Lemma B.5).
+
+For a nondegenerate monotone Boolean function ``phi`` on ``V = {0..k}``,
+the appendix studies the univariate polynomial ``P^phi(t) = Pr(phi, pi_t)``
+— the probability of ``phi`` when every variable independently holds with
+probability ``t`` — and gives two further expressions for it:
+
+* from the CNF lattice:  ``P_CNF(t) = sum over lattice elements d_s of
+  mu_CNF(d_s, 1̂) * (1 - t)^{|d_s|}``;
+* from the DNF lattice:  ``P_DNF(t) = 1 - sum of
+  mu_DNF(d_s, 1̂) * t^{|d_s|}``.
+
+Lemma B.5 states the three polynomials are equal; comparing their leading
+coefficients yields Lemma 3.8 (``e(phi) = mu_CNF(0̂,1̂) =
+(-1)^k mu_DNF(0̂,1̂)``).  This module computes all three with exact rational
+coefficients, plus an interpolation-based fourth route (evaluate the PQE
+semantics at ``deg + 1`` points and Lagrange-interpolate) used by tests and
+the E17 bench as an independent cross-check.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.boolean_function import BooleanFunction
+from repro.lattice.cnf_lattice import cnf_lattice, dnf_lattice
+
+
+class Polynomial:
+    """A univariate polynomial with exact Fraction coefficients.
+
+    Coefficients are stored low-degree first; trailing zeros are trimmed so
+    that equality is structural.
+    """
+
+    def __init__(self, coefficients: list[Fraction | int]):
+        coeffs = [Fraction(c) for c in coefficients]
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        self.coefficients = coeffs
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls([])
+
+    @classmethod
+    def constant(cls, value: Fraction | int) -> "Polynomial":
+        return cls([Fraction(value)])
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: Fraction | int = 1) -> "Polynomial":
+        return cls([0] * degree + [Fraction(coefficient)])
+
+    @property
+    def degree(self) -> int:
+        """Degree, with the zero polynomial at -1."""
+        return len(self.coefficients) - 1
+
+    def coefficient(self, degree: int) -> Fraction:
+        """The coefficient of ``t^degree`` (0 beyond the stored degree)."""
+        if 0 <= degree < len(self.coefficients):
+            return self.coefficients[degree]
+        return Fraction(0)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        size = max(len(self.coefficients), len(other.coefficients))
+        return Polynomial(
+            [
+                self.coefficient(i) + other.coefficient(i)
+                for i in range(size)
+            ]
+        )
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        size = max(len(self.coefficients), len(other.coefficients))
+        return Polynomial(
+            [
+                self.coefficient(i) - other.coefficient(i)
+                for i in range(size)
+            ]
+        )
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        if not self.coefficients or not other.coefficients:
+            return Polynomial.zero()
+        result = [Fraction(0)] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            for j, b in enumerate(other.coefficients):
+                result[i + j] += a * b
+        return Polynomial(result)
+
+    def scale(self, factor: Fraction | int) -> "Polynomial":
+        return Polynomial([Fraction(factor) * c for c in self.coefficients])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.coefficients == other.coefficients
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.coefficients))
+
+    def __call__(self, t: Fraction | int | float):
+        value = 0
+        for coefficient in reversed(self.coefficients):
+            value = value * t + coefficient
+        return value
+
+    def __repr__(self) -> str:
+        if not self.coefficients:
+            return "Polynomial(0)"
+        terms = [
+            f"{c}*t^{i}" if i else f"{c}"
+            for i, c in enumerate(self.coefficients)
+            if c != 0
+        ]
+        return "Polynomial(" + " + ".join(terms) + ")"
+
+
+def _one_minus_t_power(exponent: int) -> Polynomial:
+    result = Polynomial.constant(1)
+    factor = Polynomial([1, -1])  # 1 - t
+    for _ in range(exponent):
+        result = result * factor
+    return result
+
+
+def probability_polynomial(phi: BooleanFunction) -> Polynomial:
+    """``P^phi(t) = Pr(phi, pi_t)``: sum over models ``nu`` of
+    ``t^{|nu|} (1-t)^{n - |nu|}`` (Definition B.4, first expression).
+    Defined for *any* Boolean function."""
+    n = phi.nvars
+    result = Polynomial.zero()
+    by_size: dict[int, int] = {}
+    for model in phi.satisfying_masks():
+        size = model.bit_count()
+        by_size[size] = by_size.get(size, 0) + 1
+    for size, count in sorted(by_size.items()):
+        term = Polynomial.monomial(size, count) * _one_minus_t_power(n - size)
+        result = result + term
+    return result
+
+
+def cnf_polynomial(phi: BooleanFunction) -> Polynomial:
+    """``P^phi_CNF(t)`` (Definition B.4, second expression), from the CNF
+    lattice's Möbius column.
+
+    :raises ValueError: if ``phi`` is not monotone or is constant.
+    """
+    lattice = cnf_lattice(phi)
+    column = lattice.mobius_column()
+    result = Polynomial.zero()
+    for element, mobius_value in column.items():
+        if mobius_value == 0:
+            continue
+        term = _one_minus_t_power(len(element)).scale(mobius_value)
+        result = result + term
+    return result
+
+
+def dnf_polynomial(phi: BooleanFunction) -> Polynomial:
+    """``P^phi_DNF(t) = 1 - sum mu_DNF(d_s, 1̂) t^{|d_s|}`` (Definition
+    B.4, third expression).
+
+    :raises ValueError: if ``phi`` is not monotone or is constant.
+    """
+    lattice = dnf_lattice(phi)
+    column = lattice.mobius_column()
+    result = Polynomial.constant(1)
+    for element, mobius_value in column.items():
+        if mobius_value == 0:
+            continue
+        result = result - Polynomial.monomial(len(element), mobius_value)
+    return result
+
+
+def interpolated_polynomial(phi: BooleanFunction) -> Polynomial:
+    """``P^phi`` recovered by Lagrange interpolation from ``n + 1`` exact
+    evaluations of the PQE semantics at ``t = 0, 1/n', 2/n', ...`` — the
+    polynomial-interpolation trick underlying many #P-hardness proofs in
+    probabilistic databases, run here in the easy direction."""
+    n = phi.nvars
+    points = [Fraction(i, n + 1) for i in range(n + 1)]
+    base = probability_polynomial(phi)  # evaluation oracle
+    values = [base(t) for t in points]
+    return lagrange_interpolation(list(zip(points, values)))
+
+
+def lagrange_interpolation(
+    samples: list[tuple[Fraction, Fraction]]
+) -> Polynomial:
+    """Exact Lagrange interpolation through distinct rational points."""
+    result = Polynomial.zero()
+    for i, (x_i, y_i) in enumerate(samples):
+        numerator = Polynomial.constant(1)
+        denominator = Fraction(1)
+        for j, (x_j, _) in enumerate(samples):
+            if i == j:
+                continue
+            numerator = numerator * Polynomial([-x_j, 1])
+            denominator *= x_i - x_j
+        result = result + numerator.scale(y_i / denominator)
+    return result
+
+
+def verify_lemma_b5(phi: BooleanFunction) -> bool:
+    """Lemma B.5: ``P^phi = P^phi_CNF = P^phi_DNF`` as polynomials, for a
+    nondegenerate monotone ``phi``.
+
+    :raises ValueError: if ``phi`` is not monotone or not nondegenerate.
+    """
+    if not phi.is_monotone():
+        raise ValueError("Lemma B.5 concerns monotone functions")
+    if phi.is_degenerate():
+        raise ValueError("Lemma B.5 concerns nondegenerate functions")
+    base = probability_polynomial(phi)
+    return base == cnf_polynomial(phi) == dnf_polynomial(phi)
+
+
+def leading_coefficients(phi: BooleanFunction) -> tuple[Fraction, Fraction, Fraction]:
+    """The three ``t^{k+1}`` coefficients whose equality proves Lemma 3.8:
+    ``(-1)^{k+1} e(phi)`` from ``P^phi``, ``(-1)^{k+1} mu_CNF(0̂,1̂)`` from
+    ``P_CNF`` and ``-mu_DNF(0̂,1̂)`` from ``P_DNF`` — returned in the raw
+    polynomial form (the caller applies the signs, as the proof does)."""
+    degree = phi.nvars
+    return (
+        probability_polynomial(phi).coefficient(degree),
+        cnf_polynomial(phi).coefficient(degree),
+        dnf_polynomial(phi).coefficient(degree),
+    )

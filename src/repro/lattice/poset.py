@@ -1,0 +1,244 @@
+"""Finite posets and their Möbius functions.
+
+The extensional (lifted-inference) side of the paper revolves around the
+Möbius function of the CNF lattice of a monotone Boolean function
+(Definition 3.4 and Proposition 3.5).  This module provides a small, generic
+finite-poset toolkit: ordering checks, Hasse diagram (covering relation),
+top/bottom elements, the Möbius function computed by its defining top-down
+recurrence, and the Möbius inversion formula (Proposition B.1) used in the
+proof of Lemma 3.8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+from typing import TypeVar
+
+Element = TypeVar("Element", bound=Hashable)
+
+
+class FinitePoset:
+    """A finite poset given by its elements and a ``leq`` comparison.
+
+    The comparison is tabulated once at construction; all subsequent queries
+    are dictionary lookups.  The poset is validated to be reflexive,
+    antisymmetric and transitive.
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[Element],
+        leq: Callable[[Element, Element], bool],
+    ):
+        self._elements: list[Element] = list(dict.fromkeys(elements))
+        self._leq: dict[tuple[Element, Element], bool] = {}
+        for a in self._elements:
+            for b in self._elements:
+                self._leq[(a, b)] = bool(leq(a, b))
+        self._validate()
+
+    def _validate(self) -> None:
+        for a in self._elements:
+            if not self._leq[(a, a)]:
+                raise ValueError(f"poset order is not reflexive at {a!r}")
+        for a in self._elements:
+            for b in self._elements:
+                if a != b and self._leq[(a, b)] and self._leq[(b, a)]:
+                    raise ValueError(
+                        f"poset order is not antisymmetric on {a!r}, {b!r}"
+                    )
+        for a in self._elements:
+            for b in self._elements:
+                if not self._leq[(a, b)]:
+                    continue
+                for c in self._elements:
+                    if self._leq[(b, c)] and not self._leq[(a, c)]:
+                        raise ValueError(
+                            "poset order is not transitive on "
+                            f"{a!r} <= {b!r} <= {c!r}"
+                        )
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def elements(self) -> list[Element]:
+        """The elements, in insertion order."""
+        return list(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: Element) -> bool:
+        return (element, element) in self._leq
+
+    def leq(self, a: Element, b: Element) -> bool:
+        """Whether ``a <= b`` in the poset order."""
+        return self._leq[(a, b)]
+
+    def lt(self, a: Element, b: Element) -> bool:
+        """Strict order ``a < b``."""
+        return a != b and self._leq[(a, b)]
+
+    def down_set(self, element: Element) -> list[Element]:
+        """All elements ``u`` with ``u <= element``."""
+        return [u for u in self._elements if self._leq[(u, element)]]
+
+    def up_set(self, element: Element) -> list[Element]:
+        """All elements ``u`` with ``element <= u``."""
+        return [u for u in self._elements if self._leq[(element, u)]]
+
+    def minimum(self) -> Element:
+        """The least element ``0̂``.
+
+        :raises ValueError: if the poset has no least element.
+        """
+        for candidate in self._elements:
+            if all(self._leq[(candidate, other)] for other in self._elements):
+                return candidate
+        raise ValueError("poset has no least element")
+
+    def maximum(self) -> Element:
+        """The greatest element ``1̂``.
+
+        :raises ValueError: if the poset has no greatest element.
+        """
+        for candidate in self._elements:
+            if all(self._leq[(other, candidate)] for other in self._elements):
+                return candidate
+        raise ValueError("poset has no greatest element")
+
+    def covers(self, a: Element, b: Element) -> bool:
+        """Whether ``b`` covers ``a``: ``a < b`` with nothing strictly
+        between them (an edge of the Hasse diagram)."""
+        if not self.lt(a, b):
+            return False
+        return not any(
+            self.lt(a, c) and self.lt(c, b) for c in self._elements
+        )
+
+    def hasse_edges(self) -> list[tuple[Element, Element]]:
+        """All covering pairs ``(lower, upper)`` of the Hasse diagram."""
+        return [
+            (a, b)
+            for a in self._elements
+            for b in self._elements
+            if self.covers(a, b)
+        ]
+
+    def is_lattice(self) -> bool:
+        """Whether every pair of elements has a join and a meet."""
+        for a in self._elements:
+            for b in self._elements:
+                uppers = [
+                    c
+                    for c in self._elements
+                    if self._leq[(a, c)] and self._leq[(b, c)]
+                ]
+                if not _has_least(self, uppers):
+                    return False
+                lowers = [
+                    c
+                    for c in self._elements
+                    if self._leq[(c, a)] and self._leq[(c, b)]
+                ]
+                if not _has_greatest(self, lowers):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Möbius function
+    # ------------------------------------------------------------------
+
+    def mobius(self, a: Element, b: Element) -> int:
+        """The Möbius function ``mu(a, b)`` of the poset.
+
+        Defined (as in Section 2 of the paper) by ``mu(u, u) = 1`` and, for
+        ``u < v``, ``mu(u, v) = - sum_{u < w <= v} mu(w, v)``.
+
+        :raises ValueError: if ``a <= b`` does not hold.
+        """
+        if not self._leq[(a, b)]:
+            raise ValueError(f"mobius({a!r}, {b!r}) requires {a!r} <= {b!r}")
+        return self._mobius_to(b)[a]
+
+    def _mobius_to(self, top: Element) -> dict[Element, int]:
+        """All values ``mu(u, top)`` for ``u <= top``, computed top-down."""
+        below = self.down_set(top)
+        # Process in decreasing order so every w with u < w <= top is done
+        # before u itself.
+        order = sorted(
+            below, key=lambda e: len([u for u in below if self._leq[(e, u)]])
+        )
+        values: dict[Element, int] = {}
+        for element in order:
+            if element == top:
+                values[element] = 1
+                continue
+            values[element] = -sum(
+                values[w]
+                for w in below
+                if self.lt(element, w) and self._leq[(w, top)]
+            )
+        return values
+
+    def mobius_column(self, top: Element) -> dict[Element, int]:
+        """Mapping ``u -> mu(u, top)`` for all ``u <= top`` (the green values
+        of Figure 2 when ``top = 1̂``)."""
+        return dict(self._mobius_to(top))
+
+    def mobius_inversion_check(
+        self, f: Mapping[Element, float], g: Mapping[Element, float]
+    ) -> bool:
+        """Verify the Möbius inversion formula (Proposition B.1) on data:
+        ``g(x) = sum_{u <= x} f(u)`` for all x implies (and is implied by)
+        ``f(x) = sum_{u <= x} mu(u, x) g(u)`` for all x.  Returns whether the
+        first identity holds iff the second does on the given data."""
+        first = all(
+            abs(g[x] - sum(f[u] for u in self.down_set(x))) < 1e-9
+            for x in self._elements
+        )
+        second = all(
+            abs(
+                f[x]
+                - sum(
+                    self.mobius(u, x) * g[u] for u in self.down_set(x)
+                )
+            )
+            < 1e-9
+            for x in self._elements
+        )
+        return first == second
+
+
+def _has_least(poset: FinitePoset, subset: list) -> bool:
+    return any(all(poset.leq(c, d) for d in subset) for c in subset)
+
+
+def _has_greatest(poset: FinitePoset, subset: list) -> bool:
+    return any(all(poset.leq(d, c) for d in subset) for c in subset)
+
+
+def subset_lattice(ground: Iterable[int]) -> FinitePoset:
+    """The Boolean lattice of all subsets of ``ground``, ordered by
+    inclusion.  Its Möbius function is ``mu(A, B) = (-1)^{|B| - |A|}``; tests
+    use this as a known oracle."""
+    ground_set = frozenset(ground)
+    elements = []
+    items = sorted(ground_set)
+    for mask in range(1 << len(items)):
+        elements.append(
+            frozenset(items[i] for i in range(len(items)) if mask >> i & 1)
+        )
+    return FinitePoset(elements, lambda a, b: a <= b)
+
+
+def divisor_lattice(n: int) -> FinitePoset:
+    """The divisors of ``n`` ordered by divisibility.  Its Möbius function
+    restricted to ``(1, n)`` is the classical number-theoretic ``mu(n)``;
+    tests use this as a second known oracle."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    divisors = [d for d in range(1, n + 1) if n % d == 0]
+    return FinitePoset(divisors, lambda a, b: b % a == 0)

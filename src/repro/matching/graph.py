@@ -1,0 +1,75 @@
+"""The hypercube graph ``G_V`` and colored graphs ``G_V[phi]``.
+
+Definition 5.6: ``G_V`` has node set ``2^V`` with an edge between any two
+valuations differing in exactly one variable, and ``G_V[phi]`` colors the
+satisfying valuations of ``phi``.  Figures 3, 5 and 7 of the paper are
+colored graphs of this kind.  Nodes are valuation masks; networkx carries
+the graph structure so the matching machinery can reuse standard
+algorithms.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core import valuations as _val
+from repro.core.boolean_function import BooleanFunction
+
+
+def hypercube_graph(nvars: int) -> nx.Graph:
+    """``G_V`` for ``V = {0..nvars-1}``: nodes are valuation masks."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(1 << nvars))
+    for mask in range(1 << nvars):
+        for var in range(nvars):
+            neighbor = mask ^ (1 << var)
+            if neighbor > mask:
+                graph.add_edge(mask, neighbor)
+    return graph
+
+
+class ColoredGraph:
+    """``G_V[phi]``: the hypercube with the models of ``phi`` colored."""
+
+    def __init__(self, phi: BooleanFunction):
+        self.phi = phi
+        self.graph = hypercube_graph(phi.nvars)
+        self.colored = frozenset(phi.satisfying_masks())
+
+    @property
+    def uncolored(self) -> frozenset[int]:
+        """The non-satisfying valuations."""
+        return frozenset(
+            m for m in range(1 << self.phi.nvars) if m not in self.colored
+        )
+
+    def colored_subgraph(self) -> nx.Graph:
+        """The subgraph induced by the colored (satisfying) valuations."""
+        return self.graph.subgraph(self.colored).copy()
+
+    def uncolored_subgraph(self) -> nx.Graph:
+        """The subgraph induced by the uncolored valuations."""
+        return self.graph.subgraph(self.uncolored).copy()
+
+    def isolated_colored_nodes(self) -> list[int]:
+        """Colored nodes with no colored neighbor (like ``{3,4}`` in the
+        paper's Figure 5)."""
+        sub = self.colored_subgraph()
+        return sorted(n for n in sub.nodes if sub.degree(n) == 0)
+
+    def isolated_uncolored_nodes(self) -> list[int]:
+        """Uncolored nodes with no uncolored neighbor (like ``{0,3,4}`` in
+        Figure 5)."""
+        sub = self.uncolored_subgraph()
+        return sorted(n for n in sub.nodes if sub.degree(n) == 0)
+
+    def euler_characteristic(self) -> int:
+        """``e(phi)`` — the coloring invariant preserved by the ±moves."""
+        return self.phi.euler_characteristic()
+
+    def levels(self) -> list[list[int]]:
+        """Nodes grouped by valuation size (the rows of Figures 3/5/7)."""
+        by_size: list[list[int]] = [[] for _ in range(self.phi.nvars + 1)]
+        for mask in range(1 << self.phi.nvars):
+            by_size[_val.popcount(mask)].append(mask)
+        return by_size

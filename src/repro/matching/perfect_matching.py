@@ -1,0 +1,89 @@
+"""Perfect matchings of induced hypercube subgraphs (Section 7).
+
+The paper reformulates ``phi ∼−* ⊥`` as: the subgraph of ``G_V[phi]``
+induced by the colored nodes has a perfect matching (and dually
+``phi ∼+* ⊤`` for the uncolored nodes).  Because the hypercube is bipartite
+(by valuation-size parity), maximum matchings are computed exactly with
+Hopcroft–Karp — our offline substitute for the Glucose SAT solver used by
+[26] for the experiment cited under Conjecture 1.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core import valuations as _val
+from repro.core.boolean_function import BooleanFunction
+from repro.matching.graph import ColoredGraph
+
+
+def maximum_matching_of_induced(
+    graph: nx.Graph,
+) -> dict[int, int]:
+    """A maximum matching of an induced hypercube subgraph, as a symmetric
+    node->node dict.  Uses Hopcroft–Karp on the parity bipartition; isolated
+    nodes and empty graphs are handled explicitly."""
+    if graph.number_of_nodes() == 0:
+        return {}
+    even_side = {n for n in graph.nodes if _val.parity(n) == 1}
+    matching = nx.bipartite.hopcroft_karp_matching(graph, top_nodes=even_side)
+    # hopcroft_karp returns entries for matched nodes from both sides.
+    return dict(matching)
+
+
+def has_perfect_matching(graph: nx.Graph) -> bool:
+    """Whether an induced hypercube subgraph has a perfect matching."""
+    if graph.number_of_nodes() % 2 == 1:
+        return False
+    matching = maximum_matching_of_induced(graph)
+    return len(matching) == graph.number_of_nodes()
+
+
+def colored_matching(phi: BooleanFunction) -> list[tuple[int, int]] | None:
+    """A perfect matching of the colored subgraph of ``G_V[phi]`` as a list
+    of adjacent valuation pairs, or None if there is none.
+
+    A returned matching certifies ``phi ∼−* ⊥`` and feeds
+    :func:`repro.core.fragmentation.fragment_via_matching` (the d-DNNF
+    special case of Section 7).
+    """
+    subgraph = ColoredGraph(phi).colored_subgraph()
+    if not has_perfect_matching(subgraph):
+        return None
+    matching = maximum_matching_of_induced(subgraph)
+    pairs = []
+    for left, right in matching.items():
+        if left < right:
+            pairs.append((left, right))
+    return pairs
+
+
+def uncolored_matching(phi: BooleanFunction) -> list[tuple[int, int]] | None:
+    """A perfect matching of the *uncolored* subgraph, certifying
+    ``phi ∼+* ⊤`` (then ``¬Q_phi ∈ d-DNNF(PTIME)``, Section 7), or None."""
+    subgraph = ColoredGraph(phi).uncolored_subgraph()
+    if not has_perfect_matching(subgraph):
+        return None
+    matching = maximum_matching_of_induced(subgraph)
+    pairs = []
+    for left, right in matching.items():
+        if left < right:
+            pairs.append((left, right))
+    return pairs
+
+
+def steps_from_matching(
+    phi: BooleanFunction, pairs: list[tuple[int, int]]
+) -> list:
+    """Turn a colored perfect matching into an explicit ``∼−*`` derivation
+    ``phi ~> ⊥`` (each pair is one removal step)."""
+    from repro.core.transformation import Step, apply_steps
+
+    steps = []
+    for first, second in pairs:
+        variable = (first ^ second).bit_length() - 1
+        steps.append(Step(-1, first, variable))
+    final = apply_steps(phi, steps)
+    if not final.is_bottom():
+        raise ValueError("pairs do not tile SAT(phi)")
+    return steps

@@ -1,0 +1,20 @@
+"""Reduced OBDDs: node store, apply, layered automaton compilation, and
+expansion into d-D circuits (the Proposition 3.7 substrate)."""
+
+from repro.obdd.fbdd import Fbdd, fbdd_from_obdd
+from repro.obdd.builder import LayeredAutomaton, build_obdd, product_automaton
+from repro.obdd.obdd import TERMINAL_FALSE, TERMINAL_TRUE, ObddManager
+from repro.obdd.to_circuit import obdd_into_circuit, obdd_to_circuit
+
+__all__ = [
+    "Fbdd",
+    "LayeredAutomaton",
+    "ObddManager",
+    "TERMINAL_FALSE",
+    "TERMINAL_TRUE",
+    "build_obdd",
+    "fbdd_from_obdd",
+    "obdd_into_circuit",
+    "obdd_to_circuit",
+    "product_automaton",
+]

@@ -1,0 +1,268 @@
+"""Free Binary Decision Diagrams (FBDDs).
+
+FBDDs [1] relax OBDDs by dropping the global variable order: each
+root-to-sink path may test variables in its own order, but never tests the
+same variable twice (the *read-once* property).  They matter to the paper
+through [6]: Theorem 6.3 transfers FBDD lineage representations between
+H-queries, and the exponential FBDD lower bound for ``Q_{phi_big-FBDDs}``
+then rules the whole nondegenerate family out of FBDD(PSIZE) — which is why
+Section 6 contrasts the paper's Euler-characteristic-based d-D transfer
+(Theorem 6.2) with it.
+
+This module provides the data structure, the read-once validation, exact
+probability/model counting (linear, like all decision diagrams), an
+OBDD-importer (every OBDD is an FBDD), and the expansion into d-D circuits
+— FBDDs are DLDD-shaped d-Ds, so the rest of the library applies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from fractions import Fraction
+
+from repro.circuits.circuit import Circuit
+from repro.obdd.obdd import TERMINAL_FALSE, TERMINAL_TRUE, ObddManager
+
+
+class Fbdd:
+    """An FBDD: decision nodes ``(variable, low, high)`` over two terminals.
+
+    Node ids 0/1 are the False/True terminals; internal nodes are appended
+    through :meth:`add_node`.  Reduction is not enforced (FBDDs have no
+    canonical form), but read-once-ness is checked by :meth:`validate`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[tuple[Hashable, int, int]] = [
+            (None, -1, -1),
+            (None, -1, -1),
+        ]
+        self._root: int | None = None
+
+    def add_node(self, variable: Hashable, low: int, high: int) -> int:
+        """Append a decision node; children must already exist."""
+        for child in (low, high):
+            if not 0 <= child < len(self._nodes):
+                raise ValueError(f"unknown child node {child}")
+        self._nodes.append((variable, low, high))
+        return len(self._nodes) - 1
+
+    def set_root(self, node_id: int) -> None:
+        """Designate the root node."""
+        if not 0 <= node_id < len(self._nodes):
+            raise ValueError(f"unknown node {node_id}")
+        self._root = node_id
+
+    @property
+    def root(self) -> int:
+        if self._root is None:
+            raise ValueError("FBDD has no designated root")
+        return self._root
+
+    def node(self, node_id: int) -> tuple[Hashable, int, int]:
+        """The ``(variable, low, high)`` of an internal node."""
+        if node_id < 2:
+            raise ValueError("terminals have no structure")
+        return self._nodes[node_id]
+
+    def is_terminal(self, node_id: int) -> bool:
+        return node_id < 2
+
+    def size(self) -> int:
+        """Number of nodes reachable from the root."""
+        seen: set[int] = set()
+        stack = [self.root]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if node_id >= 2:
+                _, low, high = self._nodes[node_id]
+                stack.extend((low, high))
+        return len(seen)
+
+    def variables(self) -> frozenset[Hashable]:
+        """All decision variables reachable from the root."""
+        labels: set[Hashable] = set()
+        stack = [self.root]
+        seen: set[int] = set()
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen or node_id < 2:
+                continue
+            seen.add(node_id)
+            variable, low, high = self._nodes[node_id]
+            labels.add(variable)
+            stack.extend((low, high))
+        return frozenset(labels)
+
+    # ------------------------------------------------------------------
+    # Validation: the "free" (read-once) property
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check that no root-to-terminal path tests a variable twice.
+
+        Computed without path enumeration: for every node, the set of
+        variables tested on *some* path from the root to it must not
+        contain the node's own variable.  Sets are propagated along a
+        topological order of the reachable DAG.
+
+        :raises ValueError: if some path reads a variable twice.
+        """
+        order = self._topological()
+        tested_above: dict[int, set[Hashable]] = {self.root: set()}
+        for node_id in order:
+            if node_id < 2:
+                continue
+            variable, low, high = self._nodes[node_id]
+            above = tested_above.setdefault(node_id, set())
+            if variable in above:
+                raise ValueError(
+                    f"variable {variable!r} re-tested below itself at node "
+                    f"{node_id}"
+                )
+            below = above | {variable}
+            for child in (low, high):
+                tested_above.setdefault(child, set()).update(below)
+
+    def _topological(self) -> list[int]:
+        order: list[int] = []
+        seen: set[int] = set()
+
+        def visit(node_id: int) -> None:
+            if node_id in seen or node_id < 2:
+                return
+            seen.add(node_id)
+            order.append(node_id)
+            _, low, high = self._nodes[node_id]
+            visit(low)
+            visit(high)
+
+        visit(self.root)
+        # Parents before children: DFS preorder works because parents are
+        # visited before their descendants along every path; but a node
+        # with two parents may be ordered after one parent only.  Use
+        # Kahn's algorithm instead for correctness.
+        indegree: dict[int, int] = {self.root: 0}
+        for node_id in seen:
+            _, low, high = self._nodes[node_id]
+            for child in (low, high):
+                if child >= 2:
+                    indegree[child] = indegree.get(child, 0) + 1
+        indegree.setdefault(self.root, 0)
+        queue = [n for n in seen if indegree.get(n, 0) == 0]
+        ordered: list[int] = []
+        while queue:
+            node_id = queue.pop()
+            ordered.append(node_id)
+            _, low, high = self._nodes[node_id]
+            for child in (low, high):
+                if child >= 2:
+                    indegree[child] -= 1
+                    if indegree[child] == 0:
+                        queue.append(child)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        """Follow the decisions; missing variables default to False."""
+        node_id = self.root
+        while node_id >= 2:
+            variable, low, high = self._nodes[node_id]
+            node_id = high if assignment.get(variable, False) else low
+        return bool(node_id)
+
+    def probability(self, prob: Mapping[Hashable, Fraction]) -> Fraction:
+        """Exact probability under independent variables.
+
+        One memoized top-down pass *per node* is wrong for FBDDs (different
+        paths to a node may have consumed different variables), but the
+        standard bottom-up pass is right: by read-once-ness, below a node
+        the untested variables marginalize out exactly as for OBDDs.
+        """
+        cache: dict[int, Fraction] = {
+            TERMINAL_FALSE: Fraction(0),
+            TERMINAL_TRUE: Fraction(1),
+        }
+        stack = [self.root]
+        while stack:
+            node_id = stack[-1]
+            if node_id in cache:
+                stack.pop()
+                continue
+            variable, low, high = self._nodes[node_id]
+            pending = [c for c in (low, high) if c not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            p = Fraction(prob.get(variable, 0))
+            cache[node_id] = (1 - p) * cache[low] + p * cache[high]
+            stack.pop()
+        return cache[self.root]
+
+    def model_count(self) -> int:
+        """Exact model count over :meth:`variables`."""
+        half = Fraction(1, 2)
+        prob = {label: half for label in self.variables()}
+        return int(self.probability(prob) * (2 ** len(self.variables())))
+
+    def to_circuit(self) -> Circuit:
+        """Expand into a d-D circuit (decision gates), as for OBDDs."""
+        circuit = Circuit()
+        gate_of: dict[int, int] = {
+            TERMINAL_FALSE: circuit.add_const(False),
+            TERMINAL_TRUE: circuit.add_const(True),
+        }
+        stack = [self.root]
+        while stack:
+            node_id = stack[-1]
+            if node_id in gate_of:
+                stack.pop()
+                continue
+            variable, low, high = self._nodes[node_id]
+            pending = [c for c in (low, high) if c not in gate_of]
+            if pending:
+                stack.extend(pending)
+                continue
+            var_gate = circuit.add_var(variable)
+            low_branch = circuit.add_and(
+                [circuit.add_not(var_gate), gate_of[low]]
+            )
+            high_branch = circuit.add_and([var_gate, gate_of[high]])
+            gate_of[node_id] = circuit.add_or([low_branch, high_branch])
+            stack.pop()
+        circuit.set_output(gate_of[self.root])
+        return circuit
+
+
+def fbdd_from_obdd(manager: ObddManager, root: int) -> Fbdd:
+    """Every OBDD is an FBDD: import the reachable nodes."""
+    fbdd = Fbdd()
+    mapping: dict[int, int] = {
+        TERMINAL_FALSE: TERMINAL_FALSE,
+        TERMINAL_TRUE: TERMINAL_TRUE,
+    }
+    order = manager.order
+    stack = [root]
+    while stack:
+        node_id = stack[-1]
+        if node_id in mapping:
+            stack.pop()
+            continue
+        level, low, high = manager.node(node_id)
+        pending = [c for c in (low, high) if c not in mapping]
+        if pending:
+            stack.extend(pending)
+            continue
+        mapping[node_id] = fbdd.add_node(
+            order[level], mapping[low], mapping[high]
+        )
+        stack.pop()
+    fbdd.set_root(mapping[root])
+    fbdd.validate()
+    return fbdd

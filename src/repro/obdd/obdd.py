@@ -1,0 +1,263 @@
+"""Reduced Ordered Binary Decision Diagrams (OBDDs).
+
+OBDDs [10, 38] are one of the tractable knowledge-compilation formalisms of
+Section 2; the paper's Proposition 3.7 compiles the lineage of every
+*degenerate* H-query into an OBDD in polynomial time, and those OBDDs are
+the leaves of the d-D templates of Proposition 4.4.
+
+This implementation uses the classic node store with hash-consing:
+
+* a node is ``(level, low_id, high_id)`` where ``level`` indexes into the
+  variable order and ``low``/``high`` are the cofactor children for the
+  variable absent/present;
+* two terminal nodes 0 and 1;
+* reduction invariants (no redundant node, no duplicate node) are enforced
+  at construction, so equality of functions is equality of node ids;
+* ``apply`` implements binary Boolean combinations with memoization, and
+  negation swaps terminals.
+
+Probability computation is a single bottom-up pass (an OBDD is in
+particular a d-D after the standard decision-gate expansion).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Mapping
+from fractions import Fraction
+
+TERMINAL_FALSE = 0
+TERMINAL_TRUE = 1
+
+
+class ObddManager:
+    """A node store for reduced OBDDs over a fixed variable order.
+
+    All OBDDs produced by one manager share its order and node table, so
+    functions can be combined freely with :meth:`apply`.
+    """
+
+    def __init__(self, order: list[Hashable]):
+        if len(set(order)) != len(order):
+            raise ValueError("variable order contains duplicates")
+        self._order = list(order)
+        self._level_of = {label: i for i, label in enumerate(order)}
+        # nodes[i] = (level, low, high) for i >= 2; ids 0/1 are terminals.
+        self._nodes: list[tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> list[Hashable]:
+        """The variable order (position = level)."""
+        return list(self._order)
+
+    def level_of(self, label: Hashable) -> int:
+        """The level of a variable label in the order."""
+        return self._level_of[label]
+
+    def node(self, node_id: int) -> tuple[int, int, int]:
+        """The ``(level, low, high)`` triple of an internal node."""
+        if node_id < 2:
+            raise ValueError("terminals have no structure")
+        return self._nodes[node_id]
+
+    def is_terminal(self, node_id: int) -> bool:
+        """Whether the id denotes one of the two terminal nodes."""
+        return node_id < 2
+
+    def make(self, level: int, low: int, high: int) -> int:
+        """Hash-consing constructor enforcing both reduction rules."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        self._nodes.append(key)
+        node_id = len(self._nodes) - 1
+        self._unique[key] = node_id
+        return node_id
+
+    def terminal(self, value: bool) -> int:
+        """The terminal node for a constant."""
+        return TERMINAL_TRUE if value else TERMINAL_FALSE
+
+    def variable(self, label: Hashable) -> int:
+        """The OBDD of the single variable ``label``."""
+        level = self._level_of[label]
+        return self.make(level, TERMINAL_FALSE, TERMINAL_TRUE)
+
+    def size(self, root: int) -> int:
+        """Number of nodes reachable from ``root`` (terminals included)."""
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if node_id >= 2:
+                _, low, high = self._nodes[node_id]
+                stack.extend((low, high))
+        return len(seen)
+
+    def width_profile(self, root: int) -> dict[int, int]:
+        """Number of reachable nodes per level (the OBDD width per layer)."""
+        profile: dict[int, int] = {}
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen or node_id < 2:
+                continue
+            seen.add(node_id)
+            level, low, high = self._nodes[node_id]
+            profile[level] = profile.get(level, 0) + 1
+            stack.extend((low, high))
+        return profile
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+
+    _OPS: dict[str, Callable[[bool, bool], bool]] = {
+        "and": lambda a, b: a and b,
+        "or": lambda a, b: a or b,
+        "xor": lambda a, b: a != b,
+    }
+    _OP_CODES = {"and": 2, "or": 3, "xor": 4}
+
+    def apply(self, op: str, left: int, right: int) -> int:
+        """Shannon-expansion combination of two OBDDs (Bryant's apply)."""
+        if op not in self._OPS:
+            raise ValueError(f"unknown operation {op!r}")
+        return self._apply(self._OP_CODES[op], self._OPS[op], left, right)
+
+    def _apply(
+        self,
+        op_code: int,
+        op: Callable[[bool, bool], bool],
+        left: int,
+        right: int,
+    ) -> int:
+        if left < 2 and right < 2:
+            return self.terminal(op(bool(left), bool(right)))
+        # Short circuits for the lattice operations.
+        if op_code == 2:  # and
+            if left == TERMINAL_FALSE or right == TERMINAL_FALSE:
+                return TERMINAL_FALSE
+            if left == TERMINAL_TRUE:
+                return right
+            if right == TERMINAL_TRUE:
+                return left
+            if left == right:
+                return left
+        elif op_code == 3:  # or
+            if left == TERMINAL_TRUE or right == TERMINAL_TRUE:
+                return TERMINAL_TRUE
+            if left == TERMINAL_FALSE:
+                return right
+            if right == TERMINAL_FALSE:
+                return left
+            if left == right:
+                return left
+        key = (op_code, left, right)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        left_level = self._nodes[left][0] if left >= 2 else float("inf")
+        right_level = self._nodes[right][0] if right >= 2 else float("inf")
+        level = int(min(left_level, right_level))
+        if left >= 2 and self._nodes[left][0] == level:
+            left_low, left_high = self._nodes[left][1], self._nodes[left][2]
+        else:
+            left_low = left_high = left
+        if right >= 2 and self._nodes[right][0] == level:
+            right_low, right_high = self._nodes[right][1], self._nodes[right][2]
+        else:
+            right_low = right_high = right
+        low = self._apply(op_code, op, left_low, right_low)
+        high = self._apply(op_code, op, left_high, right_high)
+        result = self.make(level, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    def negate(self, root: int) -> int:
+        """The complement OBDD (swap terminals, memoized via apply-xor)."""
+        return self.apply("xor", root, TERMINAL_TRUE)
+
+    def conjoin_all(self, roots: list[int]) -> int:
+        """Fold a list of OBDDs with ``and``."""
+        result = TERMINAL_TRUE
+        for root in roots:
+            result = self.apply("and", result, root)
+        return result
+
+    def disjoin_all(self, roots: list[int]) -> int:
+        """Fold a list of OBDDs with ``or``."""
+        result = TERMINAL_FALSE
+        for root in roots:
+            result = self.apply("or", result, root)
+        return result
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def evaluate(self, root: int, assignment: Mapping[Hashable, bool]) -> bool:
+        """Evaluate under an assignment; missing variables default to False."""
+        node_id = root
+        while node_id >= 2:
+            level, low, high = self._nodes[node_id]
+            node_id = (
+                high if assignment.get(self._order[level], False) else low
+            )
+        return bool(node_id)
+
+    def probability(
+        self, root: int, prob: Mapping[Hashable, Fraction]
+    ) -> Fraction:
+        """``Pr(root)`` under independent variables, by one memoized
+        bottom-up pass.  Variables skipped along an edge are marginalized
+        automatically (their branches sum out)."""
+        cache: dict[int, Fraction] = {
+            TERMINAL_FALSE: Fraction(0),
+            TERMINAL_TRUE: Fraction(1),
+        }
+
+        def walk(node_id: int) -> Fraction:
+            if node_id in cache:
+                return cache[node_id]
+            level, low, high = self._nodes[node_id]
+            p = Fraction(prob.get(self._order[level], 0))
+            value = (1 - p) * walk(low) + p * walk(high)
+            cache[node_id] = value
+            return value
+
+        # Iterative version to avoid recursion limits on deep orders.
+        stack = [root]
+        while stack:
+            node_id = stack[-1]
+            if node_id in cache:
+                stack.pop()
+                continue
+            level, low, high = self._nodes[node_id]
+            pending = [c for c in (low, high) if c not in cache]
+            if pending:
+                stack.extend(pending)
+                continue
+            p = Fraction(prob.get(self._order[level], 0))
+            cache[node_id] = (1 - p) * cache[low] + p * cache[high]
+            stack.pop()
+        return cache[root]
+
+    def model_count(self, root: int) -> int:
+        """Exact model count over all variables of the order."""
+        half = Fraction(1, 2)
+        prob = {label: half for label in self._order}
+        value = self.probability(root, prob)
+        return int(value * (2 ** len(self._order)))

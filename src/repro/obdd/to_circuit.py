@@ -1,0 +1,59 @@
+"""Conversion of OBDDs into deterministic decomposable circuits.
+
+An OBDD is, after the standard decision-gate expansion, a d-D (in fact a
+DLDD in the terminology of [6]): each internal node ``(v, low, high)``
+becomes the gate ``(¬v ∧ low) ∨ (v ∧ high)``, whose ∨ is deterministic
+(the two branches disagree on ``v``) and whose ∧-gates are decomposable
+(reduced OBDD children never test ``v`` again).  The paper's Proposition 4.4
+plugs such circuits into ¬-∨-templates; this module provides the expansion.
+
+One subtlety: an OBDD edge may *skip* variables of the order, which is fine
+for Boolean semantics and for probability (skipped variables marginalize
+out), so no smoothing is required — our circuit probability pass is exact on
+the expanded circuit because the decision expansion preserves the function
+and the d-D properties, and d-D probability is exact regardless of
+smoothness.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.obdd.obdd import TERMINAL_FALSE, TERMINAL_TRUE, ObddManager
+
+
+def obdd_to_circuit(manager: ObddManager, root: int) -> Circuit:
+    """Expand an OBDD into a d-D circuit with a fresh arena."""
+    circuit = Circuit()
+    circuit.set_output(obdd_into_circuit(manager, root, circuit))
+    return circuit
+
+
+def obdd_into_circuit(
+    manager: ObddManager, root: int, circuit: Circuit
+) -> int:
+    """Expand an OBDD inside an existing circuit arena; returns the gate id
+    computing the OBDD's function.  Shared OBDD nodes become shared gates."""
+    gate_of: dict[int, int] = {
+        TERMINAL_FALSE: circuit.add_const(False),
+        TERMINAL_TRUE: circuit.add_const(True),
+    }
+    order = manager.order
+    stack = [root]
+    while stack:
+        node_id = stack[-1]
+        if node_id in gate_of:
+            stack.pop()
+            continue
+        _, low, high = manager.node(node_id)
+        pending = [c for c in (low, high) if c not in gate_of]
+        if pending:
+            stack.extend(pending)
+            continue
+        level, low, high = manager.node(node_id)
+        var_gate = circuit.add_var(order[level])
+        not_gate = circuit.add_not(var_gate)
+        low_branch = circuit.add_and([not_gate, gate_of[low]])
+        high_branch = circuit.add_and([var_gate, gate_of[high]])
+        gate_of[node_id] = circuit.add_or([low_branch, high_branch])
+        stack.pop()
+    return gate_of[root]

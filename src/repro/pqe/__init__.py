@@ -1,0 +1,101 @@
+"""Probabilistic query evaluation engines.
+
+Three engines that must agree exactly on every instance:
+
+* :mod:`repro.pqe.brute_force` — exponential possible-world oracle;
+* :mod:`repro.pqe.extensional` — lifted inference for H+-queries (Möbius
+  inversion over the CNF lattice + safe plans), the Dalvi–Suciu side;
+* :mod:`repro.pqe.intensional` — the paper's contribution: d-D lineage
+  compilation for all zero-Euler H-queries (Theorem 5.2).
+
+Plus the dichotomy classifier (Figure 1) and the hardness/reduction
+machinery (Proposition 6.4, Theorem 6.2(a)).
+"""
+
+from repro.pqe.approximate import (
+    Estimate,
+    karp_luby_probability,
+    monte_carlo_probability,
+)
+from repro.pqe.brute_force import (
+    pattern_distribution,
+    probability_by_lineage_enumeration,
+    probability_by_world_enumeration,
+)
+from repro.pqe.degenerate import (
+    degenerate_lineage_circuit,
+    degenerate_lineage_obdd,
+    pair_query_circuit,
+)
+from repro.pqe.engine import (
+    BRUTE_FORCE_LIMIT,
+    EvaluationResult,
+    HardQueryError,
+    evaluate,
+)
+from repro.pqe.dichotomy import Classification, Region, classify, classify_function, region_counts
+from repro.pqe.extensional import (
+    UnsafeQueryError,
+    is_safe,
+    mobius_terms,
+    probability_by_raw_inclusion_exclusion,
+)
+from repro.pqe.extensional import probability as extensional_probability
+from repro.pqe.hardness import (
+    is_provably_hard,
+    monotone_witness_with_same_euler,
+    probability_by_reduction,
+)
+from repro.pqe.intensional import (
+    CompiledLineage,
+    NotCompilableError,
+    compile_lineage,
+    compile_lineage_ddnnf,
+    transfer_lineage,
+)
+from repro.pqe.intensional import probability as intensional_probability
+from repro.pqe.safe_plans import (
+    UnsafeSubqueryError,
+    chain_probability,
+    disjunction_probability,
+    runs_of,
+)
+
+__all__ = [
+    "BRUTE_FORCE_LIMIT",
+    "Estimate",
+    "Classification",
+    "EvaluationResult",
+    "HardQueryError",
+    "CompiledLineage",
+    "NotCompilableError",
+    "Region",
+    "UnsafeQueryError",
+    "UnsafeSubqueryError",
+    "chain_probability",
+    "classify",
+    "classify_function",
+    "compile_lineage",
+    "compile_lineage_ddnnf",
+    "degenerate_lineage_circuit",
+    "degenerate_lineage_obdd",
+    "disjunction_probability",
+    "evaluate",
+    "extensional_probability",
+    "intensional_probability",
+    "is_provably_hard",
+    "is_safe",
+    "karp_luby_probability",
+    "monte_carlo_probability",
+    "mobius_terms",
+    "monotone_witness_with_same_euler",
+    "pair_query_circuit",
+    "pattern_distribution",
+    "probability_by_lineage_enumeration",
+    "probability_by_raw_inclusion_exclusion",
+    "probability_by_reduction",
+    "probability_by_world_enumeration",
+    "region_counts",
+    "runs_of",
+    "transfer_lineage",
+]

@@ -1,0 +1,153 @@
+"""Approximate probabilistic query evaluation (the fourth engine).
+
+The dichotomy leaves the non-zero-Euler H-queries #P-hard, but hardness is
+about *exact* computation: the standard practical recourse — and the one
+probabilistic-database systems actually ship — is randomized approximation.
+Two estimators are provided:
+
+* :func:`monte_carlo_probability` — naive sampling: draw worlds from the
+  TID distribution and average the query's indicator.  Unbiased, additive
+  error ``O(1/sqrt(samples))``; useless for tiny probabilities.
+
+* :func:`karp_luby_probability` — the Karp–Luby importance sampler on the
+  monotone DNF lineage: sample a witness-clause proportionally to its
+  weight, complete it to a world, and count the fraction of samples where
+  the sampled clause is the *canonical* (first) satisfied one.  Scaled by
+  the union bound, this is unbiased with *relative* error guarantees —
+  an FPRAS for UCQ lineages, hard queries included.
+
+Both return an estimate plus a (normal-approximation) half-width so tests
+and benches can assert statistically, never exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.db.relation import TupleId
+from repro.db.tid import TupleIndependentDatabase
+from repro.queries.hqueries import HQuery
+from repro.queries.ucq import hquery_to_ucq
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A randomized estimate with a normal-approximation error bar."""
+
+    value: float
+    half_width: float
+    samples: int
+
+    def covers(self, truth: float) -> bool:
+        """Whether the (~95%) interval contains the given value."""
+        return abs(self.value - truth) <= self.half_width
+
+
+def monte_carlo_probability(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    samples: int,
+    rng: random.Random,
+) -> Estimate:
+    """Naive Monte Carlo: average the indicator over sampled worlds.
+
+    Works for *any* H-query (monotone or not) since it only evaluates the
+    query per world.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    hits = 0
+    for _ in range(samples):
+        world = tid.sample_world(rng)
+        if query.holds_in(tid.instance.restrict_to(world)):
+            hits += 1
+    p = hits / samples
+    half_width = 1.96 * math.sqrt(max(p * (1 - p), 1e-12) / samples)
+    return Estimate(p, half_width, samples)
+
+
+def karp_luby_probability(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    samples: int,
+    rng: random.Random,
+) -> Estimate:
+    """Karp–Luby on the monotone DNF lineage of a UCQ H-query.
+
+    Let the lineage be ``C_1 ∨ ... ∨ C_m`` with clause weights
+    ``w_i = prod of tuple probabilities in C_i`` and ``W = sum w_i``.
+    Sample a clause ``i`` with probability ``w_i / W``, then a world
+    conditioned on ``C_i`` being present (the other tuples independent).
+    The estimator averages the indicator "``i`` is the *first* satisfied
+    clause in this world", and ``Pr = W * E[indicator]`` — unbiased, with
+    the indicator's variance bounded away from the small-probability trap.
+
+    :raises ValueError: if the query is not a UCQ (no monotone DNF
+        lineage) or its lineage is empty.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if not query.is_ucq():
+        raise ValueError("Karp–Luby needs a monotone (UCQ) query")
+    ucq = hquery_to_ucq(query)
+    clauses = sorted(ucq.grounding_sets(tid.instance), key=repr)
+    if not clauses:
+        return Estimate(0.0, 0.0, samples)
+    prob = tid.probability_map()
+    weights = []
+    for clause in clauses:
+        w = Fraction(1)
+        for tuple_id in clause:
+            w *= prob[tuple_id]
+        weights.append(w)
+    total_weight = sum(weights, Fraction(0))
+    if total_weight == 0:
+        return Estimate(0.0, 0.0, samples)
+    cumulative: list[Fraction] = []
+    running = Fraction(0)
+    for w in weights:
+        running += w
+        cumulative.append(running)
+
+    all_tuples = tid.instance.tuple_ids()
+    hits = 0
+    for _ in range(samples):
+        draw = Fraction(rng.random()).limit_denominator(1 << 30) * total_weight
+        index = _bisect(cumulative, draw)
+        forced = clauses[index]
+        world: set[TupleId] = set(forced)
+        for tuple_id in all_tuples:
+            if tuple_id in forced:
+                continue
+            if rng.random() < float(prob[tuple_id]):
+                world.add(tuple_id)
+        # Is the sampled clause the first satisfied one?
+        first = next(
+            j
+            for j, clause in enumerate(clauses)
+            if clause <= world
+        )
+        if first == index:
+            hits += 1
+    fraction = hits / samples
+    value = float(total_weight) * fraction
+    half_width = (
+        1.96
+        * float(total_weight)
+        * math.sqrt(max(fraction * (1 - fraction), 1e-12) / samples)
+    )
+    return Estimate(value, half_width, samples)
+
+
+def _bisect(cumulative: list[Fraction], needle: Fraction) -> int:
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        middle = (low + high) // 2
+        if cumulative[middle] < needle:
+            low = middle + 1
+        else:
+            high = middle
+    return low

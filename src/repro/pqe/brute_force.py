@@ -1,0 +1,74 @@
+"""Brute-force probabilistic query evaluation (the validation oracle).
+
+``PQE(Q)`` asks for ``Pr(Q, (D, pi)) = sum over worlds D' |= Q of Pr(D')``
+(Section 2).  This module computes it by literally enumerating all
+``2^|D|`` possible worlds — exponential, exact, and obviously correct,
+which is precisely what the tests need to validate the two polynomial
+engines.  A second entry point goes through the ground-truth lineage
+(Definition B.2), exercising the ``Pr(Q, (D,pi)) = Pr(Lin(Q,D), pi)``
+identity of [18].
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.db.tid import TupleIndependentDatabase, valuation_probability
+from repro.queries.hqueries import HQuery
+
+
+def probability_by_world_enumeration(
+    query: HQuery, tid: TupleIndependentDatabase
+) -> Fraction:
+    """``Pr(Q_phi)`` by summing the probabilities of satisfying worlds.
+
+    Cost ``O(2^|D| * eval)``; refuses instances with more than 22 tuples.
+    """
+    if len(tid) > 22:
+        raise ValueError(
+            f"brute force refuses {len(tid)} tuples (> 22); "
+            "use the extensional or intensional engine"
+        )
+    total = Fraction(0)
+    for _, world_probability, world in tid.possible_worlds():
+        if world_probability == 0:
+            continue
+        if query.holds_in(world):
+            total += world_probability
+    return total
+
+
+def probability_by_lineage_enumeration(
+    query: HQuery, tid: TupleIndependentDatabase
+) -> Fraction:
+    """``Pr(Lin(Q_phi, D), pi)``: tabulate the lineage, then sum valuation
+    probabilities over its models (Definition B.2).  Numerically identical
+    to :func:`probability_by_world_enumeration` — the [18] identity — but
+    routed through the lineage machinery."""
+    tuple_ids, lineage = query.lineage_truth_table(tid.instance)
+    prob = {t: tid.probability_of(t) for t in tuple_ids}
+    total = Fraction(0)
+    for model in lineage.satisfying_sets():
+        valuation = frozenset(tuple_ids[j] for j in model)
+        total += valuation_probability(prob, valuation)
+    return total
+
+
+def pattern_distribution(
+    query: HQuery, tid: TupleIndependentDatabase
+) -> dict[int, Fraction]:
+    """The exact distribution of the h-pattern (which ``h_{k,i}`` hold)
+    across worlds — a richer oracle used by tests of the intensional
+    engine's determinism argument (distinct patterns are disjoint events
+    whose probabilities must sum to 1)."""
+    if len(tid) > 22:
+        raise ValueError("pattern distribution limited to 22 tuples")
+    distribution: dict[int, Fraction] = {}
+    for _, world_probability, world in tid.possible_worlds():
+        if world_probability == 0:
+            continue
+        pattern = query.h_pattern(world)
+        distribution[pattern] = (
+            distribution.get(pattern, Fraction(0)) + world_probability
+        )
+    return distribution

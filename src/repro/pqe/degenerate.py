@@ -1,0 +1,307 @@
+"""Lineage compilation for degenerate H-queries (Proposition 3.7 /
+Appendix B.1).
+
+For a degenerate ``phi`` (not depending on some variable ``l``), the paper
+writes ``phi = ∨_{nu |= phi, l not in nu} (phi_nu ∨ phi_{nu^(l)})`` — a
+deterministic disjunction over *pair queries*.  Each pair query
+``Q_{phi_nu ∨ phi_{nu^(l)}}`` asserts an exact pattern of the ``h_{k,i}``
+for every ``i != l`` and splits as ``Q^L ∧ Q^R``:
+
+* ``Q^L`` constrains indices ``{0..l-1}`` and touches only the relations
+  ``R, S_1, ..., S_l``;
+* ``Q^R`` constrains indices ``{l+1..k}`` and touches only
+  ``S_{l+1}, ..., S_k, T``;
+
+so the conjunction is decomposable.  Each side compiles to an OBDD under
+the interleaved variable order ``Pi_L`` of Appendix B.1 (x-major for the
+left side, y-major for the right) via a product automaton with O(2^k)
+states — constant in data complexity — built with
+:mod:`repro.obdd.builder`.
+
+The exported constructions:
+
+* :func:`pair_query_circuit` — d-D lineage of one pair query (the template
+  leaves of Proposition 4.4);
+* :func:`degenerate_lineage_circuit` — d-D lineage of any degenerate
+  H-query (Proposition 3.7 as used by the paper: the Q_phi ∈ d-D(PTIME)
+  part);
+* :func:`degenerate_lineage_obdd` — the single-OBDD form (the literal
+  statement of Proposition 3.7), combining the pair OBDDs with ``apply``
+  under one shared order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.circuits.circuit import Circuit
+from repro.core.boolean_function import BooleanFunction
+from repro.db.relation import Instance, TupleId
+from repro.obdd.builder import LayeredAutomaton, build_obdd
+from repro.obdd.obdd import ObddManager
+from repro.obdd.to_circuit import obdd_into_circuit
+
+
+def _sides(db: Instance) -> tuple[list[Hashable], list[Hashable]]:
+    """Active x-side and y-side domains of an instance over the H-schema."""
+    xs: set[Hashable] = set()
+    ys: set[Hashable] = set()
+    for tuple_id in db.tuple_ids():
+        if tuple_id.relation == "R":
+            xs.add(tuple_id.values[0])
+        elif tuple_id.relation == "T":
+            ys.add(tuple_id.values[0])
+        elif tuple_id.relation.startswith("S"):
+            xs.add(tuple_id.values[0])
+            ys.add(tuple_id.values[1])
+    return sorted(xs, key=repr), sorted(ys, key=repr)
+
+
+def left_variable_order(l: int, db: Instance) -> list[TupleId]:
+    """The order ``Pi_L`` of Appendix B.1 for the left side (indices
+    ``0..l-1``, relations ``R, S_1..S_l``): for each ``x``, first ``R(x)``,
+    then for each ``y`` the block ``S_1(x,y), ..., S_l(x,y)``."""
+    xs, ys = _sides(db)
+    order: list[TupleId] = []
+    for x in xs:
+        order.append(TupleId("R", (x,)))
+        for y in ys:
+            for i in range(1, l + 1):
+                order.append(TupleId(f"S{i}", (x, y)))
+    return order
+
+
+def right_variable_order(l: int, k: int, db: Instance) -> list[TupleId]:
+    """The mirrored order for the right side (indices ``l+1..k``,
+    relations ``S_{l+1}..S_k, T``): for each ``y``, first ``T(y)``, then
+    for each ``x`` the block ``S_k(x,y), ..., S_{l+1}(x,y)`` (descending,
+    so that adjacent relation indices are adjacent in the scan)."""
+    xs, ys = _sides(db)
+    order: list[TupleId] = []
+    for y in ys:
+        order.append(TupleId("T", (y,)))
+        for x in xs:
+            for i in range(k, l, -1):
+                order.append(TupleId(f"S{i}", (x, y)))
+    return order
+
+
+class _SideAutomaton:
+    """Shared automaton logic for both sides.
+
+    State: ``(satisfied_mask, unary_value, previous_s_value)`` where
+
+    * ``satisfied_mask`` has bit ``j`` set when local query ``j`` is already
+      witnessed (left side: ``h_{k,j}`` for ``j in 0..l-1``; right side:
+      ``h_{k, k - j}`` for ``j in 0..k-l-2``... — the caller supplies the
+      decoding);
+    * ``unary_value`` is the current block's ``R(x)`` / ``T(y)`` value;
+    * ``previous_s_value`` is the previous ``S`` tuple in the current
+      ``(x, y)`` chain.
+
+    The transition is driven by a per-position event tag precomputed from
+    the variable order: ``("unary",)`` resets the block;
+    ``("s", chain_position)`` advances the chain (``chain_position`` 0
+    pairs with the unary, others with their predecessor).
+    """
+
+    def __init__(self, order: list[TupleId], events: list[tuple], nqueries: int):
+        if len(order) != len(events):
+            raise ValueError("order/events length mismatch")
+        self.order = order
+        self.events = events
+        self.nqueries = nqueries
+
+    def automaton(self, accepting_mask: int) -> LayeredAutomaton:
+        """The layered automaton accepting exactly the runs whose final
+        satisfied mask equals ``accepting_mask``."""
+        events = self.events
+
+        def transition(state, position, value):
+            mask, unary, prev = state
+            kind = events[position]
+            if kind[0] == "unary":
+                return (mask, value, False)
+            chain_position = kind[1]
+            if chain_position == 0:
+                if unary and value:
+                    mask |= 1
+                return (mask, unary, value)
+            if prev and value:
+                mask |= 1 << chain_position
+            return (mask, unary, value)
+
+        return LayeredAutomaton(
+            order=self.order,
+            initial=(0, False, False),
+            transition=transition,
+            accepting=lambda state: state[0] == accepting_mask,
+        )
+
+
+def left_side_machine(l: int, db: Instance) -> _SideAutomaton:
+    """The left-side automaton: local query ``j`` (bit ``j``) is
+    ``h_{k,j}``; in a block for ``(x, y)``, reading ``S_{j+1}(x,y)`` pairs
+    with ``S_j(x,y)`` (or with ``R(x)`` for ``j = 0``)."""
+    order = left_variable_order(l, db)
+    events: list[tuple] = []
+    for tuple_id in order:
+        if tuple_id.relation == "R":
+            events.append(("unary",))
+        else:
+            index = int(tuple_id.relation[1:])  # S_i -> chain position i-1
+            events.append(("s", index - 1))
+    return _SideAutomaton(order, events, l)
+
+
+def right_side_machine(l: int, k: int, db: Instance) -> _SideAutomaton:
+    """The right-side automaton: local query ``j`` (bit ``j``) is
+    ``h_{k, k-j}``; scanning ``S_k, S_{k-1}, ...`` downward, reading
+    ``S_i(x,y)`` pairs with ``S_{i+1}(x,y)`` (or with ``T(y)`` for
+    ``i = k``)."""
+    order = right_variable_order(l, k, db)
+    events: list[tuple] = []
+    for tuple_id in order:
+        if tuple_id.relation == "T":
+            events.append(("unary",))
+        else:
+            index = int(tuple_id.relation[1:])  # S_i -> chain position k-i
+            events.append(("s", k - index))
+    return _SideAutomaton(order, events, k - l)
+
+
+def _left_accepting_mask(pattern: int, l: int) -> int:
+    """Bits 0..l-1 of the h-pattern, which the left machine tracks
+    directly."""
+    return pattern & ((1 << l) - 1)
+
+
+def _right_accepting_mask(pattern: int, l: int, k: int) -> int:
+    """The right machine tracks ``h_{k, k-j}`` at bit ``j``; translate the
+    pattern bits ``l+1..k`` accordingly."""
+    mask = 0
+    for i in range(l + 1, k + 1):
+        if pattern >> i & 1:
+            mask |= 1 << (k - i)
+    return mask
+
+
+def pair_query_circuit(
+    k: int,
+    l: int,
+    pattern: int,
+    db: Instance,
+    circuit: Circuit,
+) -> int:
+    """Build, inside ``circuit``, the d-D lineage of the pair query
+    ``Q_{phi_nu ∨ phi_{nu^(l)}}``, where ``pattern`` is the mask of ``nu``
+    restricted to indices ``!= l`` (bit ``l`` is ignored).  Returns the
+    output gate id.
+
+    The circuit is the decomposable conjunction of the two side OBDDs
+    (constant sides for ``l = 0`` / ``l = k`` collapse to the other side).
+    """
+    if not 0 <= l <= k:
+        raise ValueError(f"flip variable {l} out of range for k = {k}")
+    parts: list[int] = []
+    if l > 0:
+        machine = left_side_machine(l, db)
+        manager = ObddManager(machine.order)
+        _, root = build_obdd(
+            machine.automaton(_left_accepting_mask(pattern, l)), manager
+        )
+        parts.append(obdd_into_circuit(manager, root, circuit))
+    if l < k:
+        machine = right_side_machine(l, k, db)
+        manager = ObddManager(machine.order)
+        _, root = build_obdd(
+            machine.automaton(_right_accepting_mask(pattern, l, k)), manager
+        )
+        parts.append(obdd_into_circuit(manager, root, circuit))
+    if not parts:
+        raise AssertionError("unreachable: l cannot be both 0 and k")
+    return circuit.add_and(parts)
+
+
+def degenerate_lineage_circuit(
+    phi: BooleanFunction, db: Instance, missing_variable: int | None = None
+) -> Circuit:
+    """Proposition 3.7 (d-D form): the lineage of ``Q_phi`` for degenerate
+    ``phi``, as the deterministic disjunction of pair-query circuits over
+    the models of ``phi`` grouped by the missing variable.
+
+    :param missing_variable: a variable ``phi`` does not depend on; found
+        automatically when omitted.
+    :raises ValueError: if ``phi`` is nondegenerate.
+    """
+    k = phi.nvars - 1
+    l = missing_variable
+    if l is None:
+        dependencies = phi.dependency_set()
+        l = next(
+            (v for v in range(phi.nvars) if v not in dependencies), None
+        )
+    if l is None or phi.depends_on(l):
+        raise ValueError(
+            "degenerate_lineage_circuit requires a variable phi ignores"
+        )
+    circuit = Circuit()
+    branches = []
+    bit = 1 << l
+    for model in phi.satisfying_masks():
+        if model & bit:
+            continue  # The pair {model, model | bit} is handled once.
+        branches.append(pair_query_circuit(k, l, model, db, circuit))
+    circuit.set_output(circuit.add_or(branches))
+    return circuit
+
+
+def degenerate_lineage_obdd(
+    phi: BooleanFunction, db: Instance, missing_variable: int | None = None
+) -> tuple[ObddManager, int]:
+    """Proposition 3.7 (literal OBDD form): a single OBDD for the lineage
+    of a degenerate ``Q_phi``, under the concatenated left/right order,
+    combining the per-side, per-pair OBDDs with ``apply``.
+
+    Data complexity is polynomial: each pair OBDD has constant width and
+    the number of pairs is constant, so the apply-products stay polynomial.
+    """
+    k = phi.nvars - 1
+    l = missing_variable
+    if l is None:
+        dependencies = phi.dependency_set()
+        l = next(
+            (v for v in range(phi.nvars) if v not in dependencies), None
+        )
+    if l is None or phi.depends_on(l):
+        raise ValueError(
+            "degenerate_lineage_obdd requires a variable phi ignores"
+        )
+    left_machine = left_side_machine(l, db) if l > 0 else None
+    right_machine = right_side_machine(l, k, db) if l < k else None
+    order: list[TupleId] = []
+    if left_machine is not None:
+        order.extend(left_machine.order)
+    if right_machine is not None:
+        order.extend(right_machine.order)
+    manager = ObddManager(order)
+    result = manager.terminal(False)
+    bit = 1 << l
+    for model in phi.satisfying_masks():
+        if model & bit:
+            continue
+        parts = []
+        if left_machine is not None:
+            _, root = build_obdd(
+                left_machine.automaton(_left_accepting_mask(model, l)),
+                manager,
+            )
+            parts.append(root)
+        if right_machine is not None:
+            _, root = build_obdd(
+                right_machine.automaton(_right_accepting_mask(model, l, k)),
+                manager,
+            )
+            parts.append(root)
+        result = manager.apply("or", result, manager.conjoin_all(parts))
+    return manager, result

@@ -1,0 +1,94 @@
+"""Classification of H-queries into the regions of Figure 1.
+
+The paper's Figure 1 partitions H by the tractability/compilability facts
+established across Sections 3–6:
+
+* ``DEGENERATE`` — ``phi`` degenerate: ``Q_phi ∈ OBDD(PTIME)``
+  (Proposition 3.7; these are the inversion-free H-queries, the blue
+  rectangle);
+* ``ZERO_EULER`` — nondegenerate with ``e(phi) = 0``: fragmentable, hence
+  ``Q_phi ∈ d-D(PTIME)`` (Theorem 5.2, dashed green); for monotone ``phi``
+  these are exactly the safe H+-queries (Corollary 3.9);
+* ``HARD`` — ``e(phi) != 0`` within the monotone-achievable range:
+  ``PQE(Q_phi)`` is #P-hard (Corollary 3.9 for monotone ``phi``,
+  Proposition 6.4 beyond; dashed red);
+* ``CONJECTURED_HARD`` — ``e(phi) != 0`` outside the monotone range
+  (e.g. ``phi_maxEuler``): conjectured #P-hard (Open problem 1, dotted
+  gray).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.euler import monotone_euler_extremes
+from repro.queries.hqueries import HQuery
+
+
+class Region(enum.Enum):
+    """The four regions of Figure 1 (degenerate ⊂ zero-Euler is drawn as a
+    separate, stronger region because it admits OBDDs, not just d-Ds)."""
+
+    DEGENERATE = "degenerate (OBDD PTIME)"
+    ZERO_EULER = "zero Euler (d-D PTIME)"
+    HARD = "#P-hard (Cor 3.9 / Prop 6.4)"
+    CONJECTURED_HARD = "conjectured #P-hard (Open problem 1)"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Everything Figure 1 says about one query."""
+
+    region: Region
+    euler: int
+    is_ucq: bool
+    is_degenerate: bool
+    obdd_ptime: bool
+    dd_ptime: bool
+    known_hard: bool
+
+    @property
+    def safe(self) -> bool:
+        """For UCQs: the [12] dichotomy verdict (PTIME side)."""
+        return self.dd_ptime
+
+
+def classify_function(phi: BooleanFunction) -> Classification:
+    """Classify the H-query ``Q_phi`` by its Boolean function."""
+    k = phi.nvars - 1
+    euler = phi.euler_characteristic()
+    degenerate = phi.is_degenerate()
+    if degenerate:
+        region = Region.DEGENERATE
+    elif euler == 0:
+        region = Region.ZERO_EULER
+    else:
+        low, high = monotone_euler_extremes(k)
+        region = (
+            Region.HARD if low <= euler <= high else Region.CONJECTURED_HARD
+        )
+    return Classification(
+        region=region,
+        euler=euler,
+        is_ucq=phi.is_monotone(),
+        is_degenerate=degenerate,
+        obdd_ptime=degenerate,
+        dd_ptime=euler == 0,
+        known_hard=region is Region.HARD,
+    )
+
+
+def classify(query: HQuery) -> Classification:
+    """Classify an :class:`HQuery` (delegates to the function)."""
+    return classify_function(query.phi)
+
+
+def region_counts(functions) -> dict[Region, int]:
+    """Tally regions over an iterable of Boolean functions — the numeric
+    reproduction of Figure 1 (bench E1)."""
+    counts = {region: 0 for region in Region}
+    for phi in functions:
+        counts[classify_function(phi).region] += 1
+    return counts

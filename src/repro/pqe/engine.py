@@ -1,0 +1,112 @@
+"""A unified evaluation facade with automatic engine selection.
+
+Downstream users mostly want one call: "give me the probability of this
+query, pick the right algorithm, and tell me what you did".  This module
+wraps the three engines behind :func:`evaluate`:
+
+* ``method="auto"`` consults the dichotomy classifier: zero-Euler queries
+  go to the intensional compiler (works for monotone and non-monotone
+  ``phi`` alike), and anything else falls back to brute force only when
+  the instance is small enough — otherwise the call *refuses*, because by
+  Corollary 3.9 / Proposition 6.4 the query is (or is conjectured) #P-hard
+  and silently running an exponential algorithm on a large database is a
+  bug, not a feature;
+* explicit methods (``"extensional"``, ``"intensional"``,
+  ``"brute_force"``) dispatch directly, with the engines' own error
+  behavior.
+
+The returned :class:`EvaluationResult` records the probability, the engine
+used, the Figure-1 classification, and (for the intensional route) the
+compiled circuit for reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.dichotomy import Classification, Region, classify
+from repro.pqe.extensional import probability as extensional_probability
+from repro.pqe.intensional import CompiledLineage, compile_lineage
+from repro.queries.hqueries import HQuery
+
+BRUTE_FORCE_LIMIT = 18  #: max tuples auto mode will hand to brute force
+
+
+class HardQueryError(ValueError):
+    """Raised by auto mode on a (provably or conjecturally) #P-hard query
+    over an instance too large for the exponential fallback."""
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of one :func:`evaluate` call."""
+
+    probability: Fraction
+    engine: str
+    classification: Classification
+    compiled: CompiledLineage | None = None
+
+
+def evaluate(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    method: str = "auto",
+) -> EvaluationResult:
+    """Evaluate ``Pr(Q_phi)`` with the selected (or automatic) engine.
+
+    :param method: ``"auto"``, ``"extensional"``, ``"intensional"`` or
+        ``"brute_force"``.
+    :raises HardQueryError: in auto mode, when the query is not zero-Euler
+        and the instance exceeds :data:`BRUTE_FORCE_LIMIT` tuples.
+    :raises ValueError: for an unknown method, or from the explicit
+        engines' own validation.
+    """
+    classification = classify(query)
+    if method == "auto":
+        return _auto(query, tid, classification)
+    if method == "extensional":
+        return EvaluationResult(
+            extensional_probability(query, tid), "extensional", classification
+        )
+    if method == "intensional":
+        compiled = compile_lineage(query, tid.instance)
+        return EvaluationResult(
+            compiled.probability(tid), "intensional", classification, compiled
+        )
+    if method == "brute_force":
+        return EvaluationResult(
+            probability_by_world_enumeration(query, tid),
+            "brute_force",
+            classification,
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _auto(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    classification: Classification,
+) -> EvaluationResult:
+    if classification.dd_ptime:
+        compiled = compile_lineage(query, tid.instance)
+        return EvaluationResult(
+            compiled.probability(tid), "intensional", classification, compiled
+        )
+    if len(tid) <= BRUTE_FORCE_LIMIT:
+        return EvaluationResult(
+            probability_by_world_enumeration(query, tid),
+            "brute_force",
+            classification,
+        )
+    adjective = (
+        "#P-hard" if classification.region is Region.HARD else
+        "conjectured #P-hard"
+    )
+    raise HardQueryError(
+        f"query is {adjective} (e(phi) = {classification.euler}) and the "
+        f"instance has {len(tid)} > {BRUTE_FORCE_LIMIT} tuples; pass "
+        f"method='brute_force' explicitly to force the exponential engine"
+    )

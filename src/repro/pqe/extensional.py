@@ -1,0 +1,160 @@
+"""Extensional (lifted-inference) evaluation of H+-queries.
+
+This is the Dalvi–Suciu side of the paper's dichotomy, specialized to the
+H+-queries (Proposition 3.5): write the monotone ``phi`` in minimized CNF
+``C_0 ∧ ... ∧ C_n``, apply inclusion–exclusion
+
+``Pr(∧_i C_i) = sum over nonempty s of (-1)^{|s|+1} Pr(∨_{i in s} C_i)``,
+
+and observe that ``∨_{i in s} C_i`` only depends on the *union*
+``d_s = ∪_{i in s} C_i`` — the CNF-lattice element.  Collapsing equal
+unions turns the coefficients into Möbius-function values of the lattice
+(this is the Möbius inversion step the paper's title refers to), so
+
+``Pr(Q_phi) = - sum over lattice elements u < 1̂ of mu(u, 1̂) * Pr(Q_u)``
+
+with ``Q_u = ∨_{j in u} h_{k,j}``.  Every ``u`` except the bottom
+``0̂ = DEP(phi)`` is a proper subset of ``{0..k}`` and is lifted by
+:mod:`repro.pqe.safe_plans`; the bottom is the #P-hard full disjunction,
+and the query is safe exactly when its coefficient ``mu(0̂, 1̂)`` — equal to
+``e(phi)`` by Lemma 3.8 — vanishes, letting the hard subquery *cancel out*.
+
+Both the collapsed (Möbius) and the uncollapsed (raw inclusion–exclusion)
+evaluations are provided; they agree term-for-term after grouping, which a
+test verifies.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+
+from repro.db.tid import TupleIndependentDatabase
+from repro.lattice.cnf_lattice import cnf_lattice
+from repro.pqe.safe_plans import UnsafeSubqueryError, disjunction_probability
+from repro.queries.hqueries import HQuery
+
+
+class UnsafeQueryError(ValueError):
+    """Raised when the extensional engine is given an unsafe query (the
+    dichotomy's #P-hard side: nondegenerate monotone ``phi`` with
+    ``mu_CNF(0̂,1̂) = e(phi) != 0``)."""
+
+
+def mobius_terms(query: HQuery) -> list[tuple[frozenset[int], int]]:
+    """The lattice elements and their coefficients ``-mu(u, 1̂)`` as used by
+    the lifted evaluation, for a monotone non-constant ``phi``; terms with
+    zero coefficient are dropped (this is where hard subqueries cancel)."""
+    phi = query.phi
+    if not phi.is_monotone():
+        raise UnsafeQueryError(
+            "the extensional engine handles UCQs (monotone phi) only"
+        )
+    lattice = cnf_lattice(phi)
+    column = lattice.mobius_column()
+    terms = []
+    for element, mobius_value in column.items():
+        if element == lattice.top:  # u = 1̂ contributes Pr(empty ∨) = 0.
+            continue
+        if mobius_value == 0:
+            continue
+        terms.append((element, -mobius_value))
+    return terms
+
+
+def probability(query: HQuery, tid: TupleIndependentDatabase) -> Fraction:
+    """``Pr(Q_phi)`` by lifted inference (Möbius inversion + safe plans).
+
+    Handles every monotone ``phi``: constants directly, degenerate ones via
+    the same lattice formula (their lattices never contain the full index
+    set), and nondegenerate ones when ``mu(0̂,1̂) = 0``.
+
+    :raises UnsafeQueryError: if ``phi`` is not monotone, or is monotone
+        nondegenerate with non-zero CNF-lattice Möbius value (then
+        ``PQE(Q_phi)`` is #P-hard and has no extensional plan).
+    """
+    phi = query.phi
+    if not phi.is_monotone():
+        raise UnsafeQueryError(
+            "the extensional engine handles UCQs (monotone phi) only"
+        )
+    if phi.is_bottom():
+        return Fraction(0)
+    if phi.is_top():
+        return Fraction(1)
+    total = Fraction(0)
+    for element, coefficient in mobius_terms(query):
+        try:
+            term = disjunction_probability(element, query.k, tid)
+        except UnsafeSubqueryError as error:
+            raise UnsafeQueryError(
+                "query is unsafe: the #P-hard bottom subquery has non-zero "
+                f"Möbius coefficient {-coefficient} (= -e(phi) by Lemma 3.8)"
+            ) from error
+        total += coefficient * term
+    return total
+
+
+def probability_by_raw_inclusion_exclusion(
+    query: HQuery, tid: TupleIndependentDatabase
+) -> Fraction:
+    """The *uncollapsed* inclusion–exclusion over all ``2^{n+1} - 1``
+    nonempty clause subsets — exponentially many terms in the number of CNF
+    clauses (still polynomial in the data).  Agrees with
+    :func:`probability`; kept separate to exhibit the collapse the Möbius
+    function performs.
+
+    :raises UnsafeQueryError: as for :func:`probability`.
+    """
+    phi = query.phi
+    if not phi.is_monotone():
+        raise UnsafeQueryError(
+            "the extensional engine handles UCQs (monotone phi) only"
+        )
+    if phi.is_bottom():
+        return Fraction(0)
+    if phi.is_top():
+        return Fraction(1)
+    clauses = phi.minimized_cnf()
+    # Group subsets by their union to let hard subqueries cancel before any
+    # evaluation, exactly as the lattice does.
+    coefficient_of: dict[frozenset[int], int] = {}
+    for size in range(1, len(clauses) + 1):
+        sign = 1 if size % 2 == 1 else -1
+        for subset in combinations(range(len(clauses)), size):
+            union: frozenset[int] = frozenset()
+            for i in subset:
+                union |= clauses[i]
+            coefficient_of[union] = coefficient_of.get(union, 0) + sign
+    total = Fraction(0)
+    for union, coefficient in sorted(
+        coefficient_of.items(), key=lambda kv: (len(kv[0]), sorted(kv[0]))
+    ):
+        if coefficient == 0:
+            continue
+        try:
+            term = disjunction_probability(union, query.k, tid)
+        except UnsafeSubqueryError as error:
+            raise UnsafeQueryError(
+                "query is unsafe: the full disjunction survives "
+                "inclusion–exclusion with non-zero coefficient"
+            ) from error
+        total += coefficient * term
+    return total
+
+
+def is_safe(query: HQuery) -> bool:
+    """The dichotomy test (Proposition 3.5 + Corollary 3.9) for UCQs:
+    degenerate monotone functions are safe; nondegenerate ones are safe iff
+    ``e(phi) = 0`` (equivalently ``mu_CNF(0̂,1̂) = 0``).
+
+    :raises ValueError: if ``phi`` is not monotone (the dichotomy of [12]
+        does not apply; see :mod:`repro.pqe.dichotomy` for the paper's
+        extension).
+    """
+    phi = query.phi
+    if not phi.is_monotone():
+        raise ValueError("safety via [12] is defined for monotone phi only")
+    if phi.is_degenerate():
+        return True
+    return phi.euler_characteristic() == 0

@@ -1,0 +1,97 @@
+"""Hardness machinery: Proposition 6.4, Lemma C.1 and the PQE reductions.
+
+Hardness cannot be "run", but its *constructive content* can: Lemma C.1
+builds a monotone function with any achievable Euler characteristic, and
+Theorem 6.2(a) turns a ≃-derivation between equal-Euler functions into an
+explicit Turing reduction between their PQE problems.  This module exposes
+both, plus the reduction-based evaluation used by tests: computing
+``Pr(Q_phi)`` for a non-monotone zero-Euler ``phi`` by reducing to an
+equal-Euler *monotone* query evaluated extensionally.
+
+The reduction (proof of Theorem 6.2): if ``phi' = phi ±(nu, l)``, then on
+every database ``Pr(Q_phi') = Pr(Q_phi) ± Pr(Q_psi)`` with ``psi`` the
+degenerate pair function of the step — and ``Pr(Q_psi)`` is computable in
+PTIME (Proposition 3.7).  Chaining the steps walks the probability from
+one query to the other with polynomially many PTIME corrections.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.circuits.probability import probability as circuit_probability
+from repro.core.boolean_function import BooleanFunction
+from repro.core.euler import (
+    monotone_euler_extremes,
+    monotone_function_with_euler,
+)
+from repro.core.fragmentation import pair_function
+from repro.core.transformation import transform
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.degenerate import degenerate_lineage_circuit
+from repro.queries.hqueries import HQuery
+
+
+def monotone_witness_with_same_euler(phi: BooleanFunction) -> BooleanFunction:
+    """Lemma C.1: a *monotone* function with the same Euler characteristic
+    as ``phi``, provided the value lies in the monotone-achievable range.
+
+    This is the pivot of Proposition 6.4: hardness of the monotone witness
+    (Corollary 3.9) transfers to ``Q_phi`` through Theorem 6.2(a).
+
+    :raises ValueError: if ``e(phi)`` is outside the monotone range (then
+        Proposition 6.4 does not apply — the dotted-gray region of
+        Figure 1, e.g. ``phi_maxEuler``).
+    """
+    k = phi.nvars - 1
+    euler = phi.euler_characteristic()
+    low, high = monotone_euler_extremes(k)
+    if not low <= euler <= high:
+        raise ValueError(
+            f"e(phi) = {euler} is outside the monotone range [{low}, {high}]"
+        )
+    return monotone_function_with_euler(k, euler)
+
+
+def is_provably_hard(phi: BooleanFunction) -> bool:
+    """Proposition 6.4 (+ Corollary 3.9): ``PQE(Q_phi)`` is #P-hard when
+    ``e(phi) != 0`` and ``e(phi)`` is monotone-achievable."""
+    euler = phi.euler_characteristic()
+    if euler == 0:
+        return False
+    low, high = monotone_euler_extremes(phi.nvars - 1)
+    return low <= euler <= high
+
+
+def step_correction(
+    step, k: int, tid: TupleIndependentDatabase
+) -> Fraction:
+    """``Pr(Q_psi)`` for the pair function of one ≃-step — the PTIME
+    correction term of the Theorem 6.2(a) reduction."""
+    psi = pair_function(k + 1, step)
+    circuit = degenerate_lineage_circuit(psi, tid.instance)
+    return circuit_probability(circuit, tid.probability_map())
+
+
+def probability_by_reduction(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    oracle,
+) -> Fraction:
+    """Theorem 6.2(a) as an algorithm: evaluate ``Pr(Q_phi)`` given an
+    oracle for ``Pr(Q_phi')`` of any equal-Euler ``phi'`` of the caller's
+    choosing — here the monotone witness of Lemma C.1, so the natural
+    oracle is the extensional engine.
+
+    ``oracle(query', tid)`` must return ``Pr(Q_phi')`` exactly.
+
+    The derivation ``phi' ~> phi`` contributes one signed PTIME correction
+    per step:  ``Pr(Q_{phi_i}) = Pr(Q_{phi_{i-1}}) + sign_i * Pr(Q_psi_i)``.
+    """
+    phi = query.phi
+    witness = monotone_witness_with_same_euler(phi)
+    witness_query = HQuery(query.k, witness)
+    value = oracle(witness_query, tid)
+    for step in transform(witness, phi):
+        value += step.sign * step_correction(step, query.k, tid)
+    return value

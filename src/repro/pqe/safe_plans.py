@@ -1,0 +1,235 @@
+"""Safe-plan evaluation of disjunctions of ``h_{k,i}`` queries.
+
+The extensional algorithm for H+-queries (Proposition 3.5 / Section 7's
+recap of [12]) reduces, after Möbius inversion over the CNF lattice, to
+evaluating queries of the form ``Q_S = ∨_{i in S} h_{k,i}`` for *proper*
+subsets ``S ⊊ {0..k}`` — the inversion-free disjunctions.  This module
+evaluates those in polynomial time:
+
+1. **Run decomposition.** Split ``S`` into maximal runs of consecutive
+   indices.  Two distinct runs use disjoint relation sets (a gap of one
+   index separates their ``S_i`` ranges), so their events are independent:
+   ``Pr(∨ runs) = 1 - prod (1 - Pr(run))``.
+2. **Per-run lifted plan.**  A run ``[a..b]`` misses 0 or k (else it would
+   be all of ``{0..k}``, the #P-hard core).  Its event factorizes over the
+   independent groups of tuples sharing the distinguished variable:
+
+   * interior run (``a > 0`` and ``b < k``): group by the pair ``(x, y)``;
+   * left run (``a = 0``): group by ``x`` (the ``R`` side);
+   * right run (``b = k``): group by ``y`` (the ``T`` side);
+
+   and inside one group the event is a *chain* formula over the tuples
+   ``S_a(x,y), ..., S_{b+1}(x,y)`` (plus ``R(x)`` or ``T(y)``), whose
+   probability a linear dynamic program computes exactly.
+
+All arithmetic is exact (:class:`fractions.Fraction`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from fractions import Fraction
+
+from repro.db.tid import TupleIndependentDatabase
+
+
+class UnsafeSubqueryError(ValueError):
+    """Raised when asked to lift the full disjunction ``h_{k,0} ∨ ... ∨
+    h_{k,k}``, which is #P-hard ([12]; the bottom element of every CNF
+    lattice of a nondegenerate H+-query)."""
+
+
+def runs_of(indices: Iterable[int]) -> list[tuple[int, int]]:
+    """Maximal runs of consecutive integers, as inclusive ``(start, end)``
+    pairs.
+
+    >>> runs_of([0, 1, 3, 5, 6])
+    [(0, 1), (3, 3), (5, 6)]
+    """
+    sorted_indices = sorted(set(indices))
+    runs: list[tuple[int, int]] = []
+    for index in sorted_indices:
+        if runs and index == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], index)
+        else:
+            runs.append((index, index))
+    return runs
+
+
+def chain_probability(
+    probabilities: list[Fraction],
+    satisfied_by_first: bool = False,
+    satisfied_by_last: bool = False,
+) -> Fraction:
+    """Probability that a chain of independent Boolean tuples
+    ``t_1, ..., t_m`` satisfies "some adjacent pair is jointly present"
+    (``∃j: t_j ∧ t_{j+1}``), optionally also satisfied by ``t_1`` alone
+    (the ``R``-side rule: ``R(x)`` has already fired) or by ``t_m`` alone
+    (the ``T`` side).
+
+    Linear dynamic program over states (previous tuple present?, already
+    satisfied?).
+    """
+    # state: (prev_present, satisfied) -> probability mass
+    states = {(False, False): Fraction(1)}
+    for position, p in enumerate(probabilities):
+        first = position == 0
+        last = position == len(probabilities) - 1
+        nxt: dict[tuple[bool, bool], Fraction] = {}
+        for (prev, satisfied), mass in states.items():
+            for present in (False, True):
+                weight = p if present else (1 - p)
+                if weight == 0:
+                    continue
+                now_satisfied = satisfied
+                if present and prev:
+                    now_satisfied = True
+                if present and first and satisfied_by_first:
+                    now_satisfied = True
+                if present and last and satisfied_by_last:
+                    now_satisfied = True
+                key = (present, now_satisfied)
+                nxt[key] = nxt.get(key, Fraction(0)) + mass * weight
+        states = nxt
+    return sum(
+        (mass for (_, satisfied), mass in states.items() if satisfied),
+        Fraction(0),
+    )
+
+
+def _domain_sides(tid: TupleIndependentDatabase, k: int) -> tuple[list, list]:
+    """The x-side and y-side active domains (elements appearing in the
+    relevant positions of ``R``, ``T`` and the ``S_i``)."""
+    xs: set = set()
+    ys: set = set()
+    instance = tid.instance
+    for tuple_id in instance.tuple_ids():
+        if tuple_id.relation == "R":
+            xs.add(tuple_id.values[0])
+        elif tuple_id.relation == "T":
+            ys.add(tuple_id.values[0])
+        elif tuple_id.relation.startswith("S"):
+            xs.add(tuple_id.values[0])
+            ys.add(tuple_id.values[1])
+    del k
+    return sorted(xs, key=repr), sorted(ys, key=repr)
+
+
+def _tuple_probability(
+    tid: TupleIndependentDatabase, relation: str, values: tuple
+) -> Fraction:
+    """``pi`` of a potential tuple; absent tuples have probability 0."""
+    from repro.db.relation import TupleId
+
+    if not tid.instance.has(relation, values):
+        return Fraction(0)
+    return tid.probability_of(TupleId(relation, values))
+
+
+def run_probability(
+    run: tuple[int, int], k: int, tid: TupleIndependentDatabase
+) -> Fraction:
+    """``Pr(∨_{i in [a..b]} h_{k,i})`` for one maximal run, by the lifted
+    plan described in the module docstring.
+
+    :raises UnsafeSubqueryError: if the run is all of ``{0..k}``.
+    """
+    a, b = run
+    if not 0 <= a <= b <= k:
+        raise ValueError(f"run {run} out of bounds for k = {k}")
+    if a == 0 and b == k:
+        raise UnsafeSubqueryError(
+            "the full disjunction h_{k,0} ∨ ... ∨ h_{k,k} is #P-hard and "
+            "has no safe plan"
+        )
+    xs, ys = _domain_sides(tid, k)
+    if a == 0:
+        return _left_run_probability(b, tid, xs, ys)
+    if b == k:
+        return _right_run_probability(a, k, tid, xs, ys)
+    return _interior_run_probability(a, b, tid, xs, ys)
+
+
+def _interior_run_probability(
+    a: int, b: int, tid: TupleIndependentDatabase, xs: list, ys: list
+) -> Fraction:
+    """Run touching neither endpoint: events independent across ``(x, y)``
+    pairs; within a pair, a chain over ``S_a .. S_{b+1}``."""
+    miss_all = Fraction(1)
+    for x in xs:
+        for y in ys:
+            chain = [
+                _tuple_probability(tid, f"S{i}", (x, y))
+                for i in range(a, b + 2)
+            ]
+            miss_all *= 1 - chain_probability(chain)
+    return 1 - miss_all
+
+
+def _left_run_probability(
+    b: int, tid: TupleIndependentDatabase, xs: list, ys: list
+) -> Fraction:
+    """Run ``[0..b]`` (with ``b < k``): group by ``x``; conditioned on
+    ``R(x)``, the per-``y`` chain over ``S_1..S_{b+1}`` is satisfied also by
+    ``S_1`` alone."""
+    miss_all = Fraction(1)
+    for x in xs:
+        p_r = _tuple_probability(tid, "R", (x,))
+        miss_without_r = Fraction(1)
+        miss_with_r = Fraction(1)
+        for y in ys:
+            chain = [
+                _tuple_probability(tid, f"S{i}", (x, y))
+                for i in range(1, b + 2)
+            ]
+            miss_without_r *= 1 - chain_probability(chain)
+            miss_with_r *= 1 - chain_probability(
+                chain, satisfied_by_first=True
+            )
+        hit_x = p_r * (1 - miss_with_r) + (1 - p_r) * (1 - miss_without_r)
+        miss_all *= 1 - hit_x
+    return 1 - miss_all
+
+
+def _right_run_probability(
+    a: int, k: int, tid: TupleIndependentDatabase, xs: list, ys: list
+) -> Fraction:
+    """Run ``[a..k]`` (with ``a > 0``): the mirror image — group by ``y``;
+    conditioned on ``T(y)``, the per-``x`` chain over ``S_a..S_k`` is
+    satisfied also by ``S_k`` alone."""
+    miss_all = Fraction(1)
+    for y in ys:
+        p_t = _tuple_probability(tid, "T", (y,))
+        miss_without_t = Fraction(1)
+        miss_with_t = Fraction(1)
+        for x in xs:
+            chain = [
+                _tuple_probability(tid, f"S{i}", (x, y))
+                for i in range(a, k + 1)
+            ]
+            miss_without_t *= 1 - chain_probability(chain)
+            miss_with_t *= 1 - chain_probability(
+                chain, satisfied_by_last=True
+            )
+        hit_y = p_t * (1 - miss_with_t) + (1 - p_t) * (1 - miss_without_t)
+        miss_all *= 1 - hit_y
+    return 1 - miss_all
+
+
+def disjunction_probability(
+    indices: Iterable[int], k: int, tid: TupleIndependentDatabase
+) -> Fraction:
+    """``Pr(∨_{i in S} h_{k,i})`` for a proper subset ``S ⊊ {0..k}`` — or
+    for the empty set, where the probability is 0.
+
+    :raises UnsafeSubqueryError: if ``S = {0..k}``.
+    """
+    index_set = set(indices)
+    if not index_set:
+        return Fraction(0)
+    if not index_set <= set(range(k + 1)):
+        raise ValueError(f"indices {sorted(index_set)} out of range for k={k}")
+    miss_all = Fraction(1)
+    for run in runs_of(index_set):
+        miss_all *= 1 - run_probability(run, k, tid)
+    return 1 - miss_all

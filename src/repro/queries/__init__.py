@@ -1,0 +1,31 @@
+"""Queries: conjunctive queries, the ``h_{k,i}`` family, H-queries and
+lineage computation."""
+
+from repro.queries.cq import Atom, ConjunctiveQuery, Constant
+from repro.queries.hqueries import HQuery, h_query, phi_9, q9
+from repro.queries.ucq import UnionOfCQs, conjoin_cqs, hquery_to_ucq
+from repro.queries.lineage import (
+    cq_lineage_circuit,
+    hquery_lineage_circuit_naive,
+    lineage_equivalent,
+    lineage_truth_table_of_circuit,
+    ucq_lineage_dnf_circuit,
+)
+
+__all__ = [
+    "Atom",
+    "UnionOfCQs",
+    "ConjunctiveQuery",
+    "Constant",
+    "HQuery",
+    "conjoin_cqs",
+    "cq_lineage_circuit",
+    "h_query",
+    "hquery_to_ucq",
+    "hquery_lineage_circuit_naive",
+    "lineage_equivalent",
+    "lineage_truth_table_of_circuit",
+    "phi_9",
+    "q9",
+    "ucq_lineage_dnf_circuit",
+]

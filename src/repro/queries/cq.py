@@ -1,0 +1,137 @@
+"""Boolean conjunctive queries and their evaluation.
+
+A Boolean CQ is an existentially quantified conjunction of relational atoms
+(Section 1/3 of the paper).  Terms are either variables (strings) or
+constants (wrapped in :class:`Constant`).  Evaluation enumerates homomorphic
+matches by backtracking over atoms — fine for the tiny, fixed queries of the
+paper (the ``h_{k,i}`` each have two atoms).
+
+The module also produces *grounding sets*: for a CQ ``Q`` and instance
+``D``, the set of matches, each a set of facts, whose disjunction of
+conjunctions is the (monotone, DNF) lineage of ``Q`` on ``D``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass
+
+from repro.db.relation import Instance, TupleId
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term appearing directly inside a query atom."""
+
+    value: Hashable
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One relational atom ``Rel(t1, ..., tn)``; terms are variable names
+    (plain strings) or :class:`Constant` values."""
+
+    relation: str
+    terms: tuple[str | Constant, ...]
+
+    def variables(self) -> frozenset[str]:
+        """The query variables appearing in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, str))
+
+    def __str__(self) -> str:
+        rendered = ",".join(
+            str(t.value) if isinstance(t, Constant) else t for t in self.terms
+        )
+        return f"{self.relation}({rendered})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A Boolean CQ: the existential closure of a conjunction of atoms."""
+
+    atoms: tuple[Atom, ...]
+
+    def variables(self) -> frozenset[str]:
+        """All query variables."""
+        result: frozenset[str] = frozenset()
+        for atom in self.atoms:
+            result |= atom.variables()
+        return result
+
+    def relations(self) -> frozenset[str]:
+        """All relation names mentioned by the query."""
+        return frozenset(atom.relation for atom in self.atoms)
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(map(str, self.atoms))
+        quantified = "".join(f"∃{v} " for v in sorted(self.variables()))
+        return f"{quantified}{body}"
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def matches(self, db: Instance) -> Iterator[dict[str, Hashable]]:
+        """Enumerate homomorphisms from the query into the instance."""
+        yield from _match_atoms(list(self.atoms), db, {})
+
+    def holds_in(self, db: Instance) -> bool:
+        """Whether ``D |= Q``."""
+        return next(self.matches(db), None) is not None
+
+    def grounding_sets(self, db: Instance) -> set[frozenset[TupleId]]:
+        """The set of fact-sets witnessing the query — the clauses of the
+        monotone DNF lineage of ``Q`` on ``D``."""
+        witnesses: set[frozenset[TupleId]] = set()
+        for match in self.matches(db):
+            facts = frozenset(
+                TupleId(
+                    atom.relation,
+                    tuple(
+                        term.value if isinstance(term, Constant) else match[term]
+                        for term in atom.terms
+                    ),
+                )
+                for atom in self.atoms
+            )
+            witnesses.add(facts)
+        return witnesses
+
+
+def _match_atoms(
+    atoms: list[Atom],
+    db: Instance,
+    binding: dict[str, Hashable],
+) -> Iterator[dict[str, Hashable]]:
+    if not atoms:
+        yield dict(binding)
+        return
+    atom, rest = atoms[0], atoms[1:]
+    try:
+        relation = db.relation(atom.relation)
+    except KeyError:
+        return  # Empty (undeclared) relation: no matches.
+    for values in relation:
+        extension = _unify(atom, values, binding)
+        if extension is not None:
+            yield from _match_atoms(rest, db, extension)
+
+
+def _unify(
+    atom: Atom,
+    values: tuple[Hashable, ...],
+    binding: dict[str, Hashable],
+) -> dict[str, Hashable] | None:
+    if len(values) != len(atom.terms):
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        elif term in extended:
+            if extended[term] != value:
+                return None
+        else:
+            extended[term] = value
+    return extended

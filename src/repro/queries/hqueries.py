@@ -1,0 +1,151 @@
+"""The H-queries: Boolean combinations of the Dalvi–Suciu queries h_{k,i}.
+
+Definition 3.1 fixes, for each k >= 1, the conjunctive queries
+
+* ``h_{k,0} = ∃x∃y R(x) ∧ S1(x,y)``
+* ``h_{k,i} = ∃x∃y Si(x,y) ∧ Si+1(x,y)`` for ``1 <= i < k``
+* ``h_{k,k} = ∃x∃y Sk(x,y) ∧ T(y)``
+
+and Definition 3.2 builds, from any Boolean function ``phi`` on variables
+``V = {0..k}``, the query ``Q_phi = phi[i -> h_{k,i}]``.  ``Q_phi`` holds in
+an instance iff ``phi`` holds on the valuation recording which ``h_{k,i}``
+hold.  The class H (resp. H+) collects the ``Q_phi`` over all (resp. all
+monotone) ``phi``.
+
+This module implements the queries, their evaluation, and their exact
+lineage over any instance — both as a ground-truth truth table (exponential,
+for validation) and as a monotone DNF circuit per ``h_{k,i}`` (polynomial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.relation import Instance, TupleId
+from repro.queries.cq import Atom, ConjunctiveQuery
+
+
+def h_query(k: int, i: int) -> ConjunctiveQuery:
+    """The conjunctive query ``h_{k,i}`` of Definition 3.1."""
+    if k < 1:
+        raise ValueError(f"the paper fixes k >= 1, got {k}")
+    if not 0 <= i <= k:
+        raise ValueError(f"h_{{k,i}} requires 0 <= i <= k, got i = {i}")
+    if i == 0:
+        return ConjunctiveQuery(
+            (Atom("R", ("x",)), Atom("S1", ("x", "y")))
+        )
+    if i == k:
+        return ConjunctiveQuery(
+            (Atom(f"S{k}", ("x", "y")), Atom("T", ("y",)))
+        )
+    return ConjunctiveQuery(
+        (Atom(f"S{i}", ("x", "y")), Atom(f"S{i + 1}", ("x", "y")))
+    )
+
+
+@dataclass(frozen=True)
+class HQuery:
+    """An H-query ``Q_phi`` (Definition 3.2).
+
+    ``phi.nvars`` must equal ``k + 1``; variable ``i`` of ``phi`` stands for
+    the query ``h_{k,i}``.
+    """
+
+    k: int
+    phi: BooleanFunction
+    _subqueries: tuple[ConjunctiveQuery, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        if self.phi.nvars != self.k + 1:
+            raise ValueError(
+                f"phi has {self.phi.nvars} variables; expected k+1 = {self.k + 1}"
+            )
+        object.__setattr__(
+            self,
+            "_subqueries",
+            tuple(h_query(self.k, i) for i in range(self.k + 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def subquery(self, i: int) -> ConjunctiveQuery:
+        """The conjunctive query ``h_{k,i}``."""
+        return self._subqueries[i]
+
+    def is_ucq(self) -> bool:
+        """Whether ``Q_phi`` is (equivalent to) a UCQ, i.e. ``phi`` is
+        monotone — membership in H+."""
+        return self.phi.is_monotone()
+
+    def __str__(self) -> str:
+        sat = ", ".join(
+            "{" + ",".join(map(str, sorted(s))) + "}"
+            for s in self.phi.satisfying_sets()
+        )
+        return f"Q_phi(k={self.k}, SAT(phi)={{{sat}}})"
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def h_pattern(self, db: Instance) -> int:
+        """The valuation (as a mask) recording which ``h_{k,i}`` hold in
+        ``db`` — the paper's substitution ``i -> h_{k,i}``."""
+        pattern = 0
+        for i, subquery in enumerate(self._subqueries):
+            if subquery.holds_in(db):
+                pattern |= 1 << i
+        return pattern
+
+    def holds_in(self, db: Instance) -> bool:
+        """Whether ``D |= Q_phi``."""
+        return bool(self.phi.table >> self.h_pattern(db) & 1)
+
+    def lineage_truth_table(
+        self, db: Instance
+    ) -> tuple[list[TupleId], BooleanFunction]:
+        """Ground-truth lineage ``Lin(Q_phi, D)`` as a Boolean function over
+        the facts of ``db`` (variable ``j`` of the function is fact ``j`` of
+        the returned list).
+
+        Exponential in ``|D|`` — the validation oracle for the compiled
+        lineages of :mod:`repro.pqe.intensional`.
+        """
+        tuple_ids = db.tuple_ids()
+        if len(tuple_ids) > 22:
+            raise ValueError(
+                f"refusing to enumerate 2^{len(tuple_ids)} sub-instances"
+            )
+        table = 0
+        for mask in range(1 << len(tuple_ids)):
+            present = frozenset(
+                tuple_ids[j] for j in range(len(tuple_ids)) if mask >> j & 1
+            )
+            if self.holds_in(db.restrict_to(present)):
+                table |= 1 << mask
+        return tuple_ids, BooleanFunction(len(tuple_ids), table)
+
+
+def q9(k: int = 3) -> HQuery:
+    """The paper's running example (Example 3.3): Dalvi and Suciu's query
+    ``q_9``, i.e. ``Q_{phi_9}`` with
+    ``phi_9 = (2∨3) ∧ (0∨3) ∧ (1∨3) ∧ (0∨1∨2)`` on ``V = {0,1,2,3}``.
+
+    ``q_9`` is the simplest safe H+-query whose extensional evaluation needs
+    the Möbius inversion formula (its CNF lattice is Figure 2).
+    """
+    if k != 3:
+        raise ValueError("q_9 is defined for k = 3")
+    phi = BooleanFunction.from_cnf(4, [{2, 3}, {0, 3}, {1, 3}, {0, 1, 2}])
+    return HQuery(3, phi)
+
+
+def phi_9() -> BooleanFunction:
+    """The Boolean function ``phi_9`` of Example 3.3."""
+    return BooleanFunction.from_cnf(4, [{2, 3}, {0, 3}, {1, 3}, {0, 1, 2}])

@@ -1,0 +1,111 @@
+"""Unions of conjunctive queries, and the UCQ view of monotone H-queries.
+
+Definition 3.2 observes that the queries in H+ are equivalent to UCQs:
+for monotone ``phi``, write ``phi`` in minimized DNF and turn each clause
+``{i_1, ..., i_m}`` into the conjunctive query ``h_{k,i_1} ∧ ... ∧
+h_{k,i_m}`` (with variables renamed apart, so the conjunction of Boolean
+CQs is again one Boolean CQ); ``Q_phi`` is the union of these.  This module
+makes that equivalence executable: an explicit :class:`UnionOfCQs` class
+with set semantics, the :func:`hquery_to_ucq` translation, and the
+monotone-DNF lineage it induces — used by tests to cross-check the
+truth-functional evaluation of :class:`repro.queries.hqueries.HQuery`
+against honest first-order semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.db.relation import Instance
+from repro.queries.cq import Atom, ConjunctiveQuery
+from repro.queries.hqueries import HQuery, h_query
+
+
+@dataclass(frozen=True)
+class UnionOfCQs:
+    """A Boolean UCQ: a disjunction of Boolean conjunctive queries."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def holds_in(self, db: Instance) -> bool:
+        """``D |= Q`` iff some disjunct matches."""
+        return any(cq.holds_in(db) for cq in self.disjuncts)
+
+    def relations(self) -> frozenset[str]:
+        """All relation names across the disjuncts."""
+        result: frozenset[str] = frozenset()
+        for cq in self.disjuncts:
+            result |= cq.relations()
+        return result
+
+    def grounding_sets(self, db: Instance) -> set[frozenset]:
+        """The clauses of the monotone DNF lineage: one fact-set per match
+        of any disjunct."""
+        witnesses: set[frozenset] = set()
+        for cq in self.disjuncts:
+            witnesses |= cq.grounding_sets(db)
+        return witnesses
+
+    def lineage_circuit(self, db: Instance) -> Circuit:
+        """The PTIME monotone-DNF lineage circuit (the representation the
+        paper's Section 6 calls "computed in PTIME as a DNF")."""
+        circuit = Circuit()
+        clauses = [
+            circuit.add_and(
+                [circuit.add_var(t) for t in sorted(witness)]
+            )
+            for witness in sorted(self.grounding_sets(db), key=repr)
+        ]
+        circuit.set_output(circuit.add_or(clauses))
+        return circuit
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({cq})" for cq in self.disjuncts)
+
+
+def _rename_apart(cq: ConjunctiveQuery, suffix: str) -> ConjunctiveQuery:
+    """Rename the query variables with a fresh suffix so that conjoined
+    CQs do not accidentally share variables."""
+    atoms = tuple(
+        Atom(
+            atom.relation,
+            tuple(
+                term if not isinstance(term, str) else f"{term}_{suffix}"
+                for term in atom.terms
+            ),
+        )
+        for atom in cq.atoms
+    )
+    return ConjunctiveQuery(atoms)
+
+
+def conjoin_cqs(queries: list[ConjunctiveQuery]) -> ConjunctiveQuery:
+    """The conjunction of Boolean CQs as one Boolean CQ (variables renamed
+    apart; the existential closure of the union of atom sets)."""
+    atoms: list[Atom] = []
+    for index, cq in enumerate(queries):
+        atoms.extend(_rename_apart(cq, str(index)).atoms)
+    return ConjunctiveQuery(tuple(atoms))
+
+
+def hquery_to_ucq(query: HQuery) -> UnionOfCQs:
+    """The explicit UCQ equivalent to a monotone H-query.
+
+    :raises ValueError: if ``phi`` is not monotone (then ``Q_phi`` is a
+        Boolean combination of CQs, not a UCQ).
+    """
+    if not query.is_ucq():
+        raise ValueError("only monotone H-queries are UCQs")
+    disjuncts = []
+    for clause in sorted(
+        query.phi.minimized_dnf(), key=lambda c: (len(c), sorted(c))
+    ):
+        components = [h_query(query.k, i) for i in sorted(clause)]
+        if components:
+            disjuncts.append(conjoin_cqs(components))
+        else:
+            # The empty clause (phi = ⊤): a tautological query; represent
+            # it as the empty conjunction, which holds in every instance.
+            disjuncts.append(ConjunctiveQuery(()))
+    return UnionOfCQs(tuple(disjuncts))

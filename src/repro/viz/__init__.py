@@ -1,0 +1,19 @@
+"""Text rendering of the paper's figures."""
+
+from repro.viz.colored_graph import (
+    render_colored_graph,
+    render_matching_facts,
+    render_transformation,
+)
+from repro.viz.figure1 import figure1_counts, render_figure1
+from repro.viz.hasse import render_edges, render_hasse
+
+__all__ = [
+    "figure1_counts",
+    "render_colored_graph",
+    "render_edges",
+    "render_figure1",
+    "render_hasse",
+    "render_matching_facts",
+    "render_transformation",
+]

@@ -1,0 +1,80 @@
+"""Text rendering of colored hypercube graphs (Figures 3, 5 and 7).
+
+The paper's Figures 3/5/7 display ``G_V[phi]`` with nodes grouped by
+valuation size and the satisfying valuations colored.  We render each level
+as one row, marking colored nodes with ``[...]`` and uncolored ones with
+``(...)``, matching the figures' compact element notation (e.g. ``024``
+for ``{0,2,4}``).
+"""
+
+from __future__ import annotations
+
+from repro.core import valuations as _val
+from repro.core.boolean_function import BooleanFunction
+from repro.matching.graph import ColoredGraph
+
+
+def _compact(mask: int) -> str:
+    members = sorted(_val.mask_to_set(mask))
+    if not members:
+        return "∅"
+    return "".join(map(str, members))
+
+
+def render_colored_graph(phi: BooleanFunction) -> str:
+    """Level-by-level rendering of ``G_V[phi]``; colored (satisfying)
+    nodes are bracketed."""
+    colored_graph = ColoredGraph(phi)
+    lines = []
+    for size, level in enumerate(colored_graph.levels()):
+        row = " ".join(
+            f"[{_compact(m)}]" if phi(m) else f"({_compact(m)})"
+            for m in sorted(level)
+        )
+        lines.append(f"|nu|={size}:  {row}")
+    lines.append("")
+    lines.append(
+        f"#phi = {phi.sat_count()},  e(phi) = {phi.euler_characteristic():+d}"
+    )
+    return "\n".join(lines)
+
+
+def render_matching_facts(phi: BooleanFunction) -> str:
+    """The Section-7 facts the figures illustrate: isolated nodes and
+    perfect-matching status of both induced subgraphs."""
+    from repro.matching.perfect_matching import has_perfect_matching
+
+    colored_graph = ColoredGraph(phi)
+    colored_pm = has_perfect_matching(colored_graph.colored_subgraph())
+    uncolored_pm = has_perfect_matching(colored_graph.uncolored_subgraph())
+    lines = [
+        f"colored subgraph has perfect matching:   {colored_pm}",
+        f"uncolored subgraph has perfect matching: {uncolored_pm}",
+    ]
+    isolated_c = colored_graph.isolated_colored_nodes()
+    isolated_u = colored_graph.isolated_uncolored_nodes()
+    if isolated_c:
+        lines.append(
+            "isolated colored nodes:   "
+            + ", ".join(_compact(m) for m in isolated_c)
+        )
+    if isolated_u:
+        lines.append(
+            "isolated uncolored nodes: "
+            + ", ".join(_compact(m) for m in isolated_u)
+        )
+    return "\n".join(lines)
+
+
+def render_transformation(phi: BooleanFunction, steps) -> str:
+    """Figure 4 style: the coloring after each ± move, one block per
+    step."""
+    from repro.core.transformation import apply_step
+
+    blocks = [render_colored_graph(phi)]
+    current = phi
+    for step in steps:
+        current = apply_step(current, step)
+        blocks.append(f"after {step}:")
+        blocks.append(render_colored_graph(current))
+    return "\n\n".join(blocks)

@@ -1,0 +1,72 @@
+"""ASCII rendering of the paper's Figure 1 (the region picture).
+
+Figure 1 nests rectangles: all H-queries; the UCQ band (monotone phi);
+the OBDD-compilable column (degenerate = inversion-free); the zero-Euler
+region (d-D-compilable, containing all safe H+-queries); the provably
+#P-hard region; and the conjectured-hard remainder.  We render the picture
+with live counts for a given arity, so the qualitative figure becomes a
+quantitative table in the same shape.
+"""
+
+from __future__ import annotations
+
+from repro.core.boolean_function import BooleanFunction
+from repro.pqe.dichotomy import Region, classify_function
+
+
+def figure1_counts(k: int) -> dict[str, int]:
+    """Counts for every (region × monotone?) cell of Figure 1."""
+    cells = {
+        "degenerate_monotone": 0,
+        "degenerate_general": 0,
+        "zero_euler_monotone": 0,
+        "zero_euler_general": 0,
+        "hard_monotone": 0,
+        "hard_general": 0,
+        "conjectured_general": 0,
+    }
+    for table in range(1 << (1 << (k + 1))):
+        phi = BooleanFunction(k + 1, table)
+        result = classify_function(phi)
+        monotone = result.is_ucq
+        if result.region is Region.DEGENERATE:
+            key = "degenerate_monotone" if monotone else "degenerate_general"
+        elif result.region is Region.ZERO_EULER:
+            key = "zero_euler_monotone" if monotone else "zero_euler_general"
+        elif result.region is Region.HARD:
+            key = "hard_monotone" if monotone else "hard_general"
+        else:
+            # Monotone queries never land here (dichotomy of [12]).
+            key = "conjectured_general"
+        cells[key] += 1
+    return cells
+
+
+def render_figure1(k: int) -> str:
+    """The Figure-1 picture with counts for arity ``k``."""
+    cells = figure1_counts(k)
+    total = sum(cells.values())
+    ucq = (
+        cells["degenerate_monotone"]
+        + cells["zero_euler_monotone"]
+        + cells["hard_monotone"]
+    )
+    lines = [
+        f"all H-queries at k = {k}: {total} functions",
+        "┌────────────────────────────────────────────────────────────┐",
+        f"│ H  (Boolean combinations of the h_k,i)                     │",
+        "│ ┌───────────────────────────────────────────┐              │",
+        f"│ │ H+ (UCQs, monotone phi): {ucq:>6}           │              │",
+        "│ │                                           │              │",
+        f"│ │  safe = zero Euler: {cells['zero_euler_monotone'] + cells['degenerate_monotone']:>6}                │              │",
+        f"│ │    of which OBDD (degenerate): {cells['degenerate_monotone']:>6}     │              │",
+        f"│ │  unsafe (#P-hard): {cells['hard_monotone']:>6}                 │              │",
+        "│ └───────────────────────────────────────────┘              │",
+        f"│ non-monotone, d-D PTIME (e = 0): "
+        f"{cells['zero_euler_general'] + cells['degenerate_general']:>6}                     │",
+        f"│    of which OBDD (degenerate): {cells['degenerate_general']:>6}                       │",
+        f"│ non-monotone, #P-hard (Prop 6.4): {cells['hard_general']:>6}                    │",
+        f"│ conjectured #P-hard (dotted gray): {cells['conjectured_general']:>6}                   │",
+        "└────────────────────────────────────────────────────────────┘",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Text rendering of Hasse diagrams (Figure 2 of the paper).
+
+Figure 2 shows the CNF lattice of ``phi_9`` with the Möbius value
+``mu(n, 1̂)`` beside each node.  We render the same information as layered
+ASCII: one row per "rank" (distance from the top in the covering
+relation), each node printed as its variable set with its Möbius value.
+"""
+
+from __future__ import annotations
+
+from repro.lattice.cnf_lattice import ClauseLattice
+
+
+def _node_label(element: frozenset[int]) -> str:
+    if not element:
+        return "∅"
+    return "{" + ",".join(map(str, sorted(element))) + "}"
+
+
+def render_hasse(lattice: ClauseLattice) -> str:
+    """Layered rendering of a clause lattice with Möbius annotations.
+
+    Layers are computed as longest distance from the top along covering
+    edges, matching the visual layout of the paper's Figure 2 (top ``1̂ = ∅``
+    first, bottom ``0̂ = DEP(phi)`` last).
+    """
+    poset = lattice.poset
+    top = lattice.top
+    column = lattice.mobius_column()
+    edges = lattice.hasse_edges()
+    depth: dict[frozenset[int], int] = {top: 0}
+    # Longest-path layering: iterate until stable (the poset is tiny).
+    changed = True
+    while changed:
+        changed = False
+        for lower, upper in edges:
+            candidate = depth.get(upper, 0) + 1
+            if depth.get(lower, -1) < candidate:
+                depth[lower] = candidate
+                changed = True
+    by_layer: dict[int, list[frozenset[int]]] = {}
+    for element in poset.elements:
+        by_layer.setdefault(depth.get(element, 0), []).append(element)
+    lines = []
+    for layer in sorted(by_layer):
+        row = "   ".join(
+            f"{_node_label(e)} [mu={column[e]:+d}]"
+            for e in sorted(by_layer[layer], key=lambda e: sorted(e))
+        )
+        lines.append(row)
+    lines.append("")
+    lines.append(
+        f"mu(0-hat, 1-hat) = {lattice.mobius_bottom_top():+d}"
+        f"   (0-hat = {_node_label(lattice.bottom)})"
+    )
+    return "\n".join(lines)
+
+
+def render_edges(lattice: ClauseLattice) -> str:
+    """The covering relation, one edge per line (lower < upper)."""
+    lines = [
+        f"{_node_label(lower)} -- {_node_label(upper)}"
+        for lower, upper in sorted(
+            lattice.hasse_edges(),
+            key=lambda e: (len(e[0]), sorted(e[0]), len(e[1]), sorted(e[1])),
+        )
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Tests for the approximation engine (Monte Carlo and Karp–Luby)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid
+from repro.pqe.approximate import (
+    Estimate,
+    karp_luby_probability,
+    monte_carlo_probability,
+)
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.queries.hqueries import HQuery, q9
+
+
+def hard_full_disjunction(k: int) -> HQuery:
+    phi = BooleanFunction.bottom(k + 1)
+    for i in range(k + 1):
+        phi = phi | BooleanFunction.variable(i, k + 1)
+    return HQuery(k, phi)
+
+
+class TestEstimate:
+    def test_covers(self):
+        estimate = Estimate(0.5, 0.1, 100)
+        assert estimate.covers(0.45)
+        assert not estimate.covers(0.7)
+
+
+class TestMonteCarlo:
+    def test_invalid_samples(self):
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(ValueError):
+            monte_carlo_probability(q9(), tid, 0, random.Random(0))
+
+    def test_safe_query_estimate_near_truth(self):
+        tid = complete_tid(3, 1, 2, prob=Fraction(1, 2))
+        truth = float(probability_by_world_enumeration(q9(), tid))
+        estimate = monte_carlo_probability(
+            q9(), tid, 800, random.Random(42)
+        )
+        assert abs(estimate.value - truth) <= max(estimate.half_width, 0.08)
+
+    def test_hard_query_estimate_near_truth(self):
+        # The point: approximation is indifferent to #P-hardness.
+        query = hard_full_disjunction(3)
+        tid = complete_tid(3, 1, 2, prob=Fraction(1, 2))
+        truth = float(probability_by_world_enumeration(query, tid))
+        estimate = monte_carlo_probability(
+            query, tid, 800, random.Random(43)
+        )
+        assert abs(estimate.value - truth) <= max(estimate.half_width, 0.08)
+
+    def test_non_monotone_supported(self):
+        phi = ~BooleanFunction.variable(1, 4)
+        query = HQuery(3, phi)
+        tid = complete_tid(3, 1, 1, prob=Fraction(1, 2))
+        truth = float(probability_by_world_enumeration(query, tid))
+        estimate = monte_carlo_probability(
+            query, tid, 600, random.Random(44)
+        )
+        assert abs(estimate.value - truth) <= max(estimate.half_width, 0.1)
+
+    def test_deterministic_extremes(self):
+        tid = complete_tid(3, 1, 1, prob=Fraction(1))
+        estimate = monte_carlo_probability(q9(), tid, 50, random.Random(1))
+        assert estimate.value == 1.0
+
+
+class TestKarpLuby:
+    def test_rejects_non_monotone(self):
+        phi = ~BooleanFunction.variable(0, 4)
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(ValueError):
+            karp_luby_probability(HQuery(3, phi), tid, 10, random.Random(0))
+
+    def test_empty_lineage_gives_zero(self):
+        from repro.db.tid import TupleIndependentDatabase
+
+        tid = TupleIndependentDatabase()
+        for name, arity in (
+            ("R", 1), ("S1", 2), ("S2", 2), ("S3", 2), ("T", 1)
+        ):
+            tid.instance.declare(name, arity)
+        estimate = karp_luby_probability(q9(), tid, 50, random.Random(0))
+        assert estimate.value == 0.0
+
+    def test_safe_query_estimate_near_truth(self):
+        tid = complete_tid(3, 1, 2, prob=Fraction(1, 2))
+        truth = float(probability_by_world_enumeration(q9(), tid))
+        estimate = karp_luby_probability(q9(), tid, 800, random.Random(7))
+        assert abs(estimate.value - truth) <= max(estimate.half_width, 0.08)
+
+    def test_hard_query_estimate_near_truth(self):
+        query = hard_full_disjunction(2)
+        tid = complete_tid(2, 2, 2, prob=Fraction(1, 4))
+        truth = float(probability_by_world_enumeration(query, tid))
+        estimate = karp_luby_probability(query, tid, 1000, random.Random(8))
+        assert abs(estimate.value - truth) <= max(estimate.half_width, 0.06)
+
+    def test_small_probability_relative_accuracy(self):
+        # Where naive MC collapses: tiny probabilities.  Karp-Luby's
+        # estimate stays within ~25% relative error with modest samples.
+        query = hard_full_disjunction(2)
+        tid = complete_tid(2, 1, 1, prob=Fraction(1, 40))
+        truth = float(probability_by_world_enumeration(query, tid))
+        assert truth < 0.01
+        estimate = karp_luby_probability(query, tid, 1500, random.Random(9))
+        assert abs(estimate.value - truth) <= 0.3 * truth
+
+    def test_unbiasedness_across_seeds(self):
+        query = hard_full_disjunction(2)
+        tid = complete_tid(2, 1, 2, prob=Fraction(1, 3))
+        truth = float(probability_by_world_enumeration(query, tid))
+        values = [
+            karp_luby_probability(
+                query, tid, 300, random.Random(seed)
+            ).value
+            for seed in range(8)
+        ]
+        mean = sum(values) / len(values)
+        assert abs(mean - truth) <= 0.05

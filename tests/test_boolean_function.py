@@ -1,0 +1,260 @@
+"""Unit and property tests for repro.core.boolean_function."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolean_function import BooleanFunction
+
+
+def tables(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1)
+
+
+class TestConstruction:
+    def test_bottom_top(self):
+        assert BooleanFunction.bottom(3).sat_count() == 0
+        assert BooleanFunction.top(3).sat_count() == 8
+
+    def test_variable(self):
+        x1 = BooleanFunction.variable(1, 3)
+        assert x1.sat_count() == 4
+        assert x1({1}) and x1({0, 1}) and not x1({0, 2})
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.variable(3, 3)
+
+    def test_from_satisfying(self):
+        phi = BooleanFunction.from_satisfying(3, [{0}, {1, 2}])
+        assert set(phi.satisfying_sets()) == {
+            frozenset({0}),
+            frozenset({1, 2}),
+        }
+
+    def test_from_satisfying_out_of_range(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.from_satisfying(2, [{5}])
+
+    def test_from_callable(self):
+        phi = BooleanFunction.from_callable(3, lambda s: len(s) == 2)
+        assert phi.sat_count() == 3
+
+    def test_from_dnf_cnf_duality(self):
+        # Conjoining the same clause sets is stronger than disjoining them:
+        # any model of ∧(∨ C_i) hits every clause, so some clause is "won"
+        # entirely... in fact for these clauses CNF implies DNF.
+        clauses = [{0, 1}, {2}]
+        dnf = BooleanFunction.from_dnf(3, clauses)
+        cnf = BooleanFunction.from_cnf(3, clauses)
+        assert cnf.implies(dnf)
+
+    def test_exactly(self):
+        phi = BooleanFunction.exactly(3, {1})
+        assert phi.sat_count() == 1 and phi({1})
+
+    def test_table_out_of_range(self):
+        with pytest.raises(ValueError):
+            BooleanFunction(1, 16)
+        with pytest.raises(ValueError):
+            BooleanFunction(2, -1)
+
+
+class TestOperations:
+    def test_and_or_not(self):
+        x0 = BooleanFunction.variable(0, 2)
+        x1 = BooleanFunction.variable(1, 2)
+        assert (x0 & x1).sat_count() == 1
+        assert (x0 | x1).sat_count() == 3
+        assert (~x0).sat_count() == 2
+
+    def test_mismatched_domains(self):
+        with pytest.raises(ValueError):
+            _ = BooleanFunction.top(2) & BooleanFunction.top(3)
+
+    def test_implies_and_disjoint(self):
+        x0 = BooleanFunction.variable(0, 2)
+        x1 = BooleanFunction.variable(1, 2)
+        assert (x0 & x1).implies(x0)
+        assert (x0 & ~x1).is_disjoint(x1 & ~x0)
+
+    @given(tables(3), tables(3))
+    def test_de_morgan(self, ta, tb):
+        a, b = BooleanFunction(3, ta), BooleanFunction(3, tb)
+        assert ~(a & b) == (~a | ~b)
+        assert ~(a | b) == (~a & ~b)
+
+    @given(tables(3))
+    def test_double_negation(self, table):
+        phi = BooleanFunction(3, table)
+        assert ~~phi == phi
+
+    def test_hash_and_eq(self):
+        a = BooleanFunction.from_satisfying(2, [{0}])
+        b = BooleanFunction.from_satisfying(2, [{0}])
+        assert a == b and hash(a) == hash(b)
+        assert a != BooleanFunction.from_satisfying(2, [{1}])
+
+
+class TestDependence:
+    def test_depends_on(self):
+        x0 = BooleanFunction.variable(0, 2)
+        assert x0.depends_on(0) and not x0.depends_on(1)
+
+    def test_dependency_set_and_degeneracy(self):
+        phi = BooleanFunction.variable(0, 3) & BooleanFunction.variable(2, 3)
+        assert phi.dependency_set() == frozenset({0, 2})
+        assert phi.is_degenerate() and not phi.is_nondegenerate()
+
+    def test_constants_are_degenerate(self):
+        assert BooleanFunction.bottom(2).is_degenerate()
+        assert BooleanFunction.top(2).is_degenerate()
+
+    def test_cofactors(self):
+        x0 = BooleanFunction.variable(0, 2)
+        x1 = BooleanFunction.variable(1, 2)
+        pos, neg = (x0 & x1).cofactors(0)
+        assert pos == x1
+        assert neg.is_bottom()
+
+    @given(tables(3), st.integers(0, 2))
+    def test_shannon_expansion(self, table, var):
+        phi = BooleanFunction(3, table)
+        pos, neg = phi.cofactors(var)
+        x = BooleanFunction.variable(var, 3)
+        assert (x & pos) | (~x & neg) == phi
+
+    def test_restrict(self):
+        phi = BooleanFunction.variable(0, 2) & BooleanFunction.variable(1, 2)
+        assert phi.restrict({0: True}) == BooleanFunction.variable(1, 2)
+        assert phi.restrict({0: False}).is_bottom()
+
+
+class TestMonotonicity:
+    def test_monotone_examples(self):
+        assert BooleanFunction.from_dnf(3, [{0, 1}, {2}]).is_monotone()
+        assert BooleanFunction.top(2).is_monotone()
+        assert BooleanFunction.bottom(2).is_monotone()
+
+    def test_non_monotone(self):
+        phi = BooleanFunction.from_satisfying(2, [{0}])  # not closed upward
+        assert not phi.is_monotone()
+
+    def test_up_closure(self):
+        phi = BooleanFunction.from_satisfying(3, [{0}])
+        closed = phi.up_closure()
+        assert closed.is_monotone()
+        assert closed.sat_count() == 4
+
+    @given(tables(3))
+    def test_up_closure_is_monotone_and_above(self, table):
+        phi = BooleanFunction(3, table)
+        closed = phi.up_closure()
+        assert closed.is_monotone()
+        assert phi.implies(closed)
+
+
+class TestNormalForms:
+    def test_minimal_models(self):
+        phi = BooleanFunction.from_dnf(3, [{0, 1}, {0, 1, 2}, {2}])
+        assert sorted(map(sorted, phi.minimal_models())) == [[0, 1], [2]]
+
+    def test_minimized_dnf_requires_monotone(self):
+        phi = BooleanFunction.from_satisfying(2, [{0}])
+        with pytest.raises(ValueError):
+            phi.minimized_dnf()
+
+    def test_minimized_cnf_of_known_function(self):
+        # (0 ∨ 1) in two variables.
+        phi = BooleanFunction.from_cnf(2, [{0, 1}])
+        assert phi.minimized_cnf() == [frozenset({0, 1})]
+
+    def test_minimized_cnf_constants(self):
+        assert BooleanFunction.top(2).minimized_cnf() == []
+        assert BooleanFunction.bottom(2).minimized_cnf() == [frozenset()]
+
+    @given(tables(3))
+    @settings(max_examples=60)
+    def test_cnf_dnf_reconstruct(self, table):
+        phi = BooleanFunction(3, table).up_closure()
+        from_dnf = BooleanFunction.from_dnf(3, phi.minimized_dnf())
+        from_cnf = BooleanFunction.from_cnf(3, phi.minimized_cnf())
+        assert from_dnf == phi
+        assert from_cnf == phi
+
+    @given(tables(3))
+    @settings(max_examples=60)
+    def test_cnf_clauses_are_minimal(self, table):
+        phi = BooleanFunction(3, table).up_closure()
+        clauses = phi.minimized_cnf()
+        for clause in clauses:
+            for dropped in clause:
+                weaker = [
+                    c if c != clause else clause - {dropped} for c in clauses
+                ]
+                assert BooleanFunction.from_cnf(3, weaker) != phi
+
+
+class TestEulerCharacteristic:
+    def test_constants(self):
+        assert BooleanFunction.bottom(3).euler_characteristic() == 0
+        assert BooleanFunction.top(3).euler_characteristic() == 0
+
+    def test_single_models(self):
+        assert BooleanFunction.exactly(3, []).euler_characteristic() == 1
+        assert BooleanFunction.exactly(3, {0}).euler_characteristic() == -1
+
+    @given(tables(4))
+    def test_matches_definition(self, table):
+        phi = BooleanFunction(4, table)
+        expected = sum(
+            (-1) ** len(model) for model in phi.satisfying_sets()
+        )
+        assert phi.euler_characteristic() == expected
+
+    @given(tables(4))
+    def test_negation_flips_sign(self, table):
+        phi = BooleanFunction(4, table)
+        assert (~phi).euler_characteristic() == -phi.euler_characteristic()
+
+    def test_degenerate_has_zero_euler(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            base = BooleanFunction.random(3, rng)
+            pos, neg = base.cofactors(1)
+            degenerate = pos | neg
+            assert degenerate.euler_characteristic() == 0
+
+
+class TestPermutation:
+    def test_permute_identity(self):
+        phi = BooleanFunction.from_satisfying(3, [{0, 1}])
+        assert phi.permute([0, 1, 2]) == phi
+
+    def test_permute_swap(self):
+        phi = BooleanFunction.from_satisfying(3, [{0}])
+        swapped = phi.permute([1, 0, 2])
+        assert swapped({1}) and not swapped({0})
+
+    def test_permute_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            BooleanFunction.top(3).permute([0, 0, 1])
+
+    @given(tables(3))
+    def test_permutation_preserves_invariants(self, table):
+        phi = BooleanFunction(3, table)
+        sigma = phi.permute([2, 0, 1])
+        assert sigma.sat_count() == phi.sat_count()
+        assert sigma.euler_characteristic() == phi.euler_characteristic()
+        assert sigma.is_monotone() == phi.is_monotone()
+
+    def test_canonical_form_invariant(self):
+        phi = BooleanFunction.from_satisfying(3, [{0}, {1, 2}])
+        assert (
+            phi.canonical_form_under_permutation()
+            == phi.permute([1, 2, 0]).canonical_form_under_permutation()
+        )

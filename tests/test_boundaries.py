@@ -1,0 +1,183 @@
+"""Boundary cases across the stack: k = 1, flip variable at the ends,
+empty relations, extreme probabilities, rectangular domains."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import assert_d_d
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid, random_tid
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.degenerate import degenerate_lineage_circuit
+from repro.pqe.extensional import is_safe, probability as ext_probability
+from repro.pqe.intensional import compile_lineage
+from repro.pqe.safe_plans import disjunction_probability
+from repro.queries.hqueries import HQuery, h_query
+
+
+class TestSmallestArity:
+    """k = 1: just h_{1,0} = R,S1 and h_{1,1} = S1,T."""
+
+    def test_queries_exist(self):
+        assert h_query(1, 0).relations() == {"R", "S1"}
+        assert h_query(1, 1).relations() == {"S1", "T"}
+
+    def test_single_queries_safe_and_exact(self):
+        rng = random.Random(11)
+        for i in (0, 1):
+            phi = BooleanFunction.variable(i, 2)
+            query = HQuery(1, phi)
+            assert is_safe(query)
+            for _ in range(3):
+                tid = random_tid(1, 2, 2, rng, tuple_density=0.6)
+                if len(tid) > 12:
+                    continue
+                assert ext_probability(
+                    query, tid
+                ) == probability_by_world_enumeration(query, tid)
+
+    def test_conjunction_safe(self):
+        # h_0 ∧ h_1 is monotone nondegenerate with e(0&1) = ... on 2 vars:
+        # models {01, 11}? SAT(0&1) = {{0,1}} so e = +1 != 0: unsafe!
+        phi = BooleanFunction.variable(0, 2) & BooleanFunction.variable(1, 2)
+        assert phi.euler_characteristic() == 1
+        assert not is_safe(HQuery(1, phi))
+
+    def test_disjunction_unsafe(self):
+        # h_0 ∨ h_1 is the k = 1 full disjunction: the hard query.
+        phi = BooleanFunction.variable(0, 2) | BooleanFunction.variable(1, 2)
+        assert not is_safe(HQuery(1, phi))
+
+    def test_xor_compiles(self):
+        # h_0 XOR h_1 has e = -2... check: SAT = {{0},{1}}, e = -2: not
+        # compilable.  The *negation* of XOR has e = +2: also not.  The
+        # equivalence-with-⊥ functions at k = 1 are limited; verify the
+        # dichotomy boundary is honored.
+        phi = BooleanFunction.variable(0, 2) ^ BooleanFunction.variable(1, 2)
+        assert phi.euler_characteristic() == -2
+        from repro.pqe.intensional import NotCompilableError
+
+        tid = complete_tid(1, 1, 1)
+        with pytest.raises(NotCompilableError):
+            compile_lineage(HQuery(1, phi), tid.instance)
+
+    def test_zero_euler_k1_compiles(self):
+        # {∅, {0}} has e = 0: compilable even though non-monotone.
+        phi = BooleanFunction.from_satisfying(2, [0b00, 0b01])
+        query = HQuery(1, phi)
+        rng = random.Random(13)
+        tid = random_tid(1, 2, 2, rng, tuple_density=0.5)
+        if len(tid) > 12:
+            tid = complete_tid(1, 1, 1, prob=Fraction(1, 3))
+        compiled = compile_lineage(query, tid.instance)
+        assert_d_d(compiled.circuit)
+        assert compiled.probability(tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+
+class TestFlipVariableBoundaries:
+    """The degenerate construction with the missing variable at 0 or k
+    (one side of the split is empty)."""
+
+    def test_missing_first_variable(self):
+        phi = BooleanFunction.variable(1, 3) & BooleanFunction.variable(2, 3)
+        assert not phi.depends_on(0)
+        tid = complete_tid(2, 1, 2, prob=Fraction(1, 2))
+        circuit = degenerate_lineage_circuit(
+            phi, tid.instance, missing_variable=0
+        )
+        assert_d_d(circuit)
+        from repro.circuits import probability
+
+        assert probability(
+            circuit, tid.probability_map()
+        ) == probability_by_world_enumeration(HQuery(2, phi), tid)
+
+    def test_missing_last_variable(self):
+        phi = BooleanFunction.variable(0, 3) & ~BooleanFunction.variable(1, 3)
+        assert not phi.depends_on(2)
+        tid = complete_tid(2, 2, 1, prob=Fraction(1, 2))
+        circuit = degenerate_lineage_circuit(
+            phi, tid.instance, missing_variable=2
+        )
+        assert_d_d(circuit)
+        from repro.circuits import probability
+
+        assert probability(
+            circuit, tid.probability_map()
+        ) == probability_by_world_enumeration(HQuery(2, phi), tid)
+
+
+class TestDegenerateData:
+    def test_empty_database(self):
+        tid = TupleIndependentDatabase()
+        for name, arity in (("R", 1), ("S1", 2), ("S2", 2), ("S3", 2), ("T", 1)):
+            tid.instance.declare(name, arity)
+        from repro.queries.hqueries import q9
+
+        assert ext_probability(q9(), tid) == 0
+        compiled = compile_lineage(q9(), tid.instance)
+        assert compiled.probability(tid) == 0
+
+    def test_all_probabilities_one(self):
+        tid = complete_tid(3, 2, 2, prob=Fraction(1))
+        from repro.queries.hqueries import q9
+
+        # The complete certain instance satisfies every h_i.
+        assert ext_probability(q9(), tid) == 1
+
+    def test_all_probabilities_zero(self):
+        tid = complete_tid(3, 2, 2, prob=Fraction(0))
+        from repro.queries.hqueries import q9
+
+        assert ext_probability(q9(), tid) == 0
+        compiled = compile_lineage(q9(), tid.instance)
+        assert compiled.probability(tid) == 0
+
+    def test_rectangular_domains(self):
+        rng = random.Random(17)
+        for n_left, n_right in ((1, 3), (3, 1)):
+            tid = random_tid(2, n_left, n_right, rng, tuple_density=0.5)
+            if len(tid) > 12 or len(tid) == 0:
+                continue
+            phi = BooleanFunction.from_satisfying(3, [0b000, 0b001])
+            query = HQuery(2, phi)
+            compiled = compile_lineage(query, tid.instance)
+            assert compiled.probability(tid) == (
+                probability_by_world_enumeration(query, tid)
+            )
+
+    def test_disjunction_on_empty_relations(self):
+        tid = TupleIndependentDatabase()
+        for name, arity in (("R", 1), ("S1", 2), ("S2", 2), ("T", 1)):
+            tid.instance.declare(name, arity)
+        assert disjunction_probability([0, 1], 2, tid) == 0
+
+
+class TestLargerArity:
+    """k = 5: the pipeline scales in k as well as in data."""
+
+    def test_k5_single_query(self):
+        phi = BooleanFunction.variable(2, 6)
+        query = HQuery(5, phi)
+        tid = complete_tid(5, 1, 1, prob=Fraction(1, 2))
+        compiled = compile_lineage(query, tid.instance)
+        assert compiled.probability(tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+    def test_k4_zero_euler_pair(self):
+        phi = BooleanFunction.from_satisfying(5, [0b00000, 0b00100])
+        query = HQuery(4, phi)
+        tid = complete_tid(4, 1, 1, prob=Fraction(1, 3))
+        compiled = compile_lineage(query, tid.instance)
+        assert_d_d(compiled.circuit)
+        assert compiled.probability(tid) == (
+            probability_by_world_enumeration(query, tid)
+        )

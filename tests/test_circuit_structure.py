@@ -1,0 +1,134 @@
+"""Structural coverage for the circuit arena: reachability, wires, stats,
+DLDD shape, and copy semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import Circuit, GateKind, copy_into, is_dldd_shaped
+from repro.obdd import ObddManager, obdd_to_circuit
+
+
+class TestReachability:
+    def test_dead_gates_excluded(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        circuit.add_not(x)  # dead
+        circuit.set_output(x)
+        assert circuit.reachable_from_output() == {x}
+
+    def test_shared_gates_counted_once(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        n = circuit.add_not(x)
+        circuit.set_output(circuit.add_or(
+            [circuit.add_and([x, n]), circuit.add_and([n, x])]
+        ))
+        live = circuit.reachable_from_output()
+        assert x in live and n in live
+
+    def test_num_wires(self):
+        circuit = Circuit()
+        x, y = circuit.add_var("x"), circuit.add_var("y")
+        circuit.set_output(circuit.add_and([x, y]))
+        assert circuit.num_wires() == 2
+
+
+class TestDlddShape:
+    def test_obdd_expansion_is_dldd(self):
+        manager = ObddManager(["a", "b"])
+        root = manager.apply(
+            "or", manager.variable("a"), manager.variable("b")
+        )
+        circuit = obdd_to_circuit(manager, root)
+        assert is_dldd_shaped(circuit)
+
+    def test_plain_or_is_not_dldd(self):
+        circuit = Circuit()
+        x, y = circuit.add_var("x"), circuit.add_var("y")
+        left = circuit.add_and([x, y])
+        right = circuit.add_and([circuit.add_not(x), circuit.add_not(y)])
+        wrong = circuit.add_or([left, circuit.add_or([right, left])])
+        circuit.set_output(wrong)
+        assert not is_dldd_shaped(circuit)
+
+    def test_decision_on_shared_variable(self):
+        # (v ∧ w) ∨ (¬v ∧ u): decision on v even though w is also a var.
+        circuit = Circuit()
+        v, w, u = (circuit.add_var(s) for s in "vwu")
+        circuit.set_output(
+            circuit.add_or(
+                [
+                    circuit.add_and([v, w]),
+                    circuit.add_and([circuit.add_not(v), u]),
+                ]
+            )
+        )
+        assert is_dldd_shaped(circuit)
+
+    def test_template_circuits_leave_dldd(self):
+        # The paper's point (via [6]): the compiled d-Ds for nondegenerate
+        # H-queries are NOT DLDD-shaped at the template gates.
+        from repro.db.generator import complete_tid
+        from repro.pqe.intensional import compile_lineage
+        from repro.queries.hqueries import q9
+
+        tid = complete_tid(3, 1, 2)
+        compiled = compile_lineage(q9(), tid.instance)
+        assert not is_dldd_shaped(compiled.circuit)
+
+
+class TestCopySemantics:
+    def test_copy_preserves_sharing(self):
+        source = Circuit()
+        x = source.add_var("x")
+        shared = source.add_not(x)
+        source.set_output(source.add_or(
+            [source.add_and([x, shared]), shared]
+        ))
+        target = Circuit()
+        out = copy_into(source, target)
+        target.set_output(out)
+        # The shared NOT gate is materialized once.
+        nots = [g for _, g in target.gates() if g.kind is GateKind.NOT]
+        assert len(nots) == 1
+
+    def test_copy_into_same_arena_twice(self):
+        source = Circuit()
+        x = source.add_var("x")
+        source.set_output(source.add_not(x))
+        target = Circuit()
+        first = copy_into(source, target)
+        second = copy_into(source, target)
+        combined = target.add_or([first, second])
+        target.set_output(combined)
+        # Variables hash-cons across copies; evaluation is consistent.
+        assert target.evaluate({"x": False})
+        assert not target.evaluate({"x": True})
+
+    def test_rename_collision_rejected_semantically(self):
+        source = Circuit()
+        x, y = source.add_var("x"), source.add_var("y")
+        source.set_output(source.add_and([x, source.add_not(y)]))
+        target = Circuit()
+        out = copy_into(source, target, rename={"x": "z", "y": "z"})
+        target.set_output(out)
+        # Renaming both onto z collapses them: z ∧ ¬z is unsatisfiable.
+        assert not target.evaluate({"z": True})
+        assert not target.evaluate({"z": False})
+
+
+class TestStats:
+    def test_stats_keys(self):
+        circuit = Circuit()
+        circuit.set_output(circuit.add_const(True))
+        stats = circuit.stats()
+        for key in ("VAR", "NOT", "AND", "OR", "CONST", "TOTAL", "WIRES"):
+            assert key in stats
+
+    def test_is_nnf_flags(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        inner = circuit.add_and([x, circuit.add_const(True)])
+        circuit.set_output(circuit.add_not(inner))
+        assert not circuit.is_nnf()

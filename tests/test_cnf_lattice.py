@@ -1,0 +1,133 @@
+"""Tests for the CNF/DNF lattices and Lemma 3.8 (Euler = Möbius)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.enumeration.monotone import enumerate_nondegenerate_monotone
+from repro.lattice.cnf_lattice import (
+    ClauseLattice,
+    cnf_lattice,
+    dnf_lattice,
+    mobius_cnf_value,
+    mobius_dnf_value,
+    verify_lemma_38,
+)
+from repro.queries.hqueries import phi_9
+
+
+class TestFigure2:
+    """The paper's Figure 2: the CNF lattice of phi_9."""
+
+    def test_lattice_elements(self):
+        lattice = cnf_lattice(phi_9())
+        elements = {tuple(sorted(e)) for e in lattice.elements()}
+        assert elements == {
+            (),
+            (0, 3),
+            (1, 3),
+            (2, 3),
+            (0, 1, 2),
+            (0, 1, 3),
+            (0, 2, 3),
+            (1, 2, 3),
+            (0, 1, 2, 3),
+        }
+
+    def test_mobius_annotations(self):
+        # The green values of Figure 2.
+        lattice = cnf_lattice(phi_9())
+        column = {
+            tuple(sorted(e)): v for e, v in lattice.mobius_column().items()
+        }
+        assert column == {
+            (): 1,
+            (0, 3): -1,
+            (1, 3): -1,
+            (2, 3): -1,
+            (0, 1, 2): -1,
+            (0, 1, 3): 1,
+            (0, 2, 3): 1,
+            (1, 2, 3): 1,
+            (0, 1, 2, 3): 0,
+        }
+
+    def test_bottom_top(self):
+        lattice = cnf_lattice(phi_9())
+        assert lattice.top == frozenset()
+        assert lattice.bottom == frozenset({0, 1, 2, 3})
+
+    def test_q9_is_safe(self):
+        # Example 3.6: mu(0-hat, 1-hat) = 0, so PQE(q_9) is PTIME.
+        assert cnf_lattice(phi_9()).mobius_bottom_top() == 0
+
+
+class TestLatticeBasics:
+    def test_rejects_constant(self):
+        with pytest.raises(ValueError):
+            ClauseLattice([])
+
+    def test_rejects_non_monotone(self):
+        phi = BooleanFunction.from_satisfying(2, [{0}])
+        with pytest.raises(ValueError):
+            cnf_lattice(phi)
+
+    def test_single_clause(self):
+        phi = BooleanFunction.from_cnf(2, [{0, 1}])
+        lattice = cnf_lattice(phi)
+        assert len(lattice.elements()) == 2
+        assert lattice.mobius_bottom_top() == -1
+
+
+class TestLemma38:
+    """e(phi) = mu_CNF(0,1) = (-1)^k mu_DNF(0,1) for nondegenerate
+    monotone functions."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_exhaustive(self, k):
+        checked = 0
+        for phi in enumerate_nondegenerate_monotone(k + 1):
+            if phi.is_bottom() or phi.is_top():
+                continue
+            assert verify_lemma_38(phi), phi
+            checked += 1
+        assert checked > 0
+
+    def test_k3_sample(self):
+        import random
+
+        rng = random.Random(38)
+        from repro.enumeration.monotone import monotone_tables
+
+        all_tables = monotone_tables(4)
+        for table in rng.sample(all_tables, 60):
+            phi = BooleanFunction(4, table)
+            if phi.is_degenerate() or phi.is_bottom() or phi.is_top():
+                continue
+            assert verify_lemma_38(phi)
+
+    def test_phi9_values(self):
+        phi = phi_9()
+        assert phi.euler_characteristic() == 0
+        assert mobius_cnf_value(phi) == 0
+        # k = 3 odd: e = (-1)^3 mu_DNF, so mu_DNF must also be 0.
+        assert mobius_dnf_value(phi) == 0
+
+    def test_verify_rejects_degenerate(self):
+        phi = BooleanFunction.variable(0, 2)  # ignores variable 1
+        with pytest.raises(ValueError):
+            verify_lemma_38(phi)
+
+    def test_verify_rejects_non_monotone(self):
+        phi = BooleanFunction.from_satisfying(2, [{0}])
+        with pytest.raises(ValueError):
+            verify_lemma_38(phi)
+
+
+class TestDnfLattice:
+    def test_dnf_lattice_of_phi9(self):
+        lattice = dnf_lattice(phi_9())
+        # phi_9 is self-dual in clause structure: same generating sets.
+        assert lattice.bottom == frozenset({0, 1, 2, 3})
+        assert lattice.mobius_bottom_top() == 0

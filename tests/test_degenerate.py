@@ -1,0 +1,187 @@
+"""Tests for the Proposition 3.7 constructions (degenerate H-queries)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import assert_d_d, probability as circuit_probability
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid, random_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.degenerate import (
+    degenerate_lineage_circuit,
+    degenerate_lineage_obdd,
+    left_variable_order,
+    pair_query_circuit,
+    right_variable_order,
+)
+from repro.queries.hqueries import HQuery
+
+
+def make_degenerate(nvars: int, missing: int, rng: random.Random):
+    """A random function not depending on ``missing``."""
+    base = BooleanFunction.random(nvars, rng)
+    pos, neg = base.cofactors(missing)
+    phi = pos | neg if rng.random() < 0.5 else pos & neg
+    return phi
+
+
+class TestVariableOrders:
+    def test_left_order_shape(self):
+        tid = complete_tid(3, 2, 2)
+        order = left_variable_order(2, tid.instance)
+        # For each of 2 x-values: R + 2 y-values * 2 S-relations = 5.
+        assert len(order) == 2 * (1 + 2 * 2)
+        assert order[0].relation == "R"
+
+    def test_right_order_shape(self):
+        tid = complete_tid(3, 2, 2)
+        order = right_variable_order(1, 3, tid.instance)
+        # For each of 2 y-values: T + 2 x-values * 2 S-relations (S3, S2).
+        assert len(order) == 2 * (1 + 2 * 2)
+        assert order[0].relation == "T"
+        assert order[1].relation == "S3"
+
+
+class TestPairQueryCircuit:
+    def exact_pattern_function(self, k: int, l: int, pattern: int):
+        """The Boolean function of the pair query: h-pattern equals
+        ``pattern`` on all indices != l."""
+        phi = BooleanFunction.top(k + 1)
+        for i in range(k + 1):
+            if i == l:
+                continue
+            var = BooleanFunction.variable(i, k + 1)
+            phi = phi & (var if pattern >> i & 1 else ~var)
+        return phi
+
+    @pytest.mark.parametrize("l", [0, 1, 2])
+    def test_pair_circuit_matches_brute_force(self, l):
+        rng = random.Random(200 + l)
+        cases = 0
+        while cases < 3:
+            tid = random_tid(2, 2, 2, rng, tuple_density=0.45)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            for pattern in range(8):
+                if pattern >> l & 1:
+                    continue
+                from repro.circuits import Circuit
+
+                circuit = Circuit()
+                out = pair_query_circuit(2, l, pattern, tid.instance, circuit)
+                circuit.set_output(out)
+                assert_d_d(circuit)
+                phi = self.exact_pattern_function(2, l, pattern)
+                expected = probability_by_world_enumeration(
+                    HQuery(2, phi), tid
+                )
+                assert (
+                    circuit_probability(circuit, tid.probability_map())
+                    == expected
+                ), (l, pattern)
+
+
+class TestDegenerateCircuit:
+    def test_rejects_nondegenerate(self):
+        from repro.queries.hqueries import phi_9
+
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(ValueError):
+            degenerate_lineage_circuit(phi_9(), tid.instance)
+
+    def test_circuit_matches_brute_force(self):
+        rng = random.Random(211)
+        cases = 0
+        while cases < 6:
+            missing = rng.randrange(4)
+            phi = make_degenerate(4, missing, rng)
+            if phi.depends_on(missing):
+                continue
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.4)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            circuit = degenerate_lineage_circuit(phi, tid.instance)
+            assert_d_d(circuit)
+            expected = probability_by_world_enumeration(HQuery(3, phi), tid)
+            assert (
+                circuit_probability(circuit, tid.probability_map())
+                == expected
+            )
+
+    def test_explicit_missing_variable(self):
+        rng = random.Random(213)
+        phi = make_degenerate(3, 1, rng)
+        tid = complete_tid(2, 1, 1)
+        circuit = degenerate_lineage_circuit(
+            phi, tid.instance, missing_variable=1
+        )
+        assert_d_d(circuit)
+
+    def test_wrong_missing_variable_rejected(self):
+        phi = BooleanFunction.variable(0, 3)  # depends on 0 only
+        tid = complete_tid(2, 1, 1)
+        with pytest.raises(ValueError):
+            degenerate_lineage_circuit(phi, tid.instance, missing_variable=0)
+
+
+class TestDegenerateObdd:
+    def test_obdd_matches_circuit_and_brute_force(self):
+        rng = random.Random(217)
+        cases = 0
+        while cases < 5:
+            missing = rng.randrange(4)
+            phi = make_degenerate(4, missing, rng)
+            if phi.depends_on(missing):
+                continue
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.4)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            manager, root = degenerate_lineage_obdd(phi, tid.instance)
+            expected = probability_by_world_enumeration(HQuery(3, phi), tid)
+            assert manager.probability(root, tid.probability_map()) == expected
+
+    def test_obdd_polynomial_width(self):
+        # Proposition 3.7's point: the OBDD width is bounded by a constant
+        # (in data complexity), so size grows linearly with the order.
+        rng = random.Random(219)
+        phi = make_degenerate(3, 2, rng)
+        while phi.depends_on(2) or phi.sat_count() == 0:
+            phi = make_degenerate(3, 2, rng)
+        sizes = []
+        for n in (1, 2, 3, 4):
+            tid = complete_tid(2, n, n)
+            manager, root = degenerate_lineage_obdd(phi, tid.instance)
+            sizes.append((len(manager.order), manager.size(root)))
+        # Size grows at most linearly with a generous constant.
+        for order_len, size in sizes:
+            assert size <= 16 * order_len + 20
+
+
+class TestSingleHQueries:
+    """Every single h_{k,i} is degenerate; its lineage OBDD must agree with
+    brute force on random instances — the Appendix B.1 base case."""
+
+    @pytest.mark.parametrize("i", [0, 1, 2, 3])
+    def test_single_h_query(self, i):
+        rng = random.Random(300 + i)
+        phi = BooleanFunction.variable(i, 4)
+        cases = 0
+        while cases < 3:
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.45)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            circuit = degenerate_lineage_circuit(phi, tid.instance)
+            assert_d_d(circuit)
+            expected = probability_by_world_enumeration(HQuery(3, phi), tid)
+            assert (
+                circuit_probability(circuit, tid.probability_map())
+                == expected
+            )

@@ -1,0 +1,137 @@
+"""Tests for the Figure-1 classifier and the hardness machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.zoo import phi_9, phi_max_euler
+from repro.db.generator import random_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.dichotomy import Region, classify_function, region_counts
+from repro.pqe.extensional import probability as extensional_probability
+from repro.pqe.hardness import (
+    is_provably_hard,
+    monotone_witness_with_same_euler,
+    probability_by_reduction,
+)
+from repro.queries.hqueries import HQuery
+from tests.conftest import small_random_tid
+
+
+class TestClassifier:
+    def test_phi9_zero_euler(self):
+        result = classify_function(phi_9())
+        assert result.region is Region.ZERO_EULER
+        assert result.dd_ptime and result.safe and result.is_ucq
+        assert not result.obdd_ptime
+
+    def test_degenerate(self):
+        result = classify_function(BooleanFunction.variable(0, 4))
+        assert result.region is Region.DEGENERATE
+        assert result.obdd_ptime and result.dd_ptime
+
+    def test_hard_monotone(self):
+        # The full disjunction: e != 0, monotone => #P-hard.
+        phi = BooleanFunction.bottom(4)
+        for i in range(4):
+            phi = phi | BooleanFunction.variable(i, 4)
+        result = classify_function(phi)
+        assert result.region is Region.HARD
+        assert result.known_hard and not result.dd_ptime
+
+    def test_conjectured_hard(self):
+        result = classify_function(phi_max_euler(3))
+        assert result.region is Region.CONJECTURED_HARD
+        assert not result.known_hard and not result.dd_ptime
+
+    def test_every_monotone_classified_consistently(self):
+        from repro.enumeration.monotone import enumerate_monotone_functions
+
+        for phi in enumerate_monotone_functions(3):
+            result = classify_function(phi)
+            # [12]: monotone queries are never in the conjectured region.
+            assert result.region is not Region.CONJECTURED_HARD
+            assert result.safe == (phi.euler_characteristic() == 0)
+
+    def test_region_counts_partition(self):
+        functions = [BooleanFunction(3, t) for t in range(256)]
+        counts = region_counts(functions)
+        assert sum(counts.values()) == 256
+
+    def test_degenerate_subset_of_zero_euler(self):
+        for table in range(256):
+            phi = BooleanFunction(3, table)
+            if phi.is_degenerate():
+                assert phi.euler_characteristic() == 0
+
+
+class TestHardnessMachinery:
+    def test_is_provably_hard(self):
+        assert not is_provably_hard(phi_9())
+        assert not is_provably_hard(phi_max_euler(3))  # outside range
+        hard = BooleanFunction.bottom(4)
+        for i in range(4):
+            hard = hard | BooleanFunction.variable(i, 4)
+        assert is_provably_hard(hard)
+
+    def test_monotone_witness(self):
+        rng = random.Random(31)
+        for _ in range(10):
+            phi = BooleanFunction.random(4, rng)
+            try:
+                witness = monotone_witness_with_same_euler(phi)
+            except ValueError:
+                from repro.core.euler import monotone_euler_extremes
+
+                low, high = monotone_euler_extremes(3)
+                assert not low <= phi.euler_characteristic() <= high
+                continue
+            assert witness.is_monotone()
+            assert (
+                witness.euler_characteristic() == phi.euler_characteristic()
+            )
+
+    def test_witness_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            monotone_witness_with_same_euler(phi_max_euler(3))
+
+    def test_reduction_computes_probability(self):
+        # Theorem 6.2(a) as an algorithm: evaluate a non-monotone
+        # zero-Euler query through its monotone witness + corrections.
+        rng = random.Random(37)
+        found = 0
+        while found < 3:
+            phi = BooleanFunction.random(4, rng)
+            if phi.euler_characteristic() != 0 or phi.is_monotone():
+                continue
+            found += 1
+            query = HQuery(3, phi)
+            tid = small_random_tid(3, rng)
+            value = probability_by_reduction(
+                query, tid, oracle=extensional_probability
+            )
+            assert value == probability_by_world_enumeration(query, tid)
+
+    def test_reduction_nonzero_euler(self):
+        # Also works for e != 0 within the monotone range, using brute
+        # force as the (stand-in) oracle for the #P-hard witness.
+        rng = random.Random(41)
+        found = 0
+        while found < 2:
+            phi = BooleanFunction.random(4, rng)
+            euler = phi.euler_characteristic()
+            from repro.core.euler import monotone_euler_extremes
+
+            low, high = monotone_euler_extremes(3)
+            if euler == 0 or not low <= euler <= high:
+                continue
+            found += 1
+            query = HQuery(3, phi)
+            tid = small_random_tid(3, rng, max_tuples=11)
+            value = probability_by_reduction(
+                query, tid, oracle=probability_by_world_enumeration
+            )
+            assert value == probability_by_world_enumeration(query, tid)

@@ -1,0 +1,48 @@
+"""Documentation correctness: the README quickstart must run, and the
+doctest examples embedded in module docstrings must hold."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        # The exact snippet from README.md / repro.__doc__.
+        from fractions import Fraction
+
+        from repro import HQuery, phi_9, complete_tid
+        from repro.pqe import (
+            extensional_probability,
+            intensional_probability,
+            probability_by_world_enumeration,
+        )
+
+        query = HQuery(3, phi_9())
+        tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+        assert (
+            extensional_probability(query, tid)
+            == intensional_probability(query, tid)
+            == probability_by_world_enumeration(query, tid)
+        )
+
+
+DOCTEST_MODULES = [
+    "repro.core.valuations",
+    "repro.core.boolean_function",
+    "repro.core.formula",
+    "repro.pqe.safe_plans",
+    "repro.db.relation",
+]
+
+
+class TestModuleDoctests:
+    @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+    def test_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0, f"{module_name}: {results}"

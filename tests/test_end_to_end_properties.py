@@ -1,0 +1,163 @@
+"""Cross-module property tests: the invariants that tie the paper together.
+
+These tests drive random Boolean functions and random TIDs through *all*
+layers at once and assert the global contracts:
+
+* the three engines agree exactly wherever they are all defined;
+* compiled circuits are genuine d-Ds (validated structurally and
+  semantically) whose truth tables equal the ground-truth lineage;
+* ± derivations, fragmentations and matchings round-trip.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import assert_d_d
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import fragment
+from repro.core.transformation import apply_steps, reduce_to_bottom
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.brute_force import (
+    pattern_distribution,
+    probability_by_world_enumeration,
+)
+from repro.pqe.extensional import is_safe, probability as ext_probability
+from repro.pqe.intensional import compile_lineage
+from repro.queries.hqueries import HQuery
+
+K = 2  # arity used throughout: small enough for exhaustive oracles
+
+
+def tid_strategy():
+    """Tiny TIDs over the k = 2 schema with exact rational probabilities."""
+
+    def build(seed: int) -> TupleIndependentDatabase:
+        rng = random.Random(seed)
+        tid = TupleIndependentDatabase()
+        for name, arity in (("R", 1), ("S1", 2), ("S2", 2), ("T", 1)):
+            tid.instance.declare(name, arity)
+        for x in ("a1", "a2"):
+            if rng.random() < 0.7:
+                tid.add("R", (x,), Fraction(rng.randint(0, 4), 4))
+            if rng.random() < 0.7:
+                tid.add("T", (x,), Fraction(rng.randint(0, 4), 4))
+            for y in ("b1", "b2"):
+                for s in ("S1", "S2"):
+                    if rng.random() < 0.55:
+                        tid.add(s, (x, y), Fraction(rng.randint(0, 4), 4))
+        return tid
+
+    return st.integers(min_value=0, max_value=10_000).map(build)
+
+
+def functions(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1).map(
+        lambda t: BooleanFunction(nvars, t)
+    )
+
+
+class TestEngineAgreement:
+    @given(functions(K + 1), tid_strategy())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_intensional_matches_brute_force(self, phi, tid):
+        if phi.euler_characteristic() != 0:
+            return
+        if len(tid) > 12:
+            return
+        query = HQuery(K, phi)
+        compiled = compile_lineage(query, tid.instance)
+        assert compiled.probability(tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+    @given(functions(K + 1), tid_strategy())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_extensional_matches_brute_force(self, phi, tid):
+        monotone = phi.up_closure()
+        query = HQuery(K, monotone)
+        if not is_safe(query) or len(tid) > 12:
+            return
+        assert ext_probability(query, tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+    @given(tid_strategy())
+    @settings(max_examples=15, deadline=None)
+    def test_pattern_distribution_is_a_distribution(self, tid):
+        if len(tid) > 12:
+            return
+        query = HQuery(K, BooleanFunction.top(K + 1))
+        distribution = pattern_distribution(query, tid)
+        assert sum(distribution.values()) == 1
+        assert all(p >= 0 for p in distribution.values())
+
+
+class TestCompiledCircuitContracts:
+    @given(functions(K + 1), tid_strategy())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_compiled_circuit_is_valid_d_d(self, phi, tid):
+        if phi.euler_characteristic() != 0 or len(tid) > 10:
+            return
+        compiled = compile_lineage(HQuery(K, phi), tid.instance)
+        assert_d_d(compiled.circuit)
+
+    @given(functions(K + 1), tid_strategy())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_compiled_circuit_equals_ground_truth_lineage(self, phi, tid):
+        if phi.euler_characteristic() != 0 or len(tid) > 9:
+            return
+        query = HQuery(K, phi)
+        compiled = compile_lineage(query, tid.instance)
+        tuple_ids, truth = query.lineage_truth_table(tid.instance)
+        for mask in range(1 << len(tuple_ids)):
+            assignment = {
+                tuple_ids[j]: bool(mask >> j & 1)
+                for j in range(len(tuple_ids))
+            }
+            assert compiled.circuit.evaluate(assignment) == truth(mask)
+
+
+class TestDerivationRoundTrips:
+    @given(functions(4))
+    @settings(max_examples=50, deadline=None)
+    def test_reduce_and_fragment_consistent(self, phi):
+        if phi.euler_characteristic() != 0:
+            return
+        steps = reduce_to_bottom(phi)
+        assert apply_steps(phi, steps).is_bottom()
+        fragmentation = fragment(phi)
+        assert fragmentation.verify()
+        # The fragmentation's leaf count tracks the derivation length.
+        if phi.is_nondegenerate():
+            assert fragmentation.template.num_holes == len(steps) + 1
+
+    @given(functions(4))
+    @settings(max_examples=50, deadline=None)
+    def test_euler_invariance_under_derivation(self, phi):
+        if phi.euler_characteristic() != 0:
+            return
+        current = phi
+        for step in reduce_to_bottom(phi):
+            current = apply_steps(current, [step])
+            assert current.euler_characteristic() == 0

@@ -1,0 +1,102 @@
+"""Tests for the unified evaluation facade."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid
+from repro.pqe.dichotomy import Region
+from repro.pqe.engine import (
+    BRUTE_FORCE_LIMIT,
+    HardQueryError,
+    evaluate,
+)
+from repro.queries.hqueries import HQuery, phi_9, q9
+from tests.conftest import small_random_tid
+
+
+def full_disjunction(k: int) -> BooleanFunction:
+    phi = BooleanFunction.bottom(k + 1)
+    for i in range(k + 1):
+        phi = phi | BooleanFunction.variable(i, k + 1)
+    return phi
+
+
+class TestAutoMode:
+    def test_safe_query_uses_intensional(self):
+        rng = random.Random(1)
+        tid = small_random_tid(3, rng)
+        result = evaluate(q9(), tid)
+        assert result.engine == "intensional"
+        assert result.compiled is not None
+        assert result.classification.region is Region.ZERO_EULER
+
+    def test_hard_query_small_instance_falls_back(self):
+        tid = complete_tid(3, 1, 1)
+        assert len(tid) <= BRUTE_FORCE_LIMIT
+        result = evaluate(HQuery(3, full_disjunction(3)), tid)
+        assert result.engine == "brute_force"
+        assert result.classification.region is Region.HARD
+
+    def test_hard_query_large_instance_refused(self):
+        tid = complete_tid(3, 3, 3)  # 33 tuples
+        with pytest.raises(HardQueryError):
+            evaluate(HQuery(3, full_disjunction(3)), tid)
+
+    def test_auto_agrees_with_explicit_engines(self):
+        rng = random.Random(2)
+        tid = small_random_tid(3, rng)
+        auto = evaluate(q9(), tid)
+        ext = evaluate(q9(), tid, method="extensional")
+        brute = evaluate(q9(), tid, method="brute_force")
+        assert auto.probability == ext.probability == brute.probability
+
+
+class TestExplicitModes:
+    def test_unknown_method(self):
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(ValueError):
+            evaluate(q9(), tid, method="quantum")
+
+    def test_intensional_rejects_nonzero_euler(self):
+        from repro.pqe.intensional import NotCompilableError
+
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(NotCompilableError):
+            evaluate(
+                HQuery(3, full_disjunction(3)), tid, method="intensional"
+            )
+
+    def test_extensional_rejects_non_monotone(self):
+        from repro.pqe.extensional import UnsafeQueryError
+
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(UnsafeQueryError):
+            evaluate(HQuery(3, ~phi_9()), tid, method="extensional")
+
+    def test_non_monotone_zero_euler_goes_intensional(self):
+        # Auto handles Boolean combinations the extensional engine cannot.
+        rng = random.Random(3)
+        phi = None
+        while phi is None or phi.euler_characteristic() != 0 or phi.is_monotone():
+            phi = BooleanFunction.random(4, rng)
+        tid = small_random_tid(3, rng)
+        result = evaluate(HQuery(3, phi), tid)
+        assert result.engine == "intensional"
+        brute = evaluate(HQuery(3, phi), tid, method="brute_force")
+        assert result.probability == brute.probability
+
+    def test_compiled_reuse_from_result(self):
+        from fractions import Fraction
+
+        rng = random.Random(4)
+        tid = small_random_tid(3, rng)
+        result = evaluate(q9(), tid, method="intensional")
+        some_tuple = tid.instance.tuple_ids()[0]
+        tid.set_probability(some_tuple, Fraction(1, 9))
+        updated = result.compiled.probability(tid)
+        fresh = evaluate(q9(), tid, method="brute_force").probability
+        assert updated == fresh

@@ -1,0 +1,118 @@
+"""Extensional vs intensional agreement beyond the brute-force horizon.
+
+The brute-force oracle stops at ~20 tuples; these tests cross-validate the
+two polynomial engines directly against each other on larger instances,
+where a bug in either (Möbius coefficients, safe plans, automata, template
+determinism) would almost surely break the exact equality.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid, random_tid
+from repro.enumeration.monotone import monotone_tables
+from repro.pqe.extensional import is_safe, probability as ext_probability
+from repro.pqe.intensional import probability as int_probability
+from repro.queries.hqueries import HQuery, q9
+
+
+class TestAgreementAtScale:
+    def test_q9_on_larger_complete_instances(self):
+        for n in (3, 4):
+            tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+            assert len(tid) > 22  # beyond the brute-force limit
+            assert ext_probability(q9(), tid) == int_probability(q9(), tid)
+
+    def test_q9_on_larger_random_instances(self):
+        rng = random.Random(97)
+        for _ in range(3):
+            tid = random_tid(3, 3, 3, rng, tuple_density=0.7)
+            assert ext_probability(q9(), tid) == int_probability(q9(), tid)
+
+    def test_random_safe_monotone_functions_at_k3(self):
+        rng = random.Random(98)
+        tid = complete_tid(3, 2, 3, prob=Fraction(1, 3))
+        tables = monotone_tables(4)
+        checked = 0
+        while checked < 12:
+            phi = BooleanFunction(4, rng.choice(tables))
+            query = HQuery(3, phi)
+            if not is_safe(query):
+                continue
+            assert ext_probability(query, tid) == int_probability(
+                query, tid
+            ), phi
+            checked += 1
+
+    def test_rectangular_instances(self):
+        for n_left, n_right in ((1, 5), (5, 1), (2, 4)):
+            tid = complete_tid(3, n_left, n_right, prob=Fraction(2, 5))
+            assert ext_probability(q9(), tid) == int_probability(q9(), tid)
+
+    def test_skewed_probabilities(self):
+        # Extreme per-tuple probabilities stress the exact arithmetic.
+        tid = complete_tid(3, 2, 2, prob=Fraction(1, 997))
+        value = ext_probability(q9(), tid)
+        assert value == int_probability(q9(), tid)
+        assert 0 < value < Fraction(1, 1000)
+
+
+class TestCanonicalizationIdempotence:
+    def test_canonicalize_idempotent(self):
+        from repro.core.transformation import (
+            apply_steps,
+            canonicalize,
+            minimize_to_even,
+        )
+
+        rng = random.Random(99)
+        for _ in range(25):
+            phi = BooleanFunction.random(4, rng)
+            if phi.euler_characteristic() < 0:
+                continue
+            even = apply_steps(phi, minimize_to_even(phi))
+            canonical = apply_steps(even, canonicalize(even))
+            assert canonicalize(canonical) == []
+
+    def test_canonical_form_depends_only_on_count(self):
+        # Two canonical forms with equal model count on the same variable
+        # set agree below the top level (Proposition 6.1, step 3 setup).
+        from repro.core.transformation import (
+            apply_steps,
+            canonicalize,
+            is_canonical_form,
+            minimize_to_even,
+        )
+
+        rng = random.Random(100)
+        seen: dict[int, BooleanFunction] = {}
+        for _ in range(40):
+            phi = BooleanFunction.random(4, rng)
+            if phi.euler_characteristic() <= 0:
+                continue
+            even = apply_steps(phi, minimize_to_even(phi))
+            canonical = apply_steps(even, canonicalize(even))
+            assert is_canonical_form(canonical)
+            count = canonical.sat_count()
+            if count in seen:
+                other = seen[count]
+                below_top_a = {
+                    m
+                    for m in canonical.satisfying_masks()
+                    if m.bit_count()
+                    < max(
+                        x.bit_count() for x in canonical.satisfying_masks()
+                    )
+                }
+                below_top_b = {
+                    m
+                    for m in other.satisfying_masks()
+                    if m.bit_count()
+                    < max(x.bit_count() for x in other.satisfying_masks())
+                }
+                assert below_top_a == below_top_b
+            else:
+                seen[count] = canonical

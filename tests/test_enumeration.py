@@ -1,0 +1,99 @@
+"""Tests for the enumeration substrate (Dedekind ideals, isomorphism)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.enumeration import (
+    DEDEKIND_NUMBERS,
+    canonical_table,
+    count_classes,
+    count_monotone,
+    enumerate_all_functions,
+    enumerate_class_representatives,
+    enumerate_monotone_functions,
+    enumerate_nondegenerate_monotone,
+    monotone_tables,
+)
+
+
+class TestMonotoneEnumeration:
+    @pytest.mark.parametrize("nvars", [0, 1, 2, 3, 4])
+    def test_counts_match_dedekind(self, nvars):
+        assert count_monotone(nvars) == DEDEKIND_NUMBERS[nvars]
+
+    def test_count_m5(self):
+        assert count_monotone(5) == 7581
+
+    def test_all_results_monotone(self):
+        for phi in enumerate_monotone_functions(3):
+            assert phi.is_monotone()
+
+    def test_no_duplicates(self):
+        tables = monotone_tables(4)
+        assert len(tables) == len(set(tables))
+
+    def test_contains_constants(self):
+        tables = monotone_tables(3)
+        assert 0 in tables  # bottom
+        assert (1 << 8) - 1 in tables  # top
+
+    def test_rejects_beyond_six(self):
+        with pytest.raises(ValueError):
+            monotone_tables(7)
+
+    def test_nondegenerate_subset(self):
+        nondegenerate = list(enumerate_nondegenerate_monotone(3))
+        assert all(phi.is_nondegenerate() for phi in nondegenerate)
+        assert 0 < len(nondegenerate) < DEDEKIND_NUMBERS[3]
+
+    def test_monotone_iff_enumerated(self):
+        # Every monotone 3-variable function appears exactly once.
+        expected = {
+            table
+            for table in range(1 << 8)
+            if BooleanFunction(3, table).is_monotone()
+        }
+        assert set(monotone_tables(3)) == expected
+
+
+class TestAllFunctions:
+    def test_count(self):
+        assert len(list(enumerate_all_functions(3))) == 256
+
+    def test_rejects_large(self):
+        with pytest.raises(ValueError):
+            list(enumerate_all_functions(5))
+
+
+class TestIsomorphism:
+    def test_canonical_invariance(self):
+        phi = BooleanFunction.from_satisfying(3, [{0}, {1, 2}])
+        for perm in ([1, 0, 2], [2, 1, 0], [1, 2, 0]):
+            assert canonical_table(phi.permute(perm)) == canonical_table(phi)
+
+    def test_classes_of_two_variables(self):
+        # 16 functions on 2 variables fall into 12 permutation classes
+        # (the swap identifies x0<->x1).
+        functions = [BooleanFunction(2, t) for t in range(16)]
+        assert count_classes(functions) == 12
+
+    def test_representatives_unique(self):
+        functions = [BooleanFunction(2, t) for t in range(16)]
+        representatives = list(enumerate_class_representatives(functions))
+        keys = [canonical_table(phi) for phi in representatives]
+        assert len(keys) == len(set(keys)) == 12
+
+    def test_class_invariants_uniform(self):
+        # Euler characteristic constant across each class.
+        functions = [BooleanFunction(3, t) for t in range(0, 256, 7)]
+        from repro.enumeration.isomorphism import isomorphism_classes
+
+        classes = isomorphism_classes(functions)
+        for phi in functions:
+            representative = classes[canonical_table(phi)]
+            assert (
+                representative.euler_characteristic()
+                == phi.euler_characteristic()
+            )

@@ -1,0 +1,131 @@
+"""Tests for repro.core.euler: identities, counts, extremes (footnote 6,
+Proposition 4.6 facts, Theorem C.2 / Lemma C.1)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import euler
+from repro.core.boolean_function import BooleanFunction
+from repro.enumeration.monotone import enumerate_monotone_functions
+
+
+def tables(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1)
+
+
+class TestIdentities:
+    @given(tables(4))
+    def test_negation_identity(self, table):
+        phi = BooleanFunction(4, table)
+        assert euler.euler_of_negation(phi) == -phi.euler_characteristic()
+
+    def test_disjoint_or_additivity(self):
+        a = BooleanFunction.from_satisfying(3, [{0}, {0, 1}])
+        b = BooleanFunction.from_satisfying(3, [{2}])
+        assert euler.euler_of_disjoint_or(a, b) == (
+            a.euler_characteristic() + b.euler_characteristic()
+        )
+
+    def test_disjoint_or_rejects_overlap(self):
+        a = BooleanFunction.from_satisfying(2, [{0}])
+        with pytest.raises(ValueError):
+            euler.euler_of_disjoint_or(a, a)
+
+
+class TestZeroEulerCount:
+    def test_formula_values(self):
+        # Footnote 6: sum_j C(2^k, j)^2 = C(2^{k+1}, 2^k).
+        assert euler.count_zero_euler_functions(1) == math.comb(4, 2)
+        assert euler.count_zero_euler_functions(2) == math.comb(8, 4)
+        assert euler.count_zero_euler_functions(3) == math.comb(16, 8)
+
+    def test_formula_matches_enumeration_k1(self):
+        assert euler.count_zero_euler_functions(
+            1
+        ) == euler.count_zero_euler_functions_by_enumeration(1)
+
+    def test_formula_matches_enumeration_k2(self):
+        assert euler.count_zero_euler_functions(
+            2
+        ) == euler.count_zero_euler_functions_by_enumeration(2)
+
+    def test_rejects_k0(self):
+        with pytest.raises(ValueError):
+            euler.count_zero_euler_functions(0)
+
+
+class TestSlices:
+    def test_slice_euler_closed_form(self):
+        for k in range(1, 6):
+            n = k + 1
+            for threshold in range(n + 2):
+                phi = euler.upper_slice(k, threshold)
+                assert (
+                    phi.euler_characteristic()
+                    == euler.slice_euler_value(k, threshold)
+                ), (k, threshold)
+
+    def test_upper_slice_monotone(self):
+        for threshold in range(5):
+            assert euler.upper_slice(3, threshold).is_monotone()
+
+
+class TestMonotoneExtremes:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_extremes_match_exhaustive(self, k):
+        values = [
+            phi.euler_characteristic()
+            for phi in enumerate_monotone_functions(k + 1)
+        ]
+        assert euler.monotone_euler_extremes(k) == (min(values), max(values))
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_max_abs_matches_exhaustive(self, k):
+        values = [
+            abs(phi.euler_characteristic())
+            for phi in enumerate_monotone_functions(k + 1)
+        ]
+        assert euler.max_monotone_euler(k) == max(values)
+
+    def test_bjorner_kalai_maximizer(self):
+        for k in (1, 2, 3, 4):
+            phi = euler.bjorner_kalai_maximizer(k)
+            assert phi.is_monotone()
+            assert abs(phi.euler_characteristic()) == euler.max_monotone_euler(k)
+
+    def test_max_euler_function_unreachable(self):
+        # Section 6.1: e(phi_maxEuler) = 2^k exceeds the monotone max.
+        from repro.core.zoo import phi_max_euler
+
+        for k in (2, 3, 4):
+            low, high = euler.monotone_euler_extremes(k)
+            assert phi_max_euler(k).euler_characteristic() == 1 << k
+            assert 1 << k > high
+
+
+class TestLemmaC1Construction:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_every_value_achievable(self, k):
+        for target in euler.achievable_monotone_euler_values(k):
+            phi = euler.monotone_function_with_euler(k, target)
+            assert phi.is_monotone()
+            assert phi.euler_characteristic() == target
+
+    def test_rejects_unachievable(self):
+        low, high = euler.monotone_euler_extremes(2)
+        with pytest.raises(ValueError):
+            euler.monotone_function_with_euler(2, high + 1)
+
+    def test_k4_spot_checks(self):
+        rng = random.Random(4)
+        low, high = euler.monotone_euler_extremes(4)
+        for target in rng.sample(range(low, high + 1), 5):
+            phi = euler.monotone_function_with_euler(4, target)
+            assert phi.is_monotone()
+            assert phi.euler_characteristic() == target

@@ -1,0 +1,164 @@
+"""Tests for the extensional (lifted inference / Möbius) engine."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid, random_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.extensional import (
+    UnsafeQueryError,
+    is_safe,
+    mobius_terms,
+    probability,
+    probability_by_raw_inclusion_exclusion,
+)
+from repro.queries.hqueries import HQuery, phi_9, q9
+
+
+class TestSafety:
+    def test_q9_is_safe(self):
+        assert is_safe(q9())
+
+    def test_full_disjunction_unsafe(self):
+        # H_k = h_0 ∨ ... ∨ h_k is the canonical unsafe query.
+        phi = BooleanFunction.bottom(4)
+        for i in range(4):
+            phi = phi | BooleanFunction.variable(i, 4)
+        assert not is_safe(HQuery(3, phi))
+
+    def test_degenerate_monotone_safe(self):
+        phi = BooleanFunction.variable(1, 4)  # just h_1
+        assert is_safe(HQuery(3, phi))
+
+    def test_safety_undefined_for_non_monotone(self):
+        with pytest.raises(ValueError):
+            is_safe(HQuery(3, ~phi_9()))
+
+    def test_safety_matches_euler(self):
+        from repro.enumeration.monotone import enumerate_monotone_functions
+
+        for phi in enumerate_monotone_functions(3):
+            query = HQuery(2, phi)
+            assert is_safe(query) == (phi.euler_characteristic() == 0)
+
+
+class TestMobiusTerms:
+    def test_q9_terms_exclude_bottom(self):
+        terms = dict(mobius_terms(q9()))
+        # The #P-hard bottom {0,1,2,3} has Möbius value 0, so it is absent.
+        assert frozenset({0, 1, 2, 3}) not in terms
+        # The seven nontrivial lattice elements survive.
+        assert len(terms) == 7
+
+    def test_q9_coefficients(self):
+        terms = {
+            tuple(sorted(e)): c for e, c in mobius_terms(q9())
+        }
+        assert terms == {
+            (0, 3): 1,
+            (1, 3): 1,
+            (2, 3): 1,
+            (0, 1, 2): 1,
+            (0, 1, 3): -1,
+            (0, 2, 3): -1,
+            (1, 2, 3): -1,
+        }
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(UnsafeQueryError):
+            mobius_terms(HQuery(3, ~phi_9()))
+
+
+class TestProbability:
+    def test_constants(self):
+        tid = complete_tid(2, 1, 1)
+        assert probability(HQuery(2, BooleanFunction.bottom(3)), tid) == 0
+        assert probability(HQuery(2, BooleanFunction.top(3)), tid) == 1
+
+    def test_q9_against_brute_force(self):
+        rng = random.Random(101)
+        cases = 0
+        while cases < 5:
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.45)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            assert probability(q9(), tid) == probability_by_world_enumeration(
+                q9(), tid
+            )
+
+    def test_q9_complete_instances(self):
+        for n in (1, 2):
+            tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+            if len(tid) <= 22:
+                assert probability(
+                    q9(), tid
+                ) == probability_by_world_enumeration(q9(), tid)
+
+    def test_unsafe_query_raises(self):
+        phi = BooleanFunction.bottom(4)
+        for i in range(4):
+            phi = phi | BooleanFunction.variable(i, 4)
+        tid = complete_tid(3, 1, 1)
+        with pytest.raises(UnsafeQueryError):
+            probability(HQuery(3, phi), tid)
+
+    def test_all_safe_monotone_k2(self):
+        # Exhaustive: every safe monotone phi on 3 variables agrees with
+        # brute force on a fixed small instance.
+        tid = complete_tid(2, 2, 1, prob=Fraction(1, 3))
+        from repro.enumeration.monotone import enumerate_monotone_functions
+
+        for phi in enumerate_monotone_functions(3):
+            query = HQuery(2, phi)
+            if not is_safe(query):
+                continue
+            assert probability(
+                query, tid
+            ) == probability_by_world_enumeration(query, tid), phi
+
+    def test_degenerate_monotone_random(self):
+        rng = random.Random(103)
+        cases = 0
+        while cases < 4:
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.4)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            # Single h_i queries and small disjunctions are degenerate.
+            for phi in (
+                BooleanFunction.variable(1, 4),
+                BooleanFunction.variable(0, 4)
+                | BooleanFunction.variable(2, 4),
+            ):
+                query = HQuery(3, phi)
+                assert probability(
+                    query, tid
+                ) == probability_by_world_enumeration(query, tid)
+
+
+class TestRawInclusionExclusion:
+    def test_matches_mobius_collapse(self):
+        rng = random.Random(107)
+        cases = 0
+        while cases < 4:
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.4)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            assert probability(
+                q9(), tid
+            ) == probability_by_raw_inclusion_exclusion(q9(), tid)
+
+    def test_unsafe_raises(self):
+        phi = BooleanFunction.bottom(3)
+        for i in range(3):
+            phi = phi | BooleanFunction.variable(i, 3)
+        tid = complete_tid(2, 1, 1)
+        with pytest.raises(UnsafeQueryError):
+            probability_by_raw_inclusion_exclusion(HQuery(2, phi), tid)

@@ -1,0 +1,196 @@
+"""Failure injection: every validator must catch a deliberately broken
+artefact.
+
+The library's safety story is that nothing is trusted: circuits, ±
+derivations, fragmentations and matchings all carry checkable certificates.
+These tests corrupt each kind of artefact in a targeted way and assert the
+corresponding checker rejects it (no silent wrong answers).
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    CircuitPropertyError,
+    assert_d_d,
+    check_determinism_by_enumeration,
+    is_decomposable,
+    probability,
+)
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import (
+    Fragmentation,
+    Hole,
+    NegOrTemplate,
+    OrNode,
+    fragment,
+    fragment_via_matching,
+)
+from repro.core.transformation import Step, apply_steps, verify_steps
+from repro.matching.perfect_matching import steps_from_matching
+from repro.queries.hqueries import phi_9
+
+
+class TestCircuitValidation:
+    def test_overlapping_and_rejected(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        y = circuit.add_var("y")
+        shared = circuit.add_or([x, y])
+        # (x ∨ y) ∧ x shares variable x between its inputs.
+        circuit.set_output(circuit.add_and([shared, x]))
+        assert not is_decomposable(circuit)
+        with pytest.raises(CircuitPropertyError):
+            assert_d_d(circuit)
+
+    def test_overlapping_or_rejected(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        y = circuit.add_var("y")
+        circuit.set_output(circuit.add_or([x, circuit.add_and([x, y])]))
+        assert not check_determinism_by_enumeration(circuit)
+        with pytest.raises(CircuitPropertyError):
+            assert_d_d(circuit)
+
+    def test_nondeterministic_or_probability_wrong(self):
+        # Demonstrate *why* validation matters: the linear pass over a
+        # non-deterministic ∨ overcounts.
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        circuit.set_output(circuit.add_or([x, x]))
+        value = probability(circuit, {"x": Fraction(1, 2)})
+        assert value == Fraction(1)  # wrong on purpose: 1/2 + 1/2
+        assert not check_determinism_by_enumeration(circuit)
+
+
+class TestStepValidation:
+    def test_replay_rejects_wrong_direction(self):
+        phi = BooleanFunction.bottom(3)
+        bad = [Step(-1, 0b000, 0)]  # removing from ⊥
+        with pytest.raises(ValueError):
+            apply_steps(phi, bad)
+        assert not verify_steps(phi, bad, phi)
+
+    def test_replay_rejects_half_colored_pair(self):
+        phi = BooleanFunction.from_satisfying(3, [0b001])
+        with pytest.raises(ValueError):
+            apply_steps(phi, [Step(1, 0b000, 0)])  # 001 already colored
+
+    def test_verify_steps_detects_wrong_target(self):
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b001])
+        steps = [Step(-1, 0b000, 0)]
+        assert verify_steps(phi, steps, BooleanFunction.bottom(3))
+        assert not verify_steps(
+            phi, steps, BooleanFunction.from_satisfying(3, [0b010])
+        )
+
+
+class TestFragmentationValidation:
+    def test_nondegenerate_leaf_rejected(self):
+        phi = phi_9()
+        fragmentation = fragment(phi)
+        # Swap in a nondegenerate leaf of the same function value: verify()
+        # must notice the leaf itself is illegal.
+        corrupted = Fragmentation(
+            NegOrTemplate.single_hole(), [phi], phi
+        )
+        assert not corrupted.verify()  # phi_9 is nondegenerate
+        assert fragmentation.verify()
+
+    def test_nondeterministic_template_rejected(self):
+        a = BooleanFunction.from_satisfying(2, [0b00, 0b01])
+        overlapping = Fragmentation(
+            NegOrTemplate(OrNode((Hole(0), Hole(1))), 2),
+            [a, a],  # identical leaves overlap
+            a,
+        )
+        assert not overlapping.verify()
+
+    def test_wrong_function_rejected(self):
+        phi = phi_9()
+        fragmentation = fragment(phi)
+        wrong = Fragmentation(
+            fragmentation.template, fragmentation.leaves, ~phi
+        )
+        assert not wrong.verify()
+
+
+class TestMatchingValidation:
+    def test_incomplete_matching_rejected(self):
+        phi = phi_9()
+        from repro.matching.perfect_matching import colored_matching
+
+        pairs = colored_matching(phi)
+        with pytest.raises(ValueError):
+            fragment_via_matching(phi, pairs[:-1])
+        with pytest.raises(ValueError):
+            steps_from_matching(phi, pairs[:-1])
+
+    def test_foreign_pair_rejected(self):
+        phi = phi_9()
+        from repro.matching.perfect_matching import colored_matching
+
+        pairs = colored_matching(phi)
+        # Replace one pair by a non-satisfying one.
+        non_model = next(
+            m for m in range(16) if not phi(m) and not phi(m ^ 1)
+        )
+        corrupted = pairs[:-1] + [(non_model, non_model ^ 1)]
+        with pytest.raises(ValueError):
+            fragment_via_matching(phi, corrupted)
+
+
+class TestProbabilityInputValidation:
+    def test_tid_rejects_bad_probability(self):
+        from repro.db.tid import TupleIndependentDatabase
+
+        tid = TupleIndependentDatabase()
+        with pytest.raises(ValueError):
+            tid.add("R", ("a",), Fraction(7, 5))
+
+    def test_model_count_overcounts_on_invalid_circuit(self):
+        # A non-deterministic ∨ makes the linear pass overcount models
+        # (always by an integer at p = 1/2, so it cannot raise — it must be
+        # caught by the determinism checker instead).
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        y = circuit.add_var("y")
+        circuit.set_output(circuit.add_or([x, y, circuit.add_and([x, y])]))
+        from repro.circuits import model_count
+
+        true_count = len(set(circuit.models_by_enumeration()))
+        assert true_count == 3
+        assert model_count(circuit) == 5  # wrong, as expected
+        assert not check_determinism_by_enumeration(circuit)
+
+
+class TestRandomizedCorruption:
+    def test_mutated_derivations_never_silently_pass(self):
+        rng = random.Random(99)
+        from repro.core.transformation import reduce_to_bottom
+
+        for _ in range(20):
+            phi = BooleanFunction.random(4, rng)
+            if phi.euler_characteristic() != 0 or phi.sat_count() == 0:
+                continue
+            steps = reduce_to_bottom(phi)
+            if not steps:
+                continue
+            index = rng.randrange(len(steps))
+            original = steps[index]
+            mutated = Step(
+                -original.sign, original.valuation, original.variable
+            )
+            corrupted = steps[:index] + [mutated] + steps[index + 1 :]
+            # Either the replay raises, or it reaches something that is
+            # not ⊥ — silent success is the only forbidden outcome.
+            try:
+                result = apply_steps(phi, corrupted)
+            except ValueError:
+                continue
+            assert not result.is_bottom()

@@ -1,0 +1,133 @@
+"""Tests for the FBDD substrate."""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import assert_d_d, is_dldd_shaped, probability
+from repro.obdd import ObddManager, build_obdd, LayeredAutomaton
+from repro.obdd.fbdd import Fbdd, fbdd_from_obdd
+
+
+def xor_fbdd() -> Fbdd:
+    """x XOR y with different orders on the two branches of x."""
+    fbdd = Fbdd()
+    # Branch when x = 0: test y.
+    y_pos = fbdd.add_node("y", 0, 1)
+    # Branch when x = 1: test y with flipped outcome.
+    y_neg = fbdd.add_node("y", 1, 0)
+    root = fbdd.add_node("x", y_pos, y_neg)
+    fbdd.set_root(root)
+    return fbdd
+
+
+class TestStructure:
+    def test_basic_evaluation(self):
+        fbdd = xor_fbdd()
+        fbdd.validate()
+        assert fbdd.evaluate({"x": True, "y": False})
+        assert not fbdd.evaluate({"x": True, "y": True})
+        assert fbdd.evaluate({"y": True})
+
+    def test_variables_and_size(self):
+        fbdd = xor_fbdd()
+        assert fbdd.variables() == frozenset({"x", "y"})
+        assert fbdd.size() == 5  # two terminals + three decisions
+
+    def test_unknown_child_rejected(self):
+        fbdd = Fbdd()
+        with pytest.raises(ValueError):
+            fbdd.add_node("x", 0, 99)
+
+    def test_root_required(self):
+        fbdd = Fbdd()
+        with pytest.raises(ValueError):
+            _ = fbdd.root
+
+    def test_read_once_violation_detected(self):
+        fbdd = Fbdd()
+        inner = fbdd.add_node("x", 0, 1)
+        outer = fbdd.add_node("x", inner, 1)  # x tested twice on a path
+        fbdd.set_root(outer)
+        with pytest.raises(ValueError):
+            fbdd.validate()
+
+    def test_free_order_is_legal(self):
+        # Different variable orders per branch: legal for FBDDs (this is
+        # exactly what OBDDs forbid).
+        fbdd = Fbdd()
+        low_branch = fbdd.add_node("y", 0, 1)
+        zed = fbdd.add_node("z", 0, 1)
+        high_branch = fbdd.add_node("y", zed, 1)
+        root = fbdd.add_node("x", low_branch, high_branch)
+        fbdd.set_root(root)
+        fbdd.validate()
+
+
+class TestSemantics:
+    def test_probability_exact(self):
+        fbdd = xor_fbdd()
+        prob = {"x": Fraction(1, 2), "y": Fraction(1, 3)}
+        assert fbdd.probability(prob) == Fraction(1, 2)
+
+    def test_probability_matches_enumeration(self):
+        fbdd = xor_fbdd()
+        prob = {"x": Fraction(1, 4), "y": Fraction(2, 3)}
+        expected = Fraction(0)
+        for bits in itertools.product([False, True], repeat=2):
+            assignment = dict(zip(("x", "y"), bits))
+            if fbdd.evaluate(assignment):
+                weight = Fraction(1)
+                for label, value in assignment.items():
+                    p = prob[label]
+                    weight *= p if value else 1 - p
+                expected += weight
+        assert fbdd.probability(prob) == expected
+
+    def test_model_count(self):
+        assert xor_fbdd().model_count() == 2
+
+    def test_to_circuit_is_dldd_d_d(self):
+        circuit = xor_fbdd().to_circuit()
+        assert_d_d(circuit)
+        assert is_dldd_shaped(circuit)
+        for bits in itertools.product([False, True], repeat=2):
+            assignment = dict(zip(("x", "y"), bits))
+            assert circuit.evaluate(assignment) == xor_fbdd().evaluate(
+                assignment
+            )
+
+    def test_circuit_probability_agrees(self):
+        fbdd = xor_fbdd()
+        circuit = fbdd.to_circuit()
+        prob = {"x": Fraction(3, 7), "y": Fraction(1, 5)}
+        assert probability(circuit, prob) == fbdd.probability(prob)
+
+
+class TestObddImport:
+    def test_import_preserves_semantics(self):
+        labels = ["a", "b", "c"]
+        automaton = LayeredAutomaton(
+            order=labels,
+            initial=0,
+            transition=lambda s, _p, v: s + int(v),
+            accepting=lambda s: s >= 2,
+        )
+        manager, root = build_obdd(automaton)
+        fbdd = fbdd_from_obdd(manager, root)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(labels, bits))
+            assert fbdd.evaluate(assignment) == manager.evaluate(
+                root, assignment
+            )
+
+    def test_import_preserves_probability(self):
+        manager = ObddManager(["a", "b"])
+        a, b = manager.variable("a"), manager.variable("b")
+        root = manager.apply("or", a, b)
+        fbdd = fbdd_from_obdd(manager, root)
+        prob = {"a": Fraction(1, 2), "b": Fraction(1, 3)}
+        assert fbdd.probability(prob) == manager.probability(root, prob)

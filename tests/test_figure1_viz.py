@@ -1,0 +1,52 @@
+"""Tests for the Figure-1 region renderer."""
+
+from __future__ import annotations
+
+from repro.viz.figure1 import figure1_counts, render_figure1
+
+
+class TestFigure1Counts:
+    def test_partition_k1(self):
+        cells = figure1_counts(1)
+        assert sum(cells.values()) == 16
+
+    def test_partition_k2(self):
+        cells = figure1_counts(2)
+        assert sum(cells.values()) == 256
+        # Monotone functions total the Dedekind number M(3) = 20.
+        monotone = (
+            cells["degenerate_monotone"]
+            + cells["zero_euler_monotone"]
+            + cells["hard_monotone"]
+        )
+        assert monotone == 20
+
+    def test_zero_euler_totals_match_footnote6(self):
+        from repro.core.euler import count_zero_euler_functions
+
+        cells = figure1_counts(2)
+        zero_euler = (
+            cells["degenerate_monotone"]
+            + cells["degenerate_general"]
+            + cells["zero_euler_monotone"]
+            + cells["zero_euler_general"]
+        )
+        assert zero_euler == count_zero_euler_functions(2)
+
+    def test_monotone_never_conjectured(self):
+        # By [12] every UCQ is classified; the conjectured region is
+        # entirely non-monotone (the renderer relies on this).
+        cells = figure1_counts(2)
+        assert "conjectured_monotone" not in cells
+
+
+class TestRendering:
+    def test_render_contains_counts(self):
+        text = render_figure1(1)
+        assert "k = 1: 16 functions" in text
+        assert "H+" in text
+        assert "conjectured" in text
+
+    def test_render_k2(self):
+        text = render_figure1(2)
+        assert "256 functions" in text

@@ -1,0 +1,79 @@
+"""Tests for the Boolean-formula front end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.formula import FormulaSyntaxError, parse, to_formula
+from repro.queries.hqueries import phi_9
+
+
+class TestParsing:
+    def test_phi9_ascii(self):
+        phi = parse("(2|3) & (0|3) & (1|3) & (0|1|2)", 4)
+        assert phi == phi_9()
+
+    def test_phi9_unicode(self):
+        phi = parse("(2∨3) ∧ (0∨3) ∧ (1∨3) ∧ (0∨1∨2)", 4)
+        assert phi == phi_9()
+
+    def test_constants(self):
+        assert parse("T", 2).is_top()
+        assert parse("F", 2).is_bottom()
+
+    def test_negation(self):
+        phi = parse("!0", 2)
+        assert phi({1}) and not phi({0})
+
+    def test_double_negation(self):
+        assert parse("!!1", 2) == parse("1", 2)
+
+    def test_xor(self):
+        phi = parse("0 ^ 1", 2)
+        assert phi({0}) and phi({1}) and not phi({0, 1}) and not phi([])
+
+    def test_precedence(self):
+        # & binds tighter than |.
+        assert parse("0 | 1 & 2", 3) == parse("0 | (1 & 2)", 3)
+        # ! binds tighter than &.
+        assert parse("!0 & 1", 2) == parse("(!0) & 1", 2)
+
+    def test_multidigit_variables(self):
+        phi = parse("10 & 3", 12)
+        assert phi({10, 3}) and not phi({1, 0, 3})
+
+    def test_out_of_range_variable(self):
+        with pytest.raises(FormulaSyntaxError):
+            parse("5", 3)
+
+    def test_syntax_errors(self):
+        for bad in ("0 &", "(0", "0 1", ")", "0 @ 1", ""):
+            with pytest.raises(FormulaSyntaxError):
+                parse(bad, 3)
+
+
+class TestRoundTrip:
+    def test_monotone_round_trip(self):
+        phi = phi_9()
+        assert parse(to_formula(phi), 4) == phi
+
+    def test_constant_round_trip(self):
+        for phi in (BooleanFunction.top(3), BooleanFunction.bottom(3)):
+            assert parse(to_formula(phi), 3) == phi
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    @settings(max_examples=60)
+    def test_random_round_trip(self, table):
+        phi = BooleanFunction(4, table)
+        assert parse(to_formula(phi), 4) == phi
+
+    def test_random_monotone_round_trip(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            phi = BooleanFunction.random_monotone(4, rng)
+            assert parse(to_formula(phi), 4) == phi

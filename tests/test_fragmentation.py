@@ -1,0 +1,209 @@
+"""Tests for fragmentable functions and ¬-∨-templates (Section 4)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import (
+    Fragmentation,
+    Hole,
+    NegOrTemplate,
+    NotNode,
+    OrNode,
+    fragment,
+    fragment_via_matching,
+    is_fragmentable,
+    pair_function,
+)
+from repro.core.transformation import Step
+from repro.matching.perfect_matching import colored_matching
+from repro.queries.hqueries import phi_9
+
+
+def tables(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1)
+
+
+class TestTemplate:
+    def test_single_hole(self):
+        template = NegOrTemplate.single_hole()
+        phi = BooleanFunction.variable(0, 2)
+        assert template.substitute([phi]) == phi
+
+    def test_hole_indices_validated(self):
+        with pytest.raises(ValueError):
+            NegOrTemplate(Hole(1), 1)  # hole 0 missing
+
+    def test_or_substitution(self):
+        template = NegOrTemplate(OrNode((Hole(0), Hole(1))), 2)
+        a = BooleanFunction.from_satisfying(2, [{0}])
+        b = BooleanFunction.from_satisfying(2, [{1}])
+        assert template.substitute([a, b]) == (a | b)
+
+    def test_not_substitution(self):
+        template = NegOrTemplate(NotNode(Hole(0)), 1)
+        a = BooleanFunction.from_satisfying(2, [{0}])
+        assert template.substitute([a]) == ~a
+
+    def test_determinism_check(self):
+        template = NegOrTemplate(OrNode((Hole(0), Hole(1))), 2)
+        a = BooleanFunction.from_satisfying(2, [{0}])
+        b = BooleanFunction.from_satisfying(2, [{1}])
+        assert template.is_deterministic_with([a, b])
+        assert not template.is_deterministic_with([a, a | b])
+
+    def test_determinism_under_negation(self):
+        # The paper's example after Definition 4.1: T = l0 ∨ l1 with
+        # phi_0 = x and phi_1 = ¬x is deterministic though T alone is not.
+        template = NegOrTemplate(OrNode((Hole(0), Hole(1))), 2)
+        x = BooleanFunction.variable(0, 1)
+        assert template.is_deterministic_with([x, ~x])
+
+    def test_wrong_leaf_count(self):
+        template = NegOrTemplate.single_hole()
+        with pytest.raises(ValueError):
+            template.substitute([])
+
+    def test_gate_counts(self):
+        template = NegOrTemplate(
+            NotNode(OrNode((NotNode(Hole(0)), Hole(1)))), 2
+        )
+        assert template.count_gates() == {"or": 1, "not": 2, "hole": 2}
+
+
+class TestPairFunction:
+    @given(st.integers(0, 15), st.integers(0, 3))
+    def test_pair_function_is_degenerate(self, valuation, variable):
+        psi = pair_function(4, Step(1, valuation, variable))
+        assert psi.sat_count() == 2
+        assert not psi.depends_on(variable)
+        assert psi.is_degenerate()
+        assert psi.euler_characteristic() == 0
+
+
+class TestExample43:
+    """Example 4.3: phi_9 is fragmentable with a pure-∨ template."""
+
+    def test_phi9_example_leaves(self):
+        phi0 = BooleanFunction.from_callable(
+            4, lambda s: s >= {0, 3} and 2 not in s and s <= {0, 1, 3}
+        )
+        # The example's leaves, written directly: 0∧¬2∧3, ¬1∧2∧3, ¬0∧1∧3,
+        # 0∧1∧2 (free variables unconstrained).
+        v0 = BooleanFunction.variable(0, 4)
+        v1 = BooleanFunction.variable(1, 4)
+        v2 = BooleanFunction.variable(2, 4)
+        v3 = BooleanFunction.variable(3, 4)
+        leaves = [
+            v0 & ~v2 & v3,
+            ~v1 & v2 & v3,
+            ~v0 & v1 & v3,
+            v0 & v1 & v2,
+        ]
+        for leaf in leaves:
+            assert leaf.is_degenerate()
+        root = OrNode((Hole(0), Hole(1), Hole(2), Hole(3)))
+        template = NegOrTemplate(root, 4)
+        assert template.is_deterministic_with(leaves)
+        assert template.substitute(leaves) == phi_9()
+        del phi0
+
+    def test_phi9_fragment(self):
+        fragmentation = fragment(phi_9())
+        assert fragmentation.verify()
+
+
+class TestFragment:
+    """Corollaries 5.4 and 5.12."""
+
+    @given(tables(4))
+    @settings(max_examples=50)
+    def test_fragment_zero_euler(self, table):
+        phi = BooleanFunction(4, table)
+        if phi.euler_characteristic() != 0:
+            assert not is_fragmentable(phi)
+            with pytest.raises(ValueError):
+                fragment(phi)
+            return
+        assert is_fragmentable(phi)
+        fragmentation = fragment(phi)
+        assert fragmentation.verify()
+        assert fragmentation.template.substitute(fragmentation.leaves) == phi
+
+    def test_degenerate_single_hole(self):
+        phi = BooleanFunction.variable(0, 3)  # ignores 1, 2
+        fragmentation = fragment(phi)
+        assert fragmentation.template.num_holes == 1
+        assert fragmentation.verify()
+
+    def test_fragment_verify_detects_corruption(self):
+        fragmentation = fragment(phi_9())
+        broken = Fragmentation(
+            fragmentation.template,
+            fragmentation.leaves,
+            ~phi_9(),
+        )
+        assert not broken.verify()
+
+    def test_exhaustive_2vars(self):
+        for table in range(16):
+            phi = BooleanFunction(2, table)
+            if phi.euler_characteristic() == 0:
+                assert fragment(phi).verify()
+            else:
+                assert not is_fragmentable(phi)
+
+
+class TestMatchingFragmentation:
+    """Section 7's negation-free (d-DNNF) special case."""
+
+    def test_phi9_has_colored_matching(self):
+        # Example 4.3's pure-∨ decomposition exists, so the colored
+        # subgraph must have a perfect matching.
+        matching = colored_matching(phi_9())
+        assert matching is not None
+        fragmentation = fragment_via_matching(phi_9(), matching)
+        assert fragmentation.verify()
+        assert fragmentation.template.count_gates()["not"] == 0
+
+    def test_rejects_non_adjacent_pairs(self):
+        phi = BooleanFunction.from_satisfying(2, [0b00, 0b11])
+        with pytest.raises(ValueError):
+            fragment_via_matching(phi, [(0b00, 0b11)])
+
+    def test_rejects_partial_cover(self):
+        phi = BooleanFunction.from_satisfying(2, [0b00, 0b01, 0b10, 0b11])
+        with pytest.raises(ValueError):
+            fragment_via_matching(phi, [(0b00, 0b01)])
+
+    def test_rejects_overlap(self):
+        phi = BooleanFunction.from_satisfying(2, [0b00, 0b01, 0b11])
+        with pytest.raises(ValueError):
+            fragment_via_matching(
+                phi, [(0b00, 0b01), (0b01, 0b11)]
+            )
+
+    def test_bottom_matching(self):
+        phi = BooleanFunction.bottom(2)
+        fragmentation = fragment_via_matching(phi, [])
+        assert fragmentation.verify()
+
+    def test_random_matchable_functions(self):
+        rng = random.Random(47)
+        found = 0
+        while found < 10:
+            phi = BooleanFunction.random(4, rng)
+            if phi.euler_characteristic() != 0:
+                continue
+            matching = colored_matching(phi)
+            if matching is None:
+                continue
+            found += 1
+            fragmentation = fragment_via_matching(phi, matching)
+            assert fragmentation.verify()
+            assert fragmentation.template.count_gates()["not"] == 0

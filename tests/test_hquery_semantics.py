@@ -1,0 +1,110 @@
+"""Deeper semantic tests for H-queries: h-patterns, monotone behavior on
+growing worlds, and the pattern distribution's structure."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid, random_tid
+from repro.pqe.brute_force import pattern_distribution
+from repro.queries.hqueries import HQuery, h_query, q9
+
+
+class TestHPattern:
+    def test_empty_instance_pattern_zero(self):
+        from repro.db.relation import Instance
+
+        db = Instance()
+        assert q9().h_pattern(db) == 0
+
+    def test_complete_instance_full_pattern(self):
+        tid = complete_tid(3, 2, 2)
+        assert q9().h_pattern(tid.instance) == 0b1111
+
+    def test_pattern_monotone_in_worlds(self):
+        # Adding tuples can only set more pattern bits.
+        rng = random.Random(71)
+        tid = random_tid(3, 2, 2, rng, tuple_density=0.6)
+        tuple_ids = tid.instance.tuple_ids()
+        query = q9()
+        present: list = []
+        previous_pattern = 0
+        for tuple_id in tuple_ids:
+            present.append(tuple_id)
+            world = tid.instance.restrict_to(present)
+            pattern = query.h_pattern(world)
+            assert pattern & previous_pattern == previous_pattern
+            previous_pattern = pattern
+
+    def test_holds_in_factorizes_through_pattern(self):
+        rng = random.Random(72)
+        for _ in range(5):
+            tid = random_tid(2, 2, 2, rng, tuple_density=0.5)
+            phi = BooleanFunction.random(3, rng)
+            query = HQuery(2, phi)
+            pattern = query.h_pattern(tid.instance)
+            assert query.holds_in(tid.instance) == phi(pattern)
+
+
+class TestPatternDistribution:
+    def test_distribution_marginalizes_to_subquery_probabilities(self):
+        from repro.pqe.safe_plans import disjunction_probability
+
+        rng = random.Random(73)
+        tid = random_tid(2, 2, 2, rng, tuple_density=0.5)
+        if len(tid) > 12:
+            tid = complete_tid(2, 1, 2, prob=Fraction(1, 2))
+        query = HQuery(2, BooleanFunction.top(3))
+        distribution = pattern_distribution(query, tid)
+        # Marginal of h_i = sum of pattern masses with bit i set; compare
+        # with the lifted single-index evaluation.
+        for i in range(3):
+            marginal = sum(
+                (mass for pattern, mass in distribution.items()
+                 if pattern >> i & 1),
+                Fraction(0),
+            )
+            assert marginal == disjunction_probability([i], 2, tid)
+
+    def test_any_query_probability_from_distribution(self):
+        rng = random.Random(74)
+        tid = complete_tid(2, 1, 2, prob=Fraction(1, 3))
+        distribution = pattern_distribution(
+            HQuery(2, BooleanFunction.top(3)), tid
+        )
+        from repro.pqe.brute_force import probability_by_world_enumeration
+
+        for _ in range(5):
+            phi = BooleanFunction.random(3, rng)
+            query = HQuery(2, phi)
+            from_distribution = sum(
+                (mass for pattern, mass in distribution.items()
+                 if phi(pattern)),
+                Fraction(0),
+            )
+            assert from_distribution == probability_by_world_enumeration(
+                query, tid
+            )
+
+
+class TestSubqueryShapes:
+    def test_relations_partition_along_l(self):
+        # The Appendix-B.1 split: queries below l use R,S1..Sl; above use
+        # S_{l+1}..S_k,T.
+        k = 3
+        for l in range(k + 1):
+            left_relations = set()
+            for i in range(l):
+                left_relations |= h_query(k, i).relations()
+            right_relations = set()
+            for i in range(l + 1, k + 1):
+                right_relations |= h_query(k, i).relations()
+            assert not left_relations & right_relations
+
+    def test_adjacent_queries_share_one_relation(self):
+        k = 3
+        for i in range(k):
+            shared = h_query(k, i).relations() & h_query(k, i + 1).relations()
+            assert len(shared) == 1

@@ -1,0 +1,120 @@
+"""Integration test: the full probabilistic-database workflow.
+
+Simulates how a downstream system (a ProvSQL-style engine) would use the
+library end to end: ingest a dataset, classify incoming queries, compile
+the safe ones once, persist the compiled lineage, then serve a stream of
+probability requests under continuous tuple-probability updates and
+evidence conditioning — asserting exact consistency with the brute-force
+oracle at every step.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+from repro.circuits import conditioned_probability, probability
+from repro.circuits.serialization import dumps, loads
+from repro.core.boolean_function import BooleanFunction
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe import (
+    Region,
+    classify,
+    evaluate,
+    probability_by_world_enumeration,
+)
+from repro.queries.hqueries import HQuery, phi_9
+
+
+def ingest_dataset() -> TupleIndependentDatabase:
+    """A small curated dataset over the k = 3 schema."""
+    tid = TupleIndependentDatabase()
+    rows = [
+        ("R", ("u1",), Fraction(4, 5)),
+        ("R", ("u2",), Fraction(1, 2)),
+        ("T", ("v1",), Fraction(2, 3)),
+        ("S1", ("u1", "v1"), Fraction(1, 2)),
+        ("S2", ("u1", "v1"), Fraction(3, 4)),
+        ("S3", ("u1", "v1"), Fraction(1, 4)),
+        ("S1", ("u2", "v1"), Fraction(1, 3)),
+        ("S2", ("u2", "v1"), Fraction(1, 5)),
+    ]
+    for relation, values, p in rows:
+        tid.add(relation, values, p)
+    for name, arity in (
+        ("R", 1), ("S1", 2), ("S2", 2), ("S3", 2), ("T", 1)
+    ):
+        tid.instance.declare(name, arity)
+    return tid
+
+
+class TestWorkflow:
+    def test_full_lifecycle(self):
+        tid = ingest_dataset()
+
+        # 1. A workload of queries arrives; classify before running.
+        workload = {
+            "q9": HQuery(3, phi_9()),
+            "h1_alone": HQuery(3, BooleanFunction.variable(1, 4)),
+            "hard": HQuery(
+                3,
+                BooleanFunction.variable(0, 4)
+                | BooleanFunction.variable(1, 4)
+                | BooleanFunction.variable(2, 4)
+                | BooleanFunction.variable(3, 4),
+            ),
+        }
+        verdicts = {name: classify(q) for name, q in workload.items()}
+        assert verdicts["q9"].region is Region.ZERO_EULER
+        assert verdicts["h1_alone"].region is Region.DEGENERATE
+        assert verdicts["hard"].region is Region.HARD
+
+        # 2. Evaluate everything through the facade; the hard query falls
+        #    back to brute force on this small instance.
+        results = {
+            name: evaluate(query, tid) for name, query in workload.items()
+        }
+        for name, query in workload.items():
+            oracle = probability_by_world_enumeration(query, tid)
+            assert results[name].probability == oracle, name
+        assert results["hard"].engine == "brute_force"
+        assert results["q9"].engine == "intensional"
+
+        # 3. Persist the compiled q9 lineage and reload it (cold start).
+        stored = dumps(results["q9"].compiled.circuit)
+        reloaded = loads(stored)
+
+        # 4. Serve a stream of updates + queries against the reloaded
+        #    circuit; cross-check each answer exactly.
+        rng = random.Random(7)
+        tuple_ids = tid.instance.tuple_ids()
+        for round_number in range(6):
+            victim = tuple_ids[rng.randrange(len(tuple_ids))]
+            tid.set_probability(victim, Fraction(rng.randint(0, 6), 6))
+            served = probability(reloaded, tid.probability_map())
+            oracle = probability_by_world_enumeration(workload["q9"], tid)
+            assert served == oracle, f"round {round_number}"
+
+        # 5. Conditioning on evidence: a tuple reported present for sure.
+        evidence_tuple = tuple_ids[0]
+        conditioned = conditioned_probability(
+            reloaded, tid.probability_map(), {evidence_tuple: True}
+        )
+        tid.set_probability(evidence_tuple, Fraction(1))
+        oracle = probability_by_world_enumeration(workload["q9"], tid)
+        assert conditioned == oracle
+
+    def test_lifecycle_with_non_monotone_query(self):
+        # "The query holds through the h3 shortcut but NOT through the
+        # chain core" — a genuinely non-monotone policy, still zero-Euler.
+        tid = ingest_dataset()
+        v0, v1, v2, v3 = (BooleanFunction.variable(i, 4) for i in range(4))
+        phi = (v3 & ~(v0 & v1 & v2)) | (~v3 & v0 & v1 & v2)
+        if phi.euler_characteristic() != 0:
+            phi = phi ^ BooleanFunction.exactly(4, [])  # adjust parity
+        query = HQuery(3, phi)
+        if phi.euler_characteristic() == 0:
+            result = evaluate(query, tid)
+            oracle = probability_by_world_enumeration(query, tid)
+            assert result.probability == oracle
+            assert result.engine == "intensional"

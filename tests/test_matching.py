@@ -1,0 +1,150 @@
+"""Tests for hypercube graphs, perfect matchings and Conjecture 1."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.transformation import apply_steps
+from repro.matching import (
+    ColoredGraph,
+    check_function,
+    colored_matching,
+    has_perfect_matching,
+    hypercube_graph,
+    maximum_matching_of_induced,
+    steps_from_matching,
+    uncolored_matching,
+    verify_exhaustive,
+    verify_over,
+)
+from repro.queries.hqueries import phi_9
+
+
+class TestHypercubeGraph:
+    def test_node_and_edge_counts(self):
+        graph = hypercube_graph(4)
+        assert graph.number_of_nodes() == 16
+        assert graph.number_of_edges() == 4 * 8  # n * 2^{n-1}
+
+    def test_bipartite_by_parity(self):
+        graph = hypercube_graph(3)
+        for a, b in graph.edges:
+            assert (bin(a).count("1") + bin(b).count("1")) % 2 == 1
+
+
+class TestColoredGraph:
+    def test_phi9_coloring(self):
+        colored = ColoredGraph(phi_9())
+        assert len(colored.colored) == 8
+        assert len(colored.uncolored) == 8
+        assert colored.euler_characteristic() == 0
+
+    def test_levels(self):
+        levels = ColoredGraph(phi_9()).levels()
+        assert [len(level) for level in levels] == [1, 4, 6, 4, 1]
+
+    def test_isolated_nodes(self):
+        # phi with exactly one model has it isolated among colored nodes.
+        phi = BooleanFunction.exactly(3, {0, 1})
+        colored = ColoredGraph(phi)
+        assert colored.isolated_colored_nodes() == [0b011]
+
+
+class TestPerfectMatching:
+    def test_empty_graph_has_pm(self):
+        phi = BooleanFunction.bottom(3)
+        assert has_perfect_matching(ColoredGraph(phi).colored_subgraph())
+
+    def test_odd_count_no_pm(self):
+        phi = BooleanFunction.exactly(3, [])
+        assert not has_perfect_matching(ColoredGraph(phi).colored_subgraph())
+
+    def test_adjacent_pair_has_pm(self):
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b001])
+        assert has_perfect_matching(ColoredGraph(phi).colored_subgraph())
+
+    def test_antipodal_pair_no_pm(self):
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b111])
+        assert not has_perfect_matching(ColoredGraph(phi).colored_subgraph())
+
+    def test_matching_output_valid(self):
+        phi = phi_9()
+        pairs = colored_matching(phi)
+        assert pairs is not None
+        seen = set()
+        for a, b in pairs:
+            assert (a ^ b).bit_count() == 1
+            assert phi(a) and phi(b)
+            seen.update((a, b))
+        assert seen == set(phi.satisfying_masks())
+
+    def test_maximum_matching_is_symmetric_dict(self):
+        phi = phi_9()
+        matching = maximum_matching_of_induced(
+            ColoredGraph(phi).colored_subgraph()
+        )
+        for a, b in matching.items():
+            assert matching[b] == a
+
+    def test_uncolored_matching(self):
+        phi = phi_9()
+        pairs = uncolored_matching(phi)
+        assert pairs is not None
+        for a, b in pairs:
+            assert not phi(a) and not phi(b)
+
+    def test_steps_from_matching_reach_bottom(self):
+        phi = phi_9()
+        pairs = colored_matching(phi)
+        steps = steps_from_matching(phi, pairs)
+        assert apply_steps(phi, steps).is_bottom()
+        assert all(step.sign == -1 for step in steps)
+
+
+class TestConjecture1:
+    def test_phi9_verdict(self):
+        verdict = check_function(phi_9())
+        assert verdict.euler == 0
+        assert verdict.colored_has_pm
+        assert verdict.satisfies_conjecture
+
+    def test_exhaustive_k1(self):
+        report = verify_exhaustive(1)
+        assert report.holds
+        assert report.checked == 6  # M(2) monotone functions
+        assert report.zero_euler > 0
+
+    def test_exhaustive_k2(self):
+        report = verify_exhaustive(2)
+        assert report.holds
+        assert report.checked == 20  # M(3)
+
+    def test_exhaustive_k3(self):
+        report = verify_exhaustive(3)
+        assert report.holds
+        assert report.checked == 168  # M(4)
+
+    def test_counterexample_without_monotonicity(self):
+        # Figure 5's point: the conjecture fails for non-monotone functions.
+        from repro.core.zoo import find_phi_no_pm
+
+        phi = find_phi_no_pm()
+        verdict = check_function(phi)
+        assert verdict.euler == 0
+        assert not verdict.satisfies_conjecture
+
+    def test_verify_over_skips_nonzero_euler(self):
+        phi = BooleanFunction.exactly(3, [])  # e = 1
+        report = verify_over([phi])
+        assert report.checked == 1
+        assert report.zero_euler == 0
+        assert report.holds
+
+    def test_sampled_monotone(self):
+        rng = random.Random(3)
+        functions = [
+            BooleanFunction.random_monotone(5, rng) for _ in range(40)
+        ]
+        report = verify_over(functions)
+        assert report.holds

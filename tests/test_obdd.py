@@ -1,0 +1,283 @@
+"""Tests for the OBDD substrate: reduction, apply, automaton compilation,
+probability and circuit expansion."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import assert_d_d, probability as circuit_probability
+from repro.obdd import (
+    LayeredAutomaton,
+    ObddManager,
+    TERMINAL_FALSE,
+    TERMINAL_TRUE,
+    build_obdd,
+    obdd_to_circuit,
+    product_automaton,
+)
+
+
+class TestManagerBasics:
+    def test_terminals(self):
+        manager = ObddManager(["a"])
+        assert manager.terminal(False) == TERMINAL_FALSE
+        assert manager.terminal(True) == TERMINAL_TRUE
+
+    def test_reduction_low_eq_high(self):
+        manager = ObddManager(["a"])
+        assert manager.make(0, TERMINAL_TRUE, TERMINAL_TRUE) == TERMINAL_TRUE
+
+    def test_hash_consing(self):
+        manager = ObddManager(["a", "b"])
+        n1 = manager.make(0, TERMINAL_FALSE, TERMINAL_TRUE)
+        n2 = manager.make(0, TERMINAL_FALSE, TERMINAL_TRUE)
+        assert n1 == n2
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            ObddManager(["a", "a"])
+
+    def test_variable(self):
+        manager = ObddManager(["a", "b"])
+        node = manager.variable("b")
+        assert manager.evaluate(node, {"b": True})
+        assert not manager.evaluate(node, {"b": False, "a": True})
+
+
+class TestApply:
+    def exhaustive_check(self, manager, root, labels, predicate):
+        for bits in itertools.product([False, True], repeat=len(labels)):
+            assignment = dict(zip(labels, bits))
+            assert manager.evaluate(root, assignment) == predicate(
+                assignment
+            ), assignment
+
+    def test_and_or_xor(self):
+        manager = ObddManager(["a", "b", "c"])
+        a, b, c = (manager.variable(x) for x in "abc")
+        conj = manager.apply("and", a, b)
+        self.exhaustive_check(
+            manager, conj, "abc", lambda m: m["a"] and m["b"]
+        )
+        disj = manager.apply("or", conj, c)
+        self.exhaustive_check(
+            manager, disj, "abc", lambda m: (m["a"] and m["b"]) or m["c"]
+        )
+        xor = manager.apply("xor", a, c)
+        self.exhaustive_check(
+            manager, xor, "abc", lambda m: m["a"] != m["c"]
+        )
+
+    def test_negate(self):
+        manager = ObddManager(["a", "b"])
+        a = manager.variable("a")
+        not_a = manager.negate(a)
+        self.exhaustive_check(manager, not_a, "ab", lambda m: not m["a"])
+
+    def test_unknown_op(self):
+        manager = ObddManager(["a"])
+        with pytest.raises(ValueError):
+            manager.apply("nand", TERMINAL_TRUE, TERMINAL_TRUE)
+
+    def test_conjoin_disjoin_all(self):
+        manager = ObddManager(["a", "b", "c"])
+        variables = [manager.variable(x) for x in "abc"]
+        all_and = manager.conjoin_all(variables)
+        self.exhaustive_check(
+            manager, all_and, "abc", lambda m: all(m.values())
+        )
+        any_or = manager.disjoin_all(variables)
+        self.exhaustive_check(
+            manager, any_or, "abc", lambda m: any(m.values())
+        )
+
+    def test_random_equivalence_with_tables(self):
+        rng = random.Random(31)
+        labels = ["v0", "v1", "v2", "v3"]
+        manager = ObddManager(labels)
+        for _ in range(20):
+            # Random expression tree over 4 variables.
+            nodes = [manager.variable(l) for l in labels]
+            tables = [
+                {
+                    bits: bits[i]
+                    for bits in itertools.product(
+                        *[(False, True)] * len(labels)
+                    )
+                }
+                for i in range(len(labels))
+            ]
+            for _ in range(4):
+                op = rng.choice(["and", "or", "xor"])
+                i, j = rng.randrange(len(nodes)), rng.randrange(len(nodes))
+                fn = {
+                    "and": lambda x, y: x and y,
+                    "or": lambda x, y: x or y,
+                    "xor": lambda x, y: x != y,
+                }[op]
+                nodes.append(manager.apply(op, nodes[i], nodes[j]))
+                tables.append(
+                    {
+                        bits: fn(tables[i][bits], tables[j][bits])
+                        for bits in tables[i]
+                    }
+                )
+            root, table = nodes[-1], tables[-1]
+            for bits in table:
+                assignment = dict(zip(labels, bits))
+                assert manager.evaluate(root, assignment) == table[bits]
+
+
+class TestProbability:
+    def test_variable_probability(self):
+        manager = ObddManager(["a"])
+        a = manager.variable("a")
+        assert manager.probability(a, {"a": Fraction(1, 3)}) == Fraction(1, 3)
+
+    def test_skipped_variables_marginalize(self):
+        manager = ObddManager(["a", "b"])
+        a = manager.variable("a")  # b never tested
+        assert manager.probability(
+            a, {"a": Fraction(1, 2), "b": Fraction(1, 7)}
+        ) == Fraction(1, 2)
+
+    def test_model_count(self):
+        manager = ObddManager(["a", "b", "c"])
+        a, b = manager.variable("a"), manager.variable("b")
+        disj = manager.apply("or", a, b)
+        assert manager.model_count(disj) == 6  # 3/4 of 8
+
+    def test_probability_matches_enumeration(self):
+        rng = random.Random(37)
+        labels = ["a", "b", "c"]
+        manager = ObddManager(labels)
+        a, b, c = (manager.variable(x) for x in labels)
+        root = manager.apply("or", manager.apply("and", a, b), c)
+        prob = {l: Fraction(rng.randint(0, 4), 4) for l in labels}
+        expected = Fraction(0)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(labels, bits))
+            if manager.evaluate(root, assignment):
+                weight = Fraction(1)
+                for label in labels:
+                    p = prob[label]
+                    weight *= p if assignment[label] else 1 - p
+                expected += weight
+        assert manager.probability(root, prob) == expected
+
+
+class TestAutomatonCompilation:
+    def parity_automaton(self, labels):
+        return LayeredAutomaton(
+            order=list(labels),
+            initial=0,
+            transition=lambda s, _pos, value: s ^ int(value),
+            accepting=lambda s: s == 1,
+        )
+
+    def test_parity_obdd(self):
+        labels = ["a", "b", "c", "d"]
+        manager, root = build_obdd(self.parity_automaton(labels))
+        for bits in itertools.product([False, True], repeat=4):
+            assignment = dict(zip(labels, bits))
+            assert manager.evaluate(root, assignment) == (sum(bits) % 2 == 1)
+
+    def test_parity_obdd_is_linear(self):
+        labels = [f"x{i}" for i in range(20)]
+        manager, root = build_obdd(self.parity_automaton(labels))
+        # Parity has exactly 2 nodes per level plus terminals.
+        assert manager.size(root) <= 2 * len(labels) + 2
+
+    def test_run_matches_obdd(self):
+        labels = ["a", "b", "c"]
+        automaton = self.parity_automaton(labels)
+        manager, root = build_obdd(automaton)
+        for bits in itertools.product([False, True], repeat=3):
+            assert automaton.run(list(bits)) == manager.evaluate(
+                root, dict(zip(labels, bits))
+            )
+
+    def test_threshold_automaton(self):
+        labels = [f"x{i}" for i in range(6)]
+        automaton = LayeredAutomaton(
+            order=labels,
+            initial=0,
+            transition=lambda s, _pos, value: min(s + int(value), 3),
+            accepting=lambda s: s >= 2,
+        )
+        manager, root = build_obdd(automaton)
+        for bits in itertools.product([False, True], repeat=6):
+            assert manager.evaluate(root, dict(zip(labels, bits))) == (
+                sum(bits) >= 2
+            )
+
+    def test_incompatible_manager_order(self):
+        automaton = self.parity_automaton(["a", "b"])
+        manager = ObddManager(["b", "a"])
+        with pytest.raises(ValueError):
+            build_obdd(automaton, manager)
+
+    def test_product_automaton(self):
+        labels = ["a", "b", "c"]
+        parity = self.parity_automaton(labels)
+        count = LayeredAutomaton(
+            order=labels,
+            initial=0,
+            transition=lambda s, _pos, value: s + int(value),
+            accepting=lambda s: s >= 1,
+        )
+        product = product_automaton(
+            [parity, count],
+            accepting=lambda state: state[0] == 1 and state[1] >= 1,
+        )
+        manager, root = build_obdd(product)
+        for bits in itertools.product([False, True], repeat=3):
+            expected = (sum(bits) % 2 == 1) and sum(bits) >= 1
+            assert manager.evaluate(root, dict(zip(labels, bits))) == expected
+
+    def test_product_requires_same_order(self):
+        with pytest.raises(ValueError):
+            product_automaton(
+                [
+                    self.parity_automaton(["a"]),
+                    self.parity_automaton(["b"]),
+                ],
+                accepting=lambda s: True,
+            )
+
+
+class TestCircuitExpansion:
+    def test_expanded_circuit_is_d_d(self):
+        labels = ["a", "b", "c"]
+        manager = ObddManager(labels)
+        a, b, c = (manager.variable(x) for x in labels)
+        root = manager.apply("or", manager.apply("and", a, b), c)
+        circuit = obdd_to_circuit(manager, root)
+        assert_d_d(circuit)
+
+    def test_expansion_preserves_semantics_and_probability(self):
+        labels = ["a", "b", "c"]
+        manager = ObddManager(labels)
+        a, b, c = (manager.variable(x) for x in labels)
+        root = manager.apply(
+            "xor", manager.apply("or", a, b), c
+        )
+        circuit = obdd_to_circuit(manager, root)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(labels, bits))
+            assert circuit.evaluate(assignment) == manager.evaluate(
+                root, assignment
+            )
+        prob = {l: Fraction(1, 3) for l in labels}
+        assert circuit_probability(circuit, prob) == manager.probability(
+            root, prob
+        )
+
+    def test_terminal_expansion(self):
+        manager = ObddManager(["a"])
+        circuit = obdd_to_circuit(manager, TERMINAL_TRUE)
+        assert circuit.evaluate({})

@@ -1,0 +1,89 @@
+"""Property tests for the probability polynomial P^phi(t)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolean_function import BooleanFunction
+from repro.lattice.polynomials import Polynomial, probability_polynomial
+
+
+def tables(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1)
+
+
+class TestEndpointValues:
+    @given(tables(4))
+    def test_value_at_zero_is_empty_valuation(self, table):
+        phi = BooleanFunction(4, table)
+        # At t = 0 only the all-absent valuation has mass.
+        assert probability_polynomial(phi)(Fraction(0)) == (
+            1 if phi(0) else 0
+        )
+
+    @given(tables(4))
+    def test_value_at_one_is_full_valuation(self, table):
+        phi = BooleanFunction(4, table)
+        full = (1 << 4) - 1
+        assert probability_polynomial(phi)(Fraction(1)) == (
+            1 if phi(full) else 0
+        )
+
+    @given(tables(4))
+    def test_degree_bounded_by_nvars(self, table):
+        phi = BooleanFunction(4, table)
+        assert probability_polynomial(phi).degree <= 4
+
+
+class TestAlgebraicLaws:
+    @given(tables(3), tables(3))
+    @settings(max_examples=50)
+    def test_complementation(self, ta, tb):
+        phi = BooleanFunction(3, ta)
+        del tb
+        p = probability_polynomial(phi)
+        q = probability_polynomial(~phi)
+        assert (p + q) == Polynomial.constant(1)
+
+    @given(tables(3), tables(3))
+    @settings(max_examples=50)
+    def test_disjoint_additivity(self, ta, tb):
+        a = BooleanFunction(3, ta)
+        b = BooleanFunction(3, tb) & ~a  # force disjointness
+        assert probability_polynomial(a | b) == (
+            probability_polynomial(a) + probability_polynomial(b)
+        )
+
+    @given(tables(4))
+    @settings(max_examples=50)
+    def test_values_in_unit_interval(self, table):
+        phi = BooleanFunction(4, table)
+        p = probability_polynomial(phi)
+        for numerator in range(0, 5):
+            value = p(Fraction(numerator, 4))
+            assert 0 <= value <= 1
+
+    @given(tables(3))
+    @settings(max_examples=50)
+    def test_monotone_implies_nondecreasing(self, table):
+        phi = BooleanFunction(3, table).up_closure()
+        p = probability_polynomial(phi)
+        previous = p(Fraction(0))
+        for numerator in range(1, 9):
+            current = p(Fraction(numerator, 8))
+            assert current >= previous
+            previous = current
+
+
+class TestIndependentProduct:
+    def test_product_on_disjoint_variables(self):
+        # phi depending only on {0,1} times psi depending only on {2}:
+        # P of the conjunction is the product.
+        a = BooleanFunction.variable(0, 3) & BooleanFunction.variable(1, 3)
+        b = BooleanFunction.variable(2, 3)
+        assert probability_polynomial(a & b) == (
+            probability_polynomial(a) * probability_polynomial(b)
+        )

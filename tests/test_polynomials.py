@@ -1,0 +1,162 @@
+"""Tests for the Appendix B.2 characteristic polynomials (Lemma B.5)."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boolean_function import BooleanFunction
+from repro.enumeration.monotone import enumerate_nondegenerate_monotone
+from repro.lattice.polynomials import (
+    Polynomial,
+    cnf_polynomial,
+    dnf_polynomial,
+    interpolated_polynomial,
+    lagrange_interpolation,
+    leading_coefficients,
+    probability_polynomial,
+    verify_lemma_b5,
+)
+from repro.queries.hqueries import phi_9
+
+
+def tables(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1)
+
+
+class TestPolynomialArithmetic:
+    def test_trimming(self):
+        assert Polynomial([1, 0, 0]).degree == 0
+        assert Polynomial.zero().degree == -1
+
+    def test_addition(self):
+        p = Polynomial([1, 2]) + Polynomial([3, 4, 5])
+        assert p.coefficients == [Fraction(4), Fraction(6), Fraction(5)]
+
+    def test_subtraction_cancels(self):
+        p = Polynomial([1, 2]) - Polynomial([1, 2])
+        assert p == Polynomial.zero()
+
+    def test_multiplication(self):
+        # (1 - t)(1 + t) = 1 - t^2
+        p = Polynomial([1, -1]) * Polynomial([1, 1])
+        assert p == Polynomial([1, 0, -1])
+
+    def test_evaluation_horner(self):
+        p = Polynomial([1, -3, 2])  # 1 - 3t + 2t^2
+        assert p(Fraction(1, 2)) == Fraction(0)
+        assert p(0) == 1
+
+    def test_monomial(self):
+        assert Polynomial.monomial(3, 5).coefficients == [0, 0, 0, 5]
+
+    def test_lagrange_roundtrip(self):
+        p = Polynomial([Fraction(1, 3), Fraction(-2), Fraction(7, 2)])
+        points = [Fraction(i) for i in range(3)]
+        samples = [(x, p(x)) for x in points]
+        assert lagrange_interpolation(samples) == p
+
+
+class TestProbabilityPolynomial:
+    def test_bottom_and_top(self):
+        assert probability_polynomial(
+            BooleanFunction.bottom(3)
+        ) == Polynomial.zero()
+        assert probability_polynomial(
+            BooleanFunction.top(3)
+        ) == Polynomial.constant(1)
+
+    def test_single_variable(self):
+        phi = BooleanFunction.variable(0, 2)
+        # Pr = t regardless of the other variable.
+        assert probability_polynomial(phi) == Polynomial([0, 1])
+
+    @given(tables(3), st.integers(0, 4))
+    @settings(max_examples=40)
+    def test_matches_direct_evaluation(self, table, numerator):
+        phi = BooleanFunction(3, table)
+        t = Fraction(numerator, 4)
+        polynomial = probability_polynomial(phi)
+        expected = Fraction(0)
+        for model in phi.satisfying_masks():
+            size = model.bit_count()
+            expected += t**size * (1 - t) ** (phi.nvars - size)
+        assert polynomial(t) == expected
+
+    def test_probability_at_half_is_count(self):
+        phi = phi_9()
+        value = probability_polynomial(phi)(Fraction(1, 2))
+        assert value == Fraction(phi.sat_count(), 1 << phi.nvars)
+
+
+class TestLemmaB5:
+    def test_phi9(self):
+        assert verify_lemma_b5(phi_9())
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_exhaustive_small_k(self, k):
+        checked = 0
+        for phi in enumerate_nondegenerate_monotone(k + 1):
+            if phi.is_bottom() or phi.is_top():
+                continue
+            assert verify_lemma_b5(phi), phi
+            checked += 1
+        assert checked > 0
+
+    def test_k3_sample(self):
+        rng = random.Random(85)
+        from repro.enumeration.monotone import monotone_tables
+
+        for table in rng.sample(monotone_tables(4), 40):
+            phi = BooleanFunction(4, table)
+            if phi.is_degenerate() or phi.is_bottom() or phi.is_top():
+                continue
+            assert verify_lemma_b5(phi)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError):
+            verify_lemma_b5(~phi_9())
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            verify_lemma_b5(BooleanFunction.variable(0, 3))
+
+
+class TestLemma38ViaLeadingCoefficients:
+    """The proof of Lemma 3.8: compare t^{k+1} coefficients."""
+
+    def test_phi9_leading_coefficients(self):
+        base, cnf, dnf = leading_coefficients(phi_9())
+        assert base == cnf == dnf  # Lemma B.5 makes them equal
+        k = 3
+        phi = phi_9()
+        # Coefficient identities from the proof.
+        assert base == (-1) ** (k + 1) * phi.euler_characteristic()
+
+    def test_random_monotone_coefficients(self):
+        rng = random.Random(86)
+        from repro.enumeration.monotone import monotone_tables
+
+        for table in rng.sample(monotone_tables(4), 25):
+            phi = BooleanFunction(4, table)
+            if phi.is_degenerate() or phi.is_bottom() or phi.is_top():
+                continue
+            base, cnf, dnf = leading_coefficients(phi)
+            assert base == cnf == dnf
+
+
+class TestInterpolation:
+    @given(tables(3))
+    @settings(max_examples=30)
+    def test_interpolation_recovers_polynomial(self, table):
+        phi = BooleanFunction(3, table)
+        assert interpolated_polynomial(phi) == probability_polynomial(phi)
+
+    def test_interpolation_phi9(self):
+        assert interpolated_polynomial(phi_9()) == probability_polynomial(
+            phi_9()
+        )

@@ -1,0 +1,90 @@
+"""Tests for repro.lattice.poset against known Möbius functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lattice.poset import FinitePoset, divisor_lattice, subset_lattice
+
+
+class TestValidation:
+    def test_rejects_non_antisymmetric(self):
+        with pytest.raises(ValueError):
+            FinitePoset([1, 2], lambda a, b: True)
+
+    def test_rejects_non_transitive(self):
+        order = {(1, 1), (2, 2), (3, 3), (1, 2), (2, 3)}
+        with pytest.raises(ValueError):
+            FinitePoset([1, 2, 3], lambda a, b: (a, b) in order)
+
+    def test_chain_accepted(self):
+        poset = FinitePoset([1, 2, 3], lambda a, b: a <= b)
+        assert len(poset) == 3
+
+
+class TestStructure:
+    def test_minimum_maximum(self):
+        poset = subset_lattice({0, 1})
+        assert poset.minimum() == frozenset()
+        assert poset.maximum() == frozenset({0, 1})
+
+    def test_no_minimum(self):
+        poset = FinitePoset(
+            ["a", "b"], lambda a, b: a == b
+        )  # antichain of 2
+        with pytest.raises(ValueError):
+            poset.minimum()
+
+    def test_covers(self):
+        poset = subset_lattice({0, 1})
+        assert poset.covers(frozenset(), frozenset({0}))
+        assert not poset.covers(frozenset(), frozenset({0, 1}))
+
+    def test_hasse_edges_count(self):
+        # Boolean lattice on 3 elements: 3 * 2^2 = 12 covering pairs.
+        poset = subset_lattice({0, 1, 2})
+        assert len(poset.hasse_edges()) == 12
+
+    def test_down_up_sets(self):
+        poset = subset_lattice({0, 1})
+        assert len(poset.down_set(frozenset({0}))) == 2
+        assert len(poset.up_set(frozenset({0}))) == 2
+
+    def test_subset_lattice_is_lattice(self):
+        assert subset_lattice({0, 1}).is_lattice()
+
+
+class TestMobius:
+    def test_subset_lattice_mobius(self):
+        # mu(A, B) = (-1)^{|B \ A|} on the Boolean lattice.
+        poset = subset_lattice({0, 1, 2})
+        top = frozenset({0, 1, 2})
+        for element in poset.elements:
+            expected = (-1) ** (len(top) - len(element))
+            assert poset.mobius(element, top) == expected
+
+    def test_divisor_lattice_mobius(self):
+        # Classical number-theoretic Möbius values mu(n) = mu_P(1, n).
+        expected = {1: 1, 2: -1, 3: -1, 4: 0, 6: 1, 12: 0}
+        poset = divisor_lattice(12)
+        for n, value in expected.items():
+            assert poset.mobius(1, n) == value
+
+    def test_mobius_requires_leq(self):
+        poset = subset_lattice({0, 1})
+        with pytest.raises(ValueError):
+            poset.mobius(frozenset({0}), frozenset({1}))
+
+    def test_mobius_column_sums_to_zero(self):
+        # For any nontrivial interval, sum_{u <= x} mu(u, x) = 0.
+        poset = subset_lattice({0, 1, 2})
+        column = poset.mobius_column(frozenset({0, 1, 2}))
+        assert sum(column.values()) == 0
+
+    def test_mobius_inversion(self):
+        poset = subset_lattice({0, 1})
+        f = {e: float(len(e)) for e in poset.elements}
+        g = {
+            e: sum(f[u] for u in poset.down_set(e)) for e in poset.elements
+        }
+        assert poset.mobius_inversion_check(f, g)

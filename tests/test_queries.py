@@ -1,0 +1,218 @@
+"""Tests for CQs, the h_{k,i} family, H-queries and lineage."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db import Instance, TupleIndependentDatabase
+from repro.queries import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    HQuery,
+    cq_lineage_circuit,
+    h_query,
+    hquery_lineage_circuit_naive,
+    lineage_equivalent,
+    phi_9,
+    q9,
+    ucq_lineage_dnf_circuit,
+)
+
+
+def tiny_db() -> Instance:
+    db = Instance()
+    db.add("R", ("a1",))
+    db.add("S1", ("a1", "b1"))
+    db.add("S2", ("a1", "b1"))
+    db.add("T", ("b1",))
+    db.add("S1", ("a2", "b1"))
+    return db
+
+
+class TestConjunctiveQueries:
+    def test_match_simple(self):
+        db = tiny_db()
+        query = ConjunctiveQuery((Atom("R", ("x",)), Atom("S1", ("x", "y"))))
+        matches = list(query.matches(db))
+        assert {m["x"] for m in matches} == {"a1"}
+
+    def test_holds_in(self):
+        db = tiny_db()
+        assert ConjunctiveQuery((Atom("T", ("y",)),)).holds_in(db)
+        # A constant not in the database (plain strings are variables).
+        assert not ConjunctiveQuery(
+            (Atom("R", (Constant("zz"),)),)
+        ).holds_in(db)
+
+    def test_constants(self):
+        db = tiny_db()
+        query = ConjunctiveQuery((Atom("S1", (Constant("a2"), "y")),))
+        assert query.holds_in(db)
+        query2 = ConjunctiveQuery((Atom("S2", (Constant("a2"), "y")),))
+        assert not query2.holds_in(db)
+
+    def test_join_variable(self):
+        db = tiny_db()
+        query = ConjunctiveQuery(
+            (Atom("S1", ("x", "y")), Atom("S2", ("x", "y")))
+        )
+        matches = list(query.matches(db))
+        assert len(matches) == 1
+        assert matches[0] == {"x": "a1", "y": "b1"}
+
+    def test_missing_relation_no_match(self):
+        query = ConjunctiveQuery((Atom("Missing", ("x",)),))
+        assert not query.holds_in(tiny_db())
+
+    def test_grounding_sets(self):
+        db = tiny_db()
+        query = ConjunctiveQuery((Atom("R", ("x",)), Atom("S1", ("x", "y"))))
+        witnesses = query.grounding_sets(db)
+        assert len(witnesses) == 1
+        (witness,) = witnesses
+        assert {str(t) for t in witness} == {"R(a1)", "S1(a1,b1)"}
+
+    def test_str(self):
+        query = ConjunctiveQuery((Atom("R", ("x",)),))
+        assert "R(x)" in str(query)
+
+
+class TestHQueryFamily:
+    def test_h_query_shapes(self):
+        assert h_query(3, 0).relations() == {"R", "S1"}
+        assert h_query(3, 2).relations() == {"S2", "S3"}
+        assert h_query(3, 3).relations() == {"S3", "T"}
+
+    def test_h_query_bounds(self):
+        with pytest.raises(ValueError):
+            h_query(3, 4)
+        with pytest.raises(ValueError):
+            h_query(0, 0)
+
+    def test_hquery_arity_check(self):
+        with pytest.raises(ValueError):
+            HQuery(3, BooleanFunction.top(3))  # needs 4 variables
+
+    def test_h_pattern(self):
+        db = tiny_db()
+        query = q9()
+        pattern = query.h_pattern(db)
+        # h0 = R∧S1 holds (a1,b1); h1 = S1∧S2 holds; h2 = S2∧S3 needs S3:
+        # absent; h3 = S3∧T absent.
+        assert pattern == 0b0011
+
+    def test_holds_in_uses_phi(self):
+        db = tiny_db()
+        # phi = variable 0: query holds iff h0 holds.
+        phi = BooleanFunction.variable(0, 4)
+        assert HQuery(3, phi).holds_in(db)
+        phi3 = BooleanFunction.variable(3, 4)
+        assert not HQuery(3, phi3).holds_in(db)
+
+    def test_q9_is_ucq(self):
+        assert q9().is_ucq()
+
+    def test_non_monotone_not_ucq(self):
+        phi = ~phi_9()
+        assert not HQuery(3, phi).is_ucq()
+
+    def test_lineage_truth_table_monotone_for_ucq(self):
+        db = Instance()
+        db.add("R", ("a",))
+        db.add("S1", ("a", "b"))
+        db.add("S2", ("a", "b"))
+        _, lineage = HQuery(
+            3, BooleanFunction.variable(0, 4)
+        ).lineage_truth_table(db)
+        assert lineage.is_monotone()
+
+    def test_lineage_refuses_large(self):
+        from repro.db.generator import complete_tid
+
+        tid = complete_tid(3, 3, 3)
+        with pytest.raises(ValueError):
+            q9().lineage_truth_table(tid.instance)
+
+
+class TestLineageCircuits:
+    def test_cq_lineage_semantics(self):
+        db = tiny_db()
+        query = h_query(3, 0)
+        circuit = cq_lineage_circuit(query, db)
+        # The only witness is {R(a1), S1(a1,b1)}.
+        from repro.db.relation import TupleId
+
+        assert circuit.evaluate(
+            {
+                TupleId("R", ("a1",)): True,
+                TupleId("S1", ("a1", "b1")): True,
+            }
+        )
+        assert not circuit.evaluate({TupleId("R", ("a1",)): True})
+
+    def test_naive_hquery_lineage_matches_truth_table(self):
+        db = tiny_db()
+        query = q9()
+        circuit = hquery_lineage_circuit_naive(query, db)
+        tuple_ids, truth = query.lineage_truth_table(db)
+        from repro.queries.lineage import lineage_truth_table_of_circuit
+
+        ids2, compiled = lineage_truth_table_of_circuit(circuit, db)
+        assert tuple_ids == ids2
+        assert truth == compiled
+
+    def test_ucq_dnf_lineage_matches(self):
+        db = tiny_db()
+        query = q9()
+        dnf = ucq_lineage_dnf_circuit(query, db)
+        naive = hquery_lineage_circuit_naive(query, db)
+        assert lineage_equivalent(dnf, naive, db)
+
+    def test_ucq_dnf_requires_monotone(self):
+        with pytest.raises(ValueError):
+            ucq_lineage_dnf_circuit(HQuery(3, ~phi_9()), tiny_db())
+
+    def test_naive_lineage_random(self):
+        rng = random.Random(43)
+        from repro.db.generator import random_tid
+
+        for _ in range(3):
+            tid = random_tid(2, 2, 2, rng, tuple_density=0.4)
+            if not 0 < len(tid) <= 12:
+                continue
+            phi = BooleanFunction.random(3, rng)
+            query = HQuery(2, phi)
+            circuit = hquery_lineage_circuit_naive(query, tid.instance)
+            _, truth = query.lineage_truth_table(tid.instance)
+            from repro.queries.lineage import lineage_truth_table_of_circuit
+
+            _, compiled = lineage_truth_table_of_circuit(
+                circuit, tid.instance
+            )
+            assert truth == compiled
+
+
+class TestLineageProbabilityIdentity:
+    def test_pr_query_equals_pr_lineage(self):
+        # The [18] identity behind intensional evaluation.
+        from repro.pqe.brute_force import (
+            probability_by_lineage_enumeration,
+            probability_by_world_enumeration,
+        )
+
+        rng = random.Random(53)
+        from repro.db.generator import random_tid
+
+        for _ in range(3):
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.35)
+            if not 0 < len(tid) <= 12:
+                continue
+            query = q9()
+            assert probability_by_world_enumeration(
+                query, tid
+            ) == probability_by_lineage_enumeration(query, tid)

@@ -1,0 +1,108 @@
+"""Property-based tests for the safe-plan building blocks."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pqe.safe_plans import chain_probability, runs_of
+
+
+class TestRunsProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=30)))
+    def test_runs_partition_the_input(self, indices):
+        runs = runs_of(indices)
+        covered = set()
+        for start, end in runs:
+            covered.update(range(start, end + 1))
+        assert covered == set(indices)
+
+    @given(st.sets(st.integers(min_value=0, max_value=30)))
+    def test_runs_are_maximal_and_separated(self, indices):
+        runs = runs_of(indices)
+        for i, (start, end) in enumerate(runs):
+            assert start <= end
+            # Maximality: the elements just outside the run are absent.
+            assert start - 1 not in indices
+            assert end + 1 not in indices
+            if i > 0:
+                previous_end = runs[i - 1][1]
+                assert start >= previous_end + 2
+
+    @given(st.sets(st.integers(min_value=0, max_value=30)))
+    def test_runs_sorted(self, indices):
+        runs = runs_of(indices)
+        assert runs == sorted(runs)
+
+
+def probabilities_strategy():
+    return st.lists(
+        st.integers(min_value=0, max_value=4).map(lambda n: Fraction(n, 4)),
+        min_size=0,
+        max_size=7,
+    )
+
+
+class TestChainProperties:
+    @given(probabilities_strategy())
+    @settings(max_examples=60)
+    def test_chain_probability_in_unit_interval(self, probs):
+        for first in (False, True):
+            for last in (False, True):
+                value = chain_probability(
+                    probs, satisfied_by_first=first, satisfied_by_last=last
+                )
+                assert 0 <= value <= 1
+
+    @given(probabilities_strategy())
+    @settings(max_examples=60)
+    def test_flags_are_monotone(self, probs):
+        # Adding a satisfaction rule can only increase the probability.
+        base = chain_probability(probs)
+        with_first = chain_probability(probs, satisfied_by_first=True)
+        with_last = chain_probability(probs, satisfied_by_last=True)
+        both = chain_probability(
+            probs, satisfied_by_first=True, satisfied_by_last=True
+        )
+        assert base <= with_first <= both
+        assert base <= with_last <= both
+
+    @given(probabilities_strategy())
+    @settings(max_examples=60)
+    def test_reversal_symmetry(self, probs):
+        # Reversing the chain swaps the roles of the two flags.
+        assert chain_probability(
+            probs, satisfied_by_first=True
+        ) == chain_probability(
+            list(reversed(probs)), satisfied_by_last=True
+        )
+        assert chain_probability(probs) == chain_probability(
+            list(reversed(probs))
+        )
+
+    @given(probabilities_strategy())
+    @settings(max_examples=60)
+    def test_certain_tuples(self, probs):
+        # With every tuple certain, the chain is satisfied iff it has an
+        # adjacent pair (length >= 2) or a flag applies to a nonempty chain.
+        certain = [Fraction(1)] * len(probs)
+        expected = Fraction(1) if len(certain) >= 2 else Fraction(0)
+        assert chain_probability(certain) == expected
+        if certain:
+            assert chain_probability(
+                certain, satisfied_by_first=True
+            ) == Fraction(1)
+
+    @given(probabilities_strategy())
+    @settings(max_examples=60)
+    def test_zero_tuples_break_chain(self, probs):
+        # Inserting a zero-probability tuple in the middle severs the
+        # chain into independent halves.
+        left = probs
+        right = [Fraction(1, 2)] * 2
+        severed = chain_probability(left + [Fraction(0)] + right)
+        miss_left = 1 - chain_probability(left)
+        miss_right = 1 - chain_probability(right)
+        assert severed == 1 - miss_left * miss_right

@@ -1,0 +1,144 @@
+"""Tests for the lifted safe-plan evaluation of h-disjunctions."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid, random_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.safe_plans import (
+    UnsafeSubqueryError,
+    chain_probability,
+    disjunction_probability,
+    runs_of,
+)
+from repro.queries.hqueries import HQuery
+
+
+class TestRuns:
+    def test_examples(self):
+        assert runs_of([0, 1, 3, 5, 6]) == [(0, 1), (3, 3), (5, 6)]
+        assert runs_of([]) == []
+        assert runs_of([2]) == [(2, 2)]
+        assert runs_of([3, 1, 2]) == [(1, 3)]
+
+    def test_duplicates_ignored(self):
+        assert runs_of([1, 1, 2]) == [(1, 2)]
+
+
+class TestChainProbability:
+    def test_empty_chain(self):
+        assert chain_probability([]) == 0
+
+    def test_single_tuple_needs_flag(self):
+        p = [Fraction(1, 2)]
+        assert chain_probability(p) == 0
+        assert chain_probability(p, satisfied_by_first=True) == Fraction(1, 2)
+        assert chain_probability(p, satisfied_by_last=True) == Fraction(1, 2)
+
+    def test_two_tuples(self):
+        p = [Fraction(1, 2), Fraction(1, 2)]
+        assert chain_probability(p) == Fraction(1, 4)
+
+    def test_matches_enumeration(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            length = rng.randint(1, 6)
+            probs = [Fraction(rng.randint(0, 4), 4) for _ in range(length)]
+            for first in (False, True):
+                for last in (False, True):
+                    expected = Fraction(0)
+                    for mask in range(1 << length):
+                        bits = [bool(mask >> i & 1) for i in range(length)]
+                        satisfied = any(
+                            bits[i] and bits[i + 1]
+                            for i in range(length - 1)
+                        )
+                        if first and bits[0]:
+                            satisfied = True
+                        if last and bits[-1]:
+                            satisfied = True
+                        if not satisfied:
+                            continue
+                        weight = Fraction(1)
+                        for bit, p in zip(bits, probs):
+                            weight *= p if bit else 1 - p
+                        expected += weight
+                    assert (
+                        chain_probability(
+                            probs,
+                            satisfied_by_first=first,
+                            satisfied_by_last=last,
+                        )
+                        == expected
+                    )
+
+
+class TestDisjunctionProbability:
+    def brute_force_disjunction(self, indices, k, tid):
+        phi = BooleanFunction.bottom(k + 1)
+        for i in indices:
+            phi = phi | BooleanFunction.variable(i, k + 1)
+        return probability_by_world_enumeration(HQuery(k, phi), tid)
+
+    def test_empty_disjunction(self):
+        tid = complete_tid(2, 1, 1)
+        assert disjunction_probability([], 2, tid) == 0
+
+    def test_full_set_rejected(self):
+        tid = complete_tid(2, 1, 1)
+        with pytest.raises(UnsafeSubqueryError):
+            disjunction_probability([0, 1, 2], 2, tid)
+
+    def test_out_of_range_rejected(self):
+        tid = complete_tid(2, 1, 1)
+        with pytest.raises(ValueError):
+            disjunction_probability([5], 2, tid)
+
+    @pytest.mark.parametrize(
+        "indices",
+        [[0], [1], [2], [3], [0, 1], [1, 2], [2, 3], [0, 3], [0, 1, 2],
+         [1, 2, 3], [0, 2], [1, 3], [0, 1, 3], [0, 2, 3]],
+    )
+    def test_k3_against_brute_force_complete(self, indices):
+        tid = complete_tid(3, 1, 2, prob=Fraction(1, 2))
+        assert disjunction_probability(
+            indices, 3, tid
+        ) == self.brute_force_disjunction(indices, 3, tid)
+
+    def test_k2_random_instances(self):
+        rng = random.Random(77)
+        cases = 0
+        while cases < 6:
+            tid = random_tid(2, 2, 2, rng, tuple_density=0.5)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            for indices in ([0], [1], [2], [0, 1], [1, 2], [0, 2]):
+                assert disjunction_probability(
+                    indices, 2, tid
+                ) == self.brute_force_disjunction(indices, 2, tid), indices
+
+    def test_k4_interior_run(self):
+        # Interior runs never touch R or T.
+        tid = complete_tid(4, 2, 1, prob=Fraction(1, 3))
+        assert disjunction_probability(
+            [1, 2, 3], 4, tid
+        ) == self.brute_force_disjunction([1, 2, 3], 4, tid)
+
+    def test_left_and_right_runs_with_unaries(self):
+        rng = random.Random(99)
+        cases = 0
+        while cases < 4:
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.45)
+            if not 0 < len(tid) <= 12:
+                continue
+            cases += 1
+            for indices in ([0, 1], [2, 3], [0, 1, 2], [1, 2, 3]):
+                assert disjunction_probability(
+                    indices, 3, tid
+                ) == self.brute_force_disjunction(indices, 3, tid), indices

@@ -1,0 +1,128 @@
+"""Tests for circuit serialization round trips."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import Circuit, assert_d_d, probability
+from repro.circuits.serialization import (
+    circuit_from_dict,
+    circuit_to_dict,
+    dumps,
+    loads,
+)
+from repro.db.generator import complete_tid
+from repro.pqe.intensional import compile_lineage
+from repro.queries.hqueries import q9
+
+
+class TestRoundTrip:
+    def test_small_circuit(self):
+        circuit = Circuit()
+        x, y = circuit.add_var("x"), circuit.add_var("y")
+        circuit.set_output(
+            circuit.add_or(
+                [
+                    circuit.add_and([x, circuit.add_not(y)]),
+                    circuit.add_and([circuit.add_not(x), y]),
+                ]
+            )
+        )
+        rebuilt = loads(dumps(circuit))
+        for mx in (False, True):
+            for my in (False, True):
+                assignment = {"x": mx, "y": my}
+                assert rebuilt.evaluate(assignment) == circuit.evaluate(
+                    assignment
+                )
+
+    def test_compiled_lineage_round_trip(self):
+        # The real use case: persist a compiled lineage, reload it, and
+        # keep computing probabilities (with TupleId labels intact).
+        tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+        compiled = compile_lineage(q9(), tid.instance)
+        rebuilt = loads(dumps(compiled.circuit))
+        assert_d_d(rebuilt)
+        assert probability(rebuilt, tid.probability_map()) == (
+            compiled.probability(tid)
+        )
+
+    def test_reload_after_probability_update(self):
+        tid = complete_tid(3, 1, 2, prob=Fraction(1, 2))
+        compiled = compile_lineage(q9(), tid.instance)
+        text = dumps(compiled.circuit)
+        rebuilt = loads(text)
+        some_tuple = tid.instance.tuple_ids()[0]
+        tid.set_probability(some_tuple, Fraction(1, 5))
+        assert probability(rebuilt, tid.probability_map()) == (
+            compiled.probability(tid)
+        )
+
+    def test_dead_gates_dropped(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        circuit.add_and([x, circuit.add_var("dead")])  # unreachable
+        circuit.set_output(x)
+        payload = circuit_to_dict(circuit)
+        assert len(payload["gates"]) == 1
+
+    def test_constants_round_trip(self):
+        circuit = Circuit()
+        circuit.set_output(circuit.add_const(True))
+        rebuilt = loads(dumps(circuit))
+        assert rebuilt.evaluate({})
+
+
+class TestValidation:
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            circuit_from_dict({"format": 999, "gates": [], "output": 0})
+
+    def test_unknown_gate_kind(self):
+        payload = {
+            "format": 1,
+            "gates": [{"kind": "nand", "inputs": []}],
+            "output": 0,
+        }
+        with pytest.raises(ValueError):
+            circuit_from_dict(payload)
+
+    def test_unencodable_label(self):
+        circuit = Circuit()
+        circuit.set_output(circuit.add_var(("tuple", "label")))
+        with pytest.raises(TypeError):
+            circuit_to_dict(circuit)
+
+    def test_custom_codec(self):
+        circuit = Circuit()
+        circuit.set_output(circuit.add_var(("pair", 1)))
+        payload = circuit_to_dict(
+            circuit, encode_label=lambda label: list(label)
+        )
+        rebuilt = circuit_from_dict(
+            payload, decode_label=lambda p: tuple(p)
+        )
+        assert rebuilt.evaluate({("pair", 1): True})
+
+
+class TestRandomizedRoundTrips:
+    def test_random_dd_circuits(self):
+        rng = random.Random(31)
+        from repro.core.boolean_function import BooleanFunction
+        from repro.pqe.degenerate import degenerate_lineage_circuit
+
+        tid = complete_tid(2, 1, 2)
+        for _ in range(5):
+            base = BooleanFunction.random(3, rng)
+            pos, neg = base.cofactors(1)
+            phi = pos | neg
+            if phi.depends_on(1):
+                continue
+            circuit = degenerate_lineage_circuit(phi, tid.instance)
+            rebuilt = loads(dumps(circuit))
+            assert probability(
+                rebuilt, tid.probability_map()
+            ) == probability(circuit, tid.probability_map())

@@ -1,0 +1,106 @@
+"""Tests for circuit smoothing and model enumeration."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import Circuit, assert_d_d
+from repro.circuits.probability import model_count, probability
+from repro.circuits.smoothing import (
+    count_models_smoothed,
+    enumerate_models,
+    is_smooth,
+    smooth,
+)
+from repro.db.generator import complete_tid
+from repro.pqe.intensional import compile_lineage
+from repro.queries.hqueries import q9
+
+
+def unbalanced_dd() -> Circuit:
+    """(x ∧ ¬y) ∨ z-only-branch: branches see different variable sets."""
+    circuit = Circuit()
+    x, y, z = (circuit.add_var(v) for v in "xyz")
+    left = circuit.add_and([x, circuit.add_not(y)])
+    right = circuit.add_and([circuit.add_not(x), circuit.add_not(z)])
+    circuit.set_output(circuit.add_or([left, right]))
+    return circuit
+
+
+class TestSmoothness:
+    def test_unbalanced_detected(self):
+        assert not is_smooth(unbalanced_dd())
+
+    def test_smooth_output_is_smooth(self):
+        smoothed = smooth(unbalanced_dd())
+        assert is_smooth(smoothed)
+
+    def test_smoothing_preserves_semantics(self):
+        original = unbalanced_dd()
+        smoothed = smooth(original)
+        for bits in itertools.product([False, True], repeat=3):
+            assignment = dict(zip("xyz", bits))
+            assert smoothed.evaluate(assignment) == original.evaluate(
+                assignment
+            )
+
+    def test_smoothing_preserves_d_d(self):
+        smoothed = smooth(unbalanced_dd())
+        assert_d_d(smoothed)
+
+    def test_smoothing_preserves_probability(self):
+        from fractions import Fraction
+
+        original = unbalanced_dd()
+        smoothed = smooth(original)
+        prob = {v: Fraction(1, 3) for v in "xyz"}
+        assert probability(smoothed, prob) == probability(original, prob)
+
+    def test_already_smooth_unchanged_semantically(self):
+        circuit = Circuit()
+        x = circuit.add_var("x")
+        circuit.set_output(x)
+        smoothed = smooth(circuit)
+        assert is_smooth(smoothed)
+        assert smoothed.evaluate({"x": True})
+
+
+class TestEnumeration:
+    def test_requires_smooth(self):
+        with pytest.raises(ValueError):
+            list(enumerate_models(unbalanced_dd()))
+
+    def test_models_match_enumeration_oracle(self):
+        original = unbalanced_dd()
+        smoothed = smooth(original)
+        expected = set(original.models_by_enumeration())
+        got = set(enumerate_models(smoothed))
+        assert got == expected
+
+    def test_no_duplicates(self):
+        smoothed = smooth(unbalanced_dd())
+        models = list(enumerate_models(smoothed))
+        assert len(models) == len(set(models))
+
+    def test_count_matches_probability_count(self):
+        original = unbalanced_dd()
+        assert count_models_smoothed(original) == model_count(original)
+
+    def test_on_compiled_lineage(self):
+        tid = complete_tid(3, 1, 1)
+        compiled = compile_lineage(q9(), tid.instance)
+        smoothed = smooth(compiled.circuit)
+        models = list(enumerate_models(smoothed))
+        assert len(models) == len(set(models))
+        assert len(models) == model_count(compiled.circuit)
+        # Every enumerated model satisfies the circuit.
+        for model in random.Random(0).sample(
+            models, min(20, len(models))
+        ):
+            assignment = {
+                label: label in model for label in compiled.circuit.variables()
+            }
+            assert compiled.circuit.evaluate(assignment)

@@ -1,0 +1,138 @@
+"""Stress tests: the full pipeline on the paper's larger zoo functions.
+
+The figure witnesses live at k = 4 and k = 5 (32- and 64-valuation truth
+tables); these tests push the complete machinery — derivations,
+fragmentations, compilation, probability — through them, plus a manually
+assembled fragmentation exercising the general degenerate-leaf fallback of
+the circuit plugger.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.circuits import assert_d_d
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import (
+    Fragmentation,
+    Hole,
+    NegOrTemplate,
+    OrNode,
+    fragment,
+)
+from repro.core.transformation import apply_steps, reduce_to_bottom
+from repro.core.zoo import find_phi_no_pm, find_phi_one_neg
+from repro.db.generator import complete_tid
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.intensional import _plug_template, compile_lineage
+from repro.queries.hqueries import HQuery
+
+
+class TestPhiNoPmPipeline:
+    """k = 4: the Figure-5 witness through the whole stack."""
+
+    def test_derivation_and_fragmentation(self):
+        phi = find_phi_no_pm()
+        steps = reduce_to_bottom(phi)
+        assert apply_steps(phi, steps).is_bottom()
+        fragmentation = fragment(phi)
+        assert fragmentation.verify()
+        # Both move directions must appear: this function is the paper's
+        # witness that one-directional derivations cannot suffice.
+        signs = {step.sign for step in steps}
+        assert signs == {-1, 1}
+
+    def test_compilation_and_probability(self):
+        phi = find_phi_no_pm()
+        query = HQuery(4, phi)
+        tid = complete_tid(4, 1, 1, prob=Fraction(1, 3))
+        compiled = compile_lineage(query, tid.instance)
+        assert not compiled.is_nnf  # negations were genuinely needed
+        assert compiled.probability(tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+    def test_circuit_validates(self):
+        phi = find_phi_no_pm()
+        tid = complete_tid(4, 1, 1)
+        compiled = compile_lineage(HQuery(4, phi), tid.instance)
+        assert_d_d(compiled.circuit)
+
+
+class TestPhiOneNegPipeline:
+    """k = 5: the Figure-7 witness (64-valuation table)."""
+
+    def test_fragmentation(self):
+        phi = find_phi_one_neg()
+        fragmentation = fragment(phi)
+        assert fragmentation.verify()
+        # No colored PM, so the general template must use negations.
+        assert fragmentation.template.count_gates()["not"] > 0
+
+    def test_compilation_and_probability(self):
+        phi = find_phi_one_neg()
+        query = HQuery(5, phi)
+        tid = complete_tid(5, 1, 1, prob=Fraction(1, 2))
+        compiled = compile_lineage(query, tid.instance)
+        assert compiled.probability(tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+    def test_safety_verdicts(self):
+        from repro.pqe.extensional import is_safe
+
+        phi = find_phi_one_neg()
+        assert phi.is_monotone()
+        assert is_safe(HQuery(5, phi))  # e = 0: a safe UCQ
+
+
+class TestGeneralDegenerateLeaf:
+    """Exercise the non-pair degenerate-leaf fallback of _plug_template."""
+
+    def test_custom_fragmentation_with_wide_leaf(self):
+        # A degenerate leaf with four models (not an adjacent pair): the
+        # disjunction of two adjacent pairs along the ignored variable 1.
+        leaf_wide = BooleanFunction.from_satisfying(
+            3, [0b000, 0b010, 0b101, 0b111]
+        )
+        assert leaf_wide.is_degenerate() and not leaf_wide.depends_on(1)
+        leaf_pair = BooleanFunction.from_satisfying(3, [0b001, 0b011])
+        assert leaf_pair.is_degenerate()
+        assert leaf_wide.is_disjoint(leaf_pair)
+        phi = leaf_wide | leaf_pair
+        fragmentation = Fragmentation(
+            NegOrTemplate(OrNode((Hole(0), Hole(1))), 2),
+            [leaf_wide, leaf_pair],
+            phi,
+        )
+        assert fragmentation.verify()
+        tid = complete_tid(2, 1, 2, prob=Fraction(1, 2))
+        circuit = _plug_template(fragmentation, 2, tid.instance)
+        assert_d_d(circuit)
+        from repro.circuits import probability
+
+        query = HQuery(2, phi)
+        assert probability(
+            circuit, tid.probability_map()
+        ) == probability_by_world_enumeration(query, tid)
+
+
+class TestLongDerivations:
+    def test_top_function_at_5_vars(self):
+        # ⊤ on 5 variables: 32 models, 16 chainkills.
+        phi = BooleanFunction.top(5)
+        steps = reduce_to_bottom(phi)
+        assert apply_steps(phi, steps).is_bottom()
+        fragmentation = fragment(phi)
+        assert fragmentation.verify()
+
+    def test_checkerboard_of_pairs(self):
+        # Disjoint adjacent pairs tiling half the 4-cube.
+        models = []
+        for mask in range(16):
+            if mask & 1 == 0 and (mask >> 1) & 1 == 0:
+                models.extend([mask, mask | 1])
+        phi = BooleanFunction.from_satisfying(4, models)
+        assert phi.euler_characteristic() == 0
+        fragmentation = fragment(phi)
+        assert fragmentation.verify()

@@ -1,0 +1,300 @@
+"""Tests for the ± transformation (Section 5 / Section 6.2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import valuations as v
+from repro.core.boolean_function import BooleanFunction
+from repro.core.transformation import (
+    Step,
+    apply_step,
+    apply_steps,
+    are_equivalent,
+    canonicalize,
+    chainkill_steps,
+    chainswap_steps,
+    fetch_pair,
+    invert_steps,
+    is_canonical_form,
+    minimize_to_even,
+    reduce_to_bottom,
+    transform,
+    verify_steps,
+)
+
+
+def tables(nvars: int):
+    return st.integers(min_value=0, max_value=(1 << (1 << nvars)) - 1)
+
+
+class TestStep:
+    def test_pair(self):
+        step = Step(1, 0b010, 0)
+        assert step.pair == (0b010, 0b011)
+
+    def test_inverse(self):
+        step = Step(1, 0b010, 0)
+        assert step.inverse() == Step(-1, 0b010, 0)
+
+    def test_invalid_sign(self):
+        with pytest.raises(ValueError):
+            Step(0, 0, 0)
+
+    def test_apply_add(self):
+        phi = BooleanFunction.bottom(2)
+        result = apply_step(phi, Step(1, 0b00, 0))
+        assert set(result.satisfying_masks()) == {0b00, 0b01}
+
+    def test_apply_add_rejects_colored(self):
+        phi = BooleanFunction.from_satisfying(2, [0b01])
+        with pytest.raises(ValueError):
+            apply_step(phi, Step(1, 0b00, 0))
+
+    def test_apply_remove(self):
+        phi = BooleanFunction.from_satisfying(2, [0b00, 0b01])
+        assert apply_step(phi, Step(-1, 0b00, 0)).is_bottom()
+
+    def test_apply_remove_rejects_uncolored(self):
+        phi = BooleanFunction.from_satisfying(2, [0b01])
+        with pytest.raises(ValueError):
+            apply_step(phi, Step(-1, 0b00, 0))
+
+    @given(tables(3), st.integers(0, 7), st.integers(0, 2))
+    def test_step_preserves_euler(self, table, valuation, variable):
+        phi = BooleanFunction(3, table)
+        for sign in (-1, 1):
+            step = Step(sign, valuation, variable)
+            try:
+                result = apply_step(phi, step)
+            except ValueError:
+                continue
+            assert result.euler_characteristic() == phi.euler_characteristic()
+
+    def test_invert_steps_roundtrip(self):
+        phi = BooleanFunction.bottom(2)
+        steps = [Step(1, 0b00, 0), Step(1, 0b10, 0)]
+        forward = apply_steps(phi, steps)
+        assert apply_steps(forward, invert_steps(steps)) == phi
+
+
+class TestChaining:
+    """Lemma 5.10."""
+
+    def test_chainkill_adjacent(self):
+        # Path of length 1 (n = 0): both endpoints colored, remove them.
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b001])
+        steps = chainkill_steps(phi, [0b000, 0b001])
+        assert apply_steps(phi, steps).is_bottom()
+
+    def test_chainkill_longer_path(self):
+        # nu = 000, nu' = 111 (opposite parities); interior 001, 011
+        # uncolored (even count).
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b111, 0b100])
+        path = [0b000, 0b001, 0b011, 0b111]
+        steps = chainkill_steps(phi, path)
+        result = apply_steps(phi, steps)
+        assert set(result.satisfying_masks()) == {0b100}
+
+    def test_chainkill_rejects_colored_interior(self):
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b001, 0b111])
+        with pytest.raises(ValueError):
+            chainkill_steps(phi, [0b000, 0b001, 0b011, 0b111])
+
+    def test_chainkill_rejects_odd_interior(self):
+        # Same-parity endpoints force an odd interior: not a chainkill.
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b011])
+        with pytest.raises(ValueError):
+            chainkill_steps(phi, [0b000, 0b001, 0b011])
+
+    def test_chainswap_moves_color(self):
+        # Figure 4: swap along a path with odd interior (same-parity
+        # endpoints, here both even: 000 -> 011 through 001).
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b111])
+        path = [0b000, 0b001, 0b011]
+        steps = chainswap_steps(phi, path)
+        result = apply_steps(phi, steps)
+        assert set(result.satisfying_masks()) == {0b011, 0b111}
+
+    def test_chainswap_rejects_colored_target(self):
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b011])
+        with pytest.raises(ValueError):
+            chainswap_steps(phi, [0b000, 0b001, 0b011])
+
+    def test_chain_rejects_non_path(self):
+        phi = BooleanFunction.from_satisfying(3, [0b000, 0b011])
+        with pytest.raises(ValueError):
+            chainkill_steps(phi, [0b000, 0b011])
+
+
+class TestFetching:
+    """Lemma 5.11."""
+
+    @given(tables(4))
+    @settings(max_examples=80)
+    def test_fetch_path_properties(self, table):
+        phi = BooleanFunction(4, table)
+        if phi.sat_count() == abs(phi.euler_characteristic()):
+            with pytest.raises(ValueError):
+                fetch_pair(phi)
+            return
+        path = fetch_pair(phi)
+        assert v.is_simple_hypercube_path(path)
+        assert phi(path[0]) and phi(path[-1])
+        assert v.parity(path[0]) != v.parity(path[-1])
+        for interior in path[1:-1]:
+            assert not phi(interior)
+
+
+class TestReduceToBottom:
+    """Proposition 5.9."""
+
+    @given(tables(4))
+    @settings(max_examples=60)
+    def test_reduces_zero_euler(self, table):
+        phi = BooleanFunction(4, table)
+        if phi.euler_characteristic() != 0:
+            with pytest.raises(ValueError):
+                reduce_to_bottom(phi)
+            return
+        steps = reduce_to_bottom(phi)
+        assert apply_steps(phi, steps).is_bottom()
+        # Each chainkill removes exactly two models, so the derivation uses
+        # polynomially many moves in the table size.
+        assert len(steps) <= phi.sat_count() * (1 << phi.nvars)
+
+    def test_bottom_needs_no_steps(self):
+        assert reduce_to_bottom(BooleanFunction.bottom(3)) == []
+
+    def test_top_reduces(self):
+        phi = BooleanFunction.top(3)
+        steps = reduce_to_bottom(phi)
+        assert apply_steps(phi, steps).is_bottom()
+
+
+class TestMinimizeToEven:
+    """Lemma 6.5."""
+
+    @given(tables(4))
+    @settings(max_examples=60)
+    def test_result_has_even_models(self, table):
+        phi = BooleanFunction(4, table)
+        if phi.euler_characteristic() < 0:
+            with pytest.raises(ValueError):
+                minimize_to_even(phi)
+            return
+        steps = minimize_to_even(phi)
+        result = apply_steps(phi, steps)
+        assert all(v.parity(m) == 1 for m in result.satisfying_masks())
+        assert result.euler_characteristic() == phi.euler_characteristic()
+        assert result.sat_count() == phi.euler_characteristic()
+
+
+class TestCanonicalForm:
+    """Definition 6.6 and Lemma 6.7."""
+
+    def test_is_canonical_examples(self):
+        assert is_canonical_form(BooleanFunction.bottom(3))
+        # Models = {∅}: the single smallest even valuation.
+        assert is_canonical_form(BooleanFunction.exactly(3, []))
+        # Models = {{0,1}} but ∅ missing: bad pair.
+        assert not is_canonical_form(
+            BooleanFunction.from_satisfying(3, [{0, 1}])
+        )
+        # Odd-size model: not canonical.
+        assert not is_canonical_form(BooleanFunction.exactly(3, {0}))
+
+    @given(tables(4))
+    @settings(max_examples=60)
+    def test_canonicalize(self, table):
+        phi = BooleanFunction(4, table)
+        if phi.euler_characteristic() < 0:
+            return
+        even_steps = minimize_to_even(phi)
+        even = apply_steps(phi, even_steps)
+        steps = canonicalize(even)
+        result = apply_steps(even, steps)
+        assert is_canonical_form(result)
+        assert result.sat_count() == even.sat_count()
+
+    def test_canonicalize_rejects_odd_models(self):
+        with pytest.raises(ValueError):
+            canonicalize(BooleanFunction.exactly(3, {0}))
+
+    def test_canonical_forms_with_same_count_nearly_agree(self):
+        # Two canonical forms with equal model count agree below the top
+        # level (the alignment invariant of Proposition 6.1's proof).
+        rng = random.Random(66)
+        for _ in range(20):
+            a = BooleanFunction.random(4, rng)
+            b = BooleanFunction.random(4, rng)
+            if a.euler_characteristic() != b.euler_characteristic():
+                continue
+            if a.euler_characteristic() <= 0:
+                continue
+            ca = apply_steps(a, minimize_to_even(a))
+            ca = apply_steps(ca, canonicalize(ca))
+            cb = apply_steps(b, minimize_to_even(b))
+            cb = apply_steps(cb, canonicalize(cb))
+            sizes_a = sorted(v.popcount(m) for m in ca.satisfying_masks())
+            sizes_b = sorted(v.popcount(m) for m in cb.satisfying_masks())
+            assert sizes_a == sizes_b
+
+
+class TestTransform:
+    """Proposition 6.1."""
+
+    @given(tables(3), tables(3))
+    @settings(max_examples=100)
+    def test_transform_3vars(self, ta, tb):
+        a, b = BooleanFunction(3, ta), BooleanFunction(3, tb)
+        if a.euler_characteristic() != b.euler_characteristic():
+            with pytest.raises(ValueError):
+                transform(a, b)
+            return
+        steps = transform(a, b)
+        assert verify_steps(a, steps, b)
+
+    @given(tables(4), tables(4))
+    @settings(max_examples=40)
+    def test_transform_4vars(self, ta, tb):
+        a, b = BooleanFunction(4, ta), BooleanFunction(4, tb)
+        if a.euler_characteristic() != b.euler_characteristic():
+            return
+        steps = transform(a, b)
+        assert verify_steps(a, steps, b)
+
+    def test_transform_negative_euler(self):
+        rng = random.Random(61)
+        done = 0
+        while done < 5:
+            a = BooleanFunction.random(4, rng)
+            b = BooleanFunction.random(4, rng)
+            if a.euler_characteristic() != b.euler_characteristic():
+                continue
+            if a.euler_characteristic() >= 0:
+                continue
+            assert verify_steps(a, transform(a, b), b)
+            done += 1
+
+    def test_are_equivalent_iff_same_euler(self):
+        rng = random.Random(62)
+        for _ in range(50):
+            a = BooleanFunction.random(4, rng)
+            b = BooleanFunction.random(4, rng)
+            assert are_equivalent(a, b) == (
+                a.euler_characteristic() == b.euler_characteristic()
+            )
+
+    def test_exhaustive_2vars(self):
+        # All 256 pairs of 2-variable functions.
+        for ta in range(16):
+            for tb in range(16):
+                a, b = BooleanFunction(2, ta), BooleanFunction(2, tb)
+                if a.euler_characteristic() != b.euler_characteristic():
+                    continue
+                assert verify_steps(a, transform(a, b), b)

@@ -1,0 +1,126 @@
+"""The ± transformation machinery at 5 and 6 variables.
+
+The generic property tests stop at 4 variables for speed; these push the
+derivations through the structured families where combinatorial edge cases
+live: slices, parity functions, functions with huge positive or negative
+Euler characteristics, and the searched figure witnesses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import valuations as v
+from repro.core.boolean_function import BooleanFunction
+from repro.core.euler import upper_slice
+from repro.core.transformation import (
+    apply_steps,
+    is_canonical_form,
+    minimize_to_even,
+    canonicalize,
+    reduce_to_bottom,
+    transform,
+    verify_steps,
+)
+
+
+class TestSlices:
+    def test_slice_transforms_to_slice(self):
+        # Two different-looking functions with the same (non-zero) Euler
+        # characteristic: a slice and a permuted slice.
+        slice_a = upper_slice(4, 2)
+        slice_b = slice_a.permute([4, 3, 2, 1, 0])
+        assert slice_a.euler_characteristic() == slice_b.euler_characteristic()
+        steps = transform(slice_a, slice_b)
+        assert verify_steps(slice_a, steps, slice_b)
+
+    def test_each_slice_canonicalizes(self):
+        for k in (3, 4):
+            for threshold in range(1, k + 2):
+                phi = upper_slice(k, threshold)
+                if phi.euler_characteristic() < 0:
+                    continue
+                even = apply_steps(phi, minimize_to_even(phi))
+                canonical = apply_steps(even, canonicalize(even))
+                assert is_canonical_form(canonical), (k, threshold)
+
+
+class TestParityFamilies:
+    def test_even_parity_function_is_stable(self):
+        # phi_maxEuler at 5 variables: 16 models, all even — already
+        # even-minimized and canonical (it fills even levels bottom-up).
+        phi = BooleanFunction(5, v.even_parity_table(5))
+        assert minimize_to_even(phi) == []
+        assert is_canonical_form(phi)
+
+    def test_odd_parity_function_transforms_to_flipped(self):
+        # All odd-size valuations: e = -16; its variable-0 flip has e = 16.
+        # They are NOT ≃-equivalent; but two different odd-parity-like
+        # functions are.
+        odd = ~BooleanFunction(5, v.even_parity_table(5))
+        permuted = odd.permute([1, 0, 2, 3, 4])
+        assert odd.euler_characteristic() == permuted.euler_characteristic()
+        steps = transform(odd, permuted)
+        assert verify_steps(odd, steps, permuted)
+
+    def test_negative_euler_transform(self):
+        odd = ~BooleanFunction(4, v.even_parity_table(4))
+        assert odd.euler_characteristic() == -8
+        # Remove one model from a copy and add a different one elsewhere
+        # keeping e fixed; transform between them.
+        models = list(odd.satisfying_masks())
+        variant_table = odd.table
+        # Swap one odd model for another odd valuation not satisfying.
+        non_models_odd = [
+            m
+            for m in range(16)
+            if v.parity(m) == -1 and not odd(m)
+        ]
+        if non_models_odd:
+            variant_table ^= 1 << models[0]
+            variant_table |= 1 << non_models_odd[0]
+        variant = BooleanFunction(4, variant_table)
+        if variant.euler_characteristic() == odd.euler_characteristic():
+            steps = transform(odd, variant)
+            assert verify_steps(odd, steps, variant)
+
+
+class TestSixVariables:
+    def test_zero_euler_reduction_at_6vars(self):
+        rng = random.Random(606)
+        done = 0
+        while done < 3:
+            phi = BooleanFunction.random(6, rng)
+            if phi.euler_characteristic() != 0:
+                continue
+            steps = reduce_to_bottom(phi)
+            assert apply_steps(phi, steps).is_bottom()
+            done += 1
+
+    def test_transform_at_6vars(self):
+        rng = random.Random(607)
+        done = 0
+        while done < 2:
+            a = BooleanFunction.random(6, rng)
+            b = BooleanFunction.random(6, rng)
+            if a.euler_characteristic() != b.euler_characteristic():
+                continue
+            steps = transform(a, b)
+            assert verify_steps(a, steps, b)
+            done += 1
+
+    def test_figure_witness_transform(self):
+        # phi_oneneg (6 vars, e = 0) transforms to ⊥ and to phi_maxEuler's
+        # complement-style siblings of equal characteristic.
+        from repro.core.zoo import find_phi_one_neg
+
+        phi = find_phi_one_neg()
+        steps = reduce_to_bottom(phi)
+        assert apply_steps(phi, steps).is_bottom()
+        # And to any other zero-Euler function on 6 variables.
+        rng = random.Random(608)
+        other = None
+        while other is None or other.euler_characteristic() != 0:
+            other = BooleanFunction.random(6, rng)
+        steps = transform(phi, other)
+        assert verify_steps(phi, steps, other)

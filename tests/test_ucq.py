@@ -1,0 +1,137 @@
+"""Tests for the explicit UCQ view of monotone H-queries."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import random_tid
+from repro.queries.cq import Atom, ConjunctiveQuery
+from repro.queries.hqueries import HQuery, q9
+from repro.queries.lineage import lineage_equivalent, ucq_lineage_dnf_circuit
+from repro.queries.ucq import UnionOfCQs, conjoin_cqs, hquery_to_ucq
+
+
+class TestConjoin:
+    def test_variables_renamed_apart(self):
+        cq = ConjunctiveQuery((Atom("S1", ("x", "y")),))
+        joined = conjoin_cqs([cq, cq])
+        assert len(joined.atoms) == 2
+        assert len(joined.variables()) == 4
+
+    def test_conjunction_semantics(self):
+        from repro.db.relation import Instance
+
+        db = Instance()
+        db.add("R", ("a",))
+        db.add("S1", ("a", "b"))
+        db.add("S2", ("c", "d"))
+        left = ConjunctiveQuery((Atom("R", ("x",)), Atom("S1", ("x", "y"))))
+        right = ConjunctiveQuery((Atom("S2", ("u", "v")),))
+        joined = conjoin_cqs([left, right])
+        assert joined.holds_in(db)
+        db2 = Instance()
+        db2.add("R", ("a",))
+        db2.add("S1", ("a", "b"))
+        db2.declare("S2", 2)
+        assert not joined.holds_in(db2)
+
+
+class TestTranslation:
+    def test_q9_disjunct_count(self):
+        ucq = hquery_to_ucq(q9())
+        # phi_9's minimized DNF has 4 clauses.
+        assert len(ucq.disjuncts) == 4
+
+    def test_rejects_non_monotone(self):
+        phi = BooleanFunction.from_satisfying(4, [{0}])
+        with pytest.raises(ValueError):
+            hquery_to_ucq(HQuery(3, phi))
+
+    def test_top_is_tautology(self):
+        ucq = hquery_to_ucq(HQuery(2, BooleanFunction.top(3)))
+        from repro.db.relation import Instance
+
+        assert ucq.holds_in(Instance())
+
+    def test_bottom_is_empty_union(self):
+        ucq = hquery_to_ucq(HQuery(2, BooleanFunction.bottom(3)))
+        from repro.db.relation import Instance
+
+        assert not ucq.holds_in(Instance())
+        assert ucq.disjuncts == ()
+
+
+class TestSemanticEquivalence:
+    """The UCQ's first-order semantics must agree with the H-query's
+    truth-functional semantics on every world — the content of the
+    'equivalent to UCQs' remark in Definition 3.2."""
+
+    def test_q9_on_random_worlds(self):
+        rng = random.Random(61)
+        ucq = hquery_to_ucq(q9())
+        for _ in range(4):
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.5)
+            assert ucq.holds_in(tid.instance) == q9().holds_in(tid.instance)
+
+    def test_random_monotone_functions_on_random_worlds(self):
+        rng = random.Random(62)
+        for _ in range(10):
+            phi = BooleanFunction.random_monotone(4, rng)
+            query = HQuery(3, phi)
+            ucq = hquery_to_ucq(query)
+            tid = random_tid(3, 2, 2, rng, tuple_density=0.4)
+            assert ucq.holds_in(tid.instance) == query.holds_in(
+                tid.instance
+            ), phi
+
+    def test_subworld_equivalence(self):
+        # Exhaustive over all sub-instances of a small instance.
+        rng = random.Random(63)
+        tid = random_tid(2, 2, 2, rng, tuple_density=0.5)
+        if len(tid) > 10:
+            tid = random_tid(2, 2, 1, rng, tuple_density=0.4)
+        phi = BooleanFunction.random_monotone(3, rng)
+        query = HQuery(2, phi)
+        ucq = hquery_to_ucq(query)
+        tuple_ids = tid.instance.tuple_ids()
+        for mask in range(1 << len(tuple_ids)):
+            present = frozenset(
+                tuple_ids[j] for j in range(len(tuple_ids)) if mask >> j & 1
+            )
+            world = tid.instance.restrict_to(present)
+            assert ucq.holds_in(world) == query.holds_in(world)
+
+
+class TestUcqLineage:
+    def test_dnf_lineage_matches_module_level_one(self):
+        rng = random.Random(64)
+        tid = random_tid(3, 2, 2, rng, tuple_density=0.4)
+        if len(tid) > 12:
+            tid = random_tid(3, 2, 1, rng, tuple_density=0.4)
+        ucq = hquery_to_ucq(q9())
+        circuit_a = ucq.lineage_circuit(tid.instance)
+        circuit_b = ucq_lineage_dnf_circuit(q9(), tid.instance)
+        assert lineage_equivalent(circuit_a, circuit_b, tid.instance)
+
+    def test_lineage_is_monotone_dnf(self):
+        from repro.circuits.circuit import GateKind
+
+        rng = random.Random(65)
+        tid = random_tid(2, 2, 2, rng, tuple_density=0.5)
+        ucq = hquery_to_ucq(HQuery(2, BooleanFunction.random_monotone(3, rng)))
+        circuit = ucq.lineage_circuit(tid.instance)
+        kinds = {gate.kind for _, gate in circuit.gates()}
+        assert GateKind.NOT not in kinds
+
+
+class TestUnionOfCQs:
+    def test_relations(self):
+        ucq = hquery_to_ucq(q9())
+        assert ucq.relations() == {"R", "S1", "S2", "S3", "T"}
+
+    def test_str(self):
+        ucq = hquery_to_ucq(q9())
+        assert "∨" in str(ucq)

@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.core.valuations."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import valuations as v
+
+
+class TestConversions:
+    def test_set_to_mask_roundtrip(self):
+        assert v.set_to_mask({0, 2, 5}) == 0b100101
+        assert v.mask_to_set(0b100101) == frozenset({0, 2, 5})
+
+    def test_empty_valuation(self):
+        assert v.set_to_mask([]) == 0
+        assert v.mask_to_set(0) == frozenset()
+
+    def test_negative_variable_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            v.set_to_mask({-1})
+        with pytest.raises(ValueError):
+            v.mask_to_set(-3)
+
+    def test_as_mask_accepts_both(self):
+        assert v.as_mask(5) == 5
+        assert v.as_mask({0, 2}) == 5
+
+    @given(st.sets(st.integers(min_value=0, max_value=12)))
+    def test_roundtrip_property(self, members):
+        assert v.mask_to_set(v.set_to_mask(members)) == frozenset(members)
+
+
+class TestParityAndFlip:
+    def test_popcount(self):
+        assert v.popcount(0b1011) == 3
+
+    def test_parity(self):
+        assert v.parity(0) == 1
+        assert v.parity(0b1) == -1
+        assert v.parity(0b11) == 1
+
+    def test_flip_toggles(self):
+        assert v.flip(0b101, 1) == 0b111
+        assert v.flip(0b111, 1) == 0b101
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(0, 7))
+    def test_flip_involution(self, mask, var):
+        assert v.flip(v.flip(mask, var), var) == mask
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(0, 7))
+    def test_flip_changes_parity(self, mask, var):
+        assert v.parity(v.flip(mask, var)) == -v.parity(mask)
+
+
+class TestEnumeration:
+    def test_all_valuations_count(self):
+        assert len(list(v.all_valuations(4))) == 16
+
+    def test_valuations_of_size(self):
+        of_two = list(v.valuations_of_size(4, 2))
+        assert len(of_two) == 6
+        assert all(v.popcount(m) == 2 for m in of_two)
+
+    def test_valuations_of_size_edges(self):
+        assert list(v.valuations_of_size(4, 0)) == [0]
+        assert list(v.valuations_of_size(4, 4)) == [0b1111]
+        assert list(v.valuations_of_size(4, 5)) == []
+
+    def test_neighbors(self):
+        assert sorted(v.neighbors(0b00, 2)) == [0b01, 0b10]
+
+    def test_subsets_of(self):
+        subs = sorted(v.subsets_of(0b101))
+        assert subs == [0b000, 0b001, 0b100, 0b101]
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_subsets_count(self, mask):
+        assert len(list(v.subsets_of(mask))) == 1 << v.popcount(mask)
+
+
+class TestHypercubePaths:
+    def test_path_endpoints_and_length(self):
+        path = v.hypercube_path(0b000, 0b110)
+        assert path[0] == 0b000 and path[-1] == 0b110
+        assert len(path) == 3
+
+    def test_path_is_simple(self):
+        path = v.hypercube_path(0b0101, 0b1010)
+        assert v.is_simple_hypercube_path(path)
+
+    def test_degenerate_path(self):
+        assert v.hypercube_path(5, 5) == [5]
+
+    @given(
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_path_property(self, a, b):
+        path = v.hypercube_path(a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(path) == v.hamming_distance(a, b) + 1
+        assert v.is_simple_hypercube_path(path)
+
+    def test_non_simple_rejected(self):
+        assert not v.is_simple_hypercube_path([0, 1, 0])
+        assert not v.is_simple_hypercube_path([0, 3])  # not adjacent
+        assert not v.is_simple_hypercube_path([])
+
+
+class TestParityTable:
+    def test_small_tables(self):
+        # nvars=1: valuations 0 (even), 1 (odd) -> bit 0 set only.
+        assert v.even_parity_table(1) == 0b01
+        # nvars=2: even valuations are 00 and 11 -> bits 0 and 3.
+        assert v.even_parity_table(2) == 0b1001
+
+    @given(st.integers(min_value=0, max_value=8))
+    def test_table_matches_popcount(self, nvars):
+        table = v.even_parity_table(nvars)
+        for mask in range(1 << nvars):
+            assert bool(table >> mask & 1) == (v.popcount(mask) % 2 == 0)

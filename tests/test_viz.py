@@ -1,0 +1,48 @@
+"""Tests for the figure renderers."""
+
+from __future__ import annotations
+
+from repro.core.boolean_function import BooleanFunction
+from repro.core.transformation import Step
+from repro.lattice.cnf_lattice import cnf_lattice
+from repro.queries.hqueries import phi_9
+from repro.viz import (
+    render_colored_graph,
+    render_edges,
+    render_hasse,
+    render_matching_facts,
+    render_transformation,
+)
+
+
+class TestHasseRendering:
+    def test_figure2_content(self):
+        text = render_hasse(cnf_lattice(phi_9()))
+        assert "∅" in text
+        assert "mu=+1" in text and "mu=-1" in text
+        assert "mu(0-hat, 1-hat) = +0" in text
+
+    def test_edges_rendering(self):
+        text = render_edges(cnf_lattice(phi_9()))
+        # The Hasse diagram of Figure 2 has 14 covering edges: 4 below the
+        # top, 6 in the middle band, 4 above the bottom.
+        assert len(text.strip().splitlines()) == 14
+
+
+class TestColoredGraphRendering:
+    def test_figure3_content(self):
+        text = render_colored_graph(phi_9())
+        assert "|nu|=0" in text and "|nu|=4" in text
+        assert "[0123]" in text  # the top valuation is colored
+        assert "(∅)" in text  # the empty valuation is not
+        assert "e(phi) = +0" in text
+
+    def test_matching_facts(self):
+        text = render_matching_facts(phi_9())
+        assert "colored subgraph has perfect matching:   True" in text
+
+    def test_transformation_rendering(self):
+        phi = BooleanFunction.from_satisfying(2, [0b00, 0b01])
+        text = render_transformation(phi, [Step(-1, 0b00, 0)])
+        assert text.count("e(phi)") == 2
+        assert "after" in text

@@ -1,0 +1,38 @@
+"""Rendering tests for the searched figure witnesses (Figures 5 and 7)."""
+
+from __future__ import annotations
+
+from repro.core.zoo import find_phi_no_pm, find_phi_one_neg
+from repro.viz.colored_graph import render_colored_graph, render_matching_facts
+
+
+class TestFigure5Rendering:
+    def test_levels_present(self):
+        text = render_colored_graph(find_phi_no_pm())
+        # k = 4: levels 0..5.
+        for size in range(6):
+            assert f"|nu|={size}:" in text
+
+    def test_matching_facts_report_no_pm(self):
+        text = render_matching_facts(find_phi_no_pm())
+        assert "colored subgraph has perfect matching:   False" in text
+        assert "uncolored subgraph has perfect matching: False" in text
+
+    def test_isolated_nodes_reported(self):
+        text = render_matching_facts(find_phi_no_pm())
+        assert "isolated colored nodes:" in text
+        assert "34" in text  # the paper's {3,4}
+        assert "isolated uncolored nodes:" in text
+        assert "034" in text  # the paper's {0,3,4}
+
+
+class TestFigure7Rendering:
+    def test_one_sided_matching_reported(self):
+        text = render_matching_facts(find_phi_one_neg())
+        assert "colored subgraph has perfect matching:   False" in text
+        assert "uncolored subgraph has perfect matching: True" in text
+
+    def test_top_valuation_colored(self):
+        text = render_colored_graph(find_phi_one_neg())
+        assert "[012345]" in text
+        assert "e(phi) = +0" in text

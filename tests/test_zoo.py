@@ -1,0 +1,110 @@
+"""Tests for the named functions and figure-witness searchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import valuations as v
+from repro.core.zoo import (
+    find_phi_no_pm,
+    find_phi_one_neg,
+    is_phi_no_pm_witness,
+    is_phi_one_neg_witness,
+    phi_9,
+    phi_max_euler,
+    phi_no_pm_constraints,
+)
+from repro.matching.graph import ColoredGraph
+from repro.matching.perfect_matching import has_perfect_matching
+
+
+class TestPhi9:
+    def test_example_33_properties(self):
+        phi = phi_9()
+        assert phi.nvars == 4
+        assert phi.is_monotone()
+        assert phi.is_nondegenerate()
+        assert phi.euler_characteristic() == 0
+        assert phi.sat_count() == 8
+
+
+class TestPhiMaxEuler:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_value(self, k):
+        phi = phi_max_euler(k)
+        assert phi.euler_characteristic() == 1 << k
+
+    def test_models_are_even(self):
+        phi = phi_max_euler(3)
+        assert all(v.parity(m) == 1 for m in phi.satisfying_masks())
+
+
+class TestPhiNoPm:
+    """Figure 5 (searched witness; see DESIGN.md §3)."""
+
+    def test_constraints_are_consistent(self):
+        nvars, forced_true, forced_false = phi_no_pm_constraints()
+        assert nvars == 5
+        assert not set(forced_true) & set(forced_false)
+
+    def test_witness_found_and_verified(self):
+        phi = find_phi_no_pm()
+        assert is_phi_no_pm_witness(phi)
+
+    def test_witness_properties_explicit(self):
+        phi = find_phi_no_pm()
+        assert phi.euler_characteristic() == 0
+        colored = ColoredGraph(phi)
+        # The paper's stated witnesses for the missing matchings.
+        assert v.set_to_mask({3, 4}) in colored.isolated_colored_nodes()
+        assert v.set_to_mask({0, 3, 4}) in colored.isolated_uncolored_nodes()
+        assert not has_perfect_matching(colored.colored_subgraph())
+        assert not has_perfect_matching(colored.uncolored_subgraph())
+
+    def test_witness_is_not_monotone(self):
+        # Otherwise it would contradict Conjecture 1 (checked exhaustively
+        # for this k by the paper and by bench E13).
+        assert not find_phi_no_pm().is_monotone()
+
+    def test_deterministic_for_seed(self):
+        assert find_phi_no_pm(seed=0) == find_phi_no_pm(seed=0)
+
+
+class TestPhiOneNeg:
+    """Figure 7 (searched witness)."""
+
+    def test_witness_found_and_verified(self):
+        phi = find_phi_one_neg()
+        assert is_phi_one_neg_witness(phi)
+
+    def test_witness_properties_explicit(self):
+        phi = find_phi_one_neg()
+        assert phi.nvars == 6
+        assert phi.is_monotone()
+        assert phi.euler_characteristic() == 0
+        colored = ColoredGraph(phi)
+        assert not has_perfect_matching(colored.colored_subgraph())
+        assert has_perfect_matching(colored.uncolored_subgraph())
+
+    def test_blocked_top_structure(self):
+        # The figure's caption: the top valuation must be matched with both
+        # 01234 and 01345, whose only colored neighbor it is.
+        phi = find_phi_one_neg()
+        top = (1 << 6) - 1
+        for node in (v.set_to_mask({0, 1, 2, 3, 4}),
+                     v.set_to_mask({0, 1, 3, 4, 5})):
+            assert phi(node)
+            colored_neighbors = [
+                n for n in v.neighbors(node, 6) if phi(n)
+            ]
+            assert colored_neighbors == [top]
+
+    def test_conjecture_or_is_necessary(self):
+        # phi_oneneg satisfies Conjecture 1 only through its *uncolored*
+        # side: the "or" cannot be dropped.
+        from repro.matching.conjecture import check_function
+
+        verdict = check_function(find_phi_one_neg())
+        assert verdict.satisfies_conjecture
+        assert not verdict.colored_has_pm
+        assert verdict.uncolored_has_pm
