@@ -1,0 +1,104 @@
+"""PR-1 perf bench: compiled evaluation tapes vs. the seed hot path.
+
+The intensional payoff claimed throughout the paper's introduction — once
+``Lin(Q_phi, D)`` is a d-D, (re-)evaluation is cheap — is only as real as
+the constant factors.  This bench regenerates the before/after picture for
+the three hot paths this PR compiled: float probability of a compiled
+lineage (tape codegen vs. per-gate loop), batched probability over many
+maps (one vectorized sweep vs. sequential passes), and lineage grounding
+(index-backed join vs. nested-loop backtracking).
+
+``run_evaluation_bench.py`` (same measurements, standalone) additionally
+dumps ``BENCH_evaluation.json`` for trend tracking.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from conftest import banner
+from run_evaluation_bench import (
+    bench_batch,
+    bench_exact,
+    bench_grounding,
+    bench_single_float,
+)
+
+from repro.circuits.evaluator import tape_for
+from repro.db.generator import complete_tid
+from repro.pqe.intensional import compile_lineage
+from repro.queries.hqueries import q9
+
+
+def test_single_float_probability_speedup(benchmark):
+    print(banner(
+        "PR-1 / evaluation tape",
+        "float probability of a compiled >=1k-gate lineage",
+    ))
+    result = bench_single_float()
+    print(
+        f"gates={result['gates']} seed={result['seed_ms']:.3f}ms "
+        f"tape={result['tape_ms']:.3f}ms "
+        f"(one-time codegen {result['codegen_once_ms']:.1f}ms) "
+        f"speedup={result['speedup']:.1f}x drift={result['max_abs_drift']:.2e}"
+    )
+    assert result["gates"] >= 1000
+    assert result["max_abs_drift"] < 1e-9
+    assert result["speedup"] >= 10
+
+    tid = complete_tid(3, 8, 8, prob=Fraction(1, 2))
+    compiled = compile_lineage(q9(), tid.instance)
+    tape = tape_for(compiled.circuit)
+    prob = {t: 0.5 for t in tid.instance.tuple_ids()}
+    benchmark(tape.evaluate_floats, prob)
+
+
+def test_batched_probability_speedup():
+    print(banner(
+        "PR-1 / evaluation tape",
+        "256-map batch: one vectorized sweep vs sequential seed passes",
+    ))
+    result = bench_batch()
+    print(
+        f"gates={result['gates']} B={result['batch_size']} "
+        f"sequential={result['sequential_seed_ms']:.1f}ms "
+        f"batch(maps)={result['batch_maps_ms']:.1f}ms "
+        f"[{result['speedup_maps']:.1f}x] "
+        f"batch(matrix)={result['batch_matrix_ms']:.1f}ms "
+        f"[{result['speedup_matrix']:.1f}x] "
+        f"drift={result['max_abs_drift']:.2e}"
+    )
+    assert result["max_abs_drift"] < 1e-9
+    assert result["speedup_maps"] >= 10
+    assert result["speedup_matrix"] >= 50
+
+
+def test_exact_probability_stays_identical():
+    print(banner(
+        "PR-1 / evaluation tape",
+        "exact Fraction pass: tape interpreter vs seed loop",
+    ))
+    result = bench_exact()
+    print(
+        f"gates={result['gates']} seed={result['seed_ms']:.2f}ms "
+        f"tape={result['tape_ms']:.2f}ms speedup={result['speedup']:.2f}x "
+        f"bit-identical={result['bit_identical']}"
+    )
+    assert result["bit_identical"]
+
+
+def test_indexed_grounding_speedup():
+    print(banner(
+        "PR-1 / indexed grounding",
+        "grounding_sets of h_{3,i} on a >=500-tuple instance",
+    ))
+    result = bench_grounding()
+    print(
+        f"tuples={result['tuples']} naive={result['naive_ms']:.1f}ms "
+        f"indexed={result['indexed_ms']:.1f}ms "
+        f"speedup={result['speedup']:.2f}x "
+        f"identical={result['witness_sets_identical']}"
+    )
+    assert result["tuples"] >= 500
+    assert result["witness_sets_identical"]
+    assert result["speedup"] > 1.2

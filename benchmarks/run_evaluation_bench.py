@@ -1,0 +1,295 @@
+"""Measure the compiled-evaluation fast path and dump machine-readable
+results.
+
+Compares, on q_9's compiled d-D lineage and on grounding workloads:
+
+* float-mode probability: compiled tape vs. the seed per-gate loop;
+* a 256-map batch: one vectorized tape sweep (both the pre-resolved
+  matrix form and the probability-map form) vs. sequential seed passes;
+* exact Fraction probability: tape interpreter vs. the seed loop;
+* ``grounding_sets``: index-backed join matching vs. the seed
+  nested-loop backtracking matcher.
+
+Run as a script to write ``BENCH_evaluation.json`` at the repository
+root, so future PRs can track the perf trajectory:
+
+    PYTHONPATH=src python benchmarks/run_evaluation_bench.py
+
+(The script falls back to inserting ``src/`` on ``sys.path`` itself.)
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from fractions import Fraction
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+try:
+    import repro  # noqa: F401
+except ImportError:  # Standalone invocation without PYTHONPATH=src.
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import random
+
+from repro.circuits.circuit import GateKind
+from repro.circuits.evaluator import tape_for
+from repro.db.generator import complete_tid
+from repro.pqe.intensional import compile_lineage
+from repro.queries.cq import Constant
+from repro.queries.hqueries import h_query, q9
+
+RESULT_PATH = _REPO_ROOT / "BENCH_evaluation.json"
+
+
+# ----------------------------------------------------------------------
+# Seed reference implementations (the "before" side of every comparison)
+# ----------------------------------------------------------------------
+
+
+def seed_gate_probabilities(circuit, prob):
+    """The pre-tape per-gate loop over ``Gate`` objects, verbatim."""
+    one = Fraction(1)
+    for value in prob.values():
+        one = Fraction(1) if isinstance(value, Fraction) else 1.0
+        break
+    values = [0] * len(circuit)
+    for gate_id, gate in circuit.gates():
+        if gate.kind is GateKind.VAR:
+            values[gate_id] = prob.get(gate.payload, 0)
+        elif gate.kind is GateKind.CONST:
+            values[gate_id] = one if gate.payload else one - one
+        elif gate.kind is GateKind.NOT:
+            values[gate_id] = one - values[gate.inputs[0]]
+        elif gate.kind is GateKind.AND:
+            product = one
+            for input_id in gate.inputs:
+                product = product * values[input_id]
+            values[gate_id] = product
+        else:
+            total = one - one
+            for input_id in gate.inputs:
+                total = total + values[input_id]
+            values[gate_id] = total
+    return values
+
+
+def seed_probability(circuit, prob):
+    return seed_gate_probabilities(circuit, prob)[circuit.output]
+
+
+def seed_grounding_sets(query, db):
+    """The pre-index nested-loop matcher, verbatim, as witness sets."""
+
+    def match_atoms(atoms, binding):
+        if not atoms:
+            yield dict(binding)
+            return
+        atom, rest = atoms[0], atoms[1:]
+        try:
+            relation = db.relation(atom.relation)
+        except KeyError:
+            return
+        for values in relation:
+            if len(values) != len(atom.terms):
+                continue
+            extended = dict(binding)
+            consistent = True
+            for term, value in zip(atom.terms, values):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        consistent = False
+                        break
+                elif term in extended:
+                    if extended[term] != value:
+                        consistent = False
+                        break
+                else:
+                    extended[term] = value
+            if consistent:
+                yield from match_atoms(rest, extended)
+
+    witnesses = set()
+    for found in match_atoms(list(query.atoms), {}):
+        witnesses.add(
+            frozenset(
+                db.add(
+                    atom.relation,
+                    tuple(
+                        t.value if isinstance(t, Constant) else found[t]
+                        for t in atom.terms
+                    ),
+                )
+                for atom in query.atoms
+            )
+        )
+    return witnesses
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _compiled_fixture(n):
+    tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+    compiled = compile_lineage(q9(), tid.instance)
+    return tid, compiled
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_single_float(n=8, repeats=15):
+    """One float-mode probability pass: compiled tape vs. seed loop."""
+    tid, compiled = _compiled_fixture(n)
+    circuit = compiled.circuit
+    prob = {t: 0.5 for t in tid.instance.tuple_ids()}
+    tape = tape_for(circuit)
+    codegen_start = time.perf_counter()
+    tape._compiled()  # One-time compilation, reported separately.
+    codegen_seconds = time.perf_counter() - codegen_start
+    seed_seconds = _best_of(lambda: seed_probability(circuit, prob), repeats)
+    tape_seconds = _best_of(lambda: tape.evaluate_floats(prob), repeats)
+    drift = abs(
+        tape.evaluate_floats(prob) - seed_probability(circuit, prob)
+    )
+    return {
+        "gates": len(circuit),
+        "tuples": len(tid),
+        "seed_ms": seed_seconds * 1e3,
+        "tape_ms": tape_seconds * 1e3,
+        "codegen_once_ms": codegen_seconds * 1e3,
+        "speedup": seed_seconds / tape_seconds,
+        "max_abs_drift": drift,
+    }
+
+
+def bench_batch(n=8, batch_size=256, repeats=3):
+    """A ``batch_size``-map batch: one tape sweep vs. sequential seed
+    passes.  Both input conventions of the batch API are measured — maps
+    (dicts, as served to the seed loop) and the pre-resolved slot matrix
+    (the native shape of sweep/Monte-Carlo drivers)."""
+    tid, compiled = _compiled_fixture(n)
+    circuit = compiled.circuit
+    tape = tape_for(circuit)
+    tape._compiled()
+    rng = random.Random(0)
+    labels = tid.instance.tuple_ids()
+    maps = [
+        {t: rng.random() for t in labels} for _ in range(batch_size)
+    ]
+    matrix = [
+        [m[label] for m in maps] for label in tape.var_labels
+    ]
+    sequential_seconds = _best_of(
+        lambda: [seed_probability(circuit, m) for m in maps], 1
+    )
+    batch_maps_seconds = _best_of(
+        lambda: tape.evaluate_batch(maps), repeats
+    )
+    batch_matrix_seconds = _best_of(
+        lambda: tape.evaluate_batch(matrix=matrix), repeats
+    )
+    reference = [seed_probability(circuit, m) for m in maps]
+    got = tape.evaluate_batch(matrix=matrix)
+    drift = max(abs(a - b) for a, b in zip(got, reference))
+    return {
+        "gates": len(circuit),
+        "batch_size": batch_size,
+        "sequential_seed_ms": sequential_seconds * 1e3,
+        "batch_maps_ms": batch_maps_seconds * 1e3,
+        "batch_matrix_ms": batch_matrix_seconds * 1e3,
+        "speedup_maps": sequential_seconds / batch_maps_seconds,
+        "speedup_matrix": sequential_seconds / batch_matrix_seconds,
+        "max_abs_drift": drift,
+    }
+
+
+def bench_exact(n=6, repeats=5):
+    """Exact Fraction probability: tape interpreter vs. seed loop; the
+    results must be identical, not just close."""
+    tid, compiled = _compiled_fixture(n)
+    circuit = compiled.circuit
+    prob = tid.probability_map()
+    tape = tape_for(circuit)
+    seed_seconds = _best_of(lambda: seed_probability(circuit, prob), repeats)
+    tape_seconds = _best_of(lambda: tape.evaluate(prob), repeats)
+    identical = tape.evaluate(prob) == seed_probability(circuit, prob)
+    return {
+        "gates": len(circuit),
+        "seed_ms": seed_seconds * 1e3,
+        "tape_ms": tape_seconds * 1e3,
+        "speedup": seed_seconds / tape_seconds,
+        "bit_identical": identical,
+    }
+
+
+def bench_grounding(n=20, repeats=3):
+    """``grounding_sets`` of the ``h_{3,i}`` on a complete instance:
+    index-backed matching vs. the seed backtracking join."""
+    tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+    db = tid.instance
+    queries = [h_query(3, i) for i in range(4)]
+
+    def naive():
+        return [seed_grounding_sets(q, db) for q in queries]
+
+    def indexed():
+        return [q.grounding_sets(db) for q in queries]
+
+    naive_seconds = _best_of(naive, repeats)
+    indexed_seconds = _best_of(indexed, repeats)
+    agree = naive() == indexed()
+    return {
+        "tuples": len(db),
+        "naive_ms": naive_seconds * 1e3,
+        "indexed_ms": indexed_seconds * 1e3,
+        "speedup": naive_seconds / indexed_seconds,
+        "witness_sets_identical": agree,
+    }
+
+
+def run_all():
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": numpy_version,
+            "unix_time": time.time(),
+        },
+        "single_float": bench_single_float(),
+        "batch": bench_batch(),
+        "exact": bench_exact(),
+        "grounding": bench_grounding(),
+    }
+
+
+def main():
+    results = run_all()
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"\nwrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 the knowledge-compilation reuse tasks (Section 2 of the paper)."""
 
 from repro.circuits.circuit import Circuit, Gate, GateKind
+from repro.circuits.evaluator import EvaluationTape, tape_for
 from repro.circuits.operations import (
     circuit_to_boolean_function,
     constant_circuit,
@@ -44,6 +45,7 @@ from repro.circuits.validation import (
 __all__ = [
     "Circuit",
     "CircuitPropertyError",
+    "EvaluationTape",
     "Gate",
     "GateKind",
     "assert_d_d",
@@ -66,6 +68,7 @@ __all__ = [
     "probability",
     "sample_model",
     "smooth",
+    "tape_for",
     "to_nnf",
     "vtree_of_read_once",
     "right_linear_vtree",

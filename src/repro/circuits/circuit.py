@@ -69,6 +69,7 @@ class Circuit:
         self._var_ids: dict[Hashable, int] = {}
         self._const_ids: dict[bool, int] = {}
         self._output: int | None = None
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -118,10 +119,20 @@ class Circuit:
 
     def set_output(self, gate_id: int) -> None:
         """Designate the output gate."""
+        if self._frozen:
+            raise ValueError("circuit is frozen; derive a copy instead")
         self._check_ids([gate_id])
         self._output = gate_id
 
+    def freeze(self) -> None:
+        """Make the circuit immutable: any further gate addition or output
+        re-designation raises.  Used by caches that share one circuit among
+        many holders (grow a copy via ``operations.copy_into`` instead)."""
+        self._frozen = True
+
     def _append(self, gate: Gate) -> int:
+        if self._frozen:
+            raise ValueError("circuit is frozen; derive a copy instead")
         self._gates.append(gate)
         return len(self._gates) - 1
 

@@ -1,0 +1,388 @@
+"""Compiled evaluation tapes: the fast path for d-D probability.
+
+:mod:`repro.circuits.probability` states the d-D payoff — probability is
+one bottom-up pass — but walking :class:`~repro.circuits.circuit.Gate`
+objects gate-by-gate pays Python's full dispatch cost (enum identity
+checks, attribute loads, dict lookups) on every gate of every pass.  This
+module flattens a circuit once into an immutable post-order *evaluation
+tape*: parallel arrays of opcodes and input-index spans, with variable
+gates resolved to dense *slots*.  The tape is the unit of reuse for the
+paper's motivating workloads (re-evaluation after probability updates,
+sensitivity sweeps, Monte-Carlo batches over many probability maps):
+
+* :meth:`EvaluationTape.gate_values` / :meth:`EvaluationTape.evaluate` —
+  the exact backend, an interpreter over the tape arrays that is generic
+  in the numeric type (``fractions.Fraction`` in, ``Fraction`` out) and
+  reproduces the reference per-gate loop bit for bit;
+* :meth:`EvaluationTape.evaluate_floats` — the fast ``float`` backend: the
+  tape is lazily code-generated into one Python function of straight-line
+  arithmetic (a statement per live gate), so a pass costs bytecode only;
+* :meth:`EvaluationTape.evaluate_batch` — batched probability: ``B``
+  probability maps are evaluated in one sweep by running the generated
+  function over per-slot vectors (numpy rows when numpy is importable, a
+  pure-Python per-map loop otherwise).
+
+Tapes are immutable; :func:`tape_for` memoizes them per circuit (weakly,
+keyed by the circuit's append-only fingerprint), so repeated evaluation
+never re-walks the gate arena.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from fractions import Fraction
+
+from repro.circuits.circuit import Circuit, GateKind
+
+try:  # numpy is optional: the batch backend falls back to pure Python.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _batch_fallback
+    _np = None
+
+Number = Fraction | float
+
+#: Tape opcodes (one byte each; CONST is split by payload so the
+#: interpreter needs no payload array).
+OP_VAR = 0
+OP_CONST_FALSE = 1
+OP_CONST_TRUE = 2
+OP_NOT = 3
+OP_AND = 4
+OP_OR = 5
+
+#: Above this many live gates the float backend stays on the interpreter
+#: instead of code generation (compiling a function of millions of
+#: statements costs more than it saves on a handful of passes).
+CODEGEN_GATE_LIMIT = 500_000
+
+#: Maximum operands folded into one generated expression; wider gates are
+#: accumulated over several statements to keep the AST shallow.
+_CODEGEN_CHUNK = 32
+
+
+class EvaluationTape:
+    """An immutable post-order flattening of a :class:`Circuit`.
+
+    Node ``i`` of the tape is gate ``i`` of the arena (arena ids are dense
+    and topologically ordered, so arena order *is* a post-order).  The
+    structure is four parallel arrays — ``opcodes``, per-node operand
+    (variable slot for ``VAR``, span start for ``NOT``/``AND``/``OR``),
+    span length, and one flat ``args`` array of input node indices — plus
+    the variable labels in slot order.
+    """
+
+    __slots__ = (
+        "opcodes",
+        "operands",
+        "arity",
+        "args",
+        "var_labels",
+        "output",
+        "live",
+        "_float_fn",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        opcodes: array,
+        operands: array,
+        arity: array,
+        args: array,
+        var_labels: tuple[Hashable, ...],
+        output: int,
+        live: array,
+    ):
+        self.opcodes = opcodes
+        self.operands = operands
+        self.arity = arity
+        self.args = args
+        self.var_labels = var_labels
+        self.output = output
+        self.live = live
+        self._float_fn = None
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "EvaluationTape":
+        """Flatten ``circuit``.  A designated output is optional: without
+        one the whole arena is live and only :meth:`gate_values` works."""
+        output = _output_of(circuit)
+        n = len(circuit)
+        opcodes = array("b", bytes(n))
+        operands = array("q", [0]) * n
+        arity = array("q", [0]) * n
+        args = array("q")
+        var_labels: list[Hashable] = []
+        for gate_id, gate in circuit.gates():
+            kind = gate.kind
+            if kind is GateKind.VAR:
+                operands[gate_id] = len(var_labels)
+                var_labels.append(gate.payload)
+            elif kind is GateKind.CONST:
+                opcodes[gate_id] = (
+                    OP_CONST_TRUE if gate.payload else OP_CONST_FALSE
+                )
+            else:
+                if kind is GateKind.NOT:
+                    opcodes[gate_id] = OP_NOT
+                elif kind is GateKind.AND:
+                    opcodes[gate_id] = OP_AND
+                else:
+                    opcodes[gate_id] = OP_OR
+                operands[gate_id] = len(args)
+                arity[gate_id] = len(gate.inputs)
+                args.extend(gate.inputs)
+        live = array(
+            "q",
+            range(n) if output is None
+            else sorted(circuit.reachable_from_output()),
+        )
+        return cls(
+            opcodes, operands, arity, args, tuple(var_labels), output, live
+        )
+
+    def __len__(self) -> int:
+        return len(self.opcodes)
+
+    # ------------------------------------------------------------------
+    # Exact backend: interpreter over the tape arrays
+    # ------------------------------------------------------------------
+
+    def gate_values(
+        self, prob: Mapping[Hashable, Number]
+    ) -> list[Number]:
+        """Per-gate probabilities for *every* node of the tape, indexed by
+        gate id — the tape form of the reference bottom-up pass, with
+        identical numeric semantics (missing labels default to 0)."""
+        return self._interpret(prob, range(len(self.opcodes)))
+
+    def evaluate(self, prob: Mapping[Hashable, Number]) -> Number:
+        """``Pr(circuit)`` by interpreting only the live (output-reachable)
+        nodes; exact for :class:`Fraction` inputs."""
+        return self._interpret(prob, self.live)[self._output()]
+
+    def _output(self) -> int:
+        if self.output is None:
+            raise ValueError("circuit has no designated output gate")
+        return self.output
+
+    def _interpret(
+        self, prob: Mapping[Hashable, Number], nodes: Iterable[int]
+    ) -> list[Number]:
+        one = one_like(prob)
+        zero = one - one
+        opcodes = self.opcodes
+        operands = self.operands
+        arity = self.arity
+        args = self.args
+        labels = self.var_labels
+        get = prob.get
+        values: list[Number] = [0] * len(opcodes)
+        for i in nodes:
+            op = opcodes[i]
+            if op == OP_VAR:
+                values[i] = get(labels[operands[i]], 0)
+            elif op == OP_AND:
+                start = operands[i]
+                product = one
+                for j in range(start, start + arity[i]):
+                    product = product * values[args[j]]
+                values[i] = product
+            elif op == OP_OR:
+                start = operands[i]
+                total = zero
+                for j in range(start, start + arity[i]):
+                    total = total + values[args[j]]
+                values[i] = total
+            elif op == OP_NOT:
+                values[i] = one - values[args[operands[i]]]
+            elif op == OP_CONST_TRUE:
+                values[i] = one
+            else:
+                values[i] = zero
+        return values
+
+    # ------------------------------------------------------------------
+    # Float backend: code generation
+    # ------------------------------------------------------------------
+
+    def probability_vector(
+        self, prob: Mapping[Hashable, Number]
+    ) -> list[float]:
+        """``prob`` resolved to the tape's variable slots, as floats."""
+        get = prob.get
+        return [float(get(label, 0)) for label in self.var_labels]
+
+    def evaluate_floats(
+        self, prob: Mapping[Hashable, Number] | Sequence[float]
+    ) -> float:
+        """``Pr(circuit)`` in floating point via the compiled tape.
+
+        ``prob`` may be a probability map or a pre-resolved slot vector
+        (as produced by :meth:`probability_vector`).
+        """
+        vector = (
+            self.probability_vector(prob)
+            if isinstance(prob, Mapping)
+            else prob
+        )
+        return float(self._compiled()(vector))
+
+    def evaluate_batch(
+        self,
+        probs: Sequence[Mapping[Hashable, Number]] | None = None,
+        *,
+        matrix: Sequence[Sequence[float]] | None = None,
+    ) -> list[float]:
+        """``Pr(circuit)`` for a batch of probability maps in one sweep.
+
+        Pass either ``probs`` (one mapping per batch member) or ``matrix``
+        (one row of floats per *slot*, each of the batch length — the
+        transposed layout the backend consumes directly).  With numpy the
+        generated function runs once over per-slot vectors; without it
+        each batch member is one compiled-function call.
+        """
+        if (probs is None) == (matrix is None):
+            raise ValueError("pass exactly one of probs= or matrix=")
+        if probs is not None:
+            batch_size = len(probs)
+            rows = [
+                [float(p.get(label, 0)) for p in probs]
+                for label in self.var_labels
+            ]
+        else:
+            if not self.var_labels:
+                # With zero slots the matrix layout cannot encode a batch
+                # size; fail loudly instead of returning an empty batch.
+                raise ValueError(
+                    "the tape has no variable slots, so matrix= cannot "
+                    "express a batch size; pass probs= instead"
+                )
+            rows = [list(map(float, row)) for row in matrix]
+            if len(rows) != len(self.var_labels):
+                raise ValueError(
+                    f"matrix has {len(rows)} rows; the tape has "
+                    f"{len(self.var_labels)} variable slots"
+                )
+            batch_size = len(rows[0])
+            if any(len(row) != batch_size for row in rows):
+                raise ValueError("ragged batch matrix")
+        if batch_size == 0:
+            return []
+        fn = self._compiled()
+        if _np is not None:
+            stacked = (
+                _np.array(rows, dtype=float)
+                if rows
+                else _np.empty((0, batch_size))
+            )
+            result = fn(stacked)
+            if _np.ndim(result) == 0:  # constant output: broadcast
+                return [float(result)] * batch_size
+            return [float(x) for x in result]
+        return self._batch_fallback(fn, rows, batch_size)
+
+    @staticmethod
+    def _batch_fallback(fn, rows, batch_size):
+        """Pure-Python batch: one compiled pass per batch member."""
+        return [
+            float(fn([row[b] for row in rows])) for b in range(batch_size)
+        ]
+
+    def _compiled(self):
+        if self._float_fn is None:
+            self._output()
+            if len(self.live) > CODEGEN_GATE_LIMIT:
+                self._float_fn = self._interpreted_float_fn()
+            else:
+                self._float_fn = _codegen(self)
+        return self._float_fn
+
+    def _interpreted_float_fn(self):
+        """Interpreter-backed stand-in for the generated function, used
+        beyond :data:`CODEGEN_GATE_LIMIT` (same calling convention)."""
+
+        def run(vector):
+            prob = dict(zip(self.var_labels, vector))
+            values = self._interpret(prob, self.live)
+            return values[self._output()]
+
+        return run
+
+
+def _codegen(tape: EvaluationTape):
+    """Generate one straight-line Python function evaluating the live part
+    of the tape over a slot vector ``V`` (floats or numpy rows)."""
+    opcodes = tape.opcodes
+    operands = tape.operands
+    arity = tape.arity
+    args = tape.args
+    lines = ["def _tape_fn(V):"]
+    emit = lines.append
+    for i in tape.live:
+        op = opcodes[i]
+        if op == OP_VAR:
+            emit(f" v{i}=V[{operands[i]}]")
+        elif op == OP_CONST_TRUE:
+            emit(f" v{i}=1.0")
+        elif op == OP_CONST_FALSE:
+            emit(f" v{i}=0.0")
+        elif op == OP_NOT:
+            emit(f" v{i}=1.0-v{args[operands[i]]}")
+        else:
+            start = operands[i]
+            inputs = [f"v{args[j]}" for j in range(start, start + arity[i])]
+            joiner = "*" if op == OP_AND else "+"
+            emit(f" v{i}={joiner.join(inputs[:_CODEGEN_CHUNK])}")
+            for at in range(_CODEGEN_CHUNK, len(inputs), _CODEGEN_CHUNK):
+                chunk = joiner.join(inputs[at : at + _CODEGEN_CHUNK])
+                emit(f" v{i}=v{i}{joiner}{chunk}")
+    emit(f" return v{tape.output}")
+    namespace: dict = {}
+    exec(compile("\n".join(lines), "<evaluation-tape>", "exec"), namespace)
+    return namespace["_tape_fn"]
+
+
+def one_like(prob: Mapping[Hashable, Number]) -> Number:
+    """The multiplicative unit matching the numeric type of ``prob``:
+    :class:`Fraction` for exact maps (and for empty maps), ``1.0`` for
+    float maps — the convention of the reference pass."""
+    for value in prob.values():
+        if isinstance(value, Fraction):
+            return Fraction(1)
+        return 1.0
+    return Fraction(1)
+
+
+# ----------------------------------------------------------------------
+# Per-circuit tape cache
+# ----------------------------------------------------------------------
+
+_TAPE_CACHE: "weakref.WeakKeyDictionary[Circuit, tuple[tuple[int, int], EvaluationTape]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _output_of(circuit: Circuit) -> int | None:
+    try:
+        return circuit.output
+    except ValueError:
+        return None
+
+
+def tape_for(circuit: Circuit) -> EvaluationTape:
+    """The memoized evaluation tape of ``circuit``.
+
+    Circuits are append-only, so ``(gate count, output id)`` fingerprints
+    the arena: growing the circuit or re-designating the output invalidates
+    the cached tape, and nothing else can.
+    """
+    fingerprint = (len(circuit), _output_of(circuit))
+    entry = _TAPE_CACHE.get(circuit)
+    if entry is not None and entry[0] == fingerprint:
+        return entry[1]
+    tape = EvaluationTape.from_circuit(circuit)
+    _TAPE_CACHE[circuit] = (fingerprint, tape)
+    return tape

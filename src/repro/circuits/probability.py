@@ -22,6 +22,7 @@ from collections.abc import Hashable, Mapping
 from fractions import Fraction
 
 from repro.circuits.circuit import Circuit, GateKind
+from repro.circuits.evaluator import tape_for
 
 Number = Fraction | float
 
@@ -33,32 +34,17 @@ def gate_probabilities(
 
     ``prob`` maps each variable label to its marginal probability; missing
     labels default to probability 0 (a deterministic absent tuple).
+
+    Runs on the circuit's memoized evaluation tape
+    (:mod:`repro.circuits.evaluator`) with the same numeric semantics as
+    the historical per-gate loop.
     """
-    one = _one_like(prob)
-    values: list[Number] = [0] * len(circuit)
-    for gate_id, gate in circuit.gates():
-        if gate.kind is GateKind.VAR:
-            values[gate_id] = prob.get(gate.payload, 0)
-        elif gate.kind is GateKind.CONST:
-            values[gate_id] = one if gate.payload else one - one
-        elif gate.kind is GateKind.NOT:
-            values[gate_id] = one - values[gate.inputs[0]]
-        elif gate.kind is GateKind.AND:
-            product = one
-            for input_id in gate.inputs:
-                product = product * values[input_id]
-            values[gate_id] = product
-        else:  # OR — deterministic, so probabilities add.
-            total = one - one
-            for input_id in gate.inputs:
-                total = total + values[input_id]
-            values[gate_id] = total
-    return values
+    return tape_for(circuit).gate_values(prob)
 
 
 def probability(circuit: Circuit, prob: Mapping[Hashable, Number]) -> Number:
     """``Pr(circuit)`` under independent variables — linear time on a d-D."""
-    return gate_probabilities(circuit, prob)[circuit.output]
+    return tape_for(circuit).evaluate(prob)
 
 
 def model_count(circuit: Circuit) -> int:
@@ -206,12 +192,14 @@ def sample_model(
         elif gate.kind is GateKind.AND:
             stack.extend(gate.inputs)
         elif gate.kind is GateKind.OR:
-            total = values[gate_id]
-            draw = rng.random() * float(total)
-            cumulative = 0.0
+            # Draw exactly: scale the unit draw into the gate's total mass
+            # and compare as Fractions, so branch selection never suffers
+            # float rounding (Fraction(float) is exact).
+            draw = Fraction(rng.random()) * Fraction(values[gate_id])
+            cumulative = Fraction(0)
             chosen = gate.inputs[-1]
             for input_id in gate.inputs:
-                cumulative += float(values[input_id])
+                cumulative += Fraction(values[input_id])
                 if draw < cumulative:
                     chosen = input_id
                     break
@@ -237,11 +225,3 @@ def conditioned_probability(
     for label, value in evidence.items():
         pinned[label] = Fraction(1) if value else Fraction(0)
     return probability(circuit, pinned)
-
-
-def _one_like(prob: Mapping[Hashable, Number]) -> Number:
-    for value in prob.values():
-        if isinstance(value, Fraction):
-            return Fraction(1)
-        return 1.0
-    return Fraction(1)

@@ -44,7 +44,7 @@ class BooleanFunction:
     -1
     """
 
-    __slots__ = ("_nvars", "_table")
+    __slots__ = ("_nvars", "_table", "_memo")
 
     def __init__(self, nvars: int, table: int):
         if nvars < 0:
@@ -57,6 +57,18 @@ class BooleanFunction:
             )
         self._nvars = nvars
         self._table = table
+        #: Cache for derived immutable facts (Euler characteristic,
+        #: dependency set, monotonicity, minimized DNF) — the function
+        #: itself never changes, so these are computed at most once.
+        self._memo: dict[str, object] = {}
+
+    def _cached(self, key: str, compute: Callable[[], object]):
+        """Memoize a derived fact under ``key`` (values may be falsy but
+        are never ``None``)."""
+        value = self._memo.get(key)
+        if value is None:
+            value = self._memo[key] = compute()
+        return value
 
     # ------------------------------------------------------------------
     # Constructors
@@ -292,7 +304,12 @@ class BooleanFunction:
 
     def dependency_set(self) -> frozenset[int]:
         """``DEP(phi)``: the set of variables the function depends on."""
-        return frozenset(v for v in range(self._nvars) if self.depends_on(v))
+        return self._cached(
+            "dependency_set",
+            lambda: frozenset(
+                v for v in range(self._nvars) if self.depends_on(v)
+            ),
+        )
 
     def is_degenerate(self) -> bool:
         """Whether ``DEP(phi)`` is a proper subset of ``V`` (Definition 2.1)."""
@@ -340,11 +357,15 @@ class BooleanFunction:
         Checked edge-wise on the hypercube: adding any single variable to a
         satisfying valuation must keep it satisfying.
         """
-        for var in range(self._nvars):
-            positive, negative = self.cofactors(var)
-            if not negative.implies(positive):
-                return False
-        return True
+        return self._cached(
+            "is_monotone",
+            lambda: all(
+                negative.implies(positive)
+                for positive, negative in map(
+                    self.cofactors, range(self._nvars)
+                )
+            ),
+        )
 
     def euler_characteristic(self) -> int:
         """Definition 2.2: ``e(phi) = sum over nu |= phi of (-1)^|nu|``.
@@ -352,10 +373,13 @@ class BooleanFunction:
         Computed as ``#even-models - #odd-models`` with two popcounts against
         a precomputed parity table.
         """
-        even_mask = _val.even_parity_table(self._nvars)
-        even_models = (self._table & even_mask).bit_count()
-        odd_models = (self._table & ~even_mask).bit_count()
-        return even_models - odd_models
+        def compute() -> int:
+            even_mask = _val.even_parity_table(self._nvars)
+            even_models = (self._table & even_mask).bit_count()
+            odd_models = (self._table & ~even_mask).bit_count()
+            return even_models - odd_models
+
+        return self._cached("euler_characteristic", compute)
 
     # ------------------------------------------------------------------
     # Monotone normal forms (Section 2)
@@ -394,7 +418,9 @@ class BooleanFunction:
         """
         if not self.is_monotone():
             raise ValueError("minimized DNF is only defined for monotone functions")
-        return self.minimal_models()
+        return list(
+            self._cached("minimized_dnf", lambda: tuple(self.minimal_models()))
+        )
 
     def minimized_cnf(self) -> list[frozenset[int]]:
         """The unique minimized (positive) CNF of a monotone function.

@@ -30,8 +30,33 @@ class TupleId:
         return f"{self.relation}({inner})"
 
 
+class _FingerprintTuple(tuple):
+    """A tuple that computes its hash once.
+
+    Instance fingerprints are large tuples used as cache keys; plain
+    tuples rehash all elements on every dict lookup.  The memoized
+    fingerprint object is also reused identically across lookups, so
+    dict probes hit the identity fast path instead of element-wise
+    comparison.
+    """
+
+    def __new__(cls, iterable=()):
+        self = super().__new__(cls, iterable)
+        self._hash = tuple.__hash__(self)
+        return self
+
+    def __hash__(self):
+        return self._hash
+
+
 class Relation:
-    """One named relation of a fixed arity with set semantics."""
+    """One named relation of a fixed arity with set semantics.
+
+    Point lookups on any subset of positions are served by hash indexes
+    built lazily on first use (and discarded when a new fact arrives), so
+    join matching in :mod:`repro.queries.cq` runs off O(1) probes instead
+    of full scans.
+    """
 
     def __init__(self, name: str, arity: int):
         if arity < 1:
@@ -39,6 +64,11 @@ class Relation:
         self.name = name
         self.arity = arity
         self._tuples: set[tuple[Hashable, ...]] = set()
+        self._sorted: list[tuple[Hashable, ...]] | None = None
+        self._version = 0  # Bumped per insert; keys derived caches.
+        self._indexes: dict[
+            tuple[int, ...], dict[tuple, list[tuple[Hashable, ...]]]
+        ] = {}
 
     def add(self, values: tuple[Hashable, ...]) -> TupleId:
         """Insert a fact; returns its :class:`TupleId` (idempotent)."""
@@ -46,17 +76,64 @@ class Relation:
             raise ValueError(
                 f"{self.name} has arity {self.arity}, got tuple {values!r}"
             )
-        self._tuples.add(tuple(values))
-        return TupleId(self.name, tuple(values))
+        values = tuple(values)
+        if values not in self._tuples:
+            self._tuples.add(values)
+            self._sorted = None
+            self._version += 1
+            self._indexes.clear()
+        return TupleId(self.name, values)
 
     def __contains__(self, values: tuple[Hashable, ...]) -> bool:
         return tuple(values) in self._tuples
 
     def __iter__(self) -> Iterator[tuple[Hashable, ...]]:
-        return iter(sorted(self._tuples, key=repr))
+        return iter(self._sorted_tuples())
+
+    def _sorted_tuples(self) -> list[tuple[Hashable, ...]]:
+        """The facts in the relation's deterministic (repr-sorted) order;
+        memoized until the next insertion."""
+        if self._sorted is None:
+            self._sorted = sorted(self._tuples, key=repr)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self._tuples)
+
+    def index(
+        self, positions: tuple[int, ...]
+    ) -> dict[tuple, list[tuple[Hashable, ...]]]:
+        """The hash index on the given positions, grouping each key (the
+        projection onto ``positions``) to its facts in the relation's
+        deterministic (repr-sorted) order.  Built lazily, then memoized
+        until the next insertion.  The returned dict and its bucket lists
+        are shared cache state — treat them as read-only."""
+        if not all(0 <= p < self.arity for p in positions):
+            raise ValueError(
+                f"index positions {positions!r} out of range for arity "
+                f"{self.arity}"
+            )
+        idx = self._indexes.get(positions)
+        if idx is None:
+            idx = {}
+            for values in self:
+                key = tuple(values[p] for p in positions)
+                idx.setdefault(key, []).append(values)
+            self._indexes[positions] = idx
+        return idx
+
+    def lookup(
+        self, positions: tuple[int, ...], key: tuple
+    ) -> list[tuple[Hashable, ...]]:
+        """The facts whose projection onto ``positions`` equals ``key``.
+
+        The returned list is shared cache state — treat it as read-only.
+        """
+        if not positions:
+            # Full scan: nothing to filter, serve the memoized sorted
+            # list instead of materializing a trivial {(): everything}.
+            return self._sorted_tuples() if key == () else []
+        return self.index(positions).get(key, [])
 
 
 class Instance:
@@ -70,6 +147,10 @@ class Instance:
 
     def __init__(self) -> None:
         self._relations: dict[str, Relation] = {}
+        self._tuple_ids_cache: list[TupleId] | None = None
+        self._tuple_ids_versions: tuple | None = None
+        self._fingerprint_cache: tuple[TupleId, ...] | None = None
+        self._fingerprint_versions: tuple | None = None
 
     def relation(self, name: str) -> Relation:
         """The relation with the given name.
@@ -109,13 +190,45 @@ class Instance:
             yield self._relations[name]
 
     def tuple_ids(self) -> list[TupleId]:
-        """All facts of the instance as :class:`TupleId` values, sorted."""
-        ids = [
-            TupleId(relation.name, values)
-            for relation in self._relations.values()
-            for values in relation
-        ]
-        return sorted(ids)
+        """All facts of the instance as :class:`TupleId` values, sorted.
+
+        The sorted list is memoized against the relations' insertion
+        version counters (evaluation fingerprints and probability maps
+        call this on every pass); a fresh copy is returned each time, so
+        callers may mutate their list freely.
+        """
+        versions = self._versions()
+        if (
+            self._tuple_ids_cache is None
+            or self._tuple_ids_versions != versions
+        ):
+            self._tuple_ids_cache = sorted(
+                TupleId(relation.name, values)
+                for relation in self._relations.values()
+                for values in relation
+            )
+            self._tuple_ids_versions = versions
+        return list(self._tuple_ids_cache)
+
+    def content_fingerprint(self) -> tuple[TupleId, ...]:
+        """A hashable value identifying the instance's exact content,
+        memoized (hash included) against the relations' insertion
+        versions — repeated cache lookups on an unchanged instance cost
+        O(1) instead of re-sorting and re-hashing every fact."""
+        versions = self._versions()
+        if (
+            self._fingerprint_cache is None
+            or self._fingerprint_versions != versions
+        ):
+            self._fingerprint_cache = _FingerprintTuple(self.tuple_ids())
+            self._fingerprint_versions = versions
+        return self._fingerprint_cache
+
+    def _versions(self) -> tuple:
+        return tuple(
+            (name, relation._version)
+            for name, relation in sorted(self._relations.items())
+        )
 
     def __len__(self) -> int:
         return sum(len(relation) for relation in self._relations.values())

@@ -29,9 +29,15 @@ from repro.pqe.degenerate import (
 )
 from repro.pqe.engine import (
     BRUTE_FORCE_LIMIT,
+    BatchEvaluationResult,
+    CompilationCacheStats,
     EvaluationResult,
     HardQueryError,
+    clear_compilation_cache,
+    compilation_cache_stats,
+    compile_lineage_cached,
     evaluate,
+    evaluate_batch,
 )
 from repro.pqe.dichotomy import Classification, Region, classify, classify_function, region_counts
 from repro.pqe.extensional import (
@@ -63,6 +69,8 @@ from repro.pqe.safe_plans import (
 
 __all__ = [
     "BRUTE_FORCE_LIMIT",
+    "BatchEvaluationResult",
+    "CompilationCacheStats",
     "Estimate",
     "Classification",
     "EvaluationResult",
@@ -75,12 +83,16 @@ __all__ = [
     "chain_probability",
     "classify",
     "classify_function",
+    "clear_compilation_cache",
+    "compilation_cache_stats",
     "compile_lineage",
+    "compile_lineage_cached",
     "compile_lineage_ddnnf",
     "degenerate_lineage_circuit",
     "degenerate_lineage_obdd",
     "disjunction_probability",
     "evaluate",
+    "evaluate_batch",
     "extensional_probability",
     "intensional_probability",
     "is_provably_hard",

@@ -22,9 +22,12 @@ compiled circuit for reuse.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Iterable
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.db.relation import Instance
 from repro.db.tid import TupleIndependentDatabase
 from repro.pqe.brute_force import probability_by_world_enumeration
 from repro.pqe.dichotomy import Classification, Region, classify
@@ -34,6 +37,8 @@ from repro.queries.hqueries import HQuery
 
 BRUTE_FORCE_LIMIT = 18  #: max tuples auto mode will hand to brute force
 
+COMPILATION_CACHE_LIMIT = 64  #: max compiled lineages kept (LRU)
+
 
 class HardQueryError(ValueError):
     """Raised by auto mode on a (provably or conjecturally) #P-hard query
@@ -42,12 +47,102 @@ class HardQueryError(ValueError):
 
 @dataclass
 class EvaluationResult:
-    """The outcome of one :func:`evaluate` call."""
+    """The outcome of one :func:`evaluate` call.
+
+    For intensional results ``compiled`` is shared engine-cache state:
+    treat its circuit as read-only (use
+    :func:`repro.circuits.operations.copy_into` to derive new circuits).
+    """
 
     probability: Fraction
     engine: str
     classification: Classification
     compiled: CompiledLineage | None = None
+    cache_hit: bool = False  #: the compiled lineage came from the cache
+
+
+@dataclass
+class BatchEvaluationResult:
+    """The outcome of one :func:`evaluate_batch` call: float-mode
+    probabilities, one per input TID, in input order.
+
+    ``compiled`` is the shared compiled lineage when every TID in the
+    batch had the same instance; it is ``None`` for multi-instance
+    batches (there is no single circuit to hand back) and for
+    non-intensional fallbacks.
+    """
+
+    probabilities: list[float]
+    engine: str
+    classification: Classification
+    compiled: CompiledLineage | None = None
+    cache_hits: int = 0
+
+
+@dataclass
+class CompilationCacheStats:
+    """Counters of the engine's compiled-lineage cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+_COMPILE_CACHE: OrderedDict[tuple, CompiledLineage] = OrderedDict()
+_CACHE_STATS = CompilationCacheStats()
+
+
+def compile_lineage_cached(
+    query: HQuery,
+    instance: Instance,
+    fingerprint: tuple | None = None,
+) -> tuple[CompiledLineage, bool]:
+    """:func:`repro.pqe.intensional.compile_lineage` behind an LRU cache
+    keyed by ``(query, instance fingerprint)``.
+
+    The compiled d-D depends only on the query and the instance — not on
+    tuple probabilities — so repeated evaluations over the same data (the
+    paper's update/re-evaluate workloads) reuse one circuit and its tape.
+    ``fingerprint`` lets callers that already hold the instance's
+    :meth:`~repro.db.relation.Instance.content_fingerprint` (e.g. batch
+    grouping) pass it through.  Returns ``(compiled, was_cache_hit)``.
+
+    The returned :class:`CompiledLineage` is shared cache state, so its
+    circuit is frozen on insertion: mutation attempts raise instead of
+    silently corrupting other holders (grow a copy via
+    :func:`repro.circuits.operations.copy_into` instead).
+    """
+    if fingerprint is None:
+        fingerprint = instance.content_fingerprint()
+    key = (query, fingerprint)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        _COMPILE_CACHE.move_to_end(key)
+        _CACHE_STATS.hits += 1
+        return cached, True
+    compiled = compile_lineage(query, instance)
+    compiled.circuit.freeze()
+    _CACHE_STATS.misses += 1
+    _COMPILE_CACHE[key] = compiled
+    while len(_COMPILE_CACHE) > COMPILATION_CACHE_LIMIT:
+        _COMPILE_CACHE.popitem(last=False)
+        _CACHE_STATS.evictions += 1
+    return compiled, False
+
+
+def compilation_cache_stats() -> CompilationCacheStats:
+    """A snapshot of the cache counters."""
+    return CompilationCacheStats(
+        _CACHE_STATS.hits, _CACHE_STATS.misses, _CACHE_STATS.evictions
+    )
+
+
+def clear_compilation_cache() -> None:
+    """Drop all cached compiled lineages and reset the counters."""
+    _COMPILE_CACHE.clear()
+    _CACHE_STATS.hits = 0
+    _CACHE_STATS.misses = 0
+    _CACHE_STATS.evictions = 0
 
 
 def evaluate(
@@ -72,9 +167,13 @@ def evaluate(
             extensional_probability(query, tid), "extensional", classification
         )
     if method == "intensional":
-        compiled = compile_lineage(query, tid.instance)
+        compiled, hit = compile_lineage_cached(query, tid.instance)
         return EvaluationResult(
-            compiled.probability(tid), "intensional", classification, compiled
+            compiled.probability(tid),
+            "intensional",
+            classification,
+            compiled,
+            cache_hit=hit,
         )
     if method == "brute_force":
         return EvaluationResult(
@@ -91,9 +190,13 @@ def _auto(
     classification: Classification,
 ) -> EvaluationResult:
     if classification.dd_ptime:
-        compiled = compile_lineage(query, tid.instance)
+        compiled, hit = compile_lineage_cached(query, tid.instance)
         return EvaluationResult(
-            compiled.probability(tid), "intensional", classification, compiled
+            compiled.probability(tid),
+            "intensional",
+            classification,
+            compiled,
+            cache_hit=hit,
         )
     if len(tid) <= BRUTE_FORCE_LIMIT:
         return EvaluationResult(
@@ -109,4 +212,61 @@ def _auto(
         f"query is {adjective} (e(phi) = {classification.euler}) and the "
         f"instance has {len(tid)} > {BRUTE_FORCE_LIMIT} tuples; pass "
         f"method='brute_force' explicitly to force the exponential engine"
+    )
+
+
+def evaluate_batch(
+    query: HQuery,
+    tids: Iterable[TupleIndependentDatabase],
+    method: str = "auto",
+) -> BatchEvaluationResult:
+    """Evaluate ``Pr(Q_phi)`` over many TIDs in one float-mode sweep.
+
+    The many-TID / updated-probability workload: TIDs sharing an instance
+    (same facts, different probabilities) compile once — through the
+    engine cache — and their probability maps run as a single batched pass
+    of the compiled tape.  TIDs over distinct instances are grouped by
+    instance fingerprint, one compilation per group.
+
+    ``method`` may be ``"auto"`` or ``"intensional"``.  In auto mode a
+    query outside d-D(PTIME) falls back to per-TID :func:`evaluate` (with
+    its brute-force size limits); ``"intensional"`` propagates the
+    compiler's own :class:`~repro.pqe.intensional.NotCompilableError`.
+
+    Probabilities are returned as floats (the batch backend); use
+    :func:`evaluate` for exact single-TID results.
+    """
+    tid_list = list(tids)
+    classification = classify(query)
+    if method not in ("auto", "intensional"):
+        raise ValueError(f"unknown batch method {method!r}")
+    if method == "auto" and not classification.dd_ptime:
+        results = [evaluate(query, tid, method="auto") for tid in tid_list]
+        return BatchEvaluationResult(
+            [float(r.probability) for r in results],
+            results[0].engine if results else "auto",
+            classification,
+        )
+    groups: OrderedDict[tuple, list[int]] = OrderedDict()
+    for position, tid in enumerate(tid_list):
+        groups.setdefault(
+            tid.instance.content_fingerprint(), []
+        ).append(position)
+    probabilities = [0.0] * len(tid_list)
+    compiled: CompiledLineage | None = None
+    cache_hits = 0
+    for fingerprint, positions in groups.items():
+        compiled, hit = compile_lineage_cached(
+            query, tid_list[positions[0]].instance, fingerprint
+        )
+        cache_hits += int(hit)
+        batch = compiled.probability_batch(
+            [tid_list[i] for i in positions]
+        )
+        for position, value in zip(positions, batch):
+            probabilities[position] = value
+    if len(groups) != 1:
+        compiled = None  # No single circuit covers a multi-instance batch.
+    return BatchEvaluationResult(
+        probabilities, "intensional", classification, compiled, cache_hits
     )

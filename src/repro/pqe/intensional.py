@@ -24,11 +24,13 @@ yields one for any ``Q_phi'`` with ``e(phi') = e(phi)``.
 
 from __future__ import annotations
 
+from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.circuits.circuit import Circuit
-from repro.circuits.probability import probability as circuit_probability
+from repro.circuits.evaluator import EvaluationTape, tape_for
+from repro.circuits.operations import copy_into
 from repro.core.boolean_function import BooleanFunction
 from repro.core.fragmentation import (
     Fragmentation,
@@ -58,16 +60,52 @@ class NotCompilableError(ValueError):
 @dataclass
 class CompiledLineage:
     """The result of compiling ``Lin(Q_phi, D)``: the d-D circuit plus the
-    fragmentation certificate it was built from."""
+    fragmentation certificate it was built from.
+
+    The circuit's evaluation tape (:mod:`repro.circuits.evaluator`) is
+    cached on the object, so re-evaluation after probability updates — the
+    paper's motivating reuse scenario — never re-walks the gate arena.
+    """
 
     query: HQuery
     circuit: Circuit
     fragmentation: Fragmentation
     is_nnf: bool
 
+    @property
+    def tape(self) -> EvaluationTape:
+        """The memoized evaluation tape of the compiled circuit (shared
+        with :func:`repro.circuits.probability.gate_probabilities` through
+        :func:`repro.circuits.evaluator.tape_for`)."""
+        return tape_for(self.circuit)
+
     def probability(self, tid: TupleIndependentDatabase) -> Fraction:
-        """One linear bottom-up pass (the d-D payoff)."""
-        return circuit_probability(self.circuit, tid.probability_map())
+        """One linear bottom-up pass (the d-D payoff); exact."""
+        return self.tape.evaluate(tid.probability_map())
+
+    def probability_float(self, tid: TupleIndependentDatabase) -> float:
+        """One pass on the compiled ``float`` backend."""
+        return self.tape.evaluate_floats(tid.probability_map())
+
+    def probability_batch(
+        self,
+        probs: Sequence[
+            TupleIndependentDatabase | Mapping[Hashable, Fraction | float]
+        ],
+    ) -> list[float]:
+        """``Pr(Q_phi)`` for a batch of probability maps in one vectorized
+        sweep of the tape's float backend.
+
+        Each batch member is a TID over the compiled instance or a bare
+        probability map; tuples absent from a map default to probability 0.
+        """
+        maps = [
+            p.probability_map()
+            if isinstance(p, TupleIndependentDatabase)
+            else p
+            for p in probs
+        ]
+        return self.tape.evaluate_batch(maps)
 
     def size(self) -> int:
         """Gate count of the circuit."""
@@ -90,8 +128,6 @@ def _leaf_circuit(
     if len(models) == 2 and (models[0] ^ models[1]).bit_count() == 1:
         flip_variable = (models[0] ^ models[1]).bit_length() - 1
         return pair_query_circuit(k, flip_variable, models[0], db, circuit)
-    from repro.circuits.operations import copy_into
-
     sub = degenerate_lineage_circuit(leaf, db)
     return copy_into(sub, circuit)
 
@@ -130,9 +166,10 @@ def compile_lineage(query: HQuery, db: Instance) -> CompiledLineage:
     :raises NotCompilableError: if ``e(phi) != 0``.
     """
     phi = query.phi
-    if phi.euler_characteristic() != 0:
+    euler = phi.euler_characteristic()
+    if euler != 0:
         raise NotCompilableError(
-            f"e(phi) = {phi.euler_characteristic()} != 0: no fragmentation "
+            f"e(phi) = {euler} != 0: no fragmentation "
             "exists (Corollary 5.4); the query is #P-hard or conjectured so"
         )
     if phi.is_degenerate():
@@ -195,8 +232,6 @@ def transfer_lineage(
         raise ValueError("transfer requires equal Euler characteristics")
     steps = transform(source_phi, target_phi)
     circuit = Circuit()
-    from repro.circuits.operations import copy_into
-
     current = copy_into(compiled.circuit, circuit)
     for step in steps:
         leaf_gate = pair_query_circuit(

@@ -103,35 +103,68 @@ def _match_atoms(
     db: Instance,
     binding: dict[str, Hashable],
 ) -> Iterator[dict[str, Hashable]]:
-    if not atoms:
-        yield dict(binding)
-        return
-    atom, rest = atoms[0], atoms[1:]
-    try:
-        relation = db.relation(atom.relation)
-    except KeyError:
-        return  # Empty (undeclared) relation: no matches.
-    for values in relation:
-        extension = _unify(atom, values, binding)
-        if extension is not None:
-            yield from _match_atoms(rest, db, extension)
+    """Index-backed join matching.
 
+    At every depth the most constrained remaining atom is matched next
+    (most bound positions, then smallest relation), its candidates are
+    fetched from the relation's hash index on the bound positions, and the
+    shared binding is extended in place with undo on backtrack — no
+    per-candidate dict copies, no full-relation scans.
+    """
+    relations = []
+    for atom in atoms:
+        try:
+            relation = db.relation(atom.relation)
+        except KeyError:
+            return  # Empty (undeclared) relation: no matches.
+        if relation.arity != len(atom.terms):
+            return  # Arity mismatch: no fact can unify.
+        relations.append(relation)
+    binding = dict(binding)  # private, mutated with undo below
 
-def _unify(
-    atom: Atom,
-    values: tuple[Hashable, ...],
-    binding: dict[str, Hashable],
-) -> dict[str, Hashable] | None:
-    if len(values) != len(atom.terms):
-        return None
-    extended = dict(binding)
-    for term, value in zip(atom.terms, values):
-        if isinstance(term, Constant):
-            if term.value != value:
-                return None
-        elif term in extended:
-            if extended[term] != value:
-                return None
-        else:
-            extended[term] = value
-    return extended
+    def bound_positions(index: int) -> tuple[int, ...]:
+        atom = atoms[index]
+        return tuple(
+            p
+            for p, term in enumerate(atom.terms)
+            if isinstance(term, Constant) or term in binding
+        )
+
+    def recurse(remaining: list[int]) -> Iterator[dict[str, Hashable]]:
+        if not remaining:
+            yield dict(binding)
+            return
+        index = min(
+            remaining,
+            key=lambda i: (
+                -len(bound_positions(i)), len(relations[i]), i
+            ),
+        )
+        atom, relation = atoms[index], relations[index]
+        positions = bound_positions(index)
+        key = tuple(
+            term.value if isinstance(term, Constant) else binding[term]
+            for term in (atom.terms[p] for p in positions)
+        )
+        rest = [i for i in remaining if i != index]
+        fixed = frozenset(positions)
+        for values in relation.lookup(positions, key):
+            added: list[str] = []
+            consistent = True
+            for p, value in enumerate(values):
+                if p in fixed:
+                    continue  # Matched by the index probe.
+                term = atom.terms[p]  # Unbound ⇒ a variable name.
+                if term in binding:
+                    if binding[term] != value:  # Repeated var in this atom.
+                        consistent = False
+                        break
+                else:
+                    binding[term] = value
+                    added.append(term)
+            if consistent:
+                yield from recurse(rest)
+            for term in added:
+                del binding[term]
+
+    yield from recurse(list(range(len(atoms))))

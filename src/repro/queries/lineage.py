@@ -24,7 +24,10 @@ a DNF").
 
 from __future__ import annotations
 
+import itertools
+
 from repro.circuits.circuit import Circuit
+from repro.circuits.operations import copy_into
 from repro.core.boolean_function import BooleanFunction
 from repro.db.relation import Instance
 from repro.queries.cq import ConjunctiveQuery
@@ -61,8 +64,6 @@ def hquery_lineage_circuit_naive(query: HQuery, db: Instance) -> Circuit:
     sub_outputs = []
     for i in range(query.k + 1):
         sub_circuit = cq_lineage_circuit(query.subquery(i), db)
-        from repro.circuits.operations import copy_into
-
         sub_outputs.append(copy_into(sub_circuit, circuit))
     branches = []
     for mask in query.phi.satisfying_masks():
@@ -108,8 +109,6 @@ def ucq_lineage_dnf_circuit(query: HQuery, db: Instance) -> Circuit:
 
 
 def _product(witness_sets: list[list[frozenset]]) -> list[tuple[frozenset, ...]]:
-    import itertools
-
     if not witness_sets:
         return []
     return list(itertools.product(*witness_sets))

@@ -1,0 +1,253 @@
+"""Index-backed join matching against the seed backtracking matcher.
+
+``ConjunctiveQuery.matches`` / ``grounding_sets`` now run on per-relation
+hash indexes with most-bound-atom-first ordering and in-place binding
+mutation.  These tests pin the new matcher to the seed nested-loop
+implementation (reproduced verbatim below) on randomized instances and
+queries, including the corner cases the seed defined implicitly: missing
+relations, arity mismatches, repeated variables, and constants.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.db.relation import Instance, Relation
+from repro.queries.cq import Atom, ConjunctiveQuery, Constant
+from repro.queries.hqueries import h_query
+
+
+def reference_matches(query, db):
+    """The seed matcher, kept verbatim as the semantic oracle."""
+    yield from _ref_match_atoms(list(query.atoms), db, {})
+
+
+def _ref_match_atoms(atoms, db, binding):
+    if not atoms:
+        yield dict(binding)
+        return
+    atom, rest = atoms[0], atoms[1:]
+    try:
+        relation = db.relation(atom.relation)
+    except KeyError:
+        return
+    for values in relation:
+        extension = _ref_unify(atom, values, binding)
+        if extension is not None:
+            yield from _ref_match_atoms(rest, db, extension)
+
+
+def _ref_unify(atom, values, binding):
+    if len(values) != len(atom.terms):
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        elif term in extended:
+            if extended[term] != value:
+                return None
+        else:
+            extended[term] = value
+    return extended
+
+
+def as_match_set(matches):
+    return {frozenset(m.items()) for m in matches}
+
+
+def random_instance(rng: random.Random, size: int) -> Instance:
+    db = Instance()
+    domain = [f"c{i}" for i in range(rng.randrange(2, 6))]
+    db.declare("U", 1)
+    db.declare("B", 2)
+    db.declare("T3", 3)
+    for _ in range(size):
+        which = rng.random()
+        if which < 0.3:
+            db.add("U", (rng.choice(domain),))
+        elif which < 0.75:
+            db.add("B", (rng.choice(domain), rng.choice(domain)))
+        else:
+            db.add(
+                "T3",
+                (
+                    rng.choice(domain),
+                    rng.choice(domain),
+                    rng.choice(domain),
+                ),
+            )
+    return db
+
+
+def random_query(rng: random.Random) -> ConjunctiveQuery:
+    variables = ["x", "y", "z", "w"]
+    atoms = []
+    for _ in range(rng.randrange(1, 4)):
+        which = rng.random()
+
+        def term():
+            if rng.random() < 0.2:
+                return Constant(f"c{rng.randrange(0, 6)}")
+            return rng.choice(variables)
+
+        if which < 0.3:
+            atoms.append(Atom("U", (term(),)))
+        elif which < 0.75:
+            atoms.append(Atom("B", (term(), term())))
+        else:
+            atoms.append(Atom("T3", (term(), term(), term())))
+    return ConjunctiveQuery(tuple(atoms))
+
+
+class TestIndexedMatchingAgainstReference:
+    def test_random_queries_and_instances(self):
+        rng = random.Random(101)
+        for _ in range(60):
+            db = random_instance(rng, rng.randrange(0, 18))
+            query = random_query(rng)
+            assert as_match_set(query.matches(db)) == as_match_set(
+                reference_matches(query, db)
+            )
+
+    def test_grounding_sets_equal_reference_witnesses(self):
+        rng = random.Random(103)
+        for _ in range(40):
+            db = random_instance(rng, rng.randrange(0, 18))
+            query = random_query(rng)
+            witnesses = query.grounding_sets(db)
+            # Rebuild the witness sets through the reference matcher.
+            expected = set()
+            for match in reference_matches(query, db):
+                expected.add(
+                    frozenset(
+                        db.add(
+                            atom.relation,
+                            tuple(
+                                t.value
+                                if isinstance(t, Constant)
+                                else match[t]
+                                for t in atom.terms
+                            ),
+                        )
+                        for atom in query.atoms
+                    )
+                )
+            assert witnesses == expected
+
+    def test_h_queries_on_random_h_instances(self):
+        rng = random.Random(107)
+        for _ in range(20):
+            db = Instance()
+            for rel, arity in (
+                ("R", 1), ("S1", 2), ("S2", 2), ("S3", 2), ("T", 1)
+            ):
+                db.declare(rel, arity)
+            xs = [f"a{i}" for i in range(3)]
+            ys = [f"b{i}" for i in range(3)]
+            for x in xs:
+                if rng.random() < 0.6:
+                    db.add("R", (x,))
+            for y in ys:
+                if rng.random() < 0.6:
+                    db.add("T", (y,))
+            for i in (1, 2, 3):
+                for x in xs:
+                    for y in ys:
+                        if rng.random() < 0.4:
+                            db.add(f"S{i}", (x, y))
+            for i in range(4):
+                query = h_query(3, i)
+                assert query.grounding_sets(db) == {
+                    frozenset(
+                        db.add(
+                            atom.relation,
+                            tuple(
+                                t.value
+                                if isinstance(t, Constant)
+                                else match[t]
+                                for t in atom.terms
+                            ),
+                        )
+                        for atom in query.atoms
+                    )
+                    for match in reference_matches(query, db)
+                }
+                assert query.holds_in(db) == (
+                    next(reference_matches(query, db), None) is not None
+                )
+
+    def test_missing_relation_yields_no_matches(self):
+        db = Instance()
+        db.add("B", ("a", "b"))
+        query = ConjunctiveQuery(
+            (Atom("B", ("x", "y")), Atom("Missing", ("y",)))
+        )
+        assert list(query.matches(db)) == []
+        assert query.grounding_sets(db) == set()
+
+    def test_arity_mismatch_yields_no_matches(self):
+        db = Instance()
+        db.add("B", ("a", "b"))
+        query = ConjunctiveQuery((Atom("B", ("x",)),))
+        assert list(query.matches(db)) == []
+
+    def test_repeated_variable_within_atom(self):
+        db = Instance()
+        db.add("B", ("a", "a"))
+        db.add("B", ("a", "b"))
+        query = ConjunctiveQuery((Atom("B", ("x", "x")),))
+        assert as_match_set(query.matches(db)) == {
+            frozenset({("x", "a")})
+        }
+
+    def test_constants_filter_through_the_index(self):
+        db = Instance()
+        db.add("B", ("a", "b"))
+        db.add("B", ("c", "b"))
+        query = ConjunctiveQuery((Atom("B", (Constant("a"), "y")),))
+        assert as_match_set(query.matches(db)) == {
+            frozenset({("y", "b")})
+        }
+
+
+class TestRelationIndexes:
+    def test_lookup_groups_by_projection(self):
+        relation = Relation("B", 2)
+        relation.add(("a", "b"))
+        relation.add(("a", "c"))
+        relation.add(("d", "b"))
+        assert relation.lookup((0,), ("a",)) == [("a", "b"), ("a", "c")]
+        assert relation.lookup((1,), ("b",)) == [("a", "b"), ("d", "b")]
+        assert relation.lookup((0, 1), ("d", "b")) == [("d", "b")]
+        assert relation.lookup((0,), ("z",)) == []
+
+    def test_empty_positions_index_scans_everything(self):
+        relation = Relation("B", 2)
+        relation.add(("a", "b"))
+        relation.add(("c", "d"))
+        assert relation.lookup((), ()) == [("a", "b"), ("c", "d")]
+
+    def test_insertion_invalidates_indexes(self):
+        relation = Relation("U", 1)
+        relation.add(("a",))
+        assert relation.lookup((0,), ("b",)) == []
+        relation.add(("b",))
+        assert relation.lookup((0,), ("b",)) == [("b",)]
+
+    def test_idempotent_insertion_keeps_indexes(self):
+        relation = Relation("U", 1)
+        relation.add(("a",))
+        index_before = relation.index((0,))
+        relation.add(("a",))  # Already present: no invalidation.
+        assert relation.index((0,)) is index_before
+
+    def test_out_of_range_positions_rejected(self):
+        relation = Relation("U", 1)
+        try:
+            relation.index((1,))
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError for bad position")
