@@ -6,9 +6,14 @@ Compares, on q_9's compiled d-D lineage and on grounding workloads:
 * float-mode probability: compiled tape vs. the seed per-gate loop;
 * a 256-map batch: one vectorized tape sweep (both the pre-resolved
   matrix form and the probability-map form) vs. sequential seed passes;
-* exact Fraction probability: tape interpreter vs. the seed loop;
+* exact Fraction probability: tape backends vs. the seed loop;
 * ``grounding_sets``: index-backed join matching vs. the seed
-  nested-loop backtracking matcher.
+  nested-loop backtracking matcher;
+* **compilation** (PR 2): cold/warm d-D compilation of a zero-Euler
+  H-query workload through the shared-order OBDD families, tabular
+  automata and hash-consed arenas vs. the seed per-pair construction
+  (closure automata, fresh managers, append-only arenas — reimplemented
+  verbatim below), plus the circuit-size reduction from sharing.
 
 Run as a script to write ``BENCH_evaluation.json`` at the repository
 root, so future PRs can track the perf trajectory:
@@ -35,12 +40,24 @@ except ImportError:  # Standalone invocation without PYTHONPATH=src.
 
 import random
 
-from repro.circuits.circuit import GateKind
+from repro.circuits.circuit import Circuit, GateKind
 from repro.circuits.evaluator import tape_for
+from repro.core.boolean_function import BooleanFunction
+from repro.core.fragmentation import (
+    Hole,
+    NotNode,
+    OrNode,
+    fragment,
+    fragment_via_matching,
+)
 from repro.db.generator import complete_tid
+from repro.db.relation import TupleId
+from repro.matching.perfect_matching import colored_matching
+from repro.obdd.builder import LayeredAutomaton, build_obdd
+from repro.obdd.obdd import ObddManager
 from repro.pqe.intensional import compile_lineage
 from repro.queries.cq import Constant
-from repro.queries.hqueries import h_query, q9
+from repro.queries.hqueries import HQuery, h_query, q9
 
 RESULT_PATH = _REPO_ROOT / "BENCH_evaluation.json"
 
@@ -127,6 +144,187 @@ def seed_grounding_sets(query, db):
             )
         )
     return witnesses
+
+
+# ----------------------------------------------------------------------
+# Seed d-D compiler (the PR-1 construction, verbatim): closure automata,
+# one fresh ObddManager per pair-query side, per-gate arena appends.
+# ----------------------------------------------------------------------
+
+
+def seed_sides(db):
+    xs, ys = set(), set()
+    for tuple_id in db.tuple_ids():
+        if tuple_id.relation == "R":
+            xs.add(tuple_id.values[0])
+        elif tuple_id.relation == "T":
+            ys.add(tuple_id.values[0])
+        elif tuple_id.relation.startswith("S"):
+            xs.add(tuple_id.values[0])
+            ys.add(tuple_id.values[1])
+    return sorted(xs, key=repr), sorted(ys, key=repr)
+
+
+def seed_left_order(l, db):
+    xs, ys = seed_sides(db)
+    order = []
+    for x in xs:
+        order.append(TupleId("R", (x,)))
+        for y in ys:
+            for i in range(1, l + 1):
+                order.append(TupleId(f"S{i}", (x, y)))
+    return order
+
+
+def seed_right_order(l, k, db):
+    xs, ys = seed_sides(db)
+    order = []
+    for y in ys:
+        order.append(TupleId("T", (y,)))
+        for x in xs:
+            for i in range(k, l, -1):
+                order.append(TupleId(f"S{i}", (x, y)))
+    return order
+
+
+class SeedSideAutomaton:
+    def __init__(self, order, events):
+        self.order = order
+        self.events = events
+
+    def automaton(self, accepting_mask):
+        events = self.events
+
+        def transition(state, position, value):
+            mask, unary, prev = state
+            kind = events[position]
+            if kind[0] == "unary":
+                return (mask, value, False)
+            chain_position = kind[1]
+            if chain_position == 0:
+                if unary and value:
+                    mask |= 1
+                return (mask, unary, value)
+            if prev and value:
+                mask |= 1 << chain_position
+            return (mask, unary, value)
+
+        return LayeredAutomaton(
+            order=self.order,
+            initial=(0, False, False),
+            transition=transition,
+            accepting=lambda state: state[0] == accepting_mask,
+        )
+
+
+def seed_left_machine(l, db):
+    order = seed_left_order(l, db)
+    events = []
+    for tuple_id in order:
+        if tuple_id.relation == "R":
+            events.append(("unary",))
+        else:
+            events.append(("s", int(tuple_id.relation[1:]) - 1))
+    return SeedSideAutomaton(order, events)
+
+
+def seed_right_machine(l, k, db):
+    order = seed_right_order(l, k, db)
+    events = []
+    for tuple_id in order:
+        if tuple_id.relation == "T":
+            events.append(("unary",))
+        else:
+            events.append(("s", k - int(tuple_id.relation[1:])))
+    return SeedSideAutomaton(order, events)
+
+
+def seed_obdd_into_circuit(manager, root, circuit):
+    gate_of = {
+        0: circuit.add_const(False),
+        1: circuit.add_const(True),
+    }
+    order = manager.order
+    stack = [root]
+    while stack:
+        node_id = stack[-1]
+        if node_id in gate_of:
+            stack.pop()
+            continue
+        _, low, high = manager.node(node_id)
+        pending = [c for c in (low, high) if c not in gate_of]
+        if pending:
+            stack.extend(pending)
+            continue
+        level, low, high = manager.node(node_id)
+        var_gate = circuit.add_var(order[level])
+        not_gate = circuit.add_not(var_gate)
+        low_branch = circuit.add_and([not_gate, gate_of[low]])
+        high_branch = circuit.add_and([var_gate, gate_of[high]])
+        gate_of[node_id] = circuit.add_or([low_branch, high_branch])
+        stack.pop()
+    return gate_of[root]
+
+
+def seed_pair_query_circuit(k, l, pattern, db, circuit):
+    parts = []
+    if l > 0:
+        machine = seed_left_machine(l, db)
+        manager = ObddManager(machine.order)
+        _, root = build_obdd(
+            machine.automaton(pattern & ((1 << l) - 1)), manager
+        )
+        parts.append(seed_obdd_into_circuit(manager, root, circuit))
+    if l < k:
+        mask = 0
+        for i in range(l + 1, k + 1):
+            if pattern >> i & 1:
+                mask |= 1 << (k - i)
+        machine = seed_right_machine(l, k, db)
+        manager = ObddManager(machine.order)
+        _, root = build_obdd(machine.automaton(mask), manager)
+        parts.append(seed_obdd_into_circuit(manager, root, circuit))
+    return circuit.add_and(parts)
+
+
+def seed_leaf_circuit(leaf, k, db, circuit):
+    if leaf.is_bottom():
+        return circuit.add_const(False)
+    models = list(leaf.satisfying_masks())
+    if len(models) == 2 and (models[0] ^ models[1]).bit_count() == 1:
+        flip_variable = (models[0] ^ models[1]).bit_length() - 1
+        return seed_pair_query_circuit(
+            k, flip_variable, models[0], db, circuit
+        )
+    raise NotImplementedError("bench leaves are always pair functions")
+
+
+def seed_compile_lineage(query, db):
+    """The seed compile path for nondegenerate zero-Euler phi: template
+    from the colored matching when one exists, filled with per-pair OBDD
+    circuits, in an append-only arena."""
+    phi = query.phi
+    matching = colored_matching(phi)
+    if matching is not None:
+        fragmentation = fragment_via_matching(phi, matching)
+    else:
+        fragmentation = fragment(phi)
+    circuit = Circuit()
+    leaf_gates = [
+        seed_leaf_circuit(leaf, query.k, db, circuit)
+        for leaf in fragmentation.leaves
+    ]
+
+    def build(node):
+        if isinstance(node, Hole):
+            return leaf_gates[node.index]
+        if isinstance(node, NotNode):
+            return circuit.add_not(build(node.child))
+        assert isinstance(node, OrNode)
+        return circuit.add_or([build(child) for child in node.children])
+
+    circuit.set_output(build(fragmentation.template.root))
+    return circuit
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +462,98 @@ def bench_grounding(n=20, repeats=3):
     }
 
 
+def bench_compilation(n=8, num_queries=24, repeats=5):
+    """Cold/warm d-D compilation of a zero-Euler H-query workload:
+    the shared fast path (tabular automata, one family sweep per side,
+    hash-consed arenas) vs. the seed per-pair construction.
+
+    * ``seed_cold_ms`` / ``fastpath_cold_ms`` — compile the whole suite
+      on a *fresh* instance (no shared state anywhere);
+    * ``fastpath_warm_ms`` — recompile the suite against the same
+      instance (side machines, managers and OBDD families memoized; the
+      arena and template are still rebuilt);
+    * ``single_query_*`` — the same comparison for one ``q_9`` compile;
+    * gate counts document the sharing: the seed arena for ``q_9`` vs.
+      the consed arena plus its ``gates_saved`` cons hits.
+
+    Exact probabilities of seed and fast-path circuits are compared as
+    ``Fraction``s — any mismatch marks the whole section invalid.
+    """
+    rng = random.Random(0x5EED2)
+    queries = [q9()]
+    while len(queries) < num_queries:
+        phi = BooleanFunction.random(4, rng)
+        if (
+            phi.euler_characteristic() == 0
+            and not phi.is_degenerate()
+            and not phi.is_bottom()
+        ):
+            queries.append(HQuery(3, phi))
+
+    def fresh_instance():
+        return complete_tid(3, n, n, prob=Fraction(1, 2)).instance
+
+    def timed_over_fresh(compile_suite):
+        best = float("inf")
+        for _ in range(repeats):
+            db = fresh_instance()
+            start = time.perf_counter()
+            compile_suite(db)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    seed_cold = timed_over_fresh(
+        lambda db: [seed_compile_lineage(q, db) for q in queries]
+    )
+    fast_cold = timed_over_fresh(
+        lambda db: [compile_lineage(q, db) for q in queries]
+    )
+    warm_db = fresh_instance()
+    for query in queries:
+        compile_lineage(query, warm_db)
+    fast_warm = _best_of(
+        lambda: [compile_lineage(q, warm_db) for q in queries], repeats
+    )
+    single_seed = timed_over_fresh(
+        lambda db: seed_compile_lineage(q9(), db)
+    )
+    single_fast = timed_over_fresh(lambda db: compile_lineage(q9(), db))
+
+    check_db = fresh_instance()
+    prob = {t: Fraction(1, 2) for t in check_db.tuple_ids()}
+    identical = True
+    seed_gates = fast_gates = gates_saved = 0
+    for query in queries:
+        seed_circuit = seed_compile_lineage(query, check_db)
+        compiled = compile_lineage(query, check_db)
+        from repro.circuits.probability import probability as exact_prob
+
+        identical = identical and (
+            exact_prob(seed_circuit, prob)
+            == exact_prob(compiled.circuit, prob)
+        )
+        seed_gates += len(seed_circuit)
+        fast_gates += len(compiled.circuit)
+        gates_saved += compiled.gates_saved
+    return {
+        "tuples": n + n + 3 * n * n,
+        "queries": len(queries),
+        "seed_cold_ms": seed_cold * 1e3,
+        "fastpath_cold_ms": fast_cold * 1e3,
+        "fastpath_warm_ms": fast_warm * 1e3,
+        "speedup_cold": seed_cold / fast_cold,
+        "speedup_warm": seed_cold / fast_warm,
+        "single_query_seed_ms": single_seed * 1e3,
+        "single_query_fastpath_ms": single_fast * 1e3,
+        "single_query_speedup": single_seed / single_fast,
+        "seed_gates": seed_gates,
+        "fastpath_gates": fast_gates,
+        "gates_saved_by_sharing": gates_saved,
+        "gate_reduction": 1 - fast_gates / seed_gates,
+        "exact_probabilities_identical": identical,
+    }
+
+
 def run_all():
     try:
         import numpy
@@ -281,6 +571,7 @@ def run_all():
         "batch": bench_batch(),
         "exact": bench_exact(),
         "grounding": bench_grounding(),
+        "compilation": bench_compilation(),
     }
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from collections.abc import Hashable, Iterable, Iterator, Mapping
+from collections.abc import Hashable, Iterable, Iterator, Mapping, Sequence
 
 
 class GateKind(enum.Enum):
@@ -54,6 +54,11 @@ class Gate:
         return f"Gate({self.kind.name} <- {self.inputs})"
 
 
+#: Int opcodes for cons-table keys (hashing an enum member is a Python-
+#: level call; these stay on the C fast path).
+_CONS_NOT, _CONS_AND, _CONS_OR = 0, 1, 2
+
+
 class Circuit:
     """A Boolean circuit: an arena of gates plus a designated output.
 
@@ -62,14 +67,33 @@ class Circuit:
     and constant gates, and callers may reuse any gate id as input to many
     gates.  The circuit is append-only; ids are dense and topologically
     ordered (inputs always have smaller ids), which the evaluators exploit.
+
+    With ``dedup=True`` the hash-consing extends to ¬/∧/∨ gates: an
+    ``add_*`` call whose (kind, inputs) pair was already built returns the
+    existing gate id instead of appending a duplicate.  Consing merges only
+    *syntactically* identical gates, so every gate keeps its Boolean
+    function and the d-D properties (decomposability, determinism) are
+    preserved verbatim — probabilities are bit-identical with or without
+    it.  The default stays append-only for callers that rely on one id per
+    ``add_*`` call (e.g. structural tests counting construction steps).
+    ``dedup_hits`` counts the calls served from the cons table: the arena
+    would hold ``len(circuit) + dedup_hits`` gates without sharing.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dedup: bool = False) -> None:
         self._gates: list[Gate] = []
         self._var_ids: dict[Hashable, int] = {}
         self._const_ids: dict[bool, int] = {}
+        self._cons: dict[tuple, int] | None = {} if dedup else None
+        self.dedup_hits = 0
+        self._non_nnf_nots = 0  # ¬-gates over non-variable inputs
         self._output: int | None = None
         self._frozen = False
+
+    @property
+    def dedup(self) -> bool:
+        """Whether ¬/∧/∨ gates are hash-consed (set at construction)."""
+        return self._cons is not None
 
     # ------------------------------------------------------------------
     # Construction
@@ -95,7 +119,9 @@ class Circuit:
     def add_not(self, input_id: int) -> int:
         """Add a ¬-gate over an existing gate."""
         self._check_ids([input_id])
-        return self._append(Gate(GateKind.NOT, (input_id,)))
+        if self._cons is None:
+            return self._append(Gate(GateKind.NOT, (input_id,)))
+        return self._consed(_CONS_NOT, GateKind.NOT, (input_id,))
 
     def add_and(self, input_ids: Iterable[int]) -> int:
         """Add an ∧-gate; an empty input list denotes the constant True."""
@@ -105,7 +131,9 @@ class Circuit:
             return self.add_const(True)
         if len(ids) == 1:
             return ids[0]
-        return self._append(Gate(GateKind.AND, ids))
+        if self._cons is None:
+            return self._append(Gate(GateKind.AND, ids))
+        return self._consed(_CONS_AND, GateKind.AND, ids)
 
     def add_or(self, input_ids: Iterable[int]) -> int:
         """Add an ∨-gate; an empty input list denotes the constant False."""
@@ -115,7 +143,105 @@ class Circuit:
             return self.add_const(False)
         if len(ids) == 1:
             return ids[0]
-        return self._append(Gate(GateKind.OR, ids))
+        if self._cons is None:
+            return self._append(Gate(GateKind.OR, ids))
+        return self._consed(_CONS_OR, GateKind.OR, ids)
+
+    def _consed(self, code: int, kind: GateKind, ids: tuple[int, ...]) -> int:
+        # Cons keys carry an int opcode instead of the GateKind member:
+        # key hashing is the hot operation and enum hashing is a Python-
+        # level call.
+        key = (code, ids)
+        found = self._cons.get(key)
+        if found is not None:
+            self.dedup_hits += 1
+            return found
+        gate_id = self._append(Gate(kind, ids))
+        self._cons[key] = gate_id
+        return gate_id
+
+    #: Opcodes of precompiled gate programs (see
+    #: :meth:`replay_gates` and :mod:`repro.obdd.to_circuit`).
+    OP_CONST, OP_VAR, OP_NOT, OP_AND, OP_OR = range(5)
+
+    def replay_gates(
+        self,
+        ops: list[tuple[int, int, int]],
+        slots: list[int],
+        slot_to_gate: list[int],
+        labels: Sequence[Hashable],
+    ) -> None:
+        """Instantiate slots of a precompiled gate program into the arena.
+
+        A program is a list of ``(opcode, a, b)`` triples addressed by
+        *slot* index: ``OP_CONST`` builds the constant ``a``; ``OP_VAR``
+        the variable ``labels[a]``; ``OP_NOT``/``OP_AND``/``OP_OR`` gates
+        over the slots ``a`` (and ``b``).  ``slots`` lists the slots to
+        materialize, dependencies first; ``slot_to_gate`` is the dense
+        slot→gate table of this arena (-1 for absent), which doubles as
+        the skip set — across many roots each gate is built once per
+        arena — and receives every new gate id.
+
+        The program itself is already hash-consed at build time
+        (:mod:`repro.obdd.to_circuit` builds one per OBDD manager), so
+        the replay performs no cons lookups: per gate it is one tuple
+        load, one ``Gate`` construction and two list writes — the
+        cheapest possible arena instantiation, which is what makes cold
+        compilation of many queries over one database scale.  Replayed
+        ∧/∨ gates are therefore *not* registered in a dedup arena's cons
+        table (¬-gates are, because distinct programs share them through
+        the arena's global variable gates; identical ∧/∨ gates later
+        requested through ``add_*`` are appended anew — harmless for
+        semantics, merely a missed sharing opportunity).
+        """
+        if self._frozen:
+            raise ValueError("circuit is frozen; derive a copy instead")
+        gates = self._gates
+        append = gates.append
+        var_ids = self._var_ids
+        cons = self._cons
+        hits = 0
+        VAR_KIND, NOT_KIND = GateKind.VAR, GateKind.NOT
+        AND_KIND, OR_KIND = GateKind.AND, GateKind.OR
+        for slot in slots:
+            if slot_to_gate[slot] != -1:
+                continue
+            op, a, b = ops[slot]
+            if op == 3:  # OP_AND
+                append(Gate(AND_KIND, (slot_to_gate[a], slot_to_gate[b])))
+                slot_to_gate[slot] = len(gates) - 1
+            elif op == 4:  # OP_OR
+                append(Gate(OR_KIND, (slot_to_gate[a], slot_to_gate[b])))
+                slot_to_gate[slot] = len(gates) - 1
+            elif op == 2:  # OP_NOT (always over a variable slot)
+                ids = (slot_to_gate[a],)
+                if cons is None:
+                    append(Gate(NOT_KIND, ids))
+                    slot_to_gate[slot] = len(gates) - 1
+                else:
+                    # ¬v is the one gate distinct programs (one per side
+                    # manager) can share — variables are global to the
+                    # arena — so it alone keeps the cons table round trip.
+                    key = (_CONS_NOT, ids)
+                    built = cons.get(key)
+                    if built is None:
+                        append(Gate(NOT_KIND, ids))
+                        built = len(gates) - 1
+                        cons[key] = built
+                    else:
+                        hits += 1
+                    slot_to_gate[slot] = built
+            elif op == 1:  # OP_VAR
+                label = labels[a]
+                var_gate = var_ids.get(label)
+                if var_gate is None:
+                    append(Gate(VAR_KIND, (), label))
+                    var_gate = len(gates) - 1
+                    var_ids[label] = var_gate
+                slot_to_gate[slot] = var_gate
+            else:  # OP_CONST
+                slot_to_gate[slot] = self.add_const(bool(a))
+        self.dedup_hits += hits
 
     def set_output(self, gate_id: int) -> None:
         """Designate the output gate."""
@@ -133,6 +259,11 @@ class Circuit:
     def _append(self, gate: Gate) -> int:
         if self._frozen:
             raise ValueError("circuit is frozen; derive a copy instead")
+        if (
+            gate.kind is GateKind.NOT
+            and self._gates[gate.inputs[0]].kind is not GateKind.VAR
+        ):
+            self._non_nnf_nots += 1
         self._gates.append(gate)
         return len(self._gates) - 1
 
@@ -250,12 +381,10 @@ class Circuit:
 
     def is_nnf(self) -> bool:
         """Whether the circuit is in negation normal form: every ¬-gate's
-        input is a variable gate (Section 2)."""
-        return all(
-            self._gates[g.inputs[0]].kind is GateKind.VAR
-            for g in self._gates
-            if g.kind is GateKind.NOT
-        )
+        input is a variable gate (Section 2).  O(1): the count of
+        offending ¬-gates is maintained at construction (bulk decision-
+        gate expansion only ever negates variables)."""
+        return self._non_nnf_nots == 0
 
     def stats(self) -> dict[str, int]:
         """Gate-count statistics by kind, plus wires (for the benches)."""

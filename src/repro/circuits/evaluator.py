@@ -33,6 +33,7 @@ import weakref
 from array import array
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from fractions import Fraction
+from math import gcd
 
 from repro.circuits.circuit import Circuit, GateKind
 
@@ -159,14 +160,123 @@ class EvaluationTape:
         return self._interpret(prob, range(len(self.opcodes)))
 
     def evaluate(self, prob: Mapping[Hashable, Number]) -> Number:
-        """``Pr(circuit)`` by interpreting only the live (output-reachable)
-        nodes; exact for :class:`Fraction` inputs."""
+        """``Pr(circuit)`` by evaluating only the live (output-reachable)
+        nodes; exact for :class:`Fraction` inputs.
+
+        Exact maps run on the integer common-denominator backend when the
+        probabilities admit a small common denominator (the result is the
+        same canonical ``Fraction`` either way); other maps — and exotic
+        denominators — use the generic interpreter.
+        """
+        result = self._evaluate_common_denominator(prob)
+        if result is not None:
+            return result
         return self._interpret(prob, self.live)[self._output()]
 
     def _output(self) -> int:
         if self.output is None:
             raise ValueError("circuit has no designated output gate")
         return self.output
+
+    def _evaluate_common_denominator(
+        self, prob: Mapping[Hashable, Number]
+    ) -> Fraction | None:
+        """The exact fast path: gate values as ``(numerator, exponent)``
+        pairs denoting ``numerator / D**exponent`` for one common
+        denominator ``D`` of every slot probability.
+
+        Python-``int`` arithmetic replaces per-operation ``Fraction``
+        normalization (two gcds and an object per multiply); the single
+        ``Fraction(n, D**e)`` at the output canonicalizes, so the result
+        is bit-identical to the interpreter's.  Returns ``None`` — caller
+        falls back to the interpreter — when the map is not exact
+        (first value float, mirroring :func:`one_like`), the common
+        denominator exceeds 64 bits, or an exponent outruns
+        ``#slots + 2`` (possible only on non-decomposable circuits, where
+        repeated subcircuits inflate the scale).
+        """
+        if self.output is None or not isinstance(one_like(prob), Fraction):
+            return None
+        get = prob.get
+        values = []
+        denominator = 1
+        for label in self.var_labels:
+            value = get(label, 0)
+            if isinstance(value, Fraction):
+                q = value.denominator
+                if q > 1:
+                    denominator = denominator * q // gcd(denominator, q)
+                    if denominator.bit_length() > 64:
+                        return None
+            elif not isinstance(value, int):
+                return None  # a float slot: keep interpreter semantics
+            values.append(value)
+        D = denominator
+        exponent_limit = len(values) + 2
+        powers = [1, D]  # powers[i] = D**i, grown on demand
+        opcodes = self.opcodes
+        operands = self.operands
+        arity = self.arity
+        args = self.args
+        nums = [0] * len(opcodes)
+        exps = [0] * len(opcodes)
+        for i in self.live:
+            op = opcodes[i]
+            if op == OP_VAR:
+                value = values[operands[i]]
+                if isinstance(value, Fraction):
+                    nums[i] = value.numerator * (D // value.denominator)
+                else:
+                    nums[i] = value * D
+                exps[i] = 1
+            elif op == OP_AND:
+                start = operands[i]
+                product = 1
+                exponent = 0
+                for j in range(start, start + arity[i]):
+                    a = args[j]
+                    product *= nums[a]
+                    exponent += exps[a]
+                if exponent > exponent_limit:
+                    return None
+                nums[i] = product
+                exps[i] = 0 if product == 0 else exponent
+            elif op == OP_OR:
+                start = operands[i]
+                top = start + arity[i]
+                exponent = 0
+                for j in range(start, top):
+                    e = exps[args[j]]
+                    if e > exponent:
+                        exponent = e
+                while len(powers) <= exponent:
+                    powers.append(powers[-1] * D)
+                total = 0
+                for j in range(start, top):
+                    a = args[j]
+                    e = exps[a]
+                    total += (
+                        nums[a]
+                        if e == exponent
+                        else nums[a] * powers[exponent - e]
+                    )
+                nums[i] = total
+                exps[i] = 0 if total == 0 else exponent
+            elif op == OP_NOT:
+                a = args[operands[i]]
+                exponent = exps[a]
+                while len(powers) <= exponent:
+                    powers.append(powers[-1] * D)
+                nums[i] = powers[exponent] - nums[a]
+                exps[i] = exponent
+            elif op == OP_CONST_TRUE:
+                nums[i] = 1
+            # OP_CONST_FALSE keeps the zero initialization.
+        out = self.output
+        exponent = exps[out]
+        while len(powers) <= exponent:
+            powers.append(powers[-1] * D)
+        return Fraction(nums[out], powers[exponent])
 
     def _interpret(
         self, prob: Mapping[Hashable, Number], nodes: Iterable[int]

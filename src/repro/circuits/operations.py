@@ -23,8 +23,14 @@ def copy_into(
     target: Circuit,
     rename: Mapping[Hashable, Hashable] | None = None,
 ) -> int:
-    """Copy the live part of ``source`` into ``target`` (optionally renaming
-    variables) and return the id of the copied output gate in ``target``."""
+    """Copy ``source``'s gates into ``target`` (optionally renaming
+    variables) and return the id of the copied output gate in ``target``.
+
+    Every gate is rebuilt through ``target``'s ``add_*`` methods, so when
+    the target hash-conses (``Circuit(dedup=True)``) the copy dedups
+    against the target's cons table: gates the target already holds are
+    reused instead of appended.
+    """
     rename = rename or {}
     mapping: dict[int, int] = {}
     for gate_id, gate in source.gates():

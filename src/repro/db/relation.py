@@ -151,6 +151,7 @@ class Instance:
         self._tuple_ids_versions: tuple | None = None
         self._fingerprint_cache: tuple[TupleId, ...] | None = None
         self._fingerprint_versions: tuple | None = None
+        self._derived: dict[Hashable, tuple[tuple, object]] = {}
 
     def relation(self, name: str) -> Relation:
         """The relation with the given name.
@@ -223,6 +224,26 @@ class Instance:
             self._fingerprint_cache = _FingerprintTuple(self.tuple_ids())
             self._fingerprint_versions = versions
         return self._fingerprint_cache
+
+    def cached_derivation(self, key: Hashable, build) -> object:
+        """Memoize ``build(self)`` against the relations' insertion
+        versions, like :meth:`content_fingerprint` does for the tuple-id
+        list.
+
+        Derived structures that depend only on the instance's content —
+        variable orders, side automata, shared OBDD managers in
+        :mod:`repro.pqe.degenerate` — are built once per ``key`` and
+        reused until a mutation bumps a relation version.  The cached
+        value is shared state: treat it as read-only unless the builder
+        documents otherwise.
+        """
+        versions = self._versions()
+        entry = self._derived.get(key)
+        if entry is not None and entry[0] == versions:
+            return entry[1]
+        value = build(self)
+        self._derived[key] = (versions, value)
+        return value
 
     def _versions(self) -> tuple:
         return tuple(

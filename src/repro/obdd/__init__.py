@@ -2,17 +2,32 @@
 expansion into d-D circuits (the Proposition 3.7 substrate)."""
 
 from repro.obdd.fbdd import Fbdd, fbdd_from_obdd
-from repro.obdd.builder import LayeredAutomaton, build_obdd, product_automaton
+from repro.obdd.builder import (
+    LayeredAutomaton,
+    TabularAutomaton,
+    build_obdd,
+    build_obdd_family,
+    product_automaton,
+)
 from repro.obdd.obdd import TERMINAL_FALSE, TERMINAL_TRUE, ObddManager
-from repro.obdd.to_circuit import obdd_into_circuit, obdd_to_circuit
+from repro.obdd.to_circuit import (
+    ObddExpansion,
+    expansion_cache,
+    obdd_into_circuit,
+    obdd_to_circuit,
+)
 
 __all__ = [
     "Fbdd",
     "LayeredAutomaton",
+    "ObddExpansion",
     "ObddManager",
+    "TabularAutomaton",
     "TERMINAL_FALSE",
     "TERMINAL_TRUE",
     "build_obdd",
+    "build_obdd_family",
+    "expansion_cache",
     "fbdd_from_obdd",
     "obdd_into_circuit",
     "obdd_to_circuit",

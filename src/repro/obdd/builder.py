@@ -16,7 +16,7 @@ manager's hash-consing, so the result is reduced by construction.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterable
 from typing import TypeVar
 
 from repro.obdd.obdd import ObddManager
@@ -113,6 +113,238 @@ def build_obdd(
             )
         node_for = previous
     return manager, node_for[automaton.initial]
+
+
+class TabularAutomaton:
+    """A layered automaton with integer-coded states and precomputed
+    transition tables — the compilation fast path's replacement for
+    closure-driven :class:`LayeredAutomaton` instances.
+
+    * states are ``0 .. num_states - 1``;
+    * ``low_tables[p][s]`` / ``high_tables[p][s]`` give the successor of
+      state ``s`` at position ``p`` on reading False / True (tables may be
+      shared between positions — the side machines of
+      :mod:`repro.pqe.degenerate` reuse one table per event kind);
+    * ``outcome[s]`` is the classification of final state ``s`` (for the
+      Appendix-B.1 machines: the satisfied-mask component), so one
+      automaton describes the *family* of acceptance conditions
+      ``outcome(final) == value`` at once.
+
+    The forward reachability pass is shared by every member of the family
+    and memoized on the automaton.
+    """
+
+    def __init__(
+        self,
+        order: list[Hashable],
+        num_states: int,
+        initial: int,
+        low_tables: list[list[int]],
+        high_tables: list[list[int]],
+        outcome: list[Hashable],
+    ):
+        if len(low_tables) != len(order) or len(high_tables) != len(order):
+            raise ValueError("transition tables must cover the order")
+        if len(outcome) != num_states:
+            raise ValueError("outcome must classify every state")
+        self.order = list(order)
+        self.num_states = num_states
+        self.initial = initial
+        self.low_tables = low_tables
+        self.high_tables = high_tables
+        self.outcome = outcome
+        self._reachable: list[list[int]] | None = None
+        # One successor bitmask table per distinct (low, high) table
+        # pair, so the reachability pass is pure integer arithmetic.
+        self._step_bits: dict[tuple[int, int], list[int]] = {}
+
+    def transition(self, state: int, position: int, value: bool) -> int:
+        """Tabular transition (LayeredAutomaton-compatible signature)."""
+        table = self.high_tables[position] if value else self.low_tables[position]
+        return table[state]
+
+    def run(self, values: list[bool]) -> Hashable:
+        """The outcome of the final state reached on a full value vector."""
+        if len(values) != len(self.order):
+            raise ValueError(
+                f"expected {len(self.order)} values, got {len(values)}"
+            )
+        state = self.initial
+        for position, value in enumerate(values):
+            table = (
+                self.high_tables[position]
+                if value
+                else self.low_tables[position]
+            )
+            state = table[state]
+        return self.outcome[state]
+
+    def accept(self, value: Hashable) -> LayeredAutomaton:
+        """The family member accepting exactly ``outcome(final) == value``,
+        as a :class:`LayeredAutomaton` (for :func:`build_obdd` and tests)."""
+        outcome = self.outcome
+        return LayeredAutomaton(
+            order=self.order,
+            initial=self.initial,
+            transition=self.transition,
+            accepting=lambda state: outcome[state] == value,
+        )
+
+    def reachable_per_layer(self) -> list[list[int]]:
+        """Sorted reachable-state lists per layer (memoized): entry ``i``
+        holds the states before reading variable ``i``, the final entry the
+        states after the last variable.
+
+        Layer sets are integer bitmasks internally, and one-step images
+        are memoized per ``(transition table, mask)`` — the side machines'
+        periodic orders revisit the same (event, reachable-set) pair in
+        every block, so after the first block each layer is a dict hit.
+        """
+        if self._reachable is None:
+            step_bits = self._step_bits
+            image_memo: dict[tuple[tuple[int, int], int], int] = {}
+            current = 1 << self.initial
+            masks = [current]
+            for position in range(len(self.order)):
+                low = self.low_tables[position]
+                high = self.high_tables[position]
+                table_key = (id(low), id(high))
+                memo_key = (table_key, current)
+                nxt = image_memo.get(memo_key)
+                if nxt is None:
+                    bits = step_bits.get(table_key)
+                    if bits is None:
+                        bits = [
+                            (1 << low[s]) | (1 << high[s])
+                            for s in range(self.num_states)
+                        ]
+                        step_bits[table_key] = bits
+                    nxt = 0
+                    remaining = current
+                    while remaining:
+                        state = (remaining & -remaining).bit_length() - 1
+                        remaining &= remaining - 1
+                        nxt |= bits[state]
+                    image_memo[memo_key] = nxt
+                current = nxt
+                masks.append(current)
+            list_memo: dict[int, list[int]] = {}
+            layers = []
+            for mask in masks:
+                states = list_memo.get(mask)
+                if states is None:
+                    states = []
+                    remaining = mask
+                    while remaining:
+                        states.append((remaining & -remaining).bit_length() - 1)
+                        remaining &= remaining - 1
+                    list_memo[mask] = states
+                layers.append(states)
+            self._reachable = layers
+        return self._reachable
+
+
+def build_obdd_family(
+    automaton: TabularAutomaton,
+    values: Iterable[Hashable],
+    manager: ObddManager | None = None,
+) -> tuple[ObddManager, dict[Hashable, int]]:
+    """Compile a whole family of reduced OBDDs — one per accepting outcome
+    in ``values`` — in a single backward sweep over the layers.
+
+    All family members share the automaton's state space (they differ only
+    in which final outcomes accept), so the layer structure, the forward
+    reachability and the transition lookups are paid once; the manager's
+    hash-consing then shares identical sub-OBDDs *across* the members.
+    Compared to one :func:`build_obdd` call per member this removes the
+    per-member reachability passes, closure dispatch and duplicate node
+    construction — the ``O(#members × layers × states)`` rebuild cost of
+    the seed path collapses into one tabular sweep.
+
+    Returns ``(manager, {value: root})``.
+    """
+    if manager is None:
+        manager = ObddManager(automaton.order)
+    if manager.order == automaton.order:
+        levels: list[int] | range = range(len(automaton.order))
+    else:
+        level_of = manager.level_of
+        levels = [level_of(label) for label in automaton.order]
+        if sorted(levels) != levels:
+            raise ValueError(
+                "manager order is incompatible with the automaton order"
+            )
+    wanted = list(dict.fromkeys(values))
+    layers = automaton.reachable_per_layer()
+    outcome = automaton.outcome
+    terminal_true = manager.terminal(True)
+    terminal_false = manager.terminal(False)
+    num_states = automaton.num_states
+    # columns[i] maps each state of the current layer to the node id of
+    # family member wanted[i]; dense lists keep the sweep on C-level
+    # indexing.  The node constructor is the inlined fast path of
+    # ObddManager.make — this loop is the compilation hot spot.
+    nodes = manager._nodes
+    unique = manager._unique
+    unique_get = unique.get
+    nodes_append = nodes.append
+    columns: list[list[int]] = []
+    for value in wanted:
+        column = [terminal_false] * num_states
+        for state in layers[-1]:
+            if outcome[state] == value:
+                column[state] = terminal_true
+        columns.append(column)
+    member_range = range(len(wanted))
+    single = columns[0] if len(wanted) == 1 else None
+    for position in range(len(automaton.order) - 1, -1, -1):
+        level = levels[position]
+        low_table = automaton.low_tables[position]
+        high_table = automaton.high_tables[position]
+        states = layers[position]
+        if single is not None:  # one family member: flat loop
+            previous_single = [terminal_false] * num_states
+            for state in states:
+                low = single[low_table[state]]
+                high = single[high_table[state]]
+                if low == high:
+                    previous_single[state] = low
+                    continue
+                key = (level, low, high)
+                found = unique_get(key)
+                if found is None:
+                    nodes_append(key)
+                    found = len(nodes) - 1
+                    unique[key] = found
+                previous_single[state] = found
+            single = previous_single
+            continue
+        previous = [[terminal_false] * num_states for _ in member_range]
+        for state in states:
+            low_state = low_table[state]
+            high_state = high_table[state]
+            for member in member_range:
+                column = columns[member]
+                low = column[low_state]
+                high = column[high_state]
+                if low == high:
+                    previous[member][state] = low
+                    continue
+                key = (level, low, high)
+                found = unique_get(key)
+                if found is None:
+                    nodes_append(key)
+                    found = len(nodes) - 1
+                    unique[key] = found
+                previous[member][state] = found
+        columns = previous
+    if single is not None:
+        columns = [single]
+    initial = automaton.initial
+    return manager, {
+        value: columns[member][initial]
+        for member, value in enumerate(wanted)
+    }
 
 
 def product_automaton(

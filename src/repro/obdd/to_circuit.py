@@ -13,12 +13,32 @@ out), so no smoothing is required — our circuit probability pass is exact on
 the expanded circuit because the decision expansion preserves the function
 and the d-D properties, and d-D probability is exact regardless of
 smoothness.
+
+Compilation fast path (PR 2): expansion is split into *compile once,
+replay often*.  Per manager (and per ``compact`` flag) a **gate program**
+is built incrementally — the hash-consed DAG of decision gates, with
+``¬v`` and variable slots shared — and every arena instantiation replays
+the needed slots through :meth:`repro.circuits.circuit.Circuit.replay_gates`,
+the cheapest possible per-gate loop.  With ``compact=True`` (used by the
+pair-query compiler) branches through a terminal drop their constant
+conjunct/disjunct: ``x ∧ 1 → x``, ``x ∨ 0 → x``.  This shrinks circuits
+while keeping probabilities bit-identical even in floating point (only
+multiplications by 1 and additions of 0 are elided); the result is no
+longer DLDD-shaped, so the default keeps the full decision form.
 """
 
 from __future__ import annotations
 
+import weakref
+
 from repro.circuits.circuit import Circuit
-from repro.obdd.obdd import TERMINAL_FALSE, TERMINAL_TRUE, ObddManager
+from repro.obdd.obdd import ObddManager
+
+_OP_CONST = Circuit.OP_CONST
+_OP_VAR = Circuit.OP_VAR
+_OP_NOT = Circuit.OP_NOT
+_OP_AND = Circuit.OP_AND
+_OP_OR = Circuit.OP_OR
 
 
 def obdd_to_circuit(manager: ObddManager, root: int) -> Circuit:
@@ -28,32 +48,238 @@ def obdd_to_circuit(manager: ObddManager, root: int) -> Circuit:
     return circuit
 
 
+class _GateProgram:
+    """The precompiled decision-gate DAG of one manager's OBDD nodes.
+
+    Slots 0/1 are the constants False/True; every further slot is one
+    ``(opcode, a, b)`` gate over earlier slots.  The program ingests the
+    manager's node store *linearly past a watermark* — node creation
+    order is topological, since ``make`` receives existing children — and
+    is hash-consed at build time (``¬v``, per-level variables and
+    repeated branch gates exist once), so arena replays need no cons
+    lookups and no graph walks.
+    """
+
+    __slots__ = (
+        "compact",
+        "ops",
+        "cons",
+        "var_slots",
+        "not_slots",
+        "node_slot",
+        "watermark",
+        "root_slots",
+    )
+
+    def __init__(self, manager: ObddManager, compact: bool):
+        self.compact = compact
+        self.ops: list[tuple[int, int, int]] = [
+            (_OP_CONST, 0, 0),
+            (_OP_CONST, 1, 0),
+        ]
+        self.cons: dict[tuple[int, int, int], int] = {}
+        levels = len(manager.order)
+        self.var_slots = [-1] * levels  # level -> slot
+        self.not_slots = [-1] * levels  # level -> slot of ¬v
+        self.node_slot: list[int] = [0, 1]  # OBDD node -> slot
+        self.watermark = 2  # manager nodes ingested so far
+        self.root_slots: dict[int, list[int]] = {}  # node -> replay list
+
+    def _gate(self, op: int, a: int, b: int = 0) -> int:
+        key = (op, a, b)
+        slot = self.cons.get(key)
+        if slot is None:
+            self.ops.append(key)
+            slot = len(self.ops) - 1
+            self.cons[key] = slot
+        return slot
+
+    def _var(self, level: int) -> int:
+        slot = self.var_slots[level]
+        if slot == -1:
+            self.ops.append((_OP_VAR, level, 0))
+            slot = len(self.ops) - 1
+            self.var_slots[level] = slot
+        return slot
+
+    def _not_var(self, level: int) -> int:
+        slot = self.not_slots[level]
+        if slot == -1:
+            slot = self._gate(_OP_NOT, self._var(level))
+            self.not_slots[level] = slot
+        return slot
+
+    def ensure_root(self, manager: ObddManager, root: int) -> int:
+        """Ingest any manager nodes created since the last call (one
+        linear pass, children always precede parents) and return the
+        slot of ``root``."""
+        nodes = manager._nodes
+        top = len(nodes)
+        if self.watermark < top:
+            node_slot = self.node_slot
+            compact = self.compact
+            gate = self._gate
+            var = self._var
+            ops = self.ops
+            for node in range(self.watermark, top):
+                level, low, high = nodes[node]
+                high_slot = node_slot[high]
+                if compact:
+                    if low == 0:
+                        node_slot.append(
+                            var(level)
+                            if high == 1
+                            else gate(_OP_AND, var(level), high_slot)
+                        )
+                        continue
+                    not_slot = self._not_var(level)
+                    low_branch = (
+                        not_slot
+                        if low == 1
+                        else gate(_OP_AND, not_slot, node_slot[low])
+                    )
+                    if high == 0:
+                        node_slot.append(low_branch)
+                        continue
+                    high_branch = (
+                        var(level)
+                        if high == 1
+                        else gate(_OP_AND, var(level), high_slot)
+                    )
+                else:
+                    low_branch = gate(
+                        _OP_AND, self._not_var(level), node_slot[low]
+                    )
+                    high_branch = gate(_OP_AND, var(level), high_slot)
+                # The ∨ of a decision gate is unique to its node (two
+                # nodes never share both branch pairs — the OBDD itself
+                # is hash-consed), so it skips the cons table.
+                ops.append((_OP_OR, low_branch, high_branch))
+                node_slot.append(len(ops) - 1)
+            self.watermark = top
+        return self.node_slot[root]
+
+    def slots_for(self, manager: ObddManager, root: int) -> list[int]:
+        """The dependency-ordered, duplicate-free slot list of ``root``'s
+        subprogram, memoized per root (treat as read-only).  Ascending
+        slot index is a dependency order because programs are built
+        bottom-up."""
+        slots = self.root_slots.get(root)
+        if slots is not None:
+            return slots
+        root_slot = self.ensure_root(manager, root)
+        ops = self.ops
+        collected = [root_slot]
+        seen = {root_slot}
+        seen_add = seen.add
+        stack = [root_slot]
+        while stack:
+            op, a, b = ops[stack.pop()]
+            if op >= 3:  # AND / OR
+                if a not in seen:
+                    seen_add(a)
+                    collected.append(a)
+                    stack.append(a)
+                if b not in seen:
+                    seen_add(b)
+                    collected.append(b)
+                    stack.append(b)
+            elif op == 2:  # NOT
+                if a not in seen:
+                    seen_add(a)
+                    collected.append(a)
+                    stack.append(a)
+        collected.sort()
+        self.root_slots[root] = collected
+        return collected
+
+
+#: Gate programs per manager (weak keys: a program dies with its manager),
+#: one per ``compact`` flag.
+_PROGRAMS: "weakref.WeakKeyDictionary[ObddManager, dict[bool, _GateProgram]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _program_for(manager: ObddManager, compact: bool) -> _GateProgram:
+    per_manager = _PROGRAMS.setdefault(manager, {})
+    program = per_manager.get(compact)
+    if program is None:
+        program = _GateProgram(manager, compact)
+        per_manager[compact] = program
+    return program
+
+
+class ObddExpansion:
+    """Per-(circuit, manager, compact) expansion state: the dense
+    slot→gate table through which one arena materializes a manager's gate
+    program.  Slot indices are program-specific, so one state must never
+    mix ``compact`` flags."""
+
+    __slots__ = ("manager", "compact", "slot_to_gate")
+
+    def __init__(self, manager: ObddManager, compact: bool = False):
+        self.manager = manager
+        self.compact = compact
+        self.slot_to_gate: list[int] = []
+
+
+#: Expansion states per circuit; entries die with the circuit (the outer
+#: key is weak) and managers are held strongly only while their circuit
+#: is alive.
+_EXPANSION_CACHES: "weakref.WeakKeyDictionary[Circuit, dict[tuple[int, bool], ObddExpansion]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def expansion_cache(
+    circuit: Circuit, manager: ObddManager, compact: bool = False
+) -> ObddExpansion:
+    """The memoized :class:`ObddExpansion` for expanding ``manager``'s
+    OBDDs into ``circuit`` — pass it as ``cache=`` to
+    :func:`obdd_into_circuit` so OBDD roots sharing structure (one
+    manager serves a whole family on the compilation fast path)
+    materialize each gate exactly once per arena."""
+    per_circuit = _EXPANSION_CACHES.setdefault(circuit, {})
+    key = (id(manager), compact)
+    entry = per_circuit.get(key)
+    if entry is None or entry.manager is not manager:
+        entry = ObddExpansion(manager, compact)
+        per_circuit[key] = entry
+    return entry
+
+
 def obdd_into_circuit(
-    manager: ObddManager, root: int, circuit: Circuit
+    manager: ObddManager,
+    root: int,
+    circuit: Circuit,
+    cache: ObddExpansion | None = None,
+    compact: bool = False,
 ) -> int:
     """Expand an OBDD inside an existing circuit arena; returns the gate id
-    computing the OBDD's function.  Shared OBDD nodes become shared gates."""
-    gate_of: dict[int, int] = {
-        TERMINAL_FALSE: circuit.add_const(False),
-        TERMINAL_TRUE: circuit.add_const(True),
-    }
-    order = manager.order
-    stack = [root]
-    while stack:
-        node_id = stack[-1]
-        if node_id in gate_of:
-            stack.pop()
-            continue
-        _, low, high = manager.node(node_id)
-        pending = [c for c in (low, high) if c not in gate_of]
-        if pending:
-            stack.extend(pending)
-            continue
-        level, low, high = manager.node(node_id)
-        var_gate = circuit.add_var(order[level])
-        not_gate = circuit.add_not(var_gate)
-        low_branch = circuit.add_and([not_gate, gate_of[low]])
-        high_branch = circuit.add_and([var_gate, gate_of[high]])
-        gate_of[node_id] = circuit.add_or([low_branch, high_branch])
-        stack.pop()
-    return gate_of[root]
+    computing the OBDD's function.  Shared OBDD nodes become shared gates.
+
+    ``cache`` may carry the expansion state of a previous call for the
+    same manager and arena (see :func:`expansion_cache`); already-
+    materialized gates are then reused instead of rebuilt.
+    ``compact=True`` elides constant conjuncts/disjuncts at terminal
+    edges (smaller circuits, bit-identical probabilities, but no longer
+    DLDD-shaped — see the module docstring)."""
+    program = _program_for(manager, compact)
+    slots = program.slots_for(manager, root)
+    if cache is None:
+        expansion = ObddExpansion(manager, compact)
+    else:
+        if cache.compact != compact:
+            raise ValueError(
+                "expansion cache was created for compact="
+                f"{cache.compact}; slot tables cannot be shared across "
+                "programs"
+            )
+        expansion = cache
+    slot_to_gate = expansion.slot_to_gate
+    missing = len(program.ops) - len(slot_to_gate)
+    if missing > 0:
+        slot_to_gate.extend([-1] * missing)
+    circuit.replay_gates(program.ops, slots, slot_to_gate, manager.order)
+    return slot_to_gate[program.node_slot[root]]

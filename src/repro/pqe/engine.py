@@ -22,6 +22,7 @@ compiled circuit for reuse.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -30,6 +31,10 @@ from fractions import Fraction
 from repro.db.relation import Instance
 from repro.db.tid import TupleIndependentDatabase
 from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.degenerate import (
+    pair_cache_counters,
+    reset_pair_cache_counters,
+)
 from repro.pqe.dichotomy import Classification, Region, classify
 from repro.pqe.extensional import probability as extensional_probability
 from repro.pqe.intensional import CompiledLineage, compile_lineage
@@ -59,6 +64,10 @@ class EvaluationResult:
     classification: Classification
     compiled: CompiledLineage | None = None
     cache_hit: bool = False  #: the compiled lineage came from the cache
+    #: wall-clock cost of the d-D compilation (0.0 on a cache hit, None
+    #: for non-intensional engines); gate-sharing counters live on
+    #: ``compiled`` (``compile_ms``/``gates_saved``).
+    compile_ms: float | None = None
 
 
 @dataclass
@@ -77,19 +86,34 @@ class BatchEvaluationResult:
     classification: Classification
     compiled: CompiledLineage | None = None
     cache_hits: int = 0
+    #: per-TID engine labels when the batch fell back to per-TID
+    #: :func:`evaluate` calls and ``engine`` is an aggregate (``"mixed"``
+    #: when the per-TID engines differ); ``None`` on the batched path.
+    engines: list[str] | None = None
 
 
 @dataclass
 class CompilationCacheStats:
-    """Counters of the engine's compiled-lineage cache."""
+    """Counters of the engine's compiled-lineage cache, plus the
+    pair-query sub-circuit cache of :mod:`repro.pqe.degenerate`
+    (``pair_hits``/``pair_misses``: per-side OBDD roots served from a
+    shared manager vs. built by a family sweep)."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    pair_hits: int = 0
+    pair_misses: int = 0
 
 
 _COMPILE_CACHE: OrderedDict[tuple, CompiledLineage] = OrderedDict()
 _CACHE_STATS = CompilationCacheStats()
+#: Guards ``_COMPILE_CACHE`` and ``_CACHE_STATS``: concurrent
+#: ``evaluate()`` callers must not corrupt the LRU order or lose counter
+#: updates.  Compilation itself runs outside the lock, so a slow compile
+#: never serializes unrelated evaluations (two racing callers may both
+#: compile the same key once; the first insertion wins).
+_CACHE_LOCK = threading.RLock()
 
 
 def compile_lineage_cached(
@@ -110,39 +134,57 @@ def compile_lineage_cached(
     The returned :class:`CompiledLineage` is shared cache state, so its
     circuit is frozen on insertion: mutation attempts raise instead of
     silently corrupting other holders (grow a copy via
-    :func:`repro.circuits.operations.copy_into` instead).
+    :func:`repro.circuits.operations.copy_into` instead).  Lookup and
+    insertion are thread-safe.
     """
     if fingerprint is None:
         fingerprint = instance.content_fingerprint()
     key = (query, fingerprint)
-    cached = _COMPILE_CACHE.get(key)
-    if cached is not None:
-        _COMPILE_CACHE.move_to_end(key)
-        _CACHE_STATS.hits += 1
-        return cached, True
+    with _CACHE_LOCK:
+        cached = _COMPILE_CACHE.get(key)
+        if cached is not None:
+            _COMPILE_CACHE.move_to_end(key)
+            _CACHE_STATS.hits += 1
+            return cached, True
     compiled = compile_lineage(query, instance)
     compiled.circuit.freeze()
-    _CACHE_STATS.misses += 1
-    _COMPILE_CACHE[key] = compiled
-    while len(_COMPILE_CACHE) > COMPILATION_CACHE_LIMIT:
-        _COMPILE_CACHE.popitem(last=False)
-        _CACHE_STATS.evictions += 1
+    with _CACHE_LOCK:
+        racing = _COMPILE_CACHE.get(key)
+        if racing is not None:
+            # Another thread compiled the same key first; keep one circuit
+            # so every holder shares the same tape and arena.
+            _COMPILE_CACHE.move_to_end(key)
+            _CACHE_STATS.hits += 1
+            return racing, True
+        _CACHE_STATS.misses += 1
+        _COMPILE_CACHE[key] = compiled
+        while len(_COMPILE_CACHE) > COMPILATION_CACHE_LIMIT:
+            _COMPILE_CACHE.popitem(last=False)
+            _CACHE_STATS.evictions += 1
     return compiled, False
 
 
 def compilation_cache_stats() -> CompilationCacheStats:
     """A snapshot of the cache counters."""
-    return CompilationCacheStats(
-        _CACHE_STATS.hits, _CACHE_STATS.misses, _CACHE_STATS.evictions
-    )
+    pair_hits, pair_misses = pair_cache_counters()
+    with _CACHE_LOCK:
+        return CompilationCacheStats(
+            _CACHE_STATS.hits,
+            _CACHE_STATS.misses,
+            _CACHE_STATS.evictions,
+            pair_hits,
+            pair_misses,
+        )
 
 
 def clear_compilation_cache() -> None:
     """Drop all cached compiled lineages and reset the counters."""
-    _COMPILE_CACHE.clear()
-    _CACHE_STATS.hits = 0
-    _CACHE_STATS.misses = 0
-    _CACHE_STATS.evictions = 0
+    with _CACHE_LOCK:
+        _COMPILE_CACHE.clear()
+        _CACHE_STATS.hits = 0
+        _CACHE_STATS.misses = 0
+        _CACHE_STATS.evictions = 0
+    reset_pair_cache_counters()
 
 
 def evaluate(
@@ -174,6 +216,7 @@ def evaluate(
             classification,
             compiled,
             cache_hit=hit,
+            compile_ms=0.0 if hit else compiled.compile_ms,
         )
     if method == "brute_force":
         return EvaluationResult(
@@ -197,6 +240,7 @@ def _auto(
             classification,
             compiled,
             cache_hit=hit,
+            compile_ms=0.0 if hit else compiled.compile_ms,
         )
     if len(tid) <= BRUTE_FORCE_LIMIT:
         return EvaluationResult(
@@ -242,10 +286,16 @@ def evaluate_batch(
         raise ValueError(f"unknown batch method {method!r}")
     if method == "auto" and not classification.dd_ptime:
         results = [evaluate(query, tid, method="auto") for tid in tid_list]
+        engines = [r.engine for r in results]
+        distinct = set(engines)
+        # Per-TID fallbacks may pick different engines (instance-size
+        # dependent); a single borrowed label would misreport the rest.
+        label = distinct.pop() if len(distinct) == 1 else "mixed"
         return BatchEvaluationResult(
             [float(r.probability) for r in results],
-            results[0].engine if results else "auto",
+            label if engines else "auto",
             classification,
+            engines=engines,
         )
     groups: OrderedDict[tuple, list[int]] = OrderedDict()
     for position, tid in enumerate(tid_list):

@@ -24,6 +24,7 @@ yields one for any ``Q_phi'`` with ``e(phi') = e(phi)``.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Hashable, Mapping, Sequence
 from dataclasses import dataclass
 from fractions import Fraction
@@ -47,6 +48,7 @@ from repro.matching.perfect_matching import colored_matching
 from repro.pqe.degenerate import (
     degenerate_lineage_circuit,
     pair_query_circuit,
+    prefetch_pair_queries,
 )
 from repro.queries.hqueries import HQuery
 
@@ -65,12 +67,22 @@ class CompiledLineage:
     The circuit's evaluation tape (:mod:`repro.circuits.evaluator`) is
     cached on the object, so re-evaluation after probability updates — the
     paper's motivating reuse scenario — never re-walks the gate arena.
+
+    ``compile_ms`` is the wall-clock cost of building the circuit and
+    ``gates_saved`` the number of gate constructions served from the
+    arena's hash-cons table (template gates and the ``¬v`` gates shared
+    across side managers).  It *underestimates* total sharing: reuse
+    inside the precompiled gate programs never requests a gate in the
+    first place and shows up only in the gate counts themselves (compare
+    the benchmark's seed vs. fast-path sizes).
     """
 
     query: HQuery
     circuit: Circuit
     fragmentation: Fragmentation
     is_nnf: bool
+    compile_ms: float = 0.0
+    gates_saved: int = 0
 
     @property
     def tape(self) -> EvaluationTape:
@@ -112,6 +124,15 @@ class CompiledLineage:
         return len(self.circuit)
 
 
+def _pair_of(leaf: BooleanFunction) -> tuple[int, int] | None:
+    """``(flip variable, pattern)`` when the leaf is a pair function (the
+    Proposition 5.8 leaves): exactly two models differing in one bit."""
+    models = list(leaf.satisfying_masks())
+    if len(models) == 2 and (models[0] ^ models[1]).bit_count() == 1:
+        return (models[0] ^ models[1]).bit_length() - 1, models[0]
+    return None
+
+
 def _leaf_circuit(
     leaf: BooleanFunction, k: int, db: Instance, circuit: Circuit
 ) -> int:
@@ -124,10 +145,9 @@ def _leaf_circuit(
     """
     if leaf.is_bottom():
         return circuit.add_const(False)
-    models = list(leaf.satisfying_masks())
-    if len(models) == 2 and (models[0] ^ models[1]).bit_count() == 1:
-        flip_variable = (models[0] ^ models[1]).bit_length() - 1
-        return pair_query_circuit(k, flip_variable, models[0], db, circuit)
+    pair = _pair_of(leaf)
+    if pair is not None:
+        return pair_query_circuit(k, pair[0], pair[1], db, circuit)
     sub = degenerate_lineage_circuit(leaf, db)
     return copy_into(sub, circuit)
 
@@ -135,8 +155,22 @@ def _leaf_circuit(
 def _plug_template(
     fragmentation: Fragmentation, k: int, db: Instance
 ) -> Circuit:
-    """Proposition 4.4: materialize ``T[C_0, ..., C_n]`` as one circuit."""
-    circuit = Circuit()
+    """Proposition 4.4: materialize ``T[C_0, ..., C_n]`` as one circuit.
+
+    The arena hash-conses its gates, so leaves sharing pair-query
+    structure (and the template's repeated ¬/∨ shapes) are built once;
+    the pair leaves' OBDD families are prefetched in one sweep per side.
+    """
+    circuit = Circuit(dedup=True)
+    prefetch_pair_queries(
+        k,
+        (
+            pair
+            for leaf in fragmentation.leaves
+            if not leaf.is_bottom() and (pair := _pair_of(leaf)) is not None
+        ),
+        db,
+    )
     leaf_gates = [
         _leaf_circuit(leaf, k, db, circuit)
         for leaf in fragmentation.leaves
@@ -172,17 +206,25 @@ def compile_lineage(query: HQuery, db: Instance) -> CompiledLineage:
             f"e(phi) = {euler} != 0: no fragmentation "
             "exists (Corollary 5.4); the query is #P-hard or conjectured so"
         )
+    started = time.perf_counter()
     if phi.is_degenerate():
         fragmentation = fragment(phi)  # single-hole template
         circuit = degenerate_lineage_circuit(phi, db)
-        return CompiledLineage(query, circuit, fragmentation, circuit.is_nnf())
-    matching = colored_matching(phi)
-    if matching is not None:
-        fragmentation = fragment_via_matching(phi, matching)
     else:
-        fragmentation = fragment(phi)
-    circuit = _plug_template(fragmentation, query.k, db)
-    return CompiledLineage(query, circuit, fragmentation, circuit.is_nnf())
+        matching = colored_matching(phi)
+        if matching is not None:
+            fragmentation = fragment_via_matching(phi, matching)
+        else:
+            fragmentation = fragment(phi)
+        circuit = _plug_template(fragmentation, query.k, db)
+    return CompiledLineage(
+        query,
+        circuit,
+        fragmentation,
+        circuit.is_nnf(),
+        compile_ms=(time.perf_counter() - started) * 1e3,
+        gates_saved=circuit.dedup_hits,
+    )
 
 
 def compile_lineage_ddnnf(query: HQuery, db: Instance) -> CompiledLineage:
@@ -199,11 +241,19 @@ def compile_lineage_ddnnf(query: HQuery, db: Instance) -> CompiledLineage:
             "the colored subgraph of G_V[phi] has no perfect matching; "
             "phi is not ∼−*-reducible to ⊥"
         )
+    started = time.perf_counter()
     fragmentation = fragment_via_matching(phi, matching)
     circuit = _plug_template(fragmentation, query.k, db)
     if not circuit.is_nnf():
         raise AssertionError("matching template produced a non-NNF circuit")
-    return CompiledLineage(query, circuit, fragmentation, True)
+    return CompiledLineage(
+        query,
+        circuit,
+        fragmentation,
+        True,
+        compile_ms=(time.perf_counter() - started) * 1e3,
+        gates_saved=circuit.dedup_hits,
+    )
 
 
 def probability(query: HQuery, tid: TupleIndependentDatabase) -> Fraction:
@@ -230,10 +280,15 @@ def transfer_lineage(
     target_phi = target.phi
     if source_phi.euler_characteristic() != target_phi.euler_characteristic():
         raise ValueError("transfer requires equal Euler characteristics")
+    started = time.perf_counter()
     steps = transform(source_phi, target_phi)
-    circuit = Circuit()
+    circuit = Circuit(dedup=True)
     current = copy_into(compiled.circuit, circuit)
     for step in steps:
+        # Pair-query OBDDs come from the instance's shared side managers
+        # (a cache keyed by (k, l, mask, instance content)), so repeated
+        # steps over the same pair reuse both the OBDD and — through the
+        # arena's cons table — its gates.
         leaf_gate = pair_query_circuit(
             target.k, step.variable, step.valuation, db, circuit
         )
@@ -245,5 +300,10 @@ def transfer_lineage(
             )
     circuit.set_output(current)
     return CompiledLineage(
-        target, circuit, compiled.fragmentation, circuit.is_nnf()
+        target,
+        circuit,
+        compiled.fragmentation,
+        circuit.is_nnf(),
+        compile_ms=(time.perf_counter() - started) * 1e3,
+        gates_saved=circuit.dedup_hits,
     )
