@@ -15,12 +15,20 @@ Compares, on q_9's compiled d-D lineage and on grounding workloads:
   (closure automata, fresh managers, append-only arenas — reimplemented
   verbatim below), plus the circuit-size reduction from sharing.
 
+* **serving** (PR 3): the sharded concurrent service
+  (:mod:`repro.serving`) — cold/warm sweep throughput over a
+  multi-instance workload spread across the shards, a 256-request
+  hot-instance microbatch wave, bit-for-float agreement with the
+  single-threaded ``evaluate_batch``, and per-shard cache/latency stats.
+
 Run as a script to write ``BENCH_evaluation.json`` at the repository
 root, so future PRs can track the perf trajectory:
 
     PYTHONPATH=src python benchmarks/run_evaluation_bench.py
 
-(The script falls back to inserting ``src/`` on ``sys.path`` itself.)
+``--sections serving`` (or any subset) reruns just those sections and
+merges them into an existing ``BENCH_evaluation.json``.  (The script
+falls back to inserting ``src/`` on ``sys.path`` itself.)
 """
 
 from __future__ import annotations
@@ -554,29 +562,154 @@ def bench_compilation(n=8, num_queries=24, repeats=5):
     }
 
 
-def run_all():
+def bench_serving(
+    shards=4, requests_per_instance=64, hot_requests=256, workers=2
+):
+    """The sharded service vs. the single-threaded batch path.
+
+    Workload one (*spread*): distinct-content instances covering every
+    shard, ``requests_per_instance`` q9-evaluations each, submitted as
+    one ``submit_batch`` wave — cold (caches empty, compiles on every
+    shard) then warm.  Workload two (*hot*): ``hot_requests`` requests
+    against a single instance, exercising the microbatcher on one shard.
+    Both must agree bit-for-float with ``evaluate_batch``; throughput is
+    warm requests per second, and per-shard stats document the cache hit
+    rates and p50/p95 the service saw.
+    """
+    from repro.pqe.engine import CompilationCache, evaluate_batch
+    from repro.serving import ShardedService
+
+    query = q9()
+    service = ShardedService(shards=shards, workers_per_shard=workers)
+    tids, covered, size = [], set(), 0
+    while len(covered) < shards and size < 64:
+        size += 1
+        tid = complete_tid(3, 1 + size, 2, prob=Fraction(1, 2))
+        index = service.shard_of(tid)
+        if index not in covered:
+            covered.add(index)
+            tids.append(tid)
+    requests = [tid for tid in tids for _ in range(requests_per_instance)]
+
+    single_cache = CompilationCache()
+    start = time.perf_counter()
+    reference = evaluate_batch(query, requests, cache=single_cache)
+    single_cold = time.perf_counter() - start
+    start = time.perf_counter()
+    reference_warm = evaluate_batch(query, requests, cache=single_cache)
+    single_warm = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_wave = service.submit_batch(query, requests)
+    service_cold = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_wave = service.submit_batch(query, requests)
+    service_warm = time.perf_counter() - start
+
+    identical = (
+        [r.probability for r in cold_wave] == reference.probabilities
+        and [r.probability for r in warm_wave]
+        == reference_warm.probabilities
+    )
+
+    hot = [tids[0]] * hot_requests
+    hot_reference = evaluate_batch(query, hot, cache=single_cache)
+    start = time.perf_counter()
+    hot_wave = service.submit_batch(query, hot)
+    hot_seconds = time.perf_counter() - start
+    identical = identical and (
+        [r.probability for r in hot_wave] == hot_reference.probabilities
+    )
+
+    stats = service.stats()
+    service.close()
+    return {
+        "shards": shards,
+        "workers_per_shard": workers,
+        "instances": len(tids),
+        "spread_requests": len(requests),
+        "single_thread_cold_ms": single_cold * 1e3,
+        "single_thread_warm_ms": single_warm * 1e3,
+        "service_cold_ms": service_cold * 1e3,
+        "service_warm_ms": service_warm * 1e3,
+        "warm_throughput_rps": len(requests) / service_warm,
+        "hot_requests": hot_requests,
+        "hot_wave_ms": hot_seconds * 1e3,
+        "hot_throughput_rps": hot_requests / hot_seconds,
+        "bit_identical_with_evaluate_batch": identical,
+        "p50_ms": stats.p50_ms,
+        "p95_ms": stats.p95_ms,
+        "compile_ms": stats.compile_ms,
+        "microbatched_requests": stats.microbatched_requests,
+        "per_shard": [
+            {
+                "shard": s.shard,
+                "requests": s.requests,
+                "batches": s.batches,
+                "max_batch_size": s.max_batch_size,
+                "cache_hits": s.cache.hits,
+                "cache_misses": s.cache.misses,
+                "cache_hit_rate": s.cache_hit_rate,
+                "compile_ms": s.compile_ms,
+                "p50_ms": s.p50_ms,
+                "p95_ms": s.p95_ms,
+            }
+            for s in stats.shards
+        ],
+    }
+
+
+SECTIONS = {
+    "single_float": bench_single_float,
+    "batch": bench_batch,
+    "exact": bench_exact,
+    "grounding": bench_grounding,
+    "compilation": bench_compilation,
+    "serving": bench_serving,
+}
+
+
+def run_all(sections=None):
     try:
         import numpy
         numpy_version = numpy.__version__
     except ImportError:
         numpy_version = None
-    return {
+    selected = list(SECTIONS) if sections is None else list(sections)
+    results = {
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "numpy": numpy_version,
             "unix_time": time.time(),
         },
-        "single_float": bench_single_float(),
-        "batch": bench_batch(),
-        "exact": bench_exact(),
-        "grounding": bench_grounding(),
-        "compilation": bench_compilation(),
     }
+    for name in selected:
+        results[name] = SECTIONS[name]()
+    return results
 
 
-def main():
-    results = run_all()
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run the evaluation/serving benchmarks and write "
+        "BENCH_evaluation.json"
+    )
+    parser.add_argument(
+        "--sections",
+        nargs="+",
+        choices=sorted(SECTIONS),
+        default=None,
+        help="run only these sections and merge them into an existing "
+        "BENCH_evaluation.json (default: all sections, full rewrite)",
+    )
+    args = parser.parse_args(argv)
+    results = run_all(args.sections)
+    if args.sections and RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+        merged.update(results)
+        results = merged
     RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     print(f"\nwrote {RESULT_PATH}")

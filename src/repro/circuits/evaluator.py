@@ -379,6 +379,39 @@ class EvaluationTape:
             batch_size = len(rows[0])
             if any(len(row) != batch_size for row in rows):
                 raise ValueError("ragged batch matrix")
+        return self._sweep(rows, batch_size)
+
+    def evaluate_vectors(
+        self, vectors: Sequence[Sequence[float]]
+    ) -> list[float]:
+        """``Pr(circuit)`` for a batch of pre-resolved slot vectors — one
+        per batch member, as produced by :meth:`probability_vector`.
+
+        The microbatch entry of the serving layer
+        (:meth:`repro.serving.shard.Shard._process`): each grouped
+        request's probability map is resolved to a slot vector once,
+        and the whole group then shares a single sweep.  Equivalent to
+        :meth:`evaluate_batch` on the corresponding maps, float for
+        float.
+        """
+        width = len(self.var_labels)
+        for vector in vectors:
+            if len(vector) != width:
+                raise ValueError(
+                    f"slot vector of length {len(vector)}; the tape has "
+                    f"{width} variable slots"
+                )
+        rows = [
+            [float(vector[slot]) for vector in vectors]
+            for slot in range(width)
+        ]
+        return self._sweep(rows, len(vectors))
+
+    def _sweep(
+        self, rows: list[list[float]], batch_size: int
+    ) -> list[float]:
+        """Run the compiled function over per-slot rows (the shared
+        backend of :meth:`evaluate_batch` and :meth:`evaluate_vectors`)."""
         if batch_size == 0:
             return []
         fn = self._compiled()

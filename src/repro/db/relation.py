@@ -10,6 +10,7 @@ functions.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Hashable, Iterable, Iterator
 from dataclasses import dataclass
 
@@ -224,6 +225,28 @@ class Instance:
             self._fingerprint_cache = _FingerprintTuple(self.tuple_ids())
             self._fingerprint_versions = versions
         return self._fingerprint_cache
+
+    def shard_key(self) -> int:
+        """A process-stable 64-bit digest of the instance's content.
+
+        ``hash(content_fingerprint())`` would do for in-process routing,
+        but Python salts string hashes per process (``PYTHONHASHSEED``),
+        so a sharded service restarted — or spread over several
+        processes — would route the same instance to different shards and
+        cold-start every compilation cache.  This digest depends only on
+        the facts' reprs, making shard assignment reproducible across
+        runs.  Memoized against the relations' insertion versions via
+        :meth:`cached_derivation`.
+        """
+
+        def build(db: "Instance") -> int:
+            digest = hashlib.blake2b(digest_size=8)
+            for tuple_id in db.tuple_ids():
+                digest.update(repr(tuple_id).encode())
+                digest.update(b"\x00")
+            return int.from_bytes(digest.digest(), "big")
+
+        return self.cached_derivation("instance.shard_key", build)
 
     def cached_derivation(self, key: Hashable, build) -> object:
         """Memoize ``build(self)`` against the relations' insertion

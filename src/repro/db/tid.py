@@ -97,11 +97,18 @@ class TupleIndependentDatabase:
             )
 
     def sample_world(self, rng: random.Random) -> frozenset[TupleId]:
-        """Draw one world from the TID distribution."""
+        """Draw one world from the TID distribution.
+
+        Each tuple's inclusion is decided by :func:`exact_bernoulli`, so
+        probabilities with no binary-float representation (1/3, 1/7, ...)
+        are sampled bias-free — the samplers in
+        :mod:`repro.pqe.approximate` inherit the exactness guarantee the
+        rest of the repo gets from :class:`~fractions.Fraction`.
+        """
         return frozenset(
             t
             for t in self.instance.tuple_ids()
-            if rng.random() < float(self.probability_of(t))
+            if exact_bernoulli(rng, self.probability_of(t))
         )
 
     def __len__(self) -> int:
@@ -115,6 +122,21 @@ def _as_fraction(prob: Fraction | int | str | float) -> Fraction:
     if isinstance(prob, float):
         return Fraction(str(prob))
     return Fraction(prob)
+
+
+def exact_bernoulli(rng: random.Random, p: Fraction) -> bool:
+    """An exact coin flip: ``True`` with probability *exactly* ``p``.
+
+    ``rng.random() < float(p)`` succeeds with the probability of the
+    nearest 53-bit float, not of ``p`` — a bias of up to ``2**-53`` per
+    draw that compounds over the per-tuple draws of a sampled world and
+    contradicts the repo's exact-:class:`Fraction` guarantees.  A uniform
+    integer below the denominator costs the same and has zero bias:
+    ``randrange(q)`` is uniform on ``{0, ..., q-1}``, so the draw lands
+    below the numerator with probability exactly ``p``.
+    """
+    p = Fraction(p)
+    return rng.randrange(p.denominator) < p.numerator
 
 
 def valuation_probability(

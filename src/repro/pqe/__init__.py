@@ -30,6 +30,7 @@ from repro.pqe.degenerate import (
 from repro.pqe.engine import (
     BRUTE_FORCE_LIMIT,
     BatchEvaluationResult,
+    CompilationCache,
     CompilationCacheStats,
     EvaluationResult,
     HardQueryError,
@@ -70,6 +71,7 @@ from repro.pqe.safe_plans import (
 __all__ = [
     "BRUTE_FORCE_LIMIT",
     "BatchEvaluationResult",
+    "CompilationCache",
     "CompilationCacheStats",
     "Estimate",
     "Classification",

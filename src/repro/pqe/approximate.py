@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from repro.db.relation import TupleId
-from repro.db.tid import TupleIndependentDatabase
+from repro.db.tid import TupleIndependentDatabase, exact_bernoulli
 from repro.queries.hqueries import HQuery
 from repro.queries.ucq import hquery_to_ucq
 
@@ -93,7 +93,13 @@ def karp_luby_probability(
     if not query.is_ucq():
         raise ValueError("Karp–Luby needs a monotone (UCQ) query")
     ucq = hquery_to_ucq(query)
-    clauses = sorted(ucq.grounding_sets(tid.instance), key=repr)
+    # Canonical clause order: sort by the clauses' sorted TupleId tuples,
+    # not by repr — a frozenset's repr follows its hash-salted iteration
+    # order, which would make the fixed-seed sample path (and thus every
+    # "same seed, same estimate" guarantee) vary per process.
+    clauses = sorted(
+        ucq.grounding_sets(tid.instance), key=lambda clause: sorted(clause)
+    )
     if not clauses:
         return Estimate(0.0, 0.0, samples)
     prob = tid.probability_map()
@@ -106,23 +112,33 @@ def karp_luby_probability(
     total_weight = sum(weights, Fraction(0))
     if total_weight == 0:
         return Estimate(0.0, 0.0, samples)
-    cumulative: list[Fraction] = []
-    running = Fraction(0)
+    # Clause selection must be *exactly* proportional to the weights:
+    # put the cumulative weights over one common denominator D, so the
+    # prefix sums are integers n_1 <= ... <= n_m with n_m = W * D, and a
+    # uniform integer draw in [0, n_m) selects clause i exactly when it
+    # lands in [n_{i-1}, n_i) — probability (n_i - n_{i-1}) / n_m =
+    # w_i / W, bit-free of float rounding.  (The previous
+    # ``Fraction(rng.random()).limit_denominator(...)`` draw inherited
+    # the 53-bit grid of ``random()``, which cannot represent thirds or
+    # sevenths and so was biased for such weights.)
+    denominator = math.lcm(*(w.denominator for w in weights))
+    cumulative: list[int] = []
+    running = 0
     for w in weights:
-        running += w
+        running += w.numerator * (denominator // w.denominator)
         cumulative.append(running)
 
     all_tuples = tid.instance.tuple_ids()
     hits = 0
     for _ in range(samples):
-        draw = Fraction(rng.random()).limit_denominator(1 << 30) * total_weight
+        draw = rng.randrange(cumulative[-1])
         index = _bisect(cumulative, draw)
         forced = clauses[index]
         world: set[TupleId] = set(forced)
         for tuple_id in all_tuples:
             if tuple_id in forced:
                 continue
-            if rng.random() < float(prob[tuple_id]):
+            if exact_bernoulli(rng, prob[tuple_id]):
                 world.add(tuple_id)
         # Is the sampled clause the first satisfied one?
         first = next(
@@ -142,11 +158,21 @@ def karp_luby_probability(
     return Estimate(value, half_width, samples)
 
 
-def _bisect(cumulative: list[Fraction], needle: Fraction) -> int:
+def _bisect(cumulative: list[int], needle: int) -> int:
+    """The index of the first prefix sum *strictly* greater than the draw.
+
+    Clause ``i`` owns the half-open draw interval
+    ``[cumulative[i-1], cumulative[i])``, so a draw exactly equal to a
+    prefix boundary selects the *next* clause — the convention matching
+    uniform integer draws in ``[0, cumulative[-1])``, where each clause's
+    interval has exactly ``w_i * D`` integers.  (The old ``<`` test put
+    boundary draws in the *previous* clause's interval, making interval
+    ``i`` one integer too wide and interval ``i+1`` one too narrow.)
+    """
     low, high = 0, len(cumulative) - 1
     while low < high:
         middle = (low + high) // 2
-        if cumulative[middle] < needle:
+        if cumulative[middle] <= needle:
             low = middle + 1
         else:
             high = middle

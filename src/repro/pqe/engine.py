@@ -106,20 +106,106 @@ class CompilationCacheStats:
     pair_misses: int = 0
 
 
-_COMPILE_CACHE: OrderedDict[tuple, CompiledLineage] = OrderedDict()
-_CACHE_STATS = CompilationCacheStats()
-#: Guards ``_COMPILE_CACHE`` and ``_CACHE_STATS``: concurrent
-#: ``evaluate()`` callers must not corrupt the LRU order or lose counter
-#: updates.  Compilation itself runs outside the lock, so a slow compile
-#: never serializes unrelated evaluations (two racing callers may both
-#: compile the same key once; the first insertion wins).
-_CACHE_LOCK = threading.RLock()
+class CompilationCache:
+    """A thread-safe LRU of compiled lineages keyed by ``(query, instance
+    fingerprint)``.
+
+    The module keeps one default instance behind the convenience API
+    below; :mod:`repro.serving` gives every shard its own cache so that
+    churn on one shard never evicts another shard's circuits and two
+    shards never serve each other's compiled state.  Lookup and insertion
+    are guarded by a per-cache lock; compilation itself runs outside the
+    lock, so a slow compile never serializes unrelated evaluations (two
+    racing callers may both compile the same key once; the first
+    insertion wins and every holder shares its circuit).
+    """
+
+    def __init__(self, limit: int = COMPILATION_CACHE_LIMIT):
+        if limit < 1:
+            raise ValueError(f"cache limit must be positive, got {limit}")
+        self.limit = limit
+        self._entries: OrderedDict[tuple, CompiledLineage] = OrderedDict()
+        self._stats = CompilationCacheStats()
+        self._lock = threading.RLock()
+
+    def get_or_compile(
+        self,
+        query: HQuery,
+        instance: Instance,
+        fingerprint: tuple | None = None,
+    ) -> tuple[CompiledLineage, bool]:
+        """The cached compiled lineage for ``(query, instance)``, compiling
+        on a miss.  Returns ``(compiled, was_cache_hit)``.
+
+        The returned :class:`CompiledLineage` is shared cache state, so
+        its circuit is frozen on insertion: mutation attempts raise
+        instead of silently corrupting other holders (grow a copy via
+        :func:`repro.circuits.operations.copy_into` instead).
+        """
+        if fingerprint is None:
+            fingerprint = instance.content_fingerprint()
+        key = (query, fingerprint)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return cached, True
+        compiled = compile_lineage(query, instance)
+        compiled.circuit.freeze()
+        with self._lock:
+            racing = self._entries.get(key)
+            if racing is not None:
+                # Another thread compiled the same key first; keep one
+                # circuit so every holder shares the same tape and arena.
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return racing, True
+            self._stats.misses += 1
+            self._entries[key] = compiled
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        return compiled, False
+
+    def stats(self) -> CompilationCacheStats:
+        """A coherent snapshot of this cache's own counters (the
+        pair-query counters of the module-level
+        :func:`compilation_cache_stats` are process-wide and not
+        per-cache)."""
+        with self._lock:
+            return CompilationCacheStats(
+                self._stats.hits,
+                self._stats.misses,
+                self._stats.evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._stats.hits = 0
+            self._stats.misses = 0
+            self._stats.evictions = 0
+
+    def keys(self) -> tuple[tuple, ...]:
+        """The cached ``(query, fingerprint)`` keys, LRU-oldest first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_DEFAULT_CACHE = CompilationCache()
 
 
 def compile_lineage_cached(
     query: HQuery,
     instance: Instance,
     fingerprint: tuple | None = None,
+    cache: CompilationCache | None = None,
 ) -> tuple[CompiledLineage, bool]:
     """:func:`repro.pqe.intensional.compile_lineage` behind an LRU cache
     keyed by ``(query, instance fingerprint)``.
@@ -129,61 +215,42 @@ def compile_lineage_cached(
     paper's update/re-evaluate workloads) reuse one circuit and its tape.
     ``fingerprint`` lets callers that already hold the instance's
     :meth:`~repro.db.relation.Instance.content_fingerprint` (e.g. batch
-    grouping) pass it through.  Returns ``(compiled, was_cache_hit)``.
-
-    The returned :class:`CompiledLineage` is shared cache state, so its
-    circuit is frozen on insertion: mutation attempts raise instead of
-    silently corrupting other holders (grow a copy via
-    :func:`repro.circuits.operations.copy_into` instead).  Lookup and
-    insertion are thread-safe.
+    grouping) pass it through; ``cache`` selects a caller-owned
+    :class:`CompilationCache` (per-shard state in :mod:`repro.serving`)
+    instead of the process-wide default.  Returns
+    ``(compiled, was_cache_hit)``.
     """
-    if fingerprint is None:
-        fingerprint = instance.content_fingerprint()
-    key = (query, fingerprint)
-    with _CACHE_LOCK:
-        cached = _COMPILE_CACHE.get(key)
-        if cached is not None:
-            _COMPILE_CACHE.move_to_end(key)
-            _CACHE_STATS.hits += 1
-            return cached, True
-    compiled = compile_lineage(query, instance)
-    compiled.circuit.freeze()
-    with _CACHE_LOCK:
-        racing = _COMPILE_CACHE.get(key)
-        if racing is not None:
-            # Another thread compiled the same key first; keep one circuit
-            # so every holder shares the same tape and arena.
-            _COMPILE_CACHE.move_to_end(key)
-            _CACHE_STATS.hits += 1
-            return racing, True
-        _CACHE_STATS.misses += 1
-        _COMPILE_CACHE[key] = compiled
-        while len(_COMPILE_CACHE) > COMPILATION_CACHE_LIMIT:
-            _COMPILE_CACHE.popitem(last=False)
-            _CACHE_STATS.evictions += 1
-    return compiled, False
+    return (cache if cache is not None else _DEFAULT_CACHE).get_or_compile(
+        query, instance, fingerprint
+    )
 
 
-def compilation_cache_stats() -> CompilationCacheStats:
-    """A snapshot of the cache counters."""
+def compilation_cache_stats(
+    cache: CompilationCache | None = None,
+) -> CompilationCacheStats:
+    """A snapshot of the cache counters (the default cache's unless a
+    caller-owned one is passed), plus the process-wide pair-query
+    counters."""
     pair_hits, pair_misses = pair_cache_counters()
-    with _CACHE_LOCK:
-        return CompilationCacheStats(
-            _CACHE_STATS.hits,
-            _CACHE_STATS.misses,
-            _CACHE_STATS.evictions,
-            pair_hits,
-            pair_misses,
-        )
+    snapshot = (cache if cache is not None else _DEFAULT_CACHE).stats()
+    snapshot.pair_hits = pair_hits
+    snapshot.pair_misses = pair_misses
+    return snapshot
 
 
-def clear_compilation_cache() -> None:
-    """Drop all cached compiled lineages and reset the counters."""
-    with _CACHE_LOCK:
-        _COMPILE_CACHE.clear()
-        _CACHE_STATS.hits = 0
-        _CACHE_STATS.misses = 0
-        _CACHE_STATS.evictions = 0
+def clear_compilation_cache(cache: CompilationCache | None = None) -> None:
+    """Drop all cached compiled lineages and reset the counters (the
+    default cache's unless a caller-owned one is passed).
+
+    The pair-query counters of :mod:`repro.pqe.degenerate` are
+    process-wide, so they are reset only with the default cache —
+    clearing one shard's cache must not zero observability shared by
+    every other shard.
+    """
+    if cache is not None:
+        cache.clear()
+        return
+    _DEFAULT_CACHE.clear()
     reset_pair_cache_counters()
 
 
@@ -191,11 +258,14 @@ def evaluate(
     query: HQuery,
     tid: TupleIndependentDatabase,
     method: str = "auto",
+    cache: CompilationCache | None = None,
 ) -> EvaluationResult:
     """Evaluate ``Pr(Q_phi)`` with the selected (or automatic) engine.
 
     :param method: ``"auto"``, ``"extensional"``, ``"intensional"`` or
         ``"brute_force"``.
+    :param cache: a caller-owned :class:`CompilationCache` for the
+        intensional route (defaults to the process-wide cache).
     :raises HardQueryError: in auto mode, when the query is not zero-Euler
         and the instance exceeds :data:`BRUTE_FORCE_LIMIT` tuples.
     :raises ValueError: for an unknown method, or from the explicit
@@ -203,13 +273,13 @@ def evaluate(
     """
     classification = classify(query)
     if method == "auto":
-        return _auto(query, tid, classification)
+        return _auto(query, tid, classification, cache)
     if method == "extensional":
         return EvaluationResult(
             extensional_probability(query, tid), "extensional", classification
         )
     if method == "intensional":
-        compiled, hit = compile_lineage_cached(query, tid.instance)
+        compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
         return EvaluationResult(
             compiled.probability(tid),
             "intensional",
@@ -231,9 +301,10 @@ def _auto(
     query: HQuery,
     tid: TupleIndependentDatabase,
     classification: Classification,
+    cache: CompilationCache | None = None,
 ) -> EvaluationResult:
     if classification.dd_ptime:
-        compiled, hit = compile_lineage_cached(query, tid.instance)
+        compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
         return EvaluationResult(
             compiled.probability(tid),
             "intensional",
@@ -263,19 +334,28 @@ def evaluate_batch(
     query: HQuery,
     tids: Iterable[TupleIndependentDatabase],
     method: str = "auto",
+    cache: CompilationCache | None = None,
 ) -> BatchEvaluationResult:
     """Evaluate ``Pr(Q_phi)`` over many TIDs in one float-mode sweep.
 
     The many-TID / updated-probability workload: TIDs sharing an instance
     (same facts, different probabilities) compile once — through the
-    engine cache — and their probability maps run as a single batched pass
-    of the compiled tape.  TIDs over distinct instances are grouped by
-    instance fingerprint, one compilation per group.
+    engine cache (``cache`` selects a caller-owned
+    :class:`CompilationCache`) — and their probability maps run as a
+    single batched pass of the compiled tape.  TIDs over distinct
+    instances are grouped by instance fingerprint, one compilation per
+    group.
 
     ``method`` may be ``"auto"`` or ``"intensional"``.  In auto mode a
     query outside d-D(PTIME) falls back to per-TID :func:`evaluate` (with
     its brute-force size limits); ``"intensional"`` propagates the
     compiler's own :class:`~repro.pqe.intensional.NotCompilableError`.
+
+    An empty ``tids`` returns an empty, well-defined result: no
+    probabilities, no compiled circuit, and the engine label the
+    non-empty batch would have carried (``"intensional"`` when the query
+    routes to the batched path, ``"brute_force"`` for the auto-mode
+    fallback) — never the method name.
 
     Probabilities are returned as floats (the batch backend); use
     :func:`evaluate` for exact single-TID results.
@@ -284,8 +364,19 @@ def evaluate_batch(
     classification = classify(query)
     if method not in ("auto", "intensional"):
         raise ValueError(f"unknown batch method {method!r}")
-    if method == "auto" and not classification.dd_ptime:
-        results = [evaluate(query, tid, method="auto") for tid in tid_list]
+    batched_path = classification.dd_ptime or method == "intensional"
+    if not tid_list:
+        return BatchEvaluationResult(
+            [],
+            "intensional" if batched_path else "brute_force",
+            classification,
+            engines=None if batched_path else [],
+        )
+    if not batched_path:
+        results = [
+            evaluate(query, tid, method="auto", cache=cache)
+            for tid in tid_list
+        ]
         engines = [r.engine for r in results]
         distinct = set(engines)
         # Per-TID fallbacks may pick different engines (instance-size
@@ -293,7 +384,7 @@ def evaluate_batch(
         label = distinct.pop() if len(distinct) == 1 else "mixed"
         return BatchEvaluationResult(
             [float(r.probability) for r in results],
-            label if engines else "auto",
+            label,
             classification,
             engines=engines,
         )
@@ -307,7 +398,7 @@ def evaluate_batch(
     cache_hits = 0
     for fingerprint, positions in groups.items():
         compiled, hit = compile_lineage_cached(
-            query, tid_list[positions[0]].instance, fingerprint
+            query, tid_list[positions[0]].instance, fingerprint, cache
         )
         cache_hits += int(hit)
         batch = compiled.probability_batch(

@@ -1,0 +1,36 @@
+"""A sharded, concurrent serving layer over the PQE engines.
+
+The production face of the repo (see ``docs/serving.md``): registered
+instances partition across shards by a process-stable content digest;
+each shard owns its compilation cache, worker pool and stats; the
+``submit`` / ``submit_batch`` front end microbatches same-work requests
+into single vectorized tape sweeps, and hard queries degrade to exact
+brute force or to the exact-draw samplers under per-request accuracy
+budgets.
+"""
+
+from repro.serving.api import (
+    AccuracyBudget,
+    QueryRequest,
+    QueryResponse,
+)
+from repro.serving.service import ShardedService
+from repro.serving.shard import Shard
+from repro.serving.stats import (
+    LatencyWindow,
+    ServiceStats,
+    ShardStats,
+    percentile,
+)
+
+__all__ = [
+    "AccuracyBudget",
+    "LatencyWindow",
+    "QueryRequest",
+    "QueryResponse",
+    "ServiceStats",
+    "Shard",
+    "ShardedService",
+    "ShardStats",
+    "percentile",
+]

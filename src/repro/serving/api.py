@@ -1,0 +1,98 @@
+"""The request/response surface of the sharded PQE service.
+
+One request is "evaluate ``Pr(Q_phi)`` on this TID"; the service answers
+with a float probability, the engine that produced it, and — for sampled
+answers — the error bar the :class:`AccuracyBudget` bought.  Requests and
+responses are plain frozen dataclasses so they can cross thread (and
+eventually process) boundaries without shared mutable state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.db.tid import TupleIndependentDatabase
+from repro.queries.hqueries import HQuery
+
+#: Normal-approximation z-score behind every ~95% half-width in
+#: :mod:`repro.pqe.approximate`; the budget arithmetic must match it.
+Z_95 = 1.96
+
+
+@dataclass(frozen=True)
+class AccuracyBudget:
+    """How much accuracy a sampled answer must buy, per request.
+
+    ``epsilon`` is the target ~95% half-width of the estimate.  The
+    sample size is the normal-approximation worst case over the
+    indicator's variance, ``n = ceil((Z_95 / (2 * epsilon))**2)``,
+    clamped to ``[min_samples, max_samples]``.  For
+    :func:`~repro.pqe.approximate.monte_carlo_probability` that bounds
+    the *absolute* half-width by ``epsilon``; for
+    :func:`~repro.pqe.approximate.karp_luby_probability` the half-width
+    scales with the union-bound weight ``W``, so ``epsilon`` bounds the
+    error *relative to W* — the relative-error regime that makes
+    Karp–Luby an FPRAS.
+
+    ``seed`` makes the answer deterministic: a request re-submitted with
+    the same budget draws the same sample path, so shard workers (and
+    retries) can rely on reproducible estimates.
+    """
+
+    epsilon: float = 0.05
+    min_samples: int = 100
+    max_samples: int = 50_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be positive, got {self.min_samples}"
+            )
+        if self.max_samples < self.min_samples:
+            raise ValueError(
+                f"max_samples {self.max_samples} below min_samples "
+                f"{self.min_samples}"
+            )
+
+    def samples(self) -> int:
+        """The sample size this budget purchases (see class docstring)."""
+        worst_case = math.ceil((Z_95 / (2 * self.epsilon)) ** 2)
+        return max(self.min_samples, min(self.max_samples, worst_case))
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of work routed to a shard: a query over a TID, plus the
+    accuracy budget to spend if the answer has to be sampled (``None``
+    uses the service default)."""
+
+    query: HQuery
+    tid: TupleIndependentDatabase
+    budget: AccuracyBudget | None = None
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One answered request.
+
+    ``engine`` is ``"intensional"`` (batched d-D sweep),
+    ``"brute_force"`` (small hard instance), ``"karp_luby"`` (large hard
+    UCQ) or ``"monte_carlo"`` (large hard non-monotone query).
+    ``batch_size`` is the size of the microbatch the request was served
+    in (1 when it rode alone); ``cache_hit`` whether the compiled d-D
+    came from the shard's cache.  ``half_width``/``samples`` are zero for
+    exact engines.
+    """
+
+    probability: float
+    engine: str
+    shard: int
+    cache_hit: bool = False
+    batch_size: int = 1
+    half_width: float = 0.0
+    samples: int = 0
+    latency_ms: float = 0.0

@@ -1,0 +1,173 @@
+"""The front end of the sharded PQE service.
+
+:class:`ShardedService` turns :mod:`repro.pqe.engine` into a concurrent,
+multi-tenant query service: registered instances are partitioned across
+``N`` shards by a process-stable digest of their
+:meth:`~repro.db.relation.Instance.content_fingerprint`, each shard owns
+its compilation cache / workers / stats, and the ``submit`` /
+``submit_batch`` API microbatches same-work requests into single
+vectorized tape sweeps.  Routing follows the Figure-1 dichotomy per
+request: d-D(PTIME) queries compile through the shard cache and run
+batched; hard queries fall back to exact enumeration when the instance
+is small, and to the exact-draw Karp–Luby (UCQ) or Monte-Carlo
+(non-monotone) sampler under a per-request
+:class:`~repro.serving.api.AccuracyBudget` otherwise.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+from repro.db.relation import Instance
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.engine import BRUTE_FORCE_LIMIT, COMPILATION_CACHE_LIMIT
+from repro.queries.hqueries import HQuery
+from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
+from repro.serving.shard import Shard
+from repro.serving.stats import ServiceStats, percentile
+
+
+class ShardedService:
+    """A sharded, concurrent PQE query service.
+
+    >>> from fractions import Fraction
+    >>> from repro.db.generator import complete_tid
+    >>> from repro.queries.hqueries import q9
+    >>> with ShardedService(shards=2) as service:
+    ...     tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+    ...     response = service.submit(q9(), tid).result()
+    >>> response.engine
+    'intensional'
+
+    The service is a context manager; :meth:`close` drains the worker
+    pools.  All shard state is in-process — this layer is the process
+    model later PRs build async I/O and multi-process backends on.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        *,
+        workers_per_shard: int = 2,
+        cache_limit_per_shard: int = COMPILATION_CACHE_LIMIT,
+        default_budget: AccuracyBudget | None = None,
+        brute_force_limit: int = BRUTE_FORCE_LIMIT,
+        latency_window: int = 4096,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        budget = (
+            default_budget if default_budget is not None else AccuracyBudget()
+        )
+        self._shards = [
+            Shard(
+                index,
+                workers=workers_per_shard,
+                cache_limit=cache_limit_per_shard,
+                default_budget=budget,
+                brute_force_limit=brute_force_limit,
+                latency_window=latency_window,
+            )
+            for index in range(shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Routing and registration
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_of(
+        self, instance: Instance | TupleIndependentDatabase
+    ) -> int:
+        """The shard index owning the given instance — stable across
+        processes (:meth:`~repro.db.relation.Instance.shard_key`), so a
+        restarted service re-routes every instance to the same shard and
+        its warmed caches stay meaningful."""
+        if isinstance(instance, TupleIndependentDatabase):
+            instance = instance.instance
+        return instance.shard_key() % len(self._shards)
+
+    def register(
+        self, instance: Instance | TupleIndependentDatabase
+    ) -> int:
+        """Pin an instance to its shard ahead of traffic; returns the
+        shard index.  ``submit`` registers implicitly — this is for
+        warm-up and for observability (``ShardStats.instances``)."""
+        if isinstance(instance, TupleIndependentDatabase):
+            instance = instance.instance
+        index = self.shard_of(instance)
+        self._shards[index].register(instance.content_fingerprint())
+        return index
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: HQuery,
+        tid: TupleIndependentDatabase,
+        budget: AccuracyBudget | None = None,
+    ) -> Future:
+        """Enqueue one evaluation; returns a future resolving to a
+        :class:`~repro.serving.api.QueryResponse`.  Same-``(query,
+        instance)`` requests in flight are microbatched into one
+        compiled-tape sweep on the owning shard."""
+        index = self.shard_of(tid)
+        return self._shards[index].submit(QueryRequest(query, tid, budget))
+
+    def submit_batch(
+        self,
+        query: HQuery,
+        tids: list[TupleIndependentDatabase],
+        budget: AccuracyBudget | None = None,
+    ) -> list[QueryResponse]:
+        """Evaluate one query over many TIDs, in input order.
+
+        Requests fan out to their owning shards, group into microbatches
+        per ``(query, instance fingerprint)``, and the call blocks until
+        every response is in — the synchronous convenience over
+        :meth:`submit` for sweep/update workloads.  Probabilities are
+        bit-for-float identical to a single-threaded
+        :func:`repro.pqe.engine.evaluate_batch` over the same TIDs.
+        """
+        futures = [self.submit(query, tid, budget) for tid in tids]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Observability and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A service-wide snapshot; latency percentiles are computed over
+        the union of the shards' windows."""
+        shard_stats = tuple(shard.stats() for shard in self._shards)
+        latencies: list[float] = []
+        for shard in self._shards:
+            latencies.extend(shard.latency_snapshot())
+        return ServiceStats(
+            shards=shard_stats,
+            requests=sum(s.requests for s in shard_stats),
+            batches=sum(s.batches for s in shard_stats),
+            microbatched_requests=sum(
+                s.microbatched_requests for s in shard_stats
+            ),
+            queue_depth=sum(s.queue_depth for s in shard_stats),
+            compile_ms=sum(s.compile_ms for s in shard_stats),
+            p50_ms=percentile(latencies, 0.50),
+            p95_ms=percentile(latencies, 0.95),
+        )
+
+    def close(self, wait: bool = True) -> None:
+        """Shut every shard's worker pool down (idempotent)."""
+        for shard in self._shards:
+            shard.close(wait=wait)
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

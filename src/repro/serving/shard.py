@@ -1,0 +1,311 @@
+"""One shard of the sharded PQE service.
+
+A shard owns everything a request needs after routing: its *own*
+:class:`~repro.pqe.engine.CompilationCache` (so cache churn is isolated
+per shard and two shards never serve each other's circuits), a small
+thread-pool of workers, a pending queue that microbatches same-work
+requests, and its stats.  Instance-derived state (variable orders,
+tabular side machines, shared OBDD managers) lives on the
+:class:`~repro.db.relation.Instance` objects themselves via
+``cached_derivation``; since an instance is routed to exactly one shard,
+those arenas are shard-local too.
+
+Microbatching: every ``submit`` appends to the pending queue and
+schedules a drain on the shard's executor.  A drain takes the queue
+head and *all* pending requests sharing its ``(query, instance
+fingerprint)`` work key, resolves each request's probability map to a
+tape slot vector, and serves the whole group in one
+:meth:`~repro.circuits.evaluator.EvaluationTape.evaluate_vectors` sweep
+of the compiled tape — one cache probe and one vectorized pass for the
+group, however it interleaved with other traffic.  Because numpy's
+elementwise kernels and the generated float function are per-element
+IEEE operations, batch composition never changes any individual float:
+a microbatched answer is bit-for-float identical to a single-threaded
+:func:`~repro.pqe.engine.evaluate_batch`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter, deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.pqe.approximate import (
+    karp_luby_probability,
+    monte_carlo_probability,
+)
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.dichotomy import classify
+from repro.pqe.engine import (
+    BRUTE_FORCE_LIMIT,
+    COMPILATION_CACHE_LIMIT,
+    CompilationCache,
+)
+from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
+from repro.serving.stats import LatencyWindow, ShardStats
+
+
+@dataclass
+class _Pending:
+    """A queued request: the work key groups microbatchable neighbors."""
+
+    request: QueryRequest
+    future: Future
+    enqueued: float
+    key: tuple = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.key = (
+            self.request.query,
+            self.request.tid.instance.content_fingerprint(),
+        )
+
+
+class Shard:
+    """One shard: compilation cache, workers, microbatch queue, stats."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        workers: int = 2,
+        cache_limit: int = COMPILATION_CACHE_LIMIT,
+        default_budget: AccuracyBudget | None = None,
+        brute_force_limit: int = BRUTE_FORCE_LIMIT,
+        latency_window: int = 4096,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.shard_id = shard_id
+        self.cache = CompilationCache(cache_limit)
+        self.default_budget = (
+            default_budget if default_budget is not None else AccuracyBudget()
+        )
+        self.brute_force_limit = brute_force_limit
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix=f"pqe-shard-{shard_id}"
+        )
+        self._lock = threading.Lock()
+        self._pending: deque[_Pending] = deque()
+        self._latencies = LatencyWindow(latency_window)
+        self._instances: set[tuple] = set()
+        self._requests = 0
+        self._batches = 0
+        self._max_batch_size = 0
+        self._microbatched = 0
+        self._compile_ms = 0.0
+        self._engines: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # Front-end
+    # ------------------------------------------------------------------
+
+    def register(self, fingerprint: tuple) -> None:
+        """Record an instance fingerprint as resident on this shard."""
+        with self._lock:
+            self._instances.add(fingerprint)
+
+    def submit(self, request: QueryRequest) -> Future:
+        """Enqueue one request; the returned future resolves to a
+        :class:`~repro.serving.api.QueryResponse` (or raises the engine's
+        error, e.g. a hard non-UCQ query too large even to sample)."""
+        pending = _Pending(request, Future(), time.perf_counter())
+        with self._lock:
+            self._pending.append(pending)
+            self._instances.add(pending.key[1])
+        try:
+            self._executor.submit(self._drain)
+        except RuntimeError:
+            # Closed executor: take the request back out so the queue
+            # depth does not report a phantom entry forever.  (If a
+            # still-running drain already claimed it, it will be served
+            # despite the error.)
+            with self._lock:
+                try:
+                    self._pending.remove(pending)
+                except ValueError:
+                    pass
+            raise
+        return pending.future
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down (idempotent); pending drains finish
+        when ``wait`` is true."""
+        self._executor.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Serve one microbatch: the queue head plus every pending
+        request sharing its work key.  Each ``submit`` schedules one
+        drain, and each drain serves at least the head, so every request
+        is served by *some* drain even when groups collapse."""
+        with self._lock:
+            if not self._pending:
+                return
+            head = self._pending.popleft()
+            group = [head]
+            kept: deque[_Pending] = deque()
+            while self._pending:
+                other = self._pending.popleft()
+                if other.key == head.key:
+                    group.append(other)
+                else:
+                    kept.append(other)
+            self._pending = kept
+        # Claim every request before computing: a bare Future stays
+        # cancellable until claimed, and resolving a cancelled future
+        # raises InvalidStateError — which would poison the rest of the
+        # group.  A claimed (RUNNING) future can no longer be cancelled.
+        group = [
+            pending
+            for pending in group
+            if pending.future.set_running_or_notify_cancel()
+        ]
+        if not group:
+            return
+        try:
+            self._process(group)
+        except BaseException as error:  # noqa: BLE001 - futures carry it
+            for pending in group:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+
+    def _process(self, group: list[_Pending]) -> None:
+        query = group[0].request.query
+        classification = classify(query)
+        size = len(group)
+        # Counters first: a client unblocked by its future may read
+        # stats() immediately and must already see itself counted.
+        with self._lock:
+            self._requests += size
+            self._batches += 1
+            self._max_batch_size = max(self._max_batch_size, size)
+            if size > 1:
+                self._microbatched += size
+        if classification.dd_ptime:
+            compiled, hit = self.cache.get_or_compile(
+                query, group[0].request.tid.instance, group[0].key[1]
+            )
+            if not hit:
+                with self._lock:
+                    self._compile_ms += compiled.compile_ms
+            tape = compiled.tape
+            probabilities = tape.evaluate_vectors(
+                [
+                    tape.probability_vector(
+                        pending.request.tid.probability_map()
+                    )
+                    for pending in group
+                ]
+            )
+            for pending, probability in zip(group, probabilities):
+                self._finish(
+                    pending,
+                    probability,
+                    "intensional",
+                    cache_hit=hit,
+                    batch_size=size,
+                )
+        else:
+            for pending in group:
+                self._fallback(pending, query, batch_size=size)
+
+    def _fallback(
+        self, pending: _Pending, query, batch_size: int
+    ) -> None:
+        """The hard-query routes: exact enumeration while it is cheap,
+        otherwise a sampler under the request's accuracy budget."""
+        tid = pending.request.tid
+        if len(tid) <= self.brute_force_limit:
+            self._finish(
+                pending,
+                float(probability_by_world_enumeration(query, tid)),
+                "brute_force",
+                batch_size=batch_size,
+            )
+            return
+        budget = pending.request.budget or self.default_budget
+        rng = random.Random(budget.seed)
+        samples = budget.samples()
+        if query.is_ucq():
+            estimate = karp_luby_probability(query, tid, samples, rng)
+            engine = "karp_luby"
+        else:
+            estimate = monte_carlo_probability(query, tid, samples, rng)
+            engine = "monte_carlo"
+        # The unbiased Karp-Luby estimate W * fraction can land outside
+        # [0, 1] when the union-bound weight W exceeds 1; a *served*
+        # probability is clamped (never further from the truth, which is
+        # a probability).  The half-width is reported unclamped.
+        self._finish(
+            pending,
+            min(1.0, max(0.0, estimate.value)),
+            engine,
+            batch_size=batch_size,
+            half_width=estimate.half_width,
+            samples=estimate.samples,
+        )
+
+    def _finish(
+        self,
+        pending: _Pending,
+        probability: float,
+        engine: str,
+        *,
+        cache_hit: bool = False,
+        batch_size: int = 1,
+        half_width: float = 0.0,
+        samples: int = 0,
+    ) -> None:
+        latency_ms = (time.perf_counter() - pending.enqueued) * 1e3
+        self._latencies.record(latency_ms)
+        with self._lock:
+            self._engines[engine] += 1
+        pending.future.set_result(
+            QueryResponse(
+                probability,
+                engine,
+                self.shard_id,
+                cache_hit=cache_hit,
+                batch_size=batch_size,
+                half_width=half_width,
+                samples=samples,
+                latency_ms=latency_ms,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ShardStats:
+        cache = self.cache.stats()
+        with self._lock:
+            return ShardStats(
+                shard=self.shard_id,
+                instances=len(self._instances),
+                requests=self._requests,
+                batches=self._batches,
+                max_batch_size=self._max_batch_size,
+                microbatched_requests=self._microbatched,
+                queue_depth=len(self._pending),
+                engines=dict(self._engines),
+                cache=cache,
+                compile_ms=self._compile_ms,
+                p50_ms=self._latencies.percentile(0.50),
+                p95_ms=self._latencies.percentile(0.95),
+            )
+
+    def latency_snapshot(self) -> list[float]:
+        """The raw latency window (for service-wide percentiles)."""
+        return self._latencies.snapshot()

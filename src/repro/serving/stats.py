@@ -1,0 +1,111 @@
+"""Observability for the sharded service: latency windows and snapshots.
+
+The service answers "how is each shard doing" with one immutable
+:class:`ServiceStats` — per-shard compilation-cache hit rates, compile
+cost, queue depth, microbatch shape and p50/p95 latency — cheap enough to
+poll from a monitoring loop without perturbing the workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.pqe.engine import CompilationCacheStats
+
+
+class LatencyWindow:
+    """A bounded, thread-safe reservoir of recent latencies (ms).
+
+    Percentiles are nearest-rank over the retained window — exact for
+    the last ``size`` requests, which is what a p50/p95 dashboard wants;
+    an unbounded record would grow forever under serving traffic.
+    """
+
+    def __init__(self, size: int = 4096):
+        if size < 1:
+            raise ValueError(f"window size must be positive, got {size}")
+        self._window: deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+
+    def record(self, latency_ms: float) -> None:
+        with self._lock:
+            self._window.append(latency_ms)
+
+    def snapshot(self) -> list[float]:
+        with self._lock:
+            return list(self._window)
+
+    def percentile(self, q: float) -> float:
+        """The nearest-rank ``q``-quantile (``0 < q <= 1``) of the window;
+        0.0 when nothing has been recorded."""
+        return percentile(self.snapshot(), q)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank quantile of a sample (0.0 for an empty one)."""
+    if not 0 < q <= 1:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, -(-len(ordered) * q // 1) - 1)  # ceil(n*q) - 1
+    return ordered[int(rank)]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's snapshot (all counters since construction, latencies
+    over the shard's bounded window)."""
+
+    shard: int
+    instances: int  #: distinct registered instance fingerprints
+    requests: int
+    batches: int  #: microbatch sweeps run (>= 1 request each)
+    max_batch_size: int
+    microbatched_requests: int  #: requests served in sweeps of size >= 2
+    queue_depth: int  #: requests enqueued but not yet drained
+    engines: dict[str, int]  #: requests answered per engine label
+    cache: CompilationCacheStats  #: this shard's own compilation cache
+    compile_ms: float  #: total wall-clock spent compiling on this shard
+    p50_ms: float
+    p95_ms: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache accesses (0.0 before the first access)."""
+        accesses = self.cache.hits + self.cache.misses
+        return self.cache.hits / accesses if accesses else 0.0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """The whole service: per-shard snapshots plus cross-shard
+    aggregates (latency percentiles are computed over the union of the
+    shards' windows, not averaged per shard)."""
+
+    shards: tuple[ShardStats, ...] = field(default_factory=tuple)
+    requests: int = 0
+    batches: int = 0
+    microbatched_requests: int = 0
+    queue_depth: int = 0
+    compile_ms: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Service-wide hits over cache accesses."""
+        hits = sum(s.cache.hits for s in self.shards)
+        accesses = hits + sum(s.cache.misses for s in self.shards)
+        return hits / accesses if accesses else 0.0
+
+    @property
+    def engines(self) -> dict[str, int]:
+        """Service-wide requests answered per engine label."""
+        merged: dict[str, int] = {}
+        for shard in self.shards:
+            for engine, count in shard.engines.items():
+                merged[engine] = merged.get(engine, 0) + count
+        return merged

@@ -35,6 +35,7 @@ DOCTEST_MODULES = [
     "repro.core.formula",
     "repro.pqe.safe_plans",
     "repro.db.relation",
+    "repro.serving.service",
 ]
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import threading
 
 import pytest
 
@@ -11,8 +12,12 @@ from repro.db.generator import complete_tid
 from repro.pqe.dichotomy import Region
 from repro.pqe.engine import (
     BRUTE_FORCE_LIMIT,
+    CompilationCache,
     HardQueryError,
+    clear_compilation_cache,
+    compilation_cache_stats,
     evaluate,
+    evaluate_batch,
 )
 from repro.queries.hqueries import HQuery, phi_9, q9
 from tests.conftest import small_random_tid
@@ -100,3 +105,173 @@ class TestExplicitModes:
         updated = result.compiled.probability(tid)
         fresh = evaluate(q9(), tid, method="brute_force").probability
         assert updated == fresh
+
+
+class TestEvaluateBatchEdges:
+    """Empty and single-element batches are well-defined (the empty
+    batch used to leak the method name ``"auto"`` as its engine label)."""
+
+    def test_empty_batch_dd_query_auto(self):
+        result = evaluate_batch(q9(), [])
+        assert result.probabilities == []
+        assert result.engine == "intensional"
+        assert result.compiled is None
+        assert result.cache_hits == 0
+        assert result.engines is None
+        assert result.classification.region is Region.ZERO_EULER
+
+    def test_empty_batch_intensional_method(self):
+        result = evaluate_batch(q9(), [], method="intensional")
+        assert result.probabilities == []
+        assert result.engine == "intensional"
+        assert result.compiled is None
+
+    def test_empty_batch_hard_query_auto(self):
+        query = HQuery(3, full_disjunction(3))
+        result = evaluate_batch(query, [])
+        assert result.probabilities == []
+        assert result.engine == "brute_force"
+        assert result.engines == []
+        assert result.compiled is None
+
+    def test_empty_batch_never_reports_auto(self):
+        for query in (q9(), HQuery(3, full_disjunction(3))):
+            assert evaluate_batch(query, []).engine != "auto"
+
+    def test_empty_batch_unknown_method_still_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_batch(q9(), [], method="quantum")
+
+    def test_single_element_batch_dd(self):
+        cache = CompilationCache()
+        tid = complete_tid(3, 2, 2)
+        result = evaluate_batch(q9(), [tid], cache=cache)
+        assert result.engine == "intensional"
+        assert result.compiled is not None
+        exact = evaluate(q9(), tid, method="intensional", cache=cache)
+        assert result.probabilities == [
+            pytest.approx(float(exact.probability), abs=1e-9)
+        ]
+
+    def test_single_element_batch_hard_small(self):
+        query = HQuery(3, full_disjunction(3))
+        tid = complete_tid(3, 1, 1)
+        result = evaluate_batch(query, [tid])
+        assert result.engine == "brute_force"
+        assert result.engines == ["brute_force"]
+        assert result.probabilities == [
+            float(evaluate(query, tid, method="brute_force").probability)
+        ]
+
+
+class TestCacheConcurrency:
+    """The per-shard cache factoring: counters stay consistent when
+    ``evaluate`` races stats readers and clears across threads."""
+
+    def test_counters_consistent_under_racing_evaluate(self):
+        cache = CompilationCache()
+        tids = [complete_tid(3, 2 + i, 2) for i in range(3)]
+        calls_per_thread = 12
+        threads_count = 6
+        barrier = threading.Barrier(threads_count)
+        errors: list[BaseException] = []
+
+        def worker(seed: int):
+            try:
+                barrier.wait()
+                for i in range(calls_per_thread):
+                    tid = tids[(seed + i) % len(tids)]
+                    result = evaluate(q9(), tid, cache=cache)
+                    assert result.engine == "intensional"
+                    compilation_cache_stats(cache)  # racing reader
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(threads_count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        # Every call is accounted exactly once; racing compiles of the
+        # same key may each record a hit for the loser, so hits+misses
+        # equals the number of cache accesses, with one miss per circuit
+        # actually inserted.
+        assert stats.hits + stats.misses == threads_count * calls_per_thread
+        assert stats.misses == len(tids)
+        assert len(cache) == len(tids)
+
+    def test_clear_races_evaluate_without_corruption(self):
+        cache = CompilationCache()
+        tid = complete_tid(3, 2, 2)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def evaluator():
+            try:
+                while not stop.is_set():
+                    evaluate(q9(), tid, cache=cache)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def churner():
+            try:
+                while not stop.is_set():
+                    clear_compilation_cache(cache)
+                    snapshot = compilation_cache_stats(cache)
+                    assert snapshot.hits >= 0
+                    assert snapshot.misses >= 0
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=evaluator),
+            threading.Thread(target=evaluator),
+            threading.Thread(target=churner),
+        ]
+        for thread in threads:
+            thread.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for thread in threads:
+            thread.join()
+        timer.cancel()
+        assert not errors
+        # After the dust settles the cache still works and counts right.
+        cache.clear()
+        for _ in range(5):
+            evaluate(q9(), tid, cache=cache)
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 4
+
+    def test_caller_cache_leaves_default_cache_untouched(self):
+        cache = CompilationCache()
+        tid = complete_tid(3, 3, 2)
+        before = compilation_cache_stats()
+        evaluate(q9(), tid, cache=cache)
+        evaluate(q9(), tid, cache=cache)
+        after = compilation_cache_stats()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+        assert cache.stats().misses == 1
+        assert cache.stats().hits == 1
+
+    def test_clearing_caller_cache_keeps_global_pair_counters(self):
+        # The pair-query counters are process-wide; clearing one shard's
+        # cache must not zero observability shared by every other shard.
+        cache = CompilationCache()
+        tid = complete_tid(3, 2, 3)
+        evaluate(q9(), tid, cache=cache)  # generates pair-cache traffic
+        before = compilation_cache_stats()
+        assert before.pair_hits + before.pair_misses > 0
+        clear_compilation_cache(cache)
+        after = compilation_cache_stats()
+        assert (after.pair_hits, after.pair_misses) == (
+            before.pair_hits,
+            before.pair_misses,
+        )
+        assert len(cache) == 0
