@@ -21,14 +21,25 @@ Compares, on q_9's compiled d-D lineage and on grounding workloads:
   hot-instance microbatch wave, bit-for-float agreement with the
   single-threaded ``evaluate_batch``, and per-shard cache/latency stats.
 
+* **extensional** (PR 4): the vectorized extensional fast path — the
+  seed per-term ``Fraction`` loops vs. the columnar Möbius-batched
+  evaluator (exact integer backend and numpy float backend) on a
+  ≥ 1k-tuple instance, batch throughput over many probability maps, and
+  the headline *conjecture suite*: a generated family of safe H+-queries
+  whose extensional results are checked bit-for-``Fraction`` against the
+  intensional compiled path.
+
 Run as a script to write ``BENCH_evaluation.json`` at the repository
 root, so future PRs can track the perf trajectory:
 
     PYTHONPATH=src python benchmarks/run_evaluation_bench.py
 
 ``--sections serving`` (or any subset) reruns just those sections and
-merges them into an existing ``BENCH_evaluation.json``.  (The script
-falls back to inserting ``src/`` on ``sys.path`` itself.)
+merges them into the existing ``BENCH_evaluation.json``, preserving the
+untouched sections; every section records its own
+``recorded_unix_time``, so partial reruns never lose the trajectory of
+the sections they skipped.  (The script falls back to inserting ``src/``
+on ``sys.path`` itself.)
 """
 
 from __future__ import annotations
@@ -659,6 +670,234 @@ def bench_serving(
     }
 
 
+# ----------------------------------------------------------------------
+# Seed extensional evaluator (the pre-columnar PR-0 implementation,
+# verbatim: per-term Fraction loops, per-call lattice construction)
+# ----------------------------------------------------------------------
+
+
+def seed_chain_probability(
+    probabilities, satisfied_by_first=False, satisfied_by_last=False
+):
+    states = {(False, False): Fraction(1)}
+    for position, p in enumerate(probabilities):
+        first = position == 0
+        last = position == len(probabilities) - 1
+        nxt = {}
+        for (prev, satisfied), mass in states.items():
+            for present in (False, True):
+                weight = p if present else (1 - p)
+                if weight == 0:
+                    continue
+                now_satisfied = satisfied
+                if present and prev:
+                    now_satisfied = True
+                if present and first and satisfied_by_first:
+                    now_satisfied = True
+                if present and last and satisfied_by_last:
+                    now_satisfied = True
+                key = (present, now_satisfied)
+                nxt[key] = nxt.get(key, Fraction(0)) + mass * weight
+        states = nxt
+    return sum(
+        (mass for (_, satisfied), mass in states.items() if satisfied),
+        Fraction(0),
+    )
+
+
+def seed_tuple_probability(tid, relation, values):
+    if not tid.instance.has(relation, values):
+        return Fraction(0)
+    return tid.probability_of(TupleId(relation, values))
+
+
+def seed_run_probability(run, k, tid):
+    a, b = run
+    xs, ys = seed_sides(tid.instance)
+    if a == 0:
+        miss_all = Fraction(1)
+        for x in xs:
+            p_r = seed_tuple_probability(tid, "R", (x,))
+            miss_without = Fraction(1)
+            miss_with = Fraction(1)
+            for y in ys:
+                chain = [
+                    seed_tuple_probability(tid, f"S{i}", (x, y))
+                    for i in range(1, b + 2)
+                ]
+                miss_without *= 1 - seed_chain_probability(chain)
+                miss_with *= 1 - seed_chain_probability(
+                    chain, satisfied_by_first=True
+                )
+            hit = p_r * (1 - miss_with) + (1 - p_r) * (1 - miss_without)
+            miss_all *= 1 - hit
+        return 1 - miss_all
+    if b == k:
+        miss_all = Fraction(1)
+        for y in ys:
+            p_t = seed_tuple_probability(tid, "T", (y,))
+            miss_without = Fraction(1)
+            miss_with = Fraction(1)
+            for x in xs:
+                chain = [
+                    seed_tuple_probability(tid, f"S{i}", (x, y))
+                    for i in range(a, k + 1)
+                ]
+                miss_without *= 1 - seed_chain_probability(chain)
+                miss_with *= 1 - seed_chain_probability(
+                    chain, satisfied_by_last=True
+                )
+            hit = p_t * (1 - miss_with) + (1 - p_t) * (1 - miss_without)
+            miss_all *= 1 - hit
+        return 1 - miss_all
+    miss_all = Fraction(1)
+    for x in xs:
+        for y in ys:
+            chain = [
+                seed_tuple_probability(tid, f"S{i}", (x, y))
+                for i in range(a, b + 2)
+            ]
+            miss_all *= 1 - seed_chain_probability(chain)
+    return 1 - miss_all
+
+
+def seed_extensional_probability(query, tid):
+    """The seed ``extensional.probability``, verbatim: lattice and Möbius
+    column rebuilt on every call (no plan cache), every term's runs
+    re-lifted with per-tuple dict probes (no columns, no sharing)."""
+    from repro.lattice.cnf_lattice import ClauseLattice
+    from repro.pqe.safe_plans import runs_of
+
+    phi = query.phi
+    if phi.is_bottom():
+        return Fraction(0)
+    if phi.is_top():
+        return Fraction(1)
+    lattice = ClauseLattice(phi.minimized_cnf())  # uncached, as seeded
+    column = lattice.mobius_column()
+    total = Fraction(0)
+    for element, mobius_value in column.items():
+        if element == lattice.top or mobius_value == 0:
+            continue
+        miss_all = Fraction(1)
+        for run in runs_of(element):
+            miss_all *= 1 - seed_run_probability(run, query.k, tid)
+        total += -mobius_value * (1 - miss_all)
+    return total
+
+
+def bench_extensional(n=19, batch_size=256, suite_size=16, repeats=3):
+    """The vectorized extensional fast path vs. the seed Fraction loops.
+
+    * ``seed_exact_ms`` / ``vectorized_exact_ms`` / ``vectorized_float_ms``
+      — one ``q_9`` evaluation on a complete instance of
+      ``2n + 3n^2`` >= 1k tuples (seed loops vs. columnar Möbius-batched
+      sweeps);
+    * ``batch_*`` — ``batch_size`` distinct probability maps through
+      ``probability_batch`` (one shared plan, one columnar sweep each),
+      vs. per-map seed evaluations extrapolated from the single-map time;
+    * the **conjecture suite**: every non-constant safe monotone query on
+      3 variables plus random safe monotone ones at ``k = 3``, each
+      evaluated extensionally (exact backend) and intensionally (compiled
+      d-D, exact tape) on a random instance — ``suite_bit_identical``
+      demands Fraction equality on every query, as does
+      ``exact_identical`` for seed-vs-vectorized on the big instance.
+    """
+    import repro.pqe.extensional as extensional
+    from repro.db.generator import random_tid
+    from repro.enumeration.monotone import enumerate_monotone_functions
+    from repro.pqe.engine import CompilationCache, evaluate
+
+    query = q9()
+    tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+    plan, _ = extensional.plan_for(query)
+
+    seed_seconds = _best_of(
+        lambda: seed_extensional_probability(query, tid), repeats
+    )
+    vector_seconds = _best_of(
+        lambda: extensional.probability(query, tid, plan=plan), repeats
+    )
+    float_seconds = _best_of(
+        lambda: extensional.probability_float(query, tid, plan=plan), repeats
+    )
+    exact_identical = extensional.probability(
+        query, tid, plan=plan
+    ) == seed_extensional_probability(query, tid)
+
+    rng = random.Random(0x5EED4)
+    batch_tids = []
+    for _ in range(batch_size):
+        batch_tid = complete_tid(3, 6, 6, prob=Fraction(1, 2))
+        for tuple_id in batch_tid.instance.tuple_ids():
+            batch_tid.set_probability(
+                tuple_id, Fraction(rng.randrange(0, 17), 16)
+            )
+        batch_tids.append(batch_tid)
+    start = time.perf_counter()
+    batch = extensional.probability_batch(query, batch_tids, plan=plan)
+    batch_seconds = time.perf_counter() - start
+    singles = [
+        extensional.probability_float(query, batch_tid, plan=plan)
+        for batch_tid in batch_tids
+    ]
+    seed_single_seconds = _best_of(
+        lambda: seed_extensional_probability(query, batch_tids[0]), 1
+    )
+
+    suite = []
+    for phi in enumerate_monotone_functions(3):
+        if phi.is_bottom() or phi.is_top():
+            continue
+        candidate = HQuery(2, phi)
+        if extensional.is_safe(candidate):
+            suite.append(candidate)
+    while len(suite) < suite_size:
+        phi = BooleanFunction.random_monotone(4, rng)
+        if phi.is_bottom() or phi.is_top():
+            continue
+        candidate = HQuery(3, phi)
+        if extensional.is_safe(candidate):
+            suite.append(candidate)
+    cache = CompilationCache(limit=max(64, suite_size + 16))
+    suite_identical = True
+    suite_seed_identical = True
+    for suite_query in suite:
+        suite_tid = random_tid(
+            suite_query.k, 3, 3, rng, tuple_density=0.8
+        )
+        lifted = extensional.probability(suite_query, suite_tid)
+        compiled = evaluate(
+            suite_query, suite_tid, method="intensional", cache=cache
+        ).probability
+        suite_identical = suite_identical and lifted == compiled
+        suite_seed_identical = suite_seed_identical and (
+            lifted == seed_extensional_probability(suite_query, suite_tid)
+        )
+    return {
+        "tuples": len(tid),
+        "distinct_runs": len(plan.runs),
+        "run_references": sum(len(ids) for _, ids in plan.terms),
+        "seed_exact_ms": seed_seconds * 1e3,
+        "vectorized_exact_ms": vector_seconds * 1e3,
+        "vectorized_float_ms": float_seconds * 1e3,
+        "speedup_exact": seed_seconds / vector_seconds,
+        "speedup_float": seed_seconds / float_seconds,
+        "exact_identical": exact_identical,
+        "batch_size": batch_size,
+        "batch_ms": batch_seconds * 1e3,
+        "batch_throughput_rps": batch_size / batch_seconds,
+        "batch_seed_single_ms": seed_single_seconds * 1e3,
+        "batch_speedup_vs_seed": (
+            seed_single_seconds * batch_size / batch_seconds
+        ),
+        "batch_vs_singles_bit_identical": batch == singles,
+        "suite_queries": len(suite),
+        "suite_bit_identical": suite_identical,
+        "suite_seed_bit_identical": suite_seed_identical,
+    }
+
+
 SECTIONS = {
     "single_float": bench_single_float,
     "batch": bench_batch,
@@ -666,6 +905,7 @@ SECTIONS = {
     "grounding": bench_grounding,
     "compilation": bench_compilation,
     "serving": bench_serving,
+    "extensional": bench_extensional,
 }
 
 
@@ -685,7 +925,11 @@ def run_all(sections=None):
         },
     }
     for name in selected:
-        results[name] = SECTIONS[name]()
+        section = SECTIONS[name]()
+        # Every section is stamped individually: merged partial reruns
+        # keep an honest record of when each number was measured.
+        section["recorded_unix_time"] = time.time()
+        results[name] = section
     return results
 
 
@@ -701,12 +945,16 @@ def main(argv=None):
         nargs="+",
         choices=sorted(SECTIONS),
         default=None,
-        help="run only these sections and merge them into an existing "
-        "BENCH_evaluation.json (default: all sections, full rewrite)",
+        help="run only these sections and merge them into the existing "
+        "BENCH_evaluation.json, keeping untouched sections (default: "
+        "all sections)",
     )
     args = parser.parse_args(argv)
     results = run_all(args.sections)
-    if args.sections and RESULT_PATH.exists():
+    if RESULT_PATH.exists():
+        # Always merge: a partial rerun (--sections) must preserve every
+        # untouched section's numbers and timestamps rather than
+        # silently dropping the rest of the perf trajectory.
         merged = json.loads(RESULT_PATH.read_text())
         merged.update(results)
         results = merged

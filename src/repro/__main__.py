@@ -39,17 +39,22 @@ def main() -> int:
 
     tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
     result = evaluate(query, tid)
+    intensional = evaluate(query, tid, method="intensional")
     ext = extensional_probability(query, tid)
     brute = probability_by_world_enumeration(query, tid)
     print(f"Pr(q_9) on the complete n=2 instance ({len(tid)} tuples):")
     print(f"  auto ({result.engine}): {result.probability}")
+    print(f"  intensional (d-D):     {intensional.probability}")
     print(f"  extensional:           {ext}")
     print(f"  brute force:           {brute}")
-    if not result.probability == ext == brute:
+    if not result.probability == intensional.probability == ext == brute:
         print("FAIL: engines disagree")
         return 1
-    assert result.compiled is not None
-    stats = result.compiled.circuit.stats()
+    if result.engine != "extensional":
+        print("FAIL: auto should route the safe UCQ q_9 extensionally")
+        return 1
+    assert intensional.compiled is not None
+    stats = intensional.compiled.circuit.stats()
     print(f"compiled d-D: {stats['TOTAL']} gates "
           f"({stats['AND']} ∧ / {stats['OR']} ∨ / {stats['NOT']} ¬)")
 

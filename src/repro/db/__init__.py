@@ -1,11 +1,16 @@
 """Relational and tuple-independent database substrate."""
 
+from repro.db.columnar import HColumnarLayout, HColumns, columnar_layout, h_columns
 from repro.db.io import dumps_tid, load_tid, loads_tid, save_tid
 from repro.db.generator import complete_tid, path_tid, random_tid, relation_names
 from repro.db.relation import Instance, Relation, TupleId
 from repro.db.tid import TupleIndependentDatabase, valuation_probability
 
 __all__ = [
+    "HColumnarLayout",
+    "HColumns",
+    "columnar_layout",
+    "h_columns",
     "Instance",
     "Relation",
     "TupleId",

@@ -28,6 +28,7 @@ class TupleIndependentDatabase:
     def __init__(self, instance: Instance | None = None):
         self.instance = instance if instance is not None else Instance()
         self._prob: dict[TupleId, Fraction] = {}
+        self._prob_version = 0  # Bumped per pi mutation; keys derived caches.
 
     def add(
         self,
@@ -47,11 +48,23 @@ class TupleIndependentDatabase:
             raise ValueError(f"probability {prob!r} outside [0, 1]")
         tuple_id = self.instance.add(relation, values)
         self._prob[tuple_id] = fraction
+        self._prob_version += 1
         return tuple_id
 
     def probability_of(self, tuple_id: TupleId) -> Fraction:
         """``pi(t)`` (1 for facts never explicitly weighted)."""
         return self._prob.get(tuple_id, Fraction(1))
+
+    @property
+    def probability_version(self) -> int:
+        """A counter bumped on every ``pi`` mutation (``add`` /
+        :meth:`set_probability`).  Together with the instance's relation
+        versions it keys caches of anything derived from the *numeric*
+        content of the TID — e.g. the columnar probability arrays of
+        :mod:`repro.db.columnar` — the way
+        :meth:`~repro.db.relation.Instance.cached_derivation` keys caches
+        of purely structural state."""
+        return self._prob_version
 
     def set_probability(
         self, tuple_id: TupleId, prob: Fraction | int | str | float
@@ -64,6 +77,7 @@ class TupleIndependentDatabase:
         if not self.instance.has(tuple_id.relation, tuple_id.values):
             raise KeyError(f"unknown tuple {tuple_id}")
         self._prob[tuple_id] = fraction
+        self._prob_version += 1
 
     def probability_map(self) -> dict[TupleId, Fraction]:
         """``pi`` as a dict over all facts of the instance."""

@@ -15,6 +15,7 @@ The DNF lattice is defined identically starting from the minimized DNF
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
 
 from repro.core.boolean_function import BooleanFunction
@@ -95,16 +96,24 @@ def _sort_key(element: frozenset[int]) -> tuple[int, tuple[int, ...]]:
     return (len(element), tuple(sorted(element)))
 
 
+@lru_cache(maxsize=256)
 def cnf_lattice(phi: BooleanFunction) -> ClauseLattice:
     """``L^phi_CNF`` of Definition 3.4.
+
+    Memoized per ``phi`` (LRU): the lattice is derived state of an
+    immutable function, and the extensional engine consults it on every
+    plan build.  The returned lattice is shared — treat it as read-only.
 
     :raises ValueError: if ``phi`` is not monotone or is constant.
     """
     return ClauseLattice(phi.minimized_cnf())
 
 
+@lru_cache(maxsize=256)
 def dnf_lattice(phi: BooleanFunction) -> ClauseLattice:
     """``L^phi_DNF`` (footnote 4): same construction from the minimized DNF.
+
+    Memoized per ``phi`` like :func:`cnf_lattice`; shared, read-only.
 
     :raises ValueError: if ``phi`` is not monotone or is constant.
     """

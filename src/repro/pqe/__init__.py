@@ -42,12 +42,25 @@ from repro.pqe.engine import (
 )
 from repro.pqe.dichotomy import Classification, Region, classify, classify_function, region_counts
 from repro.pqe.extensional import (
+    ExtensionalPlan,
+    ExtensionalPlanCache,
+    ExtensionalPlanCacheStats,
     UnsafeQueryError,
+    build_plan,
+    clear_extensional_plan_cache,
+    extensional_plan_stats,
     is_safe,
     mobius_terms,
+    plan_for,
     probability_by_raw_inclusion_exclusion,
 )
 from repro.pqe.extensional import probability as extensional_probability
+from repro.pqe.extensional import (
+    probability_batch as extensional_probability_batch,
+)
+from repro.pqe.extensional import (
+    probability_float as extensional_probability_float,
+)
 from repro.pqe.hardness import (
     is_provably_hard,
     monotone_witness_with_same_euler,
@@ -65,6 +78,9 @@ from repro.pqe.safe_plans import (
     UnsafeSubqueryError,
     chain_probability,
     disjunction_probability,
+    disjunction_probability_float,
+    run_probability,
+    run_probability_float,
     runs_of,
 )
 
@@ -76,16 +92,21 @@ __all__ = [
     "Estimate",
     "Classification",
     "EvaluationResult",
+    "ExtensionalPlan",
+    "ExtensionalPlanCache",
+    "ExtensionalPlanCacheStats",
     "HardQueryError",
     "CompiledLineage",
     "NotCompilableError",
     "Region",
     "UnsafeQueryError",
     "UnsafeSubqueryError",
+    "build_plan",
     "chain_probability",
     "classify",
     "classify_function",
     "clear_compilation_cache",
+    "clear_extensional_plan_cache",
     "compilation_cache_stats",
     "compile_lineage",
     "compile_lineage_cached",
@@ -93,9 +114,16 @@ __all__ = [
     "degenerate_lineage_circuit",
     "degenerate_lineage_obdd",
     "disjunction_probability",
+    "disjunction_probability_float",
     "evaluate",
     "evaluate_batch",
+    "extensional_plan_stats",
     "extensional_probability",
+    "extensional_probability_batch",
+    "extensional_probability_float",
+    "plan_for",
+    "run_probability",
+    "run_probability_float",
     "intensional_probability",
     "is_provably_hard",
     "is_safe",

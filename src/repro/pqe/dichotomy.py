@@ -54,6 +54,15 @@ class Classification:
         """For UCQs: the [12] dichotomy verdict (PTIME side)."""
         return self.dd_ptime
 
+    @property
+    def extensional_safe(self) -> bool:
+        """Whether the query has an extensional (lifted) plan: monotone
+        ``phi`` that is degenerate or zero-Euler — exactly the safe
+        H+-queries of Proposition 3.5 / Corollary 3.9.  These evaluate
+        with no lineage and no d-D (:mod:`repro.pqe.extensional`); the
+        auto engine and the serving layer route them there."""
+        return self.is_ucq and (self.is_degenerate or self.euler == 0)
+
 
 def classify_function(phi: BooleanFunction) -> Classification:
     """Classify the H-query ``Q_phi`` by its Boolean function."""

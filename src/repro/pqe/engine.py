@@ -4,20 +4,28 @@ Downstream users mostly want one call: "give me the probability of this
 query, pick the right algorithm, and tell me what you did".  This module
 wraps the three engines behind :func:`evaluate`:
 
-* ``method="auto"`` consults the dichotomy classifier: zero-Euler queries
-  go to the intensional compiler (works for monotone and non-monotone
-  ``phi`` alike), and anything else falls back to brute force only when
-  the instance is small enough — otherwise the call *refuses*, because by
-  Corollary 3.9 / Proposition 6.4 the query is (or is conjectured) #P-hard
-  and silently running an exponential algorithm on a large database is a
-  bug, not a feature;
+* ``method="auto"`` consults the dichotomy classifier: *safe monotone*
+  queries (H+, degenerate or zero-Euler) take the extensional fast path —
+  lifted inference over columnar probability views, with no lineage and
+  no d-D construction at all; the remaining zero-Euler queries (the
+  non-monotone combinations only the paper's compiler handles) go to the
+  intensional compiler; and anything else falls back to brute force only
+  when the instance is small enough — otherwise the call *refuses*,
+  because by Corollary 3.9 / Proposition 6.4 the query is (or is
+  conjectured) #P-hard and silently running an exponential algorithm on a
+  large database is a bug, not a feature;
 * explicit methods (``"extensional"``, ``"intensional"``,
   ``"brute_force"``) dispatch directly, with the engines' own error
   behavior.
 
 The returned :class:`EvaluationResult` records the probability, the engine
 used, the Figure-1 classification, and (for the intensional route) the
-compiled circuit for reuse.
+compiled circuit for reuse.  Both fast paths sit behind per-engine
+caches: compiled lineages in :class:`CompilationCache` (keyed by query
+*and* instance fingerprint — circuits depend on the data) and extensional
+plans in :class:`~repro.pqe.extensional.ExtensionalPlanCache` (keyed by
+the query alone — plans never look at the data), with matching
+``*_stats()`` counters.
 """
 
 from __future__ import annotations
@@ -36,6 +44,14 @@ from repro.pqe.degenerate import (
     reset_pair_cache_counters,
 )
 from repro.pqe.dichotomy import Classification, Region, classify
+from repro.pqe.extensional import (
+    ExtensionalPlanCache,
+    ExtensionalPlanCacheStats,
+    clear_extensional_plan_cache,
+    extensional_plan_stats,
+    plan_for,
+    probability_batch as extensional_probability_batch,
+)
 from repro.pqe.extensional import probability as extensional_probability
 from repro.pqe.intensional import CompiledLineage, compile_lineage
 from repro.queries.hqueries import HQuery
@@ -63,7 +79,9 @@ class EvaluationResult:
     engine: str
     classification: Classification
     compiled: CompiledLineage | None = None
-    cache_hit: bool = False  #: the compiled lineage came from the cache
+    #: the engine's cached artifact was reused: a compiled lineage on the
+    #: intensional route, an extensional plan on the extensional route
+    cache_hit: bool = False
     #: wall-clock cost of the d-D compilation (0.0 on a cache hit, None
     #: for non-intensional engines); gate-sharing counters live on
     #: ``compiled`` (``compile_ms``/``gates_saved``).
@@ -259,6 +277,7 @@ def evaluate(
     tid: TupleIndependentDatabase,
     method: str = "auto",
     cache: CompilationCache | None = None,
+    plan_cache: ExtensionalPlanCache | None = None,
 ) -> EvaluationResult:
     """Evaluate ``Pr(Q_phi)`` with the selected (or automatic) engine.
 
@@ -266,6 +285,9 @@ def evaluate(
         ``"brute_force"``.
     :param cache: a caller-owned :class:`CompilationCache` for the
         intensional route (defaults to the process-wide cache).
+    :param plan_cache: a caller-owned
+        :class:`~repro.pqe.extensional.ExtensionalPlanCache` for the
+        extensional route (defaults to the process-wide cache).
     :raises HardQueryError: in auto mode, when the query is not zero-Euler
         and the instance exceeds :data:`BRUTE_FORCE_LIMIT` tuples.
     :raises ValueError: for an unknown method, or from the explicit
@@ -273,11 +295,9 @@ def evaluate(
     """
     classification = classify(query)
     if method == "auto":
-        return _auto(query, tid, classification, cache)
+        return _auto(query, tid, classification, cache, plan_cache)
     if method == "extensional":
-        return EvaluationResult(
-            extensional_probability(query, tid), "extensional", classification
-        )
+        return _extensional(query, tid, classification, plan_cache)
     if method == "intensional":
         compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
         return EvaluationResult(
@@ -297,12 +317,32 @@ def evaluate(
     raise ValueError(f"unknown method {method!r}")
 
 
+def _extensional(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    classification: Classification,
+    plan_cache: ExtensionalPlanCache | None = None,
+) -> EvaluationResult:
+    """The extensional route: lifted inference through the plan cache —
+    no lineage, no circuit, no compilation."""
+    plan, hit = plan_for(query, plan_cache)
+    return EvaluationResult(
+        extensional_probability(query, tid, plan=plan),
+        "extensional",
+        classification,
+        cache_hit=hit,
+    )
+
+
 def _auto(
     query: HQuery,
     tid: TupleIndependentDatabase,
     classification: Classification,
     cache: CompilationCache | None = None,
+    plan_cache: ExtensionalPlanCache | None = None,
 ) -> EvaluationResult:
+    if classification.extensional_safe:
+        return _extensional(query, tid, classification, plan_cache)
     if classification.dd_ptime:
         compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
         return EvaluationResult(
@@ -335,42 +375,71 @@ def evaluate_batch(
     tids: Iterable[TupleIndependentDatabase],
     method: str = "auto",
     cache: CompilationCache | None = None,
+    plan_cache: ExtensionalPlanCache | None = None,
 ) -> BatchEvaluationResult:
     """Evaluate ``Pr(Q_phi)`` over many TIDs in one float-mode sweep.
 
-    The many-TID / updated-probability workload: TIDs sharing an instance
-    (same facts, different probabilities) compile once — through the
-    engine cache (``cache`` selects a caller-owned
+    The many-TID / updated-probability workload.  Safe monotone queries
+    take the extensional path: one plan lookup for the whole batch
+    (``plan_cache`` selects a caller-owned
+    :class:`~repro.pqe.extensional.ExtensionalPlanCache`), then every
+    TID's probability columns swept by the vectorized lifted backend —
+    bit-for-float identical to per-TID :func:`evaluate` float results.
+    Other d-D(PTIME) queries compile once per instance fingerprint —
+    through the engine cache (``cache`` selects a caller-owned
     :class:`CompilationCache`) — and their probability maps run as a
-    single batched pass of the compiled tape.  TIDs over distinct
-    instances are grouped by instance fingerprint, one compilation per
-    group.
+    single batched pass of the compiled tape.
 
-    ``method`` may be ``"auto"`` or ``"intensional"``.  In auto mode a
-    query outside d-D(PTIME) falls back to per-TID :func:`evaluate` (with
-    its brute-force size limits); ``"intensional"`` propagates the
-    compiler's own :class:`~repro.pqe.intensional.NotCompilableError`.
+    ``method`` may be ``"auto"``, ``"extensional"`` or ``"intensional"``.
+    In auto mode a query outside d-D(PTIME) falls back to per-TID
+    :func:`evaluate` (with its brute-force size limits);
+    ``"intensional"`` propagates the compiler's own
+    :class:`~repro.pqe.intensional.NotCompilableError`, ``"extensional"``
+    the lifted engine's
+    :class:`~repro.pqe.extensional.UnsafeQueryError`.
 
     An empty ``tids`` returns an empty, well-defined result: no
     probabilities, no compiled circuit, and the engine label the
-    non-empty batch would have carried (``"intensional"`` when the query
-    routes to the batched path, ``"brute_force"`` for the auto-mode
-    fallback) — never the method name.
+    non-empty batch would have carried (``"extensional"`` /
+    ``"intensional"`` when the query routes to a batched path,
+    ``"brute_force"`` for the auto-mode fallback) — never the method
+    name.  ``cache_hits`` counts compilation-cache hits on the
+    intensional path and plan-cache hits (0 or 1: one lookup serves the
+    batch) on the extensional path.
 
     Probabilities are returned as floats (the batch backend); use
     :func:`evaluate` for exact single-TID results.
     """
     tid_list = list(tids)
     classification = classify(query)
-    if method not in ("auto", "intensional"):
+    if method not in ("auto", "intensional", "extensional"):
         raise ValueError(f"unknown batch method {method!r}")
-    batched_path = classification.dd_ptime or method == "intensional"
+    extensional_path = method == "extensional" or (
+        method == "auto" and classification.extensional_safe
+    )
+    batched_path = not extensional_path and (
+        classification.dd_ptime or method == "intensional"
+    )
     if not tid_list:
+        if extensional_path:
+            label = "extensional"
+        elif batched_path:
+            label = "intensional"
+        else:
+            label = "brute_force"
         return BatchEvaluationResult(
             [],
-            "intensional" if batched_path else "brute_force",
+            label,
             classification,
-            engines=None if batched_path else [],
+            engines=None if extensional_path or batched_path else [],
+        )
+    if extensional_path:
+        plan, hit = plan_for(query, plan_cache)
+        return BatchEvaluationResult(
+            extensional_probability_batch(query, tid_list, plan=plan),
+            "extensional",
+            classification,
+            cache_hits=int(hit),
         )
     if not batched_path:
         results = [

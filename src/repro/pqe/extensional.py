@@ -19,6 +19,16 @@ with ``Q_u = ∨_{j in u} h_{k,j}``.  Every ``u`` except the bottom
 and the query is safe exactly when its coefficient ``mu(0̂, 1̂)`` — equal to
 ``e(phi)`` by Lemma 3.8 — vanishes, letting the hard subquery *cancel out*.
 
+Evaluation is staged through an :class:`ExtensionalPlan`: the Möbius
+terms, their run decompositions, and the *distinct* runs across all
+terms, built once per query (behind :class:`ExtensionalPlanCache`, the
+extensional sibling of the engine's compilation cache) and reused across
+every probability call.  One evaluation is then a single batched sweep:
+each distinct run is lifted exactly once over the TID's columnar view
+(:func:`repro.db.columnar.h_columns`), and every lattice term combines
+the shared run values instead of re-deriving them — q_9's seven terms,
+for instance, touch only five distinct runs.
+
 Both the collapsed (Möbius) and the uncollapsed (raw inclusion–exclusion)
 evaluations are provided; they agree term-for-term after grouping, which a
 test verifies.
@@ -26,13 +36,26 @@ test verifies.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from itertools import combinations
 
+from repro.db.columnar import h_columns
 from repro.db.tid import TupleIndependentDatabase
 from repro.lattice.cnf_lattice import cnf_lattice
-from repro.pqe.safe_plans import UnsafeSubqueryError, disjunction_probability
+from repro.pqe.safe_plans import (
+    UnsafeSubqueryError,
+    disjunction_probability,
+    run_probability,
+    run_probability_float,
+    runs_of,
+)
 from repro.queries.hqueries import HQuery
+
+EXTENSIONAL_PLAN_CACHE_LIMIT = 256  #: max cached plans (LRU)
 
 
 class UnsafeQueryError(ValueError):
@@ -41,15 +64,10 @@ class UnsafeQueryError(ValueError):
     ``mu_CNF(0̂,1̂) = e(phi) != 0``)."""
 
 
-def mobius_terms(query: HQuery) -> list[tuple[frozenset[int], int]]:
-    """The lattice elements and their coefficients ``-mu(u, 1̂)`` as used by
-    the lifted evaluation, for a monotone non-constant ``phi``; terms with
-    zero coefficient are dropped (this is where hard subqueries cancel)."""
-    phi = query.phi
-    if not phi.is_monotone():
-        raise UnsafeQueryError(
-            "the extensional engine handles UCQs (monotone phi) only"
-        )
+@lru_cache(maxsize=EXTENSIONAL_PLAN_CACHE_LIMIT)
+def _mobius_terms_of(phi) -> tuple[tuple[frozenset[int], int], ...]:
+    """The memoized lattice walk behind :func:`mobius_terms`: CNF lattice
+    plus Möbius column, computed once per (monotone, non-constant) phi."""
     lattice = cnf_lattice(phi)
     column = lattice.mobius_column()
     terms = []
@@ -59,15 +77,55 @@ def mobius_terms(query: HQuery) -> list[tuple[frozenset[int], int]]:
         if mobius_value == 0:
             continue
         terms.append((element, -mobius_value))
-    return terms
+    return tuple(terms)
 
 
-def probability(query: HQuery, tid: TupleIndependentDatabase) -> Fraction:
-    """``Pr(Q_phi)`` by lifted inference (Möbius inversion + safe plans).
+def mobius_terms(query: HQuery) -> list[tuple[frozenset[int], int]]:
+    """The lattice elements and their coefficients ``-mu(u, 1̂)`` as used by
+    the lifted evaluation, for a monotone non-constant ``phi``; terms with
+    zero coefficient are dropped (this is where hard subqueries cancel).
 
-    Handles every monotone ``phi``: constants directly, degenerate ones via
-    the same lattice formula (their lattices never contain the full index
-    set), and nondegenerate ones when ``mu(0̂,1̂) = 0``.
+    Memoized per ``phi`` (LRU of :data:`EXTENSIONAL_PLAN_CACHE_LIMIT`
+    entries): the lattice and its Möbius column depend only on the query,
+    so repeated ``probability()`` calls never rebuild them.
+    """
+    phi = query.phi
+    if not phi.is_monotone():
+        raise UnsafeQueryError(
+            "the extensional engine handles UCQs (monotone phi) only"
+        )
+    return list(_mobius_terms_of(phi))
+
+
+# ----------------------------------------------------------------------
+# Plans: Möbius terms resolved to shared run decompositions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExtensionalPlan:
+    """One query's extensional evaluation, staged for reuse.
+
+    ``runs`` lists the *distinct* maximal runs appearing across all
+    Möbius terms; each term holds its coefficient and indices into that
+    list.  Evaluating the plan lifts every distinct run exactly once per
+    TID (sharing the per-run group reductions across lattice elements)
+    and combines the cached values per term — the batched form of the
+    term-by-term seed evaluation, exactly equal by independence of runs.
+
+    ``constant`` short-circuits the constant queries (``phi`` bottom/top);
+    ``terms``/``runs`` are then empty.
+    """
+
+    k: int
+    constant: Fraction | None
+    #: per Möbius term: ``(coefficient, indices into runs)``
+    terms: tuple[tuple[int, tuple[int, ...]], ...]
+    runs: tuple[tuple[int, int], ...]
+
+
+def build_plan(query: HQuery) -> ExtensionalPlan:
+    """The extensional plan of ``query``.
 
     :raises UnsafeQueryError: if ``phi`` is not monotone, or is monotone
         nondegenerate with non-zero CNF-lattice Möbius value (then
@@ -79,20 +137,239 @@ def probability(query: HQuery, tid: TupleIndependentDatabase) -> Fraction:
             "the extensional engine handles UCQs (monotone phi) only"
         )
     if phi.is_bottom():
-        return Fraction(0)
+        return ExtensionalPlan(query.k, Fraction(0), (), ())
     if phi.is_top():
-        return Fraction(1)
-    total = Fraction(0)
+        return ExtensionalPlan(query.k, Fraction(1), (), ())
+    run_ids: dict[tuple[int, int], int] = {}
+    runs: list[tuple[int, int]] = []
+    terms: list[tuple[int, tuple[int, ...]]] = []
     for element, coefficient in mobius_terms(query):
-        try:
-            term = disjunction_probability(element, query.k, tid)
-        except UnsafeSubqueryError as error:
-            raise UnsafeQueryError(
-                "query is unsafe: the #P-hard bottom subquery has non-zero "
-                f"Möbius coefficient {-coefficient} (= -e(phi) by Lemma 3.8)"
-            ) from error
-        total += coefficient * term
+        ids = []
+        for run in runs_of(element):
+            if run == (0, query.k):
+                raise UnsafeQueryError(
+                    "query is unsafe: the #P-hard bottom subquery has "
+                    f"non-zero Möbius coefficient {-coefficient} "
+                    "(= -e(phi) by Lemma 3.8)"
+                )
+            rid = run_ids.get(run)
+            if rid is None:
+                rid = run_ids[run] = len(runs)
+                runs.append(run)
+            ids.append(rid)
+        terms.append((coefficient, tuple(ids)))
+    return ExtensionalPlan(query.k, None, tuple(terms), tuple(runs))
+
+
+@dataclass
+class ExtensionalPlanCacheStats:
+    """Counters of one plan cache, in the mold of
+    :class:`repro.pqe.engine.CompilationCacheStats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+
+class ExtensionalPlanCache:
+    """A thread-safe LRU of extensional plans keyed by the query.
+
+    Plans depend only on ``phi`` (never on data), so one entry serves
+    every TID the query is evaluated over.  The module keeps one default
+    instance behind :func:`probability`; :mod:`repro.serving` gives every
+    shard its own, mirroring the per-shard compilation caches.  A build
+    that raises (unsafe or non-monotone query) is *not* cached and counts
+    as neither hit nor miss.
+    """
+
+    def __init__(self, limit: int = EXTENSIONAL_PLAN_CACHE_LIMIT):
+        if limit < 1:
+            raise ValueError(f"cache limit must be positive, got {limit}")
+        self.limit = limit
+        self._entries: OrderedDict[HQuery, ExtensionalPlan] = OrderedDict()
+        self._stats = ExtensionalPlanCacheStats()
+        self._lock = threading.RLock()
+
+    def get_or_build(self, query: HQuery) -> tuple[ExtensionalPlan, bool]:
+        """The cached plan for ``query``, building on a miss.  Returns
+        ``(plan, was_cache_hit)``.
+
+        :raises UnsafeQueryError: as :func:`build_plan`.
+        """
+        with self._lock:
+            cached = self._entries.get(query)
+            if cached is not None:
+                self._entries.move_to_end(query)
+                self._stats.hits += 1
+                return cached, True
+        plan = build_plan(query)
+        with self._lock:
+            racing = self._entries.get(query)
+            if racing is not None:
+                self._entries.move_to_end(query)
+                self._stats.hits += 1
+                return racing, True
+            self._stats.misses += 1
+            self._entries[query] = plan
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+        return plan, False
+
+    def stats(self) -> ExtensionalPlanCacheStats:
+        """A coherent snapshot of the counters."""
+        with self._lock:
+            return ExtensionalPlanCacheStats(
+                self._stats.hits,
+                self._stats.misses,
+                self._stats.evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._stats.hits = 0
+            self._stats.misses = 0
+            self._stats.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_DEFAULT_PLAN_CACHE = ExtensionalPlanCache()
+
+
+def plan_for(
+    query: HQuery, cache: ExtensionalPlanCache | None = None
+) -> tuple[ExtensionalPlan, bool]:
+    """The cached extensional plan of ``query`` (the default cache's
+    unless a caller-owned one is passed); returns ``(plan, was_hit)``.
+
+    :raises UnsafeQueryError: as :func:`build_plan`.
+    """
+    return (cache if cache is not None else _DEFAULT_PLAN_CACHE).get_or_build(
+        query
+    )
+
+
+def extensional_plan_stats(
+    cache: ExtensionalPlanCache | None = None,
+) -> ExtensionalPlanCacheStats:
+    """A snapshot of the plan-cache counters (the default cache's unless
+    a caller-owned one is passed) — the extensional analogue of
+    :func:`repro.pqe.engine.compilation_cache_stats`."""
+    return (cache if cache is not None else _DEFAULT_PLAN_CACHE).stats()
+
+
+def clear_extensional_plan_cache(
+    cache: ExtensionalPlanCache | None = None,
+) -> None:
+    """Drop all cached plans and reset the counters (the default cache's
+    unless a caller-owned one is passed)."""
+    (cache if cache is not None else _DEFAULT_PLAN_CACHE).clear()
+
+
+# ----------------------------------------------------------------------
+# Evaluation: one batched sweep over the plan's distinct runs
+# ----------------------------------------------------------------------
+
+
+def _evaluate_exact(plan: ExtensionalPlan, tid: TupleIndependentDatabase) -> Fraction:
+    if plan.constant is not None:
+        return plan.constant
+    columns = h_columns(tid, plan.k)
+    run_values = [
+        run_probability(run, plan.k, tid, columns=columns)
+        for run in plan.runs
+    ]
+    total = Fraction(0)
+    for coefficient, ids in plan.terms:
+        miss = Fraction(1)
+        for rid in ids:
+            miss *= 1 - run_values[rid]
+        total += coefficient * (1 - miss)
     return total
+
+
+def _evaluate_float(plan: ExtensionalPlan, tid: TupleIndependentDatabase) -> float:
+    if plan.constant is not None:
+        return float(plan.constant)
+    columns = h_columns(tid, plan.k)
+    run_values = [
+        run_probability_float(run, plan.k, tid, columns=columns)
+        for run in plan.runs
+    ]
+    total = 0.0
+    for coefficient, ids in plan.terms:
+        miss = 1.0
+        for rid in ids:
+            miss *= 1.0 - run_values[rid]
+        total += coefficient * (1.0 - miss)
+    return total
+
+
+def probability(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    *,
+    plan: ExtensionalPlan | None = None,
+) -> Fraction:
+    """``Pr(Q_phi)`` by lifted inference (Möbius inversion + safe plans).
+
+    Handles every monotone ``phi``: constants directly, degenerate ones via
+    the same lattice formula (their lattices never contain the full index
+    set), and nondegenerate ones when ``mu(0̂,1̂) = 0``.  Exact
+    :class:`~fractions.Fraction` arithmetic on the columnar integer
+    backend; ``plan`` reuses a plan the caller already holds (the default
+    goes through the module's plan cache).
+
+    :raises UnsafeQueryError: if ``phi`` is not monotone, or is monotone
+        nondegenerate with non-zero CNF-lattice Möbius value (then
+        ``PQE(Q_phi)`` is #P-hard and has no extensional plan).
+    """
+    if plan is None:
+        plan, _ = _DEFAULT_PLAN_CACHE.get_or_build(query)
+    return _evaluate_exact(plan, tid)
+
+
+def probability_float(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    *,
+    plan: ExtensionalPlan | None = None,
+) -> float:
+    """The float backend of :func:`probability`: vectorized run sweeps
+    over the columnar view — the extensional analogue of
+    :meth:`~repro.pqe.intensional.CompiledLineage.probability_float`.
+
+    :raises UnsafeQueryError: as :func:`probability`.
+    """
+    if plan is None:
+        plan, _ = _DEFAULT_PLAN_CACHE.get_or_build(query)
+    return _evaluate_float(plan, tid)
+
+
+def probability_batch(
+    query: HQuery,
+    tids: list[TupleIndependentDatabase],
+    *,
+    plan: ExtensionalPlan | None = None,
+) -> list[float]:
+    """Float-mode ``Pr(Q_phi)`` over many TIDs, sharing one plan.
+
+    Each TID's columnar view is resolved (through its own version-keyed
+    cache) and swept independently, so batch composition never changes
+    any individual float: the result is bit-for-float identical to
+    mapping :func:`probability_float` over the TIDs — the property the
+    serving layer's microbatcher relies on.
+
+    :raises UnsafeQueryError: as :func:`probability`.
+    """
+    if plan is None:
+        plan, _ = _DEFAULT_PLAN_CACHE.get_or_build(query)
+    return [_evaluate_float(plan, tid) for tid in tids]
 
 
 def probability_by_raw_inclusion_exclusion(

@@ -22,7 +22,17 @@ evaluates those in polynomial time:
    ``S_a(x,y), ..., S_{b+1}(x,y)`` (plus ``R(x)`` or ``T(y)``), whose
    probability a linear dynamic program computes exactly.
 
-All arithmetic is exact (:class:`fractions.Fraction`).
+The evaluators are *columnar*: the group structure and probability
+columns come from :func:`repro.db.columnar.h_columns`, and the chain DP
+runs over all groups of a run at once — as numpy array sweeps in the
+float backend, and as integer numerators over one common denominator
+``D`` in the exact backend (the same encoding
+:meth:`repro.circuits.evaluator.EvaluationTape.evaluate` uses: every
+state mass after ``j`` chain steps is ``numerator / D**j``, and the one
+``Fraction`` built at the end canonicalizes, so the result is
+bit-identical to the :class:`~fractions.Fraction` dynamic program).
+Exact maps whose common denominator overflows 64 bits — and float
+evaluation without numpy — fall back to the per-group pure-Python scans.
 """
 
 from __future__ import annotations
@@ -30,7 +40,13 @@ from __future__ import annotations
 from collections.abc import Iterable
 from fractions import Fraction
 
+from repro.db.columnar import HColumns, h_columns
 from repro.db.tid import TupleIndependentDatabase
+
+try:  # numpy is optional: the float backend falls back to group loops.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the list fallback
+    _np = None
 
 
 class UnsafeSubqueryError(ValueError):
@@ -68,7 +84,7 @@ def chain_probability(
     (the ``T`` side).
 
     Linear dynamic program over states (previous tuple present?, already
-    satisfied?).
+    satisfied?) — the scalar reference the vectorized sweeps reproduce.
     """
     # state: (prev_present, satisfied) -> probability mass
     states = {(False, False): Fraction(1)}
@@ -95,6 +111,263 @@ def chain_probability(
         (mass for (_, satisfied), mass in states.items() if satisfied),
         Fraction(0),
     )
+
+
+# ----------------------------------------------------------------------
+# Vectorized chain sweeps (all groups of one run at once)
+# ----------------------------------------------------------------------
+#
+# The DP state per group is four masses indexed by (previous tuple
+# present?, already satisfied?).  One chain step with tuple probability
+# ``p`` (and ``q = 1 - p``) maps them by
+#
+#   new(0,s) = q * (old(0,s) + old(1,s))          (tuple absent)
+#   new(1,0) = p * old(0,0)                        (present, no new pair)
+#   new(1,1) = p * (old(0,1) + old(1,0) + old(1,1))
+#
+# except at a *triggering* position (the first tuple under
+# ``satisfied_by_first``, the last under ``satisfied_by_last``), where a
+# present tuple satisfies unconditionally:
+#
+#   new(1,0) = 0;   new(1,1) = p * (all four old masses).
+#
+# The sweeps apply these maps to whole columns of groups per step.
+
+
+def _chain_sweep_int(
+    chains: list[list[int]],
+    groups: int,
+    denominator: int,
+    satisfied_by_first: bool,
+    satisfied_by_last: bool,
+) -> list[int]:
+    """The exact sweep: per-group satisfaction numerators at denominator
+    ``denominator ** len(chains)``.  ``chains[j][g]`` is the integer
+    numerator of chain position ``j`` in group ``g``."""
+    m = len(chains)
+    s00 = [1] * groups
+    s01 = [0] * groups
+    s10 = [0] * groups
+    s11 = [0] * groups
+    for j in range(m):
+        column = chains[j]
+        trigger = (j == 0 and satisfied_by_first) or (
+            j == m - 1 and satisfied_by_last
+        )
+        for g in range(groups):
+            p = column[g]
+            q = denominator - p
+            a00, a01, a10, a11 = s00[g], s01[g], s10[g], s11[g]
+            s00[g] = q * (a00 + a10)
+            s01[g] = q * (a01 + a11)
+            if trigger:
+                s10[g] = 0
+                s11[g] = p * (a00 + a01 + a10 + a11)
+            else:
+                s10[g] = p * a00
+                s11[g] = p * (a01 + a10 + a11)
+    return [s01[g] + s11[g] for g in range(groups)]
+
+
+def _chain_sweep_float(chains, satisfied_by_first, satisfied_by_last):
+    """The numpy sweep: ``chains`` is an array of shape ``(m, *groups)``;
+    returns the per-group satisfaction probabilities, shape ``groups``."""
+    m = chains.shape[0]
+    shape = chains.shape[1:]
+    s00 = _np.ones(shape)
+    s01 = _np.zeros(shape)
+    s10 = _np.zeros(shape)
+    s11 = _np.zeros(shape)
+    for j in range(m):
+        p = chains[j]
+        q = 1.0 - p
+        trigger = (j == 0 and satisfied_by_first) or (
+            j == m - 1 and satisfied_by_last
+        )
+        n00 = q * (s00 + s10)
+        n01 = q * (s01 + s11)
+        if trigger:
+            n10 = _np.zeros(shape)
+            n11 = p * (s00 + s01 + s10 + s11)
+        else:
+            n10 = p * s00
+            n11 = p * (s01 + s10 + s11)
+        s00, s01, s10, s11 = n00, n01, n10, n11
+    return s01 + s11
+
+
+def _chain_dp_float(probs, satisfied_by_first, satisfied_by_last) -> float:
+    """Scalar float DP — the numpy-free fallback for one group."""
+    m = len(probs)
+    s00, s01, s10, s11 = 1.0, 0.0, 0.0, 0.0
+    for j in range(m):
+        p = probs[j]
+        q = 1.0 - p
+        trigger = (j == 0 and satisfied_by_first) or (
+            j == m - 1 and satisfied_by_last
+        )
+        n00 = q * (s00 + s10)
+        n01 = q * (s01 + s11)
+        if trigger:
+            n10 = 0.0
+            n11 = p * (s00 + s01 + s10 + s11)
+        else:
+            n10 = p * s00
+            n11 = p * (s01 + s10 + s11)
+        s00, s01, s10, s11 = n00, n01, n10, n11
+    return s01 + s11
+
+
+# ----------------------------------------------------------------------
+# Exact backend: integer numerators over one common denominator
+# ----------------------------------------------------------------------
+
+
+def _interior_exact(a: int, b: int, cols: HColumns) -> Fraction:
+    """Run touching neither endpoint: events independent across ``(x, y)``
+    pairs; within a pair, a chain over ``S_a .. S_{b+1}``."""
+    D = cols.denominator
+    m = b - a + 2
+    chains = [cols.s_num[i - 1] for i in range(a, b + 2)]
+    groups = cols.layout.nx * cols.layout.ny
+    sat = _chain_sweep_int(chains, groups, D, False, False)
+    scale = D**m
+    miss_all = 1
+    for s in sat:
+        miss_all *= scale - s
+    total = scale**groups
+    return Fraction(total - miss_all, total)
+
+
+def _left_exact(b: int, cols: HColumns) -> Fraction:
+    """Run ``[0..b]`` (with ``b < k``): group by ``x``; conditioned on
+    ``R(x)``, the per-``y`` chain over ``S_1..S_{b+1}`` is satisfied also
+    by ``S_1`` alone."""
+    D = cols.denominator
+    nx, ny = cols.layout.nx, cols.layout.ny
+    m = b + 1
+    chains = [cols.s_num[i - 1] for i in range(1, b + 2)]
+    sat_plain = _chain_sweep_int(chains, nx * ny, D, False, False)
+    sat_fired = _chain_sweep_int(chains, nx * ny, D, True, False)
+    scale = D**m
+    scale_y = scale**ny
+    per_x = scale_y * D
+    miss_all = 1
+    for x in range(nx):
+        miss_plain = 1
+        miss_fired = 1
+        base = x * ny
+        for y in range(ny):
+            miss_plain *= scale - sat_plain[base + y]
+            miss_fired *= scale - sat_fired[base + y]
+        r = cols.r_num[x]
+        hit = r * (scale_y - miss_fired) + (D - r) * (scale_y - miss_plain)
+        miss_all *= per_x - hit
+    total = per_x**nx
+    return Fraction(total - miss_all, total)
+
+
+def _right_exact(a: int, k: int, cols: HColumns) -> Fraction:
+    """Run ``[a..k]`` (with ``a > 0``): the mirror image — group by ``y``;
+    conditioned on ``T(y)``, the per-``x`` chain over ``S_a..S_k`` is
+    satisfied also by ``S_k`` alone."""
+    D = cols.denominator
+    nx, ny = cols.layout.nx, cols.layout.ny
+    m = k - a + 1
+    chains = [cols.s_num[i - 1] for i in range(a, k + 1)]
+    sat_plain = _chain_sweep_int(chains, nx * ny, D, False, False)
+    sat_fired = _chain_sweep_int(chains, nx * ny, D, False, True)
+    scale = D**m
+    scale_x = scale**nx
+    per_y = scale_x * D
+    miss_all = 1
+    for y in range(ny):
+        miss_plain = 1
+        miss_fired = 1
+        for x in range(nx):
+            position = x * ny + y
+            miss_plain *= scale - sat_plain[position]
+            miss_fired *= scale - sat_fired[position]
+        t = cols.t_num[y]
+        hit = t * (scale_x - miss_fired) + (D - t) * (scale_x - miss_plain)
+        miss_all *= per_y - hit
+    total = per_y**ny
+    return Fraction(total - miss_all, total)
+
+
+# ----------------------------------------------------------------------
+# Float backend: numpy column sweeps (group loops without numpy)
+# ----------------------------------------------------------------------
+
+
+def _interior_float(a: int, b: int, cols: HColumns) -> float:
+    if _np is not None:
+        chains = _np.stack([cols.s_float[i - 1] for i in range(a, b + 2)])
+        sat = _chain_sweep_float(chains, False, False)
+        return float(1.0 - _np.prod(1.0 - sat))
+    miss_all = 1.0
+    nx, ny = cols.layout.nx, cols.layout.ny
+    for x in range(nx):
+        for y in range(ny):
+            chain = [cols.s_float[i - 1][x][y] for i in range(a, b + 2)]
+            miss_all *= 1.0 - _chain_dp_float(chain, False, False)
+    return 1.0 - miss_all
+
+
+def _left_float(b: int, cols: HColumns) -> float:
+    if _np is not None:
+        chains = _np.stack([cols.s_float[i - 1] for i in range(1, b + 2)])
+        sat_plain = _chain_sweep_float(chains, False, False)
+        sat_fired = _chain_sweep_float(chains, True, False)
+        miss_plain = _np.prod(1.0 - sat_plain, axis=1)
+        miss_fired = _np.prod(1.0 - sat_fired, axis=1)
+        r = cols.r_float
+        hit = r * (1.0 - miss_fired) + (1.0 - r) * (1.0 - miss_plain)
+        return float(1.0 - _np.prod(1.0 - hit))
+    miss_all = 1.0
+    nx, ny = cols.layout.nx, cols.layout.ny
+    for x in range(nx):
+        miss_plain = 1.0
+        miss_fired = 1.0
+        for y in range(ny):
+            chain = [cols.s_float[i - 1][x][y] for i in range(1, b + 2)]
+            miss_plain *= 1.0 - _chain_dp_float(chain, False, False)
+            miss_fired *= 1.0 - _chain_dp_float(chain, True, False)
+        r = cols.r_float[x]
+        hit = r * (1.0 - miss_fired) + (1.0 - r) * (1.0 - miss_plain)
+        miss_all *= 1.0 - hit
+    return 1.0 - miss_all
+
+
+def _right_float(a: int, k: int, cols: HColumns) -> float:
+    if _np is not None:
+        chains = _np.stack([cols.s_float[i - 1] for i in range(a, k + 1)])
+        sat_plain = _chain_sweep_float(chains, False, False)
+        sat_fired = _chain_sweep_float(chains, False, True)
+        miss_plain = _np.prod(1.0 - sat_plain, axis=0)
+        miss_fired = _np.prod(1.0 - sat_fired, axis=0)
+        t = cols.t_float
+        hit = t * (1.0 - miss_fired) + (1.0 - t) * (1.0 - miss_plain)
+        return float(1.0 - _np.prod(1.0 - hit))
+    miss_all = 1.0
+    nx, ny = cols.layout.nx, cols.layout.ny
+    for y in range(ny):
+        miss_plain = 1.0
+        miss_fired = 1.0
+        for x in range(nx):
+            chain = [cols.s_float[i - 1][x][y] for i in range(a, k + 1)]
+            miss_plain *= 1.0 - _chain_dp_float(chain, False, False)
+            miss_fired *= 1.0 - _chain_dp_float(chain, False, True)
+        t = cols.t_float[y]
+        hit = t * (1.0 - miss_fired) + (1.0 - t) * (1.0 - miss_plain)
+        miss_all *= 1.0 - hit
+    return 1.0 - miss_all
+
+
+# ----------------------------------------------------------------------
+# Fraction fallback (the pre-columnar reference implementation; used
+# when the exact common denominator overflows 64 bits)
+# ----------------------------------------------------------------------
 
 
 def _domain_sides(tid: TupleIndependentDatabase, k: int) -> tuple[list, list]:
@@ -126,35 +399,9 @@ def _tuple_probability(
     return tid.probability_of(TupleId(relation, values))
 
 
-def run_probability(
-    run: tuple[int, int], k: int, tid: TupleIndependentDatabase
-) -> Fraction:
-    """``Pr(∨_{i in [a..b]} h_{k,i})`` for one maximal run, by the lifted
-    plan described in the module docstring.
-
-    :raises UnsafeSubqueryError: if the run is all of ``{0..k}``.
-    """
-    a, b = run
-    if not 0 <= a <= b <= k:
-        raise ValueError(f"run {run} out of bounds for k = {k}")
-    if a == 0 and b == k:
-        raise UnsafeSubqueryError(
-            "the full disjunction h_{k,0} ∨ ... ∨ h_{k,k} is #P-hard and "
-            "has no safe plan"
-        )
-    xs, ys = _domain_sides(tid, k)
-    if a == 0:
-        return _left_run_probability(b, tid, xs, ys)
-    if b == k:
-        return _right_run_probability(a, k, tid, xs, ys)
-    return _interior_run_probability(a, b, tid, xs, ys)
-
-
-def _interior_run_probability(
+def _interior_run_fractions(
     a: int, b: int, tid: TupleIndependentDatabase, xs: list, ys: list
 ) -> Fraction:
-    """Run touching neither endpoint: events independent across ``(x, y)``
-    pairs; within a pair, a chain over ``S_a .. S_{b+1}``."""
     miss_all = Fraction(1)
     for x in xs:
         for y in ys:
@@ -166,12 +413,9 @@ def _interior_run_probability(
     return 1 - miss_all
 
 
-def _left_run_probability(
+def _left_run_fractions(
     b: int, tid: TupleIndependentDatabase, xs: list, ys: list
 ) -> Fraction:
-    """Run ``[0..b]`` (with ``b < k``): group by ``x``; conditioned on
-    ``R(x)``, the per-``y`` chain over ``S_1..S_{b+1}`` is satisfied also by
-    ``S_1`` alone."""
     miss_all = Fraction(1)
     for x in xs:
         p_r = _tuple_probability(tid, "R", (x,))
@@ -191,12 +435,9 @@ def _left_run_probability(
     return 1 - miss_all
 
 
-def _right_run_probability(
+def _right_run_fractions(
     a: int, k: int, tid: TupleIndependentDatabase, xs: list, ys: list
 ) -> Fraction:
-    """Run ``[a..k]`` (with ``a > 0``): the mirror image — group by ``y``;
-    conditioned on ``T(y)``, the per-``x`` chain over ``S_a..S_k`` is
-    satisfied also by ``S_k`` alone."""
     miss_all = Fraction(1)
     for y in ys:
         p_t = _tuple_probability(tid, "T", (y,))
@@ -216,8 +457,96 @@ def _right_run_probability(
     return 1 - miss_all
 
 
+def _run_probability_fractions(
+    run: tuple[int, int],
+    k: int,
+    tid: TupleIndependentDatabase,
+    sides: tuple[list, list] | None = None,
+) -> Fraction:
+    a, b = run
+    xs, ys = sides if sides is not None else _domain_sides(tid, k)
+    if a == 0:
+        return _left_run_fractions(b, tid, xs, ys)
+    if b == k:
+        return _right_run_fractions(a, k, tid, xs, ys)
+    return _interior_run_fractions(a, b, tid, xs, ys)
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+
+
+def _check_run(run: tuple[int, int], k: int) -> None:
+    a, b = run
+    if not 0 <= a <= b <= k:
+        raise ValueError(f"run {run} out of bounds for k = {k}")
+    if a == 0 and b == k:
+        raise UnsafeSubqueryError(
+            "the full disjunction h_{k,0} ∨ ... ∨ h_{k,k} is #P-hard and "
+            "has no safe plan"
+        )
+
+
+def run_probability(
+    run: tuple[int, int],
+    k: int,
+    tid: TupleIndependentDatabase,
+    *,
+    columns: HColumns | None = None,
+) -> Fraction:
+    """``Pr(∨_{i in [a..b]} h_{k,i})`` for one maximal run, by the lifted
+    plan described in the module docstring — exact, on the integer
+    common-denominator backend over the TID's columnar view (pass
+    ``columns`` to reuse a view the caller already holds).
+
+    :raises UnsafeSubqueryError: if the run is all of ``{0..k}``.
+    """
+    _check_run(run, k)
+    a, b = run
+    cols = columns if columns is not None else h_columns(tid, k)
+    if cols.denominator is None:  # exotic denominators: Fraction fallback
+        # The layout's sorted domains are the ones _domain_sides would
+        # recompute; reuse them so per-run fallbacks never rescan.
+        return _run_probability_fractions(
+            run, k, tid, (list(cols.layout.xs), list(cols.layout.ys))
+        )
+    if a == 0:
+        return _left_exact(b, cols)
+    if b == k:
+        return _right_exact(a, k, cols)
+    return _interior_exact(a, b, cols)
+
+
+def run_probability_float(
+    run: tuple[int, int],
+    k: int,
+    tid: TupleIndependentDatabase,
+    *,
+    columns: HColumns | None = None,
+) -> float:
+    """The float backend of :func:`run_probability`: one vectorized sweep
+    over the columnar view (numpy when importable, per-group scans
+    otherwise).
+
+    :raises UnsafeSubqueryError: if the run is all of ``{0..k}``.
+    """
+    _check_run(run, k)
+    a, b = run
+    cols = columns if columns is not None else h_columns(tid, k)
+    if a == 0:
+        return _left_float(b, cols)
+    if b == k:
+        return _right_float(a, k, cols)
+    return _interior_float(a, b, cols)
+
+
 def disjunction_probability(
-    indices: Iterable[int], k: int, tid: TupleIndependentDatabase
+    indices: Iterable[int],
+    k: int,
+    tid: TupleIndependentDatabase,
+    *,
+    columns: HColumns | None = None,
 ) -> Fraction:
     """``Pr(∨_{i in S} h_{k,i})`` for a proper subset ``S ⊊ {0..k}`` — or
     for the empty set, where the probability is 0.
@@ -229,7 +558,31 @@ def disjunction_probability(
         return Fraction(0)
     if not index_set <= set(range(k + 1)):
         raise ValueError(f"indices {sorted(index_set)} out of range for k={k}")
+    cols = columns if columns is not None else h_columns(tid, k)
     miss_all = Fraction(1)
     for run in runs_of(index_set):
-        miss_all *= 1 - run_probability(run, k, tid)
+        miss_all *= 1 - run_probability(run, k, tid, columns=cols)
     return 1 - miss_all
+
+
+def disjunction_probability_float(
+    indices: Iterable[int],
+    k: int,
+    tid: TupleIndependentDatabase,
+    *,
+    columns: HColumns | None = None,
+) -> float:
+    """The float backend of :func:`disjunction_probability`.
+
+    :raises UnsafeSubqueryError: if ``S = {0..k}``.
+    """
+    index_set = set(indices)
+    if not index_set:
+        return 0.0
+    if not index_set <= set(range(k + 1)):
+        raise ValueError(f"indices {sorted(index_set)} out of range for k={k}")
+    cols = columns if columns is not None else h_columns(tid, k)
+    miss_all = 1.0
+    for run in runs_of(index_set):
+        miss_all *= 1.0 - run_probability_float(run, k, tid, columns=cols)
+    return 1.0 - miss_all

@@ -79,13 +79,15 @@ class QueryRequest:
 class QueryResponse:
     """One answered request.
 
-    ``engine`` is ``"intensional"`` (batched d-D sweep),
-    ``"brute_force"`` (small hard instance), ``"karp_luby"`` (large hard
-    UCQ) or ``"monte_carlo"`` (large hard non-monotone query).
-    ``batch_size`` is the size of the microbatch the request was served
-    in (1 when it rode alone); ``cache_hit`` whether the compiled d-D
-    came from the shard's cache.  ``half_width``/``samples`` are zero for
-    exact engines.
+    ``engine`` is ``"extensional"`` (safe monotone query, lifted columnar
+    sweep), ``"intensional"`` (batched d-D sweep), ``"brute_force"``
+    (small hard instance), ``"karp_luby"`` (large hard UCQ) or
+    ``"monte_carlo"`` (large hard non-monotone query).  ``batch_size``
+    is the size of the microbatch the request was served in (1 when it
+    rode alone); ``cache_hit`` whether the shard served cached state —
+    a compiled d-D on the intensional route, an extensional plan on the
+    extensional route.  ``half_width``/``samples`` are zero for exact
+    engines.
     """
 
     probability: float

@@ -6,12 +6,15 @@ multi-tenant query service: registered instances are partitioned across
 :meth:`~repro.db.relation.Instance.content_fingerprint`, each shard owns
 its compilation cache / workers / stats, and the ``submit`` /
 ``submit_batch`` API microbatches same-work requests into single
-vectorized tape sweeps.  Routing follows the Figure-1 dichotomy per
-request: d-D(PTIME) queries compile through the shard cache and run
-batched; hard queries fall back to exact enumeration when the instance
+vectorized sweeps.  Routing follows the Figure-1 dichotomy per request:
+safe monotone (H+) queries run *extensionally* — lifted plans over
+columnar probability views, no lineage or circuit at all; the remaining
+d-D(PTIME) queries compile through the shard cache and run batched tape
+sweeps; hard queries fall back to exact enumeration when the instance
 is small, and to the exact-draw Karp–Luby (UCQ) or Monte-Carlo
 (non-monotone) sampler under a per-request
-:class:`~repro.serving.api.AccuracyBudget` otherwise.
+:class:`~repro.serving.api.AccuracyBudget` otherwise.  The routing
+decision table lives in ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ class ShardedService:
     ...     tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
     ...     response = service.submit(q9(), tid).result()
     >>> response.engine
-    'intensional'
+    'extensional'
 
     The service is a context manager; :meth:`close` drains the worker
     pools.  All shard state is in-process — this layer is the process

@@ -2,7 +2,9 @@
 
 A shard owns everything a request needs after routing: its *own*
 :class:`~repro.pqe.engine.CompilationCache` (so cache churn is isolated
-per shard and two shards never serve each other's circuits), a small
+per shard and two shards never serve each other's circuits) and its own
+:class:`~repro.pqe.extensional.ExtensionalPlanCache` (safe monotone
+queries are served by lifted plans, never by circuits), a small
 thread-pool of workers, a pending queue that microbatches same-work
 requests, and its stats.  Instance-derived state (variable orders,
 tabular side machines, shared OBDD managers) lives on the
@@ -21,7 +23,10 @@ group, however it interleaved with other traffic.  Because numpy's
 elementwise kernels and the generated float function are per-element
 IEEE operations, batch composition never changes any individual float:
 a microbatched answer is bit-for-float identical to a single-threaded
-:func:`~repro.pqe.engine.evaluate_batch`.
+:func:`~repro.pqe.engine.evaluate_batch`.  Safe monotone groups take the
+extensional sweep instead (one shared plan, one columnar sweep per
+request's probability map) with the same grouping and the same
+bit-for-float guarantee.
 """
 
 from __future__ import annotations
@@ -43,6 +48,10 @@ from repro.pqe.engine import (
     BRUTE_FORCE_LIMIT,
     COMPILATION_CACHE_LIMIT,
     CompilationCache,
+)
+from repro.pqe.extensional import (
+    ExtensionalPlanCache,
+    probability_batch as extensional_probability_batch,
 )
 from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
 from repro.serving.stats import LatencyWindow, ShardStats
@@ -81,6 +90,7 @@ class Shard:
             raise ValueError(f"workers must be positive, got {workers}")
         self.shard_id = shard_id
         self.cache = CompilationCache(cache_limit)
+        self.plan_cache = ExtensionalPlanCache()
         self.default_budget = (
             default_budget if default_budget is not None else AccuracyBudget()
         )
@@ -192,7 +202,28 @@ class Shard:
             self._max_batch_size = max(self._max_batch_size, size)
             if size > 1:
                 self._microbatched += size
-        if classification.dd_ptime:
+        if classification.extensional_safe:
+            # Safe monotone queries: lifted inference over the columnar
+            # view — no lineage, no compilation.  The plan is per-query
+            # state from this shard's plan cache; the whole microbatch
+            # shares it, and each request's probability map is swept
+            # independently, so the answers are bit-for-float identical
+            # to direct per-request evaluation.
+            plan, hit = self.plan_cache.get_or_build(query)
+            probabilities = extensional_probability_batch(
+                query,
+                [pending.request.tid for pending in group],
+                plan=plan,
+            )
+            for pending, probability in zip(group, probabilities):
+                self._finish(
+                    pending,
+                    probability,
+                    "extensional",
+                    cache_hit=hit,
+                    batch_size=size,
+                )
+        elif classification.dd_ptime:
             compiled, hit = self.cache.get_or_compile(
                 query, group[0].request.tid.instance, group[0].key[1]
             )
@@ -290,6 +321,7 @@ class Shard:
 
     def stats(self) -> ShardStats:
         cache = self.cache.stats()
+        plans = self.plan_cache.stats()
         with self._lock:
             return ShardStats(
                 shard=self.shard_id,
@@ -301,6 +333,7 @@ class Shard:
                 queue_depth=len(self._pending),
                 engines=dict(self._engines),
                 cache=cache,
+                plans=plans,
                 compile_ms=self._compile_ms,
                 p50_ms=self._latencies.percentile(0.50),
                 p95_ms=self._latencies.percentile(0.95),

@@ -13,6 +13,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.pqe.engine import CompilationCacheStats
+from repro.pqe.extensional import ExtensionalPlanCacheStats
 
 
 class LatencyWindow:
@@ -68,6 +69,7 @@ class ShardStats:
     queue_depth: int  #: requests enqueued but not yet drained
     engines: dict[str, int]  #: requests answered per engine label
     cache: CompilationCacheStats  #: this shard's own compilation cache
+    plans: ExtensionalPlanCacheStats  #: this shard's extensional plans
     compile_ms: float  #: total wall-clock spent compiling on this shard
     p50_ms: float
     p95_ms: float
@@ -77,6 +79,12 @@ class ShardStats:
         """Hits over cache accesses (0.0 before the first access)."""
         accesses = self.cache.hits + self.cache.misses
         return self.cache.hits / accesses if accesses else 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        """Plan-cache hits over accesses (0.0 before the first access)."""
+        accesses = self.plans.hits + self.plans.misses
+        return self.plans.hits / accesses if accesses else 0.0
 
 
 @dataclass(frozen=True)

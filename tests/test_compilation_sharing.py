@@ -383,6 +383,6 @@ class TestEngineConcurrencyAndBatch:
 
     def test_batch_intensional_keeps_single_label(self):
         tids = [complete_tid(3, 2, 2) for _ in range(2)]
-        result = evaluate_batch(q9(), tids)
+        result = evaluate_batch(q9(), tids, method="intensional")
         assert result.engine == "intensional"
         assert result.engines is None

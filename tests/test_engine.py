@@ -31,13 +31,30 @@ def full_disjunction(k: int) -> BooleanFunction:
 
 
 class TestAutoMode:
-    def test_safe_query_uses_intensional(self):
+    def test_safe_monotone_query_uses_extensional(self):
+        # Safe H+-queries take the lifted fast path: no lineage, no
+        # circuit, exact Fractions from the columnar backend.
         rng = random.Random(1)
         tid = small_random_tid(3, rng)
         result = evaluate(q9(), tid)
-        assert result.engine == "intensional"
-        assert result.compiled is not None
+        assert result.engine == "extensional"
+        assert result.compiled is None
         assert result.classification.region is Region.ZERO_EULER
+        brute = evaluate(q9(), tid, method="brute_force")
+        assert result.probability == brute.probability
+
+    def test_extensional_route_reports_plan_cache_hits(self):
+        from repro.pqe.engine import ExtensionalPlanCache
+
+        plan_cache = ExtensionalPlanCache()
+        tid = complete_tid(3, 2, 2)
+        first = evaluate(q9(), tid, plan_cache=plan_cache)
+        second = evaluate(q9(), tid, plan_cache=plan_cache)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert first.probability == second.probability
+        stats = plan_cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
 
     def test_hard_query_small_instance_falls_back(self):
         tid = complete_tid(3, 1, 1)
@@ -111,14 +128,24 @@ class TestEvaluateBatchEdges:
     """Empty and single-element batches are well-defined (the empty
     batch used to leak the method name ``"auto"`` as its engine label)."""
 
-    def test_empty_batch_dd_query_auto(self):
+    def test_empty_batch_safe_query_auto(self):
         result = evaluate_batch(q9(), [])
         assert result.probabilities == []
-        assert result.engine == "intensional"
+        assert result.engine == "extensional"
         assert result.compiled is None
         assert result.cache_hits == 0
         assert result.engines is None
         assert result.classification.region is Region.ZERO_EULER
+
+    def test_empty_batch_nonmonotone_dd_query_auto(self):
+        rng = random.Random(3)
+        phi = None
+        while phi is None or phi.euler_characteristic() != 0 or phi.is_monotone():
+            phi = BooleanFunction.random(4, rng)
+        result = evaluate_batch(HQuery(3, phi), [])
+        assert result.probabilities == []
+        assert result.engine == "intensional"
+        assert result.compiled is None
 
     def test_empty_batch_intensional_method(self):
         result = evaluate_batch(q9(), [], method="intensional")
@@ -142,10 +169,20 @@ class TestEvaluateBatchEdges:
         with pytest.raises(ValueError):
             evaluate_batch(q9(), [], method="quantum")
 
-    def test_single_element_batch_dd(self):
+    def test_single_element_batch_safe_query(self):
+        tid = complete_tid(3, 2, 2)
+        result = evaluate_batch(q9(), [tid])
+        assert result.engine == "extensional"
+        assert result.compiled is None
+        exact = evaluate(q9(), tid, method="extensional")
+        assert result.probabilities == [
+            pytest.approx(float(exact.probability), abs=1e-9)
+        ]
+
+    def test_single_element_batch_dd_intensional_method(self):
         cache = CompilationCache()
         tid = complete_tid(3, 2, 2)
-        result = evaluate_batch(q9(), [tid], cache=cache)
+        result = evaluate_batch(q9(), [tid], method="intensional", cache=cache)
         assert result.engine == "intensional"
         assert result.compiled is not None
         exact = evaluate(q9(), tid, method="intensional", cache=cache)
@@ -181,7 +218,9 @@ class TestCacheConcurrency:
                 barrier.wait()
                 for i in range(calls_per_thread):
                     tid = tids[(seed + i) % len(tids)]
-                    result = evaluate(q9(), tid, cache=cache)
+                    result = evaluate(
+                        q9(), tid, method="intensional", cache=cache
+                    )
                     assert result.engine == "intensional"
                     compilation_cache_stats(cache)  # racing reader
             except BaseException as error:  # noqa: BLE001
@@ -214,7 +253,7 @@ class TestCacheConcurrency:
         def evaluator():
             try:
                 while not stop.is_set():
-                    evaluate(q9(), tid, cache=cache)
+                    evaluate(q9(), tid, method="intensional", cache=cache)
             except BaseException as error:  # noqa: BLE001
                 errors.append(error)
 
@@ -244,7 +283,7 @@ class TestCacheConcurrency:
         # After the dust settles the cache still works and counts right.
         cache.clear()
         for _ in range(5):
-            evaluate(q9(), tid, cache=cache)
+            evaluate(q9(), tid, method="intensional", cache=cache)
         stats = cache.stats()
         assert stats.misses == 1
         assert stats.hits == 4
@@ -253,8 +292,8 @@ class TestCacheConcurrency:
         cache = CompilationCache()
         tid = complete_tid(3, 3, 2)
         before = compilation_cache_stats()
-        evaluate(q9(), tid, cache=cache)
-        evaluate(q9(), tid, cache=cache)
+        evaluate(q9(), tid, method="intensional", cache=cache)
+        evaluate(q9(), tid, method="intensional", cache=cache)
         after = compilation_cache_stats()
         assert (after.hits, after.misses) == (before.hits, before.misses)
         assert cache.stats().misses == 1
@@ -265,7 +304,8 @@ class TestCacheConcurrency:
         # cache must not zero observability shared by every other shard.
         cache = CompilationCache()
         tid = complete_tid(3, 2, 3)
-        evaluate(q9(), tid, cache=cache)  # generates pair-cache traffic
+        # Explicitly intensional: generates pair-cache traffic.
+        evaluate(q9(), tid, method="intensional", cache=cache)
         before = compilation_cache_stats()
         assert before.pair_hits + before.pair_misses > 0
         clear_compilation_cache(cache)

@@ -280,8 +280,8 @@ class TestEngineCompilationCache:
 
     def test_second_evaluate_reuses_compiled_circuit(self):
         tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
-        first = evaluate(q9(), tid)
-        second = evaluate(q9(), tid)
+        first = evaluate(q9(), tid, method="intensional")
+        second = evaluate(q9(), tid, method="intensional")
         assert not first.cache_hit
         assert second.cache_hit
         assert second.compiled is first.compiled
@@ -296,21 +296,21 @@ class TestEngineCompilationCache:
         # compiled privately) must fail loudly instead of corrupting
         # other holders' results.
         tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
-        first = evaluate(q9(), tid)
+        first = evaluate(q9(), tid, method="intensional")
         circuit = first.compiled.circuit
         with pytest.raises(ValueError, match="frozen"):
             circuit.add_not(circuit.output)
         with pytest.raises(ValueError, match="frozen"):
             circuit.set_output(0)
-        second = evaluate(q9(), tid)
+        second = evaluate(q9(), tid, method="intensional")
         assert second.cache_hit
         assert second.probability == first.probability
 
     def test_instance_mutation_misses_the_cache(self):
         tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
-        evaluate(q9(), tid)
+        evaluate(q9(), tid, method="intensional")
         tid.add("R", ("extra",), Fraction(1, 2))
-        result = evaluate(q9(), tid)
+        result = evaluate(q9(), tid, method="intensional")
         assert not result.cache_hit
         assert compilation_cache_stats().misses == 2
 
@@ -322,9 +322,12 @@ class TestEngineCompilationCache:
             for t in tid.instance.tuple_ids():
                 tid.set_probability(t, Fraction(rng.randrange(0, 11), 10))
             tids.append(tid)
-        result = evaluate_batch(q9(), tids)
+        result = evaluate_batch(q9(), tids, method="intensional")
         assert result.engine == "intensional"
-        per_tid = [float(evaluate(q9(), t).probability) for t in tids]
+        per_tid = [
+            float(evaluate(q9(), t, method="intensional").probability)
+            for t in tids
+        ]
         assert result.probabilities == pytest.approx(per_tid, abs=1e-10)
         # All five TIDs share one instance fingerprint: one compilation.
         assert compilation_cache_stats().misses == 1

@@ -69,8 +69,9 @@ class TestWorkflow:
         assert verdicts["h1_alone"].region is Region.DEGENERATE
         assert verdicts["hard"].region is Region.HARD
 
-        # 2. Evaluate everything through the facade; the hard query falls
-        #    back to brute force on this small instance.
+        # 2. Evaluate everything through the facade; the safe monotone
+        #    queries route extensionally (no lineage), the hard query
+        #    falls back to brute force on this small instance.
         results = {
             name: evaluate(query, tid) for name, query in workload.items()
         }
@@ -78,10 +79,14 @@ class TestWorkflow:
             oracle = probability_by_world_enumeration(query, tid)
             assert results[name].probability == oracle, name
         assert results["hard"].engine == "brute_force"
-        assert results["q9"].engine == "intensional"
+        assert results["q9"].engine == "extensional"
+        assert results["h1_alone"].engine == "extensional"
 
-        # 3. Persist the compiled q9 lineage and reload it (cold start).
-        stored = dumps(results["q9"].compiled.circuit)
+        # 3. Persist a compiled q9 lineage (the intensional engine,
+        #    requested explicitly) and reload it (cold start).
+        intensional_q9 = evaluate(workload["q9"], tid, method="intensional")
+        assert intensional_q9.probability == results["q9"].probability
+        stored = dumps(intensional_q9.compiled.circuit)
         reloaded = loads(stored)
 
         # 4. Serve a stream of updates + queries against the reloaded

@@ -2,12 +2,28 @@
 
 from __future__ import annotations
 
+import random
 from fractions import Fraction
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pqe.safe_plans import chain_probability, runs_of
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import random_tid
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.safe_plans import (
+    UnsafeSubqueryError,
+    _run_probability_fractions,
+    chain_probability,
+    disjunction_probability,
+    disjunction_probability_float,
+    run_probability,
+    run_probability_float,
+    runs_of,
+)
+from repro.queries.hqueries import HQuery
 
 
 class TestRunsProperties:
@@ -106,3 +122,121 @@ class TestChainProperties:
         miss_left = 1 - chain_probability(left)
         miss_right = 1 - chain_probability(right)
         assert severed == 1 - miss_left * miss_right
+
+
+def disjunction_query(k: int, indices) -> HQuery:
+    """``∨_{i in S} h_{k,i}`` as an :class:`HQuery` (the brute-force
+    oracle for the lifted plans)."""
+    phi = BooleanFunction.bottom(k + 1)
+    for i in indices:
+        phi = phi | BooleanFunction.variable(i, k + 1)
+    return HQuery(k, phi)
+
+
+def proper_nonempty_subsets(k: int):
+    full = (1 << (k + 1)) - 1
+    for mask in range(1, full):
+        yield [i for i in range(k + 1) if mask >> i & 1]
+
+
+class TestBackendsAgainstBruteForce:
+    """Randomized instances: both vectorized backends vs. the
+    exponential oracle, the Fraction fallback, and each other."""
+
+    def _random_instances(self, seed, count, k, density=0.5):
+        rng = random.Random(seed)
+        instances = []
+        while len(instances) < count:
+            tid = random_tid(k, 2, 2, rng, tuple_density=density)
+            if 0 < len(tid) <= 12:
+                instances.append(tid)
+        return instances
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_all_proper_disjunctions_match_brute_force(self, k):
+        for tid in self._random_instances(0xBEEF + k, 3, k):
+            for subset in proper_nonempty_subsets(k):
+                exact = disjunction_probability(subset, k, tid)
+                oracle = probability_by_world_enumeration(
+                    disjunction_query(k, subset), tid
+                )
+                assert exact == oracle, (k, subset)
+                as_float = disjunction_probability_float(subset, k, tid)
+                assert as_float == pytest.approx(float(exact), abs=1e-12)
+
+    def test_runs_match_fraction_fallback_bit_for_bit(self):
+        k = 3
+        for tid in self._random_instances(0xFA11, 4, k):
+            for run in [(0, 0), (0, 2), (1, 2), (2, 2), (1, 3), (3, 3)]:
+                vectorized = run_probability(run, k, tid)
+                reference = _run_probability_fractions(run, k, tid)
+                assert vectorized == reference, run
+                assert run_probability_float(
+                    run, k, tid
+                ) == pytest.approx(float(reference), abs=1e-12)
+
+    def test_zero_and_one_probability_tuples(self):
+        # Degenerate pi values exercise the DP's absorbing states: kept
+        # tuples that always/never fire, including whole certain chains.
+        k = 2
+        rng = random.Random(0x01AF)
+        for _ in range(4):
+            tid = TupleIndependentDatabase()
+            for a in ("a1", "a2"):
+                tid.add("R", (a,), rng.choice([0, 1, Fraction(1, 2)]))
+                for b in ("b1", "b2"):
+                    for i in range(1, k + 1):
+                        tid.add(
+                            f"S{i}",
+                            (a, b),
+                            rng.choice([0, 1, Fraction(1, 3)]),
+                        )
+            for b in ("b1", "b2"):
+                tid.add("T", (b,), rng.choice([0, 1]))
+            for subset in proper_nonempty_subsets(k):
+                exact = disjunction_probability(subset, k, tid)
+                oracle = probability_by_world_enumeration(
+                    disjunction_query(k, subset), tid
+                )
+                assert exact == oracle, subset
+                assert disjunction_probability_float(
+                    subset, k, tid
+                ) == pytest.approx(float(exact), abs=1e-12)
+
+    def test_empty_run_set_and_empty_instance(self):
+        k = 3
+        empty = TupleIndependentDatabase()
+        assert disjunction_probability([], k, empty) == 0
+        assert disjunction_probability_float([], k, empty) == 0.0
+        # A run over an empty instance can never be witnessed.
+        assert run_probability((1, 2), k, empty) == 0
+        assert run_probability_float((0, 1), k, empty) == 0.0
+
+    def test_full_span_rejected_by_both_backends(self):
+        k = 2
+        tid = self._random_instances(0xF00, 1, k)[0]
+        with pytest.raises(UnsafeSubqueryError):
+            run_probability((0, k), k, tid)
+        with pytest.raises(UnsafeSubqueryError):
+            run_probability_float((0, k), k, tid)
+
+    def test_exotic_denominators_fall_back_exactly(self):
+        # A probability whose denominator overflows the 64-bit common
+        # denominator guard: the columnar exact backend must hand off to
+        # the Fraction fallback and still match the oracle bit for bit.
+        k = 2
+        huge = Fraction(1, 2**70 + 1)
+        tid = TupleIndependentDatabase()
+        tid.add("R", ("a1",), huge)
+        tid.add("S1", ("a1", "b1"), Fraction(1, 2))
+        tid.add("S2", ("a1", "b1"), 1 - huge)
+        tid.add("T", ("b1",), Fraction(2, 3))
+        from repro.db.columnar import h_columns
+
+        assert h_columns(tid, k).denominator is None
+        for subset in proper_nonempty_subsets(k):
+            exact = disjunction_probability(subset, k, tid)
+            oracle = probability_by_world_enumeration(
+                disjunction_query(k, subset), tid
+            )
+            assert exact == oracle, subset

@@ -95,7 +95,7 @@ class TestServingParity:
             response = service.submit(q9(), tid).result()
             reference = evaluate_batch(q9(), [tid])
             assert response.probability == reference.probabilities[0]
-            assert response.engine == "intensional"
+            assert response.engine == "extensional"
             assert response.shard == service.shard_of(tid)
             assert response.latency_ms >= 0.0
 
@@ -117,11 +117,14 @@ class TestServingParity:
         owner = stats.shards[
             [s.requests for s in stats.shards].index(512)
         ]
-        assert owner.cache.misses == 1  # compiled exactly once
-        assert owner.cache.hits >= 1
-        assert owner.cache_hit_rate > 0.5
+        # Safe monotone queries are served extensionally: the owning
+        # shard builds the lifted plan exactly once and never compiles.
+        assert owner.plans.misses == 1
+        assert owner.plans.hits >= 1
+        assert owner.plan_hit_rate > 0.5
+        assert owner.cache.misses == 0
         assert stats.requests == 512
-        assert stats.engines == {"intensional": 512}
+        assert stats.engines == {"extensional": 512}
 
     def test_multi_shard_sweep_matches_and_all_shards_hit(self):
         with ShardedService(shards=4, workers_per_shard=1) as service:
@@ -135,9 +138,11 @@ class TestServingParity:
         assert [r.probability for r in second] == reference.probabilities
         for shard in stats.shards:
             assert shard.requests >= 32
-            assert shard.cache.hits >= 1
-            assert shard.cache.misses >= 1
-            assert shard.compile_ms > 0.0
+            # Extensional route: one plan build per shard, then hits —
+            # and no compilation anywhere.
+            assert shard.plans.misses == 1
+            assert shard.plans.hits >= 1
+            assert shard.compile_ms == 0.0
             assert shard.p95_ms >= shard.p50_ms >= 0.0
 
     def test_microbatching_groups_same_work_requests(self):
@@ -180,6 +185,17 @@ class TestServingParity:
                     assert future.result(timeout=60).probability == (
                         reference
                     )
+            # Cancelled entries leave the queue when their scheduled
+            # drain claims them; with the fast extensional route that
+            # can lag the last served result, so wait for quiescence.
+            import time
+
+            deadline = time.monotonic() + 30
+            while (
+                service.stats().queue_depth > 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
             stats = service.stats()
         # Cancelled requests were dropped at claim time, never served.
         assert stats.requests == 64 - len(cancelled)
@@ -191,6 +207,61 @@ class TestServingParity:
             requests = [tids[i % len(tids)] for i in range(40)]
             responses = service.submit_batch(q9(), requests)
             reference = evaluate_batch(q9(), requests)
+        assert [r.probability for r in responses] == reference.probabilities
+
+
+def nonmonotone_dd_query(k: int = 3) -> HQuery:
+    """A zero-Euler but non-monotone query: d-D(PTIME), yet outside the
+    extensional engine's reach — the compiled route's territory."""
+    rng = random.Random(0xD1CE)
+    while True:
+        phi = BooleanFunction.random(k + 1, rng)
+        if phi.euler_characteristic() == 0 and not phi.is_monotone():
+            return HQuery(k, phi)
+
+
+class TestEngineRouting:
+    def test_safe_monotone_routes_extensionally_without_compiling(self):
+        tid = complete_tid(3, 2, 2, prob=Fraction(1, 3))
+        with ShardedService(shards=2) as service:
+            response = service.submit(q9(), tid).result()
+            stats = service.stats()
+        assert response.engine == "extensional"
+        exact = evaluate(q9(), tid, method="extensional")
+        assert response.probability == pytest.approx(
+            float(exact.probability), abs=1e-12
+        )
+        assert all(s.cache.misses == 0 for s in stats.shards)
+        assert sum(s.plans.misses for s in stats.shards) == 1
+
+    def test_non_monotone_dd_still_compiles_and_microbatches(self):
+        query = nonmonotone_dd_query()
+        tid = complete_tid(3, 3, 3, prob=Fraction(1, 2))
+        requests = [tid] * 64
+        reference = evaluate_batch(query, requests)
+        with ShardedService(shards=2, workers_per_shard=1) as service:
+            responses = service.submit_batch(query, requests)
+            stats = service.stats()
+        assert [r.probability for r in responses] == reference.probabilities
+        assert stats.engines == {"intensional": 64}
+        assert sum(s.cache.misses for s in stats.shards) == 1
+        assert sum(s.plans.misses for s in stats.shards) == 0
+
+    def test_extensional_microbatch_bit_for_float_vs_direct(self):
+        # Distinct probability maps over one instance, interleaved:
+        # microbatched extensional answers must equal the direct
+        # evaluate_batch floats, float for float.
+        rng = random.Random(17)
+        tids = []
+        for _ in range(24):
+            tid = complete_tid(3, 3, 2, prob=Fraction(1, 2))
+            for t in tid.instance.tuple_ids():
+                tid.set_probability(t, Fraction(rng.randrange(0, 9), 8))
+            tids.append(tid)
+        reference = evaluate_batch(q9(), tids)
+        assert reference.engine == "extensional"
+        with ShardedService(shards=2, workers_per_shard=2) as service:
+            responses = service.submit_batch(q9(), tids)
         assert [r.probability for r in responses] == reference.probabilities
 
 
@@ -335,8 +406,13 @@ class TestShardIsolation:
         assert not errors
         assert stats.requests == 6 * 8 * len(tids)
         assert stats.queue_depth == 0
-        assert sum(s.cache.misses for s in stats.shards) == len(tids)
-        assert stats.engines == {"intensional": stats.requests}
+        # One lifted plan per busy shard (keyed by the query, not the
+        # instance), no compilations at all.
+        for shard in stats.shards:
+            if shard.requests:
+                assert shard.plans.misses == 1
+            assert shard.cache.misses == 0
+        assert stats.engines == {"extensional": stats.requests}
 
 
 class TestLifecycle:
