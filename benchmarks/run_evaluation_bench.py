@@ -29,6 +29,12 @@ Compares, on q_9's compiled d-D lineage and on grounding workloads:
   whose extensional results are checked bit-for-``Fraction`` against the
   intensional compiled path.
 
+* **sampling** (PR 5): the vectorized sampling engine for #P-hard
+  queries — scalar vs vectorized Karp–Luby and Monte-Carlo samples/sec
+  on a ≥ 1k-tuple hard instance, the numpy-vs-pure-Python
+  ``draws_identical`` gate, and budget-adaptive vs fixed-count sample
+  economics (run in CI under ``PYTHONHASHSEED=0``).
+
 Run as a script to write ``BENCH_evaluation.json`` at the repository
 root, so future PRs can track the perf trajectory:
 
@@ -898,6 +904,134 @@ def bench_extensional(n=19, batch_size=256, suite_size=16, repeats=3):
     }
 
 
+def bench_sampling(
+    n=18,
+    vector_samples=4000,
+    scalar_kl_samples=200,
+    scalar_mc_samples=30,
+    repeats=3,
+):
+    """The vectorized sampling engine vs the scalar samplers (PR 5).
+
+    On the canonical hard family (``H_3 = h_0 ∨ ... ∨ h_3`` over a
+    complete instance of ``2n + 3n^2`` >= 1k tuples, every probability
+    1/2 — #P-hard, far beyond brute force):
+
+    * ``*_karp_luby_sps`` — samples/second of the scalar
+      (incidence-fixed) ``karp_luby_probability`` vs the vectorized
+      counter-stream sampler;
+    * ``*_monte_carlo_sps`` — the same for Monte Carlo (the scalar
+      re-grounds the query per sampled world; the vectorized path runs
+      the clause-incidence bit-matrix);
+    * ``draws_identical`` — the numpy path and the pure-Python fallback
+      of the vectorized engine produce the same world matrix and the
+      same fixed-seed estimate (a correctness gate, not a timing);
+    * ``adaptive_*`` — budget-adaptive estimation: the adaptive run must
+      meet the budget's (scale-relative) half-width with no more samples
+      than the fixed-count worst case, and — the stream's prefix
+      property — agree bit-for-bit with a fixed run of the same length
+      (``adaptive_prefix_identical``).
+    """
+    from repro.db.tid import WorldSampler
+    from repro.pqe.approximate import (
+        AccuracyBudget,
+        SamplingPlan,
+        half_width,
+        karp_luby_probability,
+        monte_carlo_probability,
+    )
+
+    phi = BooleanFunction.bottom(4)
+    for i in range(4):
+        phi = phi | BooleanFunction.variable(i, 4)
+    query = HQuery(3, phi)
+    tid = complete_tid(3, n, n, prob=Fraction(1, 2))
+    plan = SamplingPlan(query, tid)
+    plan.run_fixed(64, seed=0)  # warm the cached lineage structure
+
+    vector_kl_seconds = _best_of(
+        lambda: plan.run_fixed(vector_samples, seed=1), repeats
+    )
+    scalar_kl_seconds = _best_of(
+        lambda: karp_luby_probability(
+            query, tid, scalar_kl_samples, random.Random(1)
+        ),
+        1,
+    )
+    mc_plan = SamplingPlan(query, tid, engine="monte_carlo")
+    vector_mc_seconds = _best_of(
+        lambda: mc_plan.run_fixed(vector_samples, seed=1), repeats
+    )
+    scalar_mc_seconds = _best_of(
+        lambda: monte_carlo_probability(
+            query, tid, scalar_mc_samples, random.Random(1)
+        ),
+        1,
+    )
+
+    # Backend equality: the correctness claim behind the speedup.
+    sampler = WorldSampler(
+        [tid.probability_of(t) for t in tid.instance.tuple_ids()], seed=9
+    )
+    matrix_numpy = sampler.sample(0, 96, use_numpy=True)
+    matrix_python = sampler.sample(0, 96, use_numpy=False)
+    draws_identical = (
+        matrix_numpy.tolist() == matrix_python
+        and plan.run_fixed(512, seed=9, use_numpy=True)
+        == plan.run_fixed(512, seed=9, use_numpy=False)
+    )
+
+    budget = AccuracyBudget(epsilon=0.02, min_samples=100, seed=1)
+    adaptive = plan.run(budget)
+    fixed_samples = budget.samples()
+    replay = plan.run_fixed(adaptive.samples, seed=1)
+    scale = plan._scale()
+    achieved_relative = (
+        half_width(
+            round(adaptive.value / scale * adaptive.samples),
+            adaptive.samples,
+            scale,
+            "wilson",
+        )
+        / scale
+    )
+    adaptive_meets_budget = (
+        adaptive.samples <= fixed_samples
+        and (
+            achieved_relative <= budget.epsilon
+            or adaptive.samples == fixed_samples
+        )
+    )
+    return {
+        "tuples": len(tid),
+        "clauses": len(plan._structure.clauses),
+        "vector_samples": vector_samples,
+        "scalar_karp_luby_sps": scalar_kl_samples / scalar_kl_seconds,
+        "vectorized_karp_luby_sps": vector_samples / vector_kl_seconds,
+        "karp_luby_speedup": (
+            (vector_samples / vector_kl_seconds)
+            / (scalar_kl_samples / scalar_kl_seconds)
+        ),
+        "scalar_monte_carlo_sps": scalar_mc_samples / scalar_mc_seconds,
+        "vectorized_monte_carlo_sps": vector_samples / vector_mc_seconds,
+        "monte_carlo_speedup": (
+            (vector_samples / vector_mc_seconds)
+            / (scalar_mc_samples / scalar_mc_seconds)
+        ),
+        "draws_identical": draws_identical,
+        "adaptive_prefix_identical": (
+            adaptive.value == replay.value
+            and adaptive.samples == replay.samples
+        ),
+        "budget_epsilon": budget.epsilon,
+        "fixed_samples": fixed_samples,
+        "adaptive_samples": adaptive.samples,
+        "adaptive_waves": adaptive.waves,
+        "adaptive_meets_budget": adaptive_meets_budget,
+        "achieved_relative_half_width": achieved_relative,
+    }
+
+
 SECTIONS = {
     "single_float": bench_single_float,
     "batch": bench_batch,
@@ -906,6 +1040,7 @@ SECTIONS = {
     "compilation": bench_compilation,
     "serving": bench_serving,
     "extensional": bench_extensional,
+    "sampling": bench_sampling,
 }
 
 

@@ -19,6 +19,7 @@ from fractions import Fraction
 
 from repro import BooleanFunction, HQuery, complete_tid
 from repro.pqe import (
+    AccuracyBudget,
     HardQueryError,
     NotCompilableError,
     UnsafeQueryError,
@@ -63,11 +64,25 @@ def main() -> None:
             print(f"  {name} refused: {reason}")
 
     # Approximation proceeds regardless of hardness.
-    print("\nestimates on the large instance:")
+    print("\nestimates on the large instance (scalar samplers):")
     mc = monte_carlo_probability(query, large, samples=400, rng=rng)
     kl = karp_luby_probability(query, large, samples=400, rng=rng)
     print(f"  monte carlo: {mc.value:.4f} ± {mc.half_width:.4f}")
     print(f"  karp–luby:   {kl.value:.4f} ± {kl.half_width:.4f}")
+
+    # The vectorized engine: pass an accuracy budget and the auto facade
+    # routes the hard query to the batched budget-adaptive sampler
+    # instead of refusing.  Sampling stops as soon as the half-width
+    # target is met — compare samples drawn with the fixed worst case.
+    budget = AccuracyBudget(epsilon=0.02, min_samples=100, seed=7)
+    result = evaluate(query, large, budget=budget)
+    estimate = result.estimate
+    print("\nvectorized budget-adaptive estimate (the serving route):")
+    print(f"  engine: {result.engine}")
+    print(f"  Pr ≈ {float(result.probability):.4f} "
+          f"± {estimate.half_width:.4f}")
+    print(f"  samples: {estimate.samples} in {estimate.waves} wave(s) "
+          f"(fixed-count worst case: {budget.samples()})")
 
     # Cross-check on a small instance where brute force still runs.
     small = complete_tid(3, 1, 2, prob=Fraction(1, 3))

@@ -407,6 +407,90 @@ class EvaluationTape:
         ]
         return self._sweep(rows, len(vectors))
 
+    # ------------------------------------------------------------------
+    # Boolean backend: batched world (indicator) evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_worlds(self, worlds) -> list[bool]:
+        """The circuit's *Boolean* value on a batch of 0/1 slot rows.
+
+        ``worlds`` is a ``samples × slots`` 0/1 matrix (numpy array or
+        sequence of rows), one possible world per row.  Unlike the
+        probability backends — whose ∨-as-sum is only meaningful on
+        deterministic circuits — this evaluates honest Boolean semantics
+        (∧ = all, ∨ = any, ¬ = complement), so it computes the exact
+        indicator of *any* circuit, non-deterministic DNF lineages
+        included.  That is what the Monte-Carlo route of
+        :mod:`repro.pqe.approximate` needs: the lineage circuit of a
+        #P-hard query is never a d-D, but its indicator on a sampled
+        world is still one tape sweep.
+
+        The batch is evaluated as big-int bitmasks (bit ``s`` of a gate's
+        value is its truth in world ``s``): one Python int op per gate
+        covers the whole batch, independent of numpy — with numpy input
+        the columns are bit-packed via ``np.packbits`` first.
+        """
+        output = self._output()
+        if _np is not None and isinstance(worlds, _np.ndarray):
+            samples = int(worlds.shape[0])
+            if samples and worlds.shape[1] != len(self.var_labels):
+                raise ValueError(
+                    f"world rows of width {worlds.shape[1]}; the tape "
+                    f"has {len(self.var_labels)} variable slots"
+                )
+            packed = _np.packbits(
+                worlds.astype(_np.uint8), axis=0, bitorder="little"
+            )
+            masks = [
+                int.from_bytes(packed[:, slot].tobytes(), "little")
+                for slot in range(len(self.var_labels))
+            ]
+        else:
+            rows = list(worlds)
+            samples = len(rows)
+            masks = [0] * len(self.var_labels)
+            for s, row in enumerate(rows):
+                if len(row) != len(self.var_labels):
+                    raise ValueError(
+                        f"world row of width {len(row)}; the tape has "
+                        f"{len(self.var_labels)} variable slots"
+                    )
+                bit = 1 << s
+                for slot, value in enumerate(row):
+                    if value:
+                        masks[slot] |= bit
+        if samples == 0:
+            return []
+        full = (1 << samples) - 1
+        opcodes = self.opcodes
+        operands = self.operands
+        arity = self.arity
+        args = self.args
+        values = [0] * len(opcodes)
+        for i in self.live:
+            op = opcodes[i]
+            if op == OP_VAR:
+                values[i] = masks[operands[i]]
+            elif op == OP_AND:
+                start = operands[i]
+                mask = full
+                for j in range(start, start + arity[i]):
+                    mask &= values[args[j]]
+                values[i] = mask
+            elif op == OP_OR:
+                start = operands[i]
+                mask = 0
+                for j in range(start, start + arity[i]):
+                    mask |= values[args[j]]
+                values[i] = mask
+            elif op == OP_NOT:
+                values[i] = full ^ values[args[operands[i]]]
+            elif op == OP_CONST_TRUE:
+                values[i] = full
+            # OP_CONST_FALSE keeps the zero initialization.
+        out = values[output]
+        return [bool(out >> s & 1) for s in range(samples)]
+
     def _sweep(
         self, rows: list[list[float]], batch_size: int
     ) -> list[float]:

@@ -6,16 +6,37 @@ sub-instances ``D' ⊆ D`` where each tuple is kept independently with its
 probability.  Probabilities are stored as exact :class:`fractions.Fraction`
 values so that the three evaluation engines of :mod:`repro.pqe` can be
 compared with exact equality in tests.
+
+Sampling lives here too, in two forms:
+
+* :func:`exact_bernoulli` + :meth:`TupleIndependentDatabase.sample_world` —
+  one world at a time off a ``random.Random`` (the scalar samplers of
+  :mod:`repro.pqe.approximate` and their fixed-seed regression tests);
+* :class:`WorldSampler` / :class:`DrawStream` — the batched counter-based
+  draw stream of the vectorized sampling engine: every draw is addressed
+  by an absolute ``(lane, index)`` counter and produced by a SplitMix64
+  word generator plus top-bits rejection, so the numpy path and the
+  pure-Python fallback emit *bit-identical* integers, draws never shift
+  when neighbors are skipped, and a growing sample prefix is stable under
+  any wave schedule.  Exact-integer-draw semantics per tuple are
+  preserved: a draw for probability ``p = a/q`` is a uniform integer
+  below ``q`` compared against ``a`` — zero float bias, like
+  :func:`exact_bernoulli`.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from collections.abc import Hashable, Iterator, Mapping
+from collections.abc import Hashable, Iterator, Mapping, Sequence
 from fractions import Fraction
 
 from repro.db.relation import Instance, TupleId
+
+try:  # numpy is optional: the batched samplers fall back to pure Python.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
 
 
 class TupleIndependentDatabase:
@@ -82,6 +103,30 @@ class TupleIndependentDatabase:
     def probability_map(self) -> dict[TupleId, Fraction]:
         """``pi`` as a dict over all facts of the instance."""
         return {t: self.probability_of(t) for t in self.instance.tuple_ids()}
+
+    def probability_fingerprint(self) -> tuple:
+        """A hashable value identifying the *numeric* content of the TID:
+        per-tuple ``(numerator, denominator)`` pairs in ``tuple_ids()``
+        order.
+
+        The sampling layer groups concurrent hard-query requests whose
+        instances share a content fingerprint; two such requests may be
+        served one shared sampling sweep only when their probabilities
+        agree as well, which this fingerprint decides.  Memoized against
+        ``probability_version`` and the instance's relation versions.
+        """
+        versions = (self._prob_version, self.instance.content_fingerprint())
+        cached = getattr(self, "_prob_fingerprint", None)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        fingerprint = tuple(
+            (p.numerator, p.denominator)
+            for p in (
+                self.probability_of(t) for t in self.instance.tuple_ids()
+            )
+        )
+        self._prob_fingerprint = (versions, fingerprint)
+        return fingerprint
 
     def world_probability(self, present: frozenset[TupleId]) -> Fraction:
         """``Pr(D')`` of Section 2: the product over kept and dropped
@@ -151,6 +196,312 @@ def exact_bernoulli(rng: random.Random, p: Fraction) -> bool:
     """
     p = Fraction(p)
     return rng.randrange(p.denominator) < p.numerator
+
+
+# ----------------------------------------------------------------------
+# Counter-based exact draw stream (the vectorized sampling substrate)
+# ----------------------------------------------------------------------
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15  #: SplitMix64 counter increment
+_ROUND_SALT = 0xD1342543DE82EF95  #: decorrelates rejection retries
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+
+def _mix64(x: int) -> int:
+    """The SplitMix64 finalizer: a 64-bit bijective mix whose outputs
+    over any counter sequence pass as independent uniform words."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _MIX_A) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX_B) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def _stream_base(seed: int, lane: int) -> int:
+    """The per-``(seed, lane)`` base offset of a draw stream.  Lanes keep
+    logically distinct draw kinds (world cells, clause selection) on
+    non-overlapping counter sequences under one seed."""
+    return _mix64(_mix64(seed & _MASK64) ^ ((lane * _GOLDEN) & _MASK64))
+
+
+def _word(base: int, counter: int, round_: int) -> int:
+    """Word ``round_`` of draw ``counter``: all arithmetic is mod 2**64,
+    so the numpy uint64 path computes the identical value."""
+    return _mix64(
+        (base + counter * _GOLDEN + round_ * _ROUND_SALT) & _MASK64
+    )
+
+
+def _py_uniform_below(base: int, counter: int, bound: int) -> int:
+    """An exact uniform integer in ``[0, bound)`` for one counter.
+
+    Top-``k`` bits of successive words (``k`` minimal with
+    ``2**k >= bound``) are rejection-sampled: each candidate is uniform on
+    ``[0, 2**k)``, so the accepted value is uniform on ``[0, bound)``
+    *exactly* — the counter-stream analogue of the integer draws behind
+    :func:`exact_bernoulli`, with no float grid anywhere.  Bounds beyond
+    64 bits concatenate ``ceil(k/64)`` words per round (big-int path),
+    so exotic common denominators stay exact too.
+    """
+    if bound <= 1:
+        return 0
+    k = (bound - 1).bit_length()
+    if k <= 64:
+        shift = 64 - k
+        round_ = 0
+        while True:
+            value = _word(base, counter, round_) >> shift
+            if value < bound:
+                return value
+            round_ += 1
+    chunks = (k + 63) // 64
+    shift = 64 * chunks - k
+    round_ = 0
+    while True:
+        acc = 0
+        for j in range(chunks):
+            acc = (acc << 64) | _word(base, counter, round_ * chunks + j)
+        value = acc >> shift
+        if value < bound:
+            return value
+        round_ += 1
+
+
+#: Bounds whose draws the numpy path vectorizes; wider bounds (and the
+#: pure-Python backend) go through :func:`_py_uniform_below`.  63 bits
+#: keeps every intermediate comfortably inside uint64 comparisons.
+_VECTOR_BOUND_BITS = 63
+
+
+def _np_mix64(x, scratch=None):
+    """:func:`_mix64` over a uint64 array, in place (wrapping semantics
+    match the masked Python arithmetic bit for bit).  ``x`` is consumed;
+    ``scratch`` is an optional same-shape uint64 work buffer."""
+    if scratch is None or scratch.shape != x.shape:
+        scratch = _np.empty_like(x)
+    _np.right_shift(x, _np.uint64(30), out=scratch)
+    x ^= scratch
+    x *= _np.uint64(_MIX_A)
+    _np.right_shift(x, _np.uint64(27), out=scratch)
+    x ^= scratch
+    x *= _np.uint64(_MIX_B)
+    _np.right_shift(x, _np.uint64(31), out=scratch)
+    x ^= scratch
+    return x
+
+
+def _np_uniform_below(base: int, counters, bound: int, scratch=None):
+    """Vectorized :func:`_py_uniform_below` for ``(bound - 1).bit_length()
+    <= _VECTOR_BOUND_BITS``: identical words, identical rejection
+    schedule, identical accepted values — per element, regardless of what
+    its neighbors rejected (counters are independent).
+
+    ``counters`` is preserved; power-of-two bounds take a no-rejection
+    fast path (every top-``k``-bits candidate is already below the
+    bound)."""
+    k = (bound - 1).bit_length()
+    shift = _np.uint64(64 - k)
+    bound_v = _np.uint64(bound)
+    with _np.errstate(over="ignore"):
+        words = counters * _np.uint64(_GOLDEN)
+        words += _np.uint64(base)
+        _np_mix64(words, scratch)
+        values = words
+        values >>= shift
+        if bound & (bound - 1) == 0:
+            return values  # candidates are uniform on [0, bound) already
+        pending = values >= bound_v
+        round_ = 0
+        while pending.any():
+            round_ += 1
+            salt = _np.uint64(
+                (base + round_ * _ROUND_SALT) & _MASK64
+            )
+            retry = counters[pending] * _np.uint64(_GOLDEN)
+            retry += salt
+            _np_mix64(retry)
+            retry >>= shift
+            values[pending] = retry
+            pending[pending] = retry >= bound_v
+    return values
+
+
+class DrawStream:
+    """One seeded lane of exact uniform integer draws, addressed by
+    absolute index.
+
+    ``below(bound, start, count)`` returns draws ``start ..
+    start + count - 1`` — the same integers whether drawn in one call or
+    any partition into waves, and whether numpy is available or not.
+    """
+
+    def __init__(self, seed: int, lane: int = 0):
+        self._base = _stream_base(seed, lane)
+
+    def below(
+        self,
+        bound: int,
+        start: int,
+        count: int,
+        use_numpy: bool | None = None,
+    ):
+        """``count`` exact uniform draws in ``[0, bound)`` — an ``int64``
+        numpy array on the vector path (the bound fits 63 bits there, so
+        the cast is lossless and spares the hot caller a per-element
+        boxing roundtrip), a list of Python ints otherwise.  Values are
+        identical either way."""
+        if bound < 1:
+            raise ValueError(f"bound must be positive, got {bound}")
+        if use_numpy is None:
+            use_numpy = _np is not None
+        if use_numpy and bound > 1 and (
+            (bound - 1).bit_length() <= _VECTOR_BOUND_BITS
+        ):
+            counters = (
+                _np.uint64(start) + _np.arange(count, dtype=_np.uint64)
+            )
+            return _np_uniform_below(self._base, counters, bound).astype(
+                _np.int64
+            )
+        if bound == 1:
+            return [0] * count
+        return [
+            _py_uniform_below(self._base, index, bound)
+            for index in range(start, start + count)
+        ]
+
+
+class WorldSampler:
+    """Batched exact-Bernoulli world sampling on the counter stream.
+
+    Column ``t`` of row ``s`` is 1 iff the uniform integer draw at
+    counter ``(start + s) * n_tuples + t`` lands below the tuple's
+    probability numerator — the batched form of
+    :meth:`TupleIndependentDatabase.sample_world`'s per-tuple exact
+    draws.  Deterministic tuples (probability 0 or 1) consume no draws;
+    because the stream is counter-addressed, skipping them shifts
+    nothing.  ``sample`` returns a ``count × n_tuples`` 0/1 matrix
+    (numpy ``uint8`` on the vector path, lists of ints on the
+    fallback), bit-identical across backends.
+    """
+
+    def __init__(
+        self,
+        probabilities: Sequence[Fraction],
+        seed: int,
+        lane: int = 0,
+    ):
+        self._n = len(probabilities)
+        self._base = _stream_base(seed, lane)
+        self._certain: list[tuple[int, int]] = []
+        small: dict[int, tuple[list[int], list[int]]] = {}
+        self._big: list[tuple[int, int, int]] = []
+        for column, p in enumerate(probabilities):
+            p = Fraction(p)
+            if p.denominator == 1:
+                self._certain.append((column, 1 if p.numerator >= 1 else 0))
+            elif (p.denominator - 1).bit_length() <= _VECTOR_BOUND_BITS:
+                cols, nums = small.setdefault(p.denominator, ([], []))
+                cols.append(column)
+                nums.append(p.numerator)
+            else:
+                self._big.append((column, p.numerator, p.denominator))
+        self._small = sorted(small.items())
+
+    @property
+    def n_tuples(self) -> int:
+        return self._n
+
+    def sample(
+        self, start: int, count: int, use_numpy: bool | None = None
+    ):
+        """Worlds ``start .. start + count - 1`` as a 0/1 matrix."""
+        if use_numpy is None:
+            use_numpy = _np is not None
+        if use_numpy:
+            return self._sample_numpy(start, count)
+        return self._sample_python(start, count)
+
+    def _sample_numpy(self, start: int, count: int):
+        worlds = _np.zeros((count, self._n), dtype=_np.uint8)
+        for column, present in self._certain:
+            if present:
+                worlds[:, column] = 1
+        if self._small and count:
+            golden = _np.uint64(_GOLDEN)
+            with _np.errstate(over="ignore"):
+                row_base = (
+                    _np.uint64(start)
+                    + _np.arange(count, dtype=_np.uint64)
+                ) * _np.uint64(self._n)
+                # Pre-multiplied counter pieces: the draw words are
+                # mix64(base + counter * GOLDEN) and the counter is
+                # row_base + column, so one broadcast add of the two
+                # premultiplied halves builds base + counter * GOLDEN
+                # directly — no full-size multiply pass per group.
+                row_words = row_base * golden + _np.uint64(self._base)
+            scratch = None
+            for denominator, (cols, nums) in self._small:
+                cols_arr = _np.array(cols, dtype=_np.uint64)
+                if denominator & (denominator - 1) == 0:
+                    # Power-of-two bound: the top-k candidate is already
+                    # uniform on [0, bound) — no rejection, no counters.
+                    with _np.errstate(over="ignore"):
+                        words = (
+                            row_words[:, None]
+                            + (cols_arr * golden)[None, :]
+                        )
+                    if scratch is None or scratch.shape != words.shape:
+                        scratch = _np.empty_like(words)
+                    _np_mix64(words, scratch)
+                    words >>= _np.uint64(
+                        64 - (denominator - 1).bit_length()
+                    )
+                    values = words
+                else:
+                    with _np.errstate(over="ignore"):
+                        counters = (
+                            row_base[:, None] + cols_arr[None, :]
+                        )
+                    if scratch is None or scratch.shape != counters.shape:
+                        scratch = _np.empty_like(counters)
+                    values = _np_uniform_below(
+                        self._base, counters, denominator, scratch
+                    )
+                worlds[:, cols] = (
+                    values < _np.array(nums, dtype=_np.uint64)
+                ).astype(_np.uint8)
+        for column, numerator, denominator in self._big:
+            for s in range(count):
+                counter = (start + s) * self._n + column
+                draw = _py_uniform_below(self._base, counter, denominator)
+                worlds[s, column] = 1 if draw < numerator else 0
+        return worlds
+
+    def _sample_python(self, start: int, count: int) -> list[list[int]]:
+        rows = []
+        for s in range(start, start + count):
+            row = [0] * self._n
+            row_base = s * self._n
+            for column, present in self._certain:
+                row[column] = present
+            for denominator, (cols, nums) in self._small:
+                for column, numerator in zip(cols, nums):
+                    draw = _py_uniform_below(
+                        self._base, row_base + column, denominator
+                    )
+                    row[column] = 1 if draw < numerator else 0
+            for column, numerator, denominator in self._big:
+                draw = _py_uniform_below(
+                    self._base, row_base + column, denominator
+                )
+                row[column] = 1 if draw < numerator else 0
+            rows.append(row)
+        return rows
 
 
 def valuation_probability(

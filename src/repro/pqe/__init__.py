@@ -13,9 +13,15 @@ machinery (Proposition 6.4, Theorem 6.2(a)).
 """
 
 from repro.pqe.approximate import (
+    AccuracyBudget,
     Estimate,
+    SamplingPlan,
+    approximate_probability,
     karp_luby_probability,
+    karp_luby_probability_vectorized,
     monte_carlo_probability,
+    monte_carlo_probability_vectorized,
+    sampling_plan,
 )
 from repro.pqe.brute_force import (
     pattern_distribution,
@@ -85,11 +91,13 @@ from repro.pqe.safe_plans import (
 )
 
 __all__ = [
+    "AccuracyBudget",
     "BRUTE_FORCE_LIMIT",
     "BatchEvaluationResult",
     "CompilationCache",
     "CompilationCacheStats",
     "Estimate",
+    "SamplingPlan",
     "Classification",
     "EvaluationResult",
     "ExtensionalPlan",
@@ -127,8 +135,12 @@ __all__ = [
     "intensional_probability",
     "is_provably_hard",
     "is_safe",
+    "approximate_probability",
     "karp_luby_probability",
+    "karp_luby_probability_vectorized",
     "monte_carlo_probability",
+    "monte_carlo_probability_vectorized",
+    "sampling_plan",
     "mobius_terms",
     "monotone_witness_with_same_euler",
     "pair_query_circuit",

@@ -1,22 +1,52 @@
-"""Approximate probabilistic query evaluation (the fourth engine).
+"""Approximate probabilistic query evaluation (the fourth engine),
+vectorized.
 
 The dichotomy leaves the non-zero-Euler H-queries #P-hard, but hardness is
 about *exact* computation: the standard practical recourse — and the one
 probabilistic-database systems actually ship — is randomized approximation.
-Two estimators are provided:
+Two estimators are provided, each in a scalar and a vectorized form:
 
-* :func:`monte_carlo_probability` — naive sampling: draw worlds from the
-  TID distribution and average the query's indicator.  Unbiased, additive
-  error ``O(1/sqrt(samples))``; useless for tiny probabilities.
+* *Monte Carlo* — draw worlds from the TID distribution and average the
+  query's indicator.  Unbiased, additive error ``O(1/sqrt(samples))``;
+  useless for tiny probabilities.  Scalar:
+  :func:`monte_carlo_probability`; vectorized: the ``monte_carlo`` route
+  of :class:`SamplingPlan` / :func:`monte_carlo_probability_vectorized`.
 
-* :func:`karp_luby_probability` — the Karp–Luby importance sampler on the
-  monotone DNF lineage: sample a witness-clause proportionally to its
-  weight, complete it to a world, and count the fraction of samples where
-  the sampled clause is the *canonical* (first) satisfied one.  Scaled by
-  the union bound, this is unbiased with *relative* error guarantees —
-  an FPRAS for UCQ lineages, hard queries included.
+* *Karp–Luby* — the importance sampler on the monotone DNF lineage:
+  sample a witness-clause proportionally to its weight, complete it to a
+  world, and count the fraction of samples where the sampled clause is
+  the *canonical* (first) satisfied one.  Scaled by the union bound, this
+  is unbiased with *relative* error guarantees — an FPRAS for UCQ
+  lineages, hard queries included.  Scalar:
+  :func:`karp_luby_probability`; vectorized: the ``karp_luby`` route.
 
-Both return an estimate plus a (normal-approximation) half-width so tests
+The scalar samplers run per-sample Python loops off a ``random.Random``
+(kept as the compatibility and no-dependency baseline).  The vectorized
+engine replaces both loops with batched substrates:
+
+* **world sampling** — a seeded counter-based integer draw stream
+  (:class:`repro.db.tid.WorldSampler`) materialized as a
+  ``samples × tuples`` 0/1 matrix, numpy path and pure-Python fallback
+  bit-identical, per-tuple draws exactly ``Bernoulli(p)`` by integer
+  rejection (PR 3's exact-draw semantics, batched);
+* **indicator evaluation** — UCQ lineages go through a clause-incidence
+  bit-matrix (a grouped gather + ``all``/first-satisfied reduction over
+  the world matrix); non-monotone lineages compile once to the naive
+  lineage circuit and run
+  :meth:`repro.circuits.evaluator.EvaluationTape.evaluate_worlds`, the
+  Boolean tape backend, instead of re-grounding the query per world;
+* **clause selection** — integer common-denominator prefix sums searched
+  with ``searchsorted`` (strict-boundary convention of :func:`_bisect`),
+  conditioned world completion and first-satisfied-clause detection as
+  matrix ops;
+* **budget-adaptive estimation** — :meth:`SamplingPlan.run` samples in
+  doubling waves until the :class:`AccuracyBudget`'s half-width target is
+  met.  The counter-addressed stream gives a *prefix property*: the first
+  ``n`` samples are the same integers under any wave schedule, so an
+  adaptive run that stops at ``n`` equals a fixed-count run of ``n``
+  bit for bit.
+
+Estimates carry a (normal-approximation or Wilson) half-width so tests
 and benches can assert statistically, never exactly.
 """
 
@@ -24,26 +54,171 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from fractions import Fraction
 
-from repro.db.relation import TupleId
-from repro.db.tid import TupleIndependentDatabase, exact_bernoulli
+from repro.circuits.evaluator import EvaluationTape, tape_for
+from repro.db.relation import Instance, TupleId
+from repro.db.tid import (
+    DrawStream,
+    TupleIndependentDatabase,
+    WorldSampler,
+)
 from repro.queries.hqueries import HQuery
+from repro.queries.lineage import hquery_lineage_circuit_naive
 from repro.queries.ucq import hquery_to_ucq
+
+try:  # numpy is optional: every vectorized path has a pure-Python twin.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+
+#: Normal-approximation z-score behind every ~95% half-width; the
+#: :class:`AccuracyBudget` arithmetic must match it.
+Z_95 = 1.96
+
+#: Stream lanes: world-cell draws and clause-selection draws live on
+#: disjoint counter sequences of the same seed.
+WORLD_LANE = 0
+CLAUSE_LANE = 1
+
+#: Samples per block in the vectorized waves: bounds the working-set
+#: memory of the gathered clause-incidence tensors without changing any
+#: draw (the stream is counter-addressed).
+_WAVE_CHUNK = 2048
+
+_INTERVALS = ("normal", "wilson")
+
+
+@dataclass(frozen=True)
+class AccuracyBudget:
+    """How much accuracy a sampled answer must buy, per request.
+
+    ``epsilon`` is the target ~95% half-width of the estimate.  The
+    worst-case sample size is the normal approximation over the
+    indicator's variance, ``n = ceil((Z_95 / (2 * epsilon))**2)``,
+    clamped to ``[min_samples, max_samples]``.  For the Monte-Carlo
+    estimator that bounds the *absolute* half-width by ``epsilon``; for
+    Karp–Luby the half-width scales with the union-bound weight ``W``,
+    so ``epsilon`` bounds the error *relative to W* — the relative-error
+    regime that makes Karp–Luby an FPRAS.
+
+    ``adaptive`` (the default) samples in doubling waves and stops as
+    soon as the (Wilson, robust-at-extremes) half-width meets the
+    target, never exceeding the fixed-count worst case ``samples()``;
+    ``adaptive=False`` always draws exactly ``samples()``.  Thanks to
+    the counter-addressed draw stream both modes agree bit for bit on
+    any common sample prefix.
+
+    ``interval`` selects the *reported* half-width: ``"normal"`` (the
+    default; exactly 0.0 at 0 or n hits) or ``"wilson"`` (asymmetric,
+    never degenerate at the extremes).
+
+    ``seed`` makes the answer deterministic: a request re-submitted with
+    the same budget draws the same sample path, so shard workers (and
+    retries) can rely on reproducible estimates.
+    """
+
+    epsilon: float = 0.05
+    min_samples: int = 100
+    max_samples: int = 50_000
+    seed: int = 0
+    adaptive: bool = True
+    interval: str = "normal"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be positive, got {self.min_samples}"
+            )
+        if self.max_samples < self.min_samples:
+            raise ValueError(
+                f"max_samples {self.max_samples} below min_samples "
+                f"{self.min_samples}"
+            )
+        if self.interval not in _INTERVALS:
+            raise ValueError(
+                f"interval must be one of {_INTERVALS}, got "
+                f"{self.interval!r}"
+            )
+
+    def samples(self) -> int:
+        """The fixed-count sample size this budget purchases (see class
+        docstring) — also the cap of the adaptive schedule."""
+        worst_case = math.ceil((Z_95 / (2 * self.epsilon)) ** 2)
+        return max(self.min_samples, min(self.max_samples, worst_case))
 
 
 @dataclass(frozen=True)
 class Estimate:
-    """A randomized estimate with a normal-approximation error bar."""
+    """A randomized estimate with an error bar.
+
+    ``interval`` records which construction produced ``half_width``
+    (``"normal"`` or ``"wilson"``); ``waves`` how many sampling waves an
+    adaptive run took (1 for fixed-count runs, 0 for degenerate
+    zero-lineage answers that drew nothing).
+    """
 
     value: float
     half_width: float
     samples: int
+    interval: str = "normal"
+    waves: int = 1
 
     def covers(self, truth: float) -> bool:
         """Whether the (~95%) interval contains the given value."""
         return abs(self.value - truth) <= self.half_width
+
+
+def _wilson_bounds(hits: int, samples: int) -> tuple[float, float]:
+    """The ~95% Wilson score interval for ``hits / samples``."""
+    z2 = Z_95 * Z_95
+    p = hits / samples
+    denominator = 1 + z2 / samples
+    center = (p + z2 / (2 * samples)) / denominator
+    half = (
+        Z_95
+        * math.sqrt(p * (1 - p) / samples + z2 / (4 * samples * samples))
+        / denominator
+    )
+    return center - half, center + half
+
+
+def half_width(
+    hits: int, samples: int, scale: float = 1.0, interval: str = "normal"
+) -> float:
+    """The ~95% half-width of ``scale * hits / samples``.
+
+    ``"normal"`` is the classic normal approximation
+    ``Z * scale * sqrt(p(1-p)/n)`` — *exactly* 0.0 when ``hits`` is 0 or
+    ``samples`` (the old ``max(p(1-p), 1e-12)`` floor manufactured a
+    phantom nonzero width there, misreporting perfectly deterministic
+    outcomes).  ``"wilson"`` returns the largest distance from the point
+    estimate to the Wilson score bounds, which stays honest (nonzero) at
+    the extremes — the width the adaptive sampler's stopping rule uses.
+    """
+    if samples <= 0:
+        return 0.0
+    if interval == "wilson":
+        low, high = _wilson_bounds(hits, samples)
+        p = hits / samples
+        return scale * max(high - p, p - low)
+    if interval != "normal":
+        raise ValueError(
+            f"interval must be one of {_INTERVALS}, got {interval!r}"
+        )
+    if hits == 0 or hits == samples:
+        return 0.0
+    p = hits / samples
+    return Z_95 * scale * math.sqrt(p * (1 - p) / samples)
+
+
+# ----------------------------------------------------------------------
+# Scalar samplers (random.Random-driven; the compatibility baseline)
+# ----------------------------------------------------------------------
 
 
 def monte_carlo_probability(
@@ -51,22 +226,41 @@ def monte_carlo_probability(
     tid: TupleIndependentDatabase,
     samples: int,
     rng: random.Random,
+    interval: str = "normal",
 ) -> Estimate:
-    """Naive Monte Carlo: average the indicator over sampled worlds.
+    """Naive scalar Monte Carlo: average the indicator over sampled
+    worlds.
 
     Works for *any* H-query (monotone or not) since it only evaluates the
-    query per world.
+    query per world.  The per-tuple ``(numerator, denominator)`` pairs
+    are hoisted out of the sample loop, but each draw is still the exact
+    integer draw of :func:`repro.db.tid.exact_bernoulli` in
+    ``tuple_ids()`` order — the fixed-seed sample path is unchanged.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
+    instance = tid.instance
+    draws = [
+        (t, p.numerator, p.denominator)
+        for t in instance.tuple_ids()
+        for p in (tid.probability_of(t),)
+    ]
+    randrange = rng.randrange
     hits = 0
     for _ in range(samples):
-        world = tid.sample_world(rng)
-        if query.holds_in(tid.instance.restrict_to(world)):
+        world = frozenset(
+            t
+            for t, numerator, denominator in draws
+            if randrange(denominator) < numerator
+        )
+        if query.holds_in(instance.restrict_to(world)):
             hits += 1
-    p = hits / samples
-    half_width = 1.96 * math.sqrt(max(p * (1 - p), 1e-12) / samples)
-    return Estimate(p, half_width, samples)
+    return Estimate(
+        hits / samples,
+        half_width(hits, samples, 1.0, interval),
+        samples,
+        interval,
+    )
 
 
 def karp_luby_probability(
@@ -74,8 +268,9 @@ def karp_luby_probability(
     tid: TupleIndependentDatabase,
     samples: int,
     rng: random.Random,
+    interval: str = "normal",
 ) -> Estimate:
-    """Karp–Luby on the monotone DNF lineage of a UCQ H-query.
+    """Scalar Karp–Luby on the monotone DNF lineage of a UCQ H-query.
 
     Let the lineage be ``C_1 ∨ ... ∨ C_m`` with clause weights
     ``w_i = prod of tuple probabilities in C_i`` and ``W = sum w_i``.
@@ -83,79 +278,79 @@ def karp_luby_probability(
     conditioned on ``C_i`` being present (the other tuples independent).
     The estimator averages the indicator "``i`` is the *first* satisfied
     clause in this world", and ``Pr = W * E[indicator]`` — unbiased, with
-    the indicator's variance bounded away from the small-probability trap.
+    the indicator's variance bounded away from the small-probability
+    trap.
+
+    First-satisfied-clause detection runs off a precomputed per-tuple →
+    clause incidence: each present tuple bumps only the clauses it
+    occurs in (stamp-reset counters, no per-sample ``O(m)`` scan and no
+    per-clause subset test), and the minimum fully-covered clause index
+    falls out of the bumps.  The ``rng`` draw sequence — one clause draw
+    then one ``randrange(denominator)`` per unforced tuple — is
+    unchanged, so fixed-seed estimates match the pre-incidence sampler
+    exactly.
 
     :raises ValueError: if the query is not a UCQ (no monotone DNF
         lineage) or its lineage is empty.
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
-    if not query.is_ucq():
+    structure = _clause_structure(query, tid.instance)
+    if structure is None:
         raise ValueError("Karp–Luby needs a monotone (UCQ) query")
-    ucq = hquery_to_ucq(query)
-    # Canonical clause order: sort by the clauses' sorted TupleId tuples,
-    # not by repr — a frozenset's repr follows its hash-salted iteration
-    # order, which would make the fixed-seed sample path (and thus every
-    # "same seed, same estimate" guarantee) vary per process.
-    clauses = sorted(
-        ucq.grounding_sets(tid.instance), key=lambda clause: sorted(clause)
-    )
-    if not clauses:
-        return Estimate(0.0, 0.0, samples)
-    prob = tid.probability_map()
-    weights = []
-    for clause in clauses:
-        w = Fraction(1)
-        for tuple_id in clause:
-            w *= prob[tuple_id]
-        weights.append(w)
-    total_weight = sum(weights, Fraction(0))
-    if total_weight == 0:
-        return Estimate(0.0, 0.0, samples)
-    # Clause selection must be *exactly* proportional to the weights:
-    # put the cumulative weights over one common denominator D, so the
-    # prefix sums are integers n_1 <= ... <= n_m with n_m = W * D, and a
-    # uniform integer draw in [0, n_m) selects clause i exactly when it
-    # lands in [n_{i-1}, n_i) — probability (n_i - n_{i-1}) / n_m =
-    # w_i / W, bit-free of float rounding.  (The previous
-    # ``Fraction(rng.random()).limit_denominator(...)`` draw inherited
-    # the 53-bit grid of ``random()``, which cannot represent thirds or
-    # sevenths and so was biased for such weights.)
-    denominator = math.lcm(*(w.denominator for w in weights))
-    cumulative: list[int] = []
-    running = 0
-    for w in weights:
-        running += w.numerator * (denominator // w.denominator)
-        cumulative.append(running)
-
-    all_tuples = tid.instance.tuple_ids()
+    numerators, denominators = _probability_columns(tid)
+    weights = _clause_weights(structure, tid)
+    cumulative, total_weight = _cumulative_weights(weights)
+    if not structure.clauses or total_weight == 0:
+        return Estimate(0.0, 0.0, samples, interval, 0)
+    clause_count = len(structure.clauses)
+    sizes = structure.sizes
+    incidence = structure.incidence
+    positions = structure.positions
+    counts = [0] * clause_count
+    stamps = [-1] * clause_count
+    randrange = rng.randrange
     hits = 0
-    for _ in range(samples):
-        draw = rng.randrange(cumulative[-1])
+    for sample in range(samples):
+        draw = randrange(cumulative[-1])
         index = _bisect(cumulative, draw)
-        forced = clauses[index]
-        world: set[TupleId] = set(forced)
-        for tuple_id in all_tuples:
-            if tuple_id in forced:
+        forced = positions[index]
+        first = clause_count
+        # Count clause coverage as tuples turn up present: forced tuples
+        # first (mirroring the old ``set(forced)`` world seed), then the
+        # independent completions in tuple order — the draw stream the
+        # fixed-seed regression suite pins.
+        for position in forced:
+            for j in incidence[position]:
+                if stamps[j] != sample:
+                    stamps[j] = sample
+                    counts[j] = 1
+                else:
+                    counts[j] += 1
+                if counts[j] == sizes[j] and j < first:
+                    first = j
+        forced_set = structure.position_sets[index]
+        for position in range(len(numerators)):
+            if position in forced_set:
                 continue
-            if exact_bernoulli(rng, prob[tuple_id]):
-                world.add(tuple_id)
-        # Is the sampled clause the first satisfied one?
-        first = next(
-            j
-            for j, clause in enumerate(clauses)
-            if clause <= world
-        )
+            if randrange(denominators[position]) < numerators[position]:
+                for j in incidence[position]:
+                    if stamps[j] != sample:
+                        stamps[j] = sample
+                        counts[j] = 1
+                    else:
+                        counts[j] += 1
+                    if counts[j] == sizes[j] and j < first:
+                        first = j
         if first == index:
             hits += 1
-    fraction = hits / samples
-    value = float(total_weight) * fraction
-    half_width = (
-        1.96
-        * float(total_weight)
-        * math.sqrt(max(fraction * (1 - fraction), 1e-12) / samples)
+    scale = float(total_weight)
+    return Estimate(
+        scale * (hits / samples),
+        half_width(hits, samples, scale, interval),
+        samples,
+        interval,
     )
-    return Estimate(value, half_width, samples)
 
 
 def _bisect(cumulative: list[int], needle: int) -> int:
@@ -165,9 +360,10 @@ def _bisect(cumulative: list[int], needle: int) -> int:
     ``[cumulative[i-1], cumulative[i])``, so a draw exactly equal to a
     prefix boundary selects the *next* clause — the convention matching
     uniform integer draws in ``[0, cumulative[-1])``, where each clause's
-    interval has exactly ``w_i * D`` integers.  (The old ``<`` test put
-    boundary draws in the *previous* clause's interval, making interval
-    ``i`` one integer too wide and interval ``i+1`` one too narrow.)
+    interval has exactly ``w_i * D`` integers, and zero-weight clauses
+    (empty intervals) are unreachable.  Equivalent to
+    :func:`bisect.bisect_right` and to numpy's
+    ``searchsorted(side="right")``, which the vectorized sampler uses.
     """
     low, high = 0, len(cumulative) - 1
     while low < high:
@@ -177,3 +373,481 @@ def _bisect(cumulative: list[int], needle: int) -> int:
         else:
             high = middle
     return low
+
+
+# ----------------------------------------------------------------------
+# Shared lineage structure (cached per query on the instance)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ClauseStructure:
+    """The probability-free part of a UCQ lineage, in canonical clause
+    order: clause tuple-sets, their positions in ``tuple_ids()`` order,
+    per-position clause incidence, and size groups for the vectorized
+    first-satisfied reduction.  Cached via
+    :meth:`~repro.db.relation.Instance.cached_derivation`, so every
+    sampler (scalar, vectorized, serving microbatches) over the same
+    instance shares one copy."""
+
+    tuple_ids: tuple[TupleId, ...]
+    clauses: tuple[frozenset, ...]
+    positions: tuple[tuple[int, ...], ...]
+    position_sets: tuple[frozenset, ...]
+    sizes: tuple[int, ...]
+    incidence: tuple[tuple[int, ...], ...]
+    #: clauses grouped by size: ``(size, clause ids, position lists)``
+    size_groups: tuple[tuple[int, tuple[int, ...], tuple], ...]
+
+
+def _clause_structure(
+    query: HQuery, instance: Instance
+) -> _ClauseStructure | None:
+    """The cached clause structure of a monotone query's lineage, or
+    ``None`` for non-monotone queries."""
+    if not query.is_ucq():
+        return None
+
+    def build(db: Instance) -> _ClauseStructure:
+        ucq = hquery_to_ucq(query)
+        # Canonical clause order: sort by the clauses' sorted TupleId
+        # tuples, not by repr — a frozenset's repr follows its
+        # hash-salted iteration order, which would make the fixed-seed
+        # sample path (and thus every "same seed, same estimate"
+        # guarantee) vary per process.
+        clauses = tuple(
+            sorted(ucq.grounding_sets(db), key=lambda clause: sorted(clause))
+        )
+        tuple_ids = tuple(db.tuple_ids())
+        index_of = {t: i for i, t in enumerate(tuple_ids)}
+        positions = tuple(
+            tuple(sorted(index_of[t] for t in clause)) for clause in clauses
+        )
+        incidence: list[list[int]] = [[] for _ in tuple_ids]
+        for j, clause_positions in enumerate(positions):
+            for position in clause_positions:
+                incidence[position].append(j)
+        by_size: dict[int, list[int]] = {}
+        for j, clause_positions in enumerate(positions):
+            by_size.setdefault(len(clause_positions), []).append(j)
+        size_groups = []
+        for size, ids in sorted(by_size.items()):
+            matrix = tuple(positions[j] for j in ids)
+            if _np is not None:
+                ids_arr = _np.array(ids, dtype=_np.int64)
+                matrix = (
+                    _np.array(matrix, dtype=_np.int64)
+                    if size
+                    else _np.empty((len(ids), 0), dtype=_np.int64)
+                )
+                size_groups.append((size, ids_arr, matrix))
+            else:
+                size_groups.append((size, tuple(ids), matrix))
+        return _ClauseStructure(
+            tuple_ids=tuple_ids,
+            clauses=clauses,
+            positions=positions,
+            position_sets=tuple(frozenset(p) for p in positions),
+            sizes=tuple(len(p) for p in positions),
+            incidence=tuple(tuple(c) for c in incidence),
+            size_groups=tuple(size_groups),
+        )
+
+    return instance.cached_derivation(("approximate.clauses", query), build)
+
+
+def _indicator_tape(
+    query: HQuery, instance: Instance
+) -> tuple[EvaluationTape, tuple[int, ...]]:
+    """The cached naive-lineage tape of a (possibly non-monotone) query
+    plus the ``tuple_ids()``-order column of each tape slot.  The circuit
+    is only ever evaluated with Boolean semantics
+    (:meth:`~repro.circuits.evaluator.EvaluationTape.evaluate_worlds`),
+    so it does not need to be a d-D — which a hard query's lineage never
+    is."""
+
+    def build(db: Instance):
+        circuit = hquery_lineage_circuit_naive(query, db)
+        tape = tape_for(circuit)
+        index_of = {t: i for i, t in enumerate(db.tuple_ids())}
+        columns = tuple(index_of[label] for label in tape.var_labels)
+        # Keep the circuit alive: tape_for memoizes weakly per circuit.
+        return (circuit, tape, columns)
+
+    _, tape, columns = instance.cached_derivation(
+        ("approximate.indicator_tape", query), build
+    )
+    return tape, columns
+
+
+def _probability_columns(
+    tid: TupleIndependentDatabase,
+) -> tuple[list[int], list[int]]:
+    """Per-tuple ``(numerator, denominator)`` columns in ``tuple_ids()``
+    order — the probability map hoisted once per plan/sampler."""
+    numerators: list[int] = []
+    denominators: list[int] = []
+    for t in tid.instance.tuple_ids():
+        p = tid.probability_of(t)
+        numerators.append(p.numerator)
+        denominators.append(p.denominator)
+    return numerators, denominators
+
+
+def _clause_weights(
+    structure: _ClauseStructure, tid: TupleIndependentDatabase
+) -> list[Fraction]:
+    probabilities = [
+        tid.probability_of(t) for t in structure.tuple_ids
+    ]
+    weights = []
+    for clause_positions in structure.positions:
+        w = Fraction(1)
+        for position in clause_positions:
+            w *= probabilities[position]
+        weights.append(w)
+    return weights
+
+
+def _cumulative_weights(
+    weights: list[Fraction],
+) -> tuple[list[int], Fraction]:
+    """Integer prefix sums of the weights over one common denominator —
+    clause selection must be *exactly* proportional, so draws are uniform
+    integers below the total, never float grid points."""
+    if not weights:
+        return [], Fraction(0)
+    denominator = math.lcm(*(w.denominator for w in weights))
+    cumulative: list[int] = []
+    running = 0
+    for w in weights:
+        running += w.numerator * (denominator // w.denominator)
+        cumulative.append(running)
+    return cumulative, sum(weights, Fraction(0))
+
+
+# ----------------------------------------------------------------------
+# The vectorized sampling engine
+# ----------------------------------------------------------------------
+
+
+class SamplingPlan:
+    """Everything one hard query needs to be sampled over one TID: the
+    route (``"karp_luby"`` for UCQs, ``"monte_carlo"`` otherwise), the
+    cached lineage structure, and the hoisted probability columns.
+
+    A plan is cheap to build (the clause structure / indicator tape are
+    shared per ``(query, instance content)`` through
+    ``Instance.cached_derivation``; the numeric columns are one pass over
+    the probability map) and deterministic to run: estimates depend only
+    on the budget's seed, never on wave boundaries, batch composition or
+    numpy availability.
+    """
+
+    def __init__(
+        self,
+        query: HQuery,
+        tid: TupleIndependentDatabase,
+        engine: str | None = None,
+    ):
+        """``engine=None`` routes by the query's shape: ``"karp_luby"``
+        for UCQs, ``"monte_carlo"`` otherwise.  An explicit
+        ``engine="monte_carlo"`` forces the Monte-Carlo estimator on a
+        monotone query too (its clause structure then doubles as the
+        satisfied-any indicator); ``engine="karp_luby"`` on a
+        non-monotone query raises (no monotone DNF lineage exists)."""
+        self.query = query
+        self.tid = tid
+        self._structure = _clause_structure(query, tid.instance)
+        if engine is None:
+            engine = (
+                "karp_luby" if self._structure is not None
+                else "monte_carlo"
+            )
+        elif engine not in ("karp_luby", "monte_carlo"):
+            raise ValueError(f"unknown sampling engine {engine!r}")
+        elif engine == "karp_luby" and self._structure is None:
+            raise ValueError("Karp–Luby needs a monotone (UCQ) query")
+        self.engine = engine
+        self._numerators, self._denominators = _probability_columns(tid)
+        self._probabilities = [
+            Fraction(n, d)
+            for n, d in zip(self._numerators, self._denominators)
+        ]
+        self._weights: list[Fraction] = []
+        self._cumulative: list[int] = []
+        self._total_weight = Fraction(0)
+        self._tape = None
+        self._tape_columns = None
+        if engine == "karp_luby":
+            self._weights = _clause_weights(self._structure, tid)
+            self._cumulative, self._total_weight = _cumulative_weights(
+                self._weights
+            )
+        elif self._structure is None:
+            self._tape, self._tape_columns = _indicator_tape(
+                query, tid.instance
+            )
+
+    # -- public entry points -------------------------------------------
+
+    def run(self, budget: AccuracyBudget | None = None) -> Estimate:
+        """Estimate under an accuracy budget: doubling waves until the
+        Wilson half-width meets the target (``epsilon`` absolute for
+        Monte Carlo, ``epsilon * W`` for Karp–Luby), capped at the
+        budget's fixed-count ``samples()``; or exactly ``samples()`` when
+        ``budget.adaptive`` is false."""
+        budget = budget if budget is not None else AccuracyBudget()
+        cap = budget.samples()
+        if self._degenerate():
+            return Estimate(0.0, 0.0, 0, budget.interval, 0)
+        scale = self._scale()
+        use_numpy = _np is not None
+        if not budget.adaptive:
+            hits = self._wave_hits(0, cap, budget.seed, use_numpy)
+            return self._estimate(hits, cap, budget.interval, 1)
+        target = budget.epsilon * scale
+        samples = 0
+        hits = 0
+        waves = 0
+        next_samples = min(budget.min_samples, cap)
+        while True:
+            hits += self._wave_hits(
+                samples, next_samples - samples, budget.seed, use_numpy
+            )
+            samples = next_samples
+            waves += 1
+            if samples >= cap:
+                break
+            if half_width(hits, samples, scale, "wilson") <= target:
+                break
+            next_samples = min(cap, 2 * samples)
+        return self._estimate(hits, samples, budget.interval, waves)
+
+    def run_fixed(
+        self,
+        samples: int,
+        seed: int = 0,
+        interval: str = "normal",
+        use_numpy: bool | None = None,
+    ) -> Estimate:
+        """A fixed-count estimate — by the stream's prefix property,
+        identical to an adaptive run that happened to stop at the same
+        sample count (``use_numpy`` selects the backend for the
+        draws-identical regression tests; both produce the same bits)."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        if self._degenerate():
+            return Estimate(0.0, 0.0, samples, interval, 0)
+        if use_numpy is None:
+            use_numpy = _np is not None
+        hits = self._wave_hits(0, samples, seed, use_numpy)
+        return self._estimate(hits, samples, interval, 1)
+
+    # -- internals ------------------------------------------------------
+
+    def _degenerate(self) -> bool:
+        return self.engine == "karp_luby" and (
+            not self._structure.clauses or self._total_weight == 0
+        )
+
+    def _scale(self) -> float:
+        return (
+            float(self._total_weight)
+            if self.engine == "karp_luby"
+            else 1.0
+        )
+
+    def _estimate(
+        self, hits: int, samples: int, interval: str, waves: int
+    ) -> Estimate:
+        scale = self._scale()
+        return Estimate(
+            scale * (hits / samples),
+            half_width(hits, samples, scale, interval),
+            samples,
+            interval,
+            waves,
+        )
+
+    def _wave_hits(
+        self, start: int, count: int, seed: int, use_numpy: bool
+    ) -> int:
+        """Indicator hits over samples ``start .. start + count - 1``,
+        chunked to bound working-set memory.  Draws are addressed by
+        absolute sample index, so chunk and wave boundaries are
+        invisible to the result."""
+        sampler = WorldSampler(self._probabilities, seed, WORLD_LANE)
+        hits = 0
+        at = start
+        remaining = count
+        while remaining > 0:
+            step = min(remaining, _WAVE_CHUNK)
+            if self.engine == "karp_luby":
+                hits += self._karp_luby_chunk(sampler, at, step, seed,
+                                              use_numpy)
+            else:
+                hits += self._monte_carlo_chunk(sampler, at, step,
+                                                use_numpy)
+            at += step
+            remaining -= step
+        return hits
+
+    def _monte_carlo_chunk(
+        self, sampler: WorldSampler, start: int, count: int,
+        use_numpy: bool,
+    ) -> int:
+        worlds = sampler.sample(start, count, use_numpy=use_numpy)
+        if self._structure is not None:
+            first = self._first_satisfied(worlds, count, use_numpy)
+            clause_count = len(self._structure.clauses)
+            if use_numpy and _np is not None:
+                return int((first < clause_count).sum())
+            return sum(1 for f in first if f < clause_count)
+        columns = self._tape_columns
+        if use_numpy and _np is not None:
+            rows = worlds[:, list(columns)]
+        else:
+            rows = [[row[c] for c in columns] for row in worlds]
+        return sum(self._tape.evaluate_worlds(rows))
+
+    def _karp_luby_chunk(
+        self,
+        sampler: WorldSampler,
+        start: int,
+        count: int,
+        seed: int,
+        use_numpy: bool,
+    ) -> int:
+        structure = self._structure
+        total = self._cumulative[-1]
+        draws = DrawStream(seed, CLAUSE_LANE).below(
+            total, start, count, use_numpy=use_numpy
+        )
+        if use_numpy and _np is not None and total < (1 << 63):
+            cumulative = _np.array(self._cumulative, dtype=_np.int64)
+            chosen = _np.searchsorted(
+                cumulative,
+                _np.asarray(draws, dtype=_np.int64),
+                side="right",
+            )
+        else:
+            chosen = [bisect_right(self._cumulative, d) for d in draws]
+        worlds = sampler.sample(start, count, use_numpy=use_numpy)
+        if use_numpy and _np is not None:
+            chosen = _np.asarray(chosen, dtype=_np.int64)
+            sizes = _np.array(structure.sizes, dtype=_np.int64)
+            chosen_sizes = sizes[chosen]
+            if int(chosen_sizes.sum()):
+                rows = _np.repeat(
+                    _np.arange(count, dtype=_np.int64), chosen_sizes
+                )
+                cols = _np.concatenate(
+                    [
+                        _np.array(structure.positions[c], dtype=_np.int64)
+                        for c in chosen.tolist()
+                    ]
+                )
+                worlds[rows, cols] = 1
+            first = self._first_satisfied(worlds, count, use_numpy)
+            return int((first == chosen).sum())
+        hits = 0
+        for s in range(count):
+            index = chosen[s]
+            row = worlds[s]
+            for position in structure.positions[index]:
+                row[position] = 1
+            if self._first_satisfied_row(row) == index:
+                hits += 1
+        return hits
+
+    def _first_satisfied(self, worlds, count: int, use_numpy: bool):
+        """Per sample, the smallest satisfied clause index (``m`` when no
+        clause is satisfied) — the clause-incidence bit-matrix
+        reduction: gather each size group's clause columns out of the
+        world matrix, ``all`` over the clause axis, and fold the minimum
+        satisfied id."""
+        structure = self._structure
+        clause_count = len(structure.clauses)
+        if use_numpy and _np is not None:
+            first = _np.full(count, clause_count, dtype=_np.int64)
+            for _, ids, matrix in structure.size_groups:
+                satisfied = worlds[:, matrix].all(axis=2)
+                # Within a size group the ids are ascending, so the first
+                # satisfied column (argmax of the boolean row) is the
+                # group's minimum satisfied clause id.
+                position = satisfied.argmax(axis=1)
+                candidate = _np.where(
+                    satisfied.any(axis=1), ids[position], clause_count
+                )
+                _np.minimum(first, candidate, out=first)
+            return first
+        return [self._first_satisfied_row(row) for row in worlds]
+
+    def _first_satisfied_row(self, row) -> int:
+        """The pure-Python twin of :meth:`_first_satisfied` for one world
+        row, off the per-tuple clause incidence."""
+        structure = self._structure
+        clause_count = len(structure.clauses)
+        counts = [0] * clause_count
+        sizes = structure.sizes
+        first = clause_count
+        for position, present in enumerate(row):
+            if not present:
+                continue
+            for j in structure.incidence[position]:
+                counts[j] += 1
+                if counts[j] == sizes[j] and j < first:
+                    first = j
+        return first
+
+
+def sampling_plan(
+    query: HQuery, tid: TupleIndependentDatabase
+) -> SamplingPlan:
+    """The sampling plan for one ``(query, TID)`` pair (see
+    :class:`SamplingPlan`; structural state is shared per instance
+    content, so building plans per request is cheap)."""
+    return SamplingPlan(query, tid)
+
+
+def approximate_probability(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    budget: AccuracyBudget | None = None,
+) -> tuple[Estimate, str]:
+    """Estimate ``Pr(Q_phi)`` with the vectorized engine under an
+    accuracy budget; returns ``(estimate, engine_label)`` where the label
+    is ``"karp_luby"`` (UCQ) or ``"monte_carlo"`` (non-monotone)."""
+    plan = sampling_plan(query, tid)
+    return plan.run(budget), plan.engine
+
+
+def karp_luby_probability_vectorized(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    samples: int,
+    seed: int = 0,
+    interval: str = "normal",
+) -> Estimate:
+    """Fixed-count vectorized Karp–Luby (see :class:`SamplingPlan`).
+
+    :raises ValueError: if the query is not a UCQ.
+    """
+    plan = SamplingPlan(query, tid, engine="karp_luby")
+    return plan.run_fixed(samples, seed, interval)
+
+
+def monte_carlo_probability_vectorized(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    samples: int,
+    seed: int = 0,
+    interval: str = "normal",
+) -> Estimate:
+    """Fixed-count vectorized Monte Carlo (any H-query; see
+    :class:`SamplingPlan`).  A monotone query runs the Monte-Carlo
+    estimator too when asked: its clause structure doubles as the
+    satisfied-any indicator."""
+    plan = SamplingPlan(query, tid, engine="monte_carlo")
+    return plan.run_fixed(samples, seed, interval)

@@ -10,13 +10,17 @@ wraps the three engines behind :func:`evaluate`:
   no d-D construction at all; the remaining zero-Euler queries (the
   non-monotone combinations only the paper's compiler handles) go to the
   intensional compiler; and anything else falls back to brute force only
-  when the instance is small enough — otherwise the call *refuses*,
-  because by Corollary 3.9 / Proposition 6.4 the query is (or is
-  conjectured) #P-hard and silently running an exponential algorithm on a
-  large database is a bug, not a feature;
+  when the instance is small enough — otherwise the call *refuses*
+  unless the caller supplies an
+  :class:`~repro.pqe.approximate.AccuracyBudget`, because by
+  Corollary 3.9 / Proposition 6.4 the query is (or is conjectured)
+  #P-hard and silently running an exponential algorithm on a large
+  database is a bug, not a feature.  With a budget the hard-and-large
+  case routes to the vectorized budget-adaptive sampler instead
+  (``engine="karp_luby"`` or ``"monte_carlo"``);
 * explicit methods (``"extensional"``, ``"intensional"``,
-  ``"brute_force"``) dispatch directly, with the engines' own error
-  behavior.
+  ``"brute_force"``, ``"sampling"``) dispatch directly, with the
+  engines' own error behavior.
 
 The returned :class:`EvaluationResult` records the probability, the engine
 used, the Figure-1 classification, and (for the intensional route) the
@@ -38,6 +42,11 @@ from fractions import Fraction
 
 from repro.db.relation import Instance
 from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.approximate import (
+    AccuracyBudget,
+    Estimate,
+    sampling_plan,
+)
 from repro.pqe.brute_force import probability_by_world_enumeration
 from repro.pqe.degenerate import (
     pair_cache_counters,
@@ -86,6 +95,10 @@ class EvaluationResult:
     #: for non-intensional engines); gate-sharing counters live on
     #: ``compiled`` (``compile_ms``/``gates_saved``).
     compile_ms: float | None = None
+    #: the raw sampler output on the sampling route (``engine`` is then
+    #: ``"karp_luby"`` or ``"monte_carlo"``): unclamped value, half-width,
+    #: samples drawn, adaptive waves; ``None`` for exact engines.
+    estimate: Estimate | None = None
 
 
 @dataclass
@@ -278,24 +291,35 @@ def evaluate(
     method: str = "auto",
     cache: CompilationCache | None = None,
     plan_cache: ExtensionalPlanCache | None = None,
+    budget: AccuracyBudget | None = None,
 ) -> EvaluationResult:
     """Evaluate ``Pr(Q_phi)`` with the selected (or automatic) engine.
 
-    :param method: ``"auto"``, ``"extensional"``, ``"intensional"`` or
-        ``"brute_force"``.
+    :param method: ``"auto"``, ``"extensional"``, ``"intensional"``,
+        ``"brute_force"`` or ``"sampling"``.
     :param cache: a caller-owned :class:`CompilationCache` for the
         intensional route (defaults to the process-wide cache).
     :param plan_cache: a caller-owned
         :class:`~repro.pqe.extensional.ExtensionalPlanCache` for the
         extensional route (defaults to the process-wide cache).
-    :raises HardQueryError: in auto mode, when the query is not zero-Euler
-        and the instance exceeds :data:`BRUTE_FORCE_LIMIT` tuples.
+    :param budget: an :class:`~repro.pqe.approximate.AccuracyBudget` for
+        the sampling route.  In auto mode, passing a budget turns the
+        hard-and-large refusal into a budget-adaptive randomized
+        estimate (Karp–Luby for UCQs, Monte Carlo otherwise) — the
+        serving layer's routing; without one, auto mode still refuses.
+        With ``method="sampling"`` the sampler runs unconditionally
+        (``None`` means the default budget).
+    :raises HardQueryError: in auto mode, when the query is not zero-Euler,
+        the instance exceeds :data:`BRUTE_FORCE_LIMIT` tuples and no
+        ``budget`` was given.
     :raises ValueError: for an unknown method, or from the explicit
         engines' own validation.
     """
     classification = classify(query)
     if method == "auto":
-        return _auto(query, tid, classification, cache, plan_cache)
+        return _auto(query, tid, classification, cache, plan_cache, budget)
+    if method == "sampling":
+        return _sampling(query, tid, classification, budget)
     if method == "extensional":
         return _extensional(query, tid, classification, plan_cache)
     if method == "intensional":
@@ -334,12 +358,34 @@ def _extensional(
     )
 
 
+def _sampling(
+    query: HQuery,
+    tid: TupleIndependentDatabase,
+    classification: Classification,
+    budget: AccuracyBudget | None = None,
+) -> EvaluationResult:
+    """The randomized route: the vectorized budget-adaptive sampler of
+    :mod:`repro.pqe.approximate`.  The served probability is the
+    estimate clamped to ``[0, 1]`` (Karp–Luby's unbiased ``W * fraction``
+    can land outside when the union-bound weight exceeds 1); the raw
+    estimate rides along on ``EvaluationResult.estimate``."""
+    plan = sampling_plan(query, tid)
+    estimate = plan.run(budget)
+    return EvaluationResult(
+        Fraction(min(1.0, max(0.0, estimate.value))),
+        plan.engine,
+        classification,
+        estimate=estimate,
+    )
+
+
 def _auto(
     query: HQuery,
     tid: TupleIndependentDatabase,
     classification: Classification,
     cache: CompilationCache | None = None,
     plan_cache: ExtensionalPlanCache | None = None,
+    budget: AccuracyBudget | None = None,
 ) -> EvaluationResult:
     if classification.extensional_safe:
         return _extensional(query, tid, classification, plan_cache)
@@ -359,6 +405,8 @@ def _auto(
             "brute_force",
             classification,
         )
+    if budget is not None:
+        return _sampling(query, tid, classification, budget)
     adjective = (
         "#P-hard" if classification.region is Region.HARD else
         "conjectured #P-hard"
@@ -366,7 +414,8 @@ def _auto(
     raise HardQueryError(
         f"query is {adjective} (e(phi) = {classification.euler}) and the "
         f"instance has {len(tid)} > {BRUTE_FORCE_LIMIT} tuples; pass "
-        f"method='brute_force' explicitly to force the exponential engine"
+        f"budget= (or method='sampling') for a randomized estimate, or "
+        f"method='brute_force' to force the exponential engine"
     )
 
 
@@ -376,6 +425,7 @@ def evaluate_batch(
     method: str = "auto",
     cache: CompilationCache | None = None,
     plan_cache: ExtensionalPlanCache | None = None,
+    budget: AccuracyBudget | None = None,
 ) -> BatchEvaluationResult:
     """Evaluate ``Pr(Q_phi)`` over many TIDs in one float-mode sweep.
 
@@ -390,10 +440,15 @@ def evaluate_batch(
     :class:`CompilationCache`) — and their probability maps run as a
     single batched pass of the compiled tape.
 
-    ``method`` may be ``"auto"``, ``"extensional"`` or ``"intensional"``.
-    In auto mode a query outside d-D(PTIME) falls back to per-TID
-    :func:`evaluate` (with its brute-force size limits);
-    ``"intensional"`` propagates the compiler's own
+    ``method`` may be ``"auto"``, ``"extensional"``, ``"intensional"``
+    or ``"sampling"``.  In auto mode a query outside d-D(PTIME) falls
+    back to per-TID :func:`evaluate` (with its brute-force size limits;
+    a ``budget`` turns the hard-and-large refusal into the vectorized
+    sampling route, exactly as in :func:`evaluate`).  ``"sampling"``
+    runs the budget-adaptive sampler on every TID — plans share their
+    clause structure / indicator tape per instance content, so a batch
+    over one instance builds the lineage once.  ``"intensional"``
+    propagates the compiler's own
     :class:`~repro.pqe.intensional.NotCompilableError`, ``"extensional"``
     the lifted engine's
     :class:`~repro.pqe.extensional.UnsafeQueryError`.
@@ -412,8 +467,20 @@ def evaluate_batch(
     """
     tid_list = list(tids)
     classification = classify(query)
-    if method not in ("auto", "intensional", "extensional"):
+    if method not in ("auto", "intensional", "extensional", "sampling"):
         raise ValueError(f"unknown batch method {method!r}")
+    if method == "sampling":
+        if not tid_list:
+            label = "karp_luby" if query.is_ucq() else "monte_carlo"
+            return BatchEvaluationResult([], label, classification)
+        probabilities = []
+        label = ""
+        for tid in tid_list:
+            plan = sampling_plan(query, tid)
+            label = plan.engine
+            estimate = plan.run(budget)
+            probabilities.append(min(1.0, max(0.0, estimate.value)))
+        return BatchEvaluationResult(probabilities, label, classification)
     extensional_path = method == "extensional" or (
         method == "auto" and classification.extensional_safe
     )
@@ -443,7 +510,7 @@ def evaluate_batch(
         )
     if not batched_path:
         results = [
-            evaluate(query, tid, method="auto", cache=cache)
+            evaluate(query, tid, method="auto", cache=cache, budget=budget)
             for tid in tid_list
         ]
         engines = [r.engine for r in results]

@@ -5,8 +5,10 @@ instances partition across shards by a process-stable content digest;
 each shard owns its compilation cache, worker pool and stats; the
 ``submit`` / ``submit_batch`` front end microbatches same-work requests
 into single vectorized tape sweeps, and hard queries degrade to exact
-brute force or to the exact-draw samplers under per-request accuracy
-budgets.
+brute force or to the vectorized budget-adaptive sampling engine
+(:mod:`repro.pqe.approximate`) under per-request accuracy budgets —
+concurrent same-work hard requests share one sampling sweep the way
+d-D requests share one tape sweep.
 """
 
 from repro.serving.api import (
@@ -18,6 +20,7 @@ from repro.serving.service import ShardedService
 from repro.serving.shard import Shard
 from repro.serving.stats import (
     LatencyWindow,
+    SamplingStats,
     ServiceStats,
     ShardStats,
     percentile,
@@ -28,6 +31,7 @@ __all__ = [
     "LatencyWindow",
     "QueryRequest",
     "QueryResponse",
+    "SamplingStats",
     "ServiceStats",
     "Shard",
     "ShardedService",

@@ -5,63 +5,20 @@ with a float probability, the engine that produced it, and — for sampled
 answers — the error bar the :class:`AccuracyBudget` bought.  Requests and
 responses are plain frozen dataclasses so they can cross thread (and
 eventually process) boundaries without shared mutable state.
+
+:class:`AccuracyBudget` itself lives in :mod:`repro.pqe.approximate`
+(the sampling engine owns its semantics — adaptive waves, interval
+choice, the worst-case sample arithmetic) and is re-exported here for
+the serving surface.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.approximate import AccuracyBudget, Z_95  # noqa: F401
 from repro.queries.hqueries import HQuery
-
-#: Normal-approximation z-score behind every ~95% half-width in
-#: :mod:`repro.pqe.approximate`; the budget arithmetic must match it.
-Z_95 = 1.96
-
-
-@dataclass(frozen=True)
-class AccuracyBudget:
-    """How much accuracy a sampled answer must buy, per request.
-
-    ``epsilon`` is the target ~95% half-width of the estimate.  The
-    sample size is the normal-approximation worst case over the
-    indicator's variance, ``n = ceil((Z_95 / (2 * epsilon))**2)``,
-    clamped to ``[min_samples, max_samples]``.  For
-    :func:`~repro.pqe.approximate.monte_carlo_probability` that bounds
-    the *absolute* half-width by ``epsilon``; for
-    :func:`~repro.pqe.approximate.karp_luby_probability` the half-width
-    scales with the union-bound weight ``W``, so ``epsilon`` bounds the
-    error *relative to W* — the relative-error regime that makes
-    Karp–Luby an FPRAS.
-
-    ``seed`` makes the answer deterministic: a request re-submitted with
-    the same budget draws the same sample path, so shard workers (and
-    retries) can rely on reproducible estimates.
-    """
-
-    epsilon: float = 0.05
-    min_samples: int = 100
-    max_samples: int = 50_000
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if not 0 < self.epsilon < 1:
-            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
-        if self.min_samples < 1:
-            raise ValueError(
-                f"min_samples must be positive, got {self.min_samples}"
-            )
-        if self.max_samples < self.min_samples:
-            raise ValueError(
-                f"max_samples {self.max_samples} below min_samples "
-                f"{self.min_samples}"
-            )
-
-    def samples(self) -> int:
-        """The sample size this budget purchases (see class docstring)."""
-        worst_case = math.ceil((Z_95 / (2 * self.epsilon)) ** 2)
-        return max(self.min_samples, min(self.max_samples, worst_case))
 
 
 @dataclass(frozen=True)
@@ -86,8 +43,10 @@ class QueryResponse:
     is the size of the microbatch the request was served in (1 when it
     rode alone); ``cache_hit`` whether the shard served cached state —
     a compiled d-D on the intensional route, an extensional plan on the
-    extensional route.  ``half_width``/``samples`` are zero for exact
-    engines.
+    extensional route.  ``half_width``/``samples``/``waves`` are zero for
+    exact engines; for sampled answers ``samples`` is how many worlds the
+    (budget-adaptive) sampler actually drew and ``waves`` how many
+    growing waves it took to meet the accuracy target.
     """
 
     probability: float
@@ -97,4 +56,5 @@ class QueryResponse:
     batch_size: int = 1
     half_width: float = 0.0
     samples: int = 0
+    waves: int = 0
     latency_ms: float = 0.0

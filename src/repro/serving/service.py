@@ -11,10 +11,12 @@ safe monotone (H+) queries run *extensionally* — lifted plans over
 columnar probability views, no lineage or circuit at all; the remaining
 d-D(PTIME) queries compile through the shard cache and run batched tape
 sweeps; hard queries fall back to exact enumeration when the instance
-is small, and to the exact-draw Karp–Luby (UCQ) or Monte-Carlo
-(non-monotone) sampler under a per-request
-:class:`~repro.serving.api.AccuracyBudget` otherwise.  The routing
-decision table lives in ``docs/serving.md``.
+is small, and to the vectorized budget-adaptive Karp–Luby (UCQ) or
+Monte-Carlo (non-monotone) sampling sweeps of
+:mod:`repro.pqe.approximate` under a per-request
+:class:`~repro.pqe.approximate.AccuracyBudget` otherwise — with
+same-budget same-probability requests in a microbatch sharing one
+sweep.  The routing decision table lives in ``docs/serving.md``.
 """
 
 from __future__ import annotations

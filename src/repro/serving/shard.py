@@ -26,22 +26,22 @@ a microbatched answer is bit-for-float identical to a single-threaded
 :func:`~repro.pqe.engine.evaluate_batch`.  Safe monotone groups take the
 extensional sweep instead (one shared plan, one columnar sweep per
 request's probability map) with the same grouping and the same
-bit-for-float guarantee.
+bit-for-float guarantee.  Hard large groups take the sampling analogue:
+one vectorized budget-adaptive sweep per distinct ``(budget,
+probability map)`` in the group, sharing the microbatch's cached
+lineage structure — deterministic per budget seed, so sharing is
+invisible in the responses.
 """
 
 from __future__ import annotations
 
-import random
 import threading
 import time
-from collections import Counter, deque
+from collections import Counter, OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.pqe.approximate import (
-    karp_luby_probability,
-    monte_carlo_probability,
-)
+from repro.pqe.approximate import sampling_plan
 from repro.pqe.brute_force import probability_by_world_enumeration
 from repro.pqe.dichotomy import classify
 from repro.pqe.engine import (
@@ -54,7 +54,7 @@ from repro.pqe.extensional import (
     probability_batch as extensional_probability_batch,
 )
 from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
-from repro.serving.stats import LatencyWindow, ShardStats
+from repro.serving.stats import LatencyWindow, SamplingStats, ShardStats
 
 
 @dataclass
@@ -108,6 +108,11 @@ class Shard:
         self._microbatched = 0
         self._compile_ms = 0.0
         self._engines: Counter[str] = Counter()
+        self._sampled_requests = 0
+        self._sampling_sweeps = 0
+        self._sampling_waves = 0
+        self._samples_drawn = 0
+        self._sampling_max_half_width = 0.0
 
     # ------------------------------------------------------------------
     # Front-end
@@ -248,44 +253,77 @@ class Shard:
                     batch_size=size,
                 )
         else:
-            for pending in group:
-                self._fallback(pending, query, batch_size=size)
+            brute = [
+                pending
+                for pending in group
+                if len(pending.request.tid) <= self.brute_force_limit
+            ]
+            sampled = [
+                pending
+                for pending in group
+                if len(pending.request.tid) > self.brute_force_limit
+            ]
+            for pending in brute:
+                self._finish(
+                    pending,
+                    float(
+                        probability_by_world_enumeration(
+                            query, pending.request.tid
+                        )
+                    ),
+                    "brute_force",
+                    batch_size=size,
+                )
+            if sampled:
+                self._sample_group(query, sampled, batch_size=size)
 
-    def _fallback(
-        self, pending: _Pending, query, batch_size: int
+    def _sample_group(
+        self, query, group: list[_Pending], batch_size: int
     ) -> None:
-        """The hard-query routes: exact enumeration while it is cheap,
-        otherwise a sampler under the request's accuracy budget."""
-        tid = pending.request.tid
-        if len(tid) <= self.brute_force_limit:
-            self._finish(
-                pending,
-                float(probability_by_world_enumeration(query, tid)),
-                "brute_force",
-                batch_size=batch_size,
-            )
-            return
-        budget = pending.request.budget or self.default_budget
-        rng = random.Random(budget.seed)
-        samples = budget.samples()
-        if query.is_ucq():
-            estimate = karp_luby_probability(query, tid, samples, rng)
-            engine = "karp_luby"
-        else:
-            estimate = monte_carlo_probability(query, tid, samples, rng)
-            engine = "monte_carlo"
-        # The unbiased Karp-Luby estimate W * fraction can land outside
-        # [0, 1] when the union-bound weight W exceeds 1; a *served*
-        # probability is clamped (never further from the truth, which is
-        # a probability).  The half-width is reported unclamped.
-        self._finish(
-            pending,
-            min(1.0, max(0.0, estimate.value)),
-            engine,
-            batch_size=batch_size,
-            half_width=estimate.half_width,
-            samples=estimate.samples,
-        )
+        """The large-hard-query route: one vectorized budget-adaptive
+        sampling sweep per distinct ``(budget, probability map)`` in the
+        microbatch.
+
+        All requests in the group already share the ``(query, instance
+        fingerprint)`` work key, so the lineage structure (clauses,
+        incidence matrices, indicator tape) is built once per instance
+        content; requests whose budgets *and* probability fingerprints
+        also agree would draw byte-identical sample paths, so they share
+        one sweep outright — the sampling analogue of the microbatched
+        tape sweep.  Estimates are deterministic per budget seed, so the
+        sharing is invisible in the responses.
+        """
+        subgroups: OrderedDict[tuple, list[_Pending]] = OrderedDict()
+        for pending in group:
+            budget = pending.request.budget or self.default_budget
+            key = (budget, pending.request.tid.probability_fingerprint())
+            subgroups.setdefault(key, []).append(pending)
+        for (budget, _), pendings in subgroups.items():
+            plan = sampling_plan(query, pendings[0].request.tid)
+            estimate = plan.run(budget)
+            with self._lock:
+                self._sampled_requests += len(pendings)
+                self._sampling_sweeps += 1
+                self._sampling_waves += estimate.waves
+                self._samples_drawn += estimate.samples
+                self._sampling_max_half_width = max(
+                    self._sampling_max_half_width, estimate.half_width
+                )
+            for pending in pendings:
+                # The unbiased Karp-Luby estimate W * fraction can land
+                # outside [0, 1] when the union-bound weight W exceeds 1;
+                # a *served* probability is clamped (never further from
+                # the truth, which is a probability).  The half-width is
+                # reported unclamped.
+                self._finish(
+                    pending,
+                    min(1.0, max(0.0, estimate.value)),
+                    plan.engine,
+                    batch_size=batch_size,
+                    half_width=estimate.half_width,
+                    samples=estimate.samples,
+                    waves=estimate.waves,
+                )
 
     def _finish(
         self,
@@ -297,6 +335,7 @@ class Shard:
         batch_size: int = 1,
         half_width: float = 0.0,
         samples: int = 0,
+        waves: int = 0,
     ) -> None:
         latency_ms = (time.perf_counter() - pending.enqueued) * 1e3
         self._latencies.record(latency_ms)
@@ -311,6 +350,7 @@ class Shard:
                 batch_size=batch_size,
                 half_width=half_width,
                 samples=samples,
+                waves=waves,
                 latency_ms=latency_ms,
             )
         )
@@ -322,6 +362,8 @@ class Shard:
     def stats(self) -> ShardStats:
         cache = self.cache.stats()
         plans = self.plan_cache.stats()
+        p50 = self._latencies.percentile(0.50)
+        p95 = self._latencies.percentile(0.95)
         with self._lock:
             return ShardStats(
                 shard=self.shard_id,
@@ -334,9 +376,16 @@ class Shard:
                 engines=dict(self._engines),
                 cache=cache,
                 plans=plans,
+                sampling=SamplingStats(
+                    requests=self._sampled_requests,
+                    sweeps=self._sampling_sweeps,
+                    waves=self._sampling_waves,
+                    samples=self._samples_drawn,
+                    max_half_width=self._sampling_max_half_width,
+                ),
                 compile_ms=self._compile_ms,
-                p50_ms=self._latencies.percentile(0.50),
-                p95_ms=self._latencies.percentile(0.95),
+                p50_ms=p50,
+                p95_ms=p95,
             )
 
     def latency_snapshot(self) -> list[float]:

@@ -56,6 +56,38 @@ def percentile(values: list[float], q: float) -> float:
 
 
 @dataclass(frozen=True)
+class SamplingStats:
+    """The sampling route's counters: how the hard-query traffic of a
+    shard (or the whole service) was served by the vectorized
+    budget-adaptive sampler.
+
+    ``requests`` counts sampled requests, ``sweeps`` the shared sampling
+    sweeps that served them (requests in one microbatch with equal
+    budgets and probability maps share a sweep, so ``sweeps <=
+    requests``), ``waves``/``samples`` the adaptive waves run and worlds
+    drawn across all sweeps, and ``max_half_width`` the worst achieved
+    half-width any sweep reported — the service-level view of whether
+    budgets are being met.
+    """
+
+    requests: int = 0
+    sweeps: int = 0
+    waves: int = 0
+    samples: int = 0
+    max_half_width: float = 0.0
+
+    def merged(self, other: "SamplingStats") -> "SamplingStats":
+        """Aggregate two snapshots (sums; worst max_half_width)."""
+        return SamplingStats(
+            self.requests + other.requests,
+            self.sweeps + other.sweeps,
+            self.waves + other.waves,
+            self.samples + other.samples,
+            max(self.max_half_width, other.max_half_width),
+        )
+
+
+@dataclass(frozen=True)
 class ShardStats:
     """One shard's snapshot (all counters since construction, latencies
     over the shard's bounded window)."""
@@ -70,6 +102,7 @@ class ShardStats:
     engines: dict[str, int]  #: requests answered per engine label
     cache: CompilationCacheStats  #: this shard's own compilation cache
     plans: ExtensionalPlanCacheStats  #: this shard's extensional plans
+    sampling: SamplingStats  #: this shard's sampled hard-query traffic
     compile_ms: float  #: total wall-clock spent compiling on this shard
     p50_ms: float
     p95_ms: float
@@ -101,6 +134,15 @@ class ServiceStats:
     compile_ms: float = 0.0
     p50_ms: float = 0.0
     p95_ms: float = 0.0
+
+    @property
+    def sampling(self) -> SamplingStats:
+        """Service-wide sampling-route counters (per-shard snapshots
+        merged: sums, worst achieved half-width)."""
+        merged = SamplingStats()
+        for shard in self.shards:
+            merged = merged.merged(shard.sampling)
+        return merged
 
     @property
     def cache_hit_rate(self) -> float:

@@ -129,6 +129,105 @@ class TestKarpLuby:
         assert abs(mean - truth) <= 0.05
 
 
+class TestScalarIncidenceFix:
+    """The first-satisfied-clause detection was rewritten from an O(m)
+    per-sample subset scan to per-tuple clause-incidence counting; the
+    draw stream and the estimates must be unchanged."""
+
+    @staticmethod
+    def _reference_karp_luby(query, tid, samples, rng):
+        """The pre-incidence sampler, reimplemented verbatim: linear
+        first-satisfied scan over all clauses via subset tests."""
+        import math as _math
+
+        from repro.db.tid import exact_bernoulli
+        from repro.queries.ucq import hquery_to_ucq
+
+        ucq = hquery_to_ucq(query)
+        clauses = sorted(
+            ucq.grounding_sets(tid.instance),
+            key=lambda clause: sorted(clause),
+        )
+        if not clauses:
+            return (0.0, samples)
+        prob = tid.probability_map()
+        weights = []
+        for clause in clauses:
+            w = Fraction(1)
+            for tuple_id in clause:
+                w *= prob[tuple_id]
+            weights.append(w)
+        total_weight = sum(weights, Fraction(0))
+        if total_weight == 0:
+            return (0.0, samples)
+        denominator = _math.lcm(*(w.denominator for w in weights))
+        cumulative, running = [], 0
+        for w in weights:
+            running += w.numerator * (denominator // w.denominator)
+            cumulative.append(running)
+        all_tuples = tid.instance.tuple_ids()
+        hits = 0
+        for _ in range(samples):
+            draw = rng.randrange(cumulative[-1])
+            index = _bisect(cumulative, draw)
+            forced = clauses[index]
+            world = set(forced)
+            for tuple_id in all_tuples:
+                if tuple_id in forced:
+                    continue
+                if exact_bernoulli(rng, prob[tuple_id]):
+                    world.add(tuple_id)
+            first = next(
+                j for j, clause in enumerate(clauses) if clause <= world
+            )
+            if first == index:
+                hits += 1
+        return (float(total_weight) * (hits / samples), samples)
+
+    def test_incidence_scan_matches_subset_scan(self):
+        query = hard_full_disjunction(2)
+        for prob, seed in (
+            (Fraction(1, 3), 11),
+            (Fraction(1, 2), 12),
+            (Fraction(2, 7), 13),
+        ):
+            tid = complete_tid(2, 2, 2, prob=prob)
+            reference = self._reference_karp_luby(
+                query, tid, 400, random.Random(seed)
+            )
+            estimate = karp_luby_probability(
+                query, tid, 400, random.Random(seed)
+            )
+            assert (estimate.value, estimate.samples) == reference
+
+
+class TestHalfWidthFloorFix:
+    def test_zero_hits_report_zero_normal_half_width(self):
+        # A query that never holds: the old 1e-12 variance floor turned
+        # a deterministic 0-hit outcome into a phantom error bar.
+        from repro.db.tid import TupleIndependentDatabase
+
+        tid = TupleIndependentDatabase()
+        for name, arity in (
+            ("R", 1), ("S1", 2), ("S2", 2), ("S3", 2), ("T", 1)
+        ):
+            tid.instance.declare(name, arity)
+        tid.add("R", ("a",), Fraction(1, 2))
+        estimate = monte_carlo_probability(
+            q9(), tid, 200, random.Random(0)
+        )
+        assert estimate.value == 0.0
+        assert estimate.half_width == 0.0
+
+    def test_all_hits_report_zero_normal_half_width(self):
+        tid = complete_tid(3, 1, 1, prob=Fraction(1))
+        estimate = monte_carlo_probability(
+            q9(), tid, 50, random.Random(1)
+        )
+        assert estimate.value == 1.0
+        assert estimate.half_width == 0.0
+
+
 class _ScriptedRng:
     """A fake ``random.Random`` replaying scripted ``randrange`` draws —
     the draws are what the exactness contract is about, so the tests pin

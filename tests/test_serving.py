@@ -287,12 +287,16 @@ class TestHardRoutes:
             response = service.submit(query, tid, budget).result()
             replay = service.submit(query, tid, budget).result()
         assert response.engine == "karp_luby"
-        assert response.samples == budget.samples()
+        # The budget-adaptive sampler never draws beyond the fixed-count
+        # worst case, and reports how many waves it took.
+        assert 0 < response.samples <= budget.samples()
+        assert response.waves >= 1
         assert response.half_width > 0.0
         assert 0.0 <= response.probability <= 1.0
         # Same seed, same sample path: shard answers are reproducible.
         assert replay.probability == response.probability
         assert replay.half_width == response.half_width
+        assert replay.samples == response.samples
 
     def test_large_hard_non_monotone_routes_to_monte_carlo(self):
         query = hard_non_monotone(3)
@@ -312,7 +316,99 @@ class TestHardRoutes:
         )
         with ShardedService(shards=1, default_budget=budget) as service:
             response = service.submit(query, tid).result()
-        assert response.samples == budget.samples() <= 77
+        assert 0 < response.samples <= budget.samples() <= 77
+
+
+class TestSamplingRoute:
+    """The grouped vectorized sampling sweeps and their observability."""
+
+    def test_microbatched_hard_requests_share_one_sweep(self):
+        import time
+        from concurrent.futures import Future
+
+        from repro.serving.api import QueryRequest
+        from repro.serving.shard import Shard, _Pending
+
+        query = hard_full_disjunction(3)
+        tid = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+        budget = AccuracyBudget(epsilon=0.1, seed=21)
+        shard = Shard(0)
+        try:
+            group = [
+                _Pending(
+                    QueryRequest(query, tid, budget),
+                    Future(),
+                    time.perf_counter(),
+                )
+                for _ in range(5)
+            ]
+            for pending in group:
+                pending.future.set_running_or_notify_cancel()
+            shard._process(group)
+            responses = [pending.future.result() for pending in group]
+        finally:
+            shard.close()
+        # One shared sweep served all five same-budget same-map requests.
+        stats = shard.stats()
+        assert stats.sampling.requests == 5
+        assert stats.sampling.sweeps == 1
+        assert stats.sampling.waves >= 1
+        assert stats.sampling.samples == responses[0].samples
+        assert len({r.probability for r in responses}) == 1
+        assert all(r.engine == "karp_luby" for r in responses)
+
+    def test_distinct_budgets_get_distinct_sweeps(self):
+        import time
+        from concurrent.futures import Future
+
+        from repro.serving.api import QueryRequest
+        from repro.serving.shard import Shard, _Pending
+
+        query = hard_full_disjunction(3)
+        tid = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+        shard = Shard(0)
+        try:
+            group = []
+            for seed in (1, 1, 2):
+                pending = _Pending(
+                    QueryRequest(
+                        query, tid, AccuracyBudget(epsilon=0.1, seed=seed)
+                    ),
+                    Future(),
+                    time.perf_counter(),
+                )
+                pending.future.set_running_or_notify_cancel()
+                group.append(pending)
+            shard._process(group)
+            responses = [pending.future.result() for pending in group]
+        finally:
+            shard.close()
+        stats = shard.stats()
+        assert stats.sampling.requests == 3
+        assert stats.sampling.sweeps == 2
+        assert responses[0].probability == responses[1].probability
+
+    def test_sampling_stats_aggregate_service_wide(self):
+        query = hard_full_disjunction(3)
+        tid = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+        budget = AccuracyBudget(epsilon=0.1, seed=5)
+        with ShardedService(shards=2) as service:
+            for _ in range(3):
+                service.submit(query, tid, budget).result()
+            stats = service.stats()
+        assert stats.sampling.requests == 3
+        assert 1 <= stats.sampling.sweeps <= 3
+        assert stats.sampling.samples > 0
+        assert stats.sampling.max_half_width > 0.0
+        assert stats.engines.get("karp_luby") == 3
+
+    def test_exact_routes_leave_sampling_stats_empty(self):
+        with ShardedService(shards=1) as service:
+            tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+            service.submit(q9(), tid).result()
+            stats = service.stats()
+        assert stats.sampling.requests == 0
+        assert stats.sampling.sweeps == 0
 
 
 class TestAccuracyBudget:
