@@ -35,6 +35,13 @@ Compares, on q_9's compiled d-D lineage and on grounding workloads:
   ``draws_identical`` gate, and budget-adaptive vs fixed-count sample
   economics (run in CI under ``PYTHONHASHSEED=0``).
 
+* **resilience** (PR 6): sustained overload under injected faults — an
+  under-provisioned service flooded with deadline-carrying mixed-route
+  traffic must resolve every request (answer or typed error), keep the
+  served p99 within the SLO by shedding and degrading instead of
+  queueing, and produce bit-identical degraded answers across clock
+  jitter (the ``degraded_identical`` exactness gate).
+
 Run as a script to write ``BENCH_evaluation.json`` at the repository
 root, so future PRs can track the perf trajectory:
 
@@ -1032,6 +1039,157 @@ def bench_sampling(
     }
 
 
+def bench_resilience(rounds=40, slo_ms=250.0, seed=17):
+    """Sustained overload under injected faults (PR 6).
+
+    Floods a deliberately under-provisioned service (tiny queues,
+    injected worker latency and errors) with a mixed-route workload
+    carrying deadlines and priorities, and reports how the resilience
+    layer holds the line: every request resolves (answer or typed
+    error), the p99 of *served* requests stays within the SLO because
+    late work is shed or degraded instead of queued, and degraded
+    answers carry honest nonzero error bars.
+
+    ``degraded_identical`` is the determinism gate
+    (``check_bench_exactness.py`` enforces it): two sampling runs under
+    degraded budgets derived from *different* remaining deadlines in the
+    same power-of-two band must produce bit-identical estimates — the
+    property that makes a degraded answer reproducible from
+    ``(seed, budget)`` alone despite wall-clock jitter.
+    """
+    from concurrent.futures import wait as futures_wait
+
+    from repro.core.deadline import DeadlineExceeded
+    from repro.pqe.approximate import AccuracyBudget, sampling_plan
+    from repro.serving import ShardedService, percentile
+    from repro.serving.faults import FaultInjector, TransientFaultError
+    from repro.serving.resilience import (
+        CircuitBreakerOpen,
+        RetryPolicy,
+        ShardOverloaded,
+        degraded_budget,
+    )
+
+    phi = BooleanFunction.bottom(4)
+    for i in range(4):
+        phi = phi | BooleanFunction.variable(i, 4)
+    hard = HQuery(3, phi)
+    hard_budget = AccuracyBudget(
+        epsilon=0.3, min_samples=32, max_samples=1024, seed=seed
+    )
+
+    # --- the determinism gate: clock jitter quantizes away -------------
+    gate_tid = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+    budget_a = degraded_budget(hard_budget, 400.0, samples_per_ms=100.0)
+    budget_b = degraded_budget(hard_budget, 520.0, samples_per_ms=100.0)
+    estimate_a = sampling_plan(hard, gate_tid).run(budget_a)
+    estimate_b = sampling_plan(hard, gate_tid).run(budget_b)
+    degraded_identical = (
+        budget_a == budget_b
+        and estimate_a == estimate_b
+        and estimate_a.half_width > 0.0
+    )
+
+    # --- sustained overload -------------------------------------------
+    injector = FaultInjector(
+        seed=seed,
+        error_rate=Fraction(1, 20),
+        latency_rate=Fraction(1, 4),
+        latency_ms=10.0,
+    )
+    service = ShardedService(
+        shards=2,
+        workers_per_shard=2,
+        max_queue_depth=8,
+        retry=RetryPolicy(attempts=2, base_delay_ms=0.5, max_delay_ms=2.0),
+        fault_injector=injector,
+    )
+    # Teach every shard that exact brute force is hopeless (10 s per
+    # request), so deadline-carrying hard queries degrade to sampling
+    # — the warm-start hook exists for exactly this.
+    for shard in service._shards:
+        shard.observe_route_latency("brute_force", 10_000.0)
+
+    safe_tids = [
+        complete_tid(3, 2 + i, 2, prob=Fraction(1, 2)) for i in range(3)
+    ]
+    small_hard = complete_tid(3, 2, 2, prob=Fraction(1, 3))
+    futures = []
+    start = time.perf_counter()
+    for i in range(rounds):
+        for j, tid in enumerate(safe_tids):
+            futures.append(
+                service.submit(
+                    q9(), tid, deadline_ms=slo_ms, priority=(i + j) % 3
+                )
+            )
+        futures.append(
+            service.submit(
+                hard,
+                small_hard,
+                hard_budget,
+                deadline_ms=slo_ms,
+                priority=2,
+            )
+        )
+    done, not_done = futures_wait(futures, timeout=120.0)
+    wall_seconds = time.perf_counter() - start
+
+    served, degraded = [], []
+    shed = breaker_rejected = deadline_exceeded = failed = 0
+    for future in done:
+        error = future.exception()
+        if error is None:
+            response = future.result()
+            served.append(response)
+            if response.degraded:
+                degraded.append(response)
+        elif isinstance(error, ShardOverloaded):
+            shed += 1
+        elif isinstance(error, CircuitBreakerOpen):
+            breaker_rejected += 1
+        elif isinstance(error, DeadlineExceeded):
+            deadline_exceeded += 1
+        else:
+            assert isinstance(error, TransientFaultError), repr(error)
+            failed += 1
+
+    latencies = []
+    for shard in service._shards:
+        latencies.extend(shard.latency_snapshot())
+    stats = service.stats()
+    service.close()
+    p99 = percentile(latencies, 0.99)
+    return {
+        "rounds": rounds,
+        "submitted": len(futures),
+        "all_requests_resolved": not not_done,
+        "wall_ms": wall_seconds * 1e3,
+        "served": len(served),
+        "shed": shed,
+        "breaker_rejected": breaker_rejected,
+        "deadline_exceeded": deadline_exceeded,
+        "failed": failed,
+        "shed_rate": shed / len(futures),
+        "degraded": len(degraded),
+        "degraded_fraction": (
+            len(degraded) / len(served) if served else 0.0
+        ),
+        "degraded_half_width_positive": all(
+            r.half_width > 0.0 for r in degraded
+        ),
+        "slo_ms": slo_ms,
+        "p50_ms": percentile(latencies, 0.50) if latencies else 0.0,
+        "p99_ms": p99,
+        "p99_within_slo": bool(latencies) and p99 <= slo_ms,
+        "breaker_state": stats.resilience.breaker_state,
+        "retries": stats.resilience.retries,
+        "injected": injector.stats(),
+        "degraded_identical": degraded_identical,
+        "degraded_budget_max_samples": budget_a.max_samples,
+    }
+
+
 SECTIONS = {
     "single_float": bench_single_float,
     "batch": bench_batch,
@@ -1041,6 +1199,7 @@ SECTIONS = {
     "serving": bench_serving,
     "extensional": bench_extensional,
     "sampling": bench_sampling,
+    "resilience": bench_resilience,
 }
 
 

@@ -57,8 +57,10 @@ import random
 from bisect import bisect_right
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 
 from repro.circuits.evaluator import EvaluationTape, tape_for
+from repro.core.deadline import Deadline
 from repro.db.relation import Instance, TupleId
 from repro.db.tid import (
     DrawStream,
@@ -118,6 +120,15 @@ class AccuracyBudget:
     ``seed`` makes the answer deterministic: a request re-submitted with
     the same budget draws the same sample path, so shard workers (and
     retries) can rely on reproducible estimates.
+
+    ``delta`` is the interval's miss probability (confidence
+    ``1 - delta``); the default 0.05 reproduces the historical ~95%
+    :data:`Z_95` arithmetic bit for bit (:meth:`z` returns the constant
+    exactly there, a computed quantile otherwise).
+
+    Construction validates every field eagerly — a bad ``epsilon`` or
+    ``delta`` fails here with a clear :class:`ValueError`, not later as
+    a division error or an infinite wave loop inside a shard worker.
     """
 
     epsilon: float = 0.05
@@ -126,10 +137,21 @@ class AccuracyBudget:
     seed: int = 0
     adaptive: bool = True
     interval: str = "normal"
+    delta: float = 0.05
 
     def __post_init__(self) -> None:
-        if not 0 < self.epsilon < 1:
-            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if not (
+            isinstance(self.epsilon, (int, float))
+            and math.isfinite(self.epsilon)
+            and 0 < self.epsilon < 1
+        ):
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon!r}")
+        if not (
+            isinstance(self.delta, (int, float))
+            and math.isfinite(self.delta)
+            and 0 < self.delta < 1
+        ):
+            raise ValueError(f"delta must be in (0, 1), got {self.delta!r}")
         if self.min_samples < 1:
             raise ValueError(
                 f"min_samples must be positive, got {self.min_samples}"
@@ -145,11 +167,42 @@ class AccuracyBudget:
                 f"{self.interval!r}"
             )
 
+    def z(self) -> float:
+        """The two-sided normal quantile of this budget's confidence —
+        exactly :data:`Z_95` at the default ``delta=0.05``."""
+        return _z_for_delta(self.delta)
+
     def samples(self) -> int:
         """The fixed-count sample size this budget purchases (see class
         docstring) — also the cap of the adaptive schedule."""
-        worst_case = math.ceil((Z_95 / (2 * self.epsilon)) ** 2)
+        worst_case = math.ceil((self.z() / (2 * self.epsilon)) ** 2)
         return max(self.min_samples, min(self.max_samples, worst_case))
+
+
+@lru_cache(maxsize=64)
+def _z_for_delta(delta: float) -> float:
+    """``z`` with ``P(|N(0,1)| <= z) = 1 - delta``.
+
+    ``delta=0.05`` returns the historical :data:`Z_95` constant exactly
+    (every pre-``delta`` half-width pinned in tests and benches used it,
+    and 1.96 is the convention, not the 1.95996... quantile).  Other
+    deltas invert ``erf`` numerically: Winitzki's approximation as the
+    initial guess, then Newton steps on :func:`math.erf` — accurate to
+    ~1e-12 with no scipy dependency.
+    """
+    if delta == 0.05:
+        return Z_95
+    target = 1.0 - delta  # erf(z / sqrt(2)) = 1 - delta
+    a = 0.147  # Winitzki's constant
+    log_term = math.log(1.0 - target * target)
+    t = 2.0 / (math.pi * a) + log_term / 2.0
+    y = math.sqrt(math.sqrt(t * t - log_term / a) - t)
+    for _ in range(4):
+        y -= (
+            (math.erf(y) - target)
+            * math.sqrt(math.pi) / 2.0 * math.exp(y * y)
+        )
+    return y * math.sqrt(2.0)
 
 
 @dataclass(frozen=True)
@@ -173,14 +226,17 @@ class Estimate:
         return abs(self.value - truth) <= self.half_width
 
 
-def _wilson_bounds(hits: int, samples: int) -> tuple[float, float]:
-    """The ~95% Wilson score interval for ``hits / samples``."""
-    z2 = Z_95 * Z_95
+def _wilson_bounds(
+    hits: int, samples: int, z: float = Z_95
+) -> tuple[float, float]:
+    """The Wilson score interval for ``hits / samples`` at quantile
+    ``z`` (~95% at the default)."""
+    z2 = z * z
     p = hits / samples
     denominator = 1 + z2 / samples
     center = (p + z2 / (2 * samples)) / denominator
     half = (
-        Z_95
+        z
         * math.sqrt(p * (1 - p) / samples + z2 / (4 * samples * samples))
         / denominator
     )
@@ -188,12 +244,17 @@ def _wilson_bounds(hits: int, samples: int) -> tuple[float, float]:
 
 
 def half_width(
-    hits: int, samples: int, scale: float = 1.0, interval: str = "normal"
+    hits: int,
+    samples: int,
+    scale: float = 1.0,
+    interval: str = "normal",
+    z: float = Z_95,
 ) -> float:
-    """The ~95% half-width of ``scale * hits / samples``.
+    """The half-width of ``scale * hits / samples`` at quantile ``z``
+    (the ~95% :data:`Z_95` by default).
 
     ``"normal"`` is the classic normal approximation
-    ``Z * scale * sqrt(p(1-p)/n)`` — *exactly* 0.0 when ``hits`` is 0 or
+    ``z * scale * sqrt(p(1-p)/n)`` — *exactly* 0.0 when ``hits`` is 0 or
     ``samples`` (the old ``max(p(1-p), 1e-12)`` floor manufactured a
     phantom nonzero width there, misreporting perfectly deterministic
     outcomes).  ``"wilson"`` returns the largest distance from the point
@@ -203,7 +264,7 @@ def half_width(
     if samples <= 0:
         return 0.0
     if interval == "wilson":
-        low, high = _wilson_bounds(hits, samples)
+        low, high = _wilson_bounds(hits, samples, z)
         p = hits / samples
         return scale * max(high - p, p - low)
     if interval != "normal":
@@ -213,7 +274,7 @@ def half_width(
     if hits == 0 or hits == samples:
         return 0.0
     p = hits / samples
-    return Z_95 * scale * math.sqrt(p * (1 - p) / samples)
+    return z * scale * math.sqrt(p * (1 - p) / samples)
 
 
 # ----------------------------------------------------------------------
@@ -591,21 +652,37 @@ class SamplingPlan:
 
     # -- public entry points -------------------------------------------
 
-    def run(self, budget: AccuracyBudget | None = None) -> Estimate:
+    def run(
+        self,
+        budget: AccuracyBudget | None = None,
+        deadline: Deadline | None = None,
+    ) -> Estimate:
         """Estimate under an accuracy budget: doubling waves until the
         Wilson half-width meets the target (``epsilon`` absolute for
         Monte Carlo, ``epsilon * W`` for Karp–Luby), capped at the
         budget's fixed-count ``samples()``; or exactly ``samples()`` when
-        ``budget.adaptive`` is false."""
+        ``budget.adaptive`` is false.
+
+        A ``deadline`` is checked cooperatively — at admission and
+        before each wave — raising
+        :class:`~repro.core.deadline.DeadlineExceeded` rather than
+        starting work that cannot be used.  Checks sit *between* waves
+        only, so a run that completes is untouched by its deadline: the
+        estimate depends on ``(seed, budget)`` alone, never on the
+        clock.
+        """
         budget = budget if budget is not None else AccuracyBudget()
+        if deadline is not None:
+            deadline.check("sampling admission")
         cap = budget.samples()
         if self._degenerate():
             return Estimate(0.0, 0.0, 0, budget.interval, 0)
         scale = self._scale()
+        z = budget.z()
         use_numpy = _np is not None
         if not budget.adaptive:
             hits = self._wave_hits(0, cap, budget.seed, use_numpy)
-            return self._estimate(hits, cap, budget.interval, 1)
+            return self._estimate(hits, cap, budget.interval, 1, z)
         target = budget.epsilon * scale
         samples = 0
         hits = 0
@@ -619,10 +696,12 @@ class SamplingPlan:
             waves += 1
             if samples >= cap:
                 break
-            if half_width(hits, samples, scale, "wilson") <= target:
+            if half_width(hits, samples, scale, "wilson", z) <= target:
                 break
+            if deadline is not None:
+                deadline.check("sampling wave")
             next_samples = min(cap, 2 * samples)
-        return self._estimate(hits, samples, budget.interval, waves)
+        return self._estimate(hits, samples, budget.interval, waves, z)
 
     def run_fixed(
         self,
@@ -659,12 +738,17 @@ class SamplingPlan:
         )
 
     def _estimate(
-        self, hits: int, samples: int, interval: str, waves: int
+        self,
+        hits: int,
+        samples: int,
+        interval: str,
+        waves: int,
+        z: float = Z_95,
     ) -> Estimate:
         scale = self._scale()
         return Estimate(
             scale * (hits / samples),
-            half_width(hits, samples, scale, interval),
+            half_width(hits, samples, scale, interval, z),
             samples,
             interval,
             waves,

@@ -40,6 +40,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.core.deadline import Deadline
 from repro.db.relation import Instance
 from repro.db.tid import TupleIndependentDatabase
 from repro.pqe.approximate import (
@@ -292,6 +293,7 @@ def evaluate(
     cache: CompilationCache | None = None,
     plan_cache: ExtensionalPlanCache | None = None,
     budget: AccuracyBudget | None = None,
+    deadline: Deadline | None = None,
 ) -> EvaluationResult:
     """Evaluate ``Pr(Q_phi)`` with the selected (or automatic) engine.
 
@@ -309,21 +311,34 @@ def evaluate(
         serving layer's routing; without one, auto mode still refuses.
         With ``method="sampling"`` the sampler runs unconditionally
         (``None`` means the default budget).
+    :param deadline: an optional :class:`~repro.core.deadline.Deadline`
+        checked cooperatively — at entry, between compilation and the
+        sweep, and between sampling waves — raising
+        :class:`~repro.core.deadline.DeadlineExceeded` instead of
+        finishing work nobody will read.  Checks never interrupt a
+        sweep, so any answer that *is* produced is bit-identical to the
+        deadline-free one.
     :raises HardQueryError: in auto mode, when the query is not zero-Euler,
         the instance exceeds :data:`BRUTE_FORCE_LIMIT` tuples and no
         ``budget`` was given.
     :raises ValueError: for an unknown method, or from the explicit
         engines' own validation.
     """
+    if deadline is not None:
+        deadline.check("evaluation admission")
     classification = classify(query)
     if method == "auto":
-        return _auto(query, tid, classification, cache, plan_cache, budget)
+        return _auto(
+            query, tid, classification, cache, plan_cache, budget, deadline
+        )
     if method == "sampling":
-        return _sampling(query, tid, classification, budget)
+        return _sampling(query, tid, classification, budget, deadline)
     if method == "extensional":
         return _extensional(query, tid, classification, plan_cache)
     if method == "intensional":
         compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
+        if deadline is not None:
+            deadline.check("post-compilation")
         return EvaluationResult(
             compiled.probability(tid),
             "intensional",
@@ -363,6 +378,7 @@ def _sampling(
     tid: TupleIndependentDatabase,
     classification: Classification,
     budget: AccuracyBudget | None = None,
+    deadline: Deadline | None = None,
 ) -> EvaluationResult:
     """The randomized route: the vectorized budget-adaptive sampler of
     :mod:`repro.pqe.approximate`.  The served probability is the
@@ -370,7 +386,7 @@ def _sampling(
     can land outside when the union-bound weight exceeds 1); the raw
     estimate rides along on ``EvaluationResult.estimate``."""
     plan = sampling_plan(query, tid)
-    estimate = plan.run(budget)
+    estimate = plan.run(budget, deadline=deadline)
     return EvaluationResult(
         Fraction(min(1.0, max(0.0, estimate.value))),
         plan.engine,
@@ -386,11 +402,14 @@ def _auto(
     cache: CompilationCache | None = None,
     plan_cache: ExtensionalPlanCache | None = None,
     budget: AccuracyBudget | None = None,
+    deadline: Deadline | None = None,
 ) -> EvaluationResult:
     if classification.extensional_safe:
         return _extensional(query, tid, classification, plan_cache)
     if classification.dd_ptime:
         compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
+        if deadline is not None:
+            deadline.check("post-compilation")
         return EvaluationResult(
             compiled.probability(tid),
             "intensional",
@@ -406,7 +425,7 @@ def _auto(
             classification,
         )
     if budget is not None:
-        return _sampling(query, tid, classification, budget)
+        return _sampling(query, tid, classification, budget, deadline)
     adjective = (
         "#P-hard" if classification.region is Region.HARD else
         "conjectured #P-hard"
@@ -426,6 +445,7 @@ def evaluate_batch(
     cache: CompilationCache | None = None,
     plan_cache: ExtensionalPlanCache | None = None,
     budget: AccuracyBudget | None = None,
+    deadline: Deadline | None = None,
 ) -> BatchEvaluationResult:
     """Evaluate ``Pr(Q_phi)`` over many TIDs in one float-mode sweep.
 
@@ -463,9 +483,16 @@ def evaluate_batch(
     batch) on the extensional path.
 
     Probabilities are returned as floats (the batch backend); use
-    :func:`evaluate` for exact single-TID results.
+    :func:`evaluate` for exact single-TID results.  A ``deadline`` is
+    checked cooperatively (at entry, between per-TID sweeps, and inside
+    the sampler's wave loop) with the same semantics as
+    :func:`evaluate`: the batch either finishes in full or raises
+    :class:`~repro.core.deadline.DeadlineExceeded` — it never returns a
+    partial result.
     """
     tid_list = list(tids)
+    if deadline is not None:
+        deadline.check("batch admission")
     classification = classify(query)
     if method not in ("auto", "intensional", "extensional", "sampling"):
         raise ValueError(f"unknown batch method {method!r}")
@@ -478,7 +505,7 @@ def evaluate_batch(
         for tid in tid_list:
             plan = sampling_plan(query, tid)
             label = plan.engine
-            estimate = plan.run(budget)
+            estimate = plan.run(budget, deadline=deadline)
             probabilities.append(min(1.0, max(0.0, estimate.value)))
         return BatchEvaluationResult(probabilities, label, classification)
     extensional_path = method == "extensional" or (
@@ -510,7 +537,10 @@ def evaluate_batch(
         )
     if not batched_path:
         results = [
-            evaluate(query, tid, method="auto", cache=cache, budget=budget)
+            evaluate(
+                query, tid, method="auto", cache=cache, budget=budget,
+                deadline=deadline,
+            )
             for tid in tid_list
         ]
         engines = [r.engine for r in results]
@@ -533,6 +563,8 @@ def evaluate_batch(
     compiled: CompiledLineage | None = None
     cache_hits = 0
     for fingerprint, positions in groups.items():
+        if deadline is not None:
+            deadline.check("batch compilation")
         compiled, hit = compile_lineage_cached(
             query, tid_list[positions[0]].instance, fingerprint, cache
         )

@@ -9,6 +9,14 @@ brute force or to the vectorized budget-adaptive sampling engine
 (:mod:`repro.pqe.approximate`) under per-request accuracy budgets —
 concurrent same-work hard requests share one sampling sweep the way
 d-D requests share one tape sweep.
+
+The resilience layer (:mod:`repro.serving.resilience`,
+:mod:`repro.serving.faults`) adds per-request deadlines and priorities,
+bounded queues with priority-aware load shedding, per-shard circuit
+breakers, deterministic retry backoff, graceful degradation of
+deadline-pressed exact routes to deadline-derived sampling budgets
+(``degraded=True`` responses with honest error bars), and seeded,
+replayable fault injection for chaos testing.
 """
 
 from repro.serving.api import (
@@ -16,10 +24,23 @@ from repro.serving.api import (
     QueryRequest,
     QueryResponse,
 )
+from repro.serving.faults import FaultInjector, TransientFaultError
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitBreakerOpen,
+    Deadline,
+    DeadlineExceeded,
+    LatencyEwma,
+    RetryPolicy,
+    ServiceStopped,
+    ShardOverloaded,
+    degraded_budget,
+)
 from repro.serving.service import ShardedService
 from repro.serving.shard import Shard
 from repro.serving.stats import (
     LatencyWindow,
+    ResilienceStats,
     SamplingStats,
     ServiceStats,
     ShardStats,
@@ -28,13 +49,25 @@ from repro.serving.stats import (
 
 __all__ = [
     "AccuracyBudget",
+    "CircuitBreaker",
+    "CircuitBreakerOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "LatencyEwma",
     "LatencyWindow",
     "QueryRequest",
     "QueryResponse",
+    "ResilienceStats",
+    "RetryPolicy",
     "SamplingStats",
     "ServiceStats",
+    "ServiceStopped",
     "Shard",
-    "ShardedService",
+    "ShardOverloaded",
     "ShardStats",
+    "ShardedService",
+    "TransientFaultError",
+    "degraded_budget",
     "percentile",
 ]

@@ -14,6 +14,7 @@ the serving surface.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.db.tid import TupleIndependentDatabase
@@ -25,11 +26,39 @@ from repro.queries.hqueries import HQuery
 class QueryRequest:
     """One unit of work routed to a shard: a query over a TID, plus the
     accuracy budget to spend if the answer has to be sampled (``None``
-    uses the service default)."""
+    uses the service default).
+
+    ``deadline_ms`` is the caller's latency budget, measured from
+    admission: the shard checks it at admission, at dequeue, and between
+    sampling waves, and resolves a late request with a typed
+    :class:`~repro.serving.resilience.DeadlineExceeded` rather than
+    running to completion for a caller that stopped listening.  ``None``
+    means "run to completion" (the pre-resilience behavior, and the
+    default).  ``priority`` breaks ties under load shedding: when the
+    queue must reject someone, the newest *lowest-priority* request goes
+    first, so a higher number means "shed me later".
+    """
 
     query: HQuery
     tid: TupleIndependentDatabase
     budget: AccuracyBudget | None = None
+    deadline_ms: float | None = None
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_ms is not None and not (
+            isinstance(self.deadline_ms, (int, float))
+            and math.isfinite(self.deadline_ms)
+            and self.deadline_ms > 0
+        ):
+            raise ValueError(
+                f"deadline_ms must be a positive finite number or None, "
+                f"got {self.deadline_ms!r}"
+            )
+        if not isinstance(self.priority, int):
+            raise ValueError(
+                f"priority must be an int, got {self.priority!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -47,6 +76,13 @@ class QueryResponse:
     exact engines; for sampled answers ``samples`` is how many worlds the
     (budget-adaptive) sampler actually drew and ``waves`` how many
     growing waves it took to meet the accuracy target.
+
+    ``degraded`` marks an answer the shard *downgraded* to the sampling
+    route because the exact route was predicted to miss the request's
+    deadline: the probability is an estimate under a deadline-derived
+    :class:`AccuracyBudget`, always with a nonzero ``half_width`` (the
+    Wilson interval is never degenerate) — a principled partial answer
+    rather than a timeout.
     """
 
     probability: float
@@ -58,3 +94,4 @@ class QueryResponse:
     samples: int = 0
     waves: int = 0
     latency_ms: float = 0.0
+    degraded: bool = False

@@ -1,0 +1,166 @@
+"""Deterministic fault injection for the serving layer.
+
+Chaos testing is only useful if a failure found once can be found
+again: :class:`FaultInjector` draws every fault decision from the PR-5
+:class:`~repro.db.tid.DrawStream` counter addressing, keyed by
+``(shard, request index, attempt)`` — so a fault schedule is a pure
+function of the seed and the admission order, replayable across runs,
+wave schedules, and numpy availability.  Rates are exact
+:class:`~fractions.Fraction` thresholds compared against integer draws
+(``draw < numerator`` out of ``denominator``), never float
+comparisons, so ``error_rate=0.1`` means *exactly* 1-in-10 in
+expectation on every platform.
+
+Three fault kinds, each on its own stream lane per shard:
+
+- **worker errors** (``should_fail``): the worker raises
+  :class:`TransientFaultError` mid-compute for the doomed request —
+  exercising microbatch isolation, retries, and the circuit breaker.
+  ``broken_requests`` marks ``(shard, index)`` pairs that fail on
+  *every* attempt — permanent faults that must be failed typed rather
+  than retried forever.
+- **added latency** (``latency_ms_for``): the worker sleeps before
+  serving — exercising deadline checks and degradation.
+- **queue pressure** (``phantom_depth``): admission sees phantom extra
+  queue depth — exercising the shed policy without needing real
+  concurrent load.
+
+The injector is wired through :class:`~repro.serving.shard.Shard` /
+:class:`~repro.serving.service.ShardedService` as an optional hook; a
+``None`` injector costs nothing on the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+from fractions import Fraction
+
+from repro.db.tid import DrawStream
+
+__all__ = ["FaultInjector", "TransientFaultError"]
+
+#: Lane block for fault streams, far from the samplers' lanes 0/1 and
+#: the retry-jitter lane.  Each (kind, shard) pair gets its own lane.
+_FAULT_LANE_BASE = 9001
+_KIND_ERROR, _KIND_LATENCY, _KIND_PRESSURE = 0, 1, 2
+#: Draws are addressed by ``index * 32 + attempt`` so a retried request
+#: re-rolls its fault independently of its first attempt.
+_ATTEMPT_STRIDE = 32
+
+
+def _as_rate(value, name: str) -> Fraction:
+    """An exact probability in [0, 1].  Floats go through ``str`` so
+    ``0.1`` means the decimal one-tenth, not its binary approximation."""
+    rate = Fraction(str(value)) if isinstance(value, float) else Fraction(value)
+    if not 0 <= rate <= 1:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return rate
+
+
+class TransientFaultError(RuntimeError):
+    """An injected worker failure, classified transient: the retry
+    policy may re-attempt it (and will succeed unless the request is in
+    ``broken_requests`` or re-rolls unlucky)."""
+
+
+class FaultInjector:
+    """Seeded, replayable fault schedules for chaos tests and benches.
+
+    All decisions are pure functions of ``(seed, shard, index,
+    attempt)``; the injector keeps only *observability* state (counters
+    of faults actually fired), so sharing one injector across shards and
+    threads is safe and does not perturb the schedule.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        error_rate=0,
+        latency_rate=0,
+        latency_ms: float = 0.0,
+        pressure_rate=0,
+        pressure_depth: int = 0,
+        broken_requests=(),
+    ):
+        self.seed = seed
+        self.error_rate = _as_rate(error_rate, "error_rate")
+        self.latency_rate = _as_rate(latency_rate, "latency_rate")
+        if latency_ms < 0:
+            raise ValueError(f"latency_ms must be >= 0, got {latency_ms}")
+        self.latency_ms = latency_ms
+        self.pressure_rate = _as_rate(pressure_rate, "pressure_rate")
+        if pressure_depth < 0:
+            raise ValueError(
+                f"pressure_depth must be >= 0, got {pressure_depth}"
+            )
+        self.pressure_depth = pressure_depth
+        self.broken_requests = frozenset(broken_requests)
+        self._lock = threading.Lock()
+        self._streams: dict[tuple[int, int], DrawStream] = {}
+        self._errors = 0
+        self._latency_events = 0
+        self._pressure_events = 0
+
+    def _hit(
+        self, kind: int, shard: int, rate: Fraction, counter: int
+    ) -> bool:
+        if rate == 0:
+            return False
+        if rate == 1:
+            return True
+        key = (kind, shard)
+        with self._lock:
+            stream = self._streams.get(key)
+            if stream is None:
+                lane = _FAULT_LANE_BASE + kind * 997 + shard
+                stream = DrawStream(self.seed, lane)
+                self._streams[key] = stream
+        draw = stream.below(rate.denominator, counter, 1, use_numpy=False)[0]
+        return draw < rate.numerator
+
+    def should_fail(self, shard: int, index: int, attempt: int = 0) -> bool:
+        """Whether request ``index`` on ``shard`` fails this ``attempt``."""
+        if (shard, index) in self.broken_requests:
+            with self._lock:
+                self._errors += 1
+            return True
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self._hit(_KIND_ERROR, shard, self.error_rate, counter):
+            with self._lock:
+                self._errors += 1
+            return True
+        return False
+
+    def latency_ms_for(
+        self, shard: int, index: int, attempt: int = 0
+    ) -> float:
+        """Extra latency (ms) to inject before serving this attempt."""
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self.latency_ms > 0 and self._hit(
+            _KIND_LATENCY, shard, self.latency_rate, counter
+        ):
+            with self._lock:
+                self._latency_events += 1
+            return self.latency_ms
+        return 0.0
+
+    def phantom_depth(self, shard: int, index: int) -> int:
+        """Phantom queue depth admission control should add for this
+        request (attempt-independent: admission happens once)."""
+        if self.pressure_depth > 0 and self._hit(
+            _KIND_PRESSURE, shard, self.pressure_rate, index * _ATTEMPT_STRIDE
+        ):
+            with self._lock:
+                self._pressure_events += 1
+            return self.pressure_depth
+        return 0
+
+    def stats(self) -> dict[str, int]:
+        """Counters of faults actually fired (observability only)."""
+        with self._lock:
+            return {
+                "errors": self._errors,
+                "latency_events": self._latency_events,
+                "pressure_events": self._pressure_events,
+            }

@@ -28,6 +28,8 @@ from repro.db.tid import TupleIndependentDatabase
 from repro.pqe.engine import BRUTE_FORCE_LIMIT, COMPILATION_CACHE_LIMIT
 from repro.queries.hqueries import HQuery
 from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
+from repro.serving.faults import FaultInjector
+from repro.serving.resilience import CircuitBreaker, RetryPolicy
 from repro.serving.shard import Shard
 from repro.serving.stats import ServiceStats, percentile
 
@@ -58,6 +60,12 @@ class ShardedService:
         default_budget: AccuracyBudget | None = None,
         brute_force_limit: int = BRUTE_FORCE_LIMIT,
         latency_window: int = 4096,
+        max_queue_depth: int = 4096,
+        retry: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        degrade_to_sampling: bool = True,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_after_ms: float = 1000.0,
     ):
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
@@ -72,6 +80,14 @@ class ShardedService:
                 default_budget=budget,
                 brute_force_limit=brute_force_limit,
                 latency_window=latency_window,
+                max_queue_depth=max_queue_depth,
+                breaker=CircuitBreaker(
+                    failure_threshold=breaker_failure_threshold,
+                    reset_after_ms=breaker_reset_after_ms,
+                ),
+                retry=retry,
+                fault_injector=fault_injector,
+                degrade_to_sampling=degrade_to_sampling,
             )
             for index in range(shards)
         ]
@@ -116,13 +132,26 @@ class ShardedService:
         query: HQuery,
         tid: TupleIndependentDatabase,
         budget: AccuracyBudget | None = None,
+        *,
+        deadline_ms: float | None = None,
+        priority: int = 0,
     ) -> Future:
         """Enqueue one evaluation; returns a future resolving to a
-        :class:`~repro.serving.api.QueryResponse`.  Same-``(query,
+        :class:`~repro.serving.api.QueryResponse` or raising a typed
+        resilience error (see :meth:`Shard.submit
+        <repro.serving.shard.Shard.submit>`).  Same-``(query,
         instance)`` requests in flight are microbatched into one
-        compiled-tape sweep on the owning shard."""
+        compiled-tape sweep on the owning shard.  ``deadline_ms`` and
+        ``priority`` opt the request into the resilience layer's
+        deadline enforcement and shed ordering (see
+        :class:`~repro.serving.api.QueryRequest`)."""
         index = self.shard_of(tid)
-        return self._shards[index].submit(QueryRequest(query, tid, budget))
+        return self._shards[index].submit(
+            QueryRequest(
+                query, tid, budget, deadline_ms=deadline_ms,
+                priority=priority,
+            )
+        )
 
     def submit_batch(
         self,
@@ -167,9 +196,19 @@ class ShardedService:
         )
 
     def close(self, wait: bool = True) -> None:
-        """Shut every shard's worker pool down (idempotent)."""
+        """Shut every shard's worker pool down gracefully (idempotent);
+        queued work drains first."""
         for shard in self._shards:
             shard.close(wait=wait)
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop serving now (idempotent): every still-queued request on
+        every shard is resolved with a typed
+        :class:`~repro.serving.resilience.ServiceStopped` — no caller
+        blocks forever on a stopped service — and later submits raise
+        it."""
+        for shard in self._shards:
+            shard.stop(wait=wait)
 
     def __enter__(self) -> "ShardedService":
         return self

@@ -31,6 +31,20 @@ one vectorized budget-adaptive sweep per distinct ``(budget,
 probability map)`` in the group, sharing the microbatch's cached
 lineage structure — deterministic per budget seed, so sharing is
 invisible in the responses.
+
+Resilience: requests may carry a deadline and a priority.  Admission
+control bounds the queue and sheds the newest lowest-priority request
+when the queue (or the per-shard circuit breaker) cannot absorb more;
+deadlines are checked cooperatively at admission, at dequeue, between
+compilation and the sweep, and between sampling waves; an exact route
+predicted (per-route latency EWMAs) to miss a request's deadline is
+downgraded to the sampling route under a deadline-derived budget
+(``degraded=True`` responses, nonzero ``half_width``).  A group whose
+sweep raises is retried member-by-member, so one poisoned request
+fails alone; transient faults additionally get a deterministic
+jittered-backoff retry.  Every rejection is a *typed* error set on the
+future — a submitted request always resolves.  The full degradation
+ladder and the policies live in ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -41,6 +55,7 @@ from collections import Counter, OrderedDict, deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.pqe.approximate import sampling_plan
 from repro.pqe.brute_force import probability_by_world_enumeration
 from repro.pqe.dichotomy import classify
@@ -54,16 +69,46 @@ from repro.pqe.extensional import (
     probability_batch as extensional_probability_batch,
 )
 from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
-from repro.serving.stats import LatencyWindow, SamplingStats, ShardStats
+from repro.serving.faults import FaultInjector, TransientFaultError
+from repro.serving.resilience import (
+    CircuitBreaker,
+    CircuitBreakerOpen,
+    LatencyEwma,
+    RetryPolicy,
+    ServiceStopped,
+    ShardOverloaded,
+    degraded_budget,
+)
+from repro.serving.stats import (
+    LatencyWindow,
+    ResilienceStats,
+    SamplingStats,
+    ShardStats,
+)
+
+#: The route labels the shed/degradation policies keep EWMAs for.
+_ROUTES = ("extensional", "intensional", "brute_force", "sampling")
 
 
 @dataclass
 class _Pending:
-    """A queued request: the work key groups microbatchable neighbors."""
+    """A queued request: the work key groups microbatchable neighbors.
+
+    ``deadline`` is materialized once at admission; ``attempt`` counts
+    serve attempts (for retry bounding and fault re-rolls); ``counted``
+    keeps retries from double-counting into the request counters;
+    ``budget_override`` carries the deadline-derived budget of a
+    degraded request into the sampling route.
+    """
 
     request: QueryRequest
     future: Future
     enqueued: float
+    deadline: Deadline | None = None
+    index: int = 0
+    attempt: int = 0
+    counted: bool = False
+    budget_override: AccuracyBudget | None = None
     key: tuple = field(init=False)
 
     def __post_init__(self) -> None:
@@ -85,9 +130,19 @@ class Shard:
         default_budget: AccuracyBudget | None = None,
         brute_force_limit: int = BRUTE_FORCE_LIMIT,
         latency_window: int = 4096,
+        max_queue_depth: int = 4096,
+        breaker: CircuitBreaker | None = None,
+        retry: RetryPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
+        degrade_to_sampling: bool = True,
+        ewma_alpha: float = 0.2,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
+            )
         self.shard_id = shard_id
         self.cache = CompilationCache(cache_limit)
         self.plan_cache = ExtensionalPlanCache()
@@ -95,6 +150,11 @@ class Shard:
             default_budget if default_budget is not None else AccuracyBudget()
         )
         self.brute_force_limit = brute_force_limit
+        self.max_queue_depth = max_queue_depth
+        self.degrade_to_sampling = degrade_to_sampling
+        self._breaker = breaker
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._fault_injector = fault_injector
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix=f"pqe-shard-{shard_id}"
         )
@@ -102,6 +162,8 @@ class Shard:
         self._pending: deque[_Pending] = deque()
         self._latencies = LatencyWindow(latency_window)
         self._instances: set[tuple] = set()
+        self._stopped = False
+        self._admitted = 0
         self._requests = 0
         self._batches = 0
         self._max_batch_size = 0
@@ -113,6 +175,19 @@ class Shard:
         self._sampling_waves = 0
         self._samples_drawn = 0
         self._sampling_max_half_width = 0.0
+        self._route_ewma = {
+            route: LatencyEwma(ewma_alpha) for route in _ROUTES
+        }
+        self._service_ewma = LatencyEwma(ewma_alpha)
+        self._sampling_rate = LatencyEwma(ewma_alpha)  # samples per ms
+        self._shed = 0
+        self._deadline_exceeded = 0
+        self._degraded = 0
+        self._retries = 0
+        self._failures = 0
+        self._breaker_rejected = 0
+        self._injected_errors = 0
+        self._injected_latency = 0
 
     # ------------------------------------------------------------------
     # Front-end
@@ -125,34 +200,146 @@ class Shard:
 
     def submit(self, request: QueryRequest) -> Future:
         """Enqueue one request; the returned future resolves to a
-        :class:`~repro.serving.api.QueryResponse` (or raises the engine's
-        error, e.g. a hard non-UCQ query too large even to sample)."""
-        pending = _Pending(request, Future(), time.perf_counter())
+        :class:`~repro.serving.api.QueryResponse` or raises a typed
+        error (the engine's own, or
+        :class:`~repro.serving.resilience.ShardOverloaded` /
+        :class:`~repro.serving.resilience.CircuitBreakerOpen` /
+        :class:`~repro.core.deadline.DeadlineExceeded` from the
+        resilience layer).  Only submitting against a stopped shard
+        raises *here* — an admitted request's outcome always travels
+        through its future.
+        """
+        deadline = (
+            Deadline(request.deadline_ms)
+            if request.deadline_ms is not None
+            else None
+        )
+        pending = _Pending(
+            request, Future(), time.perf_counter(), deadline=deadline
+        )
+        rejection: BaseException | None = None
+        victim: _Pending | None = None
         with self._lock:
-            self._pending.append(pending)
+            if self._stopped:
+                raise ServiceStopped(
+                    f"shard {self.shard_id} is stopped"
+                )
+            pending.index = self._admitted
+            self._admitted += 1
             self._instances.add(pending.key[1])
-        try:
-            self._executor.submit(self._drain)
-        except RuntimeError:
-            # Closed executor: take the request back out so the queue
-            # depth does not report a phantom entry forever.  (If a
-            # still-running drain already claimed it, it will be served
-            # despite the error.)
-            with self._lock:
-                try:
-                    self._pending.remove(pending)
-                except ValueError:
-                    pass
-            raise
+            if self._breaker is not None and not self._breaker.allow():
+                self._breaker_rejected += 1
+                rejection = CircuitBreakerOpen(
+                    f"shard {self.shard_id} circuit breaker is "
+                    f"{self._breaker.state}"
+                )
+            else:
+                rejection, victim = self._admit(pending)
+        if victim is not None:
+            self._shed_reject(
+                victim,
+                f"shard {self.shard_id} shed this request for a "
+                f"higher-priority arrival",
+            )
+        if rejection is not None:
+            self._reject(pending, rejection)
+            return pending.future
+        if victim is None:
+            # A victim swap reuses the drain its victim already
+            # scheduled; only a plain append needs a new one.
+            try:
+                self._executor.submit(self._drain)
+            except RuntimeError:
+                # Closed executor: take the request back out so the queue
+                # depth does not report a phantom entry forever.  (If a
+                # still-running drain already claimed it, it will be
+                # served despite the error.)
+                with self._lock:
+                    try:
+                        self._pending.remove(pending)
+                    except ValueError:
+                        pass
+                raise
         return pending.future
+
+    def _admit(
+        self, pending: _Pending
+    ) -> tuple[BaseException | None, _Pending | None]:
+        """Admission control (caller holds the lock): append the request,
+        or shed — the newest strictly-lower-priority queued request if
+        one exists (the incoming request takes its place), otherwise the
+        incoming request itself.  Sheds on a full queue, and predictively
+        when the queued depth times the observed per-request service
+        latency already exceeds the incoming deadline."""
+        phantom = (
+            self._fault_injector.phantom_depth(self.shard_id, pending.index)
+            if self._fault_injector is not None
+            else 0
+        )
+        depth = len(self._pending) + phantom
+        shed = depth >= self.max_queue_depth
+        if (
+            not shed
+            and pending.deadline is not None
+            and self._service_ewma.samples > 0
+            and (depth + 1) * self._service_ewma.value()
+            > pending.deadline.remaining_ms()
+        ):
+            shed = True
+        if not shed:
+            self._pending.append(pending)
+            return None, None
+        self._shed += 1
+        for queued in reversed(self._pending):
+            if queued.request.priority < pending.request.priority:
+                self._pending.remove(queued)
+                self._pending.append(pending)
+                return None, queued
+        return (
+            ShardOverloaded(
+                f"shard {self.shard_id} shed this request (queue depth "
+                f"{depth} >= {self.max_queue_depth} or deadline "
+                f"unmeetable at the observed service rate)"
+            ),
+            None,
+        )
+
+    def _reject(self, pending: _Pending, error: BaseException) -> None:
+        """Resolve a never-served request with a typed error.  The future
+        is claimed first so a racing ``cancel()`` cannot leave it in an
+        unresolvable state; if the caller cancelled first, there is
+        nobody to notify and the rejection is dropped."""
+        if pending.future.set_running_or_notify_cancel():
+            pending.future.set_exception(error)
+
+    def _shed_reject(self, pending: _Pending, message: str) -> None:
+        self._reject(pending, ShardOverloaded(message))
 
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._pending)
 
     def close(self, wait: bool = True) -> None:
-        """Shut the worker pool down (idempotent); pending drains finish
-        when ``wait`` is true."""
+        """Shut the worker pool down gracefully (idempotent): pending
+        drains finish when ``wait`` is true.  For a fast shutdown that
+        *resolves* the queue instead of serving it, use :meth:`stop`."""
+        self._executor.shutdown(wait=wait)
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop serving now (idempotent): still-queued requests are
+        resolved with a typed
+        :class:`~repro.serving.resilience.ServiceStopped` — never
+        abandoned, so no caller blocks forever on a stopped shard — and
+        subsequent :meth:`submit` calls raise it directly.  In-flight
+        microbatches finish (``wait=True`` joins them)."""
+        with self._lock:
+            self._stopped = True
+            abandoned = list(self._pending)
+            self._pending.clear()
+        for pending in abandoned:
+            self._reject(
+                pending, ServiceStopped(f"shard {self.shard_id} stopped")
+            )
         self._executor.shutdown(wait=wait)
 
     # ------------------------------------------------------------------
@@ -186,39 +373,192 @@ class Shard:
             for pending in group
             if pending.future.set_running_or_notify_cancel()
         ]
-        if not group:
-            return
+        if group:
+            self._serve(group)
+
+    def _serve(self, group: list[_Pending]) -> None:
+        """Serve a claimed group, isolating failures.
+
+        A raising sweep poisons nobody: the unresolved survivors are
+        retried member-by-member (each as its own group), so a request
+        that fails deterministically fails *alone* with its own error
+        while its microbatch peers still get answers.  A lone transient
+        failure goes through the jittered-backoff retry policy before
+        being failed typed; terminal failures feed the circuit breaker.
+        """
         try:
             self._process(group)
-        except BaseException as error:  # noqa: BLE001 - futures carry it
+        except DeadlineExceeded as error:
             for pending in group:
                 if not pending.future.done():
-                    pending.future.set_exception(error)
+                    self._resolve_deadline(pending, error)
+        except BaseException as error:  # noqa: BLE001 - futures carry it
+            survivors = [p for p in group if not p.future.done()]
+            if len(survivors) > 1:
+                with self._lock:
+                    self._retries += len(survivors)
+                for pending in survivors:
+                    pending.attempt += 1
+                    self._serve([pending])
+            elif survivors:
+                self._fail_or_retry(survivors[0], error)
+
+    def _fail_or_retry(
+        self, pending: _Pending, error: BaseException
+    ) -> None:
+        """One member failed on its own: back off and retry a transient
+        fault while attempts remain, else fail it typed and tell the
+        breaker."""
+        if (
+            isinstance(error, TransientFaultError)
+            and pending.attempt + 1 < self._retry.attempts
+        ):
+            with self._lock:
+                self._retries += 1
+            delay_ms = self._retry.delay_ms(
+                pending.index, pending.attempt + 1
+            )
+            if delay_ms > 0:
+                time.sleep(delay_ms / 1e3)
+            pending.attempt += 1
+            self._serve([pending])
+            return
+        with self._lock:
+            self._failures += 1
+        if self._breaker is not None:
+            self._breaker.record_failure()
+        pending.future.set_exception(error)
+
+    def _resolve_deadline(
+        self, pending: _Pending, error: DeadlineExceeded | None = None
+    ) -> None:
+        """Resolve one request as late (typed), counting it.  Deadline
+        misses are the *caller's* budget running out, not shard
+        ill-health, so they never feed the breaker."""
+        with self._lock:
+            self._deadline_exceeded += 1
+        if error is None:
+            error = DeadlineExceeded(
+                f"deadline exceeded before shard {self.shard_id} could "
+                f"serve the request"
+            )
+        if pending.future.done():  # pragma: no cover - defensive
+            return
+        pending.future.set_exception(error)
+
+    def _drop_expired(self, group: list[_Pending]) -> list[_Pending]:
+        """Split out members whose deadline already passed, resolving
+        each with :class:`DeadlineExceeded`; returns the still-live
+        rest.  Run at dequeue and again after compilation — the two
+        points where meaningful time may have passed since admission."""
+        ready = []
+        for pending in group:
+            if pending.deadline is not None and pending.deadline.expired():
+                self._resolve_deadline(pending)
+            else:
+                ready.append(pending)
+        return ready
+
+    def _inject(self, group: list[_Pending]) -> None:
+        """Apply the optional fault injector to this serve attempt:
+        sleep the worst injected latency of the group, then raise
+        :class:`TransientFaultError` if any member is scheduled to fail
+        this attempt (the group-split retry in :meth:`_serve` then
+        isolates the doomed member)."""
+        injector = self._fault_injector
+        delay_ms = 0.0
+        for pending in group:
+            delay_ms = max(
+                delay_ms,
+                injector.latency_ms_for(
+                    self.shard_id, pending.index, pending.attempt
+                ),
+            )
+        if delay_ms > 0:
+            with self._lock:
+                self._injected_latency += 1
+            time.sleep(delay_ms / 1e3)
+        doomed = [
+            pending
+            for pending in group
+            if injector.should_fail(
+                self.shard_id, pending.index, pending.attempt
+            )
+        ]
+        if doomed:
+            with self._lock:
+                self._injected_errors += len(doomed)
+            raise TransientFaultError(
+                f"injected worker fault on shard {self.shard_id} "
+                f"(request indices "
+                f"{[pending.index for pending in doomed]}, attempt "
+                f"{doomed[0].attempt})"
+            )
+
+    def _observe_route(self, route: str, elapsed_ms: float) -> None:
+        self._route_ewma[route].observe(elapsed_ms)
+        self._service_ewma.observe(elapsed_ms)
+
+    def observe_route_latency(self, route: str, latency_ms: float) -> None:
+        """Warm-start one route's latency prediction (benches and tests;
+        production traffic feeds the EWMAs itself).  Only the per-route
+        predictor is touched — the service-wide EWMA behind predictive
+        shedding still learns from real traffic only."""
+        if route not in self._route_ewma:
+            raise ValueError(
+                f"unknown route {route!r}; expected one of {_ROUTES}"
+            )
+        self._route_ewma[route].observe(latency_ms)
 
     def _process(self, group: list[_Pending]) -> None:
+        group = self._drop_expired(group)
+        if not group:
+            return
         query = group[0].request.query
         classification = classify(query)
         size = len(group)
         # Counters first: a client unblocked by its future may read
-        # stats() immediately and must already see itself counted.
+        # stats() immediately and must already see itself counted.  The
+        # ``counted`` flag keeps retried members from counting twice.
         with self._lock:
-            self._requests += size
+            fresh = sum(1 for pending in group if not pending.counted)
+            self._requests += fresh
             self._batches += 1
             self._max_batch_size = max(self._max_batch_size, size)
             if size > 1:
-                self._microbatched += size
+                self._microbatched += fresh
+            for pending in group:
+                pending.counted = True
+        if self._fault_injector is not None:
+            self._inject(group)
         if classification.extensional_safe:
+            route = "extensional"
+        elif classification.dd_ptime:
+            route = "intensional"
+        else:
+            route = None
+        degraded = self._split_degraded(group, route)
+        group = [pending for pending in group if pending not in degraded]
+        if degraded:
+            self._sample_group(query, degraded, size, degraded=True)
+        if not group:
+            return
+        if route == "extensional":
             # Safe monotone queries: lifted inference over the columnar
             # view — no lineage, no compilation.  The plan is per-query
             # state from this shard's plan cache; the whole microbatch
             # shares it, and each request's probability map is swept
             # independently, so the answers are bit-for-float identical
             # to direct per-request evaluation.
+            started = time.perf_counter()
             plan, hit = self.plan_cache.get_or_build(query)
             probabilities = extensional_probability_batch(
                 query,
                 [pending.request.tid for pending in group],
                 plan=plan,
+            )
+            self._observe_route(
+                "extensional", (time.perf_counter() - started) * 1e3
             )
             for pending, probability in zip(group, probabilities):
                 self._finish(
@@ -228,13 +568,20 @@ class Shard:
                     cache_hit=hit,
                     batch_size=size,
                 )
-        elif classification.dd_ptime:
+        elif route == "intensional":
+            started = time.perf_counter()
             compiled, hit = self.cache.get_or_compile(
                 query, group[0].request.tid.instance, group[0].key[1]
             )
             if not hit:
                 with self._lock:
                     self._compile_ms += compiled.compile_ms
+            # Compilation is the expensive prefix of this route: members
+            # whose deadline ran out during it are resolved late now
+            # rather than swept for nobody.
+            group = self._drop_expired(group)
+            if not group:
+                return
             tape = compiled.tape
             probabilities = tape.evaluate_vectors(
                 [
@@ -243,6 +590,9 @@ class Shard:
                     )
                     for pending in group
                 ]
+            )
+            self._observe_route(
+                "intensional", (time.perf_counter() - started) * 1e3
             )
             for pending, probability in zip(group, probabilities):
                 self._finish(
@@ -264,21 +614,72 @@ class Shard:
                 if len(pending.request.tid) > self.brute_force_limit
             ]
             for pending in brute:
+                if (
+                    pending.deadline is not None
+                    and pending.deadline.expired()
+                ):
+                    self._resolve_deadline(pending)
+                    continue
+                started = time.perf_counter()
+                probability = float(
+                    probability_by_world_enumeration(
+                        query, pending.request.tid
+                    )
+                )
+                self._observe_route(
+                    "brute_force", (time.perf_counter() - started) * 1e3
+                )
                 self._finish(
                     pending,
-                    float(
-                        probability_by_world_enumeration(
-                            query, pending.request.tid
-                        )
-                    ),
+                    probability,
                     "brute_force",
                     batch_size=size,
                 )
             if sampled:
                 self._sample_group(query, sampled, batch_size=size)
 
+    def _split_degraded(
+        self, group: list[_Pending], route: str | None
+    ) -> list[_Pending]:
+        """The members to downgrade to the sampling route: deadline'd
+        requests whose exact route's latency EWMA predicts a miss, when
+        a deadline-derived budget is still affordable.  Members without
+        a deadline, routes with no observations yet, and requests
+        already bound for sampling are never degraded — prediction from
+        nothing would be guessing."""
+        if not self.degrade_to_sampling:
+            return []
+        degraded = []
+        for pending in group:
+            if pending.deadline is None:
+                continue
+            exact_route = route
+            if exact_route is None:
+                if len(pending.request.tid) > self.brute_force_limit:
+                    continue  # already the sampling route
+                exact_route = "brute_force"
+            ewma = self._route_ewma[exact_route]
+            remaining_ms = pending.deadline.remaining_ms()
+            if ewma.samples == 0 or ewma.value() <= remaining_ms:
+                continue
+            base = pending.request.budget or self.default_budget
+            rate = (
+                self._sampling_rate.value()
+                if self._sampling_rate.samples > 0
+                else 0.0
+            )
+            override = degraded_budget(base, remaining_ms, rate)
+            if override is not None:
+                pending.budget_override = override
+                degraded.append(pending)
+        return degraded
+
     def _sample_group(
-        self, query, group: list[_Pending], batch_size: int
+        self,
+        query,
+        group: list[_Pending],
+        batch_size: int,
+        degraded: bool = False,
     ) -> None:
         """The large-hard-query route: one vectorized budget-adaptive
         sampling sweep per distinct ``(budget, probability map)`` in the
@@ -291,16 +692,41 @@ class Shard:
         also agree would draw byte-identical sample paths, so they share
         one sweep outright — the sampling analogue of the microbatched
         tape sweep.  Estimates are deterministic per budget seed, so the
-        sharing is invisible in the responses.
+        sharing is invisible in the responses.  Degraded members arrive
+        here with their deadline-derived ``budget_override`` (quantized,
+        so near-identical deadlines share sweeps too).
+
+        A shared sweep runs under the *latest* member deadline — it is
+        abandoned (all members resolved late, typed) only once nobody
+        could use the result; the wave loop checks only between waves,
+        so a sweep that completes delivers to everyone, bit-identical to
+        an unhurried run.
         """
         subgroups: OrderedDict[tuple, list[_Pending]] = OrderedDict()
         for pending in group:
-            budget = pending.request.budget or self.default_budget
+            budget = (
+                pending.budget_override
+                or pending.request.budget
+                or self.default_budget
+            )
             key = (budget, pending.request.tid.probability_fingerprint())
             subgroups.setdefault(key, []).append(pending)
         for (budget, _), pendings in subgroups.items():
+            wave_deadline = None
+            if all(pending.deadline is not None for pending in pendings):
+                wave_deadline = Deadline.latest(
+                    [pending.deadline for pending in pendings]
+                )
+            started = time.perf_counter()
             plan = sampling_plan(query, pendings[0].request.tid)
-            estimate = plan.run(budget)
+            try:
+                estimate = plan.run(budget, deadline=wave_deadline)
+            except DeadlineExceeded as error:
+                for pending in pendings:
+                    self._resolve_deadline(pending, error)
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            self._observe_route("sampling", elapsed_ms)
             with self._lock:
                 self._sampled_requests += len(pendings)
                 self._sampling_sweeps += 1
@@ -309,6 +735,12 @@ class Shard:
                 self._sampling_max_half_width = max(
                     self._sampling_max_half_width, estimate.half_width
                 )
+                if degraded:
+                    self._degraded += len(pendings)
+                if estimate.samples and elapsed_ms > 0:
+                    self._sampling_rate.observe(
+                        estimate.samples / elapsed_ms
+                    )
             for pending in pendings:
                 # The unbiased Karp-Luby estimate W * fraction can land
                 # outside [0, 1] when the union-bound weight W exceeds 1;
@@ -323,6 +755,7 @@ class Shard:
                     half_width=estimate.half_width,
                     samples=estimate.samples,
                     waves=estimate.waves,
+                    degraded=degraded,
                 )
 
     def _finish(
@@ -336,11 +769,14 @@ class Shard:
         half_width: float = 0.0,
         samples: int = 0,
         waves: int = 0,
+        degraded: bool = False,
     ) -> None:
         latency_ms = (time.perf_counter() - pending.enqueued) * 1e3
         self._latencies.record(latency_ms)
         with self._lock:
             self._engines[engine] += 1
+        if self._breaker is not None:
+            self._breaker.record_success()
         pending.future.set_result(
             QueryResponse(
                 probability,
@@ -352,6 +788,7 @@ class Shard:
                 samples=samples,
                 waves=waves,
                 latency_ms=latency_ms,
+                degraded=degraded,
             )
         )
 
@@ -364,6 +801,16 @@ class Shard:
         plans = self.plan_cache.stats()
         p50 = self._latencies.percentile(0.50)
         p95 = self._latencies.percentile(0.95)
+        route_ewma_ms = {
+            route: ewma.value()
+            for route, ewma in self._route_ewma.items()
+        }
+        breaker_state = (
+            self._breaker.state if self._breaker is not None else "closed"
+        )
+        breaker_trips = (
+            self._breaker.trips if self._breaker is not None else 0
+        )
         with self._lock:
             return ShardStats(
                 shard=self.shard_id,
@@ -386,6 +833,19 @@ class Shard:
                 compile_ms=self._compile_ms,
                 p50_ms=p50,
                 p95_ms=p95,
+                resilience=ResilienceStats(
+                    shed=self._shed,
+                    deadline_exceeded=self._deadline_exceeded,
+                    degraded=self._degraded,
+                    retries=self._retries,
+                    failures=self._failures,
+                    breaker_state=breaker_state,
+                    breaker_rejected=self._breaker_rejected,
+                    breaker_trips=breaker_trips,
+                    injected_errors=self._injected_errors,
+                    injected_latency_events=self._injected_latency,
+                ),
+                route_ewma_ms=route_ewma_ms,
             )
 
     def latency_snapshot(self) -> list[float]:

@@ -87,6 +87,50 @@ class SamplingStats:
         )
 
 
+#: Breaker-state severity order for cross-shard aggregation: a service
+#: snapshot reports the *worst* shard breaker.
+_BREAKER_SEVERITY = {"closed": 0, "half_open": 1, "open": 2}
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """The resilience layer's counters for one shard (or merged across
+    the service): shed and deadline-failed requests, degraded answers,
+    retries and terminal worker failures, circuit-breaker state and
+    activity, and the faults the optional injector actually fired."""
+
+    shed: int = 0
+    deadline_exceeded: int = 0
+    degraded: int = 0
+    retries: int = 0
+    failures: int = 0
+    breaker_state: str = "closed"
+    breaker_rejected: int = 0
+    breaker_trips: int = 0
+    injected_errors: int = 0
+    injected_latency_events: int = 0
+
+    def merged(self, other: "ResilienceStats") -> "ResilienceStats":
+        """Aggregate two snapshots (sums; worst breaker state)."""
+        worst = max(
+            self.breaker_state,
+            other.breaker_state,
+            key=lambda state: _BREAKER_SEVERITY.get(state, 0),
+        )
+        return ResilienceStats(
+            self.shed + other.shed,
+            self.deadline_exceeded + other.deadline_exceeded,
+            self.degraded + other.degraded,
+            self.retries + other.retries,
+            self.failures + other.failures,
+            worst,
+            self.breaker_rejected + other.breaker_rejected,
+            self.breaker_trips + other.breaker_trips,
+            self.injected_errors + other.injected_errors,
+            self.injected_latency_events + other.injected_latency_events,
+        )
+
+
 @dataclass(frozen=True)
 class ShardStats:
     """One shard's snapshot (all counters since construction, latencies
@@ -106,6 +150,12 @@ class ShardStats:
     compile_ms: float  #: total wall-clock spent compiling on this shard
     p50_ms: float
     p95_ms: float
+    #: this shard's resilience counters (shed / deadlines / degradation /
+    #: breaker); defaulted so hand-built snapshots stay cheap
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    #: per-route EWMA latency predictions (ms), keyed by route label —
+    #: what the shed and degradation policies consult
+    route_ewma_ms: dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -142,6 +192,15 @@ class ServiceStats:
         merged = SamplingStats()
         for shard in self.shards:
             merged = merged.merged(shard.sampling)
+        return merged
+
+    @property
+    def resilience(self) -> ResilienceStats:
+        """Service-wide resilience counters (per-shard snapshots merged:
+        sums, worst breaker state)."""
+        merged = ResilienceStats()
+        for shard in self.shards:
+            merged = merged.merged(shard.resilience)
         return merged
 
     @property
