@@ -21,6 +21,14 @@ from pathlib import Path
 
 DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_evaluation.json"
 
+#: Flags that must be *present* (a silently dropped exactness claim is
+#: as bad as a false one): the thread/process backend identity and the
+#: deterministic-degradation identity, by dotted path.
+REQUIRED_FLAGS = (
+    "serving.backends_identical",
+    "resilience.degraded_identical",
+)
+
 
 def is_exactness_flag(key: str) -> bool:
     return key.endswith("_identical") or key.startswith("bit_identical")
@@ -56,9 +64,19 @@ def main(argv=None) -> int:
         )
         return 1
     failed = [(flag, value) for flag, value in flags if value is not True]
+    present = {flag for flag, _ in flags}
+    missing = [flag for flag in REQUIRED_FLAGS if flag not in present]
     for flag, value in sorted(flags):
         marker = "ok " if value is True else "FAIL"
         print(f"  [{marker}] {flag} = {value}")
+    for flag in missing:
+        print(f"  [MISS] {flag} (required, not recorded)")
+    if missing:
+        print(
+            f"exactness gate: {len(missing)} required flags missing",
+            file=sys.stderr,
+        )
+        return 1
     if failed:
         print(
             f"exactness gate: {len(failed)} of {len(flags)} flags not true",

@@ -599,7 +599,18 @@ def bench_serving(
     Both must agree bit-for-float with ``evaluate_batch``; throughput is
     warm requests per second, and per-shard stats document the cache hit
     rates and p50/p95 the service saw.
+
+    The same two workloads then run on ``backend="processes"`` —
+    ``backends_identical`` asserts every process-backend float equals
+    its thread-backend counterpart (the exactness gate for the worker
+    tier) — and a scaling sweep runs the spread workload over 1/2/4
+    worker processes, recording ``rps_per_core``.  The curve is honest
+    about the machine: ``cores_available`` is recorded next to it, and
+    on a single-core runner the per-worker rps simply documents the
+    overhead of the process boundary rather than a speedup.
     """
+    import os
+
     from repro.pqe.engine import CompilationCache, evaluate_batch
     from repro.serving import ShardedService
 
@@ -647,6 +658,55 @@ def bench_serving(
 
     stats = service.stats()
     service.close()
+
+    # -- process backend: identity, then per-core scaling --------------
+    process_service = ShardedService(
+        shards=shards, workers_per_shard=workers, backend="processes"
+    )
+    try:
+        process_cold = process_service.submit_batch(query, requests)
+        start = time.perf_counter()
+        process_warm = process_service.submit_batch(query, requests)
+        process_warm_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        process_hot = process_service.submit_batch(query, hot)
+        process_hot_seconds = time.perf_counter() - start
+    finally:
+        process_service.stop(wait=True)
+    backends_identical = (
+        [r.probability for r in process_cold]
+        == [r.probability for r in cold_wave]
+        and [r.probability for r in process_warm]
+        == [r.probability for r in warm_wave]
+        and [r.probability for r in process_hot]
+        == [r.probability for r in hot_wave]
+    )
+
+    scaling = []
+    for worker_count in (1, 2, 4):
+        scaled = ShardedService(
+            shards=worker_count,
+            workers_per_shard=workers,
+            backend="processes",
+        )
+        try:
+            scaled.submit_batch(query, requests)  # warm every worker
+            start = time.perf_counter()
+            wave = scaled.submit_batch(query, requests)
+            seconds = time.perf_counter() - start
+        finally:
+            scaled.stop(wait=True)
+        backends_identical = backends_identical and (
+            [r.probability for r in wave] == reference_warm.probabilities
+        )
+        scaling.append(
+            {
+                "worker_processes": worker_count,
+                "warm_throughput_rps": len(requests) / seconds,
+                "rps_per_core": len(requests) / seconds / worker_count,
+            }
+        )
+
     return {
         "shards": shards,
         "workers_per_shard": workers,
@@ -661,6 +721,13 @@ def bench_serving(
         "hot_wave_ms": hot_seconds * 1e3,
         "hot_throughput_rps": hot_requests / hot_seconds,
         "bit_identical_with_evaluate_batch": identical,
+        "process_warm_throughput_rps": (
+            len(requests) / process_warm_seconds
+        ),
+        "process_hot_throughput_rps": hot_requests / process_hot_seconds,
+        "backends_identical": backends_identical,
+        "cores_available": os.cpu_count(),
+        "worker_scaling": scaling,
         "p50_ms": stats.p50_ms,
         "p95_ms": stats.p95_ms,
         "compile_ms": stats.compile_ms,

@@ -229,6 +229,89 @@ class HColumns:
             ]
 
 
+@dataclass(frozen=True)
+class ProbabilityColumns:
+    """The *transportable* columnar encoding of a TID's numeric content:
+    per-tuple numerator/denominator columns aligned with
+    ``instance.tuple_ids()`` order.
+
+    This is the payload the multiprocess serving backend publishes
+    through ``multiprocessing.shared_memory`` — two int64 arrays are
+    enough to rebuild every :class:`~fractions.Fraction` exactly on the
+    far side, and the ``tuple_ids()`` order is content-determined, so
+    both sides agree on the alignment without shipping the tuples
+    themselves.  Entries whose numerator or denominator does not fit an
+    int64 word are carried in ``overflow`` as ``(slot, numerator,
+    denominator)`` triples (arbitrary-precision ints, pickled alongside
+    the segment) and hold the sentinel ``0/0`` in the arrays.
+    """
+
+    numerators: tuple[int, ...]
+    denominators: tuple[int, ...]
+    overflow: tuple[tuple[int, int, int], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.numerators)
+
+    def fractions(self) -> list[Fraction]:
+        """The per-tuple probabilities, ``tuple_ids()`` order."""
+        probabilities = [
+            Fraction(num, den) if den else None
+            for num, den in zip(self.numerators, self.denominators)
+        ]
+        for slot, num, den in self.overflow:
+            probabilities[slot] = Fraction(num, den)
+        return probabilities
+
+
+#: int64 payload bound for the shared-memory probability columns.
+_WORD_BOUND = 1 << 63
+
+
+def probability_columns(tid: TupleIndependentDatabase) -> ProbabilityColumns:
+    """The (memoized) transportable columns of ``tid`` — keyed, like the
+    :func:`h_columns` fill, by ``(instance versions, probability
+    version)``, so the encode cost is paid once per numeric content."""
+    key = (tid.instance._versions(), tid.probability_version)
+    cached = getattr(tid, "_probability_columns", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    numerators: list[int] = []
+    denominators: list[int] = []
+    overflow: list[tuple[int, int, int]] = []
+    for slot, tuple_id in enumerate(tid.instance.tuple_ids()):
+        p = tid.probability_of(tuple_id)
+        num, den = p.numerator, p.denominator
+        if num < _WORD_BOUND and den < _WORD_BOUND:
+            numerators.append(num)
+            denominators.append(den)
+        else:
+            numerators.append(0)
+            denominators.append(0)
+            overflow.append((slot, num, den))
+    columns = ProbabilityColumns(
+        tuple(numerators), tuple(denominators), tuple(overflow)
+    )
+    tid._probability_columns = (key, columns)
+    return columns
+
+
+def apply_probability_columns(
+    tid: TupleIndependentDatabase, columns: ProbabilityColumns
+) -> None:
+    """Rehydrate ``columns`` onto ``tid`` (same instance content on the
+    receiving side — the alignment contract is ``tuple_ids()`` order)."""
+    tuple_ids = tid.instance.tuple_ids()
+    if len(tuple_ids) != len(columns):
+        raise ValueError(
+            f"probability columns carry {len(columns)} entries for an "
+            f"instance with {len(tuple_ids)} tuples — instance content "
+            f"mismatch across the process boundary"
+        )
+    for tuple_id, probability in zip(tuple_ids, columns.fractions()):
+        tid.set_probability(tuple_id, probability)
+
+
 def h_columns(tid: TupleIndependentDatabase, k: int) -> HColumns:
     """The (memoized) columnar view of ``tid`` for the ``h_{k,i}`` schema.
 

@@ -26,6 +26,7 @@ Sampling lives here too, in two forms:
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import random
 from collections.abc import Hashable, Iterator, Mapping, Sequence
@@ -127,6 +128,30 @@ class TupleIndependentDatabase:
         )
         self._prob_fingerprint = (versions, fingerprint)
         return fingerprint
+
+    def probability_digest(self) -> int:
+        """A process-stable 64-bit blake2b digest of
+        :meth:`probability_fingerprint`.
+
+        Where the fingerprint is the full per-tuple numeric content,
+        the digest is its compact *address*: the serving layer dedups
+        fused microbatch twins on it, and the multiprocess backend uses
+        ``(Instance.shard_key(), probability_digest())`` as the
+        content-addressed key under which a probability column is
+        published to worker processes — stable across processes (unlike
+        ``hash()`` under ``PYTHONHASHSEED``) and across the fork
+        boundary.  Memoized with the fingerprint.
+        """
+        versions = (self._prob_version, self.instance.content_fingerprint())
+        cached = getattr(self, "_prob_digest", None)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        payload = repr(self.probability_fingerprint()).encode()
+        digest = int.from_bytes(
+            hashlib.blake2b(payload, digest_size=8).digest(), "big"
+        )
+        self._prob_digest = (versions, digest)
+        return digest
 
     def world_probability(self, present: frozenset[TupleId]) -> Fraction:
         """``Pr(D')`` of Section 2: the product over kept and dropped

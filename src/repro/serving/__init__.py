@@ -17,6 +17,14 @@ breakers, deterministic retry backoff, graceful degradation of
 deadline-pressed exact routes to deadline-derived sampling budgets
 (``degraded=True`` responses with honest error bars), and seeded,
 replayable fault injection for chaos testing.
+
+Backends: ``ShardedService(backend="threads")`` (default) serves from
+in-process thread pools; ``backend="processes"`` gives every shard a
+dedicated worker process fed through shared-memory probability columns
+(:mod:`repro.serving.worker`, :mod:`repro.serving.shm`) — same
+interface, bit-for-float identical answers, one core per shard.  The
+asyncio JSON-lines gateway (:mod:`repro.serving.gateway`) fronts either
+backend with per-tenant quotas and backpressure.
 """
 
 from repro.serving.api import (
@@ -25,6 +33,12 @@ from repro.serving.api import (
     QueryResponse,
 )
 from repro.serving.faults import FaultInjector, TransientFaultError
+from repro.serving.gateway import (
+    Gateway,
+    GatewayOverloaded,
+    GatewayServer,
+    TenantQuotaExceeded,
+)
 from repro.serving.resilience import (
     CircuitBreaker,
     CircuitBreakerOpen,
@@ -38,6 +52,8 @@ from repro.serving.resilience import (
 )
 from repro.serving.service import ShardedService
 from repro.serving.shard import Shard
+from repro.serving.shm import SegmentRegistry
+from repro.serving.worker import ProcessShard
 from repro.serving.stats import (
     LatencyWindow,
     ResilienceStats,
@@ -54,16 +70,22 @@ __all__ = [
     "Deadline",
     "DeadlineExceeded",
     "FaultInjector",
+    "Gateway",
+    "GatewayOverloaded",
+    "GatewayServer",
     "LatencyEwma",
     "LatencyWindow",
+    "ProcessShard",
     "QueryRequest",
     "QueryResponse",
     "ResilienceStats",
     "RetryPolicy",
     "SamplingStats",
+    "SegmentRegistry",
     "ServiceStats",
     "ServiceStopped",
     "Shard",
+    "TenantQuotaExceeded",
     "ShardOverloaded",
     "ShardStats",
     "ShardedService",

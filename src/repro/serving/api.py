@@ -15,7 +15,7 @@ the serving surface.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.db.tid import TupleIndependentDatabase
 from repro.pqe.approximate import AccuracyBudget, Z_95  # noqa: F401
@@ -95,3 +95,12 @@ class QueryResponse:
     waves: int = 0
     latency_ms: float = 0.0
     degraded: bool = False
+
+    def to_payload(self) -> dict:
+        """This response as a JSON-able dict (the gateway's wire form)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QueryResponse":
+        """Rebuild a response serialized by :meth:`to_payload`."""
+        return cls(**payload)

@@ -1,0 +1,385 @@
+"""The asyncio gateway: JSON lines over TCP in front of a ShardedService.
+
+Pure stdlib (``asyncio.start_server``): clients speak newline-delimited
+JSON objects and get one JSON object back per request, correlated by the
+caller-chosen ``id``.  The gateway is a thin *policy* front — it parses,
+enforces per-tenant quotas and gateway-wide backpressure, and routes into
+the :class:`~repro.serving.service.ShardedService` behind it (either
+backend); every deeper policy — deadlines, priorities, shedding,
+breakers, retries, degradation — is PR 6's resilience layer inside the
+shards, reused rather than reinvented here.  A rejected or failed
+request is answered with the *typed* error name on the wire
+(``DeadlineExceeded``, ``ShardOverloaded``, ``CircuitBreakerOpen``,
+``TenantQuotaExceeded``, ...), mirroring the future-based API.
+
+Protocol (one JSON object per line; ``id`` is echoed back)::
+
+    {"op": "ping", "id": 0}
+    {"op": "register", "id": 1, "instance": "orders",
+     "facts": [["R", [1], [1, 2]], ["S1", [1, 2]], ["T", [2], [2, 3]]]}
+    {"op": "query", "id": 2, "instance": "orders",
+     "query": {"k": 1, "nvars": 2, "table": 8},
+     "budget": {"epsilon": 0.05, "seed": 7},     # optional
+     "deadline_ms": 50.0, "priority": 1,          # optional
+     "tenant": "acme"}                            # optional
+    {"op": "stats", "id": 3}
+
+Replies are ``{"id": ..., "ok": true, ...}`` or ``{"id": ..., "ok":
+false, "error": "<TypeName>", "message": "..."}``.  A ``register`` fact
+is ``[relation, values]`` or ``[relation, values, [numerator,
+denominator]]`` — probabilities are exact rationals on the wire (never
+floats), defaulting to 1.  Queries travel as their complete content,
+``(k, nvars, truth table)``, the same envelope the process backend uses
+across its pipe.
+
+Quotas and backpressure: ``max_inflight`` bounds the requests the
+gateway will hold open across all connections, and ``tenant_quotas``
+(falling back to ``default_tenant_quota``) bounds each tenant's; both
+reject *immediately* with a typed error, like shard admission control —
+a caller under quota pressure learns now, not after a queue delay.
+
+``Gateway`` is the asyncio object (``await start()`` / ``await
+stop()``); :class:`GatewayServer` wraps it in a background thread with
+its own event loop for synchronous callers and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from fractions import Fraction
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.relation import Instance
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.approximate import AccuracyBudget
+from repro.queries.hqueries import HQuery
+from repro.serving.service import ShardedService
+
+#: register/query lines may carry whole instances; the default 64 KiB
+#: readline limit is too small for that.
+_LINE_LIMIT = 1 << 22
+
+
+class GatewayOverloaded(RuntimeError):
+    """The gateway-wide in-flight bound is exhausted."""
+
+
+class TenantQuotaExceeded(RuntimeError):
+    """The requesting tenant's in-flight quota is exhausted."""
+
+
+def _decode_values(values) -> tuple:
+    """JSON arrays arrive as lists; facts are hashable tuples."""
+    return tuple(
+        _decode_values(value) if isinstance(value, list) else value
+        for value in values
+    )
+
+
+def _decode_budget(payload: dict) -> AccuracyBudget:
+    allowed = {
+        "epsilon",
+        "min_samples",
+        "max_samples",
+        "seed",
+        "adaptive",
+        "interval",
+        "delta",
+    }
+    unknown = set(payload) - allowed
+    if unknown:
+        raise ValueError(f"unknown budget fields: {sorted(unknown)}")
+    return AccuracyBudget(**payload)
+
+
+def _decode_query(payload: dict) -> HQuery:
+    return HQuery(
+        payload["k"],
+        BooleanFunction(payload["nvars"], payload["table"]),
+    )
+
+
+class Gateway:
+    """One asyncio JSON-lines gateway over a :class:`ShardedService`."""
+
+    def __init__(
+        self,
+        service: ShardedService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 1024,
+        default_tenant_quota: int = 64,
+        tenant_quotas: dict[str, int] | None = None,
+    ):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        if default_tenant_quota < 1:
+            raise ValueError(
+                f"default_tenant_quota must be positive, "
+                f"got {default_tenant_quota}"
+            )
+        self.service = service
+        self._host = host
+        self._port = port
+        self.max_inflight = max_inflight
+        self.default_tenant_quota = default_tenant_quota
+        self.tenant_quotas = dict(tenant_quotas or {})
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._tids: dict[str, TupleIndependentDatabase] = {}
+        self._inflight = 0
+        self._tenant_inflight: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`; 0 requests an ephemeral
+        one)."""
+        if self._server is None:
+            return self._port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=_LINE_LIMIT,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Open connections outlive the listener: cancel their handler
+        # tasks so a stopped gateway leaves no task pending on the loop.
+        connections = list(self._connections)
+        for task in connections:
+            task.cancel()
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # pragma: no cover - oversized line
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self._serve_line(line)
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-reply; nothing to clean up
+        except asyncio.CancelledError:
+            # Gateway stopping: end this handler *cleanly* rather than
+            # propagating — 3.11's stream protocol calls
+            # ``task.exception()`` on the done handler task, which would
+            # re-raise the cancellation into the event loop's logger.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _serve_line(self, line: bytes) -> dict:
+        message_id = None
+        try:
+            message = json.loads(line)
+            if not isinstance(message, dict):
+                raise ValueError("each line must be a JSON object")
+            message_id = message.get("id")
+            op = message.get("op")
+            if op == "ping":
+                return {"id": message_id, "ok": True, "pong": True}
+            if op == "register":
+                return await self._serve_register(message)
+            if op == "query":
+                return await self._serve_query(message)
+            if op == "stats":
+                return await self._serve_stats(message)
+            raise ValueError(f"unknown op {op!r}")
+        except BaseException as error:  # noqa: BLE001 - typed on the wire
+            return {
+                "id": message_id,
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+
+    async def _serve_register(self, message: dict) -> dict:
+        name = message["instance"]
+        if not isinstance(name, str) or not name:
+            raise ValueError("instance must be a non-empty string name")
+        instance = Instance()
+        for relation_name, arity in message.get("relations", []):
+            instance.declare(relation_name, arity)
+        tid = TupleIndependentDatabase(instance)
+        for fact in message["facts"]:
+            if len(fact) == 2:
+                (relation_name, values), probability = fact, None
+            else:
+                relation_name, values, probability = fact
+            tuple_id = instance.add(relation_name, _decode_values(values))
+            if probability is not None:
+                numerator, denominator = probability
+                tid.set_probability(
+                    tuple_id, Fraction(numerator, denominator)
+                )
+        shard = self.service.register(tid)
+        self._tids[name] = tid
+        return {
+            "id": message["id"],
+            "ok": True,
+            "instance": name,
+            "shard": shard,
+            "tuples": len(tid),
+        }
+
+    async def _serve_query(self, message: dict) -> dict:
+        name = message["instance"]
+        tid = self._tids.get(name)
+        if tid is None:
+            raise KeyError(f"unknown instance {name!r} (register it first)")
+        query = _decode_query(message["query"])
+        budget = (
+            _decode_budget(message["budget"])
+            if message.get("budget") is not None
+            else None
+        )
+        tenant = message.get("tenant", "")
+        quota = self.tenant_quotas.get(tenant, self.default_tenant_quota)
+        if self._inflight >= self.max_inflight:
+            raise GatewayOverloaded(
+                f"gateway at max_inflight={self.max_inflight}"
+            )
+        if self._tenant_inflight.get(tenant, 0) >= quota:
+            raise TenantQuotaExceeded(
+                f"tenant {tenant!r} at quota {quota}"
+            )
+        self._inflight += 1
+        self._tenant_inflight[tenant] = (
+            self._tenant_inflight.get(tenant, 0) + 1
+        )
+        try:
+            future = self.service.submit(
+                query,
+                tid,
+                budget,
+                deadline_ms=message.get("deadline_ms"),
+                priority=message.get("priority", 0),
+            )
+            response = await asyncio.wrap_future(future)
+        finally:
+            self._inflight -= 1
+            remaining = self._tenant_inflight.get(tenant, 1) - 1
+            if remaining:
+                self._tenant_inflight[tenant] = remaining
+            else:
+                self._tenant_inflight.pop(tenant, None)
+        return {
+            "id": message["id"],
+            "ok": True,
+            "response": response.to_payload(),
+        }
+
+    async def _serve_stats(self, message: dict) -> dict:
+        stats = self.service.stats()
+        return {
+            "id": message["id"],
+            "ok": True,
+            "stats": stats.to_payload(),
+        }
+
+
+class GatewayServer:
+    """A :class:`Gateway` on a background thread with its own event loop
+    — the synchronous wrapper for tests, benches and scripts.
+
+    >>> from repro.serving import ShardedService
+    >>> service = ShardedService(shards=1)
+    >>> server = GatewayServer(service)
+    >>> server.start()           # doctest: +SKIP
+    >>> server.port              # doctest: +SKIP
+    54321
+    >>> server.stop()            # doctest: +SKIP
+    """
+
+    def __init__(self, service: ShardedService, **gateway_kwargs):
+        self.gateway = Gateway(service, **gateway_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.gateway.port
+
+    def start(self, timeout: float = 10.0) -> "GatewayServer":
+        if self._thread is not None:
+            raise RuntimeError("gateway server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="pqe-gateway", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):  # pragma: no cover - startup
+            raise RuntimeError("gateway server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.gateway.start())
+            self._started.set()
+            loop.run_forever()
+            loop.run_until_complete(self.gateway.stop())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

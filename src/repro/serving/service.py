@@ -21,6 +21,7 @@ sweep.  The routing decision table lives in ``docs/serving.md``.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import Future
 
 from repro.db.relation import Instance
@@ -47,8 +48,17 @@ class ShardedService:
     'extensional'
 
     The service is a context manager; :meth:`close` drains the worker
-    pools.  All shard state is in-process — this layer is the process
-    model later PRs build async I/O and multi-process backends on.
+    pools.
+
+    ``backend`` selects the process model: ``"threads"`` (the default)
+    keeps every shard in-process on a thread pool; ``"processes"`` gives
+    every shard a dedicated worker process
+    (:class:`~repro.serving.worker.ProcessShard`) fed through
+    shared-memory probability columns — same interface, same floats, one
+    core per shard instead of one GIL for all.  Leaving ``backend=None``
+    reads the ``REPRO_SERVING_BACKEND`` environment variable (used by CI
+    to run the whole serving suite against both backends), falling back
+    to ``"threads"``.
     """
 
     def __init__(
@@ -66,14 +76,28 @@ class ShardedService:
         degrade_to_sampling: bool = True,
         breaker_failure_threshold: int = 5,
         breaker_reset_after_ms: float = 1000.0,
+        backend: str | None = None,
     ):
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
+        if backend is None:
+            backend = os.environ.get("REPRO_SERVING_BACKEND") or "threads"
+        if backend not in ("threads", "processes"):
+            raise ValueError(
+                f"backend must be 'threads' or 'processes', got {backend!r}"
+            )
+        self.backend = backend
+        if backend == "processes":
+            from repro.serving.worker import ProcessShard
+
+            shard_type = ProcessShard
+        else:
+            shard_type = Shard
         budget = (
             default_budget if default_budget is not None else AccuracyBudget()
         )
         self._shards = [
-            Shard(
+            shard_type(
                 index,
                 workers=workers_per_shard,
                 cache_limit=cache_limit_per_shard,

@@ -32,6 +32,15 @@ probability map)`` in the group, sharing the microbatch's cached
 lineage structure — deterministic per budget seed, so sharing is
 invisible in the responses.
 
+Fused groups additionally dedup *identical work*: members of one group
+share instance content by construction, so members whose probability
+maps also agree (equal
+:meth:`~repro.db.tid.TupleIndependentDatabase.probability_digest`) are
+served by **one** evaluation whose float is fanned out to every twin —
+a hot same-instance wave costs one sweep, not one per request.  Because
+the shared float is exactly the float each twin would have computed
+alone, fan-out is invisible in the responses.
+
 Resilience: requests may carry a deadline and a priority.  Admission
 control bounds the queue and sheds the newest lowest-priority request
 when the queue (or the per-shard circuit breaker) cannot absorb more;
@@ -45,6 +54,17 @@ fails alone; transient faults additionally get a deterministic
 jittered-backoff retry.  Every rejection is a *typed* error set on the
 future — a submitted request always resolves.  The full degradation
 ladder and the policies live in ``docs/serving.md``.
+
+Backends: this class is the **policy front end** shared by both serving
+backends.  Everything above — queueing, microbatch fusion, admission,
+deadlines, degradation, retries, breaker, fault injection, stats — runs
+here, in the submitting process, for *both* backends; only the route
+*computations* are behind the four ``_execute_*`` hooks.  The thread
+backend (this class) runs them in-process on the shard's worker pool;
+the process backend (:class:`~repro.serving.worker.ProcessShard`)
+overrides them with RPCs to a dedicated worker process.  Identical
+policy code plus content-determined compute is what makes the two
+backends bit-for-float identical and fault-replay equivalent.
 """
 
 from __future__ import annotations
@@ -495,6 +515,92 @@ class Shard:
                 f"{doomed[0].attempt})"
             )
 
+    # ------------------------------------------------------------------
+    # Route compute — the backend boundary
+    # ------------------------------------------------------------------
+    #
+    # Everything below `_process` is policy; the four `_execute_*` hooks
+    # (plus `_ensure_compiled`) are the only places a probability is
+    # actually computed.  The process backend overrides exactly these
+    # with RPCs into its worker process; the policy code above and in
+    # `_process` never notices which backend it is running on.
+
+    @staticmethod
+    def _representatives(
+        group: list[_Pending],
+    ) -> tuple[list[_Pending], list[int]]:
+        """Collapse a fused group onto one representative per distinct
+        probability map (equal ``probability_digest``), returning the
+        representatives in first-occurrence order plus each member's
+        representative slot.  Members of a group share instance content
+        by construction, so an equal digest means an equal map — the
+        representative's float *is* the twin's float."""
+        reps: list[_Pending] = []
+        slots: dict[int, int] = {}
+        positions: list[int] = []
+        for pending in group:
+            digest = pending.request.tid.probability_digest()
+            slot = slots.get(digest)
+            if slot is None:
+                slot = len(reps)
+                slots[digest] = slot
+                reps.append(pending)
+            positions.append(slot)
+        return reps, positions
+
+    def _execute_extensional(
+        self, query, group: list[_Pending]
+    ) -> tuple[list[float], bool]:
+        """Serve an extensional group: one lifted columnar sweep per
+        distinct probability map, fanned out.  Returns the per-member
+        floats (group order) and whether the plan was cached."""
+        plan, hit = self.plan_cache.get_or_build(query)
+        reps, positions = self._representatives(group)
+        rep_probabilities = extensional_probability_batch(
+            query,
+            [pending.request.tid for pending in reps],
+            plan=plan,
+        )
+        return [rep_probabilities[slot] for slot in positions], hit
+
+    def _ensure_compiled(self, query, head: _Pending):
+        """Compile (or probe) the group's circuit ahead of the
+        post-compilation deadline check.  Returns ``(token, hit,
+        compile_ms)``; the token is backend-opaque and handed back to
+        :meth:`_execute_intensional`."""
+        compiled, hit = self.cache.get_or_compile(
+            query, head.request.tid.instance, head.key[1]
+        )
+        return compiled, hit, (0.0 if hit else compiled.compile_ms)
+
+    def _execute_intensional(
+        self, query, group: list[_Pending], token
+    ) -> list[float]:
+        """Serve a compiled group: one tape sweep per distinct
+        probability map, fanned out to every member (group order)."""
+        tape = token.tape
+        reps, positions = self._representatives(group)
+        rep_probabilities = tape.evaluate_vectors(
+            [
+                tape.probability_vector(
+                    pending.request.tid.probability_map()
+                )
+                for pending in reps
+            ]
+        )
+        return [rep_probabilities[slot] for slot in positions]
+
+    def _execute_brute(self, query, tid) -> float:
+        """Serve one small hard request by world enumeration."""
+        return float(probability_by_world_enumeration(query, tid))
+
+    def _execute_sampling(self, query, tid, budget, wave_deadline):
+        """Run one budget-adaptive sampling sweep; returns
+        ``(estimate, engine_label)`` or raises
+        :class:`~repro.core.deadline.DeadlineExceeded`."""
+        plan = sampling_plan(query, tid)
+        return plan.run(budget, deadline=wave_deadline), plan.engine
+
     def _observe_route(self, route: str, elapsed_ms: float) -> None:
         self._route_ewma[route].observe(elapsed_ms)
         self._service_ewma.observe(elapsed_ms)
@@ -547,16 +653,11 @@ class Shard:
             # Safe monotone queries: lifted inference over the columnar
             # view — no lineage, no compilation.  The plan is per-query
             # state from this shard's plan cache; the whole microbatch
-            # shares it, and each request's probability map is swept
-            # independently, so the answers are bit-for-float identical
-            # to direct per-request evaluation.
+            # shares it, and each distinct probability map is swept
+            # once, so the answers are bit-for-float identical to
+            # direct per-request evaluation.
             started = time.perf_counter()
-            plan, hit = self.plan_cache.get_or_build(query)
-            probabilities = extensional_probability_batch(
-                query,
-                [pending.request.tid for pending in group],
-                plan=plan,
-            )
+            probabilities, hit = self._execute_extensional(query, group)
             self._observe_route(
                 "extensional", (time.perf_counter() - started) * 1e3
             )
@@ -570,27 +671,19 @@ class Shard:
                 )
         elif route == "intensional":
             started = time.perf_counter()
-            compiled, hit = self.cache.get_or_compile(
-                query, group[0].request.tid.instance, group[0].key[1]
+            token, hit, compile_ms = self._ensure_compiled(
+                query, group[0]
             )
-            if not hit:
+            if compile_ms:
                 with self._lock:
-                    self._compile_ms += compiled.compile_ms
+                    self._compile_ms += compile_ms
             # Compilation is the expensive prefix of this route: members
             # whose deadline ran out during it are resolved late now
             # rather than swept for nobody.
             group = self._drop_expired(group)
             if not group:
                 return
-            tape = compiled.tape
-            probabilities = tape.evaluate_vectors(
-                [
-                    tape.probability_vector(
-                        pending.request.tid.probability_map()
-                    )
-                    for pending in group
-                ]
-            )
+            probabilities = self._execute_intensional(query, group, token)
             self._observe_route(
                 "intensional", (time.perf_counter() - started) * 1e3
             )
@@ -613,6 +706,7 @@ class Shard:
                 for pending in group
                 if len(pending.request.tid) > self.brute_force_limit
             ]
+            enumerated: dict[int, float] = {}
             for pending in brute:
                 if (
                     pending.deadline is not None
@@ -620,15 +714,18 @@ class Shard:
                 ):
                     self._resolve_deadline(pending)
                     continue
-                started = time.perf_counter()
-                probability = float(
-                    probability_by_world_enumeration(
+                digest = pending.request.tid.probability_digest()
+                probability = enumerated.get(digest)
+                if probability is None:
+                    started = time.perf_counter()
+                    probability = self._execute_brute(
                         query, pending.request.tid
                     )
-                )
-                self._observe_route(
-                    "brute_force", (time.perf_counter() - started) * 1e3
-                )
+                    self._observe_route(
+                        "brute_force",
+                        (time.perf_counter() - started) * 1e3,
+                    )
+                    enumerated[digest] = probability
                 self._finish(
                     pending,
                     probability,
@@ -718,9 +815,10 @@ class Shard:
                     [pending.deadline for pending in pendings]
                 )
             started = time.perf_counter()
-            plan = sampling_plan(query, pendings[0].request.tid)
             try:
-                estimate = plan.run(budget, deadline=wave_deadline)
+                estimate, engine = self._execute_sampling(
+                    query, pendings[0].request.tid, budget, wave_deadline
+                )
             except DeadlineExceeded as error:
                 for pending in pendings:
                     self._resolve_deadline(pending, error)
@@ -750,7 +848,7 @@ class Shard:
                 self._finish(
                     pending,
                     min(1.0, max(0.0, estimate.value)),
-                    plan.engine,
+                    engine,
                     batch_size=batch_size,
                     half_width=estimate.half_width,
                     samples=estimate.samples,

@@ -1,0 +1,233 @@
+"""Shared-memory publication of probability columns.
+
+The multiprocess serving backend never pickles a TID per request:
+the *numeric* content of an instance — the per-tuple
+``(numerator, denominator)`` columns of
+:func:`repro.db.columnar.probability_columns` — is written once into a
+``multiprocessing.shared_memory`` segment and addressed by content:
+the segment key is ``(Instance.shard_key(), probability_digest())``,
+both process-stable blake2b digests, so every request that shares a
+numeric content shares one segment, and a ``probability_version`` bump
+simply publishes a *new* segment under the new digest.
+
+Segment layout (``count`` int64 pairs, little-endian)::
+
+    [ numerators  : count * int64 ]
+    [ denominators: count * int64 ]
+
+aligned with ``instance.tuple_ids()`` order on both sides.  Entries
+whose numerator or denominator exceeds an int64 word hold the ``0/0``
+sentinel and travel in the (tiny, pickled) ``overflow`` list of the
+registry lease instead — exactness is never rounded away by the wire
+format.
+
+Lifecycle (the :class:`SegmentRegistry`, parent side):
+
+* :meth:`~SegmentRegistry.acquire` publishes the segment on first use
+  and *pins* it for the duration of one in-flight RPC; publishing a new
+  digest for a shard key marks that key's older digests **stale**.
+* :meth:`~SegmentRegistry.release` unpins; a stale segment is unlinked
+  the moment its pin count reaches zero — a ``probability_version``
+  bump therefore reclaims the superseded segment as soon as the last
+  request using it resolves, never under a live reader.
+* :meth:`~SegmentRegistry.unlink_all` (``stop()``/``close()``) unlinks
+  everything; a stopped service leaves no ``/dev/shm`` entries behind.
+
+Workers attach, copy the two columns out, and detach immediately
+(:func:`read_columns`) — the attachment is transient, so the parent's
+unlink ordering (pins + the FIFO pipe barrier: a segment is released
+only after the RPC that referenced it replied) is the whole ownership
+story.  The attach side also unregisters from the
+``resource_tracker``: on 3.11 the tracker registers attachments too,
+and a tracked attachment would double-unlink the parent's segment when
+the worker exits.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+from repro.db.columnar import ProbabilityColumns
+
+#: Prefix of every segment name this process publishes (pid-scoped so
+#: concurrent test runs never collide and tests can assert on leaks).
+def segment_prefix() -> str:
+    return f"pqe{os.getpid():x}"
+
+
+_WORD = struct.Struct("<q")
+
+
+@dataclass
+class _Segment:
+    key: tuple[int, int]
+    shm: shared_memory.SharedMemory
+    count: int
+    overflow: tuple[tuple[int, int, int], ...]
+    pins: int = 0
+    stale: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentLease:
+    """What :meth:`SegmentRegistry.acquire` hands out: everything a
+    worker needs to attach (name/count/overflow) plus whether this call
+    published the segment (``fresh`` — the caller then announces it to
+    the worker exactly once)."""
+
+    key: tuple[int, int]
+    name: str
+    count: int
+    overflow: tuple[tuple[int, int, int], ...]
+    fresh: bool
+
+
+class SegmentRegistry:
+    """Parent-side owner of every published probability segment."""
+
+    _instances = 0
+    _instances_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        with SegmentRegistry._instances_lock:
+            uid = SegmentRegistry._instances
+            SegmentRegistry._instances += 1
+        self._prefix = f"{segment_prefix()}r{uid:x}"
+        self._lock = threading.Lock()
+        self._segments: dict[tuple[int, int], _Segment] = {}
+        self._closed = False
+
+    # -- publication ---------------------------------------------------
+
+    def acquire(
+        self, shard_key: int, digest: int, columns: ProbabilityColumns
+    ) -> SegmentLease:
+        """Pin (publishing on first use) the segment for ``columns``
+        under ``(shard_key, digest)``.  Publishing a new digest marks
+        the shard key's other digests stale."""
+        key = (shard_key, digest)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("segment registry is closed")
+            segment = self._segments.get(key)
+            if segment is None:
+                segment = self._publish(key, columns)
+                fresh = True
+                for other_key, other in self._segments.items():
+                    if other_key[0] == shard_key and other_key != key:
+                        other.stale = True
+                self._segments[key] = segment
+                reclaim = [
+                    other
+                    for other in self._segments.values()
+                    if other.stale and other.pins == 0
+                ]
+                for other in reclaim:
+                    del self._segments[other.key]
+            else:
+                fresh = False
+                reclaim = []
+            segment.pins += 1
+        for other in reclaim:
+            _unlink(other.shm)
+        return SegmentLease(
+            key, segment.shm.name, segment.count, segment.overflow, fresh
+        )
+
+    def _publish(
+        self, key: tuple[int, int], columns: ProbabilityColumns
+    ) -> _Segment:
+        count = len(columns)
+        name = f"{self._prefix}-{key[0]:016x}-{key[1]:016x}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, 16 * count)
+        )
+        buffer = shm.buf
+        for slot, (num, den) in enumerate(
+            zip(columns.numerators, columns.denominators)
+        ):
+            _WORD.pack_into(buffer, 8 * slot, num)
+            _WORD.pack_into(buffer, 8 * (count + slot), den)
+        return _Segment(key, shm, count, columns.overflow)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def release(self, lease: SegmentLease) -> None:
+        """Unpin; unlink immediately if the segment is stale and idle."""
+        reclaim = None
+        with self._lock:
+            segment = self._segments.get(lease.key)
+            if segment is None:
+                return
+            segment.pins -= 1
+            if segment.stale and segment.pins <= 0:
+                del self._segments[lease.key]
+                reclaim = segment
+        if reclaim is not None:
+            _unlink(reclaim.shm)
+
+    def unlink_all(self) -> None:
+        """Unlink every segment (idempotent; registry unusable after)."""
+        with self._lock:
+            self._closed = True
+            segments = list(self._segments.values())
+            self._segments.clear()
+        for segment in segments:
+            _unlink(segment.shm)
+
+    def live_names(self) -> list[str]:
+        """The names currently published (tests and stats)."""
+        with self._lock:
+            return sorted(s.shm.name for s in self._segments.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+
+def _unlink(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+        # Forked workers share the parent's resource tracker, so the
+        # attach-side unregister (read_columns) may already have erased
+        # this name from the tracker's books; re-register before unlink
+        # (a set add, idempotent) so unlink's own unregister always
+        # finds the name and the tracker never logs a KeyError.
+        try:  # pragma: no cover - tracker internals are best-effort
+            resource_tracker.register(shm._name, "shared_memory")
+        except Exception:
+            pass
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reclaimed
+        pass
+
+
+def read_columns(
+    name: str, count: int, overflow: tuple[tuple[int, int, int], ...]
+) -> ProbabilityColumns:
+    """Attach to a published segment, copy the columns out, detach.
+
+    Runs on the worker side.  The attachment is unregistered from the
+    ``resource_tracker`` before use so a worker exit can never unlink a
+    segment the parent still owns (3.11 tracks attachments too)."""
+    shm = shared_memory.SharedMemory(name=name, create=False)
+    try:
+        try:  # pragma: no cover - tracker internals are best-effort
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        buffer = shm.buf
+        numerators = tuple(
+            _WORD.unpack_from(buffer, 8 * slot)[0] for slot in range(count)
+        )
+        denominators = tuple(
+            _WORD.unpack_from(buffer, 8 * (count + slot))[0]
+            for slot in range(count)
+        )
+    finally:
+        shm.close()
+    return ProbabilityColumns(numerators, denominators, tuple(overflow))

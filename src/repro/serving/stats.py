@@ -4,13 +4,20 @@ The service answers "how is each shard doing" with one immutable
 :class:`ServiceStats` — per-shard compilation-cache hit rates, compile
 cost, queue depth, microbatch shape and p50/p95 latency — cheap enough to
 poll from a monitoring loop without perturbing the workers.
+
+Every snapshot type is **merge-safe across processes**: worker-side
+counters travel as plain payload dicts (``to_payload`` /
+``from_payload`` — JSON-able, so the asyncio gateway can serve them
+over the wire) and round-trip losslessly; cross-shard aggregation keeps
+the in-process semantics (sums, worst achieved half-width, worst
+breaker state) no matter which process a snapshot was taken in.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.pqe.engine import CompilationCacheStats
 from repro.pqe.extensional import ExtensionalPlanCacheStats
@@ -169,6 +176,21 @@ class ShardStats:
         accesses = self.plans.hits + self.plans.misses
         return self.plans.hits / accesses if accesses else 0.0
 
+    def to_payload(self) -> dict:
+        """This snapshot as a JSON-able dict (plain ints/floats/strs)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardStats":
+        """Rebuild a snapshot serialized by :meth:`to_payload` —
+        ``ShardStats.from_payload(s.to_payload()) == s``."""
+        data = dict(payload)
+        data["cache"] = CompilationCacheStats(**data["cache"])
+        data["plans"] = ExtensionalPlanCacheStats(**data["plans"])
+        data["sampling"] = SamplingStats(**data["sampling"])
+        data["resilience"] = ResilienceStats(**data["resilience"])
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class ServiceStats:
@@ -218,3 +240,22 @@ class ServiceStats:
             for engine, count in shard.engines.items():
                 merged[engine] = merged.get(engine, 0) + count
         return merged
+
+    def to_payload(self) -> dict:
+        """This snapshot as a JSON-able dict.  The derived aggregates
+        (``sampling``/``resilience``/``engines``) are *not* materialized
+        — they are recomputed by the receiving side's properties, so a
+        payload merged from worker snapshots keeps the exact worst-
+        breaker/EWMA semantics of an in-process snapshot."""
+        payload = asdict(self)
+        payload["shards"] = [shard.to_payload() for shard in self.shards]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServiceStats":
+        """Rebuild a snapshot serialized by :meth:`to_payload`."""
+        data = dict(payload)
+        data["shards"] = tuple(
+            ShardStats.from_payload(shard) for shard in data["shards"]
+        )
+        return cls(**data)

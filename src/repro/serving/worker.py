@@ -1,0 +1,612 @@
+"""The process serving backend: worker processes behind the Shard policy
+front end.
+
+:class:`ProcessShard` subclasses :class:`~repro.serving.shard.Shard` and
+overrides exactly the route-compute hooks (``_ensure_compiled`` and the
+four ``_execute_*`` methods) with RPCs into a dedicated worker process.
+Everything else — microbatch fusion, admission control, deadlines,
+degradation, retries, circuit breaker, fault injection, stats counters —
+is inherited unchanged and runs in the submitting process, which is what
+makes the two backends bit-for-float identical and lets seeded
+:class:`~repro.serving.faults.FaultInjector` streams replay identically
+across them.
+
+What crosses the process boundary, and what does not:
+
+* **Queries** travel as ``(k, nvars, truth table)`` integer triples.
+* **Instance content** travels once per shard key: declared relations
+  and facts, pickled over the control pipe at first use.
+* **Probability content** travels as shared-memory probability columns
+  (:mod:`repro.serving.shm`), content-addressed by
+  ``(Instance.shard_key(), probability_digest())`` — republished only
+  when ``probability_version`` bumps.
+* **Request envelopes** are tiny: segment keys, budgets as field
+  tuples, remaining deadline milliseconds.
+* **Compiled artifacts never cross.**  Plans, tapes, OBDD families and
+  the circuit arena are rebuilt inside the worker from
+  ``cached_derivation`` over the rehydrated instance — they are
+  content-determined, so rebuilding reproduces the parent's floats bit
+  for bit, and nothing unpicklable (locks, numpy views, codegen'd
+  functions) ever touches the pipe.
+
+The worker serves its control pipe strictly in order, so the pipe is
+also the memory barrier: a segment announced before a request is
+readable when the request arrives, and the parent releases a segment
+lease only after the RPC that used it replied.  Worker death (crash,
+kill) surfaces as a pipe EOF; every in-flight RPC — and therefore every
+in-flight request future — resolves with the typed
+:class:`~repro.serving.resilience.ServiceStopped`, never a naked
+``BrokenPipeError``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from dataclasses import replace
+
+from repro.core.deadline import Deadline, DeadlineExceeded
+from repro.db.columnar import apply_probability_columns
+from repro.db.relation import Instance
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.approximate import AccuracyBudget, sampling_plan
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.engine import (
+    COMPILATION_CACHE_LIMIT,
+    CompilationCache,
+    HardQueryError,
+)
+from repro.pqe.extensional import (
+    ExtensionalPlanCache,
+    probability_batch as extensional_probability_batch,
+)
+from repro.queries.hqueries import HQuery
+from repro.serving.resilience import ServiceStopped
+from repro.serving.shard import Shard, _Pending
+from repro.serving.shm import SegmentLease, SegmentRegistry, read_columns
+
+# ----------------------------------------------------------------------
+# Wire codecs
+# ----------------------------------------------------------------------
+
+
+def encode_query(query: HQuery) -> tuple[int, int, int]:
+    """An H-query as three ints — its complete content."""
+    return (query.k, query.phi.nvars, query.phi.table)
+
+
+def decode_query(encoded: tuple[int, int, int]) -> HQuery:
+    from repro.core.boolean_function import BooleanFunction
+
+    k, nvars, table = encoded
+    return HQuery(k, BooleanFunction(nvars, table))
+
+
+def encode_budget(budget: AccuracyBudget) -> tuple:
+    return (
+        budget.epsilon,
+        budget.min_samples,
+        budget.max_samples,
+        budget.seed,
+        budget.adaptive,
+        budget.interval,
+        budget.delta,
+    )
+
+
+def decode_budget(encoded: tuple) -> AccuracyBudget:
+    epsilon, min_samples, max_samples, seed, adaptive, interval, delta = (
+        encoded
+    )
+    return AccuracyBudget(
+        epsilon=epsilon,
+        min_samples=min_samples,
+        max_samples=max_samples,
+        seed=seed,
+        adaptive=adaptive,
+        interval=interval,
+        delta=delta,
+    )
+
+
+#: Error types a worker may legitimately raise, rebuilt typed on the
+#: parent side.  Anything else comes back as a RuntimeError carrying the
+#: original type name.
+_TYPED_ERRORS = {
+    "DeadlineExceeded": DeadlineExceeded,
+    "HardQueryError": HardQueryError,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+    "OverflowError": OverflowError,
+    "RuntimeError": RuntimeError,
+}
+
+
+def _rebuild_error(kind: str, message: str) -> BaseException:
+    error_type = _TYPED_ERRORS.get(kind)
+    if error_type is None:
+        return RuntimeError(f"worker raised {kind}: {message}")
+    return error_type(message)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _WorkerState:
+    """Everything a worker process owns: rehydrated instances and TIDs
+    keyed by their content digests, plus its own compilation and plan
+    caches (rebuilt, never pickled)."""
+
+    def __init__(self, cache_limit: int):
+        self.instances: dict[int, Instance] = {}
+        self.tids: dict[tuple[int, int], TupleIndependentDatabase] = {}
+        self.cache = CompilationCache(cache_limit)
+        self.plan_cache = ExtensionalPlanCache()
+
+    def register_instance(self, shard_key, relations, facts) -> None:
+        if shard_key in self.instances:
+            return
+        instance = Instance()
+        for name, arity in relations:
+            instance.declare(name, arity)
+        for name, values in facts:
+            instance.add(name, values)
+        self.instances[shard_key] = instance
+
+    def register_columns(
+        self, shard_key, digest, name, count, overflow
+    ) -> None:
+        key = (shard_key, digest)
+        if key in self.tids:
+            return
+        instance = self.instances[shard_key]
+        tid = TupleIndependentDatabase(instance)
+        apply_probability_columns(tid, read_columns(name, count, overflow))
+        self.tids[key] = tid
+
+    def tid(self, key: tuple[int, int]) -> TupleIndependentDatabase:
+        return self.tids[key]
+
+
+def worker_main(conn, shard_id: int, cache_limit: int) -> None:
+    """The worker process loop: serve control-pipe messages in order
+    until ``stop`` (or pipe EOF).  Casts (``message_id is None``) get no
+    reply; calls reply ``("ok", id, payload)`` or ``("err", id, kind,
+    message)`` — the loop itself never dies to a compute error."""
+    state = _WorkerState(cache_limit)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op, message_id, payload = message[0], message[1], message[2:]
+        if op == "stop":
+            if message_id is not None:
+                conn.send(("ok", message_id, None))
+            break
+        try:
+            result = _serve_op(state, op, payload)
+        except BaseException as error:  # noqa: BLE001 - crosses the pipe
+            if message_id is not None:
+                conn.send(
+                    ("err", message_id, type(error).__name__, str(error))
+                )
+            continue
+        if message_id is not None:
+            conn.send(("ok", message_id, result))
+    conn.close()
+
+
+def _serve_op(state: _WorkerState, op: str, payload: tuple):
+    if op == "instance":
+        state.register_instance(*payload)
+        return None
+    if op == "columns":
+        state.register_columns(*payload)
+        return None
+    if op == "compile":
+        encoded_query, shard_key = payload
+        query = decode_query(encoded_query)
+        instance = state.instances[shard_key]
+        compiled, hit = state.cache.get_or_compile(
+            query, instance, instance.content_fingerprint()
+        )
+        return (hit, 0.0 if hit else compiled.compile_ms)
+    if op == "intensional":
+        encoded_query, keys = payload
+        query = decode_query(encoded_query)
+        instance = state.instances[keys[0][0]]
+        compiled, _ = state.cache.get_or_compile(
+            query, instance, instance.content_fingerprint()
+        )
+        tape = compiled.tape
+        return tape.evaluate_vectors(
+            [
+                tape.probability_vector(state.tid(key).probability_map())
+                for key in keys
+            ]
+        )
+    if op == "extensional":
+        encoded_query, keys = payload
+        query = decode_query(encoded_query)
+        plan, hit = state.plan_cache.get_or_build(query)
+        probabilities = extensional_probability_batch(
+            query, [state.tid(key) for key in keys], plan=plan
+        )
+        return (list(probabilities), hit)
+    if op == "brute":
+        encoded_query, key = payload
+        query = decode_query(encoded_query)
+        return float(
+            probability_by_world_enumeration(query, state.tid(key))
+        )
+    if op == "sample":
+        encoded_query, key, encoded_budget, remaining_ms = payload
+        query = decode_query(encoded_query)
+        deadline = (
+            Deadline(remaining_ms) if remaining_ms is not None else None
+        )
+        plan = sampling_plan(query, state.tid(key))
+        estimate = plan.run(decode_budget(encoded_budget), deadline=deadline)
+        return (estimate, plan.engine)
+    if op == "stats":
+        return (state.cache.stats(), state.plan_cache.stats())
+    raise ValueError(f"unknown worker op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def _start_method(requested: str | None) -> str:
+    method = (
+        requested
+        or os.environ.get("REPRO_WORKER_START_METHOD")
+        or (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+    )
+    if method not in multiprocessing.get_all_start_methods():
+        raise ValueError(
+            f"start method {method!r} unavailable on this platform"
+        )
+    return method
+
+
+class _Rpc:
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class _WorkerClient:
+    """The parent's handle on one worker process: a duplex control pipe
+    with correlation-id RPCs, a lazily started reader thread, and typed
+    death — when the pipe hits EOF every in-flight RPC resolves with
+    :class:`ServiceStopped` instead of leaking a ``BrokenPipeError``."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        cache_limit: int = COMPILATION_CACHE_LIMIT,
+        start_method: str | None = None,
+    ):
+        self.shard_id = shard_id
+        context = multiprocessing.get_context(_start_method(start_method))
+        self._conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=worker_main,
+            args=(child_conn, shard_id, cache_limit),
+            name=f"pqe-worker-{shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._rpcs: dict[int, _Rpc] = {}
+        self._next_id = 0
+        self._dead = False
+        self._reader: threading.Thread | None = None
+
+    # The reader starts lazily (not in __init__) so a service
+    # constructing several ProcessShards forks every worker before any
+    # parent-side helper thread exists — fork-with-threads hygiene.
+    def _ensure_reader(self) -> None:
+        if self._reader is None:
+            self._reader = threading.Thread(
+                target=self._read_loop,
+                name=f"pqe-worker-{self.shard_id}-reader",
+                daemon=True,
+            )
+            self._reader.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                message = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            kind, message_id = message[0], message[1]
+            with self._state_lock:
+                rpc = self._rpcs.pop(message_id, None)
+            if rpc is None:
+                continue
+            if kind == "ok":
+                rpc.result = message[2]
+            else:
+                rpc.error = _rebuild_error(message[2], message[3])
+            rpc.event.set()
+        self._fail_pending(
+            ServiceStopped(
+                f"worker process for shard {self.shard_id} terminated"
+            )
+        )
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._state_lock:
+            self._dead = True
+            pending = list(self._rpcs.values())
+            self._rpcs.clear()
+        for rpc in pending:
+            rpc.error = error
+            rpc.event.set()
+
+    def call(self, op: str, *payload):
+        rpc = _Rpc()
+        with self._state_lock:
+            if self._dead:
+                raise ServiceStopped(
+                    f"worker process for shard {self.shard_id} is gone"
+                )
+            self._ensure_reader()
+            message_id = self._next_id
+            self._next_id += 1
+            self._rpcs[message_id] = rpc
+        try:
+            with self._send_lock:
+                self._conn.send((op, message_id, *payload))
+        except (OSError, ValueError) as error:
+            self._fail_pending(
+                ServiceStopped(
+                    f"worker process for shard {self.shard_id} is gone "
+                    f"({error})"
+                )
+            )
+        rpc.event.wait()
+        if rpc.error is not None:
+            raise rpc.error
+        return rpc.result
+
+    def cast(self, op: str, *payload) -> None:
+        with self._state_lock:
+            if self._dead:
+                raise ServiceStopped(
+                    f"worker process for shard {self.shard_id} is gone"
+                )
+            self._ensure_reader()
+        try:
+            with self._send_lock:
+                self._conn.send((op, None, *payload))
+        except (OSError, ValueError) as error:
+            self._fail_pending(
+                ServiceStopped(
+                    f"worker process for shard {self.shard_id} is gone "
+                    f"({error})"
+                )
+            )
+            raise ServiceStopped(
+                f"worker process for shard {self.shard_id} is gone"
+            ) from error
+
+    def alive(self) -> bool:
+        with self._state_lock:
+            return not self._dead
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker (idempotent).  Graceful (``wait=True``) asks
+        and waits for the drain; otherwise the stop is cast best-effort
+        and the process is joined with a short grace period, then
+        terminated."""
+        with self._state_lock:
+            already_dead = self._dead
+        if not already_dead:
+            try:
+                if wait:
+                    self.call("stop")
+                else:
+                    self.cast("stop")
+            except ServiceStopped:
+                pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        self._fail_pending(
+            ServiceStopped(
+                f"worker process for shard {self.shard_id} stopped"
+            )
+        )
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ProcessShard(Shard):
+    """A shard whose route compute runs in a dedicated worker process.
+
+    The inherited policy front end is untouched; the overridden hooks
+    publish probability content through the shared-memory registry and
+    RPC the worker.  ``stats()`` merges the worker's cache and plan
+    counters into the parent-side snapshot; ``stop()``/``close()`` shut
+    the inherited pool down first (so in-flight RPCs resolve), then the
+    worker, then unlink every published segment.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        start_method: str | None = None,
+        **kwargs,
+    ):
+        super().__init__(shard_id, **kwargs)
+        self._registry = SegmentRegistry()
+        self._client = _WorkerClient(
+            shard_id,
+            cache_limit=kwargs.get("cache_limit", COMPILATION_CACHE_LIMIT),
+            start_method=start_method,
+        )
+        self._publish_lock = threading.Lock()
+        self._announced: set[int] = set()
+
+    # -- publication ---------------------------------------------------
+
+    def _lease(self, tid: TupleIndependentDatabase) -> SegmentLease:
+        """Pin (publishing as needed) ``tid``'s probability segment and
+        make sure the worker has been told about it.  Holding the
+        publish lock across acquire+cast keeps the announcement ordered
+        before any RPC that references the key (the pipe is FIFO)."""
+        from repro.db.columnar import probability_columns
+
+        instance = tid.instance
+        shard_key = instance.shard_key()
+        digest = tid.probability_digest()
+        with self._publish_lock:
+            self._announce_locked(instance, shard_key)
+            lease = self._registry.acquire(
+                shard_key, digest, probability_columns(tid)
+            )
+            if lease.fresh:
+                try:
+                    self._client.cast(
+                        "columns",
+                        shard_key,
+                        digest,
+                        lease.name,
+                        lease.count,
+                        lease.overflow,
+                    )
+                except ServiceStopped:
+                    self._registry.release(lease)
+                    raise
+        return lease
+
+    def _announce_locked(self, instance: Instance, shard_key: int) -> None:
+        if shard_key in self._announced:
+            return
+        relations = [
+            (relation.name, relation.arity)
+            for relation in instance.relations()
+        ]
+        facts = [
+            (tuple_id.relation, tuple_id.values)
+            for tuple_id in instance.tuple_ids()
+        ]
+        self._client.cast("instance", shard_key, relations, facts)
+        self._announced.add(shard_key)
+
+    def _announce(self, instance: Instance) -> int:
+        shard_key = instance.shard_key()
+        with self._publish_lock:
+            self._announce_locked(instance, shard_key)
+        return shard_key
+
+    # -- route compute hooks -------------------------------------------
+
+    def _execute_extensional(self, query, group: list[_Pending]):
+        reps, positions = self._representatives(group)
+        leases = [self._lease(pending.request.tid) for pending in reps]
+        try:
+            rep_probabilities, hit = self._client.call(
+                "extensional",
+                encode_query(query),
+                [lease.key for lease in leases],
+            )
+        finally:
+            for lease in leases:
+                self._registry.release(lease)
+        return [rep_probabilities[slot] for slot in positions], hit
+
+    def _ensure_compiled(self, query, head: _Pending):
+        shard_key = self._announce(head.request.tid.instance)
+        hit, compile_ms = self._client.call(
+            "compile", encode_query(query), shard_key
+        )
+        return None, hit, compile_ms
+
+    def _execute_intensional(self, query, group: list[_Pending], token):
+        reps, positions = self._representatives(group)
+        leases = [self._lease(pending.request.tid) for pending in reps]
+        try:
+            rep_probabilities = self._client.call(
+                "intensional",
+                encode_query(query),
+                [lease.key for lease in leases],
+            )
+        finally:
+            for lease in leases:
+                self._registry.release(lease)
+        return [rep_probabilities[slot] for slot in positions]
+
+    def _execute_brute(self, query, tid) -> float:
+        lease = self._lease(tid)
+        try:
+            return self._client.call("brute", encode_query(query), lease.key)
+        finally:
+            self._registry.release(lease)
+
+    def _execute_sampling(self, query, tid, budget, wave_deadline):
+        lease = self._lease(tid)
+        remaining_ms = (
+            wave_deadline.remaining_ms() if wave_deadline is not None else None
+        )
+        try:
+            estimate, engine = self._client.call(
+                "sample",
+                encode_query(query),
+                lease.key,
+                encode_budget(budget),
+                remaining_ms,
+            )
+        finally:
+            self._registry.release(lease)
+        return estimate, engine
+
+    # -- observability & lifecycle -------------------------------------
+
+    def stats(self):
+        base = super().stats()
+        if not self._client.alive():
+            return base
+        try:
+            cache_stats, plan_stats = self._client.call("stats")
+        except ServiceStopped:
+            return base
+        return replace(base, cache=cache_stats, plans=plan_stats)
+
+    def segment_names(self) -> list[str]:
+        """The currently published shared-memory segments (tests)."""
+        return self._registry.live_names()
+
+    def close(self, wait: bool = True) -> None:
+        super().close(wait=wait)
+        self._client.shutdown(wait=wait)
+        self._registry.unlink_all()
+
+    def stop(self, wait: bool = True) -> None:
+        super().stop(wait=wait)
+        self._client.shutdown(wait=wait)
+        self._registry.unlink_all()

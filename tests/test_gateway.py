@@ -1,0 +1,497 @@
+"""Tests for the asyncio JSON-lines gateway (:mod:`repro.serving.gateway`).
+
+A real TCP client (blocking sockets, newline-delimited JSON) against a
+:class:`GatewayServer` running on its background event loop: protocol
+round trips, float parity with the direct engine, typed errors on the
+wire, tenant quotas, and both service backends behind one gateway.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.generator import complete_tid
+from repro.pqe.engine import BRUTE_FORCE_LIMIT, evaluate_batch
+from repro.queries.hqueries import HQuery
+from repro.serving import GatewayServer, ShardedService
+from repro.serving.stats import ServiceStats
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+#: The docstring query: k=1, phi = x0 AND x1 (truth table 0b1000) — the
+#: canonical hard H_1, which brute-forces on the tiny reference TID.
+CONJ_QUERY = HQuery(1, BooleanFunction(2, 8))
+CONJUNCTION = {"k": 1, "nvars": 2, "table": 8}
+
+#: k=1, phi = x0 (truth table 0b1010) — safe monotone, extensional.
+SAFE_QUERY = HQuery(1, BooleanFunction(2, 10))
+SAFE = {"k": 1, "nvars": 2, "table": 10}
+
+
+def hard_full_disjunction(k: int) -> HQuery:
+    phi = BooleanFunction.bottom(k + 1)
+    for i in range(k + 1):
+        phi = phi | BooleanFunction.variable(i, k + 1)
+    return HQuery(k, phi)
+
+
+def query_payload(query: HQuery) -> dict:
+    return {"k": query.k, "nvars": query.phi.nvars, "table": query.phi.table}
+
+
+def facts_of(tid) -> list:
+    """A TID's facts in the gateway's wire form (exact rationals)."""
+    return [
+        [
+            t.relation,
+            list(t.values),
+            [
+                tid.probability_of(t).numerator,
+                tid.probability_of(t).denominator,
+            ],
+        ]
+        for t in tid.instance.tuple_ids()
+    ]
+
+
+class Client:
+    """A blocking JSON-lines client socket."""
+
+    def __init__(self, port: int):
+        self._sock = socket.create_connection(("127.0.0.1", port))
+        self._file = self._sock.makefile("rw")
+
+    def send(self, message: dict) -> None:
+        self._file.write(json.dumps(message) + "\n")
+        self._file.flush()
+
+    def send_raw(self, line: str) -> None:
+        self._file.write(line + "\n")
+        self._file.flush()
+
+    def recv(self) -> dict:
+        return json.loads(self._file.readline())
+
+    def rpc(self, message: dict) -> dict:
+        self.send(message)
+        return self.recv()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def reference_tid():
+    """The TID matching :data:`REGISTER_FACTS`, built directly."""
+    from repro.db.relation import Instance
+    from repro.db.tid import TupleIndependentDatabase
+
+    instance = Instance()
+    tid = TupleIndependentDatabase(instance)
+    a = instance.add("R", (1,))
+    tid.set_probability(a, Fraction(1, 2))
+    instance.add("S1", (1, 2))
+    b = instance.add("T", (2,))
+    tid.set_probability(b, Fraction(2, 3))
+    return tid
+
+
+REGISTER_FACTS = [
+    ["R", [1], [1, 2]],
+    ["S1", [1, 2]],
+    ["T", [2], [2, 3]],
+]
+
+
+@pytest.fixture()
+def gateway_backend(request):
+    backend = getattr(request, "param", "threads")
+    service = ShardedService(shards=2, backend=backend)
+    server = GatewayServer(service)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        service.stop(wait=True)
+
+
+class TestProtocol:
+    def test_ping(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            reply = client.rpc({"op": "ping", "id": 41})
+            assert reply == {"id": 41, "ok": True, "pong": True}
+        finally:
+            client.close()
+
+    def test_register_reports_shard_and_size(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            reply = client.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            assert reply["ok"]
+            assert reply["instance"] == "orders"
+            assert reply["tuples"] == 3
+            assert 0 <= reply["shard"] < 2
+        finally:
+            client.close()
+
+    def test_query_matches_direct_engine_float(self, gateway_backend):
+        reference = evaluate_batch(CONJ_QUERY, [reference_tid()])
+        client = Client(gateway_backend.port)
+        try:
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"]
+            response = reply["response"]
+            assert response["probability"] == reference.probabilities[0]
+            assert response["engine"] == "brute_force"
+            safe_reference = evaluate_batch(SAFE_QUERY, [reference_tid()])
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 3,
+                    "instance": "orders",
+                    "query": SAFE,
+                }
+            )
+            assert reply["ok"]
+            response = reply["response"]
+            assert (
+                response["probability"] == safe_reference.probabilities[0]
+            )
+            assert response["engine"] == "extensional"
+        finally:
+            client.close()
+
+    def test_budgeted_hard_query_is_deterministic(self, gateway_backend):
+        # A hard query on a large instance routes to seeded sampling;
+        # the same (seed, budget) over the wire replays the same
+        # estimate and error bar.
+        large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+        assert len(large_hard) > BRUTE_FORCE_LIMIT
+        client = Client(gateway_backend.port)
+        try:
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "big",
+                    "facts": facts_of(large_hard),
+                }
+            )
+            replies = [
+                client.rpc(
+                    {
+                        "op": "query",
+                        "id": 2 + i,
+                        "instance": "big",
+                        "query": query_payload(hard_full_disjunction(3)),
+                        "budget": {"epsilon": 0.1, "seed": 11},
+                    }
+                )
+                for i in range(2)
+            ]
+            assert all(reply["ok"] for reply in replies)
+            first, second = (reply["response"] for reply in replies)
+            assert first["engine"] == "karp_luby"
+            assert first["samples"] > 0
+            assert first["half_width"] > 0.0
+            assert first["probability"] == second["probability"]
+            assert first["half_width"] == second["half_width"]
+            assert first["samples"] == second["samples"]
+        finally:
+            client.close()
+
+    def test_stats_round_trip(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            client.rpc(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "orders",
+                    "query": SAFE,
+                }
+            )
+            reply = client.rpc({"op": "stats", "id": 3})
+            assert reply["ok"]
+            stats = ServiceStats.from_payload(reply["stats"])
+            assert stats.requests == 1
+            assert stats.engines == {"extensional": 1}
+            assert len(stats.shards) == 2
+        finally:
+            client.close()
+
+
+@pytest.mark.parametrize(
+    "gateway_backend", ["processes"], indirect=True
+)
+class TestProcessBackendGateway:
+    def test_full_round_trip_over_worker_processes(self, gateway_backend):
+        reference = evaluate_batch(CONJ_QUERY, [reference_tid()])
+        client = Client(gateway_backend.port)
+        try:
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"]
+            assert (
+                reply["response"]["probability"]
+                == reference.probabilities[0]
+            )
+            stats = ServiceStats.from_payload(
+                client.rpc({"op": "stats", "id": 3})["stats"]
+            )
+            assert stats.requests == 1
+        finally:
+            client.close()
+
+
+class TestTypedErrors:
+    def test_unknown_instance(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 5,
+                    "instance": "nope",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"] is False
+            assert reply["error"] == "KeyError"
+            assert "register" in reply["message"]
+            assert reply["id"] == 5
+        finally:
+            client.close()
+
+    def test_malformed_json_still_gets_a_reply(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            client.send_raw("{not json")
+            reply = client.recv()
+            assert reply["ok"] is False
+            assert reply["error"] == "JSONDecodeError"
+            assert reply["id"] is None
+            # The connection survives a bad line.
+            assert client.rpc({"op": "ping", "id": 6})["pong"]
+        finally:
+            client.close()
+
+    def test_unknown_op_and_unknown_budget_field(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            reply = client.rpc({"op": "explode", "id": 7})
+            assert reply["error"] == "ValueError"
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 8,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 9,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                    "budget": {"epsilon": 0.1, "turbo": True},
+                }
+            )
+            assert reply["error"] == "ValueError"
+            assert "turbo" in reply["message"]
+        finally:
+            client.close()
+
+
+class TestQuotas:
+    def test_tenant_quota_rejects_second_inflight_request(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service, default_tenant_quota=1)
+        server.start()
+        slow = Client(server.port)
+        fast = Client(server.port)
+        try:
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            slow.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            slow.rpc(
+                {
+                    "op": "register",
+                    "id": 2,
+                    "instance": "big",
+                    "facts": facts_of(large_hard),
+                }
+            )
+            # Occupy tenant "acme"'s whole quota with a slow sampled
+            # query (a large fixed-count budget), then race a second
+            # request in on another connection.
+            slow.send(
+                {
+                    "op": "query",
+                    "id": 3,
+                    "instance": "big",
+                    "query": query_payload(hard_full_disjunction(3)),
+                    "tenant": "acme",
+                    "budget": {
+                        "epsilon": 0.001,
+                        "min_samples": 200_000,
+                        "max_samples": 200_000,
+                        "seed": 1,
+                        "adaptive": False,
+                    },
+                }
+            )
+            deadline = time.monotonic() + 10
+            rejected = None
+            while time.monotonic() < deadline:
+                reply = fast.rpc(
+                    {
+                        "op": "query",
+                        "id": 3,
+                        "instance": "orders",
+                        "query": CONJUNCTION,
+                        "tenant": "acme",
+                    }
+                )
+                if not reply["ok"]:
+                    rejected = reply
+                    break
+                time.sleep(0.01)  # slow query not admitted yet; retry
+            assert rejected is not None, "quota never engaged"
+            assert rejected["error"] == "TenantQuotaExceeded"
+            # Another tenant is not affected by acme's quota.
+            other = fast.rpc(
+                {
+                    "op": "query",
+                    "id": 4,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                    "tenant": "zeta",
+                }
+            )
+            assert other["ok"]
+            # The slow request itself completes fine.
+            assert slow.recv()["ok"]
+        finally:
+            slow.close()
+            fast.close()
+            server.stop()
+            service.stop(wait=True)
+
+
+class TestLifecycle:
+    def test_context_manager_and_concurrent_clients(self):
+        service = ShardedService(shards=2)
+        reference = evaluate_batch(CONJ_QUERY, [reference_tid()])
+        errors: list[BaseException] = []
+        with GatewayServer(service) as server:
+            setup = Client(server.port)
+            setup.rpc(
+                {
+                    "op": "register",
+                    "id": 0,
+                    "instance": "orders",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            setup.close()
+
+            def hammer():
+                try:
+                    client = Client(server.port)
+                    for i in range(8):
+                        reply = client.rpc(
+                            {
+                                "op": "query",
+                                "id": i,
+                                "instance": "orders",
+                                "query": CONJUNCTION,
+                            }
+                        )
+                        assert reply["ok"]
+                        assert (
+                            reply["response"]["probability"]
+                            == reference.probabilities[0]
+                        )
+                    client.close()
+                except BaseException as error:  # noqa: BLE001
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        service.stop(wait=True)
+
+    def test_stop_with_open_connection_is_clean(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        assert client.rpc({"op": "ping", "id": 0})["pong"]
+        server.stop()  # connection still open — must not hang or error
+        service.stop(wait=True)
+        client.close()
