@@ -27,6 +27,9 @@ DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_evaluation.json"
 REQUIRED_FLAGS = (
     "serving.backends_identical",
     "resilience.degraded_identical",
+    "lifted.lifted_identical",
+    "lifted.h_parity_identical",
+    "lifted.serving_backends_identical",
 )
 
 

@@ -29,6 +29,14 @@ Compares, on q_9's compiled d-D lineage and on grounding workloads:
   whose extensional results are checked bit-for-``Fraction`` against the
   intensional compiled path.
 
+* **lifted** (PR 8): general Dalvi–Suciu lifted inference on a non-h
+  schema — safe-plan search time, plan-IR exact/float evaluation and
+  batch throughput, exact-Fraction agreement with the possible-world
+  oracle (``lifted_identical``), bit-identity of the lowered h-query
+  plans against the seed loops (``h_parity_identical``), and the
+  ``engine="lifted"`` serving route under both backends
+  (``serving_backends_identical``).
+
 * **sampling** (PR 5): the vectorized sampling engine for #P-hard
   queries — scalar vs vectorized Karp–Luby and Monte-Carlo samples/sec
   on a ≥ 1k-tuple hard instance, the numpy-vs-pure-Python
@@ -978,6 +986,162 @@ def bench_extensional(n=19, batch_size=256, suite_size=16, repeats=3):
     }
 
 
+def bench_lifted(
+    oracle_domain=3,
+    big_domain=12,
+    batch_size=64,
+    repeats=5,
+    serving_tids=6,
+):
+    """General lifted inference (PR 8, :mod:`repro.pqe.lift`) on a
+    *non-h* schema ``R(x), S(x, y), T(x)``.
+
+    * ``plan_search_ms`` — the one-time Dalvi–Suciu safe-plan search per
+      query shape (plans are query-only and cached across instances);
+    * ``lifted_identical`` — exact-Fraction equality of the IR
+      evaluators against the possible-world oracle on a small instance,
+      for a safe CQ and a safe union (the correctness gate);
+    * IR exact/float evaluation time and batch throughput on an
+      instance the oracle cannot touch;
+    * ``h_parity_identical`` — every safe monotone h-query at
+      ``k <= 2`` evaluated through the lowered plan IR against the
+      seed ``Fraction`` loops (the ported-kernel bit-identity claim);
+    * ``serving_backends_identical`` — the safe CQ served as
+      ``engine="lifted"`` through *both* serving backends, floats equal
+      across backends and to the direct plan evaluation.
+    """
+    import repro.pqe.extensional as extensional
+    from repro.db.relation import Instance
+    from repro.db.tid import TupleIndependentDatabase
+    from repro.enumeration.monotone import enumerate_monotone_functions
+    from repro.pqe.brute_force import probability_by_world_enumeration
+    from repro.pqe.lift import (
+        evaluate_plan,
+        evaluate_plan_batch,
+        evaluate_plan_float,
+        lift_query,
+    )
+    from repro.queries.cq import Atom, ConjunctiveQuery
+    from repro.queries.ucq import UnionOfCQs
+    from repro.serving import ShardedService
+
+    rng = random.Random(0x11F7ED)
+
+    def non_h_tid(domain):
+        instance = Instance()
+        instance.declare("R", 1)
+        instance.declare("S", 2)
+        instance.declare("T", 1)
+        tid = TupleIndependentDatabase(instance)
+        for x in range(domain):
+            tid.set_probability(
+                instance.add("R", (x,)), Fraction(rng.randrange(1, 16), 16)
+            )
+            tid.set_probability(
+                instance.add("T", (x,)), Fraction(rng.randrange(1, 16), 16)
+            )
+            for y in range(domain):
+                tid.set_probability(
+                    instance.add("S", (x, y)),
+                    Fraction(rng.randrange(1, 16), 16),
+                )
+        return tid
+
+    safe_cq = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("x", "y"))))
+    safe_union = UnionOfCQs((safe_cq, ConjunctiveQuery((Atom("T", ("z",)),))))
+
+    searches = {}
+    for label, query in (("cq", safe_cq), ("union", safe_union)):
+        searches[label] = _best_of(lambda q=query: lift_query(q), repeats)
+    cq_plan = lift_query(safe_cq)
+    union_plan = lift_query(safe_union)
+
+    oracle_tid = non_h_tid(oracle_domain)
+    lifted_identical = (
+        evaluate_plan(cq_plan, oracle_tid)
+        == probability_by_world_enumeration(safe_cq, oracle_tid)
+        and evaluate_plan(union_plan, oracle_tid)
+        == probability_by_world_enumeration(safe_union, oracle_tid)
+    )
+
+    big_tid = non_h_tid(big_domain)
+    exact_seconds = _best_of(
+        lambda: evaluate_plan(cq_plan, big_tid), repeats
+    )
+    float_seconds = _best_of(
+        lambda: evaluate_plan_float(cq_plan, big_tid), repeats
+    )
+    batch_tids = [non_h_tid(big_domain) for _ in range(batch_size)]
+    start = time.perf_counter()
+    batch = evaluate_plan_batch(cq_plan, batch_tids)
+    batch_seconds = time.perf_counter() - start
+    batch_identical = batch == [
+        evaluate_plan_float(cq_plan, tid) for tid in batch_tids
+    ]
+
+    # -- h-query parity through the lowered IR --------------------------
+    h_parity_identical = True
+    h_suite = 0
+    for k in (1, 2):
+        for phi in enumerate_monotone_functions(k + 1):
+            if phi.is_bottom() or phi.is_top():
+                continue
+            candidate = HQuery(k, phi)
+            if not extensional.is_safe(candidate):
+                continue
+            h_suite += 1
+            parity_tid = complete_tid(k, 3, 3, prob=Fraction(1, 2))
+            for tuple_id in parity_tid.instance.tuple_ids():
+                parity_tid.set_probability(
+                    tuple_id, Fraction(rng.randrange(0, 17), 16)
+                )
+            h_parity_identical = h_parity_identical and (
+                extensional.probability(candidate, parity_tid)
+                == seed_extensional_probability(candidate, parity_tid)
+            )
+
+    # -- both serving backends ------------------------------------------
+    request_tids = [non_h_tid(4 + i) for i in range(serving_tids)]
+    reference = [
+        evaluate_plan_float(cq_plan, tid) for tid in request_tids
+    ]
+    by_backend = {}
+    for backend in ("threads", "processes"):
+        service = ShardedService(shards=2, backend=backend)
+        try:
+            responses = [
+                service.submit(safe_cq, tid).result()
+                for tid in request_tids
+            ]
+        finally:
+            service.stop(wait=True)
+        by_backend[backend] = [r.probability for r in responses]
+        lifted_identical = lifted_identical and all(
+            r.engine == "lifted" for r in responses
+        )
+    serving_backends_identical = (
+        by_backend["threads"] == by_backend["processes"] == reference
+    )
+
+    return {
+        "plan_search_cq_ms": searches["cq"] * 1e3,
+        "plan_search_union_ms": searches["union"] * 1e3,
+        "plan_ops_cq": cq_plan.op_count(),
+        "plan_ops_union": union_plan.op_count(),
+        "oracle_tuples": len(oracle_tid),
+        "tuples": len(big_tid),
+        "exact_ms": exact_seconds * 1e3,
+        "float_ms": float_seconds * 1e3,
+        "batch_size": batch_size,
+        "batch_throughput_rps": batch_size / batch_seconds,
+        "batch_vs_singles_bit_identical": batch_identical,
+        "lifted_identical": lifted_identical,
+        "h_suite_queries": h_suite,
+        "h_parity_identical": h_parity_identical,
+        "serving_backends_identical": serving_backends_identical,
+    }
+
+
 def bench_sampling(
     n=18,
     vector_samples=4000,
@@ -1265,6 +1429,7 @@ SECTIONS = {
     "compilation": bench_compilation,
     "serving": bench_serving,
     "extensional": bench_extensional,
+    "lifted": bench_lifted,
     "sampling": bench_sampling,
     "resilience": bench_resilience,
 }

@@ -30,6 +30,13 @@ columns additionally depend on ``pi`` and are memoized on the TID against
 ``(instance versions, probability version)``, so probability updates
 rebuild only the numeric fill, never the layout.  Both cached objects are
 shared state — treat them as read-only.
+
+Beyond the fixed h-schema, the same two-layer scheme serves *generalized*
+views keyed by ``(relation, grouping positions)`` —
+:func:`relation_column_values` (projection domains) and
+:func:`relation_probability_columns` (per-group probability columns) —
+which the lifted-inference IR of :mod:`repro.pqe.lift` consumes for its
+projection sweeps over arbitrary schemas.
 """
 
 from __future__ import annotations
@@ -310,6 +317,95 @@ def apply_probability_columns(
         )
     for tuple_id, probability in zip(tuple_ids, columns.fractions()):
         tid.set_probability(tuple_id, probability)
+
+
+def relation_column_values(
+    instance: Instance, relation: str, position: int
+) -> tuple:
+    """The sorted distinct values of one relation column — the active
+    domain a lifted independent-project ranges over.  Content-derived
+    only, so it lives in ``cached_derivation``; undeclared relations and
+    out-of-range positions yield the empty domain (the query side treats
+    them as empty relations)."""
+
+    def build(db: Instance) -> tuple:
+        try:
+            rel = db.relation(relation)
+        except KeyError:
+            return ()
+        if not 0 <= position < rel.arity:
+            return ()
+        return tuple(
+            sorted({values[position] for values in rel}, key=repr)
+        )
+
+    return instance.cached_derivation(
+        ("db.columnar.column_values", relation, position), build
+    )
+
+
+def relation_grouping_layout(
+    instance: Instance, relation: str, key_positions: tuple[int, ...]
+) -> dict:
+    """The structural half of a generalized columnar view: the relation's
+    facts grouped by their projection onto ``key_positions``, each group
+    a tuple of :class:`TupleId` s in the relation's deterministic order.
+    Cached via ``cached_derivation``, like :func:`columnar_layout`."""
+
+    def build(db: Instance) -> dict:
+        try:
+            rel = db.relation(relation)
+        except KeyError:
+            return {}
+        if any(not 0 <= p < rel.arity for p in key_positions):
+            return {}
+        groups: dict[tuple, list[TupleId]] = {}
+        for values in rel:
+            key = tuple(values[p] for p in key_positions)
+            groups.setdefault(key, []).append(TupleId(relation, values))
+        return {key: tuple(ids) for key, ids in groups.items()}
+
+    return instance.cached_derivation(
+        ("db.columnar.grouping", relation, key_positions), build
+    )
+
+
+def relation_probability_columns(
+    tid: TupleIndependentDatabase,
+    relation: str,
+    key_positions: tuple[int, ...],
+) -> dict:
+    """The filled generalized columnar view: per-group float probability
+    columns (numpy arrays when importable) for the facts of ``relation``
+    grouped by ``key_positions`` — the kernel input of the lifted IR's
+    vectorized projections.  The fill is memoized on the TID against
+    ``(instance versions, probability version)``, exactly like the
+    :func:`h_columns` fill; the layout half comes from
+    :func:`relation_grouping_layout`.  Read-only shared cache state."""
+    version_key = (tid.instance._versions(), tid.probability_version)
+    cache = getattr(tid, "_relation_columns_cache", None)
+    if cache is None:
+        cache = {}
+        tid._relation_columns_cache = cache
+    entry = cache.get((relation, key_positions))
+    if entry is not None and entry[0] == version_key:
+        return entry[1]
+    layout = relation_grouping_layout(tid.instance, relation, key_positions)
+    probability_of = tid.probability_of
+    if _np is not None:
+        filled = {
+            key: _np.array(
+                [float(probability_of(t)) for t in ids], dtype=float
+            )
+            for key, ids in layout.items()
+        }
+    else:
+        filled = {
+            key: [float(probability_of(t)) for t in ids]
+            for key, ids in layout.items()
+        }
+    cache[(relation, key_positions)] = (version_key, filled)
+    return filled
 
 
 def h_columns(tid: TupleIndependentDatabase, k: int) -> HColumns:

@@ -5,6 +5,8 @@ Three engines that must agree exactly on every instance:
 * :mod:`repro.pqe.brute_force` — exponential possible-world oracle;
 * :mod:`repro.pqe.extensional` — lifted inference for H+-queries (Möbius
   inversion over the CNF lattice + safe plans), the Dalvi–Suciu side;
+* :mod:`repro.pqe.lift` — the general Dalvi–Suciu safe-plan search and
+  plan IR for arbitrary UCQs/CQs (not just the h-query family);
 * :mod:`repro.pqe.intensional` — the paper's contribution: d-D lineage
   compilation for all zero-Euler H-queries (Theorem 5.2).
 
@@ -46,19 +48,39 @@ from repro.pqe.engine import (
     evaluate,
     evaluate_batch,
 )
-from repro.pqe.dichotomy import Classification, Region, classify, classify_function, region_counts
+from repro.pqe.dichotomy import (
+    Classification,
+    Region,
+    classify,
+    classify_function,
+    classify_query,
+    region_counts,
+)
 from repro.pqe.extensional import (
     ExtensionalPlan,
     ExtensionalPlanCache,
     ExtensionalPlanCacheStats,
-    UnsafeQueryError,
     build_plan,
     clear_extensional_plan_cache,
     extensional_plan_stats,
     is_safe,
+    lattice_cache_counters,
     mobius_terms,
+    plan_ir,
     plan_for,
     probability_by_raw_inclusion_exclusion,
+)
+from repro.pqe.lift import (
+    LiftPlan,
+    UnsafeQueryError,
+    describe_plan,
+    evaluate_plan,
+    evaluate_plan_batch,
+    evaluate_plan_float,
+    is_liftable,
+    lift_query,
+    lifted_probability,
+    lifted_probability_float,
 )
 from repro.pqe.extensional import probability as extensional_probability
 from repro.pqe.extensional import (
@@ -113,6 +135,7 @@ __all__ = [
     "chain_probability",
     "classify",
     "classify_function",
+    "classify_query",
     "clear_compilation_cache",
     "clear_extensional_plan_cache",
     "compilation_cache_stats",
@@ -130,11 +153,22 @@ __all__ = [
     "extensional_probability_batch",
     "extensional_probability_float",
     "plan_for",
+    "plan_ir",
     "run_probability",
     "run_probability_float",
     "intensional_probability",
+    "is_liftable",
     "is_provably_hard",
     "is_safe",
+    "lattice_cache_counters",
+    "lift_query",
+    "lifted_probability",
+    "lifted_probability_float",
+    "LiftPlan",
+    "describe_plan",
+    "evaluate_plan",
+    "evaluate_plan_batch",
+    "evaluate_plan_float",
     "approximate_probability",
     "karp_luby_probability",
     "karp_luby_probability_vectorized",

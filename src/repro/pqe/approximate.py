@@ -67,9 +67,10 @@ from repro.db.tid import (
     TupleIndependentDatabase,
     WorldSampler,
 )
+from repro.queries.cq import ConjunctiveQuery
 from repro.queries.hqueries import HQuery
 from repro.queries.lineage import hquery_lineage_circuit_naive
-from repro.queries.ucq import hquery_to_ucq
+from repro.queries.ucq import UnionOfCQs, hquery_to_ucq
 
 try:  # numpy is optional: every vectorized path has a pure-Python twin.
     import numpy as _np
@@ -461,16 +462,29 @@ class _ClauseStructure:
     size_groups: tuple[tuple[int, tuple[int, ...], tuple], ...]
 
 
-def _clause_structure(
-    query: HQuery, instance: Instance
-) -> _ClauseStructure | None:
-    """The cached clause structure of a monotone query's lineage, or
-    ``None`` for non-monotone queries."""
+def _as_union(query):
+    """``query`` as a :class:`~repro.queries.ucq.UnionOfCQs`: UCQs and
+    CQs pass through (they are their own monotone DNF), monotone
+    h-queries translate, non-monotone ones return ``None``."""
+    if isinstance(query, UnionOfCQs):
+        return query
+    if isinstance(query, ConjunctiveQuery):
+        return UnionOfCQs((query,))
     if not query.is_ucq():
+        return None
+    return hquery_to_ucq(query)
+
+
+def _clause_structure(
+    query, instance: Instance
+) -> _ClauseStructure | None:
+    """The cached clause structure of a monotone query's lineage
+    (h-query, UCQ or CQ), or ``None`` for non-monotone queries."""
+    if _as_union(query) is None:
         return None
 
     def build(db: Instance) -> _ClauseStructure:
-        ucq = hquery_to_ucq(query)
+        ucq = _as_union(query)
         # Canonical clause order: sort by the clauses' sorted TupleId
         # tuples, not by repr — a frozenset's repr follows its
         # hash-salted iteration order, which would make the fixed-seed

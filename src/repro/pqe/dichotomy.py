@@ -39,7 +39,15 @@ class Region(enum.Enum):
 
 @dataclass(frozen=True)
 class Classification:
-    """Everything Figure 1 says about one query."""
+    """Everything Figure 1 says about one query.
+
+    ``h_query`` marks classifications produced from an :class:`HQuery`'s
+    Boolean function; :func:`classify_query` also classifies arbitrary
+    UCQs/CQs through the safe-plan search, with ``h_query=False`` and the
+    Euler/degeneracy fields inapplicable (zeroed).  ``lifted_safe``
+    records whether the general lifted engine (:mod:`repro.pqe.lift`)
+    admits the query — for h-queries this coincides with the
+    Figure 1 criterion (a property test pins the agreement)."""
 
     region: Region
     euler: int
@@ -48,6 +56,8 @@ class Classification:
     obdd_ptime: bool
     dd_ptime: bool
     known_hard: bool
+    h_query: bool = True
+    lifted_safe: bool = False
 
     @property
     def safe(self) -> bool:
@@ -56,11 +66,15 @@ class Classification:
 
     @property
     def extensional_safe(self) -> bool:
-        """Whether the query has an extensional (lifted) plan: monotone
-        ``phi`` that is degenerate or zero-Euler — exactly the safe
-        H+-queries of Proposition 3.5 / Corollary 3.9.  These evaluate
-        with no lineage and no d-D (:mod:`repro.pqe.extensional`); the
+        """Whether the query has an extensional (lifted) plan.  For
+        h-queries: monotone ``phi`` that is degenerate or zero-Euler —
+        exactly the safe H+-queries of Proposition 3.5 / Corollary 3.9.
+        For general UCQs: whatever the Dalvi–Suciu safe-plan search
+        decides (``lifted_safe``).  These evaluate with no lineage and no
+        d-D (:mod:`repro.pqe.extensional` / :mod:`repro.pqe.lift`); the
         auto engine and the serving layer route them there."""
+        if not self.h_query:
+            return self.lifted_safe
         return self.is_ucq and (self.is_degenerate or self.euler == 0)
 
 
@@ -78,20 +92,51 @@ def classify_function(phi: BooleanFunction) -> Classification:
         region = (
             Region.HARD if low <= euler <= high else Region.CONJECTURED_HARD
         )
+    monotone = phi.is_monotone()
     return Classification(
         region=region,
         euler=euler,
-        is_ucq=phi.is_monotone(),
+        is_ucq=monotone,
         is_degenerate=degenerate,
         obdd_ptime=degenerate,
         dd_ptime=euler == 0,
         known_hard=region is Region.HARD,
+        h_query=True,
+        # For h-queries the safe-plan search agrees with the Figure 1
+        # criterion (pinned by a property test), so no search is run here
+        # — region_counts sweeps whole truth-table ranges through this.
+        lifted_safe=monotone and (degenerate or euler == 0),
     )
 
 
 def classify(query: HQuery) -> Classification:
     """Classify an :class:`HQuery` (delegates to the function)."""
     return classify_function(query.phi)
+
+
+def classify_query(query) -> Classification:
+    """Classify any supported query: :class:`HQuery` via Figure 1,
+    arbitrary UCQs/CQs via the Dalvi–Suciu safe-plan search of
+    :mod:`repro.pqe.lift` (complete for the UCQ fragment up to the
+    search's resource caps, which reject conservatively — a capped
+    rejection is reported as hard).  The Euler/degeneracy fields are
+    h-query notions and are zeroed for general UCQs."""
+    if isinstance(query, HQuery):
+        return classify(query)
+    from repro.pqe.lift import is_liftable
+
+    liftable = is_liftable(query)
+    return Classification(
+        region=Region.ZERO_EULER if liftable else Region.HARD,
+        euler=0,
+        is_ucq=True,
+        is_degenerate=False,
+        obdd_ptime=False,
+        dd_ptime=liftable,
+        known_hard=not liftable,
+        h_query=False,
+        lifted_safe=liftable,
+    )
 
 
 def region_counts(functions) -> dict[Region, int]:

@@ -53,7 +53,7 @@ from repro.pqe.degenerate import (
     pair_cache_counters,
     reset_pair_cache_counters,
 )
-from repro.pqe.dichotomy import Classification, Region, classify
+from repro.pqe.dichotomy import Classification, Region, classify, classify_query
 from repro.pqe.extensional import (
     ExtensionalPlanCache,
     ExtensionalPlanCacheStats,
@@ -64,6 +64,7 @@ from repro.pqe.extensional import (
 )
 from repro.pqe.extensional import probability as extensional_probability
 from repro.pqe.intensional import CompiledLineage, compile_lineage
+from repro.pqe.lift import evaluate_plan, evaluate_plan_batch
 from repro.queries.hqueries import HQuery
 
 BRUTE_FORCE_LIMIT = 18  #: max tuples auto mode will hand to brute force
@@ -297,8 +298,16 @@ def evaluate(
 ) -> EvaluationResult:
     """Evaluate ``Pr(Q_phi)`` with the selected (or automatic) engine.
 
-    :param method: ``"auto"``, ``"extensional"``, ``"intensional"``,
-        ``"brute_force"`` or ``"sampling"``.
+    :param method: ``"auto"``, ``"extensional"``, ``"lifted"``,
+        ``"intensional"``, ``"brute_force"`` or ``"sampling"``.
+        ``query`` may be an :class:`~repro.queries.hqueries.HQuery` or
+        any UCQ/CQ the lifted engine accepts
+        (:class:`~repro.queries.ucq.UnionOfCQs`,
+        :class:`~repro.queries.cq.ConjunctiveQuery`); non-h queries
+        route lift → brute force → sampling in auto mode and report
+        ``engine="lifted"`` on the lifted path.  ``"lifted"`` on an
+        h-query is the extensional fast path (the h-kernels *are* lift
+        IR ops).
     :param cache: a caller-owned :class:`CompilationCache` for the
         intensional route (defaults to the process-wide cache).
     :param plan_cache: a caller-owned
@@ -326,16 +335,23 @@ def evaluate(
     """
     if deadline is not None:
         deadline.check("evaluation admission")
-    classification = classify(query)
+    classification = classify_query(query)
     if method == "auto":
         return _auto(
             query, tid, classification, cache, plan_cache, budget, deadline
         )
     if method == "sampling":
         return _sampling(query, tid, classification, budget, deadline)
-    if method == "extensional":
-        return _extensional(query, tid, classification, plan_cache)
+    if method in ("extensional", "lifted"):
+        if isinstance(query, HQuery):
+            return _extensional(query, tid, classification, plan_cache)
+        return _lifted(query, tid, classification, plan_cache)
     if method == "intensional":
+        if not isinstance(query, HQuery):
+            raise ValueError(
+                "the intensional compiler handles h-queries only; use "
+                "method='lifted' (or 'auto') for general UCQs"
+            )
         compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
         if deadline is not None:
             deadline.check("post-compilation")
@@ -373,6 +389,24 @@ def _extensional(
     )
 
 
+def _lifted(
+    query,
+    tid: TupleIndependentDatabase,
+    classification: Classification,
+    plan_cache: ExtensionalPlanCache | None = None,
+) -> EvaluationResult:
+    """The general lifted route (non-h UCQs/CQs): the Dalvi–Suciu plan
+    through the same plan cache, evaluated by the IR backends — no
+    lineage, no circuit, no compilation."""
+    plan, hit = plan_for(query, plan_cache)
+    return EvaluationResult(
+        evaluate_plan(plan, tid),
+        "lifted",
+        classification,
+        cache_hit=hit,
+    )
+
+
 def _sampling(
     query: HQuery,
     tid: TupleIndependentDatabase,
@@ -405,8 +439,10 @@ def _auto(
     deadline: Deadline | None = None,
 ) -> EvaluationResult:
     if classification.extensional_safe:
-        return _extensional(query, tid, classification, plan_cache)
-    if classification.dd_ptime:
+        if isinstance(query, HQuery):
+            return _extensional(query, tid, classification, plan_cache)
+        return _lifted(query, tid, classification, plan_cache)
+    if classification.h_query and classification.dd_ptime:
         compiled, hit = compile_lineage_cached(query, tid.instance, cache=cache)
         if deadline is not None:
             deadline.check("post-compilation")
@@ -426,12 +462,19 @@ def _auto(
         )
     if budget is not None:
         return _sampling(query, tid, classification, budget, deadline)
-    adjective = (
-        "#P-hard" if classification.region is Region.HARD else
-        "conjectured #P-hard"
-    )
+    if classification.h_query:
+        adjective = (
+            "#P-hard" if classification.region is Region.HARD else
+            "conjectured #P-hard"
+        )
+        diagnosis = f"query is {adjective} (e(phi) = {classification.euler})"
+    else:
+        diagnosis = (
+            "the safe-plan search found no plan "
+            "(#P-hard by the UCQ dichotomy)"
+        )
     raise HardQueryError(
-        f"query is {adjective} (e(phi) = {classification.euler}) and the "
+        f"{diagnosis} and the "
         f"instance has {len(tid)} > {BRUTE_FORCE_LIMIT} tuples; pass "
         f"budget= (or method='sampling') for a randomized estimate, or "
         f"method='brute_force' to force the exponential engine"
@@ -493,9 +536,14 @@ def evaluate_batch(
     tid_list = list(tids)
     if deadline is not None:
         deadline.check("batch admission")
-    classification = classify(query)
-    if method not in ("auto", "intensional", "extensional", "sampling"):
+    classification = classify_query(query)
+    if method not in ("auto", "intensional", "extensional", "lifted", "sampling"):
         raise ValueError(f"unknown batch method {method!r}")
+    if method == "intensional" and not isinstance(query, HQuery):
+        raise ValueError(
+            "the intensional compiler handles h-queries only; use "
+            "method='lifted' (or 'auto') for general UCQs"
+        )
     if method == "sampling":
         if not tid_list:
             label = "karp_luby" if query.is_ucq() else "monte_carlo"
@@ -508,15 +556,16 @@ def evaluate_batch(
             estimate = plan.run(budget, deadline=deadline)
             probabilities.append(min(1.0, max(0.0, estimate.value)))
         return BatchEvaluationResult(probabilities, label, classification)
-    extensional_path = method == "extensional" or (
+    is_h = isinstance(query, HQuery)
+    extensional_path = method in ("extensional", "lifted") or (
         method == "auto" and classification.extensional_safe
     )
-    batched_path = not extensional_path and (
+    batched_path = not extensional_path and is_h and (
         classification.dd_ptime or method == "intensional"
     )
     if not tid_list:
         if extensional_path:
-            label = "extensional"
+            label = "extensional" if is_h else "lifted"
         elif batched_path:
             label = "intensional"
         else:
@@ -529,9 +578,16 @@ def evaluate_batch(
         )
     if extensional_path:
         plan, hit = plan_for(query, plan_cache)
+        if is_h:
+            return BatchEvaluationResult(
+                extensional_probability_batch(query, tid_list, plan=plan),
+                "extensional",
+                classification,
+                cache_hits=int(hit),
+            )
         return BatchEvaluationResult(
-            extensional_probability_batch(query, tid_list, plan=plan),
-            "extensional",
+            evaluate_plan_batch(plan, tid_list),
+            "lifted",
             classification,
             cache_hits=int(hit),
         )

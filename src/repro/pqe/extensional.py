@@ -32,36 +32,68 @@ for instance, touch only five distinct runs.
 Both the collapsed (Möbius) and the uncollapsed (raw inclusion–exclusion)
 evaluations are provided; they agree term-for-term after grouping, which a
 test verifies.
+
+Since the general lifted engine landed (:mod:`repro.pqe.lift`), the
+h-query plans built here are *lowered onto its IR*: each Möbius term
+becomes an :class:`~repro.pqe.lift.InclusionExclusion` /
+:class:`~repro.pqe.lift.IndependentUnion` pair whose leaves are
+:class:`~repro.pqe.lift.HRunKernel` ops delegating back to the chain-DP
+sweeps of :mod:`repro.pqe.safe_plans` — so the h-fast-path numbers are
+bit-identical (exact and float) while general UCQs share the same
+evaluators and plan cache.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from functools import lru_cache
 from itertools import combinations
 
-from repro.db.columnar import h_columns
+from repro.lattice.cnf_lattice import cnf_lattice, dnf_lattice
 from repro.db.tid import TupleIndependentDatabase
-from repro.lattice.cnf_lattice import cnf_lattice
+from repro.pqe.lift import (
+    LIFT_FALSE,
+    LIFT_TRUE,
+    HRunKernel,
+    InclusionExclusion,
+    IndependentUnion,
+    LiftPlan,
+    UnsafeQueryError,
+    evaluate_plan,
+    evaluate_plan_float,
+    lift_query,
+)
 from repro.pqe.safe_plans import (
     UnsafeSubqueryError,
     disjunction_probability,
-    run_probability,
-    run_probability_float,
     runs_of,
 )
 from repro.queries.hqueries import HQuery
 
 EXTENSIONAL_PLAN_CACHE_LIMIT = 256  #: max cached plans (LRU)
 
-
-class UnsafeQueryError(ValueError):
-    """Raised when the extensional engine is given an unsafe query (the
-    dichotomy's #P-hard side: nondegenerate monotone ``phi`` with
-    ``mu_CNF(0̂,1̂) = e(phi) != 0``)."""
+__all__ = [
+    "EXTENSIONAL_PLAN_CACHE_LIMIT",
+    "ExtensionalPlan",
+    "ExtensionalPlanCache",
+    "ExtensionalPlanCacheStats",
+    "UnsafeQueryError",
+    "build_plan",
+    "clear_extensional_plan_cache",
+    "extensional_plan_stats",
+    "is_safe",
+    "lattice_cache_counters",
+    "mobius_terms",
+    "plan_for",
+    "plan_ir",
+    "probability",
+    "probability_batch",
+    "probability_by_raw_inclusion_exclusion",
+    "probability_float",
+]
 
 
 @lru_cache(maxsize=EXTENSIONAL_PLAN_CACHE_LIMIT)
@@ -161,40 +193,103 @@ def build_plan(query: HQuery) -> ExtensionalPlan:
     return ExtensionalPlan(query.k, None, tuple(terms), tuple(runs))
 
 
+@lru_cache(maxsize=EXTENSIONAL_PLAN_CACHE_LIMIT)
+def plan_ir(plan: ExtensionalPlan) -> LiftPlan:
+    """The :mod:`repro.pqe.lift` IR form of an h-query plan: an
+    inclusion–exclusion sum over the Möbius terms, each an independent
+    union of :class:`~repro.pqe.lift.HRunKernel` leaves.  Distinct runs
+    share one kernel op, so the IR evaluators' per-op memo reproduces the
+    distinct-run dedup of the batched seed sweep — and with the kernels
+    delegating to the same chain-DP code, evaluation through the IR is
+    bit-identical (exact Fractions and floats) to the pre-IR loops.
+    """
+    if plan.constant is not None:
+        root = LIFT_TRUE if plan.constant else LIFT_FALSE
+    else:
+        kernels = tuple(HRunKernel(run, plan.k) for run in plan.runs)
+        root = InclusionExclusion(
+            tuple(
+                (
+                    coefficient,
+                    IndependentUnion(tuple(kernels[rid] for rid in ids)),
+                )
+                for coefficient, ids in plan.terms
+            )
+        )
+    return LiftPlan(query=plan, root=root)
+
+
+def lattice_cache_counters() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters of the module-level lattice ``lru_cache``s
+    (all bounded at :data:`EXTENSIONAL_PLAN_CACHE_LIMIT`-sized maxima, so
+    long-lived serving processes cannot grow them without limit).  These
+    are process-wide — plans are data-independent, so every shard shares
+    the same lattice walks."""
+    counters: dict[str, dict[str, int]] = {}
+    for name, cached in (
+        ("mobius_terms", _mobius_terms_of),
+        ("cnf_lattice", cnf_lattice),
+        ("dnf_lattice", dnf_lattice),
+        ("plan_ir", plan_ir),
+    ):
+        info = cached.cache_info()
+        counters[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "size": info.currsize,
+            "limit": info.maxsize,
+        }
+    return counters
+
+
 @dataclass
 class ExtensionalPlanCacheStats:
     """Counters of one plan cache, in the mold of
-    :class:`repro.pqe.engine.CompilationCacheStats`."""
+    :class:`repro.pqe.engine.CompilationCacheStats`.
+
+    ``lattice_caches`` carries the process-wide lattice ``lru_cache``
+    counters (:func:`lattice_cache_counters`) so serving stats expose
+    them without a second channel; hand-built snapshots may leave it
+    empty."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    lattice_caches: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
 class ExtensionalPlanCache:
     """A thread-safe LRU of extensional plans keyed by the query.
 
-    Plans depend only on ``phi`` (never on data), so one entry serves
+    Plans depend only on the query (never on data), so one entry serves
     every TID the query is evaluated over.  The module keeps one default
     instance behind :func:`probability`; :mod:`repro.serving` gives every
     shard its own, mirroring the per-shard compilation caches.  A build
     that raises (unsafe or non-monotone query) is *not* cached and counts
     as neither hit nor miss.
+
+    Keys may be :class:`~repro.queries.hqueries.HQuery` (cached value an
+    :class:`ExtensionalPlan`) or any query :func:`repro.pqe.lift.lift_query`
+    accepts — UCQs and CQs — cached as a :class:`~repro.pqe.lift.LiftPlan`.
     """
 
     def __init__(self, limit: int = EXTENSIONAL_PLAN_CACHE_LIMIT):
         if limit < 1:
             raise ValueError(f"cache limit must be positive, got {limit}")
         self.limit = limit
-        self._entries: OrderedDict[HQuery, ExtensionalPlan] = OrderedDict()
+        self._entries: OrderedDict[object, ExtensionalPlan | LiftPlan] = (
+            OrderedDict()
+        )
         self._stats = ExtensionalPlanCacheStats()
         self._lock = threading.RLock()
 
-    def get_or_build(self, query: HQuery) -> tuple[ExtensionalPlan, bool]:
+    def get_or_build(self, query) -> tuple[ExtensionalPlan | LiftPlan, bool]:
         """The cached plan for ``query``, building on a miss.  Returns
-        ``(plan, was_cache_hit)``.
+        ``(plan, was_cache_hit)`` — an :class:`ExtensionalPlan` for
+        h-queries, a :class:`~repro.pqe.lift.LiftPlan` for general UCQs.
 
-        :raises UnsafeQueryError: as :func:`build_plan`.
+        :raises UnsafeQueryError: as :func:`build_plan` /
+            :func:`repro.pqe.lift.lift_query`.
         """
         with self._lock:
             cached = self._entries.get(query)
@@ -202,7 +297,10 @@ class ExtensionalPlanCache:
                 self._entries.move_to_end(query)
                 self._stats.hits += 1
                 return cached, True
-        plan = build_plan(query)
+        if isinstance(query, HQuery):
+            plan = build_plan(query)
+        else:
+            plan = lift_query(query)
         with self._lock:
             racing = self._entries.get(query)
             if racing is not None:
@@ -217,12 +315,14 @@ class ExtensionalPlanCache:
         return plan, False
 
     def stats(self) -> ExtensionalPlanCacheStats:
-        """A coherent snapshot of the counters."""
+        """A coherent snapshot of the counters, including the process-wide
+        lattice ``lru_cache`` counters (:func:`lattice_cache_counters`)."""
         with self._lock:
             return ExtensionalPlanCacheStats(
                 self._stats.hits,
                 self._stats.misses,
                 self._stats.evictions,
+                lattice_cache_counters(),
             )
 
     def clear(self) -> None:
@@ -276,38 +376,24 @@ def clear_extensional_plan_cache(
 # ----------------------------------------------------------------------
 
 
-def _evaluate_exact(plan: ExtensionalPlan, tid: TupleIndependentDatabase) -> Fraction:
+def _evaluate_exact(
+    plan: ExtensionalPlan | LiftPlan, tid: TupleIndependentDatabase
+) -> Fraction:
+    if isinstance(plan, LiftPlan):  # a general UCQ plan from the cache
+        return evaluate_plan(plan, tid)
     if plan.constant is not None:
         return plan.constant
-    columns = h_columns(tid, plan.k)
-    run_values = [
-        run_probability(run, plan.k, tid, columns=columns)
-        for run in plan.runs
-    ]
-    total = Fraction(0)
-    for coefficient, ids in plan.terms:
-        miss = Fraction(1)
-        for rid in ids:
-            miss *= 1 - run_values[rid]
-        total += coefficient * (1 - miss)
-    return total
+    return evaluate_plan(plan_ir(plan), tid)
 
 
-def _evaluate_float(plan: ExtensionalPlan, tid: TupleIndependentDatabase) -> float:
+def _evaluate_float(
+    plan: ExtensionalPlan | LiftPlan, tid: TupleIndependentDatabase
+) -> float:
+    if isinstance(plan, LiftPlan):
+        return evaluate_plan_float(plan, tid)
     if plan.constant is not None:
         return float(plan.constant)
-    columns = h_columns(tid, plan.k)
-    run_values = [
-        run_probability_float(run, plan.k, tid, columns=columns)
-        for run in plan.runs
-    ]
-    total = 0.0
-    for coefficient, ids in plan.terms:
-        miss = 1.0
-        for rid in ids:
-            miss *= 1.0 - run_values[rid]
-        total += coefficient * (1.0 - miss)
-    return total
+    return evaluate_plan_float(plan_ir(plan), tid)
 
 
 def probability(

@@ -62,6 +62,12 @@ class ConjunctiveQuery:
         """All relation names mentioned by the query."""
         return frozenset(atom.relation for atom in self.atoms)
 
+    def is_ucq(self) -> bool:
+        """Always ``True`` — a CQ is a one-disjunct UCQ; the duck-typed
+        shape test engines share with
+        :meth:`repro.queries.hqueries.HQuery.is_ucq`."""
+        return True
+
     def __str__(self) -> str:
         body = " ∧ ".join(map(str, self.atoms))
         quantified = "".join(f"∃{v} " for v in sorted(self.variables()))

@@ -32,6 +32,12 @@ class UnionOfCQs:
         """``D |= Q`` iff some disjunct matches."""
         return any(cq.holds_in(db) for cq in self.disjuncts)
 
+    def is_ucq(self) -> bool:
+        """Always ``True`` — the duck-typed shape test engines share with
+        :meth:`repro.queries.hqueries.HQuery.is_ucq` (UCQs are monotone
+        by construction)."""
+        return True
+
     def relations(self) -> frozenset[str]:
         """All relation names across the disjuncts."""
         result: frozenset[str] = frozenset()

@@ -37,9 +37,15 @@ class QueryRequest:
     default).  ``priority`` breaks ties under load shedding: when the
     queue must reject someone, the newest *lowest-priority* request goes
     first, so a higher number means "shed me later".
+
+    ``query`` is an :class:`~repro.queries.hqueries.HQuery` or any
+    UCQ/CQ the general lifted engine accepts
+    (:class:`~repro.queries.ucq.UnionOfCQs`,
+    :class:`~repro.queries.cq.ConjunctiveQuery`); non-h queries route
+    lifted → brute force → sampling on the shard.
     """
 
-    query: HQuery
+    query: HQuery | object
     tid: TupleIndependentDatabase
     budget: AccuracyBudget | None = None
     deadline_ms: float | None = None
@@ -65,8 +71,9 @@ class QueryRequest:
 class QueryResponse:
     """One answered request.
 
-    ``engine`` is ``"extensional"`` (safe monotone query, lifted columnar
-    sweep), ``"intensional"`` (batched d-D sweep), ``"brute_force"``
+    ``engine`` is ``"extensional"`` (safe monotone h-query, lifted
+    columnar sweep), ``"lifted"`` (safe non-h UCQ/CQ, Dalvi–Suciu plan
+    IR), ``"intensional"`` (batched d-D sweep), ``"brute_force"``
     (small hard instance), ``"karp_luby"`` (large hard UCQ) or
     ``"monte_carlo"`` (large hard non-monotone query).  ``batch_size``
     is the size of the microbatch the request was served in (1 when it

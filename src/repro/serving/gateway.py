@@ -29,8 +29,12 @@ false, "error": "<TypeName>", "message": "..."}``.  A ``register`` fact
 is ``[relation, values]`` or ``[relation, values, [numerator,
 denominator]]`` — probabilities are exact rationals on the wire (never
 floats), defaulting to 1.  Queries travel as their complete content,
-``(k, nvars, truth table)``, the same envelope the process backend uses
-across its pipe.
+the same discipline the process backend uses across its pipe: an
+h-query as ``{"k": ..., "nvars": ..., "table": ...}``, a general
+UCQ/CQ for the lifted route as ``{"ucq": [[[rel, [term, ...]], ...],
+...]}`` — a list of disjuncts, each a list of ``[relation, terms]``
+atoms, where a term is a variable name string or ``{"const": value}``
+for a constant.
 
 Quotas and backpressure: ``max_inflight`` bounds the requests the
 gateway will hold open across all connections, and ``tenant_quotas``
@@ -54,7 +58,9 @@ from repro.core.boolean_function import BooleanFunction
 from repro.db.relation import Instance
 from repro.db.tid import TupleIndependentDatabase
 from repro.pqe.approximate import AccuracyBudget
+from repro.queries.cq import Atom, ConjunctiveQuery, Constant
 from repro.queries.hqueries import HQuery
+from repro.queries.ucq import UnionOfCQs
 from repro.serving.service import ShardedService
 
 #: register/query lines may carry whole instances; the default 64 KiB
@@ -94,7 +100,32 @@ def _decode_budget(payload: dict) -> AccuracyBudget:
     return AccuracyBudget(**payload)
 
 
-def _decode_query(payload: dict) -> HQuery:
+def _decode_term(term):
+    """A wire term: a variable name string, or ``{"const": v}``."""
+    if isinstance(term, str):
+        return term
+    if isinstance(term, dict) and set(term) == {"const"}:
+        value = term["const"]
+        return Constant(
+            _decode_values(value) if isinstance(value, list) else value
+        )
+    raise ValueError(f"bad query term on the wire: {term!r}")
+
+
+def _decode_cq(atoms) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        tuple(
+            Atom(relation, tuple(_decode_term(t) for t in terms))
+            for relation, terms in atoms
+        )
+    )
+
+
+def _decode_query(payload: dict) -> HQuery | UnionOfCQs:
+    if "ucq" in payload:
+        return UnionOfCQs(
+            tuple(_decode_cq(atoms) for atoms in payload["ucq"])
+        )
     return HQuery(
         payload["k"],
         BooleanFunction(payload["nvars"], payload["table"]),

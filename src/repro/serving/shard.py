@@ -78,7 +78,7 @@ from dataclasses import dataclass, field
 from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.pqe.approximate import sampling_plan
 from repro.pqe.brute_force import probability_by_world_enumeration
-from repro.pqe.dichotomy import classify
+from repro.pqe.dichotomy import classify_query
 from repro.pqe.engine import (
     BRUTE_FORCE_LIMIT,
     COMPILATION_CACHE_LIMIT,
@@ -88,6 +88,8 @@ from repro.pqe.extensional import (
     ExtensionalPlanCache,
     probability_batch as extensional_probability_batch,
 )
+from repro.pqe.lift import evaluate_plan_batch
+from repro.queries.hqueries import HQuery
 from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
 from repro.serving.faults import FaultInjector, TransientFaultError
 from repro.serving.resilience import (
@@ -107,7 +109,7 @@ from repro.serving.stats import (
 )
 
 #: The route labels the shed/degradation policies keep EWMAs for.
-_ROUTES = ("extensional", "intensional", "brute_force", "sampling")
+_ROUTES = ("extensional", "lifted", "intensional", "brute_force", "sampling")
 
 
 @dataclass
@@ -563,6 +565,20 @@ class Shard:
         )
         return [rep_probabilities[slot] for slot in positions], hit
 
+    def _execute_lifted(
+        self, query, group: list[_Pending]
+    ) -> tuple[list[float], bool]:
+        """Serve a general lifted group (non-h safe UCQ/CQ): one IR plan
+        from this shard's plan cache, one evaluator sweep per distinct
+        probability map, fanned out.  Returns the per-member floats
+        (group order) and whether the plan was cached."""
+        plan, hit = self.plan_cache.get_or_build(query)
+        reps, positions = self._representatives(group)
+        rep_probabilities = evaluate_plan_batch(
+            plan, [pending.request.tid for pending in reps]
+        )
+        return [rep_probabilities[slot] for slot in positions], hit
+
     def _ensure_compiled(self, query, head: _Pending):
         """Compile (or probe) the group's circuit ahead of the
         post-compilation deadline check.  Returns ``(token, hit,
@@ -621,7 +637,7 @@ class Shard:
         if not group:
             return
         query = group[0].request.query
-        classification = classify(query)
+        classification = classify_query(query)
         size = len(group)
         # Counters first: a client unblocked by its future may read
         # stats() immediately and must already see itself counted.  The
@@ -638,8 +654,10 @@ class Shard:
         if self._fault_injector is not None:
             self._inject(group)
         if classification.extensional_safe:
-            route = "extensional"
-        elif classification.dd_ptime:
+            route = (
+                "extensional" if isinstance(query, HQuery) else "lifted"
+            )
+        elif classification.h_query and classification.dd_ptime:
             route = "intensional"
         else:
             route = None
@@ -666,6 +684,24 @@ class Shard:
                     pending,
                     probability,
                     "extensional",
+                    cache_hit=hit,
+                    batch_size=size,
+                )
+        elif route == "lifted":
+            # Non-h safe UCQs/CQs: the Dalvi–Suciu plan from the shard's
+            # plan cache, swept by the IR float evaluator — the same
+            # shared-plan / distinct-map grouping as the extensional
+            # route, with the same bit-for-float guarantee.
+            started = time.perf_counter()
+            probabilities, hit = self._execute_lifted(query, group)
+            self._observe_route(
+                "lifted", (time.perf_counter() - started) * 1e3
+            )
+            for pending, probability in zip(group, probabilities):
+                self._finish(
+                    pending,
+                    probability,
+                    "lifted",
                     cache_hit=hit,
                     batch_size=size,
                 )

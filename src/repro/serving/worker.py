@@ -3,7 +3,7 @@ front end.
 
 :class:`ProcessShard` subclasses :class:`~repro.serving.shard.Shard` and
 overrides exactly the route-compute hooks (``_ensure_compiled`` and the
-four ``_execute_*`` methods) with RPCs into a dedicated worker process.
+five ``_execute_*`` methods) with RPCs into a dedicated worker process.
 Everything else — microbatch fusion, admission control, deadlines,
 degradation, retries, circuit breaker, fault injection, stats counters —
 is inherited unchanged and runs in the submitting process, which is what
@@ -13,7 +13,10 @@ across them.
 
 What crosses the process boundary, and what does not:
 
-* **Queries** travel as ``(k, nvars, truth table)`` integer triples.
+* **Queries** travel as tagged envelopes: h-queries as
+  ``("h", k, nvars, truth table)`` integer tuples, general UCQs/CQs as
+  nested tuples of atoms with variables and constants tagged apart —
+  never as pickled query objects.
 * **Instance content** travels once per shard key: declared relations
   and facts, pickled over the control pipe at first use.
 * **Probability content** travels as shared-memory probability columns
@@ -61,7 +64,10 @@ from repro.pqe.extensional import (
     ExtensionalPlanCache,
     probability_batch as extensional_probability_batch,
 )
+from repro.pqe.lift import UnsafeQueryError, evaluate_plan_batch
+from repro.queries.cq import Atom, ConjunctiveQuery, Constant
 from repro.queries.hqueries import HQuery
+from repro.queries.ucq import UnionOfCQs
 from repro.serving.resilience import ServiceStopped
 from repro.serving.shard import Shard, _Pending
 from repro.serving.shm import SegmentLease, SegmentRegistry, read_columns
@@ -71,16 +77,65 @@ from repro.serving.shm import SegmentLease, SegmentRegistry, read_columns
 # ----------------------------------------------------------------------
 
 
-def encode_query(query: HQuery) -> tuple[int, int, int]:
-    """An H-query as three ints — its complete content."""
-    return (query.k, query.phi.nvars, query.phi.table)
+def _encode_cq(cq: ConjunctiveQuery) -> tuple:
+    return tuple(
+        (
+            atom.relation,
+            tuple(
+                ("c", term.value) if isinstance(term, Constant) else ("v", term)
+                for term in atom.terms
+            ),
+        )
+        for atom in cq.atoms
+    )
 
 
-def decode_query(encoded: tuple[int, int, int]) -> HQuery:
+def _decode_cq(encoded: tuple) -> ConjunctiveQuery:
+    return ConjunctiveQuery(
+        tuple(
+            Atom(
+                relation,
+                tuple(
+                    Constant(body) if tag == "c" else body
+                    for tag, body in terms
+                ),
+            )
+            for relation, terms in encoded
+        )
+    )
+
+
+def encode_query(query) -> tuple:
+    """A query's complete content as a tagged, picklable envelope.
+
+    H-queries keep the classic "three ints" wire form under the ``"h"``
+    tag; UCQs and CQs travel as nested tuples of atoms with variables
+    (``("v", name)``) and constants (``("c", value)``) tagged apart.
+    """
+    if isinstance(query, HQuery):
+        return ("h", query.k, query.phi.nvars, query.phi.table)
+    if isinstance(query, UnionOfCQs):
+        return ("ucq", tuple(_encode_cq(cq) for cq in query.disjuncts))
+    if isinstance(query, ConjunctiveQuery):
+        return ("cq", _encode_cq(query))
+    raise TypeError(
+        f"cannot encode query of type {type(query).__name__} for the "
+        f"worker pipe"
+    )
+
+
+def decode_query(encoded: tuple):
     from repro.core.boolean_function import BooleanFunction
 
-    k, nvars, table = encoded
-    return HQuery(k, BooleanFunction(nvars, table))
+    tag = encoded[0]
+    if tag == "h":
+        _, k, nvars, table = encoded
+        return HQuery(k, BooleanFunction(nvars, table))
+    if tag == "ucq":
+        return UnionOfCQs(tuple(_decode_cq(cq) for cq in encoded[1]))
+    if tag == "cq":
+        return _decode_cq(encoded[1])
+    raise ValueError(f"unknown query envelope tag {tag!r}")
 
 
 def encode_budget(budget: AccuracyBudget) -> tuple:
@@ -116,6 +171,7 @@ def decode_budget(encoded: tuple) -> AccuracyBudget:
 _TYPED_ERRORS = {
     "DeadlineExceeded": DeadlineExceeded,
     "HardQueryError": HardQueryError,
+    "UnsafeQueryError": UnsafeQueryError,
     "ValueError": ValueError,
     "KeyError": KeyError,
     "TypeError": TypeError,
@@ -236,6 +292,14 @@ def _serve_op(state: _WorkerState, op: str, payload: tuple):
         plan, hit = state.plan_cache.get_or_build(query)
         probabilities = extensional_probability_batch(
             query, [state.tid(key) for key in keys], plan=plan
+        )
+        return (list(probabilities), hit)
+    if op == "lifted":
+        encoded_query, keys = payload
+        query = decode_query(encoded_query)
+        plan, hit = state.plan_cache.get_or_build(query)
+        probabilities = evaluate_plan_batch(
+            plan, [state.tid(key) for key in keys]
         )
         return (list(probabilities), hit)
     if op == "brute":
@@ -532,6 +596,20 @@ class ProcessShard(Shard):
         try:
             rep_probabilities, hit = self._client.call(
                 "extensional",
+                encode_query(query),
+                [lease.key for lease in leases],
+            )
+        finally:
+            for lease in leases:
+                self._registry.release(lease)
+        return [rep_probabilities[slot] for slot in positions], hit
+
+    def _execute_lifted(self, query, group: list[_Pending]):
+        reps, positions = self._representatives(group)
+        leases = [self._lease(pending.request.tid) for pending in reps]
+        try:
+            rep_probabilities, hit = self._client.call(
+                "lifted",
                 encode_query(query),
                 [lease.key for lease in leases],
             )

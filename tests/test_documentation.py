@@ -1,11 +1,16 @@
-"""Documentation correctness: the README quickstart must run, and the
-doctest examples embedded in module docstrings must hold."""
+"""Documentation correctness: the README quickstart must run, the
+doctest examples embedded in module docstrings must hold, and the
+repo's own markdown must not point at files outside this checkout."""
 
 from __future__ import annotations
 
 import doctest
+import re
+from pathlib import Path
 
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 class TestReadmeQuickstart:
@@ -47,3 +52,56 @@ class TestModuleDoctests:
         module = importlib.import_module(module_name)
         results = doctest.testmod(module, verbose=False)
         assert results.failed == 0, f"{module_name}: {results}"
+
+
+#: Markdown maintained by hand in this repo.  Generated context files
+#: (PAPER.md, PAPERS.md, SNIPPETS.md, ISSUE.md, CHANGES.md) are inputs,
+#: not documentation, and are excluded.
+CHECKED_MARKDOWN = sorted(
+    [REPO_ROOT / "ROADMAP.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+
+class TestMarkdownLinks:
+    """Docs must be self-contained: no references to absolute paths
+    outside the checkout, and every repo-relative path or backtick
+    reference to a tracked artifact must exist."""
+
+    @pytest.mark.parametrize(
+        "path", CHECKED_MARKDOWN, ids=lambda p: p.name
+    )
+    def test_no_out_of_tree_paths(self, path):
+        text = path.read_text()
+        stray = [
+            line
+            for line in text.splitlines()
+            if re.search(r"/root/(?!repo\b)", line)
+        ]
+        assert not stray, (
+            f"{path.name} references paths outside the checkout: {stray}"
+        )
+
+    @pytest.mark.parametrize(
+        "path", CHECKED_MARKDOWN, ids=lambda p: p.name
+    )
+    def test_referenced_repo_files_exist(self, path):
+        text = path.read_text()
+        missing = []
+        # `docs/foo.md`-style backtick references and [text](target)
+        # markdown links to repo-relative files.
+        referenced = set(
+            re.findall(r"`((?:docs|examples|benchmarks|src|tests)/[^`\s]+)`", text)
+        )
+        for link in re.findall(r"\]\(([^)#]+)\)", text):
+            if not link.startswith(("http://", "https://", "mailto:")):
+                referenced.add(link)
+        for reference in sorted(referenced):
+            reference = reference.split("::")[0]  # pytest node ids
+            target = (
+                REPO_ROOT / reference
+                if not reference.startswith(".")
+                else path.parent / reference
+            )
+            if not target.exists():
+                missing.append(reference)
+        assert not missing, f"{path.name} references missing files: {missing}"

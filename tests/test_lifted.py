@@ -1,0 +1,371 @@
+"""Tests for the general lifted-inference engine (:mod:`repro.pqe.lift`).
+
+The randomized property suite pins the Dalvi–Suciu safe-plan search and
+its plan IR against the possible-world oracle on small random UCQs
+(self-joins included), checks that every unsafe query is *rejected*
+rather than silently answered, and asserts that lifted safety agrees
+with :attr:`Classification.extensional_safe` across the whole h-query
+family — the two safety notions must coincide where they overlap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.boolean_function import BooleanFunction
+from repro.db.relation import Instance
+from repro.db.tid import TupleIndependentDatabase
+from repro.pqe.brute_force import probability_by_world_enumeration
+from repro.pqe.dichotomy import classify, classify_query
+from repro.pqe.engine import HardQueryError, evaluate, evaluate_batch
+from repro.pqe.extensional import (
+    extensional_plan_stats,
+    lattice_cache_counters,
+    plan_ir,
+    plan_for,
+)
+from repro.pqe.extensional import probability as extensional_probability
+from repro.pqe.lift import (
+    Complement,
+    IndependentJoin,
+    IndependentUnion,
+    LeafAtom,
+    UnsafeQueryError,
+    describe_plan,
+    evaluate_plan,
+    evaluate_plan_float,
+    is_liftable,
+    lift_query,
+    lifted_probability,
+    lifted_probability_float,
+)
+from repro.queries.cq import Atom, ConjunctiveQuery, Constant
+from repro.queries.hqueries import HQuery
+from repro.queries.ucq import UnionOfCQs, hquery_to_ucq
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+def random_tid(rng, rels, domain=2, density=0.8):
+    """A deterministic random TID over the given relation schema."""
+    inst = Instance()
+    for name, arity in rels.items():
+        inst.declare(name, arity)
+    tid = TupleIndependentDatabase(inst)
+    for name, arity in sorted(rels.items()):
+        for values in itertools.product(range(domain), repeat=arity):
+            if rng.random() < density:
+                t = inst.add(name, values)
+                tid.set_probability(t, Fraction(rng.randrange(0, 9), 8))
+    return tid
+
+
+def h_schema(k):
+    return {"R": 1, "T": 1, **{f"S{i}": 2 for i in range(1, k + 1)}}
+
+
+class TestSafetyAgreement:
+    """``is_liftable`` must agree with the Figure-1 criterion
+    (monotone and degenerate-or-zero-Euler) on every h-query."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_exhaustive_small_k(self, k):
+        n = k + 1
+        for table in range(1, 1 << (1 << n)):
+            query = HQuery(k, BooleanFunction(n, table))
+            assert is_liftable(query) == classify(query).extensional_safe, (
+                f"k={k} table={table}"
+            )
+
+    def test_sampled_k3(self):
+        rng = random.Random(0x11F7ED)
+        for table in rng.sample(range(1, (1 << 16) - 1), 40):
+            query = HQuery(3, BooleanFunction(4, table))
+            assert is_liftable(query) == classify(query).extensional_safe
+
+    def test_classify_query_on_non_h(self):
+        safe = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("x", "y"))))
+        hard = ConjunctiveQuery(
+            (Atom("R", ("x",)), Atom("S", ("x", "y")), Atom("T", ("y",)))
+        )
+        safe_cls = classify_query(safe)
+        hard_cls = classify_query(hard)
+        assert not safe_cls.h_query and not hard_cls.h_query
+        assert safe_cls.extensional_safe and not hard_cls.extensional_safe
+        assert hard_cls.known_hard and not safe_cls.known_hard
+
+    def test_hard_ucq_h1_rejected(self):
+        # The classic hard union R(x)S(x,y) ∨ S(x,y)T(y) (= Q_{h_1} with
+        # phi the full disjunction) has no safe plan.
+        h1 = UnionOfCQs((
+            ConjunctiveQuery((Atom("R", ("x",)), Atom("S1", ("x", "y")))),
+            ConjunctiveQuery((Atom("S1", ("x", "y")), Atom("T", ("y",)))),
+        ))
+        assert not is_liftable(h1)
+        with pytest.raises(UnsafeQueryError):
+            lift_query(h1)
+
+
+class TestHQueryParity:
+    """The lifted engine on ``hquery_to_ucq(Q)`` must reproduce the
+    specialized extensional engine exactly, for every safe monotone
+    h-query with k <= 2."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_exact_parity_with_extensional(self, k):
+        rng = random.Random(0xB0B5 + k)
+        n = k + 1
+        for table in range(1, (1 << (1 << n)) - 1):
+            query = HQuery(k, BooleanFunction(n, table))
+            if not query.phi.is_monotone():
+                continue
+            if not classify(query).extensional_safe:
+                continue
+            tid = random_tid(rng, h_schema(k))
+            lifted = lifted_probability(hquery_to_ucq(query), tid)
+            extensional = extensional_probability(query, tid)
+            assert lifted == extensional, f"k={k} table={table}"
+
+    def test_extensional_plan_lowers_onto_ir(self):
+        # The h-query fast path itself now evaluates through the IR:
+        # plan_ir(plan) carries one HRunKernel per run and the Möbius
+        # inclusion-exclusion terms as IndependentUnion sums.
+        query = HQuery(2, BooleanFunction.variable(1, 3))
+        plan, _ = plan_for(query)
+        ir = plan_ir(plan)
+        assert ir.op_count() >= 1
+        rng = random.Random(0xD1CE)
+        tid = random_tid(rng, h_schema(2))
+        assert evaluate_plan(ir, tid) == extensional_probability(query, tid)
+        assert evaluate_plan_float(ir, tid) == pytest.approx(
+            float(extensional_probability(query, tid)), abs=1e-12
+        )
+
+
+class TestRandomizedUCQs:
+    """Random small UCQs (self-joins included): every accepted query is
+    answered bit-identically to world enumeration; rejections happen and
+    never produce a wrong answer."""
+
+    RELS = {"A": 1, "B": 2, "C": 1, "D": 2}
+    VARS = ["x", "y", "z"]
+
+    def random_cq(self, rng):
+        atoms = []
+        for _ in range(rng.randrange(1, 4)):
+            rel = rng.choice(sorted(self.RELS))
+            terms = tuple(
+                rng.choice(self.VARS) for _ in range(self.RELS[rel])
+            )
+            atoms.append(Atom(rel, terms))
+        return ConjunctiveQuery(tuple(atoms))
+
+    def test_random_suite(self):
+        rng = random.Random(20260807)
+        accepted = rejected = 0
+        for _ in range(120):
+            query = UnionOfCQs(
+                tuple(self.random_cq(rng) for _ in range(rng.randrange(1, 3)))
+            )
+            tid = random_tid(rng, self.RELS)
+            try:
+                probability = lifted_probability(query, tid)
+            except UnsafeQueryError:
+                rejected += 1
+                continue
+            accepted += 1
+            assert probability == probability_by_world_enumeration(query, tid)
+        # The generator covers both sides of the dichotomy.
+        assert accepted >= 30
+        assert rejected >= 5
+
+    def test_constants_shatter_self_joins(self):
+        rng = random.Random(7)
+        tid = random_tid(rng, {"B": 2}, domain=3, density=1.0)
+        query = ConjunctiveQuery((
+            Atom("B", (Constant(0), "x")),
+            Atom("B", (Constant(1), "y")),
+        ))
+        assert is_liftable(query)
+        assert lifted_probability(query, tid) == (
+            probability_by_world_enumeration(query, tid)
+        )
+
+    def test_float_backend_tracks_exact(self):
+        rng = random.Random(99)
+        tid = random_tid(rng, self.RELS)
+        query = UnionOfCQs((
+            ConjunctiveQuery((Atom("A", ("x",)), Atom("B", ("x", "y")))),
+            ConjunctiveQuery((Atom("C", ("z",)),)),
+        ))
+        exact = lifted_probability(query, tid)
+        approx = lifted_probability_float(query, tid)
+        assert approx == pytest.approx(float(exact), abs=1e-12)
+
+
+class TestPlanIR:
+    def test_complement_evaluates(self):
+        # Complement is IR surface the search does not currently emit;
+        # the evaluators must still honor it (1 - Pr of the child).
+        inst = Instance()
+        inst.declare("R", 1)
+        tid = TupleIndependentDatabase(inst)
+        t = inst.add("R", (0,))
+        tid.set_probability(t, Fraction(1, 3))
+        leaf = LeafAtom("R", (0,))  # leaf terms are raw domain values
+        assert evaluate_plan(Complement(leaf), tid) == Fraction(2, 3)
+        assert evaluate_plan(
+            Complement(IndependentJoin((leaf, Complement(leaf)))), tid
+        ) == 1 - Fraction(1, 3) * Fraction(2, 3)
+        assert evaluate_plan_float(Complement(leaf), tid) == pytest.approx(
+            2 / 3, abs=1e-12
+        )
+
+    def test_trivial_plans(self):
+        inst = Instance()
+        inst.declare("R", 1)
+        tid = TupleIndependentDatabase(inst)
+        assert evaluate_plan(IndependentJoin(()), tid) == 1
+        assert evaluate_plan(IndependentUnion(()), tid) == 0
+
+    def test_describe_plan_renders(self):
+        query = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("x", "y"))))
+        text = describe_plan(lift_query(query))
+        assert "project" in text or "join" in text
+
+
+class TestEngineRouting:
+    def setup_method(self):
+        rng = random.Random(0x5AFE)
+        self.tid = random_tid(rng, {"R": 1, "S": 2, "T": 1}, density=1.0)
+        self.safe = ConjunctiveQuery(
+            (Atom("R", ("x",)), Atom("S", ("x", "y")))
+        )
+        self.hard = ConjunctiveQuery(
+            (Atom("R", ("x",)), Atom("S", ("x", "y")), Atom("T", ("y",)))
+        )
+
+    def test_auto_routes_safe_cq_to_lifted(self):
+        result = evaluate(self.safe, self.tid)
+        assert result.engine == "lifted"
+        assert result.probability == probability_by_world_enumeration(
+            self.safe, self.tid
+        )
+
+    def test_lifted_method_works_on_h_queries_too(self):
+        rng = random.Random(0xFADE)
+        tid = random_tid(rng, h_schema(2))
+        query = HQuery(2, BooleanFunction.variable(1, 3))
+        by_lifted = evaluate(query, tid, method="lifted")
+        by_extensional = evaluate(query, tid, method="extensional")
+        assert by_lifted.probability == by_extensional.probability
+        assert by_lifted.engine == "extensional"
+
+    def test_intensional_refuses_non_h_queries(self):
+        with pytest.raises(ValueError, match="lifted"):
+            evaluate(self.safe, self.tid, method="intensional")
+
+    def test_hard_cq_falls_back_to_brute_force(self):
+        result = evaluate(self.hard, self.tid)
+        assert result.engine == "brute_force"
+        assert result.probability == probability_by_world_enumeration(
+            self.hard, self.tid
+        )
+
+    def test_batch_routes_lifted(self):
+        rng = random.Random(0xBA7C)
+        tids = [
+            random_tid(rng, {"R": 1, "S": 2, "T": 1}, density=1.0)
+            for _ in range(3)
+        ]
+        batch = evaluate_batch(self.safe, tids)
+        assert batch.engine == "lifted"
+        singles = [evaluate_plan_float(lift_query(self.safe), t) for t in tids]
+        assert list(batch.probabilities) == singles
+
+    def test_lifted_method_rejects_hard_query(self):
+        with pytest.raises((UnsafeQueryError, HardQueryError)):
+            evaluate(self.hard, self.tid, method="lifted")
+
+
+class TestLatticeCacheCounters:
+    """Satellite: the bounded lattice/plan caches expose hit/miss
+    counters through ``extensional_plan_stats``."""
+
+    def test_counters_shape(self):
+        counters = lattice_cache_counters()
+        assert set(counters) == {
+            "mobius_terms", "cnf_lattice", "dnf_lattice", "plan_ir"
+        }
+        for info in counters.values():
+            assert set(info) == {"hits", "misses", "size", "limit"}
+            assert info["limit"] is not None
+
+    def test_counters_move_and_surface_in_stats(self):
+        rng = random.Random(3)
+        tid = random_tid(rng, h_schema(1))
+        query = HQuery(1, BooleanFunction.variable(1, 2))
+        before = lattice_cache_counters()["mobius_terms"]
+        extensional_probability(query, tid)
+        extensional_probability(query, tid)
+        after = lattice_cache_counters()["mobius_terms"]
+        assert (
+            after["hits"] + after["misses"]
+            >= before["hits"] + before["misses"]
+        )
+        stats = extensional_plan_stats()
+        assert stats.lattice_caches["plan_ir"]["limit"] is not None
+
+
+class TestServingLiftedRoute:
+    """A non-h safe query routes ``engine="lifted"`` end-to-end, and the
+    two serving backends agree bit-for-float."""
+
+    def build_workload(self):
+        rng = random.Random(0x11F7)
+        tid = random_tid(rng, {"R": 1, "S": 2}, domain=3, density=1.0)
+        cq = ConjunctiveQuery((Atom("R", ("x",)), Atom("S", ("x", "y"))))
+        return cq, tid
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_backend_serves_lifted(self, backend):
+        from repro.serving import ShardedService
+
+        cq, tid = self.build_workload()
+        reference = evaluate_plan_float(lift_query(cq), tid)
+        with ShardedService(shards=2, backend=backend) as service:
+            for query in (cq, UnionOfCQs((cq,))):
+                response = service.submit(query, tid).result()
+                assert response.engine == "lifted"
+                assert response.probability == reference
+
+    def test_worker_codec_round_trips_every_query_shape(self):
+        from repro.serving.worker import decode_query, encode_query
+
+        h = HQuery(2, BooleanFunction.variable(0, 3))
+        cq = ConjunctiveQuery((
+            Atom("R", ("x", Constant(7))),
+            Atom("S", (Constant((1, 2)), "y")),
+        ))
+        ucq = UnionOfCQs((cq, ConjunctiveQuery((Atom("T", ("z",)),))))
+        for query in (h, cq, ucq):
+            assert decode_query(encode_query(query)) == query
+        with pytest.raises(TypeError):
+            encode_query(object())
+
+    def test_gateway_wire_form_decodes_ucqs(self):
+        from repro.serving.gateway import _decode_query
+
+        decoded = _decode_query(
+            {"ucq": [[["R", ["x", {"const": 3}]]], [["S", ["x", "y"]]]]}
+        )
+        assert decoded == UnionOfCQs((
+            ConjunctiveQuery((Atom("R", ("x", Constant(3))),)),
+            ConjunctiveQuery((Atom("S", ("x", "y")),)),
+        ))
+        with pytest.raises(ValueError):
+            _decode_query({"ucq": [[["R", [{"bogus": 1}]]]]})
