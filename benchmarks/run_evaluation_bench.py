@@ -1421,6 +1421,159 @@ def bench_resilience(rounds=40, slo_ms=250.0, seed=17):
     }
 
 
+def bench_replication(
+    requests=96, straggler_ms=40.0, warmup=32, seed=23
+):
+    """Replication, hedged requests, and supervised crash recovery (PR 9).
+
+    Part one (*hedging vs. stragglers*): a replicated instance served
+    under seeded straggler injection — a deterministic fraction of serve
+    attempts sleeps ``straggler_ms`` before answering — once with
+    hedging disabled and once with a
+    :class:`~repro.serving.resilience.HedgePolicy` whose delay is driven
+    by the warmed per-route latency EWMAs.  Caller-observed latency is
+    measured per request; the headline numbers are the two p99s.  A
+    straggled primary pins its caller for the full sleep when unhedged;
+    hedged, the backup replica answers in normal time and the straggler
+    is retired cooperatively — so ``hedged_p99_ms`` must come in well
+    under ``unhedged_p99_ms``.  ``hedged_identical`` is the exactness
+    gate (``check_bench_exactness.py`` enforces it): every float from
+    both runs equals the single-threaded ``evaluate_batch`` reference —
+    which attempt wins a race is bit-invisible.
+
+    Part two (*crash recovery*): on the process backend, SIGKILL a
+    shard's worker and time the supervisor's detect → respawn → replay
+    → first-served-response path (``recovery_ms``; breaker escalation
+    disabled so the number is the supervision loop itself, not the
+    breaker's reset window).
+    """
+    import os
+    import signal
+
+    from repro.pqe.engine import evaluate_batch
+    from repro.serving import (
+        FaultInjector,
+        HedgePolicy,
+        ShardedService,
+        SupervisorPolicy,
+        percentile,
+    )
+
+    query = q9()
+    tid = complete_tid(3, 3, 2, prob=Fraction(1, 2))
+    reference = evaluate_batch(query, [tid] * requests)
+
+    def run(hedge):
+        injector = FaultInjector(
+            seed=seed,
+            straggler_rate=Fraction(1, 12),
+            straggler_ms=straggler_ms,
+        )
+        service = ShardedService(
+            shards=2,
+            workers_per_shard=2,
+            hedge=hedge,
+            fault_injector=injector,
+        )
+        try:
+            service.register(tid, replicas=2)
+            # Warm the route EWMAs with straggler-free traffic so the
+            # hedge delay reflects the route's *normal* latency; the
+            # injector lanes only start firing once real traffic runs
+            # (warm-up consumes the leading schedule indices equally in
+            # both runs).
+            for shard in service._shards:
+                shard.observe_route_latency("extensional", 0.5)
+            latencies, probabilities = [], []
+            for _ in range(requests):
+                start = time.perf_counter()
+                response = service.submit(query, tid).result(timeout=120)
+                latencies.append((time.perf_counter() - start) * 1e3)
+                probabilities.append(response.probability)
+            stats = service.stats()
+            return latencies, probabilities, stats, injector.stats()
+        finally:
+            service.stop(wait=True)
+
+    unhedged_lat, unhedged_probs, _, unhedged_faults = run(
+        HedgePolicy(max_backups=0)
+    )
+    # The delay cap matters: straggled attempts feed the route EWMA
+    # too, so an uncapped quantile delay would creep toward the
+    # straggler latency itself and stop hedging in time.
+    hedge = HedgePolicy(
+        quantile_z=3.0, min_delay_ms=1.0, max_delay_ms=5.0, seed=seed
+    )
+    hedged_lat, hedged_probs, hedged_stats, hedged_faults = run(hedge)
+
+    hedged_identical = (
+        unhedged_probs == reference.probabilities
+        and hedged_probs == reference.probabilities
+    )
+
+    # --- crash recovery on the process backend -------------------------
+    recovery_ms = respawn_ms = None
+    restarts = 0
+    recovered_identical = False
+    service = ShardedService(
+        shards=1,
+        workers_per_shard=1,
+        backend="processes",
+        supervisor=SupervisorPolicy(trip_breaker_on_death=False),
+    )
+    try:
+        service.register(tid)
+        before = service.submit(query, tid).result(timeout=120)
+        shard = service._shards[0]
+        killed_at = time.perf_counter()
+        os.kill(shard._client._process.pid, signal.SIGKILL)
+        after = None
+        while time.perf_counter() - killed_at < 30.0:
+            try:
+                after = service.submit(query, tid).result(timeout=120)
+                break
+            except Exception:
+                time.sleep(0.001)
+        recovery_ms = (time.perf_counter() - killed_at) * 1e3
+        supervisor = shard.stats().supervisor
+        respawn_ms = supervisor.respawn_ms
+        restarts = supervisor.restarts
+        recovered_identical = (
+            after is not None
+            and after.probability == before.probability
+            and before.probability == reference.probabilities[0]
+        )
+    finally:
+        service.stop(wait=True)
+
+    return {
+        "requests": requests,
+        "straggler_ms": straggler_ms,
+        "straggler_rate": "1/12",
+        "unhedged_p50_ms": percentile(unhedged_lat, 0.50),
+        "unhedged_p99_ms": percentile(unhedged_lat, 0.99),
+        "unhedged_stragglers": unhedged_faults["straggler_events"],
+        "hedged_p50_ms": percentile(hedged_lat, 0.50),
+        "hedged_p99_ms": percentile(hedged_lat, 0.99),
+        "hedged_stragglers": hedged_faults["straggler_events"],
+        "hedged_p99_improvement": (
+            percentile(unhedged_lat, 0.99) / percentile(hedged_lat, 0.99)
+            if percentile(hedged_lat, 0.99) > 0
+            else 0.0
+        ),
+        "hedges_launched": hedged_stats.hedging.launched,
+        "backup_wins": hedged_stats.hedging.backup_wins,
+        "hedges_cancelled": hedged_stats.hedging.cancelled,
+        "replicas_placed": hedged_stats.replication.replicas_placed,
+        "spread": hedged_stats.replication.spread,
+        "hedged_identical": hedged_identical,
+        "recovery_ms": recovery_ms,
+        "supervisor_respawn_ms": respawn_ms,
+        "supervisor_restarts": restarts,
+        "recovered_identical": recovered_identical,
+    }
+
+
 SECTIONS = {
     "single_float": bench_single_float,
     "batch": bench_batch,
@@ -1432,6 +1585,7 @@ SECTIONS = {
     "lifted": bench_lifted,
     "sampling": bench_sampling,
     "resilience": bench_resilience,
+    "replication": bench_replication,
 }
 
 

@@ -70,6 +70,17 @@ class Deadline:
     def expired(self) -> bool:
         return self._clock() >= self._expires_at
 
+    def expire(self) -> None:
+        """Force immediate expiry (cooperative cancellation).
+
+        Hedged requests use this to retire the losing attempt: the next
+        cooperative :meth:`check` the loser runs raises
+        :class:`DeadlineExceeded`, so the abandoned work stops at a
+        determinism-safe boundary instead of being preempted mid-float.
+        Idempotent; never un-expires.
+        """
+        self._expires_at = min(self._expires_at, self._clock())
+
     def check(self, context: str = "") -> None:
         """Raise :class:`DeadlineExceeded` if the deadline has passed.
 

@@ -11,6 +11,7 @@ functions.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections.abc import Hashable, Iterable, Iterator
 from dataclasses import dataclass
 
@@ -153,6 +154,19 @@ class Instance:
         self._fingerprint_cache: tuple[TupleId, ...] | None = None
         self._fingerprint_versions: tuple | None = None
         self._derived: dict[Hashable, tuple[tuple, object]] = {}
+        self._derivation_lock = threading.RLock()
+
+    @property
+    def derivation_lock(self) -> "threading.RLock":
+        """The reentrant lock guarding everything derived from this
+        instance's content: :meth:`cached_derivation` builds, and any
+        compilation that *grows* a shared derivation afterwards (the
+        side OBDD managers gain nodes while lineage templates are
+        plugged).  Concurrent compilers over one instance must hold it —
+        :class:`repro.pqe.engine.CompilationCache` does; replicated
+        serving makes such races routine, since replica shards keep
+        separate caches over the same ``Instance``."""
+        return self._derivation_lock
 
     def relation(self, name: str) -> Relation:
         """The relation with the given name.
@@ -260,13 +274,14 @@ class Instance:
         value is shared state: treat it as read-only unless the builder
         documents otherwise.
         """
-        versions = self._versions()
-        entry = self._derived.get(key)
-        if entry is not None and entry[0] == versions:
-            return entry[1]
-        value = build(self)
-        self._derived[key] = (versions, value)
-        return value
+        with self._derivation_lock:
+            versions = self._versions()
+            entry = self._derived.get(key)
+            if entry is not None and entry[0] == versions:
+                return entry[1]
+            value = build(self)
+            self._derived[key] = (versions, value)
+            return value
 
     def _versions(self) -> tuple:
         return tuple(

@@ -184,7 +184,14 @@ class CompilationCache:
                 self._entries.move_to_end(key)
                 self._stats.hits += 1
                 return cached, True
-        compiled = compile_lineage(query, instance)
+        # Compiling grows instance-shared derivations (the side OBDD
+        # managers gain nodes while the lineage template is plugged), so
+        # concurrent compiles over one instance serialize on the
+        # *instance*, not just this cache: replicated serving keeps a
+        # separate cache per replica shard over the same ``Instance``.
+        # Distinct instances still compile fully in parallel.
+        with instance.derivation_lock:
+            compiled = compile_lineage(query, instance)
         compiled.circuit.freeze()
         with self._lock:
             racing = self._entries.get(key)

@@ -32,7 +32,11 @@ from repro.serving.api import (
     QueryRequest,
     QueryResponse,
 )
-from repro.serving.faults import FaultInjector, TransientFaultError
+from repro.serving.faults import (
+    FaultInjector,
+    TransientFaultError,
+    WorkerCrashError,
+)
 from repro.serving.gateway import (
     Gateway,
     GatewayOverloaded,
@@ -44,22 +48,27 @@ from repro.serving.resilience import (
     CircuitBreakerOpen,
     Deadline,
     DeadlineExceeded,
+    HedgePolicy,
     LatencyEwma,
     RetryPolicy,
     ServiceStopped,
     ShardOverloaded,
+    SupervisorPolicy,
     degraded_budget,
 )
-from repro.serving.service import ShardedService
+from repro.serving.service import ShardedService, placement_ring
 from repro.serving.shard import Shard
 from repro.serving.shm import SegmentRegistry
 from repro.serving.worker import ProcessShard
 from repro.serving.stats import (
+    HedgeStats,
     LatencyWindow,
+    ReplicationStats,
     ResilienceStats,
     SamplingStats,
     ServiceStats,
     ShardStats,
+    SupervisorStats,
     percentile,
 )
 
@@ -73,11 +82,14 @@ __all__ = [
     "Gateway",
     "GatewayOverloaded",
     "GatewayServer",
+    "HedgePolicy",
+    "HedgeStats",
     "LatencyEwma",
     "LatencyWindow",
     "ProcessShard",
     "QueryRequest",
     "QueryResponse",
+    "ReplicationStats",
     "ResilienceStats",
     "RetryPolicy",
     "SamplingStats",
@@ -85,11 +97,15 @@ __all__ = [
     "ServiceStats",
     "ServiceStopped",
     "Shard",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "TenantQuotaExceeded",
     "ShardOverloaded",
     "ShardStats",
     "ShardedService",
     "TransientFaultError",
+    "WorkerCrashError",
     "degraded_budget",
+    "placement_ring",
     "percentile",
 ]

@@ -11,7 +11,7 @@ wave schedules, and numpy availability.  Rates are exact
 comparisons, so ``error_rate=0.1`` means *exactly* 1-in-10 in
 expectation on every platform.
 
-Three fault kinds, each on its own stream lane per shard:
+Five fault kinds, each on its own stream lane per shard:
 
 - **worker errors** (``should_fail``): the worker raises
   :class:`TransientFaultError` mid-compute for the doomed request —
@@ -24,6 +24,13 @@ Three fault kinds, each on its own stream lane per shard:
 - **queue pressure** (``phantom_depth``): admission sees phantom extra
   queue depth — exercising the shed policy without needing real
   concurrent load.
+- **worker kills** (``should_kill``): the shard's worker is crashed
+  (SIGKILL on the process backend, simulated on threads) before serving
+  the doomed attempt, raising :class:`WorkerCrashError` — exercising
+  supervision, respawn-and-replay, and replica failover.
+- **straggler latency** (``straggler_ms_for``): a *long* added delay on
+  its own lane — exercising hedged requests, which must beat the
+  straggler by racing a replica.
 
 The injector is wired through :class:`~repro.serving.shard.Shard` /
 :class:`~repro.serving.service.ShardedService` as an optional hook; a
@@ -37,12 +44,13 @@ from fractions import Fraction
 
 from repro.db.tid import DrawStream
 
-__all__ = ["FaultInjector", "TransientFaultError"]
+__all__ = ["FaultInjector", "TransientFaultError", "WorkerCrashError"]
 
 #: Lane block for fault streams, far from the samplers' lanes 0/1 and
 #: the retry-jitter lane.  Each (kind, shard) pair gets its own lane.
 _FAULT_LANE_BASE = 9001
 _KIND_ERROR, _KIND_LATENCY, _KIND_PRESSURE = 0, 1, 2
+_KIND_KILL, _KIND_STRAGGLER = 3, 4
 #: Draws are addressed by ``index * 32 + attempt`` so a retried request
 #: re-rolls its fault independently of its first attempt.
 _ATTEMPT_STRIDE = 32
@@ -61,6 +69,13 @@ class TransientFaultError(RuntimeError):
     """An injected worker failure, classified transient: the retry
     policy may re-attempt it (and will succeed unless the request is in
     ``broken_requests`` or re-rolls unlucky)."""
+
+
+class WorkerCrashError(TransientFaultError):
+    """An injected worker crash: the worker died under this attempt.
+    Subclasses :class:`TransientFaultError` because with supervision the
+    crash *is* transient — the retry lands on the respawned worker (or a
+    replica) and succeeds."""
 
 
 class FaultInjector:
@@ -82,6 +97,9 @@ class FaultInjector:
         pressure_rate=0,
         pressure_depth: int = 0,
         broken_requests=(),
+        worker_kill_rate=0,
+        straggler_rate=0,
+        straggler_ms: float = 0.0,
     ):
         self.seed = seed
         self.error_rate = _as_rate(error_rate, "error_rate")
@@ -96,11 +114,18 @@ class FaultInjector:
             )
         self.pressure_depth = pressure_depth
         self.broken_requests = frozenset(broken_requests)
+        self.worker_kill_rate = _as_rate(worker_kill_rate, "worker_kill_rate")
+        self.straggler_rate = _as_rate(straggler_rate, "straggler_rate")
+        if straggler_ms < 0:
+            raise ValueError(f"straggler_ms must be >= 0, got {straggler_ms}")
+        self.straggler_ms = straggler_ms
         self._lock = threading.Lock()
         self._streams: dict[tuple[int, int], DrawStream] = {}
         self._errors = 0
         self._latency_events = 0
         self._pressure_events = 0
+        self._kills = 0
+        self._straggler_events = 0
 
     def _hit(
         self, kind: int, shard: int, rate: Fraction, counter: int
@@ -145,6 +170,28 @@ class FaultInjector:
             return self.latency_ms
         return 0.0
 
+    def should_kill(self, shard: int, index: int, attempt: int = 0) -> bool:
+        """Whether to crash ``shard``'s worker under this attempt."""
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self._hit(_KIND_KILL, shard, self.worker_kill_rate, counter):
+            with self._lock:
+                self._kills += 1
+            return True
+        return False
+
+    def straggler_ms_for(
+        self, shard: int, index: int, attempt: int = 0
+    ) -> float:
+        """Straggler delay (ms) to inject before serving this attempt."""
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self.straggler_ms > 0 and self._hit(
+            _KIND_STRAGGLER, shard, self.straggler_rate, counter
+        ):
+            with self._lock:
+                self._straggler_events += 1
+            return self.straggler_ms
+        return 0.0
+
     def phantom_depth(self, shard: int, index: int) -> int:
         """Phantom queue depth admission control should add for this
         request (attempt-independent: admission happens once)."""
@@ -163,4 +210,6 @@ class FaultInjector:
                 "errors": self._errors,
                 "latency_events": self._latency_events,
                 "pressure_events": self._pressure_events,
+                "kills": self._kills,
+                "straggler_events": self._straggler_events,
             }

@@ -16,7 +16,8 @@ Protocol (one JSON object per line; ``id`` is echoed back)::
 
     {"op": "ping", "id": 0}
     {"op": "register", "id": 1, "instance": "orders",
-     "facts": [["R", [1], [1, 2]], ["S1", [1, 2]], ["T", [2], [2, 3]]]}
+     "facts": [["R", [1], [1, 2]], ["S1", [1, 2]], ["T", [2], [2, 3]]],
+     "replicas": 2}                               # optional
     {"op": "query", "id": 2, "instance": "orders",
      "query": {"k": 1, "nvars": 2, "table": 8},
      "budget": {"epsilon": 0.05, "seed": 7},     # optional
@@ -286,13 +287,19 @@ class Gateway:
                 tid.set_probability(
                     tuple_id, Fraction(numerator, denominator)
                 )
-        shard = self.service.register(tid)
+        replicas = message.get("replicas", 1)
+        if not isinstance(replicas, int) or replicas < 1:
+            raise ValueError(
+                f"replicas must be a positive integer, got {replicas!r}"
+            )
+        shard = self.service.register(tid, replicas=replicas)
         self._tids[name] = tid
         return {
             "id": message["id"],
             "ok": True,
             "instance": name,
             "shard": shard,
+            "placement": list(self.service.placement_of(tid)),
             "tuples": len(tid),
         }
 

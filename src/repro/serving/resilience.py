@@ -26,6 +26,7 @@ serving-facing names.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections.abc import Callable
@@ -41,10 +42,12 @@ __all__ = [
     "DEFAULT_SAMPLES_PER_MS",
     "Deadline",
     "DeadlineExceeded",
+    "HedgePolicy",
     "LatencyEwma",
     "RetryPolicy",
     "ServiceStopped",
     "ShardOverloaded",
+    "SupervisorPolicy",
     "degraded_budget",
 ]
 
@@ -52,6 +55,10 @@ __all__ = [
 #: clause draw lanes of the samplers (see :mod:`repro.db.tid`); the
 #: serving layer keeps far away from them.
 RETRY_JITTER_LANE = 7001
+
+#: DrawStream lane for hedge-delay jitter — its own lane so hedging and
+#: retries never share a draw schedule.
+HEDGE_JITTER_LANE = 7002
 
 #: Conservative prior for the sampling route's throughput, used by
 #: :func:`degraded_budget` before the shard has observed any sampling
@@ -180,6 +187,17 @@ class CircuitBreaker:
             ):
                 self._trip()
 
+    def trip(self) -> None:
+        """Force the breaker open immediately (supervisor escalation).
+
+        Used when an out-of-band signal — a worker death, a supervisor
+        giving up on respawns — proves the shard unhealthy without the
+        request path having to accumulate ``failure_threshold``
+        consecutive failures first.
+        """
+        with self._lock:
+            self._trip()
+
     def _trip(self) -> None:
         # Caller holds the lock.
         self._state = "open"
@@ -246,7 +264,14 @@ class LatencyEwma:
     service latencies (ms) — the shard's one-number prediction of "how
     long would this route take right now" for shed and degradation
     decisions.  ``value()`` is 0.0 until the first observation;
-    ``samples`` lets policies refuse to predict from nothing."""
+    ``samples`` lets policies refuse to predict from nothing.
+
+    Alongside the mean it tracks an EWMA of squared deviations, so
+    :meth:`quantile_ms` can answer "how long would a *slow* request on
+    this route take" (mean + z·stddev) — the hedge-delay question: fire
+    the backup only once the primary has outlived a high quantile of its
+    route's history.
+    """
 
     def __init__(self, alpha: float = 0.2):
         if not 0 < alpha <= 1:
@@ -254,24 +279,153 @@ class LatencyEwma:
         self.alpha = alpha
         self._lock = threading.Lock()
         self._value = 0.0
+        self._variance = 0.0
         self._samples = 0
 
     def observe(self, latency_ms: float) -> None:
         with self._lock:
             if self._samples == 0:
                 self._value = latency_ms
+                self._variance = 0.0
             else:
-                self._value += self.alpha * (latency_ms - self._value)
+                deviation = latency_ms - self._value
+                self._value += self.alpha * deviation
+                self._variance += self.alpha * (
+                    deviation * deviation - self._variance
+                )
             self._samples += 1
 
     def value(self) -> float:
         with self._lock:
             return self._value
 
+    def quantile_ms(self, z: float = 2.0) -> float:
+        """Mean + ``z`` EWMA standard deviations — an upper-quantile
+        latency estimate (0.0 before any observation)."""
+        with self._lock:
+            if self._samples == 0:
+                return 0.0
+            return self._value + z * math.sqrt(max(self._variance, 0.0))
+
     @property
     def samples(self) -> int:
         with self._lock:
             return self._samples
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and how to hedge a replicated request with a backup.
+
+    The service fires at most ``max_backups`` backup requests (0
+    disables hedging) after a *deterministic* delay: the primary route's
+    :meth:`LatencyEwma.quantile_ms` at ``quantile_z`` deviations, scaled
+    by ``delay_factor``, clamped to ``[min_delay_ms, max_delay_ms]``
+    (``initial_delay_ms`` stands in before the route has history), then
+    jittered downward on a seeded :class:`~repro.db.tid.DrawStream` lane
+    exactly like :meth:`RetryPolicy.delay_ms` — a replay of the same
+    admission tokens produces the same hedge schedule.
+    """
+
+    max_backups: int = 1
+    quantile_z: float = 3.0
+    delay_factor: float = 1.0
+    initial_delay_ms: float = 10.0
+    min_delay_ms: float = 1.0
+    max_delay_ms: float = 100.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_backups < 0:
+            raise ValueError(
+                f"max_backups must be non-negative, got {self.max_backups}"
+            )
+        if self.delay_factor <= 0:
+            raise ValueError(
+                f"delay_factor must be positive, got {self.delay_factor}"
+            )
+        if self.min_delay_ms < 0 or self.max_delay_ms < self.min_delay_ms:
+            raise ValueError(
+                f"need 0 <= min_delay_ms <= max_delay_ms, got "
+                f"{self.min_delay_ms}..{self.max_delay_ms}"
+            )
+        if self.initial_delay_ms < 0:
+            raise ValueError(
+                f"initial_delay_ms must be non-negative, got "
+                f"{self.initial_delay_ms}"
+            )
+        if not 0 <= self.jitter <= 1:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_backups > 0
+
+    def delay_ms(self, token: int, quantile_ms: float) -> float:
+        """Hedge delay for admission ``token`` given the primary route's
+        latency quantile — a pure function of both."""
+        base = (
+            quantile_ms * self.delay_factor
+            if quantile_ms > 0
+            else self.initial_delay_ms
+        )
+        base = min(max(base, self.min_delay_ms), self.max_delay_ms)
+        if self.jitter == 0 or base == 0:
+            return base
+        stream = DrawStream(self.seed, HEDGE_JITTER_LANE)
+        counter = token * 32
+        draw = stream.below(1 << 20, counter, 1, use_numpy=False)[0]
+        # Like RetryPolicy: jitter pulls the delay down into
+        # [base*(1-jitter), base], never above the envelope.
+        return base * (1.0 - self.jitter * (draw / float(1 << 20)))
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart policy for a supervised worker process.
+
+    On worker death the supervisor resolves in-flight futures typed,
+    optionally trips the shard's breaker (``trip_breaker_on_death`` —
+    the *failover* signal: while open, replicated instances route to
+    replicas), waits a deterministic exponential backoff, then respawns
+    and replays instance registrations.  After ``max_restarts``
+    respawns the supervisor gives up: the worker stays dead, the shard
+    reports unhealthy, and requests fail typed.
+    """
+
+    max_restarts: int = 16
+    base_delay_ms: float = 5.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 200.0
+    trip_breaker_on_death: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be non-negative, got {self.max_restarts}"
+            )
+        if self.base_delay_ms < 0:
+            raise ValueError(
+                f"base_delay_ms must be non-negative, got {self.base_delay_ms}"
+            )
+        if self.multiplier < 1:
+            raise ValueError(
+                f"multiplier must be at least 1, got {self.multiplier}"
+            )
+        if self.max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be non-negative, got {self.max_delay_ms}"
+            )
+
+    def delay_ms(self, restart: int) -> float:
+        """Backoff before restart number ``restart`` (1-based)."""
+        if restart < 1:
+            raise ValueError(f"restart must be >= 1, got {restart}")
+        return min(
+            self.max_delay_ms,
+            self.base_delay_ms * self.multiplier ** (restart - 1),
+        )
 
 
 def degraded_budget(

@@ -91,7 +91,11 @@ from repro.pqe.extensional import (
 from repro.pqe.lift import evaluate_plan_batch
 from repro.queries.hqueries import HQuery
 from repro.serving.api import AccuracyBudget, QueryRequest, QueryResponse
-from repro.serving.faults import FaultInjector, TransientFaultError
+from repro.serving.faults import (
+    FaultInjector,
+    TransientFaultError,
+    WorkerCrashError,
+)
 from repro.serving.resilience import (
     CircuitBreaker,
     CircuitBreakerOpen,
@@ -210,6 +214,8 @@ class Shard:
         self._breaker_rejected = 0
         self._injected_errors = 0
         self._injected_latency = 0
+        self._injected_kills = 0
+        self._injected_stragglers = 0
 
     # ------------------------------------------------------------------
     # Front-end
@@ -220,7 +226,9 @@ class Shard:
         with self._lock:
             self._instances.add(fingerprint)
 
-    def submit(self, request: QueryRequest) -> Future:
+    def submit(
+        self, request: QueryRequest, deadline: Deadline | None = None
+    ) -> Future:
         """Enqueue one request; the returned future resolves to a
         :class:`~repro.serving.api.QueryResponse` or raises a typed
         error (the engine's own, or
@@ -230,12 +238,19 @@ class Shard:
         resilience layer).  Only submitting against a stopped shard
         raises *here* — an admitted request's outcome always travels
         through its future.
+
+        ``deadline`` lets a caller hand in a pre-built
+        :class:`~repro.core.deadline.Deadline` instead of the request's
+        relative ``deadline_ms`` — the hedging layer keeps the handle so
+        it can :meth:`~repro.core.deadline.Deadline.expire` the losing
+        attempt cooperatively.
         """
-        deadline = (
-            Deadline(request.deadline_ms)
-            if request.deadline_ms is not None
-            else None
-        )
+        if deadline is None:
+            deadline = (
+                Deadline(request.deadline_ms)
+                if request.deadline_ms is not None
+                else None
+            )
         pending = _Pending(
             request, Future(), time.perf_counter(), deadline=deadline
         )
@@ -340,6 +355,50 @@ class Shard:
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._pending)
+
+    def healthy(self) -> bool:
+        """Whether this shard can be expected to serve right now: not
+        stopped and breaker not open.  The process backend additionally
+        requires a live (or still-supervisable) worker.  Replica routing
+        and hedging consult this to skip dark shards."""
+        with self._lock:
+            if self._stopped:
+                return False
+        if self._breaker is not None and self._breaker.state == "open":
+            return False
+        return True
+
+    def accepting(self) -> bool:
+        """Healthy *and* with admission headroom — a shard worth
+        hedging onto (a backup fired at a full queue would just be
+        shed)."""
+        return self.healthy() and self.queue_depth() < self.max_queue_depth
+
+    def route_for(self, request: QueryRequest) -> str:
+        """The route label this request would take (mirrors
+        :meth:`_process`'s dispatch) — what the hedge-delay policy keys
+        its latency quantile on."""
+        classification = classify_query(request.query)
+        if classification.extensional_safe:
+            return (
+                "extensional"
+                if isinstance(request.query, HQuery)
+                else "lifted"
+            )
+        if classification.h_query and classification.dd_ptime:
+            return "intensional"
+        if len(request.tid) <= self.brute_force_limit:
+            return "brute_force"
+        return "sampling"
+
+    def route_quantile_ms(self, route: str, z: float = 2.0) -> float:
+        """An upper-quantile latency estimate for ``route`` (0.0 before
+        any observation) — the hedge-delay input."""
+        if route not in self._route_ewma:
+            raise ValueError(
+                f"unknown route {route!r}; expected one of {_ROUTES}"
+            )
+        return self._route_ewma[route].quantile_ms(z)
 
     def close(self, wait: bool = True) -> None:
         """Shut the worker pool down gracefully (idempotent): pending
@@ -483,12 +542,36 @@ class Shard:
 
     def _inject(self, group: list[_Pending]) -> None:
         """Apply the optional fault injector to this serve attempt:
-        sleep the worst injected latency of the group, then raise
-        :class:`TransientFaultError` if any member is scheduled to fail
-        this attempt (the group-split retry in :meth:`_serve` then
-        isolates the doomed member)."""
+        crash the worker if any member is scheduled to kill it (raising
+        :class:`WorkerCrashError` — transient, so the retry lands on the
+        respawned worker), sleep the worst injected latency / straggler
+        delay of the group, then raise :class:`TransientFaultError` if
+        any member is scheduled to fail this attempt (the group-split
+        retry in :meth:`_serve` then isolates the doomed member)."""
         injector = self._fault_injector
+        killers = [
+            pending
+            for pending in group
+            if injector.should_kill(
+                self.shard_id, pending.index, pending.attempt
+            )
+        ]
+        if killers:
+            with self._lock:
+                self._injected_kills += len(killers)
+            # The crash-and-respawn is synchronous: by the time the
+            # transient retry re-serves this group, a fresh worker with
+            # replayed registrations is in place — so the outcome is a
+            # pure function of the seeded schedule on both backends.
+            self._crash_worker()
+            raise WorkerCrashError(
+                f"injected worker crash on shard {self.shard_id} "
+                f"(request indices "
+                f"{[pending.index for pending in killers]}, attempt "
+                f"{killers[0].attempt})"
+            )
         delay_ms = 0.0
+        straggler_ms = 0.0
         for pending in group:
             delay_ms = max(
                 delay_ms,
@@ -496,10 +579,21 @@ class Shard:
                     self.shard_id, pending.index, pending.attempt
                 ),
             )
+            straggler_ms = max(
+                straggler_ms,
+                injector.straggler_ms_for(
+                    self.shard_id, pending.index, pending.attempt
+                ),
+            )
+        if straggler_ms > 0:
+            with self._lock:
+                self._injected_stragglers += 1
         if delay_ms > 0:
             with self._lock:
                 self._injected_latency += 1
-            time.sleep(delay_ms / 1e3)
+        total_delay = max(delay_ms, straggler_ms)
+        if total_delay > 0:
+            time.sleep(total_delay / 1e3)
         doomed = [
             pending
             for pending in group
@@ -516,6 +610,15 @@ class Shard:
                 f"{[pending.index for pending in doomed]}, attempt "
                 f"{doomed[0].attempt})"
             )
+
+    def _crash_worker(self) -> None:
+        """Crash the compute backend under an injected ``worker_kill``
+        fault.  The thread backend has no process to kill — the raised
+        :class:`WorkerCrashError` *is* the whole crash — so this base
+        hook is a no-op; :class:`~repro.serving.worker.ProcessShard`
+        overrides it to SIGKILL its worker and synchronously respawn it
+        through the supervisor, keeping both backends' observable
+        behavior identical."""
 
     # ------------------------------------------------------------------
     # Route compute — the backend boundary
@@ -978,6 +1081,8 @@ class Shard:
                     breaker_trips=breaker_trips,
                     injected_errors=self._injected_errors,
                     injected_latency_events=self._injected_latency,
+                    injected_kills=self._injected_kills,
+                    injected_stragglers=self._injected_stragglers,
                 ),
                 route_ewma_ms=route_ewma_ms,
             )

@@ -41,6 +41,16 @@ story.  The attach side also unregisters from the
 ``resource_tracker``: on 3.11 the tracker registers attachments too,
 and a tracked attachment would double-unlink the parent's segment when
 the worker exits.
+
+Supervisor respawn leans on two idempotency guarantees here.  A
+respawned worker re-attaching a segment its predecessor already read
+runs the same unregister-before-use dance (the tracker unregister is a
+best-effort set discard, so a name erased by the dead worker's
+attachment is simply absent); and :meth:`SegmentRegistry.unlink_all`
+is idempotent *and* tolerant of segments a crashed attachment raced
+(``_unlink`` re-registers with the tracker before unlinking and
+swallows ``FileNotFoundError``), so kill-recover-stop cycles leave
+zero ``/dev/shm`` entries — which the kill-recovery test asserts.
 """
 
 from __future__ import annotations
@@ -170,8 +180,15 @@ class SegmentRegistry:
         if reclaim is not None:
             _unlink(reclaim.shm)
 
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
     def unlink_all(self) -> None:
-        """Unlink every segment (idempotent; registry unusable after)."""
+        """Unlink every segment (idempotent — a second call, e.g. a
+        shard *and* its owning service both shutting down, finds the
+        books already empty and does nothing; registry unusable after)."""
         with self._lock:
             self._closed = True
             segments = list(self._segments.values())

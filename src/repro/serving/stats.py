@@ -116,6 +116,8 @@ class ResilienceStats:
     breaker_trips: int = 0
     injected_errors: int = 0
     injected_latency_events: int = 0
+    injected_kills: int = 0
+    injected_stragglers: int = 0
 
     def merged(self, other: "ResilienceStats") -> "ResilienceStats":
         """Aggregate two snapshots (sums; worst breaker state)."""
@@ -135,7 +137,75 @@ class ResilienceStats:
             self.breaker_trips + other.breaker_trips,
             self.injected_errors + other.injected_errors,
             self.injected_latency_events + other.injected_latency_events,
+            self.injected_kills + other.injected_kills,
+            self.injected_stragglers + other.injected_stragglers,
         )
+
+
+@dataclass(frozen=True)
+class SupervisorStats:
+    """The worker supervisor's counters for one shard (or merged across
+    the service).  On the ``threads`` backend there is no process to
+    supervise, so the defaults — alive, never restarted — hold.
+
+    ``restarts`` counts respawns (injected crashes and unexpected
+    deaths alike), ``replayed_instances`` the instance registrations
+    replayed into fresh workers, ``respawn_ms`` total wall-clock spent
+    respawning, ``worker_alive`` whether the (every) worker process is
+    currently alive, and ``gave_up`` whether a supervisor exhausted
+    ``max_restarts`` and left its shard dark.
+    """
+
+    restarts: int = 0
+    replayed_instances: int = 0
+    respawn_ms: float = 0.0
+    worker_alive: bool = True
+    gave_up: bool = False
+
+    def merged(self, other: "SupervisorStats") -> "SupervisorStats":
+        """Aggregate two snapshots (sums; alive only if all alive,
+        gave_up if any gave up)."""
+        return SupervisorStats(
+            self.restarts + other.restarts,
+            self.replayed_instances + other.replayed_instances,
+            self.respawn_ms + other.respawn_ms,
+            self.worker_alive and other.worker_alive,
+            self.gave_up or other.gave_up,
+        )
+
+
+@dataclass(frozen=True)
+class ReplicationStats:
+    """Placement and routing counters for replicated instances.
+
+    ``replicated_instances`` / ``replicas_placed`` describe the current
+    placement table (instances registered with ``replicas >= 2`` and the
+    extra copies placed for them); ``spread`` counts requests served off
+    the primary shard while the primary was healthy (load spreading),
+    ``failovers`` requests routed to a replica *because* the primary was
+    unhealthy (breaker open, worker dead, or stopped)."""
+
+    replicated_instances: int = 0
+    replicas_placed: int = 0
+    spread: int = 0
+    failovers: int = 0
+
+
+@dataclass(frozen=True)
+class HedgeStats:
+    """Hedged-request counters for the service.
+
+    ``launched`` backups actually issued, ``primary_wins`` /
+    ``backup_wins`` which attempt resolved the caller's future first,
+    ``cancelled`` losing attempts retired cooperatively (deadline
+    expired + future cancelled), ``failed_backups`` backup attempts that
+    were rejected at submission or failed typed."""
+
+    launched: int = 0
+    primary_wins: int = 0
+    backup_wins: int = 0
+    cancelled: int = 0
+    failed_backups: int = 0
 
 
 @dataclass(frozen=True)
@@ -163,6 +233,8 @@ class ShardStats:
     #: per-route EWMA latency predictions (ms), keyed by route label —
     #: what the shed and degradation policies consult
     route_ewma_ms: dict[str, float] = field(default_factory=dict)
+    #: worker-supervision counters (trivial on the threads backend)
+    supervisor: SupervisorStats = field(default_factory=SupervisorStats)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -189,6 +261,8 @@ class ShardStats:
         data["plans"] = ExtensionalPlanCacheStats(**data["plans"])
         data["sampling"] = SamplingStats(**data["sampling"])
         data["resilience"] = ResilienceStats(**data["resilience"])
+        if "supervisor" in data:
+            data["supervisor"] = SupervisorStats(**data["supervisor"])
         return cls(**data)
 
 
@@ -206,6 +280,21 @@ class ServiceStats:
     compile_ms: float = 0.0
     p50_ms: float = 0.0
     p95_ms: float = 0.0
+    #: service-level routing counters — these live at the service (the
+    #: shards cannot see placement or hedging), so unlike the derived
+    #: ``sampling``/``resilience`` aggregates they are real serialized
+    #: fields
+    replication: ReplicationStats = field(default_factory=ReplicationStats)
+    hedging: HedgeStats = field(default_factory=HedgeStats)
+
+    @property
+    def supervision(self) -> SupervisorStats:
+        """Service-wide supervision counters (per-shard snapshots
+        merged: sums, alive only if all workers alive)."""
+        merged = SupervisorStats()
+        for shard in self.shards:
+            merged = merged.merged(shard.supervisor)
+        return merged
 
     @property
     def sampling(self) -> SamplingStats:
@@ -258,4 +347,8 @@ class ServiceStats:
         data["shards"] = tuple(
             ShardStats.from_payload(shard) for shard in data["shards"]
         )
+        if "replication" in data:
+            data["replication"] = ReplicationStats(**data["replication"])
+        if "hedging" in data:
+            data["hedging"] = HedgeStats(**data["hedging"])
         return cls(**data)

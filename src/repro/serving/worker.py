@@ -40,6 +40,20 @@ kill) surfaces as a pipe EOF; every in-flight RPC — and therefore every
 in-flight request future — resolves with the typed
 :class:`~repro.serving.resilience.ServiceStopped`, never a naked
 ``BrokenPipeError``.
+
+**Supervision** (:class:`_Supervisor`): death no longer leaves the
+shard dark.  The reader thread's EOF (the parent-side SIGCHLD) invokes
+the supervisor, which trips the shard's breaker (the failover signal —
+replicated instances route to replicas while it is open), backs off
+deterministically, respawns a fresh worker, and *replays* every
+instance registration the shard has ever announced (kept as pickled
+payloads in ``_instance_payloads``); probability columns are lazily
+re-announced per ``(shard_key, digest)`` because the respawn clears the
+``_announced_columns`` book.  Injected ``worker_kill`` faults use the
+synchronous :meth:`_Supervisor.crash_and_respawn` path instead, so the
+kill-retry-recover cycle is a pure function of the seeded fault
+schedule.  After ``max_restarts`` respawns the supervisor gives up:
+the shard stays dark, reports unhealthy, and fails typed.
 """
 
 from __future__ import annotations
@@ -47,6 +61,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from dataclasses import replace
 
 from repro.core.deadline import Deadline, DeadlineExceeded
@@ -68,9 +83,10 @@ from repro.pqe.lift import UnsafeQueryError, evaluate_plan_batch
 from repro.queries.cq import Atom, ConjunctiveQuery, Constant
 from repro.queries.hqueries import HQuery
 from repro.queries.ucq import UnionOfCQs
-from repro.serving.resilience import ServiceStopped
+from repro.serving.resilience import ServiceStopped, SupervisorPolicy
 from repro.serving.shard import Shard, _Pending
 from repro.serving.shm import SegmentLease, SegmentRegistry, read_columns
+from repro.serving.stats import SupervisorStats
 
 # ----------------------------------------------------------------------
 # Wire codecs
@@ -244,6 +260,14 @@ def worker_main(conn, shard_id: int, cache_limit: int) -> None:
             if message_id is not None:
                 conn.send(("ok", message_id, None))
             break
+        if op == "ping":
+            # Health-check fast path: answered from the loop itself so a
+            # wedged _serve_op cannot fake liveness... which it could not
+            # anyway (the pipe is FIFO) — but keeping ping out of
+            # _serve_op keeps it free of compute-error handling.
+            if message_id is not None:
+                conn.send(("ok", message_id, "pong"))
+            continue
         try:
             result = _serve_op(state, op, payload)
         except BaseException as error:  # noqa: BLE001 - crosses the pipe
@@ -365,8 +389,11 @@ class _WorkerClient:
         *,
         cache_limit: int = COMPILATION_CACHE_LIMIT,
         start_method: str | None = None,
+        on_death=None,
     ):
         self.shard_id = shard_id
+        self._on_death = on_death
+        self._closing = False
         context = multiprocessing.get_context(_start_method(start_method))
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
@@ -400,9 +427,15 @@ class _WorkerClient:
         while True:
             try:
                 message = self._conn.recv()
+                kind, message_id = message[0], message[1]
             except (EOFError, OSError):
                 break
-            kind, message_id = message[0], message[1]
+            except Exception:  # pragma: no cover - timing-dependent
+                # A worker SIGKILLed mid-send leaves a truncated pickle
+                # on the pipe: recv can then raise UnpicklingError (or
+                # anything unpickling raises) instead of a clean EOF.
+                # The channel is unusable either way — same as a death.
+                break
             with self._state_lock:
                 rpc = self._rpcs.pop(message_id, None)
             if rpc is None:
@@ -417,6 +450,18 @@ class _WorkerClient:
                 f"worker process for shard {self.shard_id} terminated"
             )
         )
+        # EOF is the parent's SIGCHLD: tell the supervisor — unless this
+        # death is a deliberate shutdown, which is not a failure.  The
+        # reader thread must survive a failed respawn (spawn errors at
+        # interpreter teardown, a replay into an already-dead worker):
+        # the failure surfaces as typed ServiceStopped on the next RPC
+        # or as the fresh client's own death, never as an unhandled
+        # thread exception.
+        if self._on_death is not None and not self._closing:
+            try:
+                self._on_death(self)
+            except Exception:  # pragma: no cover - timing-dependent
+                pass
 
     def _fail_pending(self, error: BaseException) -> None:
         with self._state_lock:
@@ -478,11 +523,45 @@ class _WorkerClient:
         with self._state_lock:
             return not self._dead
 
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        """Health-check RPC with a timeout.  A worker that cannot answer
+        within ``timeout_s`` is declared dead and SIGKILLed — the pipe
+        EOF then runs the normal death path (in-flight RPCs resolve
+        typed, the supervisor respawns)."""
+        rpc = _Rpc()
+        with self._state_lock:
+            if self._dead:
+                return False
+            self._ensure_reader()
+            message_id = self._next_id
+            self._next_id += 1
+            self._rpcs[message_id] = rpc
+        try:
+            with self._send_lock:
+                self._conn.send(("ping", message_id))
+        except (OSError, ValueError):
+            self._fail_pending(
+                ServiceStopped(
+                    f"worker process for shard {self.shard_id} is gone"
+                )
+            )
+            return False
+        if rpc.event.wait(timeout_s):
+            return rpc.error is None
+        with self._state_lock:
+            self._rpcs.pop(message_id, None)
+        try:  # pragma: no cover - timing-dependent
+            self._process.kill()
+        except (AttributeError, OSError):
+            pass
+        return False
+
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker (idempotent).  Graceful (``wait=True``) asks
         and waits for the drain; otherwise the stop is cast best-effort
         and the process is joined with a short grace period, then
         terminated."""
+        self._closing = True
         with self._state_lock:
             already_dead = self._dead
         if not already_dead:
@@ -508,6 +587,116 @@ class _WorkerClient:
             pass
 
 
+class _Supervisor:
+    """Keeps one :class:`ProcessShard`'s worker process alive.
+
+    Two entry points: :meth:`crash_and_respawn` is the *deterministic*
+    path — an injected ``worker_kill`` fault SIGKILLs the worker and
+    respawns it synchronously (no breaker trip, no backoff), so by the
+    time the raised :class:`~repro.serving.faults.WorkerCrashError` is
+    retried a replayed worker is serving and the outcome is a pure
+    function of the fault schedule.  :meth:`_on_death` is the *async*
+    path — an unexpected pipe EOF (external SIGKILL, OOM, crash) trips
+    the shard's breaker (per policy), sleeps a deterministic exponential
+    backoff, then respawns and replays.  Both paths serialize on one
+    lock; after ``max_restarts`` respawns the supervisor gives up and
+    leaves the shard dark (breaker tripped, ``healthy()`` false).
+    """
+
+    def __init__(self, shard: "ProcessShard", policy: SupervisorPolicy):
+        self._shard = shard
+        self.policy = policy
+        self._lock = threading.RLock()
+        self._closing = False
+        self.restarts = 0
+        self.replayed_instances = 0
+        self.respawn_ms = 0.0
+        self.gave_up = False
+
+    def spawn(self) -> _WorkerClient:
+        return _WorkerClient(
+            self._shard.shard_id,
+            cache_limit=self._shard._worker_cache_limit,
+            start_method=self._shard._start_method,
+            on_death=self._on_death,
+        )
+
+    def shutdown(self) -> None:
+        """Stop supervising (deliberate shard shutdown is not a death)."""
+        with self._lock:
+            self._closing = True
+
+    def crash_and_respawn(self) -> None:
+        """SIGKILL the current worker and respawn it before returning."""
+        with self._lock:
+            if self._closing or self.gave_up:
+                return
+            client = self._shard._client
+            try:
+                client._process.kill()
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+            client._process.join(timeout=10.0)
+            # Resolve in-flight RPCs typed *now* rather than waiting for
+            # the reader thread to notice the EOF.
+            client._fail_pending(
+                ServiceStopped(
+                    f"worker process for shard {self._shard.shard_id} "
+                    f"was killed"
+                )
+            )
+            self._respawn_locked(backoff=False)
+
+    def _on_death(self, client: _WorkerClient) -> None:
+        with self._lock:
+            if self._closing or client is not self._shard._client:
+                return  # deliberate shutdown, or already replaced
+            if (
+                self.policy.trip_breaker_on_death
+                and self._shard._breaker is not None
+            ):
+                self._shard._breaker.trip()
+            self._respawn_locked(backoff=True)
+
+    def _respawn_locked(self, backoff: bool) -> None:
+        if self.restarts >= self.policy.max_restarts:
+            self.gave_up = True
+            if self._shard._breaker is not None:
+                self._shard._breaker.trip()
+            return
+        if backoff:
+            delay_ms = self.policy.delay_ms(self.restarts + 1)
+            if delay_ms > 0:
+                time.sleep(delay_ms / 1e3)
+        started = time.perf_counter()
+        try:
+            self._shard._client._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        client = self.spawn()
+        self._shard._client = client
+        self.restarts += 1
+        try:
+            self.replayed_instances += self._shard._replay_registrations(
+                client
+            )
+        except ServiceStopped:  # pragma: no cover - timing-dependent
+            # The fresh worker died during replay; its own reader EOF
+            # re-enters the supervisor with backoff.
+            pass
+        self.respawn_ms += (time.perf_counter() - started) * 1e3
+
+    def stats(self, worker_alive: bool) -> SupervisorStats:
+        with self._lock:
+            return SupervisorStats(
+                restarts=self.restarts,
+                replayed_instances=self.replayed_instances,
+                respawn_ms=self.respawn_ms,
+                worker_alive=worker_alive,
+                gave_up=self.gave_up,
+            )
+
+
 class ProcessShard(Shard):
     """A shard whose route compute runs in a dedicated worker process.
 
@@ -517,6 +706,16 @@ class ProcessShard(Shard):
     counters into the parent-side snapshot; ``stop()``/``close()`` shut
     the inherited pool down first (so in-flight RPCs resolve), then the
     worker, then unlink every published segment.
+
+    The worker is *supervised* (see :class:`_Supervisor`): a died
+    worker is respawned with every instance registration replayed, so a
+    SIGKILL costs the in-flight requests (resolved typed) but not the
+    shard.  ``registry`` lets a :class:`~repro.serving.service.
+    ShardedService` share one content-addressed
+    :class:`~repro.serving.shm.SegmentRegistry` across all its shards —
+    replicas of an instance then share probability segments instead of
+    republishing them — in which case the service owns the registry's
+    lifecycle and this shard's ``stop()``/``close()`` leave it alone.
     """
 
     def __init__(
@@ -524,17 +723,33 @@ class ProcessShard(Shard):
         shard_id: int,
         *,
         start_method: str | None = None,
+        supervisor: SupervisorPolicy | None = None,
+        registry: SegmentRegistry | None = None,
         **kwargs,
     ):
         super().__init__(shard_id, **kwargs)
-        self._registry = SegmentRegistry()
-        self._client = _WorkerClient(
-            shard_id,
-            cache_limit=kwargs.get("cache_limit", COMPILATION_CACHE_LIMIT),
-            start_method=start_method,
+        self._owns_registry = registry is None
+        self._registry = SegmentRegistry() if registry is None else registry
+        self._worker_cache_limit = kwargs.get(
+            "cache_limit", COMPILATION_CACHE_LIMIT
         )
+        self._start_method = start_method
         self._publish_lock = threading.Lock()
         self._announced: set[int] = set()
+        #: (shard_key, digest) pairs this shard's *current* worker has
+        #: been told about.  Keyed per shard (not per registry) because
+        #: with a shared registry a segment published by a replica is
+        #: not `fresh` here yet still unknown to this worker — and
+        #: cleared on respawn, because a fresh worker knows nothing.
+        self._announced_columns: set[tuple[int, int]] = set()
+        #: shard_key -> (relations, facts): the registration payloads to
+        #: replay into a respawned worker.
+        self._instance_payloads: dict[int, tuple[list, list]] = {}
+        self._supervisor = _Supervisor(
+            self,
+            supervisor if supervisor is not None else SupervisorPolicy(),
+        )
+        self._client = self._supervisor.spawn()
 
     # -- publication ---------------------------------------------------
 
@@ -553,7 +768,11 @@ class ProcessShard(Shard):
             lease = self._registry.acquire(
                 shard_key, digest, probability_columns(tid)
             )
-            if lease.fresh:
+            # Announce per (shard, worker incarnation), not per `fresh`
+            # publication: with a shared registry a replica may have
+            # published the segment already, and a respawned worker has
+            # forgotten every announcement.
+            if lease.key not in self._announced_columns:
                 try:
                     self._client.cast(
                         "columns",
@@ -566,6 +785,7 @@ class ProcessShard(Shard):
                 except ServiceStopped:
                     self._registry.release(lease)
                     raise
+                self._announced_columns.add(lease.key)
         return lease
 
     def _announce_locked(self, instance: Instance, shard_key: int) -> None:
@@ -581,6 +801,20 @@ class ProcessShard(Shard):
         ]
         self._client.cast("instance", shard_key, relations, facts)
         self._announced.add(shard_key)
+        self._instance_payloads[shard_key] = (relations, facts)
+
+    def _replay_registrations(self, client: _WorkerClient) -> int:
+        """Re-announce every known instance into a fresh worker (the
+        supervisor's respawn path); probability columns re-announce
+        lazily on next use.  Returns the number replayed."""
+        with self._publish_lock:
+            self._announced_columns.clear()
+            self._announced = set(self._instance_payloads)
+            for shard_key, (relations, facts) in sorted(
+                self._instance_payloads.items()
+            ):
+                client.cast("instance", shard_key, relations, facts)
+            return len(self._instance_payloads)
 
     def _announce(self, instance: Instance) -> int:
         shard_key = instance.shard_key()
@@ -663,10 +897,34 @@ class ProcessShard(Shard):
             self._registry.release(lease)
         return estimate, engine
 
+    # -- supervision hooks ---------------------------------------------
+
+    def _crash_worker(self) -> None:
+        # Injected worker_kill fault: SIGKILL + synchronous respawn, so
+        # the transient retry of the raised WorkerCrashError lands on a
+        # healed worker — deterministic on both backends.
+        self._supervisor.crash_and_respawn()
+
+    def healthy(self) -> bool:
+        return (
+            super().healthy()
+            and self._client.alive()
+            and not self._supervisor.gave_up
+        )
+
+    def health_check(self, timeout_s: float = 5.0) -> bool:
+        """Active liveness probe: ping the worker over the control pipe.
+        A timeout kills the worker, which routes into the supervisor's
+        normal death-and-respawn path."""
+        return self._client.ping(timeout_s)
+
     # -- observability & lifecycle -------------------------------------
 
     def stats(self):
         base = super().stats()
+        base = replace(
+            base, supervisor=self._supervisor.stats(self._client.alive())
+        )
         if not self._client.alive():
             return base
         try:
@@ -680,11 +938,15 @@ class ProcessShard(Shard):
         return self._registry.live_names()
 
     def close(self, wait: bool = True) -> None:
+        self._supervisor.shutdown()
         super().close(wait=wait)
         self._client.shutdown(wait=wait)
-        self._registry.unlink_all()
+        if self._owns_registry:
+            self._registry.unlink_all()
 
     def stop(self, wait: bool = True) -> None:
+        self._supervisor.shutdown()
         super().stop(wait=wait)
         self._client.shutdown(wait=wait)
-        self._registry.unlink_all()
+        if self._owns_registry:
+            self._registry.unlink_all()

@@ -209,6 +209,86 @@ class TestChaos:
         assert any(kind == "TransientFaultError" for kind, _ in first)
         assert any(kind == "ok" for kind, _ in first)
 
+    def test_seeded_kill_and_recover_replays_identically(self):
+        # Worker-kill chaos over replicated instances, on both backends:
+        # the seeded kill schedule crashes the same request indices
+        # everywhere (the thread backend has no worker process, but the
+        # typed WorkerCrashError and retry schedule are identical), every
+        # future resolves to an answer or a typed error, the killed
+        # shard is healthy again by the end (the process supervisor
+        # respawned its worker), and /dev/shm is clean after stop.
+        import glob
+        import os
+
+        from repro.serving import HedgePolicy
+        from repro.serving.shm import segment_prefix
+
+        def run(backend):
+            injector = FaultInjector(
+                seed=21, worker_kill_rate=Fraction(1, 6)
+            )
+            service = ShardedService(
+                shards=2,
+                workers_per_shard=1,  # single drain => stable order
+                retry=RetryPolicy(attempts=2, base_delay_ms=0.5),
+                # Hedging would let wall-clock timing decide whether a
+                # backup consumes a fault-lane index; keep the schedule
+                # a pure function of the seed.
+                hedge=HedgePolicy(max_backups=0),
+                breaker_failure_threshold=100,
+                fault_injector=injector,
+                backend=backend,
+            )
+            try:
+                tids = [
+                    complete_tid(3, 2 + i, 2, prob=Fraction(1, 2))
+                    for i in range(3)
+                ]
+                for tid in tids:
+                    service.register(tid, replicas=2)
+                outcomes = []
+                for i in range(24):
+                    future = service.submit(q9(), tids[i % 3])
+                    error = future.exception(timeout=120)
+                    if error is None:
+                        outcomes.append(
+                            ("ok", future.result().probability)
+                        )
+                    else:
+                        assert isinstance(error, TYPED_ERRORS), repr(error)
+                        outcomes.append((type(error).__name__, None))
+                # Recovery: every shard is healthy again — on the
+                # process backend that means the supervisor respawned
+                # each killed worker.
+                assert all(
+                    shard.healthy() for shard in service._shards
+                )
+                stats = service.stats()
+                kills = injector.stats()["kills"]
+                assert kills > 0
+                assert (
+                    sum(
+                        s.resilience.injected_kills for s in stats.shards
+                    )
+                    == kills
+                )
+                if backend == "processes":
+                    assert stats.supervision.restarts == kills
+                    assert stats.supervision.worker_alive
+                    assert not stats.supervision.gave_up
+                return outcomes, kills
+            finally:
+                service.stop(wait=True)
+
+        threads = run("threads")
+        processes = run("processes")
+        assert threads == processes
+        assert any(kind == "ok" for kind, _ in threads[0])
+        # Kill-recover-stop cycles leave zero shared-memory leaks.
+        assert not glob.glob(f"/dev/shm/{segment_prefix()}*"), (
+            os.listdir("/dev/shm")
+        )
+
     def test_stop_under_chaos_leaves_no_unresolved_future(self):
         # Stop the service while faulted traffic is still in flight:
         # everything still resolves (answers, typed faults, or

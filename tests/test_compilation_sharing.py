@@ -368,6 +368,51 @@ class TestEngineConcurrencyAndBatch:
         # At most a few racing compiles; every later call must hit.
         assert stats.hits >= 40 - 8
 
+    def test_concurrent_compiles_on_one_instance_stay_exact(self):
+        # Regression: compiling mutates instance-shared derivations (the
+        # side OBDD managers grow while templates are plugged), so two
+        # compilers racing over one instance — exactly what replicated
+        # serving does, with a separate CompilationCache per replica
+        # shard — used to corrupt the shared manager and make *both*
+        # emit a circuit computing the wrong probability.  The
+        # per-instance derivation lock must keep every concurrently
+        # compiled tape bit-identical to the single-threaded value.
+        from repro.pqe.engine import CompilationCache
+
+        rng = random.Random(0xD1CE)
+        while True:
+            phi = BooleanFunction.random(4, rng)
+            if phi.euler_characteristic() == 0 and not phi.is_monotone():
+                break
+        query = HQuery(3, phi)
+        reference = evaluate(
+            query, complete_tid(3, 3, 3), method="intensional"
+        ).probability
+        for _ in range(8):
+            tid = complete_tid(3, 3, 3)
+            caches = [CompilationCache() for _ in range(3)]
+            results: list[float | None] = [None] * len(caches)
+            barrier = threading.Barrier(len(caches))
+
+            def worker(slot: int) -> None:
+                barrier.wait()
+                compiled, _ = caches[slot].get_or_compile(
+                    query, tid.instance
+                )
+                tape = compiled.tape
+                vector = tape.probability_vector(tid.probability_map())
+                results[slot] = tape.evaluate_vectors([vector])[0]
+
+            threads = [
+                threading.Thread(target=worker, args=(slot,))
+                for slot in range(len(caches))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert results == [reference] * len(caches)
+
     def test_batch_fallback_reports_per_tid_engines(self):
         def full_disjunction(k):
             phi = BooleanFunction.bottom(k + 1)

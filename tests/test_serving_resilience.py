@@ -363,10 +363,14 @@ class TestFaultInjector:
         assert not injector.should_fail(0, 0)
         assert injector.latency_ms_for(0, 0) == 0.0
         assert injector.phantom_depth(0, 0) == 0
+        assert not injector.should_kill(0, 0)
+        assert injector.straggler_ms_for(0, 0) == 0.0
         assert injector.stats() == {
             "errors": 0,
             "latency_events": 0,
             "pressure_events": 0,
+            "kills": 0,
+            "straggler_events": 0,
         }
 
     def test_validation(self):
