@@ -31,6 +31,7 @@ REQUIRED_FLAGS = (
     "lifted.h_parity_identical",
     "lifted.serving_backends_identical",
     "replication.hedged_identical",
+    "gateway.recovered_identical",
 )
 
 

@@ -1574,6 +1574,227 @@ def bench_replication(
     }
 
 
+def bench_gateway(requests=48, seed=29):
+    """The durable gateway edge: drain, crash recovery, idempotency (PR 10).
+
+    A :class:`~repro.serving.gateway.GatewayServer` with a registration
+    journal, measured over real TCP from a blocking JSON-lines client:
+
+    - **Idempotent retries**: every query carries an ``idempotency_key``
+      and is sent twice; the retry must replay the recorded reply from
+      the gateway's response journal without re-executing
+      (``idempotent_hit_rate`` is 1.0 when every retry hit).
+    - **Crash recovery**: the gateway is torn down SIGKILL-style
+      (``restart(graceful=False)``) and ``recovery_ms`` times the full
+      crash → journal replay → listener up → first answered query path.
+    - **Graceful drain**: with a sampled query still in flight,
+      ``drain_ms`` times the drain ladder and ``drain_clean`` records
+      that the grace window emptied the gateway without cancelling it.
+
+    ``recovered_identical`` is the exactness gate
+    (``check_bench_exactness.py`` enforces it): the post-crash gateway,
+    rebuilt purely from the journal, must serve bit-identical floats for
+    both the exact and the seeded-sampling route — recovery is invisible
+    in every answer.
+    """
+    import socket
+    import tempfile
+    import threading
+
+    from repro.serving import GatewayServer, ShardedService
+
+    class _Client:
+        def __init__(self, port):
+            self._sock = socket.create_connection(
+                ("127.0.0.1", port), timeout=60
+            )
+            self._file = self._sock.makefile("rw")
+
+        def rpc(self, message):
+            self._file.write(json.dumps(message) + "\n")
+            self._file.flush()
+            return json.loads(self._file.readline())
+
+        def send(self, message):
+            self._file.write(json.dumps(message) + "\n")
+            self._file.flush()
+
+        def recv(self):
+            return json.loads(self._file.readline())
+
+        def close(self):
+            self._file.close()
+            self._sock.close()
+
+    def sans_latency(response):
+        return {
+            k: v for k, v in response.items() if k != "latency_ms"
+        }
+
+    big = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+    big_facts = [
+        [
+            t.relation,
+            list(t.values),
+            [
+                big.probability_of(t).numerator,
+                big.probability_of(t).denominator,
+            ],
+        ]
+        for t in big.instance.tuple_ids()
+    ]
+    phi = BooleanFunction.bottom(4)
+    for i in range(4):
+        phi = phi | BooleanFunction.variable(i, 4)
+    hard_payload = {"k": 3, "nvars": 4, "table": phi.table}
+    safe_payload = {"k": 1, "nvars": 2, "table": 10}
+    small_facts = [
+        ["R", [1], [1, 2]],
+        ["S1", [1, 2]],
+        ["T", [2], [2, 3]],
+    ]
+
+    def query_message(i, keyed=True):
+        if i % 2 == 0:
+            body = {"instance": "orders", "query": safe_payload}
+        else:
+            body = {
+                "instance": "big",
+                "query": hard_payload,
+                "budget": {"epsilon": 0.1, "seed": seed},
+            }
+        message = {"op": "query", "id": 100 + i, **body}
+        if keyed:
+            message["idempotency_key"] = f"req-{i}"
+        return message
+
+    service = ShardedService(shards=2, workers_per_shard=2)
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        server = GatewayServer(
+            service, journal_path=f"{tmp}/edge.journal"
+        )
+        server.start()
+        try:
+            client = _Client(server.port)
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 0,
+                    "instance": "orders",
+                    "facts": small_facts,
+                }
+            )
+            client.rpc(
+                {
+                    "op": "register",
+                    "id": 1,
+                    "instance": "big",
+                    "facts": big_facts,
+                }
+            )
+
+            # --- idempotent retries: every request, sent twice -------
+            first_pass = [
+                client.rpc(query_message(i)) for i in range(requests)
+            ]
+            retry_start = time.perf_counter()
+            second_pass = [
+                client.rpc(query_message(i)) for i in range(requests)
+            ]
+            retry_wall_ms = (time.perf_counter() - retry_start) * 1e3
+            replayed_verbatim = all(
+                sans_latency(a["response"]) == sans_latency(b["response"])
+                for a, b in zip(first_pass, second_pass)
+            )
+            stats = client.rpc({"op": "stats", "id": 900})
+            idem = stats["gateway"]["idempotency"]
+            service_requests_before = stats["stats"]["requests"]
+
+            # --- crash → journal replay → first answer ---------------
+            before_exact = client.rpc(query_message(0, keyed=False))
+            before_sampled = client.rpc(query_message(1, keyed=False))
+            client.close()
+            crash_start = time.perf_counter()
+            server.restart(graceful=False)
+            after_exact = None
+            while time.perf_counter() - crash_start < 30.0:
+                try:
+                    client = _Client(server.port)
+                    after_exact = client.rpc(query_message(0, keyed=False))
+                    break
+                except OSError:
+                    time.sleep(0.001)
+            recovery_ms = (time.perf_counter() - crash_start) * 1e3
+            after_sampled = client.rpc(query_message(1, keyed=False))
+            recovered = client.rpc({"op": "stats", "id": 901})
+            recovered_identical = (
+                after_exact is not None
+                and after_exact["ok"]
+                and before_exact["ok"]
+                and sans_latency(after_exact["response"])
+                == sans_latency(before_exact["response"])
+                and sans_latency(after_sampled["response"])
+                == sans_latency(before_sampled["response"])
+            )
+
+            # --- graceful drain with work in flight ------------------
+            client.send(
+                {
+                    "op": "query",
+                    "id": 902,
+                    "instance": "big",
+                    "query": hard_payload,
+                    "budget": {
+                        "epsilon": 0.01,
+                        "min_samples": 50_000,
+                        "max_samples": 50_000,
+                        "seed": seed,
+                        "adaptive": False,
+                    },
+                }
+            )
+            time.sleep(0.05)  # admitted: the drain has work to wait on
+            drain_start = time.perf_counter()
+            drained: dict = {}
+
+            def drain():
+                drained["clean"] = server.drain(grace_ms=60_000.0)
+
+            drainer = threading.Thread(target=drain)
+            drainer.start()
+            inflight_reply = client.recv()  # finishes under the drain
+            drainer.join(timeout=120)
+            drain_ms = (time.perf_counter() - drain_start) * 1e3
+            client.close()
+
+            results = {
+                "requests": requests,
+                "idempotent_keyed": 2 * requests,
+                "idempotent_hits": idem["hits"],
+                "idempotent_hit_rate": idem["hits"] / requests,
+                "idempotent_replayed_verbatim": replayed_verbatim,
+                "retry_wall_ms": retry_wall_ms,
+                "service_requests_for_2x_workload": (
+                    service_requests_before
+                ),
+                "recovery_ms": recovery_ms,
+                "journal_replayed_instances": recovered["gateway"][
+                    "replayed_instances"
+                ],
+                "recovered_identical": recovered_identical,
+                "drain_ms": drain_ms,
+                "drain_clean": drained.get("clean", False),
+                "drained_inflight_answered": inflight_reply.get(
+                    "ok", False
+                ),
+            }
+        finally:
+            server.stop()
+            service.stop(wait=True)
+    return results
+
+
 SECTIONS = {
     "single_float": bench_single_float,
     "batch": bench_batch,
@@ -1586,6 +1807,7 @@ SECTIONS = {
     "sampling": bench_sampling,
     "resilience": bench_resilience,
     "replication": bench_replication,
+    "gateway": bench_gateway,
 }
 
 

@@ -24,7 +24,9 @@ dedicated worker process fed through shared-memory probability columns
 (:mod:`repro.serving.worker`, :mod:`repro.serving.shm`) — same
 interface, bit-for-float identical answers, one core per shard.  The
 asyncio JSON-lines gateway (:mod:`repro.serving.gateway`) fronts either
-backend with per-tenant quotas and backpressure.
+backend with per-tenant quotas and backpressure, and the durable edge
+(:mod:`repro.serving.journal`) adds a checksummed registration journal
+with crash recovery, graceful drain, and idempotent retries.
 """
 
 from repro.serving.api import (
@@ -39,9 +41,18 @@ from repro.serving.faults import (
 )
 from repro.serving.gateway import (
     Gateway,
+    GatewayDraining,
     GatewayOverloaded,
     GatewayServer,
+    IdleTimeout,
+    LineTooLong,
     TenantQuotaExceeded,
+    TooManyConnections,
+)
+from repro.serving.journal import (
+    JournalCorrupt,
+    JournalStats,
+    RegistrationJournal,
 )
 from repro.serving.resilience import (
     CircuitBreaker,
@@ -61,7 +72,9 @@ from repro.serving.shard import Shard
 from repro.serving.shm import SegmentRegistry
 from repro.serving.worker import ProcessShard
 from repro.serving.stats import (
+    GatewayStats,
     HedgeStats,
+    IdempotencyStats,
     LatencyWindow,
     ReplicationStats,
     ResilienceStats,
@@ -80,12 +93,20 @@ __all__ = [
     "DeadlineExceeded",
     "FaultInjector",
     "Gateway",
+    "GatewayDraining",
     "GatewayOverloaded",
     "GatewayServer",
+    "GatewayStats",
     "HedgePolicy",
     "HedgeStats",
+    "IdempotencyStats",
+    "IdleTimeout",
+    "JournalCorrupt",
+    "JournalStats",
     "LatencyEwma",
     "LatencyWindow",
+    "LineTooLong",
+    "RegistrationJournal",
     "ProcessShard",
     "QueryRequest",
     "QueryResponse",
@@ -100,6 +121,7 @@ __all__ = [
     "SupervisorPolicy",
     "SupervisorStats",
     "TenantQuotaExceeded",
+    "TooManyConnections",
     "ShardOverloaded",
     "ShardStats",
     "ShardedService",

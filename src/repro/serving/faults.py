@@ -32,8 +32,22 @@ Five fault kinds, each on its own stream lane per shard:
   its own lane — exercising hedged requests, which must beat the
   straggler by racing a replica.
 
+Three further lanes exercise the **network edge** (the asyncio gateway)
+rather than the worker tier, keyed per ``(connection, request index,
+attempt)`` the same way the worker lanes key per shard:
+
+- **connection drops** (``should_drop_conn``): the gateway aborts the
+  connection mid-reply — half the frame written, then a hard close —
+  exercising client retries and the idempotent-response journal.
+- **partial writes** (``should_split_write``): the reply frame is
+  written in two separately-drained chunks — exercising client-side
+  line reassembly without changing any outcome.
+- **slow client** (``slow_client_ms_for``): a delay before the reply is
+  written — exercising idle-timeout and drain interplay.
+
 The injector is wired through :class:`~repro.serving.shard.Shard` /
-:class:`~repro.serving.service.ShardedService` as an optional hook; a
+:class:`~repro.serving.service.ShardedService` and
+:class:`~repro.serving.gateway.Gateway` as an optional hook; a
 ``None`` injector costs nothing on the hot path.
 """
 
@@ -51,6 +65,7 @@ __all__ = ["FaultInjector", "TransientFaultError", "WorkerCrashError"]
 _FAULT_LANE_BASE = 9001
 _KIND_ERROR, _KIND_LATENCY, _KIND_PRESSURE = 0, 1, 2
 _KIND_KILL, _KIND_STRAGGLER = 3, 4
+_KIND_CONN_DROP, _KIND_PARTIAL_WRITE, _KIND_SLOW_CLIENT = 5, 6, 7
 #: Draws are addressed by ``index * 32 + attempt`` so a retried request
 #: re-rolls its fault independently of its first attempt.
 _ATTEMPT_STRIDE = 32
@@ -100,6 +115,10 @@ class FaultInjector:
         worker_kill_rate=0,
         straggler_rate=0,
         straggler_ms: float = 0.0,
+        conn_drop_rate=0,
+        partial_write_rate=0,
+        slow_client_rate=0,
+        slow_client_ms: float = 0.0,
     ):
         self.seed = seed
         self.error_rate = _as_rate(error_rate, "error_rate")
@@ -119,6 +138,18 @@ class FaultInjector:
         if straggler_ms < 0:
             raise ValueError(f"straggler_ms must be >= 0, got {straggler_ms}")
         self.straggler_ms = straggler_ms
+        self.conn_drop_rate = _as_rate(conn_drop_rate, "conn_drop_rate")
+        self.partial_write_rate = _as_rate(
+            partial_write_rate, "partial_write_rate"
+        )
+        self.slow_client_rate = _as_rate(
+            slow_client_rate, "slow_client_rate"
+        )
+        if slow_client_ms < 0:
+            raise ValueError(
+                f"slow_client_ms must be >= 0, got {slow_client_ms}"
+            )
+        self.slow_client_ms = slow_client_ms
         self._lock = threading.Lock()
         self._streams: dict[tuple[int, int], DrawStream] = {}
         self._errors = 0
@@ -126,6 +157,9 @@ class FaultInjector:
         self._pressure_events = 0
         self._kills = 0
         self._straggler_events = 0
+        self._conn_drops = 0
+        self._partial_writes = 0
+        self._slow_client_events = 0
 
     def _hit(
         self, kind: int, shard: int, rate: Fraction, counter: int
@@ -192,6 +226,46 @@ class FaultInjector:
             return self.straggler_ms
         return 0.0
 
+    def should_drop_conn(
+        self, conn: int, index: int, attempt: int = 0
+    ) -> bool:
+        """Whether the gateway should abort connection ``conn`` mid-way
+        through the reply to its ``index``-th request.  Like the worker
+        lanes, a retried request (new attempt, or the same key resent on
+        a new connection) re-rolls independently."""
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self._hit(_KIND_CONN_DROP, conn, self.conn_drop_rate, counter):
+            with self._lock:
+                self._conn_drops += 1
+            return True
+        return False
+
+    def should_split_write(
+        self, conn: int, index: int, attempt: int = 0
+    ) -> bool:
+        """Whether to write this reply frame in two drained chunks."""
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self._hit(
+            _KIND_PARTIAL_WRITE, conn, self.partial_write_rate, counter
+        ):
+            with self._lock:
+                self._partial_writes += 1
+            return True
+        return False
+
+    def slow_client_ms_for(
+        self, conn: int, index: int, attempt: int = 0
+    ) -> float:
+        """Delay (ms) to inject before writing this reply."""
+        counter = index * _ATTEMPT_STRIDE + (attempt % _ATTEMPT_STRIDE)
+        if self.slow_client_ms > 0 and self._hit(
+            _KIND_SLOW_CLIENT, conn, self.slow_client_rate, counter
+        ):
+            with self._lock:
+                self._slow_client_events += 1
+            return self.slow_client_ms
+        return 0.0
+
     def phantom_depth(self, shard: int, index: int) -> int:
         """Phantom queue depth admission control should add for this
         request (attempt-independent: admission happens once)."""
@@ -212,4 +286,7 @@ class FaultInjector:
                 "pressure_events": self._pressure_events,
                 "kills": self._kills,
                 "straggler_events": self._straggler_events,
+                "conn_drops": self._conn_drops,
+                "partial_writes": self._partial_writes,
+                "slow_client_events": self._slow_client_events,
             }

@@ -1,16 +1,19 @@
-"""The asyncio gateway: JSON lines over TCP in front of a ShardedService.
+"""The asyncio gateway: a durable, drainable JSON-lines edge over a
+ShardedService.
 
 Pure stdlib (``asyncio.start_server``): clients speak newline-delimited
 JSON objects and get one JSON object back per request, correlated by the
 caller-chosen ``id``.  The gateway is a thin *policy* front — it parses,
-enforces per-tenant quotas and gateway-wide backpressure, and routes into
-the :class:`~repro.serving.service.ShardedService` behind it (either
+enforces per-tenant quotas, connection caps and gateway-wide
+backpressure, and routes into the
+:class:`~repro.serving.service.ShardedService` behind it (either
 backend); every deeper policy — deadlines, priorities, shedding,
 breakers, retries, degradation — is PR 6's resilience layer inside the
 shards, reused rather than reinvented here.  A rejected or failed
 request is answered with the *typed* error name on the wire
 (``DeadlineExceeded``, ``ShardOverloaded``, ``CircuitBreakerOpen``,
-``TenantQuotaExceeded``, ...), mirroring the future-based API.
+``TenantQuotaExceeded``, ``GatewayDraining``, ``LineTooLong``, ...),
+mirroring the future-based API.
 
 Protocol (one JSON object per line; ``id`` is echoed back)::
 
@@ -22,7 +25,8 @@ Protocol (one JSON object per line; ``id`` is echoed back)::
      "query": {"k": 1, "nvars": 2, "table": 8},
      "budget": {"epsilon": 0.05, "seed": 7},     # optional
      "deadline_ms": 50.0, "priority": 1,          # optional
-     "tenant": "acme"}                            # optional
+     "tenant": "acme",                            # optional
+     "idempotency_key": "req-7f3a"}               # optional
     {"op": "stats", "id": 3}
 
 Replies are ``{"id": ..., "ok": true, ...}`` or ``{"id": ..., "ok":
@@ -37,22 +41,63 @@ UCQ/CQ for the lifted route as ``{"ucq": [[[rel, [term, ...]], ...],
 atoms, where a term is a variable name string or ``{"const": value}``
 for a constant.
 
-Quotas and backpressure: ``max_inflight`` bounds the requests the
-gateway will hold open across all connections, and ``tenant_quotas``
-(falling back to ``default_tenant_quota``) bounds each tenant's; both
-reject *immediately* with a typed error, like shard admission control —
-a caller under quota pressure learns now, not after a queue delay.
+**Durability** (``journal_path=``): every effective ``register`` is
+appended to a checksummed
+:class:`~repro.serving.journal.RegistrationJournal` *before* it is
+acknowledged, and :meth:`Gateway.start` replays the journal into the
+catalog — a crashed-and-restarted gateway re-registers every instance
+with the same facts and exact-rational probabilities, hence the same
+``shard_key`` and the same prefix-stable ``placement_ring``: recovery
+is bit-invisible in every answer.  Re-registering an existing name with
+*identical* content is idempotent (the warm catalog entry is kept; only
+a ``replicas`` raise is journaled); re-registering with *different*
+content **replaces atomically** — the old TID's service registration is
+released (unless another name still serves the same content) before the
+new one lands, so replacement never leaks phantom catalog entries, and
+journal compaction keeps only the latest record per name.
+
+**Drain** (:meth:`Gateway.drain`): stop accepting connections, answer
+new queries and registers with a typed ``GatewayDraining``, let
+in-flight requests finish under their own deadlines for ``grace_ms``,
+then close.  Returns ``True`` when the grace window emptied the gateway
+— zero in-flight requests were cancelled.  Per-connection
+``idle_timeout_s`` (slow-loris defense) and a ``max_connections`` cap
+with a typed ``TooManyConnections`` rejection bound what drain ever has
+to wait for.
+
+**Idempotent retries**: a query carrying an ``idempotency_key`` is
+remembered under ``(tenant, key)`` in a bounded LRU response journal.
+A retry while the original is still in flight *joins* the same
+execution (no duplicate submission — and for sampled routes, no second
+draw-stream sweep, so the retried answer is the bit-identical float the
+first attempt computed); a retry after completion replays the recorded
+reply verbatim, answer or typed error.  Only *admitted* requests are
+recorded: quota/overload/draining rejections are not, so a retry after
+backpressure clears can succeed.
+
+**Network chaos**: an optional
+:class:`~repro.serving.faults.FaultInjector` drives the seeded
+``conn_drop`` (abort mid-reply), ``partial_write`` (split frames) and
+``slow_client`` (delayed replies) lanes, keyed per ``(connection,
+reply index)`` — the gateway edge's analogue of the worker tier's
+``worker_kill``/``straggler_latency`` lanes, replayable across runs
+and backends.
 
 ``Gateway`` is the asyncio object (``await start()`` / ``await
 stop()``); :class:`GatewayServer` wraps it in a background thread with
-its own event loop for synchronous callers and tests.
+its own event loop for synchronous callers and tests, and adds
+:meth:`GatewayServer.restart` — graceful (drain first; loses zero
+accepted requests) or crash-equivalent (``graceful=False``; the journal
+is the only survivor, which is the point).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import threading
+from collections import OrderedDict
 from fractions import Fraction
 
 from repro.core.boolean_function import BooleanFunction
@@ -62,7 +107,10 @@ from repro.pqe.approximate import AccuracyBudget
 from repro.queries.cq import Atom, ConjunctiveQuery, Constant
 from repro.queries.hqueries import HQuery
 from repro.queries.ucq import UnionOfCQs
+from repro.serving.faults import FaultInjector
+from repro.serving.journal import JournalStats, RegistrationJournal
 from repro.serving.service import ShardedService
+from repro.serving.stats import GatewayStats, IdempotencyStats
 
 #: register/query lines may carry whole instances; the default 64 KiB
 #: readline limit is too small for that.
@@ -75,6 +123,42 @@ class GatewayOverloaded(RuntimeError):
 
 class TenantQuotaExceeded(RuntimeError):
     """The requesting tenant's in-flight quota is exhausted."""
+
+
+class GatewayDraining(RuntimeError):
+    """The gateway is draining for shutdown/restart: it finishes what
+    it already accepted but takes nothing new.  Retry against the
+    restarted gateway (idempotency keys make that safe)."""
+
+
+class LineTooLong(RuntimeError):
+    """A request line exceeded the gateway's line limit.  The reply is
+    the last one on this connection — framing is unrecoverable past an
+    oversized line, so the gateway closes after answering."""
+
+
+class TooManyConnections(RuntimeError):
+    """The gateway is at its ``max_connections`` cap."""
+
+
+class IdleTimeout(RuntimeError):
+    """The connection sat idle past ``idle_timeout_s`` and was closed
+    (slow-loris defense)."""
+
+
+def _same_content(a, b) -> bool:
+    """Whether two TIDs are the same *probabilistic* content: same
+    facts (instance fingerprint) and the same exact-rational
+    probability on every fact.  The service's placement identity is
+    facts-only (probabilities never move a shard), but the gateway's
+    replace-vs-idempotent decision must see probability changes — they
+    change every answer."""
+    fingerprint = a.instance.content_fingerprint()
+    if fingerprint != b.instance.content_fingerprint():
+        return False
+    return all(
+        a.probability_of(t) == b.probability_of(t) for t in fingerprint
+    )
 
 
 def _decode_values(values) -> tuple:
@@ -145,6 +229,13 @@ class Gateway:
         max_inflight: int = 1024,
         default_tenant_quota: int = 64,
         tenant_quotas: dict[str, int] | None = None,
+        journal_path=None,
+        journal_fsync: str = "always",
+        journal_auto_compact_dead: int | None = None,
+        max_connections: int | None = None,
+        idle_timeout_s: float | None = None,
+        idempotency_capacity: int = 1024,
+        fault_injector: FaultInjector | None = None,
     ):
         if max_inflight < 1:
             raise ValueError(
@@ -155,17 +246,66 @@ class Gateway:
                 f"default_tenant_quota must be positive, "
                 f"got {default_tenant_quota}"
             )
+        if max_connections is not None and max_connections < 1:
+            raise ValueError(
+                f"max_connections must be positive or None, "
+                f"got {max_connections}"
+            )
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ValueError(
+                f"idle_timeout_s must be positive or None, "
+                f"got {idle_timeout_s}"
+            )
+        if idempotency_capacity < 1:
+            raise ValueError(
+                f"idempotency_capacity must be positive, "
+                f"got {idempotency_capacity}"
+            )
         self.service = service
         self._host = host
         self._port = port
         self.max_inflight = max_inflight
         self.default_tenant_quota = default_tenant_quota
         self.tenant_quotas = dict(tenant_quotas or {})
+        self.max_connections = max_connections
+        self.idle_timeout_s = idle_timeout_s
+        self.idempotency_capacity = idempotency_capacity
+        self._fault_injector = fault_injector
+        self._journal = (
+            RegistrationJournal(
+                journal_path,
+                fsync=journal_fsync,
+                auto_compact_dead=journal_auto_compact_dead,
+            )
+            if journal_path is not None
+            else None
+        )
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
         self._tids: dict[str, TupleIndependentDatabase] = {}
+        self._replicas: dict[str, int] = {}
         self._inflight = 0
         self._tenant_inflight: dict[str, int] = {}
+        self._busy = 0  #: handlers between reading a line and the reply
+        self._idle: asyncio.Event | None = None
+        self._draining = False
+        self._replayed = False
+        self._conn_counter = 0
+        #: (tenant, key) -> completed reply body (dict) or the in-flight
+        #: execution task (asyncio.Future); bounded LRU.
+        self._idempotency: OrderedDict = OrderedDict()
+        self._connections_total = 0
+        self._rejected_connections = 0
+        self._idle_timeouts = 0
+        self._line_too_long = 0
+        self._requests = 0
+        self._draining_rejections = 0
+        self._overloaded_rejections = 0
+        self._quota_rejections = 0
+        self._replayed_instances = 0
+        self._idem_hits = 0
+        self._idem_joins = 0
+        self._idem_evictions = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -177,13 +317,57 @@ class Gateway:
             return self._port
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     async def start(self) -> None:
+        """Replay the registration journal (first start only), then
+        open the listener.  Replay happens *before* the first accept,
+        so no client can observe a partially recovered catalog."""
+        if self._journal is not None and not self._replayed:
+            for record in self._journal.replay():
+                self._apply_register(record)
+                self._replayed_instances += 1
+            self._replayed = True
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
             self._port,
             limit=_LINE_LIMIT,
         )
+
+    async def drain(self, grace_ms: float = 5000.0) -> bool:
+        """Graceful shutdown ladder: close the listener, answer new
+        queries/registers with typed ``GatewayDraining``, wait up to
+        ``grace_ms`` for in-flight requests to finish under their own
+        deadlines, then close every connection.  Returns ``True`` iff
+        the gateway emptied within the grace window — i.e. zero
+        in-flight requests were cancelled."""
+        if grace_ms < 0:
+            raise ValueError(f"grace_ms must be >= 0, got {grace_ms}")
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        clean = True
+        if self._idle is not None:
+            self._check_idle()
+            # Short-circuit an already-idle gateway: ``wait_for(..., 0)``
+            # times out even on a set event, and an expired grace budget
+            # must not turn an empty drain into a dirty one.
+            if not self._idle.is_set():
+                try:
+                    await asyncio.wait_for(
+                        self._idle.wait(), grace_ms / 1e3
+                    )
+                except (TimeoutError, asyncio.TimeoutError):
+                    clean = False
+        await self.stop()
+        return clean
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -197,31 +381,184 @@ class Gateway:
             task.cancel()
         if connections:
             await asyncio.gather(*connections, return_exceptions=True)
+        if self._journal is not None:
+            self._journal.close()
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _check_idle(self) -> None:
+        if self._idle is None:
+            return
+        if self._busy == 0 and self._inflight == 0:
+            self._idle.set()
+        else:
+            self._idle.clear()
+
+    def _idem_get(self, key: tuple):
+        entry = self._idempotency.get(key)
+        if entry is not None:
+            self._idempotency.move_to_end(key)
+        return entry
+
+    def _idem_put(self, key: tuple, value) -> None:
+        self._idempotency[key] = value
+        self._idempotency.move_to_end(key)
+        while len(self._idempotency) > self.idempotency_capacity:
+            self._idempotency.popitem(last=False)
+            self._idem_evictions += 1
+
+    def gateway_stats(self) -> GatewayStats:
+        """This gateway's edge counters (see
+        :class:`~repro.serving.stats.GatewayStats`)."""
+        journal = (
+            self._journal.stats()
+            if self._journal is not None
+            else JournalStats()
+        )
+        injected = (
+            self._fault_injector.stats()
+            if self._fault_injector is not None
+            else {}
+        )
+        return GatewayStats(
+            connections=self._connections_total,
+            active_connections=len(self._connections),
+            rejected_connections=self._rejected_connections,
+            idle_timeouts=self._idle_timeouts,
+            line_too_long=self._line_too_long,
+            requests=self._requests,
+            draining_rejections=self._draining_rejections,
+            overloaded_rejections=self._overloaded_rejections,
+            quota_rejections=self._quota_rejections,
+            replayed_instances=self._replayed_instances,
+            journal=journal,
+            idempotency=IdempotencyStats(
+                hits=self._idem_hits,
+                joins=self._idem_joins,
+                entries=len(self._idempotency),
+                evictions=self._idem_evictions,
+            ),
+            injected_conn_drops=injected.get("conn_drops", 0),
+            injected_partial_writes=injected.get("partial_writes", 0),
+            injected_slow_client_events=injected.get(
+                "slow_client_events", 0
+            ),
+        )
 
     # -- connection handling -------------------------------------------
+
+    @staticmethod
+    def _error_reply(error: BaseException, message_id=None) -> dict:
+        return {
+            "id": message_id,
+            "ok": False,
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+
+    async def _reject_connection(
+        self, writer: asyncio.StreamWriter, error: BaseException
+    ) -> None:
+        """Best-effort typed rejection before closing a connection the
+        gateway will not serve."""
+        with contextlib.suppress(ConnectionError):
+            writer.write(
+                json.dumps(self._error_reply(error)).encode() + b"\n"
+            )
+            await writer.drain()
+        writer.close()
+        with contextlib.suppress(ConnectionError, asyncio.CancelledError):
+            await writer.wait_closed()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._draining:
+            # Accepted in the window before the listener closed.
+            self._rejected_connections += 1
+            await self._reject_connection(
+                writer, GatewayDraining("gateway is draining")
+            )
+            return
+        if (
+            self.max_connections is not None
+            and len(self._connections) >= self.max_connections
+        ):
+            self._rejected_connections += 1
+            await self._reject_connection(
+                writer,
+                TooManyConnections(
+                    f"gateway at max_connections={self.max_connections}"
+                ),
+            )
+            return
+        conn_id = self._conn_counter
+        self._conn_counter += 1
+        self._connections_total += 1
+        reply_index = 0
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (
-                    asyncio.LimitOverrunError,
-                    ValueError,
-                ):  # pragma: no cover - oversized line
+                    if self.idle_timeout_s is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self.idle_timeout_s
+                        )
+                    else:
+                        line = await reader.readline()
+                except (TimeoutError, asyncio.TimeoutError):
+                    self._idle_timeouts += 1
+                    with contextlib.suppress(ConnectionError):
+                        writer.write(
+                            json.dumps(
+                                self._error_reply(
+                                    IdleTimeout(
+                                        f"no request within "
+                                        f"{self.idle_timeout_s}s"
+                                    )
+                                )
+                            ).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: answer typed, then close — framing
+                    # cannot be trusted past an overrun.
+                    self._line_too_long += 1
+                    with contextlib.suppress(ConnectionError):
+                        writer.write(
+                            json.dumps(
+                                self._error_reply(
+                                    LineTooLong(
+                                        f"request line exceeded "
+                                        f"{_LINE_LIMIT} bytes"
+                                    )
+                                )
+                            ).encode()
+                            + b"\n"
+                        )
+                        await writer.drain()
                     break
                 if not line:
                     break
                 if not line.strip():
                     continue
-                reply = await self._serve_line(line)
-                writer.write(json.dumps(reply).encode() + b"\n")
-                await writer.drain()
+                self._busy += 1
+                self._check_idle()
+                try:
+                    reply = await self._serve_line(line)
+                    delivered = await self._write_reply(
+                        writer, reply, conn_id, reply_index
+                    )
+                finally:
+                    self._busy -= 1
+                    self._check_idle()
+                reply_index += 1
+                if not delivered:
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass  # client went away mid-reply; nothing to clean up
         except asyncio.CancelledError:
@@ -243,6 +580,41 @@ class Gateway:
             ):
                 pass
 
+    async def _write_reply(
+        self,
+        writer: asyncio.StreamWriter,
+        reply: dict,
+        conn_id: int,
+        reply_index: int,
+    ) -> bool:
+        """Write one reply frame, applying the seeded network chaos
+        lanes; returns ``False`` when the connection was (deliberately)
+        destroyed mid-reply."""
+        data = json.dumps(reply).encode() + b"\n"
+        injector = self._fault_injector
+        if injector is not None:
+            delay_ms = injector.slow_client_ms_for(conn_id, reply_index)
+            if delay_ms > 0:
+                await asyncio.sleep(delay_ms / 1e3)
+            if injector.should_drop_conn(conn_id, reply_index):
+                # Half a frame, then a hard abort: the client sees a
+                # torn reply and a dead connection — the retry path.
+                writer.write(data[: max(1, len(data) // 2)])
+                with contextlib.suppress(ConnectionError):
+                    await writer.drain()
+                writer.transport.abort()
+                return False
+            if injector.should_split_write(conn_id, reply_index):
+                half = max(1, len(data) // 2)
+                writer.write(data[:half])
+                await writer.drain()
+                writer.write(data[half:])
+                await writer.drain()
+                return True
+        writer.write(data)
+        await writer.drain()
+        return True
+
     async def _serve_line(self, line: bytes) -> dict:
         message_id = None
         try:
@@ -260,23 +632,37 @@ class Gateway:
             if op == "stats":
                 return await self._serve_stats(message)
             raise ValueError(f"unknown op {op!r}")
+        except asyncio.CancelledError:
+            # The gateway is stopping and cancelled this handler: the
+            # cancellation must terminate the handler, not become an
+            # ``{"ok": false}`` reply that keeps the loop running.
+            raise
         except BaseException as error:  # noqa: BLE001 - typed on the wire
-            return {
-                "id": message_id,
-                "ok": False,
-                "error": type(error).__name__,
-                "message": str(error),
-            }
+            return self._error_reply(error, message_id)
 
-    async def _serve_register(self, message: dict) -> dict:
-        name = message["instance"]
+    # -- register ------------------------------------------------------
+
+    def _apply_register(self, record: dict) -> dict:
+        """Apply one register record to the catalog — the single path
+        shared by wire registers and journal replay, so recovery is the
+        same code that served the original request.
+
+        Returns the reply fields plus ``journal_record``: the canonical
+        record to journal (``None`` when the register was an idempotent
+        no-op — same name, same content, no new replicas)."""
+        name = record.get("instance")
         if not isinstance(name, str) or not name:
             raise ValueError("instance must be a non-empty string name")
+        replicas = record.get("replicas", 1)
+        if not isinstance(replicas, int) or replicas < 1:
+            raise ValueError(
+                f"replicas must be a positive integer, got {replicas!r}"
+            )
         instance = Instance()
-        for relation_name, arity in message.get("relations", []):
+        for relation_name, arity in record.get("relations", []):
             instance.declare(relation_name, arity)
         tid = TupleIndependentDatabase(instance)
-        for fact in message["facts"]:
+        for fact in record["facts"]:
             if len(fact) == 2:
                 (relation_name, values), probability = fact, None
             else:
@@ -287,23 +673,110 @@ class Gateway:
                 tid.set_probability(
                     tuple_id, Fraction(numerator, denominator)
                 )
-        replicas = message.get("replicas", 1)
-        if not isinstance(replicas, int) or replicas < 1:
-            raise ValueError(
-                f"replicas must be a positive integer, got {replicas!r}"
-            )
-        shard = self.service.register(tid, replicas=replicas)
+        old = self._tids.get(name)
+        replaced = False
+        changed = old is None
+        if old is not None:
+            if _same_content(old, tid):
+                # Idempotent re-register: keep the warm catalog entry
+                # (its cached derivations, segments and placements all
+                # stay valid); only a replicas raise changes anything —
+                # and the ring is prefix-stable, so existing copies
+                # never move.
+                tid = old
+                changed = replicas > self._replicas.get(name, 1)
+            else:
+                # Atomic replacement: release the superseded service
+                # registration first.  Placement identity is facts-only,
+                # so skip the release when the facts are unchanged (a
+                # probabilities-only replacement keeps the same
+                # placement entry) or when another name still serves the
+                # same facts — in both cases the registration is shared
+                # and must survive.
+                replaced = True
+                changed = True
+                old_fingerprint = old.instance.content_fingerprint()
+                shared = (
+                    old_fingerprint == instance.content_fingerprint()
+                ) or any(
+                    other_name != name
+                    and other.instance.content_fingerprint()
+                    == old_fingerprint
+                    for other_name, other in self._tids.items()
+                )
+                if not shared:
+                    self.service.unregister(old)
+        effective_replicas = max(replicas, self._replicas.get(name, 1))
+        if replaced:
+            effective_replicas = replicas
+        shard = self.service.register(tid, replicas=effective_replicas)
         self._tids[name] = tid
+        self._replicas[name] = effective_replicas
+        journal_record = None
+        if changed:
+            journal_record = {
+                "instance": name,
+                "relations": [
+                    list(pair) for pair in record.get("relations", [])
+                ],
+                "facts": [list(fact) for fact in record["facts"]],
+                "replicas": effective_replicas,
+            }
         return {
-            "id": message["id"],
-            "ok": True,
             "instance": name,
             "shard": shard,
             "placement": list(self.service.placement_of(tid)),
             "tuples": len(tid),
+            "replaced": replaced,
+            "journal_record": journal_record,
         }
 
+    async def _serve_register(self, message: dict) -> dict:
+        if self._draining:
+            self._draining_rejections += 1
+            raise GatewayDraining(
+                "gateway is draining; register against the restarted "
+                "gateway"
+            )
+        info = self._apply_register(message)
+        journal_record = info.pop("journal_record")
+        if journal_record is not None and self._journal is not None:
+            # Journal *before* acknowledging: an acked register is a
+            # durable register.
+            self._journal.append(journal_record)
+        return {"id": message["id"], "ok": True, **info}
+
+    # -- query ---------------------------------------------------------
+
     async def _serve_query(self, message: dict) -> dict:
+        message_id = message.get("id")
+        tenant = message.get("tenant", "")
+        key = message.get("idempotency_key")
+        idem_key = None
+        if key is not None:
+            if not isinstance(key, str) or not key:
+                raise ValueError(
+                    "idempotency_key must be a non-empty string"
+                )
+            idem_key = (tenant, key)
+            entry = self._idem_get(idem_key)
+            if isinstance(entry, dict):
+                # Completed: replay the recorded reply verbatim.
+                self._idem_hits += 1
+                return {"id": message_id, **entry}
+            if entry is not None:
+                # In flight: join the same execution — no duplicate
+                # submission, no duplicate sampling sweep.  Shielded so
+                # one joiner's connection dying cannot cancel the
+                # shared work.
+                self._idem_joins += 1
+                body = await asyncio.shield(entry)
+                return {"id": message_id, **body}
+        if self._draining:
+            self._draining_rejections += 1
+            raise GatewayDraining(
+                "gateway is draining; retry against the restarted gateway"
+            )
         name = message["instance"]
         tid = self._tids.get(name)
         if tid is None:
@@ -314,13 +787,14 @@ class Gateway:
             if message.get("budget") is not None
             else None
         )
-        tenant = message.get("tenant", "")
         quota = self.tenant_quotas.get(tenant, self.default_tenant_quota)
         if self._inflight >= self.max_inflight:
+            self._overloaded_rejections += 1
             raise GatewayOverloaded(
                 f"gateway at max_inflight={self.max_inflight}"
             )
         if self._tenant_inflight.get(tenant, 0) >= quota:
+            self._quota_rejections += 1
             raise TenantQuotaExceeded(
                 f"tenant {tenant!r} at quota {quota}"
             )
@@ -328,27 +802,60 @@ class Gateway:
         self._tenant_inflight[tenant] = (
             self._tenant_inflight.get(tenant, 0) + 1
         )
+        self._check_idle()
+        execution = self._execute(tid, query, budget, message, idem_key)
+        if idem_key is not None:
+            task = asyncio.ensure_future(execution)
+            self._idem_put(idem_key, task)
+            body = await asyncio.shield(task)
+        else:
+            body = await execution
+        return {"id": message_id, **body}
+
+    async def _execute(
+        self,
+        tid: TupleIndependentDatabase,
+        query,
+        budget,
+        message: dict,
+        idem_key: tuple | None,
+    ) -> dict:
+        """Run one admitted request to its recorded outcome — a reply
+        body (sans ``id``) for an answer *or* a typed error.  Runs as
+        its own task for keyed requests so the outcome lands in the
+        response journal even if the submitting connection dies."""
         try:
-            future = self.service.submit(
-                query,
-                tid,
-                budget,
-                deadline_ms=message.get("deadline_ms"),
-                priority=message.get("priority", 0),
-            )
-            response = await asyncio.wrap_future(future)
+            try:
+                future = self.service.submit(
+                    query,
+                    tid,
+                    budget,
+                    deadline_ms=message.get("deadline_ms"),
+                    priority=message.get("priority", 0),
+                )
+                response = await asyncio.wrap_future(future)
+                body = {"ok": True, "response": response.to_payload()}
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - typed wire
+                body = {
+                    "ok": False,
+                    "error": type(error).__name__,
+                    "message": str(error),
+                }
         finally:
             self._inflight -= 1
+            tenant = message.get("tenant", "")
             remaining = self._tenant_inflight.get(tenant, 1) - 1
             if remaining:
                 self._tenant_inflight[tenant] = remaining
             else:
                 self._tenant_inflight.pop(tenant, None)
-        return {
-            "id": message["id"],
-            "ok": True,
-            "response": response.to_payload(),
-        }
+            self._check_idle()
+        self._requests += 1
+        if idem_key is not None:
+            self._idem_put(idem_key, body)
+        return body
 
     async def _serve_stats(self, message: dict) -> dict:
         stats = self.service.stats()
@@ -356,6 +863,7 @@ class Gateway:
             "id": message["id"],
             "ok": True,
             "stats": stats.to_payload(),
+            "gateway": self.gateway_stats().to_payload(),
         }
 
 
@@ -369,28 +877,36 @@ class GatewayServer:
     >>> server.start()           # doctest: +SKIP
     >>> server.port              # doctest: +SKIP
     54321
+    >>> server.restart()         # doctest: +SKIP
     >>> server.stop()            # doctest: +SKIP
     """
 
     def __init__(self, service: ShardedService, **gateway_kwargs):
+        self._service = service
+        self._gateway_kwargs = dict(gateway_kwargs)
         self.gateway = Gateway(service, **gateway_kwargs)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
         self._started = threading.Event()
+        self._bound_port: int | None = None
 
     @property
     def port(self) -> int:
+        if self._bound_port is not None:
+            return self._bound_port
         return self.gateway.port
 
     def start(self, timeout: float = 10.0) -> "GatewayServer":
         if self._thread is not None:
             raise RuntimeError("gateway server already started")
+        self._started = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="pqe-gateway", daemon=True
         )
         self._thread.start()
         if not self._started.wait(timeout):  # pragma: no cover - startup
             raise RuntimeError("gateway server failed to start in time")
+        self._bound_port = self.gateway.port
         return self
 
     def _run(self) -> None:
@@ -406,6 +922,18 @@ class GatewayServer:
         finally:
             loop.close()
 
+    def drain(self, grace_ms: float = 5000.0) -> bool:
+        """Drain the gateway from any thread (see
+        :meth:`Gateway.drain`); returns the clean flag.  A never-started
+        or already-stopped server is trivially drained."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return True
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.drain(grace_ms), loop
+        )
+        return future.result(timeout=grace_ms / 1e3 + 30.0)
+
     def stop(self) -> None:
         loop = self._loop
         if loop is None:
@@ -415,6 +943,29 @@ class GatewayServer:
             self._thread.join(timeout=10.0)
         self._loop = None
         self._thread = None
+
+    def restart(
+        self, *, graceful: bool = True, grace_ms: float = 5000.0
+    ) -> "GatewayServer":
+        """Replace the running gateway with a fresh one on the same
+        port, its catalog rebuilt from the registration journal.
+
+        ``graceful=True`` drains first — the listener closes, in-flight
+        requests finish under their deadlines, and *zero accepted
+        requests are lost*.  ``graceful=False`` is the crash lane: the
+        old gateway is torn down with its in-flight state abandoned,
+        exactly as a SIGKILL would leave things, and the journal is the
+        only thing recovery gets to read — which is the property the
+        chaos suite exercises."""
+        was_running = self._thread is not None
+        if graceful and was_running:
+            self.drain(grace_ms)
+        self.stop()
+        kwargs = dict(self._gateway_kwargs)
+        if was_running and self._bound_port is not None:
+            kwargs["port"] = self._bound_port
+        self.gateway = Gateway(self._service, **kwargs)
+        return self.start()
 
     def __enter__(self) -> "GatewayServer":
         return self.start()

@@ -260,6 +260,25 @@ class ShardedService:
                 self._placements[key] = ring
         return ring[0]
 
+    def unregister(
+        self, instance: Instance | TupleIndependentDatabase
+    ) -> None:
+        """Drop an instance from the catalog: its placement entry and
+        its fingerprint on every ring shard (idempotent).  In-flight
+        requests for it complete normally — unregistration only stops
+        the catalog from carrying the instance forward (the gateway's
+        replace-on-re-register path, where leaving the old registration
+        behind would leak a phantom ``ShardStats.instances`` entry per
+        replacement, forever)."""
+        if isinstance(instance, TupleIndependentDatabase):
+            instance = instance.instance
+        key = instance.shard_key()
+        fingerprint = instance.content_fingerprint()
+        with self._state_lock:
+            ring = self._placements.pop(key, (key % len(self._shards),))
+        for index in ring:
+            self._shards[index].unregister(fingerprint)
+
     def placement_of(
         self, instance: Instance | TupleIndependentDatabase
     ) -> tuple[int, ...]:

@@ -226,6 +226,16 @@ class Shard:
         with self._lock:
             self._instances.add(fingerprint)
 
+    def unregister(self, fingerprint: tuple) -> None:
+        """Forget a resident instance fingerprint (idempotent).  Only
+        the catalog entry is dropped — cached circuits and plans age out
+        of their LRUs, and on the process backend the content-addressed
+        segment registry reclaims the instance's shared-memory columns
+        once unpinned (the same stale-on-new-digest path probability
+        updates already take)."""
+        with self._lock:
+            self._instances.discard(fingerprint)
+
     def submit(
         self, request: QueryRequest, deadline: Deadline | None = None
     ) -> Future:

@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.pqe.engine import CompilationCacheStats
 from repro.pqe.extensional import ExtensionalPlanCacheStats
+from repro.serving.journal import JournalStats
 
 
 class LatencyWindow:
@@ -206,6 +207,79 @@ class HedgeStats:
     backup_wins: int = 0
     cancelled: int = 0
     failed_backups: int = 0
+
+
+@dataclass(frozen=True)
+class IdempotencyStats:
+    """The gateway's idempotent-retry journal counters.
+
+    ``hits`` are retries answered verbatim from a recorded response,
+    ``joins`` retries that attached to a still-in-flight execution of
+    the same ``(tenant, key)`` (no duplicate submission — for sampled
+    routes, no second draw-stream sweep), ``entries`` the keys
+    currently retained, ``evictions`` entries dropped by the LRU
+    bound."""
+
+    hits: int = 0
+    joins: int = 0
+    entries: int = 0
+    evictions: int = 0
+
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "IdempotencyStats":
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """One gateway's edge counters, payload-round-trippable like
+    :class:`ServiceStats` and surfaced by the wire ``stats`` op.
+
+    Connection counters track the listener (``connections`` accepted
+    over the gateway's lifetime, ``active_connections`` now,
+    ``rejected_connections`` turned away at the ``max_connections``
+    cap, ``idle_timeouts`` closed by the per-connection read timeout,
+    ``line_too_long`` closed after a typed oversized-line reply).
+    Request counters split the typed admission rejections
+    (``draining`` / ``overloaded`` / ``quota``) from ``requests``
+    actually submitted.  ``replayed_instances`` is what journal replay
+    re-registered at start; ``journal`` and ``idempotency`` nest the
+    durability and retry-journal counters; the ``injected_*`` counters
+    record the network chaos lanes that actually fired here."""
+
+    connections: int = 0
+    active_connections: int = 0
+    rejected_connections: int = 0
+    idle_timeouts: int = 0
+    line_too_long: int = 0
+    requests: int = 0
+    draining_rejections: int = 0
+    overloaded_rejections: int = 0
+    quota_rejections: int = 0
+    replayed_instances: int = 0
+    journal: JournalStats = field(default_factory=JournalStats)
+    idempotency: IdempotencyStats = field(
+        default_factory=IdempotencyStats
+    )
+    injected_conn_drops: int = 0
+    injected_partial_writes: int = 0
+    injected_slow_client_events: int = 0
+
+    def to_payload(self) -> dict:
+        """This snapshot as a JSON-able dict (plain ints/strs)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GatewayStats":
+        """Rebuild a snapshot serialized by :meth:`to_payload` —
+        ``GatewayStats.from_payload(s.to_payload()) == s``."""
+        data = dict(payload)
+        data["journal"] = JournalStats(**data["journal"])
+        data["idempotency"] = IdempotencyStats(**data["idempotency"])
+        return cls(**data)
 
 
 @dataclass(frozen=True)

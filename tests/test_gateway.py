@@ -84,6 +84,9 @@ class Client:
         return self.recv()
 
     def close(self) -> None:
+        # ``makefile`` holds its own reference to the socket: both must
+        # close before the peer sees EOF.
+        self._file.close()
         self._sock.close()
 
 
@@ -495,3 +498,789 @@ class TestLifecycle:
         server.stop()  # connection still open — must not hang or error
         service.stop(wait=True)
         client.close()
+
+
+#: REGISTER_FACTS with R's probability changed — different content
+#: fingerprint, different answers: the replacement test pair.
+REPLACED_FACTS = [
+    ["R", [1], [1, 3]],
+    ["S1", [1, 2]],
+    ["T", [2], [2, 3]],
+]
+
+BIG_BUDGET = {
+    "epsilon": 0.001,
+    "min_samples": 150_000,
+    "max_samples": 150_000,
+    "seed": 1,
+    "adaptive": False,
+}
+
+
+def replaced_tid():
+    """The TID matching :data:`REPLACED_FACTS`, built directly."""
+    from repro.db.relation import Instance
+    from repro.db.tid import TupleIndependentDatabase
+
+    instance = Instance()
+    tid = TupleIndependentDatabase(instance)
+    a = instance.add("R", (1,))
+    tid.set_probability(a, Fraction(1, 3))
+    instance.add("S1", (1, 2))
+    b = instance.add("T", (2,))
+    tid.set_probability(b, Fraction(2, 3))
+    return tid
+
+
+def register(client, name, facts, message_id=1, **extra):
+    reply = client.rpc(
+        {
+            "op": "register",
+            "id": message_id,
+            "instance": name,
+            "facts": facts,
+            **extra,
+        }
+    )
+    assert reply["ok"], reply
+    return reply
+
+
+def gateway_payload(client) -> dict:
+    reply = client.rpc({"op": "stats", "id": 999})
+    assert reply["ok"]
+    return reply["gateway"]
+
+
+def sans_latency(response: dict) -> dict:
+    """A response payload without its wall-clock field — everything
+    else is content-determined and must be bit-identical."""
+    return {k: v for k, v in response.items() if k != "latency_ms"}
+
+
+@pytest.mark.parametrize(
+    "gateway_backend", ["threads", "processes"], indirect=True
+)
+class TestJournalRecovery:
+    def test_crash_restart_recovers_bit_identically(
+        self, gateway_backend, tmp_path
+    ):
+        # A gateway with a journal, killed without warning: the restart
+        # replays the journal, and every answer — exact and sampled —
+        # is the bit-identical float the pre-crash gateway served.
+        service = gateway_backend._service
+        server = GatewayServer(
+            service, journal_path=tmp_path / "edge.journal"
+        )
+        server.start()
+        try:
+            client = Client(server.port)
+            first = register(client, "orders", REGISTER_FACTS)
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            register(client, "big", facts_of(large_hard), message_id=2)
+            exact = client.rpc(
+                {
+                    "op": "query",
+                    "id": 3,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            sampled = client.rpc(
+                {
+                    "op": "query",
+                    "id": 4,
+                    "instance": "big",
+                    "query": query_payload(hard_full_disjunction(3)),
+                    "budget": {"epsilon": 0.1, "seed": 11},
+                }
+            )
+            assert exact["ok"] and sampled["ok"]
+            client.close()
+
+            server.restart(graceful=False)  # SIGKILL-equivalent
+
+            client = Client(server.port)
+            # No re-registration: the journal is the only recovery path.
+            exact_after = client.rpc(
+                {
+                    "op": "query",
+                    "id": 5,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            sampled_after = client.rpc(
+                {
+                    "op": "query",
+                    "id": 6,
+                    "instance": "big",
+                    "query": query_payload(hard_full_disjunction(3)),
+                    "budget": {"epsilon": 0.1, "seed": 11},
+                }
+            )
+            assert exact_after["ok"] and sampled_after["ok"]
+            assert sans_latency(exact_after["response"]) == sans_latency(
+                exact["response"]
+            )
+            assert sans_latency(
+                sampled_after["response"]
+            ) == sans_latency(sampled["response"])
+            # Same content, same shard_key, same ring: re-registering
+            # after recovery is an idempotent no-op on the same shard.
+            again = register(
+                client, "orders", REGISTER_FACTS, message_id=7
+            )
+            assert again["replaced"] is False
+            assert again["shard"] == first["shard"]
+            assert again["placement"] == first["placement"]
+            payload = gateway_payload(client)
+            assert payload["replayed_instances"] == 2
+            assert payload["journal"]["replayed"] == 2
+            client.close()
+        finally:
+            server.stop()
+
+    def test_gateway_stats_payload_round_trip(
+        self, gateway_backend, tmp_path
+    ):
+        from repro.serving.stats import GatewayStats
+
+        service = gateway_backend._service
+        server = GatewayServer(
+            service, journal_path=tmp_path / "edge.journal"
+        )
+        server.start()
+        try:
+            client = Client(server.port)
+            register(client, "orders", REGISTER_FACTS)
+            client.rpc(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "orders",
+                    "query": SAFE,
+                    "idempotency_key": "k1",
+                }
+            )
+            payload = gateway_payload(client)
+            stats = GatewayStats.from_payload(payload)
+            assert stats.to_payload() == payload
+            assert stats.requests == 1
+            assert stats.journal.appended == 1
+            assert stats.connections >= 1
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new_typed(self):
+        # The ladder: accepted work finishes under its own deadline, a
+        # pre-existing connection gets typed GatewayDraining for new
+        # work, new connections cannot be opened, and the drain reports
+        # clean because nothing in flight was cancelled.
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        slow = Client(server.port)
+        other = Client(server.port)
+        try:
+            register(slow, "orders", REGISTER_FACTS)
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            register(slow, "big", facts_of(large_hard), message_id=2)
+            slow.send(
+                {
+                    "op": "query",
+                    "id": 3,
+                    "instance": "big",
+                    "query": query_payload(hard_full_disjunction(3)),
+                    "budget": BIG_BUDGET,
+                }
+            )
+            time.sleep(0.2)  # let the slow query be admitted
+            drained: dict = {}
+
+            def drain():
+                drained["clean"] = server.drain(grace_ms=60_000.0)
+
+            drainer = threading.Thread(target=drain)
+            drainer.start()
+            # The draining flag flips on the loop promptly; poll the
+            # pre-existing connection until the typed rejection lands.
+            deadline = time.monotonic() + 10
+            rejection = None
+            while time.monotonic() < deadline:
+                reply = other.rpc(
+                    {
+                        "op": "query",
+                        "id": 4,
+                        "instance": "orders",
+                        "query": CONJUNCTION,
+                    }
+                )
+                if not reply["ok"]:
+                    rejection = reply
+                    break
+                time.sleep(0.01)
+            assert rejection is not None, "draining never engaged"
+            assert rejection["error"] == "GatewayDraining"
+            # Registers are rejected the same way while draining.
+            reject_register = other.rpc(
+                {
+                    "op": "register",
+                    "id": 5,
+                    "instance": "late",
+                    "facts": REGISTER_FACTS,
+                }
+            )
+            assert reject_register["error"] == "GatewayDraining"
+            # The in-flight slow query still completes with an answer.
+            finished = slow.recv()
+            assert finished["ok"], finished
+            drainer.join(timeout=60)
+            assert drained["clean"] is True
+            # The listener is gone: no new connection can be opened.
+            with pytest.raises(OSError):
+                socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=0.5
+                )
+        finally:
+            slow.close()
+            other.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_drain_with_expired_grace_reports_dirty(self):
+        # grace_ms=0 with work in flight: the gateway closes anyway and
+        # honestly reports the drain was not clean.
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        try:
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            register(client, "big", facts_of(large_hard))
+            client.send(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "big",
+                    "query": query_payload(hard_full_disjunction(3)),
+                    "budget": BIG_BUDGET,
+                }
+            )
+            time.sleep(0.2)
+            assert server.drain(grace_ms=0.0) is False
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_drain_idle_gateway_is_clean_even_with_zero_grace(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        try:
+            assert server.drain(grace_ms=0.0) is True
+        finally:
+            server.stop()
+            service.stop(wait=True)
+
+
+class TestIdempotency:
+    def test_completed_retry_replays_recorded_reply_verbatim(self):
+        service = ShardedService(shards=2)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        try:
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            register(client, "big", facts_of(large_hard))
+            request = {
+                "op": "query",
+                "id": 2,
+                "instance": "big",
+                "query": query_payload(hard_full_disjunction(3)),
+                "budget": {"epsilon": 0.1, "seed": 11},
+                "idempotency_key": "req-1",
+            }
+            first = client.rpc(request)
+            assert first["ok"]
+            retry = client.rpc({**request, "id": 3})
+            assert retry["ok"]
+            assert retry["id"] == 3
+            assert retry["response"] == first["response"]
+            # One execution, one replay: the service saw one request.
+            stats_reply = client.rpc({"op": "stats", "id": 4})
+            assert (
+                ServiceStats.from_payload(stats_reply["stats"]).requests
+                == 1
+            )
+            idem = stats_reply["gateway"]["idempotency"]
+            assert idem["hits"] == 1
+            assert idem["joins"] == 0
+            assert idem["entries"] == 1
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_inflight_retry_joins_the_same_execution(self):
+        # A retry racing the original joins the same sampling sweep —
+        # no duplicate submission, and both replies carry the same
+        # bit-identical floats.
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        first = Client(server.port)
+        second = Client(server.port)
+        try:
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            register(first, "big", facts_of(large_hard))
+            request = {
+                "op": "query",
+                "id": 2,
+                "instance": "big",
+                "query": query_payload(hard_full_disjunction(3)),
+                "budget": BIG_BUDGET,
+                "idempotency_key": "req-join",
+            }
+            first.send(request)
+            time.sleep(0.2)  # the original is registered in the LRU
+            joined = second.rpc({**request, "id": 3})
+            original = first.recv()
+            assert original["ok"] and joined["ok"]
+            assert joined["response"] == original["response"]
+            stats_reply = first.rpc({"op": "stats", "id": 4})
+            assert (
+                ServiceStats.from_payload(stats_reply["stats"]).requests
+                == 1
+            )
+            assert stats_reply["gateway"]["idempotency"]["joins"] == 1
+        finally:
+            first.close()
+            second.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_typed_error_outcome_is_recorded_and_replayed(self):
+        # An admitted request's outcome is its outcome — even when that
+        # outcome is a typed error.  The retry replays it rather than
+        # executing a second time.
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        try:
+            register(client, "orders", REGISTER_FACTS)
+            request = {
+                "op": "query",
+                "id": 2,
+                "instance": "orders",
+                "query": CONJUNCTION,
+                "deadline_ms": 0.0001,
+                "idempotency_key": "req-dead",
+            }
+            first = client.rpc(request)
+            assert first["ok"] is False
+            assert first["error"] == "DeadlineExceeded"
+            retry = client.rpc({**request, "id": 3})
+            assert retry["error"] == first["error"]
+            assert retry["message"] == first["message"]
+            assert gateway_payload(client)["idempotency"]["hits"] == 1
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_rejected_requests_are_not_recorded(self):
+        # A pre-admission failure (unknown instance) must not poison
+        # the key: once the instance exists, the retry succeeds.
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        try:
+            request = {
+                "op": "query",
+                "id": 1,
+                "instance": "orders",
+                "query": CONJUNCTION,
+                "idempotency_key": "req-early",
+            }
+            early = client.rpc(request)
+            assert early["error"] == "KeyError"
+            register(client, "orders", REGISTER_FACTS, message_id=2)
+            retry = client.rpc({**request, "id": 3})
+            assert retry["ok"], retry
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_lru_eviction_bounds_the_response_journal(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service, idempotency_capacity=2)
+        server.start()
+        client = Client(server.port)
+        try:
+            register(client, "orders", REGISTER_FACTS)
+            for i, key in enumerate(["k1", "k2", "k3"]):
+                reply = client.rpc(
+                    {
+                        "op": "query",
+                        "id": 10 + i,
+                        "instance": "orders",
+                        "query": CONJUNCTION,
+                        "idempotency_key": key,
+                    }
+                )
+                assert reply["ok"]
+            idem = gateway_payload(client)["idempotency"]
+            assert idem["entries"] == 2
+            assert idem["evictions"] == 1
+            # k1 was evicted: the retry re-executes instead of replaying.
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 20,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                    "idempotency_key": "k1",
+                }
+            )
+            assert reply["ok"]
+            stats_reply = client.rpc({"op": "stats", "id": 21})
+            assert (
+                ServiceStats.from_payload(stats_reply["stats"]).requests
+                == 4
+            )
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_bad_idempotency_key_is_a_typed_error(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        try:
+            register(client, "orders", REGISTER_FACTS)
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                    "idempotency_key": 7,
+                }
+            )
+            assert reply["error"] == "ValueError"
+            assert "idempotency_key" in reply["message"]
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+
+class TestReRegister:
+    def test_same_content_is_idempotent(self, gateway_backend):
+        client = Client(gateway_backend.port)
+        try:
+            first = register(client, "orders", REGISTER_FACTS)
+            again = register(client, "orders", REGISTER_FACTS, 2)
+            assert again["replaced"] is False
+            assert again["shard"] == first["shard"]
+            assert again["placement"] == first["placement"]
+            # The catalog did not grow a phantom second registration.
+            stats_reply = client.rpc({"op": "stats", "id": 3})
+            stats = ServiceStats.from_payload(stats_reply["stats"])
+            assert sum(s.instances for s in stats.shards) == 1
+        finally:
+            client.close()
+
+    def test_replicas_raise_on_reregister_widens_the_ring(
+        self, gateway_backend
+    ):
+        client = Client(gateway_backend.port)
+        try:
+            first = register(client, "orders", REGISTER_FACTS)
+            assert len(first["placement"]) == 1
+            raised = register(
+                client, "orders", REGISTER_FACTS, 2, replicas=2
+            )
+            assert raised["replaced"] is False
+            # Prefix-stable ring: the original placement is the prefix.
+            assert raised["placement"][0] == first["placement"][0]
+            assert len(raised["placement"]) == 2
+        finally:
+            client.close()
+
+    def test_different_content_replaces_atomically(self, gateway_backend):
+        reference = evaluate_batch(CONJ_QUERY, [replaced_tid()])
+        client = Client(gateway_backend.port)
+        try:
+            register(client, "orders", REGISTER_FACTS)
+            replaced = register(client, "orders", REPLACED_FACTS, 2)
+            assert replaced["replaced"] is True
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 3,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"]
+            assert (
+                reply["response"]["probability"]
+                == reference.probabilities[0]
+            )
+            # The superseded registration was released, not leaked.
+            stats_reply = client.rpc({"op": "stats", "id": 4})
+            stats = ServiceStats.from_payload(stats_reply["stats"])
+            assert sum(s.instances for s in stats.shards) == 1
+        finally:
+            client.close()
+
+    def test_shared_content_survives_one_name_replacing(
+        self, gateway_backend
+    ):
+        # Two names serving the same content share one registration;
+        # replacing one name must not pull it out from under the other.
+        client = Client(gateway_backend.port)
+        try:
+            register(client, "orders", REGISTER_FACTS)
+            register(client, "mirror", REGISTER_FACTS, 2)
+            register(client, "orders", REPLACED_FACTS, 3)
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 4,
+                    "instance": "mirror",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"], reply
+        finally:
+            client.close()
+
+    def test_replacement_survives_crash_restart_via_journal(
+        self, tmp_path
+    ):
+        # Register, replace, crash: replay applies both records in
+        # order and recovers the *replaced* catalog.
+        reference = evaluate_batch(CONJ_QUERY, [replaced_tid()])
+        service = ShardedService(shards=2)
+        server = GatewayServer(
+            service, journal_path=tmp_path / "edge.journal"
+        )
+        server.start()
+        try:
+            client = Client(server.port)
+            register(client, "orders", REGISTER_FACTS)
+            register(client, "orders", REPLACED_FACTS, 2)
+            assert gateway_payload(client)["journal"]["dead"] == 1
+            client.close()
+
+            server.restart(graceful=False)
+
+            client = Client(server.port)
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 3,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"]
+            assert (
+                reply["response"]["probability"]
+                == reference.probabilities[0]
+            )
+            client.close()
+        finally:
+            server.stop()
+            service.stop(wait=True)
+
+
+class TestConnectionEdges:
+    def test_oversized_line_gets_typed_reply_then_close(
+        self, gateway_backend
+    ):
+        from repro.serving.gateway import _LINE_LIMIT
+
+        client = Client(gateway_backend.port)
+        try:
+            padding = "a" * _LINE_LIMIT
+            client.send_raw(
+                '{"op": "ping", "id": 1, "pad": "' + padding + '"}'
+            )
+            reply = client.recv()
+            assert reply["ok"] is False
+            assert reply["error"] == "LineTooLong"
+            # Framing is unrecoverable: the gateway closes after the
+            # typed reply.
+            assert client._file.readline() == ""
+        finally:
+            client.close()
+
+    def test_idle_connection_times_out_typed(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service, idle_timeout_s=0.2)
+        server.start()
+        client = Client(server.port)
+        try:
+            assert client.rpc({"op": "ping", "id": 1})["pong"]
+            reply = client.recv()  # no request sent: wait for the axe
+            assert reply["ok"] is False
+            assert reply["error"] == "IdleTimeout"
+            assert client._file.readline() == ""
+            observer = Client(server.port)
+            assert gateway_payload(observer)["idle_timeouts"] == 1
+            observer.close()
+        finally:
+            client.close()
+            server.stop()
+            service.stop(wait=True)
+
+    def test_connection_cap_rejects_typed_then_recovers(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service, max_connections=1)
+        server.start()
+        first = Client(server.port)
+        try:
+            assert first.rpc({"op": "ping", "id": 1})["pong"]
+            second = Client(server.port)
+            reply = second.recv()
+            assert reply["ok"] is False
+            assert reply["error"] == "TooManyConnections"
+            assert second._file.readline() == ""
+            second.close()
+            first.close()
+            # The slot frees once the first connection is gone.
+            deadline = time.monotonic() + 10
+            while True:
+                third = Client(server.port)
+                try:
+                    third.send({"op": "ping", "id": 2})
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # rejection raced the ping; retry below
+                line = third._file.readline()
+                reply = json.loads(line) if line else {}
+                third.close()
+                if reply.get("pong"):
+                    break
+                assert time.monotonic() < deadline, "cap never freed"
+                time.sleep(0.02)
+        finally:
+            server.stop()
+            service.stop(wait=True)
+
+
+class TestCancellation:
+    def test_stop_with_parked_inflight_query_terminates(self):
+        # Regression: _serve_line used to catch BaseException including
+        # CancelledError, turning gateway shutdown into an error reply
+        # and leaving the handler task uncancellable — stop() would
+        # hang on the gather forever.  The parked query keeps a handler
+        # pinned mid-await while we pull the plug.
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        client = Client(server.port)
+        thread = server._thread
+        try:
+            large_hard = complete_tid(3, 3, 3, prob=Fraction(1, 3))
+            register(client, "big", facts_of(large_hard))
+            client.send(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "big",
+                    "query": query_payload(hard_full_disjunction(3)),
+                    "budget": BIG_BUDGET,
+                }
+            )
+            time.sleep(0.2)  # parked: admitted and awaiting its future
+            server.stop()
+            assert thread is not None and not thread.is_alive(), (
+                "gateway loop never terminated — cancellation was "
+                "swallowed"
+            )
+        finally:
+            client.close()
+            service.stop(wait=True)
+
+
+class TestLifecycleEdges:
+    def test_stop_before_start_is_a_noop(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.stop()  # never started: nothing to do, no error
+        assert server.drain() is True
+        service.stop(wait=True)
+
+    def test_double_start_raises(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+        finally:
+            server.stop()
+            service.stop(wait=True)
+
+    def test_context_manager_graceful_restart_keeps_port_and_catalog(
+        self, tmp_path
+    ):
+        service = ShardedService(shards=1)
+        with GatewayServer(
+            service, journal_path=tmp_path / "edge.journal"
+        ) as server:
+            client = Client(server.port)
+            register(client, "orders", REGISTER_FACTS)
+            client.close()
+            port = server.port
+
+            server.restart(graceful=True)
+
+            assert server.port == port
+            client = Client(server.port)
+            reply = client.rpc(
+                {
+                    "op": "query",
+                    "id": 2,
+                    "instance": "orders",
+                    "query": CONJUNCTION,
+                }
+            )
+            assert reply["ok"], reply
+            client.close()
+        service.stop(wait=True)
+
+    def test_negative_grace_raises(self):
+        service = ShardedService(shards=1)
+        server = GatewayServer(service)
+        server.start()
+        try:
+            import concurrent.futures
+
+            loop = server._loop
+            future = None
+            if loop is not None:
+                future = __import__("asyncio").run_coroutine_threadsafe(
+                    server.gateway.drain(-1.0), loop
+                )
+            with pytest.raises(
+                (ValueError, concurrent.futures.CancelledError)
+            ):
+                assert future is not None
+                future.result(timeout=10)
+        finally:
+            server.stop()
+            service.stop(wait=True)

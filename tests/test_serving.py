@@ -87,6 +87,26 @@ class TestRouting:
             assert index == service.shard_of(tid)
             assert service.stats().shards[index].instances == 1
 
+    def test_unregister_releases_every_ring_placement(self):
+        # The gateway's replace-on-re-register path: unregistering
+        # drops the placement entry and the fingerprint on every ring
+        # shard, is idempotent, and does not break serving the same
+        # content again later (it re-registers implicitly on submit).
+        with ShardedService(shards=4) as service:
+            tid = complete_tid(3, 2, 2, prob=Fraction(1, 2))
+            service.register(tid, replicas=2)
+            assert (
+                sum(s.instances for s in service.stats().shards) == 2
+            )
+            service.unregister(tid)
+            assert (
+                sum(s.instances for s in service.stats().shards) == 0
+            )
+            service.unregister(tid)  # idempotent
+            reference = evaluate_batch(q9(), [tid])
+            response = service.submit(q9(), tid).result()
+            assert response.probability == reference.probabilities[0]
+
 
 class TestServingParity:
     def test_single_submit_matches_evaluate_batch(self):

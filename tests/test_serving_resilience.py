@@ -365,12 +365,18 @@ class TestFaultInjector:
         assert injector.phantom_depth(0, 0) == 0
         assert not injector.should_kill(0, 0)
         assert injector.straggler_ms_for(0, 0) == 0.0
+        assert not injector.should_drop_conn(0, 0)
+        assert not injector.should_split_write(0, 0)
+        assert injector.slow_client_ms_for(0, 0) == 0.0
         assert injector.stats() == {
             "errors": 0,
             "latency_events": 0,
             "pressure_events": 0,
             "kills": 0,
             "straggler_events": 0,
+            "conn_drops": 0,
+            "partial_writes": 0,
+            "slow_client_events": 0,
         }
 
     def test_validation(self):
